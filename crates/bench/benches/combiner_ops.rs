@@ -1,0 +1,57 @@
+//! Microbenchmarks for the reduction operators of Section 3.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gw2v_combiner::{CombineAccumulator, CombinerKind};
+use gw2v_util::rng::{Rng64, Xoshiro256};
+use std::hint::black_box;
+
+fn make_deltas(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
+    let mut rng = Xoshiro256::new(seed);
+    (0..n)
+        .map(|_| (0..dim).map(|_| rng.next_f32() - 0.5).collect())
+        .collect()
+}
+
+fn bench_combine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("combiner");
+    let dim = 200;
+    for n_hosts in [2usize, 8, 32] {
+        let deltas = make_deltas(n_hosts, dim, 7);
+        let refs: Vec<&[f32]> = deltas.iter().map(|d| d.as_slice()).collect();
+        group.throughput(Throughput::Elements((n_hosts * dim) as u64));
+        for kind in [
+            CombinerKind::Sum,
+            CombinerKind::Avg,
+            CombinerKind::ModelCombiner,
+            CombinerKind::ModelCombinerPairwise,
+        ] {
+            group.bench_function(
+                BenchmarkId::new(kind.label(), format!("{n_hosts}hosts")),
+                |b| {
+                    let mut out = vec![0.0f32; dim];
+                    b.iter(|| {
+                        kind.combine_into(black_box(&refs), black_box(&mut out));
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_accumulator(c: &mut Criterion) {
+    let dim = 200;
+    let deltas = make_deltas(32, dim, 9);
+    c.bench_function("combiner/streaming_mc_32", |b| {
+        b.iter(|| {
+            let mut acc = CombineAccumulator::new(CombinerKind::ModelCombiner, dim);
+            for d in &deltas {
+                acc.push(black_box(d));
+            }
+            black_box(acc.finish())
+        });
+    });
+}
+
+criterion_group!(benches, bench_combine, bench_accumulator);
+criterion_main!(benches);

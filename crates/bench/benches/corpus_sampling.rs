@@ -1,0 +1,68 @@
+//! Microbenchmarks for corpus-side sampling: the negative-sampling table
+//! vs the alias method (the DESIGN.md ablation), Zipf draws, and
+//! subsample filtering.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use gw2v_corpus::subsample::SubsampleTable;
+use gw2v_corpus::unigram::{AliasSampler, NegativeSampler, UnigramTable};
+use gw2v_corpus::vocab::{VocabBuilder, Vocabulary};
+use gw2v_corpus::zipf::ZipfSampler;
+use gw2v_util::rng::{Rng64, Xoshiro256};
+use std::hint::black_box;
+
+fn vocab_n(n: usize) -> Vocabulary {
+    let mut b = VocabBuilder::new();
+    for i in 0..n {
+        for _ in 0..(1 + (n - i) / 7) {
+            b.add_token(&format!("w{i:06}"));
+        }
+    }
+    b.build(1)
+}
+
+fn bench_negative_samplers(c: &mut Criterion) {
+    let vocab = vocab_n(30_000);
+    let table = UnigramTable::new(&vocab, UnigramTable::DEFAULT_SIZE);
+    let alias = AliasSampler::from_vocab(&vocab);
+    let mut group = c.benchmark_group("negative_sampling");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("table", |b| {
+        let mut rng = Xoshiro256::new(1);
+        b.iter(|| black_box(table.sample(&mut rng)));
+    });
+    group.bench_function("alias", |b| {
+        let mut rng = Xoshiro256::new(1);
+        b.iter(|| black_box(alias.sample(&mut rng)));
+    });
+    group.finish();
+}
+
+fn bench_zipf(c: &mut Criterion) {
+    let zipf = ZipfSampler::new(30_000, 1.07, 2.7);
+    c.bench_function("zipf/sample_30k", |b| {
+        let mut rng = Xoshiro256::new(2);
+        b.iter(|| black_box(zipf.sample(&mut rng)));
+    });
+}
+
+fn bench_subsample_filter(c: &mut Criterion) {
+    let vocab = vocab_n(10_000);
+    let table = SubsampleTable::new(&vocab, 1e-4);
+    let mut rng = Xoshiro256::new(3);
+    let sentence: Vec<u32> = (0..1_000).map(|_| rng.index(vocab.len()) as u32).collect();
+    let mut group = c.benchmark_group("subsample");
+    group.throughput(Throughput::Elements(sentence.len() as u64));
+    group.bench_function("filter_1k_sentence", |b| {
+        let mut rng = Xoshiro256::new(4);
+        b.iter(|| black_box(table.filter_sentence(&sentence, &mut rng)));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_negative_samplers,
+    bench_zipf,
+    bench_subsample_filter
+);
+criterion_main!(benches);

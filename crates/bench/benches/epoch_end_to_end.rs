@@ -1,0 +1,49 @@
+//! End-to-end benchmark: one full training epoch of each trainer on a
+//! tiny synthetic corpus (the macro-level regression guard).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gw2v_bench::prepare;
+use gw2v_core::distributed::{DistConfig, DistributedTrainer};
+use gw2v_core::params::Hyperparams;
+use gw2v_core::trainer_batched::BatchedTrainer;
+use gw2v_core::trainer_hogwild::HogwildTrainer;
+use gw2v_core::trainer_seq::SequentialTrainer;
+use gw2v_corpus::datasets::{Scale, PRESETS};
+use std::hint::black_box;
+
+fn bench_epoch(c: &mut Criterion) {
+    let d = prepare(&PRESETS[0], Scale::Tiny, 42);
+    let params = Hyperparams {
+        dim: 32,
+        negative: 5,
+        epochs: 1,
+        seed: 1,
+        ..Hyperparams::default()
+    };
+    let mut group = c.benchmark_group("epoch");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(d.corpus.total_tokens() as u64));
+    group.bench_function("sequential", |b| {
+        b.iter(|| black_box(SequentialTrainer::new(params.clone()).train(&d.corpus, &d.vocab)));
+    });
+    group.bench_function("batched", |b| {
+        b.iter(|| black_box(BatchedTrainer::new(params.clone()).train(&d.corpus, &d.vocab)));
+    });
+    group.bench_function("hogwild_2threads", |b| {
+        b.iter(|| black_box(HogwildTrainer::new(params.clone(), 2).train(&d.corpus, &d.vocab)));
+    });
+    for hosts in [4usize, 16] {
+        group.bench_function(BenchmarkId::new("distributed", hosts), |b| {
+            b.iter(|| {
+                black_box(
+                    DistributedTrainer::new(params.clone(), DistConfig::paper_default(hosts))
+                        .train(&d.corpus, &d.vocab),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_epoch);
+criterion_main!(benches);

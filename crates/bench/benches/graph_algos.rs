@@ -1,0 +1,45 @@
+//! Microbenchmarks for the graph-analytics substrate: the classic vertex
+//! programs on partitioned R-MAT graphs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gw2v_graph::algos::{bfs_distributed, cc_distributed, pagerank_distributed, sssp_distributed};
+use gw2v_graph::gen::{rmat, RMAT_GRAPH500};
+use gw2v_graph::partition::partition_blocked;
+use std::hint::black_box;
+
+fn bench_algorithms(c: &mut Criterion) {
+    let g = rmat(10, 8, 42, RMAT_GRAPH500); // 1024 nodes, 8K edges
+    let mut group = c.benchmark_group("graph_algos");
+    group.sample_size(20);
+    for hosts in [1usize, 4, 8] {
+        let parted = partition_blocked(&g, hosts);
+        group.bench_function(BenchmarkId::new("sssp", hosts), |b| {
+            b.iter(|| black_box(sssp_distributed(&parted, 0)));
+        });
+        group.bench_function(BenchmarkId::new("bfs", hosts), |b| {
+            b.iter(|| black_box(bfs_distributed(&parted, 0)));
+        });
+        group.bench_function(BenchmarkId::new("cc", hosts), |b| {
+            b.iter(|| black_box(cc_distributed(&parted)));
+        });
+        group.bench_function(BenchmarkId::new("pagerank_10iter", hosts), |b| {
+            b.iter(|| black_box(pagerank_distributed(&parted, 10)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_partitioning(c: &mut Criterion) {
+    let g = rmat(12, 8, 7, RMAT_GRAPH500); // 4096 nodes, 32K edges
+    let mut group = c.benchmark_group("partition");
+    group.sample_size(20);
+    for hosts in [4usize, 16] {
+        group.bench_function(BenchmarkId::new("blocked_rmat12", hosts), |b| {
+            b.iter(|| black_box(partition_blocked(&g, hosts)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms, bench_partitioning);
+criterion_main!(benches);

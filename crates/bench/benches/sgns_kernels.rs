@@ -1,0 +1,80 @@
+//! Microbenchmarks for the SGNS inner loop and its vector kernels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gw2v_core::model::Word2VecModel;
+use gw2v_core::params::Hyperparams;
+use gw2v_core::setup::TrainSetup;
+use gw2v_core::sgns::{train_sentence, PlainStore, TrainScratch};
+use gw2v_corpus::vocab::{VocabBuilder, Vocabulary};
+use gw2v_util::fvec;
+use gw2v_util::rng::{Rng64, Xoshiro256};
+use std::hint::black_box;
+
+fn vocab_n(n: usize) -> Vocabulary {
+    let mut b = VocabBuilder::new();
+    for i in 0..n {
+        for _ in 0..(n - i) {
+            b.add_token(&format!("w{i:05}"));
+        }
+    }
+    b.build(1)
+}
+
+fn bench_vector_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fvec");
+    for dim in [64usize, 200] {
+        let x: Vec<f32> = (0..dim).map(|i| (i as f32).sin()).collect();
+        let mut y: Vec<f32> = (0..dim).map(|i| (i as f32).cos()).collect();
+        group.throughput(Throughput::Elements(dim as u64));
+        group.bench_with_input(BenchmarkId::new("dot", dim), &dim, |b, _| {
+            b.iter(|| black_box(fvec::dot(black_box(&x), black_box(&y))));
+        });
+        group.bench_with_input(BenchmarkId::new("axpy", dim), &dim, |b, _| {
+            b.iter(|| fvec::axpy(black_box(0.01), black_box(&x), black_box(&mut y)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_train_sentence(c: &mut Criterion) {
+    let vocab = vocab_n(2000);
+    let mut group = c.benchmark_group("sgns");
+    for (dim, negative) in [(64usize, 5usize), (200, 15)] {
+        let params = Hyperparams {
+            dim,
+            negative,
+            subsample: 0.0,
+            ..Hyperparams::default()
+        };
+        let setup = TrainSetup::new(&vocab, &params);
+        let ctx = setup.ctx(&params);
+        let mut model = Word2VecModel::init(vocab.len(), dim, 1);
+        let mut rng = Xoshiro256::new(9);
+        let sentence: Vec<u32> = (0..50).map(|_| rng.index(vocab.len()) as u32).collect();
+        let mut scratch = TrainScratch::default();
+        group.throughput(Throughput::Elements(sentence.len() as u64));
+        group.bench_function(
+            BenchmarkId::new("train_sentence", format!("dim{dim}_neg{negative}")),
+            |b| {
+                b.iter(|| {
+                    let mut store = PlainStore {
+                        syn0: &mut model.syn0,
+                        syn1neg: &mut model.syn1neg,
+                    };
+                    black_box(train_sentence(
+                        &mut store,
+                        black_box(&sentence),
+                        0.025,
+                        &ctx,
+                        &mut rng,
+                        &mut scratch,
+                    ))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_vector_kernels, bench_train_sentence);
+criterion_main!(benches);

@@ -1,0 +1,105 @@
+//! Figure 8 — "Strong scaling of GraphWord2Vec (synchronization
+//! frequency increases roughly linearly with the number of hosts)."
+//!
+//! Hosts 1(1), 2(3), 4(6), 8(12), 16(24), 32(48), 64(96) × the three
+//! communication variants × the three datasets; the metric is virtual
+//! execution time (max-host compute + α–β network model — see
+//! EXPERIMENTS.md). Expected shape: all variants scale to 32 hosts;
+//! RepModel-Opt fastest, PullModel penalized by inspection overhead,
+//! RepModel-Naive by redundant volume; scaling flattens by 64 hosts as
+//! communication grows.
+
+use gw2v_bench::{
+    bench_params, datasets_from_env, epochs_from_env, hosts_from_env, prepare, scale_from_env,
+    write_json,
+};
+use gw2v_core::distributed::{DistConfig, DistributedTrainer};
+use gw2v_corpus::datasets::Scale;
+use gw2v_gluon::plan::SyncPlan;
+use gw2v_util::table::{fmt_secs, Align, Table};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Point {
+    dataset: String,
+    plan: String,
+    hosts: usize,
+    sync_frequency: usize,
+    virtual_secs: f64,
+    compute_secs: f64,
+    comm_secs: f64,
+    total_bytes: u64,
+}
+
+fn main() {
+    let scale = scale_from_env(Scale::Small);
+    let epochs = epochs_from_env(1);
+    let host_counts = hosts_from_env(&[1, 2, 4, 8, 16, 32, 64]);
+    let plans = [
+        SyncPlan::RepModelNaive,
+        SyncPlan::RepModelOpt,
+        SyncPlan::PullModel,
+    ];
+    println!(
+        "Figure 8: strong scaling, time (virtual sec) vs hosts(sync freq) \
+         (scale {scale:?}, {epochs} epoch(s))\n"
+    );
+    let mut points = Vec::new();
+    for preset in datasets_from_env() {
+        eprintln!("[fig8] preparing {} ...", preset.name);
+        let d = prepare(preset, scale, 42);
+        let params = bench_params(scale, epochs, 1);
+        let mut table = Table::new(vec![
+            "Hosts(S)",
+            "RepModel-Naive",
+            "RepModel-Opt",
+            "PullModel",
+        ])
+        .with_aligns(&[Align::Left, Align::Right, Align::Right, Align::Right]);
+        for &hosts in &host_counts {
+            let freq = DistConfig::paper_sync_rounds(hosts);
+            let mut row = vec![format!("{hosts}({freq})")];
+            for plan in plans {
+                eprintln!(
+                    "[fig8] {} {} hosts={hosts} ...",
+                    preset.paper_name,
+                    plan.label()
+                );
+                let mut config = DistConfig::paper_default(hosts);
+                config.plan = plan;
+                let result =
+                    DistributedTrainer::new(params.clone(), config).train(&d.corpus, &d.vocab);
+                row.push(fmt_secs(result.virtual_time()));
+                points.push(Point {
+                    dataset: preset.paper_name.to_owned(),
+                    plan: plan.label().to_owned(),
+                    hosts,
+                    sync_frequency: freq,
+                    virtual_secs: result.virtual_time(),
+                    compute_secs: result.compute_time,
+                    comm_secs: result.comm_time,
+                    total_bytes: result.stats.total_bytes(),
+                });
+            }
+            table.add_row(row);
+        }
+        println!("--- {} ---", preset.paper_name);
+        print!("{table}");
+        // Per-dataset speedup summary at 32 hosts for the Opt variant.
+        let base = points
+            .iter()
+            .find(|p| p.dataset == preset.paper_name && p.hosts == 1 && p.plan == "RepModel-Opt")
+            .map(|p| p.virtual_secs);
+        let at32 = points
+            .iter()
+            .find(|p| p.dataset == preset.paper_name && p.hosts == 32 && p.plan == "RepModel-Opt")
+            .map(|p| p.virtual_secs);
+        if let (Some(b), Some(t)) = (base, at32) {
+            println!(
+                "RepModel-Opt speedup at 32 hosts: {:.1}x (paper: 10.5x)\n",
+                b / t
+            );
+        }
+    }
+    write_json("fig8", &points);
+}

@@ -1,0 +1,108 @@
+//! Figure 9 — "Breakdown of execution time into computation and
+//! communication [...] along with the total communication volume
+//! presented on the bars for all 3 variants" at 2(3), 8(12), 32(48)
+//! hosts on each dataset.
+//!
+//! Expected shape: computation scales down with hosts; communication
+//! volume grows with hosts (replication × sync frequency);
+//! RepModel-Opt moves ~2× less volume than RepModel-Naive; PullModel
+//! sits between them.
+
+use gw2v_bench::{
+    bench_params, datasets_from_env, epochs_from_env, hosts_from_env, prepare, scale_from_env,
+    write_json,
+};
+use gw2v_core::distributed::{DistConfig, DistributedTrainer};
+use gw2v_corpus::datasets::Scale;
+use gw2v_gluon::plan::SyncPlan;
+use gw2v_util::table::{fmt_bytes, fmt_secs, Align, Table};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Bar {
+    dataset: String,
+    plan: String,
+    hosts: usize,
+    sync_frequency: usize,
+    compute_secs: f64,
+    comm_secs: f64,
+    comm_volume_bytes: u64,
+    reduce_bytes: u64,
+    broadcast_bytes: u64,
+}
+
+fn main() {
+    let scale = scale_from_env(Scale::Small);
+    let epochs = epochs_from_env(1);
+    let host_counts = hosts_from_env(&[2, 8, 32]);
+    let plans = [
+        SyncPlan::RepModelNaive,
+        SyncPlan::RepModelOpt,
+        SyncPlan::PullModel,
+    ];
+    println!(
+        "Figure 9: computation/communication breakdown and volume \
+         (scale {scale:?}, {epochs} epoch(s))\n"
+    );
+    let mut bars = Vec::new();
+    for preset in datasets_from_env() {
+        eprintln!("[fig9] preparing {} ...", preset.name);
+        let d = prepare(preset, scale, 42);
+        let params = bench_params(scale, epochs, 1);
+        let mut table = Table::new(vec!["Plan", "Hosts(S)", "Compute", "Comm", "Volume"])
+            .with_aligns(&[
+                Align::Left,
+                Align::Left,
+                Align::Right,
+                Align::Right,
+                Align::Right,
+            ]);
+        for plan in plans {
+            for &hosts in &host_counts {
+                eprintln!(
+                    "[fig9] {} {} hosts={hosts} ...",
+                    preset.paper_name,
+                    plan.label()
+                );
+                let mut config = DistConfig::paper_default(hosts);
+                config.plan = plan;
+                let result =
+                    DistributedTrainer::new(params.clone(), config).train(&d.corpus, &d.vocab);
+                let freq = config.sync_rounds;
+                table.add_row(vec![
+                    plan.label().to_owned(),
+                    format!("{hosts}({freq})"),
+                    fmt_secs(result.compute_time),
+                    fmt_secs(result.comm_time),
+                    fmt_bytes(result.stats.total_bytes()),
+                ]);
+                bars.push(Bar {
+                    dataset: preset.paper_name.to_owned(),
+                    plan: plan.label().to_owned(),
+                    hosts,
+                    sync_frequency: freq,
+                    compute_secs: result.compute_time,
+                    comm_secs: result.comm_time,
+                    comm_volume_bytes: result.stats.total_bytes(),
+                    reduce_bytes: result.stats.reduce_bytes,
+                    broadcast_bytes: result.stats.broadcast_bytes,
+                });
+            }
+        }
+        println!("--- {} ---", preset.paper_name);
+        print!("{table}");
+        // The paper's headline ratio: Opt volume vs Naive volume at 32 hosts.
+        let vol = |plan: &str| {
+            bars.iter()
+                .find(|b| b.dataset == preset.paper_name && b.hosts == 32 && b.plan == plan)
+                .map(|b| b.comm_volume_bytes)
+        };
+        if let (Some(naive), Some(opt)) = (vol("RepModel-Naive"), vol("RepModel-Opt")) {
+            println!(
+                "Naive/Opt volume ratio at 32 hosts: {:.2}x (paper: ~2x)\n",
+                naive as f64 / opt as f64
+            );
+        }
+    }
+    write_json("fig9", &bars);
+}

@@ -1,0 +1,84 @@
+//! Table 1 — "Datasets and their properties."
+//!
+//! Prints the paper's reported properties next to the synthetic
+//! stand-ins actually generated at the selected scale, including the
+//! vocabulary/token *ratios*, which are the preserved quantity.
+
+use gw2v_bench::{datasets_from_env, prepare, scale_from_env, write_json};
+use gw2v_corpus::datasets::Scale;
+use gw2v_util::table::{fmt_bytes, Align, Table};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    dataset: String,
+    paper_vocab_k: f64,
+    paper_words_m: f64,
+    paper_size_gb: f64,
+    sim_vocab: usize,
+    sim_words: usize,
+    sim_size_bytes: usize,
+}
+
+fn main() {
+    let scale = scale_from_env(Scale::Small);
+    println!("Table 1: Datasets and their properties (scale: {scale:?})\n");
+    let mut table = Table::new(vec![
+        "Dataset",
+        "Paper vocab",
+        "Paper words",
+        "Paper size",
+        "Sim vocab",
+        "Sim words",
+        "Sim size",
+    ])
+    .with_aligns(&[
+        Align::Left,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+    ]);
+    let mut rows = Vec::new();
+    let mut base: Option<(f64, f64)> = None;
+    let mut ratios = Vec::new();
+    for preset in datasets_from_env() {
+        let d = prepare(preset, scale, 42);
+        let vocab = d.vocab.len();
+        let words = d.corpus.total_tokens();
+        table.add_row(vec![
+            preset.paper_name.to_owned(),
+            format!("{:.1}K", preset.paper.vocab_k),
+            format!("{:.1}M", preset.paper.words_m),
+            format!("{:.1}GB", preset.paper.size_gb),
+            format!("{vocab}"),
+            format!("{words}"),
+            fmt_bytes(d.synth.size_bytes() as u64),
+        ]);
+        let b = *base.get_or_insert((vocab as f64, words as f64));
+        ratios.push((
+            preset.paper_name,
+            vocab as f64 / b.0,
+            words as f64 / b.1,
+            preset.paper.vocab_k / 399.0,
+            preset.paper.words_m / 665.5,
+        ));
+        rows.push(Row {
+            dataset: preset.paper_name.to_owned(),
+            paper_vocab_k: preset.paper.vocab_k,
+            paper_words_m: preset.paper.words_m,
+            paper_size_gb: preset.paper.size_gb,
+            sim_vocab: vocab,
+            sim_words: words,
+            sim_size_bytes: d.synth.size_bytes(),
+        });
+    }
+    print!("{table}");
+    println!("\nRatios vs 1-billion (sim / paper):");
+    for (name, sv, sw, pv, pw) in ratios {
+        println!("  {name:<12} vocab {sv:.2} / {pv:.2}   words {sw:.2} / {pw:.2}");
+    }
+    write_json("table1", &rows);
+}

@@ -1,0 +1,97 @@
+//! Table 2 — "Execution time (sec) of Word2Vec and Gensim on 1 host and
+//! GraphWord2Vec on 32 hosts, and speedup of GraphWord2Vec over
+//! Word2Vec."
+//!
+//! W2V  → the sequential trainer (measured wall-clock).
+//! GEM  → the sentence-batched trainer (measured wall-clock).
+//! GW2V → the distributed engine at 32 simulated hosts, sync frequency
+//!        48, RepModel-Opt + Model Combiner; its time is *virtual*:
+//!        Σ_rounds (max-host measured compute + α–β-modeled network
+//!        time). See EXPERIMENTS.md for why virtual time is the honest
+//!        metric on a single-core reproduction box.
+
+use gw2v_bench::{
+    bench_params, datasets_from_env, epochs_from_env, fmt_speedup, prepare, scale_from_env,
+    write_json,
+};
+use gw2v_core::distributed::{DistConfig, DistributedTrainer};
+use gw2v_core::trainer_batched::BatchedTrainer;
+use gw2v_core::trainer_seq::SequentialTrainer;
+use gw2v_corpus::datasets::Scale;
+use gw2v_util::stats::geomean;
+use gw2v_util::table::{fmt_secs, Align, Table};
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct Row {
+    dataset: String,
+    w2v_secs: f64,
+    gem_secs: f64,
+    gw2v_secs: f64,
+    gw2v_compute_secs: f64,
+    gw2v_comm_secs: f64,
+    speedup: f64,
+}
+
+fn main() {
+    let scale = scale_from_env(Scale::Small);
+    let epochs = epochs_from_env(16);
+    let hosts = 32;
+    println!(
+        "Table 2: Execution time, W2V/GEM on 1 host vs GW2V on {hosts} hosts \
+         (scale {scale:?}, {epochs} epochs)\n"
+    );
+    let mut table = Table::new(vec!["Dataset", "W2V", "GEM", "GW2V", "Speedup"]).with_aligns(&[
+        Align::Left,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+    ]);
+    let mut rows = Vec::new();
+    let mut speedups = Vec::new();
+    for preset in datasets_from_env() {
+        eprintln!("[table2] preparing {} ...", preset.name);
+        let d = prepare(preset, scale, 42);
+        let params = bench_params(scale, epochs, 1);
+
+        eprintln!("[table2] W2V (sequential) ...");
+        let t0 = Instant::now();
+        let _ = SequentialTrainer::new(params.clone()).train(&d.corpus, &d.vocab);
+        let w2v = t0.elapsed().as_secs_f64();
+
+        eprintln!("[table2] GEM (batched) ...");
+        let t0 = Instant::now();
+        let _ = BatchedTrainer::new(params.clone()).train(&d.corpus, &d.vocab);
+        let gem = t0.elapsed().as_secs_f64();
+
+        eprintln!("[table2] GW2V ({hosts} hosts) ...");
+        let result = DistributedTrainer::new(params, DistConfig::paper_default(hosts))
+            .train(&d.corpus, &d.vocab);
+        let gw2v = result.virtual_time();
+        let speedup = w2v / gw2v;
+        speedups.push(speedup);
+        table.add_row(vec![
+            preset.paper_name.to_owned(),
+            fmt_secs(w2v),
+            fmt_secs(gem),
+            fmt_secs(gw2v),
+            fmt_speedup(speedup),
+        ]);
+        rows.push(Row {
+            dataset: preset.paper_name.to_owned(),
+            w2v_secs: w2v,
+            gem_secs: gem,
+            gw2v_secs: gw2v,
+            gw2v_compute_secs: result.compute_time,
+            gw2v_comm_secs: result.comm_time,
+            speedup,
+        });
+    }
+    print!("{table}");
+    if let Some(g) = geomean(&speedups) {
+        println!("\nGeo-mean speedup: {} (paper: 14x)", fmt_speedup(g));
+    }
+    write_json("table2", &rows);
+}

@@ -1,0 +1,79 @@
+//! Table 3 — "Accuracy (semantic, syntactic, and total) of Word2Vec and
+//! Gensim on 1 host and GraphWord2Vec on 32 hosts."
+//!
+//! The paper's headline: GW2V at 32 hosts stays within ~1–2 points of
+//! the shared-memory baselines at the same epoch count.
+
+use gw2v_bench::{
+    bench_params, datasets_from_env, epochs_from_env, prepare, scale_from_env, write_json,
+};
+use gw2v_core::distributed::{DistConfig, DistributedTrainer};
+use gw2v_core::trainer_batched::BatchedTrainer;
+use gw2v_core::trainer_seq::SequentialTrainer;
+use gw2v_corpus::datasets::Scale;
+use gw2v_eval::analogy::evaluate;
+use gw2v_util::table::{Align, Table};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    dataset: String,
+    system: String,
+    semantic: f64,
+    syntactic: f64,
+    total: f64,
+}
+
+fn main() {
+    let scale = scale_from_env(Scale::Small);
+    let epochs = epochs_from_env(16);
+    let hosts = 32;
+    println!(
+        "Table 3: Accuracy (%) of W2V/GEM on 1 host and GW2V on {hosts} hosts \
+         (scale {scale:?}, {epochs} epochs)\n"
+    );
+    let mut table = Table::new(vec!["Dataset", "System", "Semantic", "Syntactic", "Total"])
+        .with_aligns(&[
+            Align::Left,
+            Align::Left,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+        ]);
+    let mut rows = Vec::new();
+    for preset in datasets_from_env() {
+        eprintln!("[table3] preparing {} ...", preset.name);
+        let d = prepare(preset, scale, 42);
+        let params = bench_params(scale, epochs, 1);
+
+        eprintln!("[table3] W2V ...");
+        let w2v = SequentialTrainer::new(params.clone()).train(&d.corpus, &d.vocab);
+        eprintln!("[table3] GEM ...");
+        let gem = BatchedTrainer::new(params.clone()).train(&d.corpus, &d.vocab);
+        eprintln!("[table3] GW2V ...");
+        let gw2v = DistributedTrainer::new(params, DistConfig::paper_default(hosts))
+            .train(&d.corpus, &d.vocab)
+            .model;
+
+        for (system, model) in [("W2V", &w2v), ("GEN", &gem), ("GW2V", &gw2v)] {
+            let report = evaluate(model, &d.vocab, &d.synth.analogies);
+            table.add_row(vec![
+                preset.paper_name.to_owned(),
+                system.to_owned(),
+                format!("{:.2}", report.semantic()),
+                format!("{:.2}", report.syntactic()),
+                format!("{:.2}", report.total()),
+            ]);
+            rows.push(Row {
+                dataset: preset.paper_name.to_owned(),
+                system: system.to_owned(),
+                semantic: report.semantic(),
+                syntactic: report.syntactic(),
+                total: report.total(),
+            });
+        }
+    }
+    print!("{table}");
+    println!("\nPaper shape check: GW2V total within ~2 points of W2V/GEN per dataset.");
+    write_json("table3", &rows);
+}

@@ -1,0 +1,148 @@
+//! A small dependency-free argument parser.
+//!
+//! Supports `--key value`, `--key=value` and boolean `--flag` options
+//! plus positional arguments, with typed accessors and an unknown-option
+//! check. Deliberately tiny: the CLI's option surface does not justify a
+//! parser-generator dependency.
+
+use std::collections::BTreeMap;
+
+/// Parsed arguments for one subcommand.
+#[derive(Debug, Default, Clone)]
+pub struct Args {
+    options: BTreeMap<String, String>,
+    flags: Vec<String>,
+    positional: Vec<String>,
+}
+
+/// A parse failure, with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parses raw arguments. `known_flags` lists options that take no
+    /// value; everything else starting with `--` expects one.
+    pub fn parse<I, S>(raw: I, known_flags: &[&str]) -> Result<Args, ArgError>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut args = Args::default();
+        let mut it = raw.into_iter().map(Into::into).peekable();
+        while let Some(tok) = it.next() {
+            if let Some(body) = tok.strip_prefix("--") {
+                if let Some((k, v)) = body.split_once('=') {
+                    args.options.insert(k.to_owned(), v.to_owned());
+                } else if known_flags.contains(&body) {
+                    args.flags.push(body.to_owned());
+                } else {
+                    let v = it
+                        .next()
+                        .ok_or_else(|| ArgError(format!("--{body} expects a value")))?;
+                    args.options.insert(body.to_owned(), v);
+                }
+            } else {
+                args.positional.push(tok);
+            }
+        }
+        Ok(args)
+    }
+
+    /// Raw string option.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// Required string option.
+    pub fn require(&self, key: &str) -> Result<&str, ArgError> {
+        self.get(key)
+            .ok_or_else(|| ArgError(format!("missing required option --{key}")))
+    }
+
+    /// Typed option with default.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgError(format!("--{key}: cannot parse {v:?}"))),
+        }
+    }
+
+    /// True if the boolean flag was given.
+    #[allow(dead_code)] // part of the parser's public surface; used in tests
+    pub fn flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+
+    /// Positional arguments.
+    #[allow(dead_code)] // part of the parser's public surface; used in tests
+    pub fn positional(&self) -> &[String] {
+        &self.positional
+    }
+
+    /// Errors if any provided option is not in `allowed` (catches typos).
+    pub fn check_known(&self, allowed: &[&str]) -> Result<(), ArgError> {
+        for k in self.options.keys().chain(self.flags.iter()) {
+            if !allowed.contains(&k.as_str()) {
+                return Err(ArgError(format!("unknown option --{k}")));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(v: &[&str]) -> Args {
+        Args::parse(v.iter().copied(), &["verbose"]).unwrap()
+    }
+
+    #[test]
+    fn key_value_styles() {
+        let a = parse(&["--dim", "64", "--epochs=8", "input.txt"]);
+        assert_eq!(a.get("dim"), Some("64"));
+        assert_eq!(a.get("epochs"), Some("8"));
+        assert_eq!(a.positional(), &["input.txt".to_owned()]);
+    }
+
+    #[test]
+    fn flags_and_defaults() {
+        let a = parse(&["--verbose"]);
+        assert!(a.flag("verbose"));
+        assert!(!a.flag("quiet"));
+        assert_eq!(a.get_or("dim", 200usize).unwrap(), 200);
+    }
+
+    #[test]
+    fn typed_parsing() {
+        let a = parse(&["--alpha", "0.05"]);
+        assert_eq!(a.get_or("alpha", 0.0f32).unwrap(), 0.05);
+        let bad = parse(&["--alpha", "abc"]);
+        assert!(bad.get_or("alpha", 0.0f32).is_err());
+    }
+
+    #[test]
+    fn missing_value_is_error() {
+        assert!(Args::parse(["--dim"], &[]).is_err());
+    }
+
+    #[test]
+    fn require_and_unknown_check() {
+        let a = parse(&["--input", "x"]);
+        assert_eq!(a.require("input").unwrap(), "x");
+        assert!(a.require("output").is_err());
+        assert!(a.check_known(&["input"]).is_ok());
+        assert!(a.check_known(&["output"]).is_err());
+    }
+}

@@ -1,0 +1,367 @@
+//! Subcommand implementations.
+
+use crate::args::{ArgError, Args};
+use gw2v_combiner::CombinerKind;
+use gw2v_core::distributed::{DistConfig, DistributedTrainer};
+use gw2v_core::model::Word2VecModel;
+use gw2v_core::params::Hyperparams;
+use gw2v_core::trainer_batched::BatchedTrainer;
+use gw2v_core::trainer_hogwild::HogwildTrainer;
+use gw2v_core::trainer_seq::SequentialTrainer;
+use gw2v_corpus::datasets::{DatasetPreset, Scale};
+use gw2v_corpus::file::{build_vocab_from_path, write_corpus};
+use gw2v_corpus::phrases::{detect_phrases, PhraseConfig};
+use gw2v_corpus::questions::{read_questions, write_questions};
+use gw2v_corpus::shard::Corpus;
+use gw2v_corpus::tokenizer::TokenizerConfig;
+use gw2v_corpus::vocab::Vocabulary;
+use gw2v_eval::analogy::{evaluate_with, AnalogyMethod};
+use gw2v_eval::knn::EmbeddingIndex;
+use gw2v_gluon::plan::SyncPlan;
+use std::error::Error;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+gw2v — GraphWord2Vec command-line tool
+
+USAGE:
+  gw2v generate  --out corpus.txt [--dataset 1-billion|news|wiki]
+                 [--scale tiny|small|medium] [--seed 42]
+                 [--questions questions.txt]
+  gw2v phrases   --input corpus.txt --out phrased.txt
+                 [--threshold 100] [--discount 5]
+  gw2v train     --input corpus.txt --out model.txt
+                 [--trainer seq|hogwild|batched|dist] [--hosts 8]
+                 [--sync-rounds N] [--dim 200] [--epochs 16]
+                 [--negative 15] [--window 5] [--alpha 0.025]
+                 [--combiner mc|avg|sum|mc-pairwise]
+                 [--plan opt|naive|pull] [--threads 4] [--seed 1]
+                 [--min-count 1] [--subsample 1e-4]
+  gw2v eval      --model model.txt --questions questions.txt
+                 [--method cosadd|cosmul]
+  gw2v neighbors --model model.txt --word WORD [--k 10]
+  gw2v help
+";
+
+type CmdResult = Result<(), Box<dyn Error>>;
+
+/// `gw2v generate` — synthesize a corpus (and optionally its analogy
+/// question file) to disk.
+pub fn generate(raw: &[String]) -> CmdResult {
+    let args = Args::parse(raw.iter().cloned(), &[])?;
+    args.check_known(&["out", "dataset", "scale", "seed", "questions", "tokens"])?;
+    let out = args.require("out")?;
+    let dataset = args.get("dataset").unwrap_or("1-billion");
+    let preset = DatasetPreset::by_name(dataset)
+        .ok_or_else(|| ArgError(format!("unknown dataset {dataset:?}")))?;
+    let scale = match args.get("scale") {
+        None => Scale::Tiny,
+        Some(s) => Scale::parse(s).ok_or_else(|| ArgError(format!("bad scale {s:?}")))?,
+    };
+    let seed: u64 = args.get_or("seed", 42)?;
+    let synth = match args.get("tokens") {
+        Some(t) => {
+            let tokens: usize = t
+                .parse()
+                .map_err(|_| ArgError(format!("--tokens: cannot parse {t:?}")))?;
+            gw2v_corpus::synth::SynthCorpus::generate(
+                &preset.spec(scale, seed),
+                tokens,
+                scale.questions_per_category(),
+            )
+        }
+        None => preset.generate(scale, seed),
+    };
+    write_corpus(out, &synth.text)?;
+    println!(
+        "wrote {} tokens ({} bytes) to {out}",
+        synth.n_tokens,
+        synth.size_bytes()
+    );
+    if let Some(qpath) = args.get("questions") {
+        let mut w = BufWriter::new(File::create(qpath)?);
+        write_questions(&synth.analogies, &mut w)?;
+        println!(
+            "wrote {} analogy questions ({} categories) to {qpath}",
+            synth.analogies.total_questions(),
+            synth.analogies.categories.len()
+        );
+    }
+    Ok(())
+}
+
+/// `gw2v phrases` — word2phrase pass over a corpus file.
+pub fn phrases(raw: &[String]) -> CmdResult {
+    let args = Args::parse(raw.iter().cloned(), &[])?;
+    args.check_known(&["input", "out", "threshold", "discount"])?;
+    let input = args.require("input")?;
+    let out = args.require("out")?;
+    let config = PhraseConfig {
+        threshold: args.get_or("threshold", 100.0)?,
+        discount: args.get_or("discount", 5)?,
+        separator: '_',
+    };
+    let text = std::fs::read_to_string(input)?;
+    let sentences: Vec<Vec<String>> = text
+        .lines()
+        .map(|l| l.split_whitespace().map(str::to_owned).collect())
+        .collect();
+    let joined = detect_phrases(&sentences, &config);
+    let mut out_text = String::with_capacity(text.len());
+    let mut n_phrases = 0usize;
+    for s in &joined {
+        out_text.push_str(&s.join(" "));
+        out_text.push('\n');
+        n_phrases += s.iter().filter(|w| w.contains('_')).count();
+    }
+    write_corpus(out, &out_text)?;
+    println!("wrote {out} ({n_phrases} joined phrase tokens)");
+    Ok(())
+}
+
+fn hyperparams_from(args: &Args) -> Result<Hyperparams, ArgError> {
+    Ok(Hyperparams {
+        dim: args.get_or("dim", 200)?,
+        window: args.get_or("window", 5)?,
+        negative: args.get_or("negative", 15)?,
+        alpha: args.get_or("alpha", 0.025)?,
+        epochs: args.get_or("epochs", 16)?,
+        subsample: args.get_or("subsample", 1e-4)?,
+        min_count: args.get_or("min-count", 1)?,
+        seed: args.get_or("seed", 1)?,
+        ..Hyperparams::default()
+    })
+}
+
+fn load_corpus(path: &str, min_count: u64) -> Result<(Vocabulary, Corpus), Box<dyn Error>> {
+    let cfg = TokenizerConfig::default();
+    let vocab = build_vocab_from_path(path, cfg.clone(), min_count)?;
+    let text = std::fs::read_to_string(path)?;
+    let corpus = Corpus::from_text(&text, &vocab, cfg);
+    Ok((vocab, corpus))
+}
+
+/// `gw2v train` — train a model and save word2vec-format text vectors.
+pub fn train(raw: &[String]) -> CmdResult {
+    let args = Args::parse(raw.iter().cloned(), &[])?;
+    args.check_known(&[
+        "input",
+        "out",
+        "trainer",
+        "hosts",
+        "sync-rounds",
+        "dim",
+        "epochs",
+        "negative",
+        "window",
+        "alpha",
+        "combiner",
+        "plan",
+        "threads",
+        "seed",
+        "min-count",
+        "subsample",
+    ])?;
+    let input = args.require("input")?;
+    let out = args.require("out")?;
+    let params = hyperparams_from(&args)?;
+    let (vocab, corpus) = load_corpus(input, params.min_count)?;
+    println!(
+        "vocabulary {} words, corpus {} tokens",
+        vocab.len(),
+        corpus.total_tokens()
+    );
+    let trainer = args.get("trainer").unwrap_or("seq");
+    let t0 = std::time::Instant::now();
+    let model = match trainer {
+        "seq" => SequentialTrainer::new(params).train(&corpus, &vocab),
+        "batched" => BatchedTrainer::new(params).train(&corpus, &vocab),
+        "hogwild" => {
+            let threads: usize = args.get_or("threads", 4)?;
+            HogwildTrainer::new(params, threads).train(&corpus, &vocab)
+        }
+        "dist" => {
+            let hosts: usize = args.get_or("hosts", 8)?;
+            let mut config = DistConfig::paper_default(hosts);
+            config.sync_rounds = args.get_or("sync-rounds", config.sync_rounds)?;
+            if let Some(c) = args.get("combiner") {
+                config.combiner = CombinerKind::parse(c)
+                    .ok_or_else(|| ArgError(format!("bad combiner {c:?}")))?;
+            }
+            if let Some(p) = args.get("plan") {
+                config.plan =
+                    SyncPlan::parse(p).ok_or_else(|| ArgError(format!("bad plan {p:?}")))?;
+            }
+            let result = DistributedTrainer::new(params, config).train(&corpus, &vocab);
+            println!(
+                "distributed: virtual {:.1}s (compute {:.1}s, comm {:.2}s), volume {}",
+                result.virtual_time(),
+                result.compute_time,
+                result.comm_time,
+                gw2v_util::table::fmt_bytes(result.stats.total_bytes())
+            );
+            result.model
+        }
+        other => return Err(ArgError(format!("unknown trainer {other:?}")).into()),
+    };
+    println!("trained in {:.1}s wall", t0.elapsed().as_secs_f64());
+    let mut w = BufWriter::new(File::create(out)?);
+    model.save_text(&vocab, &mut w)?;
+    println!(
+        "saved {} x {} vectors to {out}",
+        model.n_words(),
+        model.dim()
+    );
+    Ok(())
+}
+
+fn load_model(path: &str) -> Result<(Vocabulary, Word2VecModel), Box<dyn Error>> {
+    let (words, model) = Word2VecModel::load_text(BufReader::new(File::open(path)?))?;
+    // Rebuild a vocabulary with descending pseudo-counts so ids keep the
+    // file order.
+    let n = words.len() as u64;
+    let vocab = Vocabulary::from_counts(
+        words
+            .into_iter()
+            .enumerate()
+            .map(|(i, w)| (w, n - i as u64)),
+        1,
+    );
+    Ok((vocab, model))
+}
+
+/// `gw2v eval` — analogy accuracy of a saved model.
+pub fn eval(raw: &[String]) -> CmdResult {
+    let args = Args::parse(raw.iter().cloned(), &[])?;
+    args.check_known(&["model", "questions", "method"])?;
+    let (vocab, model) = load_model(args.require("model")?)?;
+    let questions = read_questions(BufReader::new(File::open(args.require("questions")?)?))?;
+    let method = match args.get("method").unwrap_or("cosadd") {
+        "cosadd" => AnalogyMethod::CosAdd,
+        "cosmul" => AnalogyMethod::CosMul,
+        other => return Err(ArgError(format!("unknown method {other:?}")).into()),
+    };
+    let report = evaluate_with(&model, &vocab, &questions, method);
+    for cat in &report.categories {
+        println!(
+            "{:<32} {:>6.2}%  ({}/{}, {} skipped)",
+            cat.name,
+            cat.accuracy(),
+            cat.correct,
+            cat.attempted,
+            cat.skipped
+        );
+    }
+    println!(
+        "\nsemantic {:.2}%  syntactic {:.2}%  total {:.2}%",
+        report.semantic(),
+        report.syntactic(),
+        report.total()
+    );
+    Ok(())
+}
+
+/// `gw2v neighbors` — nearest neighbours of a word.
+pub fn neighbors(raw: &[String]) -> CmdResult {
+    let args = Args::parse(raw.iter().cloned(), &[])?;
+    args.check_known(&["model", "word", "k"])?;
+    let (vocab, model) = load_model(args.require("model")?)?;
+    let word = args.require("word")?;
+    let k: usize = args.get_or("k", 10)?;
+    let id = vocab
+        .id_of(word)
+        .ok_or_else(|| ArgError(format!("{word:?} not in model")))?;
+    let index = EmbeddingIndex::new(&model);
+    for (w, score) in index.nearest(index.vector(id), k, &[id]) {
+        println!("{:<32} {score:.4}", vocab.word_of(w));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> String {
+        std::env::temp_dir()
+            .join(format!("gw2v_cli_{}_{name}", std::process::id()))
+            .to_string_lossy()
+            .into_owned()
+    }
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn generate_train_eval_neighbors_pipeline() {
+        let corpus = tmp("corpus.txt");
+        let questions = tmp("questions.txt");
+        let model = tmp("model.txt");
+        generate(&s(&[
+            "--out",
+            &corpus,
+            "--scale",
+            "tiny",
+            "--tokens",
+            "30000",
+            "--questions",
+            &questions,
+        ]))
+        .expect("generate");
+        assert!(std::fs::metadata(&corpus).unwrap().len() > 10_000);
+        train(&s(&[
+            "--input",
+            &corpus,
+            "--out",
+            &model,
+            "--trainer",
+            "dist",
+            "--hosts",
+            "2",
+            "--dim",
+            "16",
+            "--epochs",
+            "1",
+            "--negative",
+            "3",
+        ]))
+        .expect("train");
+        eval(&s(&["--model", &model, "--questions", &questions])).expect("eval");
+        neighbors(&s(&["--model", &model, "--word", "bg0", "--k", "3"])).expect("neighbors");
+        for f in [&corpus, &questions, &model] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+
+    #[test]
+    fn phrases_pipeline() {
+        let input = tmp("phr_in.txt");
+        let out = tmp("phr_out.txt");
+        let line = "the new york times reported\n";
+        std::fs::write(&input, line.repeat(100)).unwrap();
+        phrases(&s(&[
+            "--input",
+            &input,
+            "--out",
+            &out,
+            "--threshold",
+            "0.5",
+            "--discount",
+            "1",
+        ]))
+        .expect("phrases");
+        let text = std::fs::read_to_string(&out).unwrap();
+        assert!(text.contains('_'), "{text}");
+        std::fs::remove_file(&input).ok();
+        std::fs::remove_file(&out).ok();
+    }
+
+    #[test]
+    fn unknown_options_rejected() {
+        assert!(generate(&s(&["--out", "x", "--bogus", "1"])).is_err());
+        assert!(train(&s(&["--input", "x", "--out", "y", "--nope", "1"])).is_err());
+    }
+}

@@ -1,0 +1,41 @@
+//! `gw2v` — the GraphWord2Vec command-line tool.
+//!
+//! ```text
+//! gw2v generate  --out corpus.txt [--dataset 1-billion] [--scale tiny]
+//!                [--seed 42] [--questions questions.txt]
+//! gw2v phrases   --input corpus.txt --out phrased.txt [--threshold 100]
+//! gw2v train     --input corpus.txt --out model.txt
+//!                [--trainer seq|hogwild|batched|dist] [--hosts 8]
+//!                [--dim 200] [--epochs 16] [--negative 15] [--window 5]
+//!                [--alpha 0.025] [--combiner mc|avg|sum] [--plan opt|naive|pull]
+//!                [--threads 4] [--seed 1] [--min-count 1]
+//! gw2v eval      --model model.txt --questions questions.txt [--method cosadd|cosmul]
+//! gw2v neighbors --model model.txt --word WORD [--k 10]
+//! ```
+
+mod args;
+mod commands;
+
+use args::ArgError;
+
+fn main() {
+    let mut argv = std::env::args().skip(1);
+    let command = argv.next().unwrap_or_else(|| "help".to_owned());
+    let rest: Vec<String> = argv.collect();
+    let result = match command.as_str() {
+        "generate" => commands::generate(&rest),
+        "phrases" => commands::phrases(&rest),
+        "train" => commands::train(&rest),
+        "eval" => commands::eval(&rest),
+        "neighbors" => commands::neighbors(&rest),
+        "help" | "--help" | "-h" => {
+            print!("{}", commands::USAGE);
+            Ok(())
+        }
+        other => Err(ArgError(format!("unknown command {other:?}; run `gw2v help`")).into()),
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,251 @@
+//! Continuous-Bag-of-Words (CBOW) extension.
+//!
+//! The paper focuses on Skip-Gram but notes "the ideas introduced in this
+//! paper will work with other models as well" (§2.1). CBOW is the other
+//! Word2Vec architecture: instead of predicting context words from the
+//! center word, it predicts the center word from the *average* of the
+//! context embeddings. This module provides the CBOW operator and a
+//! sequential trainer as the extension; the same graph formulation
+//! applies (the operator touches the context rows of `syn0` and the
+//! center/negative rows of `syn1neg`), so plugging it into the
+//! distributed engine is a matter of swapping the operator.
+
+use crate::model::Word2VecModel;
+use crate::params::Hyperparams;
+use crate::schedule::LrSchedule;
+use crate::setup::{TrainSetup, HOST_RNG_BASE};
+use crate::sigmoid::SigmoidTable;
+use gw2v_corpus::shard::Corpus;
+use gw2v_corpus::subsample::SubsampleTable;
+use gw2v_corpus::unigram::NegativeSampler;
+use gw2v_corpus::vocab::Vocabulary;
+use gw2v_util::fvec;
+use gw2v_util::rng::{Rng64, SplitMix64, Xoshiro256};
+
+/// Scratch buffers for the CBOW operator.
+#[derive(Clone, Debug, Default)]
+pub struct CbowScratch {
+    kept: Vec<u32>,
+    neu1: Vec<f32>,
+    neu1e: Vec<f32>,
+}
+
+/// Trains one sentence with the CBOW-negative-sampling operator; returns
+/// the number of center positions stepped.
+#[allow(clippy::too_many_arguments)]
+pub fn train_sentence_cbow<S: NegativeSampler, R: Rng64>(
+    model: &mut Word2VecModel,
+    sentence: &[u32],
+    alpha: f32,
+    window: usize,
+    negative: usize,
+    sigmoid: &SigmoidTable,
+    sampler: &S,
+    subsample: &SubsampleTable,
+    rng: &mut R,
+    scratch: &mut CbowScratch,
+) -> u64 {
+    let dim = model.dim();
+    scratch.kept.clear();
+    scratch
+        .kept
+        .extend(sentence.iter().copied().filter(|&w| subsample.keep(w, rng)));
+    scratch.neu1.resize(dim, 0.0);
+    scratch.neu1e.resize(dim, 0.0);
+    let kept = &scratch.kept;
+    let mut steps = 0u64;
+    for i in 0..kept.len() {
+        let center = kept[i];
+        let b = rng.index(window);
+        let span = 2 * window + 1 - b;
+        // Average the surviving context embeddings (the "bag").
+        scratch.neu1.fill(0.0);
+        let mut cw = 0usize;
+        for a in b..span {
+            if a == window {
+                continue;
+            }
+            let c = i as isize + a as isize - window as isize;
+            if c < 0 || c as usize >= kept.len() {
+                continue;
+            }
+            fvec::add_assign(&mut scratch.neu1, model.syn0.row(kept[c as usize] as usize));
+            cw += 1;
+        }
+        if cw == 0 {
+            continue;
+        }
+        fvec::scale(1.0 / cw as f32, &mut scratch.neu1);
+        scratch.neu1e.fill(0.0);
+        for d in 0..=negative {
+            let (target, label) = if d == 0 {
+                (center, 1.0f32)
+            } else {
+                let t = sampler.sample(rng);
+                if t == center {
+                    continue;
+                }
+                (t, 0.0f32)
+            };
+            let f = fvec::dot(&scratch.neu1, model.syn1neg.row(target as usize));
+            let g = (label - sigmoid.value(f)) * alpha;
+            fvec::axpy(g, model.syn1neg.row(target as usize), &mut scratch.neu1e);
+            fvec::axpy(g, &scratch.neu1, model.syn1neg.row_mut(target as usize));
+        }
+        // Propagate the hidden error to every contributing context row.
+        for a in b..span {
+            if a == window {
+                continue;
+            }
+            let c = i as isize + a as isize - window as isize;
+            if c < 0 || c as usize >= kept.len() {
+                continue;
+            }
+            fvec::add_assign(
+                model.syn0.row_mut(kept[c as usize] as usize),
+                &scratch.neu1e,
+            );
+        }
+        steps += 1;
+    }
+    steps
+}
+
+/// Sequential CBOW trainer (the extension's shared-memory entry point).
+pub struct CbowTrainer {
+    /// Hyperparameters (CBOW conventionally uses a higher starting
+    /// learning rate, 0.05 in the C implementation — callers choose).
+    pub params: Hyperparams,
+}
+
+impl CbowTrainer {
+    /// Creates a trainer.
+    pub fn new(params: Hyperparams) -> Self {
+        Self { params }
+    }
+
+    /// Trains and returns the model.
+    pub fn train(&self, corpus: &Corpus, vocab: &Vocabulary) -> Word2VecModel {
+        let p = &self.params;
+        let setup = TrainSetup::new(vocab, p);
+        let mut model = Word2VecModel::init(vocab.len(), p.dim, p.seed);
+        let schedule = LrSchedule::new(
+            p.alpha,
+            p.min_alpha_frac,
+            corpus.total_tokens() as u64,
+            p.epochs,
+        );
+        let mut rng = Xoshiro256::new(SplitMix64::new(p.seed).derive(HOST_RNG_BASE + 0xCB));
+        let mut scratch = CbowScratch::default();
+        let mut processed = 0u64;
+        for _epoch in 0..p.epochs {
+            for sentence in corpus.sentences() {
+                let alpha = schedule.alpha_at(processed);
+                train_sentence_cbow(
+                    &mut model,
+                    sentence,
+                    alpha,
+                    p.window,
+                    p.negative,
+                    &setup.sigmoid,
+                    &setup.sampler,
+                    &setup.subsample,
+                    &mut rng,
+                    &mut scratch,
+                );
+                processed += sentence.len() as u64;
+            }
+        }
+        model
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gw2v_corpus::tokenizer::TokenizerConfig;
+    use gw2v_corpus::vocab::VocabBuilder;
+
+    fn corpus() -> (Corpus, Vocabulary) {
+        let mut text = String::new();
+        for i in 0..400 {
+            if i % 2 == 0 {
+                text.push_str("u0 u1 u2 u1 u0\n");
+            } else {
+                text.push_str("v0 v1 v2 v1 v0\n");
+            }
+        }
+        let mut b = VocabBuilder::new();
+        for tok in text.split_whitespace() {
+            b.add_token(tok);
+        }
+        let vocab = b.build(1);
+        (
+            Corpus::from_text(
+                &text,
+                &vocab,
+                TokenizerConfig {
+                    lowercase: false,
+                    max_sentence_len: 5,
+                },
+            ),
+            vocab,
+        )
+    }
+
+    #[test]
+    fn cbow_learns_cooccurrence() {
+        let (corpus, vocab) = corpus();
+        let params = Hyperparams {
+            dim: 24,
+            epochs: 8,
+            negative: 5,
+            alpha: 0.05,
+            subsample: 0.0,
+            ..Hyperparams::test_scale()
+        };
+        let model = CbowTrainer::new(params).train(&corpus, &vocab);
+        let emb = |w: &str| model.embedding(vocab.id_of(w).unwrap());
+        let same = fvec::cosine(emb("u0"), emb("u1"));
+        let cross = fvec::cosine(emb("u0"), emb("v1"));
+        assert!(same > cross, "same {same} vs cross {cross}");
+    }
+
+    #[test]
+    fn cbow_deterministic() {
+        let (corpus, vocab) = corpus();
+        let params = Hyperparams {
+            epochs: 2,
+            ..Hyperparams::test_scale()
+        };
+        let a = CbowTrainer::new(params.clone()).train(&corpus, &vocab);
+        let b = CbowTrainer::new(params).train(&corpus, &vocab);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_context_positions_skipped() {
+        // Single-word sentences have no context: model must not change.
+        let (_, vocab) = corpus();
+        let params = Hyperparams::test_scale();
+        let setup = TrainSetup::new(&vocab, &params);
+        let mut model = Word2VecModel::init(vocab.len(), params.dim, 1);
+        let before = model.clone();
+        let mut rng = Xoshiro256::new(1);
+        let mut scratch = CbowScratch::default();
+        let steps = train_sentence_cbow(
+            &mut model,
+            &[2],
+            0.05,
+            params.window,
+            params.negative,
+            &setup.sigmoid,
+            &setup.sampler,
+            &setup.subsample,
+            &mut rng,
+            &mut scratch,
+        );
+        assert_eq!(steps, 0);
+        assert_eq!(model, before);
+    }
+}

@@ -1,0 +1,483 @@
+//! The distributed GraphWord2Vec engine — Algorithm 1 of the paper.
+//!
+//! ```text
+//! procedure GraphWord2Vec(Corpus C, epochs R, sync rounds S, lr α):
+//!   build vocabulary V from C            (done upstream, gw2v-corpus)
+//!   read partition h of C as worklist WL (contiguous, token-balanced)
+//!   build graph G from V                 (model replicas: 2 labels/node)
+//!   for epoch r in 1..R:
+//!     for sync round s in 1..S:
+//!       Compute(WL_s, α, G)              (SGNS operator on chunk s)
+//!       Synchronize(G)                   (Gluon reduce+broadcast, §4.3)
+//!     decay α
+//! ```
+//!
+//! Hosts are simulated deterministically in id order within one OS
+//! thread (see DESIGN.md §1/§3 — this reproduction machine has one
+//! core); each host's compute phase is wall-clock timed individually, so
+//! per-round *virtual* time is `max_h(compute_h) + cost_model(volume)`,
+//! which is exactly what a BSP cluster would experience. The threaded
+//! engine in `gw2v-gluon` demonstrates the concurrent implementation of
+//! the same protocol.
+//!
+//! For [`SyncPlan::PullModel`] the engine runs the paper's *inspection*
+//! phase: after computing round `s` it replays round `s+1`'s edge
+//! generation against a [`RecordingStore`] with a cloned RNG — producing
+//! the exact per-host access sets the broadcast needs (§4.4).
+
+use crate::model::Word2VecModel;
+use crate::params::Hyperparams;
+use crate::schedule::LrSchedule;
+use crate::setup::{TrainSetup, HOST_RNG_BASE};
+use crate::sgns::{train_sentence, RecordingStore, ReplicaStore, TrainScratch};
+use gw2v_combiner::CombinerKind;
+use gw2v_corpus::shard::Corpus;
+use gw2v_corpus::vocab::Vocabulary;
+use gw2v_gluon::cost::CostModel;
+use gw2v_gluon::plan::{AccessSets, SyncConfig, SyncPlan};
+use gw2v_gluon::sync::{assemble_canonical, sync_round};
+use gw2v_gluon::volume::CommStats;
+use gw2v_gluon::ModelReplica;
+use gw2v_util::rng::{SplitMix64, Xoshiro256};
+use std::time::Instant;
+
+/// Distributed-run configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct DistConfig {
+    /// Number of (simulated) hosts.
+    pub n_hosts: usize,
+    /// Synchronization rounds per epoch (the paper's key new
+    /// hyperparameter, §4.1/§5.4).
+    pub sync_rounds: usize,
+    /// Communication plan (§4.4).
+    pub plan: SyncPlan,
+    /// Reduction operator (§3).
+    pub combiner: CombinerKind,
+    /// Network model for virtual communication time.
+    pub cost: CostModel,
+}
+
+impl DistConfig {
+    /// The paper's rule of thumb: "the synchronization frequency needs to
+    /// be increased (roughly) linearly with the number of hosts"; Figure
+    /// 8's labels are 1(1), 2(3), 4(6), 8(12), 16(24), 32(48), 64(96) —
+    /// i.e. `S = 1.5·H` (and 1 for a single host).
+    pub fn paper_sync_rounds(n_hosts: usize) -> usize {
+        if n_hosts <= 1 {
+            1
+        } else {
+            (3 * n_hosts) / 2
+        }
+    }
+
+    /// Paper-default configuration for `n_hosts`: RepModel-Opt + Model
+    /// Combiner, InfiniBand cost model, linear sync-frequency rule.
+    pub fn paper_default(n_hosts: usize) -> Self {
+        Self {
+            n_hosts,
+            sync_rounds: Self::paper_sync_rounds(n_hosts),
+            plan: SyncPlan::RepModelOpt,
+            combiner: CombinerKind::ModelCombiner,
+            cost: CostModel::infiniband_56g(),
+        }
+    }
+}
+
+/// Passed to the per-epoch callback alongside the canonical model.
+#[derive(Clone, Copy, Debug)]
+pub struct EpochSnapshot {
+    /// Epoch index (0-based).
+    pub epoch: usize,
+    /// Virtual time elapsed so far (compute + modeled communication).
+    pub virtual_time: f64,
+}
+
+/// Everything a distributed run produces.
+#[derive(Debug)]
+pub struct TrainResult {
+    /// The trained canonical model.
+    pub model: Word2VecModel,
+    /// Communication counters for the whole run.
+    pub stats: CommStats,
+    /// Virtual computation time: Σ_rounds max_h(compute_h), including
+    /// PullModel inspection overhead.
+    pub compute_time: f64,
+    /// Virtual communication time: Σ_rounds cost_model(volume).
+    pub comm_time: f64,
+    /// Actual wall-clock time of the whole simulation.
+    pub wall_time: f64,
+    /// Positive pairs trained across all hosts.
+    pub pairs_trained: u64,
+}
+
+impl TrainResult {
+    /// Total virtual execution time (what the paper's Figures 8–9 plot).
+    pub fn virtual_time(&self) -> f64 {
+        self.compute_time + self.comm_time
+    }
+}
+
+/// The distributed trainer.
+pub struct DistributedTrainer {
+    /// Hyperparameters.
+    pub params: Hyperparams,
+    /// Cluster configuration.
+    pub config: DistConfig,
+}
+
+impl DistributedTrainer {
+    /// Creates a trainer.
+    pub fn new(params: Hyperparams, config: DistConfig) -> Self {
+        assert!(config.n_hosts > 0);
+        assert!(config.sync_rounds > 0);
+        Self { params, config }
+    }
+
+    /// Trains and returns the result.
+    pub fn train(&self, corpus: &Corpus, vocab: &Vocabulary) -> TrainResult {
+        self.train_with_callback(corpus, vocab, |_, _| {})
+    }
+
+    /// Trains, invoking `on_epoch(&snapshot, &canonical_model)` after the
+    /// synchronization that closes each epoch.
+    pub fn train_with_callback(
+        &self,
+        corpus: &Corpus,
+        vocab: &Vocabulary,
+        mut on_epoch: impl FnMut(&EpochSnapshot, &Word2VecModel),
+    ) -> TrainResult {
+        let p = &self.params;
+        let cfg = &self.config;
+        let h_count = cfg.n_hosts;
+        let s_count = cfg.sync_rounds;
+        let n_words = vocab.len();
+        let wall_start = Instant::now();
+
+        let setup = TrainSetup::new(vocab, p);
+        let ctx = setup.ctx(p);
+        let init = Word2VecModel::init(n_words, p.dim, p.seed);
+        let mut replicas: Vec<ModelReplica> = (0..h_count)
+            .map(|_| ModelReplica::new(vec![init.syn0.clone(), init.syn1neg.clone()]))
+            .collect();
+        let root = SplitMix64::new(p.seed);
+        let mut rngs: Vec<Xoshiro256> = (0..h_count)
+            .map(|h| Xoshiro256::new(root.derive(HOST_RNG_BASE + h as u64)))
+            .collect();
+        let schedule = LrSchedule::new(
+            p.alpha,
+            p.min_alpha_frac,
+            corpus.total_tokens() as u64,
+            p.epochs,
+        );
+        let shards: Vec<_> = (0..h_count).map(|h| corpus.partition(h, h_count)).collect();
+        let sync_cfg = SyncConfig {
+            plan: cfg.plan,
+            combiner: cfg.combiner,
+        };
+
+        let mut stats = CommStats::default();
+        let mut compute_time = 0.0f64;
+        let mut comm_time = 0.0f64;
+        let mut pairs_trained = 0u64;
+        let mut processed = vec![0u64; h_count];
+        let mut scratch = TrainScratch::default();
+
+        for epoch in 0..p.epochs {
+            for s in 0..s_count {
+                // ---- Compute phase (each host timed individually). ----
+                let mut round_compute = vec![0.0f64; h_count];
+                for h in 0..h_count {
+                    let chunk = shards[h].round_chunk(s, s_count);
+                    let t0 = Instant::now();
+                    for sentence in chunk.sentences() {
+                        let alpha = schedule.alpha_for_host(processed[h], h_count);
+                        let mut store = ReplicaStore {
+                            replica: &mut replicas[h],
+                        };
+                        pairs_trained += train_sentence(
+                            &mut store,
+                            sentence,
+                            alpha,
+                            &ctx,
+                            &mut rngs[h],
+                            &mut scratch,
+                        );
+                        processed[h] += sentence.len() as u64;
+                    }
+                    round_compute[h] = t0.elapsed().as_secs_f64();
+                }
+
+                // ---- PullModel inspection of the *next* round (§4.4). ----
+                let access = if cfg.plan == SyncPlan::PullModel {
+                    let next = if s + 1 < s_count {
+                        Some(s + 1)
+                    } else if epoch + 1 < p.epochs {
+                        Some(0)
+                    } else {
+                        None
+                    };
+                    let mut sets = AccessSets::new(h_count, 2, n_words);
+                    if let Some(next_s) = next {
+                        for h in 0..h_count {
+                            let chunk = shards[h].round_chunk(next_s, s_count);
+                            let t0 = Instant::now();
+                            // Clone: replaying must not advance the real stream.
+                            let mut probe_rng = rngs[h];
+                            let mut recorder = RecordingStore::new(n_words, p.dim);
+                            for sentence in chunk.sentences() {
+                                train_sentence(
+                                    &mut recorder,
+                                    sentence,
+                                    0.0,
+                                    &ctx,
+                                    &mut probe_rng,
+                                    &mut scratch,
+                                );
+                            }
+                            *sets.get_mut(h, 0) = recorder.syn0_access;
+                            *sets.get_mut(h, 1) = recorder.syn1_access;
+                            // Inspection is real per-host work: charge it.
+                            round_compute[h] += t0.elapsed().as_secs_f64();
+                        }
+                    }
+                    Some(sets)
+                } else {
+                    None
+                };
+
+                // ---- Synchronize (reduce + broadcast). ----
+                let volume = sync_round(&mut replicas, &sync_cfg, access.as_ref(), &mut stats);
+                compute_time += round_compute.iter().cloned().fold(0.0, f64::max);
+                comm_time += cfg.cost.round_time(&volume);
+            }
+            let layers = assemble_canonical(&replicas);
+            let mut it = layers.into_iter();
+            let canonical =
+                Word2VecModel::from_layers(it.next().expect("syn0"), it.next().expect("syn1neg"));
+            let snap = EpochSnapshot {
+                epoch,
+                virtual_time: compute_time + comm_time,
+            };
+            on_epoch(&snap, &canonical);
+        }
+
+        let layers = assemble_canonical(&replicas);
+        let mut it = layers.into_iter();
+        let model =
+            Word2VecModel::from_layers(it.next().expect("syn0"), it.next().expect("syn1neg"));
+        TrainResult {
+            model,
+            stats,
+            compute_time,
+            comm_time,
+            wall_time: wall_start.elapsed().as_secs_f64(),
+            pairs_trained,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trainer_seq::SequentialTrainer;
+    use gw2v_corpus::tokenizer::TokenizerConfig;
+    use gw2v_corpus::vocab::VocabBuilder;
+    use gw2v_util::fvec;
+
+    fn corpus(n_sentences: usize) -> (Corpus, Vocabulary) {
+        let mut text = String::new();
+        for i in 0..n_sentences {
+            match i % 3 {
+                0 => text.push_str("a0 a1 a2 a3 a1 a2\n"),
+                1 => text.push_str("b0 b1 b2 b3 b1 b2\n"),
+                _ => text.push_str("c0 c1 a1 b1 c2 c0\n"),
+            }
+        }
+        let mut b = VocabBuilder::new();
+        for tok in text.split_whitespace() {
+            b.add_token(tok);
+        }
+        let vocab = b.build(1);
+        let cfg = TokenizerConfig {
+            lowercase: false,
+            max_sentence_len: 6,
+        };
+        (Corpus::from_text(&text, &vocab, cfg), vocab)
+    }
+
+    fn dist_cfg(n_hosts: usize, rounds: usize, plan: SyncPlan, comb: CombinerKind) -> DistConfig {
+        DistConfig {
+            n_hosts,
+            sync_rounds: rounds,
+            plan,
+            combiner: comb,
+            cost: CostModel::infiniband_56g(),
+        }
+    }
+
+    #[test]
+    fn paper_sync_rounds_rule() {
+        assert_eq!(DistConfig::paper_sync_rounds(1), 1);
+        assert_eq!(DistConfig::paper_sync_rounds(2), 3);
+        assert_eq!(DistConfig::paper_sync_rounds(4), 6);
+        assert_eq!(DistConfig::paper_sync_rounds(8), 12);
+        assert_eq!(DistConfig::paper_sync_rounds(16), 24);
+        assert_eq!(DistConfig::paper_sync_rounds(32), 48);
+        assert_eq!(DistConfig::paper_sync_rounds(64), 96);
+    }
+
+    #[test]
+    fn one_host_matches_sequential_within_float_noise() {
+        let (corpus, vocab) = corpus(120);
+        let params = Hyperparams {
+            epochs: 2,
+            ..Hyperparams::test_scale()
+        };
+        let seq = SequentialTrainer::new(params.clone()).train(&corpus, &vocab);
+        // 4 sync rounds/epoch: sync is a no-op at 1 host beyond the
+        // base+delta reconstruction (float re-association only).
+        let dist = DistributedTrainer::new(
+            params,
+            dist_cfg(1, 4, SyncPlan::RepModelOpt, CombinerKind::Sum),
+        )
+        .train(&corpus, &vocab);
+        let a = seq.syn0.as_slice();
+        let b = dist.model.syn0.as_slice();
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() <= 1e-5 + 1e-4 * x.abs(), "{x} vs {y}");
+        }
+        assert_eq!(dist.stats.total_bytes(), 0, "1 host moves no bytes");
+    }
+
+    #[test]
+    fn plans_train_identically() {
+        let (corpus, vocab) = corpus(90);
+        let params = Hyperparams {
+            epochs: 2,
+            ..Hyperparams::test_scale()
+        };
+        let run = |plan: SyncPlan| {
+            DistributedTrainer::new(
+                params.clone(),
+                dist_cfg(3, 2, plan, CombinerKind::ModelCombiner),
+            )
+            .train(&corpus, &vocab)
+        };
+        let opt = run(SyncPlan::RepModelOpt);
+        let naive = run(SyncPlan::RepModelNaive);
+        let pull = run(SyncPlan::PullModel);
+        assert_eq!(opt.model, naive.model, "Opt and Naive: same arithmetic");
+        assert_eq!(opt.model, pull.model, "Opt and Pull: same arithmetic");
+        // But very different communication volumes.
+        assert!(naive.stats.total_bytes() > opt.stats.total_bytes());
+        assert!(opt.pairs_trained > 0);
+        assert_eq!(opt.pairs_trained, pull.pairs_trained);
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let (corpus, vocab) = corpus(60);
+        let params = Hyperparams {
+            epochs: 1,
+            ..Hyperparams::test_scale()
+        };
+        let mk = || {
+            DistributedTrainer::new(
+                params.clone(),
+                dist_cfg(4, 3, SyncPlan::RepModelOpt, CombinerKind::ModelCombiner),
+            )
+            .train(&corpus, &vocab)
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a.model, b.model);
+        assert_eq!(a.stats.total_bytes(), b.stats.total_bytes());
+        assert_eq!(a.pairs_trained, b.pairs_trained);
+    }
+
+    #[test]
+    fn combiners_differ_at_multiple_hosts() {
+        let (corpus, vocab) = corpus(90);
+        let params = Hyperparams {
+            epochs: 1,
+            ..Hyperparams::test_scale()
+        };
+        let run = |c: CombinerKind| {
+            DistributedTrainer::new(params.clone(), dist_cfg(4, 2, SyncPlan::RepModelOpt, c))
+                .train(&corpus, &vocab)
+                .model
+        };
+        let mc = run(CombinerKind::ModelCombiner);
+        let avg = run(CombinerKind::Avg);
+        let sum = run(CombinerKind::Sum);
+        assert_ne!(mc, avg);
+        assert_ne!(mc, sum);
+        assert_ne!(avg, sum);
+    }
+
+    #[test]
+    fn distributed_still_learns() {
+        let (corpus, vocab) = corpus(240);
+        let params = Hyperparams {
+            dim: 24,
+            epochs: 6,
+            negative: 5,
+            subsample: 0.0,
+            ..Hyperparams::test_scale()
+        };
+        let res =
+            DistributedTrainer::new(params, DistConfig::paper_default(4)).train(&corpus, &vocab);
+        let emb = |w: &str| res.model.embedding(vocab.id_of(w).unwrap());
+        let same = fvec::cosine(emb("a0"), emb("a2"));
+        let cross = fvec::cosine(emb("a0"), emb("b3"));
+        assert!(same > cross, "same {same} vs cross {cross}");
+    }
+
+    #[test]
+    fn epoch_callback_sees_progress() {
+        let (corpus, vocab) = corpus(60);
+        let params = Hyperparams {
+            epochs: 3,
+            ..Hyperparams::test_scale()
+        };
+        let mut epochs_seen = Vec::new();
+        let mut last_t = -1.0;
+        DistributedTrainer::new(params, DistConfig::paper_default(2)).train_with_callback(
+            &corpus,
+            &vocab,
+            |snap, model| {
+                epochs_seen.push(snap.epoch);
+                assert!(snap.virtual_time >= last_t);
+                last_t = snap.virtual_time;
+                assert_eq!(model.dim(), 16);
+            },
+        );
+        assert_eq!(epochs_seen, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn more_hosts_spread_compute() {
+        // Each host processes 1/H of the tokens; pairs_trained stays in
+        // the same ballpark (not identical: different RNG streams).
+        let (corpus, vocab) = corpus(150);
+        let params = Hyperparams {
+            epochs: 1,
+            ..Hyperparams::test_scale()
+        };
+        let r1 = DistributedTrainer::new(
+            params.clone(),
+            dist_cfg(1, 1, SyncPlan::RepModelOpt, CombinerKind::ModelCombiner),
+        )
+        .train(&corpus, &vocab);
+        let r4 = DistributedTrainer::new(
+            params,
+            dist_cfg(4, 6, SyncPlan::RepModelOpt, CombinerKind::ModelCombiner),
+        )
+        .train(&corpus, &vocab);
+        let lo = r1.pairs_trained / 2;
+        let hi = r1.pairs_trained * 2;
+        assert!((lo..hi).contains(&r4.pairs_trained));
+        assert!(r4.stats.total_bytes() > 0);
+        assert!(r4.comm_time > 0.0);
+    }
+}

@@ -1,0 +1,263 @@
+//! Hierarchical-softmax Skip-Gram training (extension).
+//!
+//! The alternative output layer of Mikolov et al. (2013): instead of
+//! `1 + negative` sampled word vectors, each positive pair updates the
+//! `O(log V)` inner-node vectors along the center word's Huffman path.
+//! Per path node `p` with code bit `b`:
+//!
+//! ```text
+//! f = σ(syn0[context] · syn1[p])
+//! g = (1 − b − f) · α
+//! neu1e      += g · syn1[p]
+//! syn1[p]    += g · syn0[context]
+//! ```
+//!
+//! This is the paper's "other models" extensibility claim made concrete:
+//! the operator still reads/writes two node-label matrices, so the same
+//! graph formulation applies (inner nodes become additional graph nodes).
+
+use crate::huffman::HuffmanTree;
+use crate::model::Word2VecModel;
+use crate::params::Hyperparams;
+use crate::schedule::LrSchedule;
+use crate::sigmoid::SigmoidTable;
+use gw2v_corpus::shard::Corpus;
+use gw2v_corpus::subsample::SubsampleTable;
+use gw2v_corpus::vocab::Vocabulary;
+use gw2v_util::fvec::{self, FlatMatrix};
+use gw2v_util::rng::{Rng64, SplitMix64, Xoshiro256};
+
+/// A hierarchical-softmax Skip-Gram model: word embeddings plus
+/// inner-node vectors.
+#[derive(Clone, Debug)]
+pub struct HsModel {
+    /// Word embedding layer (`syn0`).
+    pub syn0: FlatMatrix,
+    /// Inner-node layer (`syn1`), one row per Huffman inner node.
+    pub syn1: FlatMatrix,
+    /// The Huffman tree.
+    pub tree: HuffmanTree,
+}
+
+/// Sequential hierarchical-softmax trainer.
+pub struct HsTrainer {
+    /// Hyperparameters (`negative` is ignored).
+    pub params: Hyperparams,
+}
+
+impl HsTrainer {
+    /// Creates a trainer.
+    pub fn new(params: Hyperparams) -> Self {
+        Self { params }
+    }
+
+    /// Trains and returns the model.
+    pub fn train(&self, corpus: &Corpus, vocab: &Vocabulary) -> HsModel {
+        let p = &self.params;
+        let tree = HuffmanTree::new(vocab);
+        let init = Word2VecModel::init(vocab.len(), p.dim, p.seed);
+        let mut model = HsModel {
+            syn0: init.syn0,
+            syn1: FlatMatrix::zeros(tree.n_inner(), p.dim),
+            tree,
+        };
+        let sigmoid = SigmoidTable::new();
+        let subsample = SubsampleTable::new(vocab, p.subsample);
+        let schedule = LrSchedule::new(
+            p.alpha,
+            p.min_alpha_frac,
+            corpus.total_tokens() as u64,
+            p.epochs,
+        );
+        let mut rng = Xoshiro256::new(SplitMix64::new(p.seed).derive(0x45));
+        let mut processed = 0u64;
+        let mut kept: Vec<u32> = Vec::new();
+        let mut neu1e = vec![0.0f32; p.dim];
+        for _epoch in 0..p.epochs {
+            for sentence in corpus.sentences() {
+                let alpha = schedule.alpha_at(processed);
+                kept.clear();
+                kept.extend(
+                    sentence
+                        .iter()
+                        .copied()
+                        .filter(|&w| subsample.keep(w, &mut rng)),
+                );
+                for i in 0..kept.len() {
+                    let center = kept[i];
+                    let b = rng.index(p.window);
+                    let span = 2 * p.window + 1 - b;
+                    for a in b..span {
+                        if a == p.window {
+                            continue;
+                        }
+                        let c = i as isize + a as isize - p.window as isize;
+                        if c < 0 || c as usize >= kept.len() {
+                            continue;
+                        }
+                        let context = kept[c as usize];
+                        train_pair_hs(&mut model, context, center, alpha, &sigmoid, &mut neu1e);
+                    }
+                }
+                processed += sentence.len() as u64;
+            }
+        }
+        model
+    }
+}
+
+/// One hierarchical-softmax step for the pair (context → center).
+pub fn train_pair_hs(
+    model: &mut HsModel,
+    context: u32,
+    center: u32,
+    alpha: f32,
+    sigmoid: &SigmoidTable,
+    neu1e: &mut [f32],
+) {
+    neu1e.fill(0.0);
+    let path = model.tree.code_of(center).clone();
+    for (&bit, &node) in path.code.iter().zip(&path.point) {
+        let f = fvec::dot(
+            model.syn0.row(context as usize),
+            model.syn1.row(node as usize),
+        );
+        let g = (1.0 - bit as f32 - sigmoid.value(f)) * alpha;
+        fvec::axpy(g, model.syn1.row(node as usize), neu1e);
+        let (syn0, syn1) = (&model.syn0, &mut model.syn1);
+        fvec::axpy(g, syn0.row(context as usize), syn1.row_mut(node as usize));
+    }
+    fvec::add_assign(model.syn0.row_mut(context as usize), neu1e);
+}
+
+/// The exact hierarchical-softmax probability `P(center | context)` —
+/// the product of the path's sigmoid factors. Used by tests to verify
+/// training raises the probability of observed pairs; sums to 1 over
+/// the vocabulary by construction.
+pub fn hs_probability(model: &HsModel, context: u32, center: u32) -> f64 {
+    let path = model.tree.code_of(center);
+    let mut p = 1.0f64;
+    for (&bit, &node) in path.code.iter().zip(&path.point) {
+        let f = fvec::dot(
+            model.syn0.row(context as usize),
+            model.syn1.row(node as usize),
+        ) as f64;
+        let sigma = 1.0 / (1.0 + (-f).exp());
+        p *= if bit == 0 { sigma } else { 1.0 - sigma };
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gw2v_corpus::tokenizer::TokenizerConfig;
+    use gw2v_corpus::vocab::VocabBuilder;
+
+    fn fixture() -> (Corpus, Vocabulary) {
+        let mut text = String::new();
+        for i in 0..300 {
+            if i % 2 == 0 {
+                text.push_str("h0 h1 h2 h1 h0\n");
+            } else {
+                text.push_str("k0 k1 k2 k1 k0\n");
+            }
+        }
+        let mut b = VocabBuilder::new();
+        for tok in text.split_whitespace() {
+            b.add_token(tok);
+        }
+        let vocab = b.build(1);
+        (
+            Corpus::from_text(
+                &text,
+                &vocab,
+                TokenizerConfig {
+                    lowercase: false,
+                    max_sentence_len: 5,
+                },
+            ),
+            vocab,
+        )
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let (_, vocab) = fixture();
+        let tree = HuffmanTree::new(&vocab);
+        let init = Word2VecModel::init(vocab.len(), 8, 3);
+        let model = HsModel {
+            syn0: init.syn0,
+            syn1: FlatMatrix::zeros(tree.n_inner(), 8),
+            tree,
+        };
+        let total: f64 = (0..vocab.len() as u32)
+            .map(|w| hs_probability(&model, 0, w))
+            .sum();
+        assert!((total - 1.0).abs() < 1e-9, "{total}");
+    }
+
+    #[test]
+    fn training_raises_observed_pair_probability() {
+        let (corpus, vocab) = fixture();
+        let params = Hyperparams {
+            dim: 16,
+            window: 2,
+            epochs: 5,
+            alpha: 0.05,
+            subsample: 0.0,
+            ..Hyperparams::test_scale()
+        };
+        let tree = HuffmanTree::new(&vocab);
+        let init = Word2VecModel::init(vocab.len(), params.dim, params.seed);
+        let untrained = HsModel {
+            syn0: init.syn0.clone(),
+            syn1: FlatMatrix::zeros(tree.n_inner(), params.dim),
+            tree,
+        };
+        let h0 = vocab.id_of("h0").unwrap();
+        let h1 = vocab.id_of("h1").unwrap();
+        let k1 = vocab.id_of("k1").unwrap();
+        let before = hs_probability(&untrained, h0, h1);
+        let model = HsTrainer::new(params).train(&corpus, &vocab);
+        let after = hs_probability(&model, h0, h1);
+        assert!(after > before * 1.5, "P(h1|h0): {before} -> {after}");
+        // And an unobserved pair should not gain as much.
+        let cross = hs_probability(&model, h0, k1);
+        assert!(after > cross, "observed {after} vs unobserved {cross}");
+    }
+
+    #[test]
+    fn learns_cluster_similarity() {
+        let (corpus, vocab) = fixture();
+        let params = Hyperparams {
+            dim: 16,
+            window: 2,
+            epochs: 6,
+            alpha: 0.05,
+            subsample: 0.0,
+            ..Hyperparams::test_scale()
+        };
+        let model = HsTrainer::new(params).train(&corpus, &vocab);
+        let emb = |w: &str| model.syn0.row(vocab.id_of(w).unwrap() as usize);
+        let same = fvec::cosine(emb("h0"), emb("h1"));
+        let cross = fvec::cosine(emb("h0"), emb("k1"));
+        assert!(same > cross, "same {same} vs cross {cross}");
+    }
+
+    #[test]
+    fn probabilities_stay_normalized_after_training() {
+        let (corpus, vocab) = fixture();
+        let params = Hyperparams {
+            epochs: 2,
+            ..Hyperparams::test_scale()
+        };
+        let model = HsTrainer::new(params).train(&corpus, &vocab);
+        for ctx in 0..3u32 {
+            let total: f64 = (0..vocab.len() as u32)
+                .map(|w| hs_probability(&model, ctx, w))
+                .sum();
+            assert!((total - 1.0).abs() < 1e-6, "ctx {ctx}: {total}");
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! Huffman coding of the vocabulary, for hierarchical softmax.
+//!
+//! Mikolov et al. (2013) offer hierarchical softmax as the alternative
+//! to negative sampling: the output distribution is a binary Huffman
+//! tree over the vocabulary, so an update touches `O(log V)` inner-node
+//! vectors instead of `1 + negative` word vectors, and frequent words
+//! (shorter codes) are cheapest. This module builds the tree exactly as
+//! `CreateBinaryTree` in the C implementation: repeatedly merge the two
+//! least-frequent nodes; each word's `code` is its root-to-leaf bit path
+//! and its `point` list the inner-node ids along the way.
+
+use gw2v_corpus::vocab::Vocabulary;
+
+/// Per-word Huffman code and inner-node path.
+#[derive(Clone, Debug, Default)]
+pub struct HuffmanCode {
+    /// Bits from root to leaf (0 = left/first child, 1 = right).
+    pub code: Vec<u8>,
+    /// Inner-node indices (into the `syn1` matrix) from root to leaf;
+    /// same length as `code`.
+    pub point: Vec<u32>,
+}
+
+/// The Huffman tree over a vocabulary.
+#[derive(Clone, Debug)]
+pub struct HuffmanTree {
+    codes: Vec<HuffmanCode>,
+    n_inner: usize,
+}
+
+impl HuffmanTree {
+    /// Builds the tree from vocabulary counts (ids must be
+    /// frequency-descending, which [`Vocabulary`] guarantees).
+    pub fn new(vocab: &Vocabulary) -> Self {
+        let v = vocab.len();
+        assert!(v >= 2, "Huffman tree needs at least two words");
+        // The C algorithm: counts array of size 2V (leaves then inner
+        // nodes), two monotone pointers walking inward.
+        let mut count: Vec<u64> = Vec::with_capacity(2 * v);
+        for id in 0..v as u32 {
+            count.push(vocab.count_of(id));
+        }
+        count.resize(2 * v, u64::MAX);
+        let mut parent = vec![0usize; 2 * v];
+        let mut binary = vec![0u8; 2 * v];
+        // pos1 walks down the (descending-sorted) leaves, pos2 up the
+        // created inner nodes.
+        let mut pos1 = v as isize - 1;
+        let mut pos2 = v as isize;
+        for a in 0..v - 1 {
+            let mut pick = || -> usize {
+                if pos1 >= 0 && count[pos1 as usize] < count[pos2 as usize] {
+                    pos1 -= 1;
+                    (pos1 + 1) as usize
+                } else {
+                    pos2 += 1;
+                    (pos2 - 1) as usize
+                }
+            };
+            let min1 = pick();
+            let min2 = pick();
+            let inner = v + a;
+            count[inner] = count[min1] + count[min2];
+            parent[min1] = inner;
+            parent[min2] = inner;
+            binary[min2] = 1;
+        }
+        // Walk each leaf to the root, collecting code and points.
+        let root = 2 * v - 2;
+        let codes = (0..v)
+            .map(|leaf| {
+                let mut code = Vec::new();
+                let mut point = Vec::new();
+                let mut node = leaf;
+                while node != root {
+                    code.push(binary[node]);
+                    point.push((parent[node] - v) as u32);
+                    node = parent[node];
+                }
+                code.reverse();
+                point.reverse();
+                HuffmanCode { code, point }
+            })
+            .collect();
+        Self {
+            codes,
+            n_inner: v - 1,
+        }
+    }
+
+    /// The code of word `w`.
+    pub fn code_of(&self, w: u32) -> &HuffmanCode {
+        &self.codes[w as usize]
+    }
+
+    /// Number of inner nodes (= rows of the `syn1` matrix).
+    pub fn n_inner(&self) -> usize {
+        self.n_inner
+    }
+
+    /// Mean code length weighted by word frequency — the expected work
+    /// per output evaluation.
+    pub fn expected_code_length(&self, vocab: &Vocabulary) -> f64 {
+        let total = vocab.total_words() as f64;
+        self.codes
+            .iter()
+            .enumerate()
+            .map(|(id, c)| c.code.len() as f64 * vocab.count_of(id as u32) as f64)
+            .sum::<f64>()
+            / total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gw2v_corpus::vocab::VocabBuilder;
+
+    fn vocab_with(counts: &[u64]) -> Vocabulary {
+        let mut b = VocabBuilder::new();
+        for (i, &c) in counts.iter().enumerate() {
+            for _ in 0..c {
+                b.add_token(&format!("w{i:03}"));
+            }
+        }
+        b.build(1)
+    }
+
+    #[test]
+    fn codes_are_prefix_free() {
+        let vocab = vocab_with(&[50, 30, 20, 10, 5, 3, 2, 1]);
+        let tree = HuffmanTree::new(&vocab);
+        let codes: Vec<&Vec<u8>> = (0..8).map(|i| &tree.code_of(i).code).collect();
+        for i in 0..8 {
+            for j in 0..8 {
+                if i == j {
+                    continue;
+                }
+                let (a, b) = (codes[i], codes[j]);
+                let prefix = a.len() <= b.len() && &b[..a.len()] == a.as_slice();
+                assert!(!prefix, "code {i} is a prefix of {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn frequent_words_get_shorter_codes() {
+        let vocab = vocab_with(&[1000, 500, 100, 50, 10, 5, 2, 1]);
+        let tree = HuffmanTree::new(&vocab);
+        let len_most = tree.code_of(0).code.len();
+        let len_least = tree.code_of(7).code.len();
+        assert!(len_most < len_least, "{len_most} vs {len_least}");
+    }
+
+    #[test]
+    fn optimality_against_entropy() {
+        // Huffman expected length is within 1 bit of the entropy.
+        let counts = [400u64, 200, 150, 100, 80, 40, 20, 10];
+        let vocab = vocab_with(&counts);
+        let tree = HuffmanTree::new(&vocab);
+        let total: f64 = counts.iter().map(|&c| c as f64).sum();
+        let entropy: f64 = counts
+            .iter()
+            .map(|&c| {
+                let p = c as f64 / total;
+                -p * p.log2()
+            })
+            .sum();
+        let expected = tree.expected_code_length(&vocab);
+        assert!(expected >= entropy - 1e-9, "{expected} < H {entropy}");
+        assert!(expected < entropy + 1.0, "{expected} vs H {entropy}");
+    }
+
+    #[test]
+    fn points_reference_valid_inner_nodes() {
+        let vocab = vocab_with(&[9, 7, 5, 3, 2]);
+        let tree = HuffmanTree::new(&vocab);
+        assert_eq!(tree.n_inner(), 4);
+        for w in 0..5 {
+            let c = tree.code_of(w);
+            assert_eq!(c.code.len(), c.point.len());
+            assert!(!c.code.is_empty());
+            for &p in &c.point {
+                assert!((p as usize) < tree.n_inner());
+            }
+            // The first point is always the root (inner id V-2 in C terms
+            // — here the last-created inner node, index n_inner-1).
+            assert_eq!(c.point[0] as usize, tree.n_inner() - 1);
+        }
+    }
+
+    #[test]
+    fn two_word_vocabulary() {
+        let vocab = vocab_with(&[3, 1]);
+        let tree = HuffmanTree::new(&vocab);
+        assert_eq!(tree.n_inner(), 1);
+        assert_eq!(tree.code_of(0).code.len(), 1);
+        assert_eq!(tree.code_of(1).code.len(), 1);
+        assert_ne!(tree.code_of(0).code[0], tree.code_of(1).code[0]);
+    }
+
+    #[test]
+    fn kraft_inequality_holds_with_equality() {
+        // A full binary tree satisfies Σ 2^{-len} = 1.
+        let vocab = vocab_with(&[13, 11, 7, 5, 3, 2, 1]);
+        let tree = HuffmanTree::new(&vocab);
+        let kraft: f64 = (0..7)
+            .map(|w| 2f64.powi(-(tree.code_of(w).code.len() as i32)))
+            .sum();
+        assert!((kraft - 1.0).abs() < 1e-12, "{kraft}");
+    }
+}

@@ -1,0 +1,60 @@
+//! # gw2v-core
+//!
+//! GraphWord2Vec: Skip-Gram-with-Negative-Sampling (SGNS) training
+//! formulated as a distributed graph problem (Gill et al., IPDPS 2021).
+//!
+//! Vocabulary words are graph nodes carrying two vector labels — the
+//! embedding layer `syn0` and the training layer `syn1neg` (paper §2.1,
+//! Fig. 1). Training pairs are edges generated on the fly from the
+//! corpus. Distributed execution replicates the model on every host
+//! (paper §4.2), trains each host on its contiguous corpus shard, and
+//! reconciles replicas every synchronization round through the Gluon
+//! substrate with the *model combiner* reduction (paper §3).
+//!
+//! Modules:
+//!
+//! * [`params`] — hyperparameters (paper §5.1 defaults) and the
+//!   distributed-run configuration.
+//! * [`sigmoid`] — the precomputed sigmoid table of the C implementation.
+//! * [`model`] — model storage, initialization and (text-format) I/O.
+//! * [`sgns`] — the SGNS training operator, written once and reused by
+//!   every trainer through the [`sgns::SgnsStore`] abstraction; also the
+//!   access-recording store that implements PullModel's inspection phase.
+//! * [`schedule`] — the linear learning-rate decay of the C code.
+//! * [`trainer_seq`] — sequential shared-memory baseline ("W2V").
+//! * [`trainer_hogwild`] — multi-threaded Hogwild baseline (racy relaxed
+//!   atomics, paper §2.3).
+//! * [`trainer_batched`] — sentence-batched variant standing in for
+//!   Gensim ("GEN" in the paper's tables).
+//! * [`distributed`] — the GraphWord2Vec engine (Algorithm 1): per-host
+//!   worklists, per-round chunks, compute + synchronize loop, PullModel
+//!   inspection, virtual-time accounting.
+//! * [`loss`] — negative-sampling loss estimation for monitoring.
+//! * [`cbow`] — the Continuous-Bag-of-Words extension (the paper notes
+//!   its ideas "will work with other models as well"; CBOW is the other
+//!   Word2Vec model).
+//! * [`huffman`] / [`hs`] — the hierarchical-softmax extension: Huffman
+//!   coding of the vocabulary and the `O(log V)`-per-pair output layer
+//!   that the original Word2Vec offers alongside negative sampling.
+
+#![warn(missing_docs)]
+
+pub mod cbow;
+pub mod distributed;
+pub mod hs;
+pub mod huffman;
+pub mod loss;
+pub mod model;
+pub mod params;
+pub mod schedule;
+pub mod setup;
+pub mod sgns;
+pub mod sigmoid;
+pub mod trainer_batched;
+pub mod trainer_hogwild;
+pub mod trainer_seq;
+
+pub use distributed::{DistConfig, DistributedTrainer, EpochSnapshot, TrainResult};
+pub use model::Word2VecModel;
+pub use params::Hyperparams;
+pub use trainer_seq::SequentialTrainer;

@@ -1,0 +1,158 @@
+//! Negative-sampling loss estimation.
+//!
+//! The paper's §2.2 loss for a positive pair is `−log σ(e_ctx · t_tgt)`
+//! and for a negative pair `−log(1 − σ(e_ctx · t_neg))`. Trainers do not
+//! materialize the loss (SGNS never needs its value), so monitoring
+//! convergence requires estimating it on a sample of corpus pairs — this
+//! module does that with a fixed-seed pair sample so successive
+//! estimates are comparable.
+
+use crate::model::Word2VecModel;
+use crate::setup::TrainSetup;
+use gw2v_corpus::shard::Corpus;
+use gw2v_corpus::unigram::NegativeSampler;
+use gw2v_util::fvec;
+use gw2v_util::rng::{Rng64, SplitMix64, Xoshiro256};
+
+/// Numerically-safe `−ln σ(x)` (uses the log-sum-exp form; never −∞).
+fn neg_log_sigmoid(x: f64) -> f64 {
+    // −ln σ(x) = ln(1 + e^{−x})  (stable for both signs)
+    if x > 0.0 {
+        (-x).exp().ln_1p()
+    } else {
+        -x + x.exp().ln_1p()
+    }
+}
+
+/// Estimates the mean per-pair SGNS loss of `model` over `n_pairs`
+/// randomly drawn (center, context) pairs plus `negative` sampled
+/// negatives each, using the fixed `seed` for a reproducible sample.
+pub fn estimate_loss(
+    model: &Word2VecModel,
+    corpus: &Corpus,
+    setup: &TrainSetup,
+    window: usize,
+    negative: usize,
+    n_pairs: usize,
+    seed: u64,
+) -> f64 {
+    assert!(n_pairs > 0);
+    let mut rng = Xoshiro256::new(SplitMix64::new(seed).derive(0x105));
+    let sentences = corpus.sentences();
+    assert!(
+        !sentences.is_empty(),
+        "cannot estimate loss on empty corpus"
+    );
+    let mut total = 0.0f64;
+    let mut counted = 0usize;
+    while counted < n_pairs {
+        let s = &sentences[rng.index(sentences.len())];
+        if s.len() < 2 {
+            continue;
+        }
+        let i = rng.index(s.len());
+        let radius = 1 + rng.index(window);
+        let lo = i.saturating_sub(radius);
+        let hi = (i + radius).min(s.len() - 1);
+        let mut j = lo + rng.index(hi - lo + 1);
+        if j == i {
+            j = if i == hi { lo } else { i + 1 };
+        }
+        if j == i {
+            continue; // single-position window
+        }
+        let (center, context) = (s[i], s[j]);
+        let dot = fvec::dot(
+            model.syn0.row(context as usize),
+            model.syn1neg.row(center as usize),
+        ) as f64;
+        let mut loss = neg_log_sigmoid(dot);
+        for _ in 0..negative {
+            let neg = setup.sampler.sample(&mut rng);
+            if neg == center {
+                continue;
+            }
+            let ndot = fvec::dot(
+                model.syn0.row(context as usize),
+                model.syn1neg.row(neg as usize),
+            ) as f64;
+            loss += neg_log_sigmoid(-ndot);
+        }
+        total += loss;
+        counted += 1;
+    }
+    total / counted as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::Hyperparams;
+    use crate::trainer_seq::SequentialTrainer;
+    use gw2v_corpus::tokenizer::TokenizerConfig;
+    use gw2v_corpus::vocab::VocabBuilder;
+
+    #[test]
+    fn neg_log_sigmoid_properties() {
+        assert!((neg_log_sigmoid(0.0) - std::f64::consts::LN_2).abs() < 1e-12);
+        assert!(neg_log_sigmoid(10.0) < 1e-4);
+        assert!(neg_log_sigmoid(-10.0) > 9.9);
+        // Stable at extremes.
+        assert!(neg_log_sigmoid(1000.0).is_finite());
+        assert!(neg_log_sigmoid(-1000.0).is_finite());
+    }
+
+    fn fixture() -> (Corpus, gw2v_corpus::Vocabulary, Hyperparams) {
+        let mut text = String::new();
+        for _ in 0..200 {
+            text.push_str("m0 m1 m2 m1 m0 m2\n");
+        }
+        let mut b = VocabBuilder::new();
+        for tok in text.split_whitespace() {
+            b.add_token(tok);
+        }
+        let vocab = b.build(1);
+        let corpus = Corpus::from_text(
+            &text,
+            &vocab,
+            TokenizerConfig {
+                lowercase: false,
+                max_sentence_len: 6,
+            },
+        );
+        let params = Hyperparams {
+            dim: 16,
+            epochs: 5,
+            negative: 5,
+            subsample: 0.0,
+            ..Hyperparams::test_scale()
+        };
+        (corpus, vocab, params)
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let (corpus, vocab, params) = fixture();
+        let setup = TrainSetup::new(&vocab, &params);
+        let untrained = Word2VecModel::init(vocab.len(), params.dim, params.seed);
+        let before = estimate_loss(&untrained, &corpus, &setup, 3, 5, 400, 7);
+        let trained = SequentialTrainer::new(params).train(&corpus, &vocab);
+        let after = estimate_loss(&trained, &corpus, &setup, 3, 5, 400, 7);
+        assert!(
+            after < before * 0.9,
+            "loss should drop: before {before}, after {after}"
+        );
+    }
+
+    #[test]
+    fn estimate_is_reproducible() {
+        let (corpus, vocab, params) = fixture();
+        let setup = TrainSetup::new(&vocab, &params);
+        let model = Word2VecModel::init(vocab.len(), params.dim, 3);
+        let a = estimate_loss(&model, &corpus, &setup, 3, 4, 100, 42);
+        let b = estimate_loss(&model, &corpus, &setup, 3, 4, 100, 42);
+        assert_eq!(a, b);
+        let c = estimate_loss(&model, &corpus, &setup, 3, 4, 100, 43);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,550 @@
+//! The Skip-Gram-with-Negative-Sampling training operator.
+//!
+//! This is the *graph operator* of GraphWord2Vec (paper §4.1): applied to
+//! a chunk of the worklist (corpus positions), it generates edges on the
+//! fly — positive edges between a center word and its context window,
+//! negative edges to sampled words — and walks each edge with one SGD
+//! step, updating the two node labels (`syn0` on the context side,
+//! `syn1neg` on the center/negative side), exactly as the reference C
+//! implementation does:
+//!
+//! ```text
+//! for each surviving position i (after frequent-word subsampling):
+//!   b = rng % window                      # shrink the window randomly
+//!   for each context position c in the shrunk window around i:
+//!     neu1e = 0
+//!     for d in 0..=negative:
+//!       target, label = (center, 1) if d == 0 else (sample(), 0)
+//!       f = syn0[context] · syn1neg[target]
+//!       g = (label − σ(f)) · α
+//!       neu1e        += g · syn1neg[target]      # read before write!
+//!       syn1neg[target] += g · syn0[context]
+//!     syn0[context] += neu1e
+//! ```
+//!
+//! The loop is written once, generic over [`SgnsStore`], and reused by
+//! the sequential, Hogwild, batched and distributed trainers — plus the
+//! no-write [`RecordingStore`] that implements the PullModel *inspection*
+//! phase (paper §4.4): because every stochastic choice above comes from
+//! the caller's RNG and none depends on model values, replaying the loop
+//! against a recording store with a cloned RNG yields exactly the nodes
+//! the real execution will access.
+
+use crate::sigmoid::SigmoidTable;
+use gw2v_corpus::subsample::SubsampleTable;
+use gw2v_corpus::unigram::NegativeSampler;
+use gw2v_util::bitvec::BitVec;
+use gw2v_util::fvec::{self, FlatMatrix};
+use gw2v_util::rng::Rng64;
+
+/// Layer index of the embedding layer (`syn0`) in multi-layer stores.
+pub const LAYER_SYN0: usize = 0;
+/// Layer index of the training layer (`syn1neg`).
+pub const LAYER_SYN1NEG: usize = 1;
+
+/// Model access used by the SGNS inner loop.
+///
+/// Implementations decide where rows live (plain matrices, a tracked
+/// distributed replica, relaxed atomics) and what "access" means (the
+/// recording store only takes notes).
+pub trait SgnsStore {
+    /// Vector dimensionality.
+    fn dim(&self) -> usize;
+    /// `syn0[win] · syn1neg[wout]`.
+    fn dot(&self, win: u32, wout: u32) -> f32;
+    /// `buf += g · syn1neg[wout]` — must be called *before*
+    /// [`SgnsStore::add_out`] for the same `wout` within a step (the C
+    /// code reads the pre-update value).
+    fn acc_hidden(&self, buf: &mut [f32], g: f32, wout: u32);
+    /// `syn1neg[wout] += g · syn0[win]`.
+    fn add_out(&mut self, wout: u32, g: f32, win: u32);
+    /// `syn0[win] += buf`.
+    fn add_in(&mut self, win: u32, buf: &[f32]);
+}
+
+/// Shared, immutable per-run training context.
+pub struct TrainContext<'a, S> {
+    /// Maximum window radius.
+    pub window: usize,
+    /// Negative samples per pair.
+    pub negative: usize,
+    /// Sigmoid lookup table.
+    pub sigmoid: &'a SigmoidTable,
+    /// Negative-sample source.
+    pub sampler: &'a S,
+    /// Frequent-word downsampling table.
+    pub subsample: &'a SubsampleTable,
+}
+
+/// Reusable per-worker scratch buffers.
+#[derive(Clone, Debug, Default)]
+pub struct TrainScratch {
+    kept: Vec<u32>,
+    neu1e: Vec<f32>,
+}
+
+/// Trains one sentence; returns the number of (positive) pairs stepped.
+///
+/// `sentence` is the raw encoded sentence; frequent-word subsampling is
+/// applied inside (consuming `rng`), as in the C implementation.
+pub fn train_sentence<M, S, R>(
+    store: &mut M,
+    sentence: &[u32],
+    alpha: f32,
+    ctx: &TrainContext<'_, S>,
+    rng: &mut R,
+    scratch: &mut TrainScratch,
+) -> u64
+where
+    M: SgnsStore,
+    S: NegativeSampler,
+    R: Rng64,
+{
+    debug_assert!(ctx.window >= 1);
+    scratch.kept.clear();
+    scratch.kept.extend(
+        sentence
+            .iter()
+            .copied()
+            .filter(|&w| ctx.subsample.keep(w, rng)),
+    );
+    scratch.neu1e.resize(store.dim(), 0.0);
+    let kept = &scratch.kept;
+    let mut pairs = 0u64;
+    for i in 0..kept.len() {
+        let center = kept[i];
+        // Random window shrink: effective span is window - b on each side.
+        let b = rng.index(ctx.window);
+        let span = 2 * ctx.window + 1 - b;
+        for a in b..span {
+            if a == ctx.window {
+                continue;
+            }
+            let c = i as isize + a as isize - ctx.window as isize;
+            if c < 0 || c as usize >= kept.len() {
+                continue;
+            }
+            let context = kept[c as usize];
+            let neu1e = &mut scratch.neu1e;
+            neu1e.fill(0.0);
+            for d in 0..=ctx.negative {
+                let (target, label) = if d == 0 {
+                    (center, 1.0f32)
+                } else {
+                    let t = ctx.sampler.sample(rng);
+                    if t == center {
+                        continue;
+                    }
+                    (t, 0.0f32)
+                };
+                let f = store.dot(context, target);
+                let g = (label - ctx.sigmoid.value(f)) * alpha;
+                store.acc_hidden(neu1e, g, target);
+                store.add_out(target, g, context);
+            }
+            store.add_in(context, neu1e);
+            pairs += 1;
+        }
+    }
+    pairs
+}
+
+/// Plain two-matrix store: the sequential baseline's model access.
+pub struct PlainStore<'a> {
+    /// Embedding layer.
+    pub syn0: &'a mut FlatMatrix,
+    /// Training layer.
+    pub syn1neg: &'a mut FlatMatrix,
+}
+
+impl SgnsStore for PlainStore<'_> {
+    #[inline]
+    fn dim(&self) -> usize {
+        self.syn0.dim()
+    }
+
+    #[inline]
+    fn dot(&self, win: u32, wout: u32) -> f32 {
+        fvec::dot(self.syn0.row(win as usize), self.syn1neg.row(wout as usize))
+    }
+
+    #[inline]
+    fn acc_hidden(&self, buf: &mut [f32], g: f32, wout: u32) {
+        fvec::axpy(g, self.syn1neg.row(wout as usize), buf);
+    }
+
+    #[inline]
+    fn add_out(&mut self, wout: u32, g: f32, win: u32) {
+        // Rows live in different matrices, so the borrows are disjoint;
+        // copy the input row through a re-borrow to satisfy the checker
+        // without unsafe: read syn0 first (it is not being mutated).
+        let (syn0, syn1neg) = (&*self.syn0, &mut *self.syn1neg);
+        let src = syn0.row(win as usize);
+        fvec::axpy(g, src, syn1neg.row_mut(wout as usize));
+    }
+
+    #[inline]
+    fn add_in(&mut self, win: u32, buf: &[f32]) {
+        fvec::add_assign(self.syn0.row_mut(win as usize), buf);
+    }
+}
+
+/// Distributed store over a host's tracked [`gw2v_gluon::ModelReplica`]
+/// (layer 0 = `syn0`, layer 1 = `syn1neg`); every write snapshots the
+/// row base so the synchronization phase can ship deltas.
+pub struct ReplicaStore<'a> {
+    /// The host's replica.
+    pub replica: &'a mut gw2v_gluon::ModelReplica,
+}
+
+impl SgnsStore for ReplicaStore<'_> {
+    #[inline]
+    fn dim(&self) -> usize {
+        self.replica.layers[LAYER_SYN0].dim()
+    }
+
+    #[inline]
+    fn dot(&self, win: u32, wout: u32) -> f32 {
+        fvec::dot(
+            self.replica.row(LAYER_SYN0, win),
+            self.replica.row(LAYER_SYN1NEG, wout),
+        )
+    }
+
+    #[inline]
+    fn acc_hidden(&self, buf: &mut [f32], g: f32, wout: u32) {
+        fvec::axpy(g, self.replica.row(LAYER_SYN1NEG, wout), buf);
+    }
+
+    #[inline]
+    fn add_out(&mut self, wout: u32, g: f32, win: u32) {
+        // Tracked write (the split borrow snapshots wout's base on first
+        // touch); syn0[win] is only read.
+        let (src, dst) = self
+            .replica
+            .row_and_row_mut(LAYER_SYN0, win, LAYER_SYN1NEG, wout);
+        fvec::axpy(g, src, dst);
+    }
+
+    #[inline]
+    fn add_in(&mut self, win: u32, buf: &[f32]) {
+        fvec::add_assign(self.replica.row_mut(LAYER_SYN0, win), buf);
+    }
+}
+
+/// Access-recording store for the PullModel inspection phase: performs no
+/// arithmetic, just marks which rows the replayed round will read/write.
+pub struct RecordingStore {
+    dim: usize,
+    /// Accessed `syn0` rows.
+    pub syn0_access: BitVec,
+    /// Accessed `syn1neg` rows.
+    pub syn1_access: BitVec,
+}
+
+impl RecordingStore {
+    /// Creates a recorder for a model of `n_words` rows.
+    pub fn new(n_words: usize, dim: usize) -> Self {
+        Self {
+            dim,
+            syn0_access: BitVec::new(n_words),
+            syn1_access: BitVec::new(n_words),
+        }
+    }
+}
+
+impl SgnsStore for RecordingStore {
+    #[inline]
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    #[inline]
+    fn dot(&self, _win: u32, _wout: u32) -> f32 {
+        // Constant output is safe: no stochastic choice in the training
+        // loop depends on model values, so the RNG stream (and hence the
+        // access pattern) is unaffected.
+        0.0
+    }
+
+    #[inline]
+    fn acc_hidden(&self, _buf: &mut [f32], _g: f32, _wout: u32) {}
+
+    #[inline]
+    fn add_out(&mut self, wout: u32, _g: f32, win: u32) {
+        self.syn0_access.set(win as usize);
+        self.syn1_access.set(wout as usize);
+    }
+
+    #[inline]
+    fn add_in(&mut self, win: u32, _buf: &[f32]) {
+        self.syn0_access.set(win as usize);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Word2VecModel;
+    use gw2v_corpus::unigram::AliasSampler;
+    use gw2v_corpus::vocab::{VocabBuilder, Vocabulary};
+    use gw2v_gluon::ModelReplica;
+    use gw2v_util::rng::Xoshiro256;
+
+    fn vocab_n(n: usize) -> Vocabulary {
+        let mut b = VocabBuilder::new();
+        for i in 0..n {
+            // Descending counts so ids are stable: w0 most frequent.
+            for _ in 0..(2 * (n - i)) {
+                b.add_token(&format!("w{i:03}"));
+            }
+        }
+        b.build(1)
+    }
+
+    fn ctx_for<'a>(
+        vocab: &Vocabulary,
+        sampler: &'a AliasSampler,
+        sigmoid: &'a SigmoidTable,
+        subsample: &'a SubsampleTable,
+        window: usize,
+        negative: usize,
+    ) -> TrainContext<'a, AliasSampler> {
+        let _ = vocab;
+        TrainContext {
+            window,
+            negative,
+            sigmoid,
+            sampler,
+            subsample,
+        }
+    }
+
+    struct Fixture {
+        vocab: Vocabulary,
+        sampler: AliasSampler,
+        sigmoid: SigmoidTable,
+        subsample: SubsampleTable,
+    }
+
+    impl Fixture {
+        fn new(n: usize) -> Self {
+            let vocab = vocab_n(n);
+            let sampler = AliasSampler::from_vocab(&vocab);
+            let sigmoid = SigmoidTable::new();
+            let subsample = SubsampleTable::new(&vocab, 0.0); // keep all
+            Self {
+                vocab,
+                sampler,
+                sigmoid,
+                subsample,
+            }
+        }
+
+        fn ctx(&self, window: usize, negative: usize) -> TrainContext<'_, AliasSampler> {
+            ctx_for(
+                &self.vocab,
+                &self.sampler,
+                &self.sigmoid,
+                &self.subsample,
+                window,
+                negative,
+            )
+        }
+    }
+
+    #[test]
+    fn positive_pair_similarity_increases() {
+        let fx = Fixture::new(10);
+        let mut model = Word2VecModel::init(10, 16, 3);
+        let sentence = vec![1u32, 2];
+        let ctx = fx.ctx(2, 3);
+        let before = fvec::dot(model.syn0.row(2), model.syn1neg.row(1));
+        let mut rng = Xoshiro256::new(5);
+        let mut scratch = TrainScratch::default();
+        for _ in 0..200 {
+            let mut store = PlainStore {
+                syn0: &mut model.syn0,
+                syn1neg: &mut model.syn1neg,
+            };
+            train_sentence(&mut store, &sentence, 0.05, &ctx, &mut rng, &mut scratch);
+        }
+        // After repeated training on the pair (1,2), σ(syn0[2]·syn1neg[1])
+        // should approach 1 (and symmetric for the other direction).
+        let after = fvec::dot(model.syn0.row(2), model.syn1neg.row(1));
+        assert!(after > before + 0.5, "dot went {before} -> {after}");
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let fx = Fixture::new(12);
+        let sentence: Vec<u32> = vec![0, 3, 5, 7, 2, 1];
+        let ctx = fx.ctx(3, 5);
+        let run = || {
+            let mut model = Word2VecModel::init(12, 8, 11);
+            let mut rng = Xoshiro256::new(42);
+            let mut scratch = TrainScratch::default();
+            let mut store = PlainStore {
+                syn0: &mut model.syn0,
+                syn1neg: &mut model.syn1neg,
+            };
+            let pairs = train_sentence(&mut store, &sentence, 0.025, &ctx, &mut rng, &mut scratch);
+            (model, pairs)
+        };
+        let (m1, p1) = run();
+        let (m2, p2) = run();
+        assert_eq!(p1, p2);
+        assert_eq!(m1, m2);
+        assert!(p1 > 0);
+    }
+
+    #[test]
+    fn replica_store_matches_plain_store() {
+        let fx = Fixture::new(15);
+        let sentence: Vec<u32> = vec![4, 9, 1, 0, 13, 2, 6];
+        let ctx = fx.ctx(2, 4);
+        // Plain.
+        let mut model = Word2VecModel::init(15, 12, 77);
+        let mut rng_a = Xoshiro256::new(9);
+        let mut scratch = TrainScratch::default();
+        {
+            let mut store = PlainStore {
+                syn0: &mut model.syn0,
+                syn1neg: &mut model.syn1neg,
+            };
+            train_sentence(&mut store, &sentence, 0.03, &ctx, &mut rng_a, &mut scratch);
+        }
+        // Replica.
+        let init = Word2VecModel::init(15, 12, 77);
+        let mut replica = ModelReplica::new(vec![init.syn0, init.syn1neg]);
+        let mut rng_b = Xoshiro256::new(9);
+        {
+            let mut store = ReplicaStore {
+                replica: &mut replica,
+            };
+            train_sentence(&mut store, &sentence, 0.03, &ctx, &mut rng_b, &mut scratch);
+        }
+        assert_eq!(model.syn0, replica.layers[LAYER_SYN0]);
+        assert_eq!(model.syn1neg, replica.layers[LAYER_SYN1NEG]);
+        // And the replica tracked its touches.
+        assert!(replica.tracker(LAYER_SYN0).touched_count() > 0);
+        assert!(replica.tracker(LAYER_SYN1NEG).touched_count() > 0);
+    }
+
+    #[test]
+    fn recording_store_predicts_exact_touch_sets() {
+        let fx = Fixture::new(20);
+        let sentence: Vec<u32> = vec![3, 8, 15, 1, 0, 19, 4, 4, 7];
+        let ctx = fx.ctx(3, 6);
+        // Inspection replay with a cloned RNG...
+        let mut rng_inspect = Xoshiro256::new(123);
+        let mut recorder = RecordingStore::new(20, 10);
+        let mut scratch = TrainScratch::default();
+        train_sentence(
+            &mut recorder,
+            &sentence,
+            0.025,
+            &ctx,
+            &mut rng_inspect,
+            &mut scratch,
+        );
+        // ...then the real execution with the same starting RNG state.
+        let init = Word2VecModel::init(20, 10, 5);
+        let mut replica = ModelReplica::new(vec![init.syn0, init.syn1neg]);
+        let mut rng_real = Xoshiro256::new(123);
+        {
+            let mut store = ReplicaStore {
+                replica: &mut replica,
+            };
+            train_sentence(
+                &mut store,
+                &sentence,
+                0.025,
+                &ctx,
+                &mut rng_real,
+                &mut scratch,
+            );
+        }
+        assert_eq!(
+            &recorder.syn0_access,
+            replica.tracker(LAYER_SYN0).touched_bits(),
+            "inspection must predict syn0 touches exactly"
+        );
+        assert_eq!(
+            &recorder.syn1_access,
+            replica.tracker(LAYER_SYN1NEG).touched_bits(),
+            "inspection must predict syn1neg touches exactly"
+        );
+        // And the RNGs advanced identically.
+        assert_eq!(rng_inspect.next_u64(), rng_real.next_u64());
+    }
+
+    #[test]
+    fn empty_and_single_word_sentences_train_nothing() {
+        let fx = Fixture::new(5);
+        let ctx = fx.ctx(2, 2);
+        let mut model = Word2VecModel::init(5, 4, 1);
+        let before = model.clone();
+        let mut rng = Xoshiro256::new(1);
+        let mut scratch = TrainScratch::default();
+        for sentence in [vec![], vec![3u32]] {
+            let mut store = PlainStore {
+                syn0: &mut model.syn0,
+                syn1neg: &mut model.syn1neg,
+            };
+            let pairs = train_sentence(&mut store, &sentence, 0.025, &ctx, &mut rng, &mut scratch);
+            assert_eq!(pairs, 0);
+        }
+        assert_eq!(model, before);
+    }
+
+    #[test]
+    fn zero_alpha_changes_nothing_but_consumes_rng() {
+        let fx = Fixture::new(8);
+        let ctx = fx.ctx(2, 3);
+        let sentence = vec![0u32, 1, 2, 3];
+        let mut model = Word2VecModel::init(8, 6, 2);
+        let before = model.clone();
+        let mut rng = Xoshiro256::new(7);
+        let mut scratch = TrainScratch::default();
+        let mut store = PlainStore {
+            syn0: &mut model.syn0,
+            syn1neg: &mut model.syn1neg,
+        };
+        let pairs = train_sentence(&mut store, &sentence, 0.0, &ctx, &mut rng, &mut scratch);
+        assert!(pairs > 0);
+        assert_eq!(model, before);
+    }
+
+    #[test]
+    fn subsampling_reduces_trained_pairs() {
+        // With an aggressive threshold the most frequent words are mostly
+        // dropped, so fewer pairs get trained.
+        let vocab = vocab_n(6);
+        let sampler = AliasSampler::from_vocab(&vocab);
+        let sigmoid = SigmoidTable::new();
+        let keep_all = SubsampleTable::new(&vocab, 0.0);
+        let aggressive = SubsampleTable::new(&vocab, 1e-6);
+        let sentence: Vec<u32> = (0..6u32).cycle().take(60).collect();
+        let count_pairs = |sub: &SubsampleTable| -> u64 {
+            let ctx = TrainContext {
+                window: 2,
+                negative: 2,
+                sigmoid: &sigmoid,
+                sampler: &sampler,
+                subsample: sub,
+            };
+            let mut model = Word2VecModel::init(6, 4, 3);
+            let mut rng = Xoshiro256::new(55);
+            let mut scratch = TrainScratch::default();
+            let mut store = PlainStore {
+                syn0: &mut model.syn0,
+                syn1neg: &mut model.syn1neg,
+            };
+            train_sentence(&mut store, &sentence, 0.025, &ctx, &mut rng, &mut scratch)
+        };
+        let full = count_pairs(&keep_all);
+        let sub = count_pairs(&aggressive);
+        assert!(sub < full / 2, "subsampled {sub} vs full {full}");
+    }
+}

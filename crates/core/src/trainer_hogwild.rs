@@ -1,0 +1,294 @@
+//! Hogwild shared-memory trainer (paper §2.3).
+//!
+//! "In Hogwild! multiple threads compute gradients for different training
+//! examples and they update the model parameters in a race fashion.
+//! Surprisingly, this approach works well on a shared-memory system
+//! specially when the gradients are sparse. We incorporated this method
+//! for parallelizing within a node."
+//!
+//! Model cells are `AtomicU32`s holding `f32` bits, read and written with
+//! `Relaxed` ordering: individual loads/stores are atomic (no torn
+//! values, which would be UB with plain `f32` under racing threads) but
+//! read-modify-write sequences deliberately race — the Hogwild recipe.
+//! On x86 a relaxed atomic load/store compiles to a plain move, so the
+//! single-thread path pays nothing.
+
+use crate::model::Word2VecModel;
+use crate::params::Hyperparams;
+use crate::schedule::LrSchedule;
+use crate::setup::{TrainSetup, HOST_RNG_BASE};
+use crate::sgns::{train_sentence, SgnsStore, TrainScratch};
+use gw2v_corpus::shard::Corpus;
+use gw2v_corpus::vocab::Vocabulary;
+use gw2v_util::rng::{SplitMix64, Xoshiro256};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering::Relaxed};
+
+/// Model storage shared across racing threads.
+pub struct AtomicModel {
+    syn0: Vec<AtomicU32>,
+    syn1neg: Vec<AtomicU32>,
+    rows: usize,
+    dim: usize,
+}
+
+impl AtomicModel {
+    /// Converts a model into atomic storage.
+    pub fn from_model(m: &Word2VecModel) -> Self {
+        let conv = |s: &[f32]| s.iter().map(|v| AtomicU32::new(v.to_bits())).collect();
+        Self {
+            syn0: conv(m.syn0.as_slice()),
+            syn1neg: conv(m.syn1neg.as_slice()),
+            rows: m.n_words(),
+            dim: m.dim(),
+        }
+    }
+
+    /// Copies the current (settled) state into a plain model without
+    /// consuming the atomic storage.
+    pub fn snapshot(&self) -> Word2VecModel {
+        let conv = |v: &[AtomicU32]| -> Vec<f32> {
+            v.iter().map(|a| f32::from_bits(a.load(Relaxed))).collect()
+        };
+        Word2VecModel::from_layers(
+            gw2v_util::fvec::FlatMatrix::from_vec(conv(&self.syn0), self.rows, self.dim),
+            gw2v_util::fvec::FlatMatrix::from_vec(conv(&self.syn1neg), self.rows, self.dim),
+        )
+    }
+
+    /// Converts back into a plain model.
+    pub fn into_model(self) -> Word2VecModel {
+        let conv = |v: Vec<AtomicU32>| -> Vec<f32> {
+            v.into_iter()
+                .map(|a| f32::from_bits(a.into_inner()))
+                .collect()
+        };
+        let dim = self.dim;
+        let rows = self.rows;
+        Word2VecModel::from_layers(
+            gw2v_util::fvec::FlatMatrix::from_vec(conv(self.syn0), rows, dim),
+            gw2v_util::fvec::FlatMatrix::from_vec(conv(self.syn1neg), rows, dim),
+        )
+    }
+
+    #[inline]
+    fn load0(&self, idx: usize) -> f32 {
+        f32::from_bits(self.syn0[idx].load(Relaxed))
+    }
+
+    #[inline]
+    fn load1(&self, idx: usize) -> f32 {
+        f32::from_bits(self.syn1neg[idx].load(Relaxed))
+    }
+}
+
+/// Per-thread view of the shared atomic model.
+pub struct HogwildStore<'a> {
+    model: &'a AtomicModel,
+}
+
+impl SgnsStore for HogwildStore<'_> {
+    #[inline]
+    fn dim(&self) -> usize {
+        self.model.dim
+    }
+
+    #[inline]
+    fn dot(&self, win: u32, wout: u32) -> f32 {
+        // Mirrors fvec::dot's 4-way unrolled summation order exactly, so
+        // a 1-thread Hogwild run is bit-identical to the sequential
+        // trainer (pinned by a test below).
+        let d = self.model.dim;
+        let (b0, b1) = (win as usize * d, wout as usize * d);
+        let chunks = d / 4;
+        let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+        for i in 0..chunks {
+            let k = i * 4;
+            s0 += self.model.load0(b0 + k) * self.model.load1(b1 + k);
+            s1 += self.model.load0(b0 + k + 1) * self.model.load1(b1 + k + 1);
+            s2 += self.model.load0(b0 + k + 2) * self.model.load1(b1 + k + 2);
+            s3 += self.model.load0(b0 + k + 3) * self.model.load1(b1 + k + 3);
+        }
+        let mut s = (s0 + s1) + (s2 + s3);
+        for k in chunks * 4..d {
+            s += self.model.load0(b0 + k) * self.model.load1(b1 + k);
+        }
+        s
+    }
+
+    #[inline]
+    fn acc_hidden(&self, buf: &mut [f32], g: f32, wout: u32) {
+        let d = self.model.dim;
+        let b1 = wout as usize * d;
+        for (i, slot) in buf.iter_mut().enumerate() {
+            *slot += g * self.model.load1(b1 + i);
+        }
+    }
+
+    #[inline]
+    fn add_out(&mut self, wout: u32, g: f32, win: u32) {
+        let d = self.model.dim;
+        let (b0, b1) = (win as usize * d, wout as usize * d);
+        for i in 0..d {
+            // Racy read-modify-write, by design (Hogwild).
+            let new = self.model.load1(b1 + i) + g * self.model.load0(b0 + i);
+            self.model.syn1neg[b1 + i].store(new.to_bits(), Relaxed);
+        }
+    }
+
+    #[inline]
+    fn add_in(&mut self, win: u32, buf: &[f32]) {
+        let d = self.model.dim;
+        let b0 = win as usize * d;
+        for (i, &v) in buf.iter().enumerate() {
+            let new = self.model.load0(b0 + i) + v;
+            self.model.syn0[b0 + i].store(new.to_bits(), Relaxed);
+        }
+    }
+}
+
+/// Multi-threaded Hogwild trainer.
+pub struct HogwildTrainer {
+    /// Hyperparameters.
+    pub params: Hyperparams,
+    /// Number of racing worker threads.
+    pub n_threads: usize,
+}
+
+impl HogwildTrainer {
+    /// Creates a trainer with `n_threads` workers.
+    pub fn new(params: Hyperparams, n_threads: usize) -> Self {
+        assert!(n_threads > 0);
+        Self { params, n_threads }
+    }
+
+    /// Trains and returns the model. Threads split the corpus into
+    /// contiguous token-balanced shards (like the C implementation) and
+    /// share a global progress counter for the learning-rate schedule.
+    pub fn train(&self, corpus: &Corpus, vocab: &Vocabulary) -> Word2VecModel {
+        self.train_with_callback(corpus, vocab, |_, _| {})
+    }
+
+    /// Trains with a per-epoch callback: each epoch spawns a fresh thread
+    /// scope (threads race within an epoch; epoch boundaries are exact),
+    /// so the callback observes a settled model. Per-thread RNGs persist
+    /// across epochs.
+    pub fn train_with_callback(
+        &self,
+        corpus: &Corpus,
+        vocab: &Vocabulary,
+        mut on_epoch: impl FnMut(usize, &Word2VecModel),
+    ) -> Word2VecModel {
+        let p = &self.params;
+        let setup = TrainSetup::new(vocab, p);
+        let init = Word2VecModel::init(vocab.len(), p.dim, p.seed);
+        let atomic = AtomicModel::from_model(&init);
+        let schedule = LrSchedule::new(
+            p.alpha,
+            p.min_alpha_frac,
+            corpus.total_tokens() as u64,
+            p.epochs,
+        );
+        let progress = AtomicU64::new(0);
+        let root = SplitMix64::new(p.seed);
+        let mut rngs: Vec<Xoshiro256> = (0..self.n_threads)
+            .map(|t| Xoshiro256::new(root.derive(HOST_RNG_BASE + t as u64)))
+            .collect();
+
+        for epoch in 0..p.epochs {
+            std::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for (t, rng) in rngs.iter_mut().enumerate() {
+                    let shard = corpus.partition(t, self.n_threads);
+                    let atomic = &atomic;
+                    let setup = &setup;
+                    let progress = &progress;
+                    let schedule = &schedule;
+                    handles.push(scope.spawn(move || {
+                        let ctx = setup.ctx(p);
+                        let mut scratch = TrainScratch::default();
+                        for sentence in shard.sentences() {
+                            let done = progress.load(Relaxed);
+                            let alpha = schedule.alpha_at(done);
+                            let mut store = HogwildStore { model: atomic };
+                            train_sentence(&mut store, sentence, alpha, &ctx, rng, &mut scratch);
+                            progress.fetch_add(sentence.len() as u64, Relaxed);
+                        }
+                    }));
+                }
+                for h in handles {
+                    h.join().expect("hogwild worker panicked");
+                }
+            });
+            // Settled between epochs: snapshot for the callback.
+            let snapshot = atomic.snapshot();
+            on_epoch(epoch, &snapshot);
+        }
+        atomic.into_model()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gw2v_corpus::tokenizer::TokenizerConfig;
+    use gw2v_corpus::vocab::VocabBuilder;
+    use gw2v_util::fvec;
+
+    fn corpus() -> (Corpus, Vocabulary) {
+        let mut text = String::new();
+        for i in 0..300 {
+            if i % 2 == 0 {
+                text.push_str("x0 x1 x2 x1 x0\n");
+            } else {
+                text.push_str("y0 y1 y2 y1 y0\n");
+            }
+        }
+        let mut b = VocabBuilder::new();
+        for tok in text.split_whitespace() {
+            b.add_token(tok);
+        }
+        let vocab = b.build(1);
+        let cfg = TokenizerConfig {
+            lowercase: false,
+            max_sentence_len: 5,
+        };
+        (Corpus::from_text(&text, &vocab, cfg), vocab)
+    }
+
+    #[test]
+    fn single_thread_matches_sequential_bitwise() {
+        let (corpus, vocab) = corpus();
+        let params = Hyperparams {
+            epochs: 2,
+            ..Hyperparams::test_scale()
+        };
+        let seq = crate::trainer_seq::SequentialTrainer::new(params.clone()).train(&corpus, &vocab);
+        let hog = HogwildTrainer::new(params, 1).train(&corpus, &vocab);
+        assert_eq!(seq, hog, "1-thread Hogwild must equal sequential");
+    }
+
+    #[test]
+    fn multi_thread_still_learns() {
+        let (corpus, vocab) = corpus();
+        let params = Hyperparams {
+            dim: 24,
+            epochs: 6,
+            negative: 5,
+            subsample: 0.0,
+            ..Hyperparams::test_scale()
+        };
+        let model = HogwildTrainer::new(params, 4).train(&corpus, &vocab);
+        let emb = |w: &str| model.embedding(vocab.id_of(w).unwrap());
+        let same = fvec::cosine(emb("x0"), emb("x1"));
+        let cross = fvec::cosine(emb("x0"), emb("y1"));
+        assert!(same > cross, "same {same} vs cross {cross}");
+        assert!(model.syn0.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn atomic_model_roundtrip() {
+        let m = Word2VecModel::init(5, 8, 3);
+        let back = AtomicModel::from_model(&m).into_model();
+        assert_eq!(m, back);
+    }
+}

@@ -1,0 +1,181 @@
+//! Sequential SGD trainer — the "W2V" baseline.
+//!
+//! One thread, the corpus in order, the exact C-implementation recipe:
+//! this is the convergence gold standard the paper measures everything
+//! against ("a sequential SGD is simple to tune and converges fast.
+//! Unfortunately, it is slow", §5.3). It is also, by construction, the
+//! 1-host special case of the distributed engine — the equivalence is a
+//! pinned integration test.
+
+use crate::model::Word2VecModel;
+use crate::params::Hyperparams;
+use crate::schedule::LrSchedule;
+use crate::setup::{TrainSetup, HOST_RNG_BASE};
+use crate::sgns::{train_sentence, PlainStore, TrainScratch};
+use gw2v_corpus::shard::Corpus;
+use gw2v_corpus::vocab::Vocabulary;
+use gw2v_util::rng::{SplitMix64, Xoshiro256};
+
+/// Sequential shared-memory trainer.
+pub struct SequentialTrainer {
+    /// Hyperparameters.
+    pub params: Hyperparams,
+}
+
+impl SequentialTrainer {
+    /// Creates a trainer.
+    pub fn new(params: Hyperparams) -> Self {
+        Self { params }
+    }
+
+    /// Trains and returns the model.
+    pub fn train(&self, corpus: &Corpus, vocab: &Vocabulary) -> Word2VecModel {
+        self.train_with_callback(corpus, vocab, |_, _| {})
+    }
+
+    /// Trains, invoking `on_epoch(epoch_index, &model)` after each epoch
+    /// (the hook the accuracy-vs-epoch experiments use).
+    pub fn train_with_callback(
+        &self,
+        corpus: &Corpus,
+        vocab: &Vocabulary,
+        mut on_epoch: impl FnMut(usize, &Word2VecModel),
+    ) -> Word2VecModel {
+        let p = &self.params;
+        let setup = TrainSetup::new(vocab, p);
+        let ctx = setup.ctx(p);
+        let mut model = Word2VecModel::init(vocab.len(), p.dim, p.seed);
+        let schedule = LrSchedule::new(
+            p.alpha,
+            p.min_alpha_frac,
+            corpus.total_tokens() as u64,
+            p.epochs,
+        );
+        let mut rng = Xoshiro256::new(SplitMix64::new(p.seed).derive(HOST_RNG_BASE));
+        let mut scratch = TrainScratch::default();
+        let mut processed: u64 = 0;
+        for epoch in 0..p.epochs {
+            for sentence in corpus.sentences() {
+                let alpha = schedule.alpha_at(processed);
+                let mut store = PlainStore {
+                    syn0: &mut model.syn0,
+                    syn1neg: &mut model.syn1neg,
+                };
+                train_sentence(&mut store, sentence, alpha, &ctx, &mut rng, &mut scratch);
+                processed += sentence.len() as u64;
+            }
+            on_epoch(epoch, &model);
+        }
+        model
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gw2v_corpus::tokenizer::TokenizerConfig;
+    use gw2v_corpus::vocab::VocabBuilder;
+    use gw2v_util::fvec;
+
+    /// A corpus where words co-occur in two disjoint clusters; training
+    /// should pull same-cluster embeddings together.
+    fn clustered_corpus() -> (Corpus, Vocabulary) {
+        let mut text = String::new();
+        // Cluster A: a0..a3 co-occur; Cluster B: b0..b3 co-occur.
+        for i in 0..400 {
+            if i % 2 == 0 {
+                text.push_str("a0 a1 a2 a3 a1 a0 a2\n");
+            } else {
+                text.push_str("b0 b1 b2 b3 b1 b0 b2\n");
+            }
+        }
+        let mut b = VocabBuilder::new();
+        for tok in text.split_whitespace() {
+            b.add_token(tok);
+        }
+        let vocab = b.build(1);
+        let cfg = TokenizerConfig {
+            lowercase: false,
+            max_sentence_len: 7,
+        };
+        let corpus = Corpus::from_text(&text, &vocab, cfg);
+        (corpus, vocab)
+    }
+
+    #[test]
+    fn learns_cluster_structure() {
+        let (corpus, vocab) = clustered_corpus();
+        let params = Hyperparams {
+            dim: 24,
+            window: 3,
+            negative: 5,
+            epochs: 8,
+            subsample: 0.0,
+            ..Hyperparams::test_scale()
+        };
+        let model = SequentialTrainer::new(params).train(&corpus, &vocab);
+        let emb = |w: &str| model.embedding(vocab.id_of(w).unwrap());
+        let same = fvec::cosine(emb("a0"), emb("a1"));
+        let cross = fvec::cosine(emb("a0"), emb("b1"));
+        assert!(
+            same > cross + 0.3,
+            "same-cluster cosine {same} vs cross {cross}"
+        );
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let (corpus, vocab) = clustered_corpus();
+        let params = Hyperparams {
+            epochs: 2,
+            ..Hyperparams::test_scale()
+        };
+        let m1 = SequentialTrainer::new(params.clone()).train(&corpus, &vocab);
+        let m2 = SequentialTrainer::new(params).train(&corpus, &vocab);
+        assert_eq!(m1, m2);
+    }
+
+    #[test]
+    fn seed_changes_model() {
+        let (corpus, vocab) = clustered_corpus();
+        let p1 = Hyperparams {
+            epochs: 1,
+            ..Hyperparams::test_scale()
+        };
+        let p2 = Hyperparams {
+            seed: 999,
+            ..p1.clone()
+        };
+        let m1 = SequentialTrainer::new(p1).train(&corpus, &vocab);
+        let m2 = SequentialTrainer::new(p2).train(&corpus, &vocab);
+        assert_ne!(m1, m2);
+    }
+
+    #[test]
+    fn epoch_callback_fires_in_order() {
+        let (corpus, vocab) = clustered_corpus();
+        let params = Hyperparams {
+            epochs: 3,
+            ..Hyperparams::test_scale()
+        };
+        let mut seen = Vec::new();
+        SequentialTrainer::new(params).train_with_callback(&corpus, &vocab, |e, m| {
+            assert_eq!(m.dim(), 16);
+            seen.push(e);
+        });
+        assert_eq!(seen, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn vectors_stay_finite() {
+        let (corpus, vocab) = clustered_corpus();
+        let params = Hyperparams {
+            epochs: 4,
+            alpha: 0.05,
+            ..Hyperparams::test_scale()
+        };
+        let model = SequentialTrainer::new(params).train(&corpus, &vocab);
+        assert!(model.syn0.as_slice().iter().all(|v| v.is_finite()));
+        assert!(model.syn1neg.as_slice().iter().all(|v| v.is_finite()));
+    }
+}

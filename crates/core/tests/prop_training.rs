@@ -1,0 +1,122 @@
+//! Property-based tests on the training operator: robustness invariants
+//! that must hold for *any* sentence content and hyperparameter draw.
+
+use gw2v_core::model::Word2VecModel;
+use gw2v_core::params::Hyperparams;
+use gw2v_core::setup::TrainSetup;
+use gw2v_core::sgns::{train_sentence, PlainStore, RecordingStore, TrainScratch};
+use gw2v_corpus::vocab::{VocabBuilder, Vocabulary};
+use gw2v_util::rng::Xoshiro256;
+use proptest::prelude::*;
+
+fn vocab_n(n: usize) -> Vocabulary {
+    let mut b = VocabBuilder::new();
+    for i in 0..n {
+        for _ in 0..(n - i) {
+            b.add_token(&format!("w{i:03}"));
+        }
+    }
+    b.build(1)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Whatever the sentence, learning rate (within the stable range) and
+    /// window/negative settings, one training pass must keep every model
+    /// value finite.
+    #[test]
+    fn training_never_produces_nan(
+        sentence in proptest::collection::vec(0u32..30, 0..40),
+        window in 1usize..6,
+        negative in 0usize..8,
+        alpha in 0.0f32..0.5,
+        seed in 0u64..1000,
+    ) {
+        let vocab = vocab_n(30);
+        let params = Hyperparams {
+            dim: 12,
+            window,
+            negative,
+            subsample: 0.0,
+            ..Hyperparams::test_scale()
+        };
+        let setup = TrainSetup::new(&vocab, &params);
+        let ctx = setup.ctx(&params);
+        let mut model = Word2VecModel::init(30, 12, seed);
+        let mut rng = Xoshiro256::new(seed);
+        let mut scratch = TrainScratch::default();
+        let mut store = PlainStore { syn0: &mut model.syn0, syn1neg: &mut model.syn1neg };
+        train_sentence(&mut store, &sentence, alpha, &ctx, &mut rng, &mut scratch);
+        prop_assert!(model.syn0.as_slice().iter().all(|v| v.is_finite()));
+        prop_assert!(model.syn1neg.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    /// Pair count is bounded by |sentence| × 2·window and is zero for
+    /// sentences shorter than 2 tokens.
+    #[test]
+    fn pair_count_bounds(
+        sentence in proptest::collection::vec(0u32..20, 0..30),
+        window in 1usize..5,
+        seed in 0u64..100,
+    ) {
+        let vocab = vocab_n(20);
+        let params = Hyperparams {
+            dim: 8,
+            window,
+            negative: 2,
+            subsample: 0.0,
+            ..Hyperparams::test_scale()
+        };
+        let setup = TrainSetup::new(&vocab, &params);
+        let ctx = setup.ctx(&params);
+        let mut model = Word2VecModel::init(20, 8, 1);
+        let mut rng = Xoshiro256::new(seed);
+        let mut scratch = TrainScratch::default();
+        let mut store = PlainStore { syn0: &mut model.syn0, syn1neg: &mut model.syn1neg };
+        let pairs = train_sentence(&mut store, &sentence, 0.025, &ctx, &mut rng, &mut scratch);
+        prop_assert!(pairs as usize <= sentence.len() * 2 * window);
+        if sentence.len() < 2 {
+            prop_assert_eq!(pairs, 0);
+        }
+    }
+
+    /// The inspection replay (RecordingStore with a cloned RNG) always
+    /// predicts the exact touch sets of the real execution — for any
+    /// sentence, window, negative count and subsampling threshold. This
+    /// is THE correctness property of the PullModel plan.
+    #[test]
+    fn inspection_always_predicts_touches(
+        sentence in proptest::collection::vec(0u32..25, 0..30),
+        window in 1usize..5,
+        negative in 0usize..6,
+        subsample in prop_oneof![Just(0.0f64), Just(1e-2), Just(1e-4)],
+        seed in 0u64..500,
+    ) {
+        let vocab = vocab_n(25);
+        let params = Hyperparams {
+            dim: 8,
+            window,
+            negative,
+            subsample,
+            ..Hyperparams::test_scale()
+        };
+        let setup = TrainSetup::new(&vocab, &params);
+        let ctx = setup.ctx(&params);
+        // Inspection pass.
+        let mut recorder = RecordingStore::new(25, 8);
+        let mut rng_probe = Xoshiro256::new(seed);
+        let mut scratch = TrainScratch::default();
+        train_sentence(&mut recorder, &sentence, 0.0, &ctx, &mut rng_probe, &mut scratch);
+        // Real pass on a tracked replica.
+        let init = Word2VecModel::init(25, 8, 3);
+        let mut replica = gw2v_gluon::ModelReplica::new(vec![init.syn0, init.syn1neg]);
+        let mut rng_real = Xoshiro256::new(seed);
+        {
+            let mut store = gw2v_core::sgns::ReplicaStore { replica: &mut replica };
+            train_sentence(&mut store, &sentence, 0.025, &ctx, &mut rng_real, &mut scratch);
+        }
+        prop_assert_eq!(&recorder.syn0_access, replica.tracker(0).touched_bits());
+        prop_assert_eq!(&recorder.syn1_access, replica.tracker(1).touched_bits());
+    }
+}

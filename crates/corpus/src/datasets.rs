@@ -1,0 +1,222 @@
+//! Dataset presets mirroring Table 1 of the paper.
+//!
+//! The paper evaluates on three corpora:
+//!
+//! | Dataset   | Vocabulary | Training words | Size   |
+//! |-----------|-----------:|---------------:|-------:|
+//! | 1-billion |     399.0K |         665.5M | 3.7 GB |
+//! | news      |     479.3K |         714.1M | 3.9 GB |
+//! | wiki      |    2759.5K |        3594.1M | 21 GB  |
+//!
+//! The presets here generate synthetic stand-ins (see [`crate::synth`])
+//! whose *relative* proportions match the paper — vocabulary ratios
+//! 1 : 1.2 : 6.9 and token ratios 1 : 1.07 : 5.4 — at absolute sizes that
+//! train in minutes on one machine. Three [`Scale`]s are provided; every
+//! experiment binary accepts a scale flag.
+
+use crate::synth::{SynthCorpus, SynthSpec};
+use serde::{Deserialize, Serialize};
+
+/// How large to make the synthetic stand-in corpora.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Scale {
+    /// ~80 K tokens base — integration tests, smoke runs.
+    Tiny,
+    /// ~800 K tokens base — the default for experiment binaries.
+    Small,
+    /// ~3 M tokens base — closer convergence to paper shapes; minutes per run.
+    Medium,
+}
+
+impl Scale {
+    /// Parses `"tiny" | "small" | "medium"` (case-insensitive).
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s.to_ascii_lowercase().as_str() {
+            "tiny" => Some(Scale::Tiny),
+            "small" => Some(Scale::Small),
+            "medium" => Some(Scale::Medium),
+            _ => None,
+        }
+    }
+
+    fn base_tokens(self) -> usize {
+        match self {
+            Scale::Tiny => 80_000,
+            Scale::Small => 800_000,
+            Scale::Medium => 3_000_000,
+        }
+    }
+
+    fn base_vocab(self) -> usize {
+        match self {
+            Scale::Tiny => 800,
+            Scale::Small => 2_500,
+            Scale::Medium => 5_000,
+        }
+    }
+
+    fn n_pairs(self) -> usize {
+        match self {
+            Scale::Tiny => 6,
+            Scale::Small => 12,
+            Scale::Medium => 16,
+        }
+    }
+
+    /// Analogy questions generated per category at this scale.
+    pub fn questions_per_category(self) -> usize {
+        match self {
+            Scale::Tiny => 12,
+            Scale::Small => 30,
+            Scale::Medium => 40,
+        }
+    }
+}
+
+/// The paper-reported properties of the original dataset (for Table 1).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct PaperDataset {
+    /// Vocabulary size in thousands of words.
+    pub vocab_k: f64,
+    /// Training words in millions.
+    pub words_m: f64,
+    /// On-disk size in gigabytes.
+    pub size_gb: f64,
+}
+
+/// One synthetic dataset preset.
+#[derive(Clone, Copy, Debug)]
+pub struct DatasetPreset {
+    /// Preset name (`"1-billion-sim"` etc.).
+    pub name: &'static str,
+    /// Short name used in paper tables (`"1-billion"`).
+    pub paper_name: &'static str,
+    /// The original dataset's reported properties.
+    pub paper: PaperDataset,
+    vocab_mult: f64,
+    words_mult: f64,
+}
+
+/// All three presets in the paper's order.
+pub const PRESETS: [DatasetPreset; 3] = [
+    DatasetPreset {
+        name: "1-billion-sim",
+        paper_name: "1-billion",
+        paper: PaperDataset {
+            vocab_k: 399.0,
+            words_m: 665.5,
+            size_gb: 3.7,
+        },
+        vocab_mult: 1.0,
+        words_mult: 1.0,
+    },
+    DatasetPreset {
+        name: "news-sim",
+        paper_name: "news",
+        paper: PaperDataset {
+            vocab_k: 479.3,
+            words_m: 714.1,
+            size_gb: 3.9,
+        },
+        vocab_mult: 1.2,
+        words_mult: 1.07,
+    },
+    DatasetPreset {
+        name: "wiki-sim",
+        paper_name: "wiki",
+        paper: PaperDataset {
+            vocab_k: 2759.5,
+            words_m: 3594.1,
+            size_gb: 21.0,
+        },
+        vocab_mult: 6.9,
+        words_mult: 5.4,
+    },
+];
+
+impl DatasetPreset {
+    /// Looks a preset up by either its `-sim` name or the paper name.
+    pub fn by_name(name: &str) -> Option<&'static DatasetPreset> {
+        PRESETS
+            .iter()
+            .find(|p| p.name == name || p.paper_name == name)
+    }
+
+    /// Builds the generator spec at the given scale.
+    pub fn spec(&self, scale: Scale, seed: u64) -> SynthSpec {
+        let categories = SynthSpec::default_categories(scale.n_pairs());
+        let relation_words: usize = categories.iter().map(|c| c.vocab_words()).sum();
+        let target_vocab = (scale.base_vocab() as f64 * self.vocab_mult) as usize;
+        let background_vocab = target_vocab.saturating_sub(relation_words).max(200);
+        SynthSpec {
+            background_vocab,
+            zipf_exponent: 1.07,
+            zipf_shift: 2.7,
+            categories,
+            p_relation: 0.5,
+            sentence_len: (10, 20),
+            seed,
+        }
+    }
+
+    /// Number of tokens to generate at this scale.
+    pub fn target_tokens(&self, scale: Scale) -> usize {
+        (scale.base_tokens() as f64 * self.words_mult) as usize
+    }
+
+    /// Generates the corpus (deterministic per `(scale, seed)`).
+    pub fn generate(&self, scale: Scale, seed: u64) -> SynthCorpus {
+        SynthCorpus::generate(
+            &self.spec(scale, seed),
+            self.target_tokens(scale),
+            scale.questions_per_category(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_presets_in_paper_order() {
+        assert_eq!(PRESETS[0].paper_name, "1-billion");
+        assert_eq!(PRESETS[1].paper_name, "news");
+        assert_eq!(PRESETS[2].paper_name, "wiki");
+    }
+
+    #[test]
+    fn lookup_by_either_name() {
+        assert!(DatasetPreset::by_name("wiki").is_some());
+        assert!(DatasetPreset::by_name("wiki-sim").is_some());
+        assert!(DatasetPreset::by_name("nope").is_none());
+    }
+
+    #[test]
+    fn ratios_match_paper() {
+        let t0 = PRESETS[0].target_tokens(Scale::Small) as f64;
+        let t2 = PRESETS[2].target_tokens(Scale::Small) as f64;
+        assert!((t2 / t0 - 5.4).abs() < 0.01);
+        let s0 = PRESETS[0].spec(Scale::Small, 1);
+        let s2 = PRESETS[2].spec(Scale::Small, 1);
+        let v0 = s0.vocab_upper_bound() as f64;
+        let v2 = s2.vocab_upper_bound() as f64;
+        let ratio = v2 / v0;
+        assert!((5.0..7.5).contains(&ratio), "vocab ratio {ratio}");
+    }
+
+    #[test]
+    fn scale_parse() {
+        assert_eq!(Scale::parse("Tiny"), Some(Scale::Tiny));
+        assert_eq!(Scale::parse("SMALL"), Some(Scale::Small));
+        assert_eq!(Scale::parse("medium"), Some(Scale::Medium));
+        assert_eq!(Scale::parse("huge"), None);
+    }
+
+    #[test]
+    fn tiny_generation_is_fast_and_sized() {
+        let c = PRESETS[0].generate(Scale::Tiny, 99);
+        assert!(c.n_tokens >= 80_000);
+        assert_eq!(c.analogies.categories.len(), 14);
+    }
+}

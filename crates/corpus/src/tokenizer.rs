@@ -1,0 +1,170 @@
+//! Tokenization and streaming sentence extraction.
+//!
+//! The corpus format is the same as the Word2Vec C tool's: plain text,
+//! words separated by ASCII whitespace, newlines treated like any other
+//! separator. "Sentences" for training are fixed-size windows of at most
+//! [`TokenizerConfig::max_sentence_len`] words (the paper uses 10 000);
+//! this caps the memory the per-sentence buffers need and bounds the
+//! context-window wraparound.
+
+use std::io::BufRead;
+
+/// Tokenizer configuration.
+#[derive(Clone, Debug)]
+pub struct TokenizerConfig {
+    /// Convert tokens to ASCII lowercase.
+    pub lowercase: bool,
+    /// Maximum words per training sentence; longer runs are split.
+    pub max_sentence_len: usize,
+}
+
+impl Default for TokenizerConfig {
+    fn default() -> Self {
+        Self {
+            lowercase: false,
+            max_sentence_len: 10_000,
+        }
+    }
+}
+
+/// Splits one line into word tokens (ASCII whitespace separated).
+pub fn tokenize_line(line: &str) -> impl Iterator<Item = &str> {
+    line.split_ascii_whitespace()
+}
+
+/// Streams sentences from a reader.
+///
+/// Each yielded sentence has between 1 and `config.max_sentence_len`
+/// tokens. Input lines are concatenated into the running sentence buffer;
+/// the buffer is flushed when it reaches the maximum length, so the
+/// sentence structure of the text (newlines) does *not* create sentence
+/// boundaries — matching the C implementation's treatment of a corpus as
+/// one long word stream chopped into fixed windows.
+pub struct SentenceStream<R: BufRead> {
+    reader: R,
+    config: TokenizerConfig,
+    pending: Vec<String>,
+    done: bool,
+}
+
+impl<R: BufRead> SentenceStream<R> {
+    /// Creates a stream over `reader` with the given config.
+    pub fn new(reader: R, config: TokenizerConfig) -> Self {
+        Self {
+            reader,
+            config,
+            pending: Vec::new(),
+            done: false,
+        }
+    }
+}
+
+impl<R: BufRead> Iterator for SentenceStream<R> {
+    type Item = std::io::Result<Vec<String>>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let max = self.config.max_sentence_len;
+        let mut line = String::new();
+        loop {
+            if self.pending.len() >= max {
+                let rest = self.pending.split_off(max);
+                let full = std::mem::replace(&mut self.pending, rest);
+                return Some(Ok(full));
+            }
+            if self.done {
+                if self.pending.is_empty() {
+                    return None;
+                }
+                return Some(Ok(std::mem::take(&mut self.pending)));
+            }
+            line.clear();
+            match self.reader.read_line(&mut line) {
+                Err(e) => return Some(Err(e)),
+                Ok(0) => {
+                    self.done = true;
+                }
+                Ok(_) => {
+                    for tok in tokenize_line(&line) {
+                        let word = if self.config.lowercase {
+                            tok.to_ascii_lowercase()
+                        } else {
+                            tok.to_owned()
+                        };
+                        self.pending.push(word);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Convenience: collect all sentences from an in-memory text.
+pub fn sentences_from_text(text: &str, config: TokenizerConfig) -> Vec<Vec<String>> {
+    SentenceStream::new(std::io::Cursor::new(text), config)
+        .map(|s| s.expect("in-memory read cannot fail"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenize_line_splits_whitespace() {
+        let toks: Vec<&str> = tokenize_line("  the quick\tbrown   fox ").collect();
+        assert_eq!(toks, vec!["the", "quick", "brown", "fox"]);
+        assert_eq!(tokenize_line("").count(), 0);
+        assert_eq!(tokenize_line("   \t ").count(), 0);
+    }
+
+    #[test]
+    fn stream_respects_max_len() {
+        let text = "a b c d e f g";
+        let cfg = TokenizerConfig {
+            lowercase: false,
+            max_sentence_len: 3,
+        };
+        let sents = sentences_from_text(text, cfg);
+        assert_eq!(
+            sents,
+            vec![vec!["a", "b", "c"], vec!["d", "e", "f"], vec!["g"]]
+        );
+    }
+
+    #[test]
+    fn newlines_do_not_break_sentences() {
+        let text = "a b\nc d\ne";
+        let cfg = TokenizerConfig {
+            lowercase: false,
+            max_sentence_len: 4,
+        };
+        let sents = sentences_from_text(text, cfg);
+        assert_eq!(sents, vec![vec!["a", "b", "c", "d"], vec!["e"]]);
+    }
+
+    #[test]
+    fn lowercase_option() {
+        let cfg = TokenizerConfig {
+            lowercase: true,
+            max_sentence_len: 10,
+        };
+        let sents = sentences_from_text("The QUICK Fox", cfg);
+        assert_eq!(sents, vec![vec!["the", "quick", "fox"]]);
+    }
+
+    #[test]
+    fn empty_input_yields_nothing() {
+        assert!(sentences_from_text("", TokenizerConfig::default()).is_empty());
+        assert!(sentences_from_text(" \n\t\n", TokenizerConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn exact_multiple_of_max_len() {
+        let cfg = TokenizerConfig {
+            lowercase: false,
+            max_sentence_len: 2,
+        };
+        let sents = sentences_from_text("a b c d", cfg);
+        assert_eq!(sents, vec![vec!["a", "b"], vec!["c", "d"]]);
+    }
+}

@@ -1,0 +1,268 @@
+//! Negative-sampling distributions.
+//!
+//! SGNS draws "negative" words from the unigram distribution raised to the
+//! 3/4 power (Mikolov et al. 2013). Two exact-or-close implementations:
+//!
+//! * [`UnigramTable`] — the classic big-array lookup the C code uses:
+//!   an array of `table_size` word ids filled proportionally to
+//!   `count^0.75`; sampling is one random index. Memory `O(table_size)`,
+//!   distribution quantized to `1/table_size`.
+//! * [`AliasSampler`] — Walker's alias method: `O(vocab)` memory, exact
+//!   probabilities, one random draw + one comparison per sample.
+//!
+//! Both implement [`NegativeSampler`]; the ablation bench compares them.
+
+use crate::vocab::Vocabulary;
+use gw2v_util::rng::Rng64;
+
+/// Power applied to unigram counts (0.75 from the paper).
+pub const UNIGRAM_POWER: f64 = 0.75;
+
+/// A source of negative samples: word ids drawn from the smoothed unigram
+/// distribution.
+pub trait NegativeSampler: Send + Sync {
+    /// Draws one word id.
+    fn sample<R: Rng64>(&self, rng: &mut R) -> u32;
+}
+
+/// Classic lookup-table sampler (the C implementation's `InitUnigramTable`).
+#[derive(Clone, Debug)]
+pub struct UnigramTable {
+    table: Vec<u32>,
+}
+
+impl UnigramTable {
+    /// Default table size; the C tool uses 1e8, we default to 1e6 — at our
+    /// scaled-down vocabulary sizes the quantization error is comparable.
+    pub const DEFAULT_SIZE: usize = 1 << 20;
+
+    /// Builds a table of `size` entries from the vocabulary.
+    pub fn new(vocab: &Vocabulary, size: usize) -> Self {
+        assert!(
+            !vocab.is_empty(),
+            "cannot build unigram table for empty vocabulary"
+        );
+        assert!(size > 0);
+        let pow_sum: f64 = vocab
+            .entries()
+            .iter()
+            .map(|w| (w.count as f64).powf(UNIGRAM_POWER))
+            .sum();
+        let mut table = Vec::with_capacity(size);
+        let mut word: usize = 0;
+        let mut cum = (vocab.count_of(0) as f64).powf(UNIGRAM_POWER) / pow_sum;
+        for i in 0..size {
+            table.push(word as u32);
+            if (i + 1) as f64 / size as f64 > cum
+                && word + 1 < vocab.len() {
+                    word += 1;
+                    cum += (vocab.count_of(word as u32) as f64).powf(UNIGRAM_POWER) / pow_sum;
+                }
+        }
+        Self { table }
+    }
+
+    /// Number of table entries.
+    pub fn size(&self) -> usize {
+        self.table.len()
+    }
+}
+
+impl NegativeSampler for UnigramTable {
+    #[inline]
+    fn sample<R: Rng64>(&self, rng: &mut R) -> u32 {
+        self.table[rng.index(self.table.len())]
+    }
+}
+
+/// Walker alias sampler: exact sampling from an arbitrary discrete
+/// distribution in O(1) per draw.
+#[derive(Clone, Debug)]
+pub struct AliasSampler {
+    prob: Vec<f32>,
+    alias: Vec<u32>,
+}
+
+impl AliasSampler {
+    /// Builds an alias table over `count^0.75` for the whole vocabulary.
+    pub fn from_vocab(vocab: &Vocabulary) -> Self {
+        let weights: Vec<f64> = vocab
+            .entries()
+            .iter()
+            .map(|w| (w.count as f64).powf(UNIGRAM_POWER))
+            .collect();
+        Self::from_weights(&weights)
+    }
+
+    /// Builds an alias table from arbitrary non-negative weights (at least
+    /// one must be positive).
+    pub fn from_weights(weights: &[f64]) -> Self {
+        let n = weights.len();
+        assert!(n > 0, "empty weight vector");
+        let sum: f64 = weights.iter().sum();
+        assert!(sum > 0.0, "weights must not all be zero");
+        // Scaled probabilities: mean 1.
+        let mut scaled: Vec<f64> = weights.iter().map(|w| w * n as f64 / sum).collect();
+        let mut small: Vec<u32> = Vec::new();
+        let mut large: Vec<u32> = Vec::new();
+        for (i, &p) in scaled.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        let mut prob = vec![1.0f32; n];
+        let mut alias: Vec<u32> = (0..n as u32).collect();
+        while let (Some(s), Some(l)) = (small.pop(), large.pop()) {
+            prob[s as usize] = scaled[s as usize] as f32;
+            alias[s as usize] = l;
+            scaled[l as usize] = (scaled[l as usize] + scaled[s as usize]) - 1.0;
+            if scaled[l as usize] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Leftovers (numerical residue) get probability 1 (already set).
+        Self { prob, alias }
+    }
+
+    /// Number of outcomes.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// True if the sampler has no outcomes (cannot happen post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+}
+
+impl NegativeSampler for AliasSampler {
+    #[inline]
+    fn sample<R: Rng64>(&self, rng: &mut R) -> u32 {
+        let i = rng.index(self.prob.len());
+        if rng.next_f32() < self.prob[i] {
+            i as u32
+        } else {
+            self.alias[i]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vocab::VocabBuilder;
+    use gw2v_util::rng::Xoshiro256;
+
+    fn vocab_with_counts(counts: &[u64]) -> Vocabulary {
+        let mut b = VocabBuilder::new();
+        for (i, &c) in counts.iter().enumerate() {
+            for _ in 0..c {
+                b.add_token(&format!("w{i:04}"));
+            }
+        }
+        b.build(1)
+    }
+
+    fn expected_dist(counts: &[u64]) -> Vec<f64> {
+        let pows: Vec<f64> = counts
+            .iter()
+            .map(|&c| (c as f64).powf(UNIGRAM_POWER))
+            .collect();
+        let sum: f64 = pows.iter().sum();
+        pows.iter().map(|p| p / sum).collect()
+    }
+
+    fn empirical<S: NegativeSampler>(s: &S, n_outcomes: usize, draws: usize) -> Vec<f64> {
+        let mut rng = Xoshiro256::new(99);
+        let mut counts = vec![0usize; n_outcomes];
+        for _ in 0..draws {
+            counts[s.sample(&mut rng) as usize] += 1;
+        }
+        counts.iter().map(|&c| c as f64 / draws as f64).collect()
+    }
+
+    #[test]
+    fn unigram_table_distribution() {
+        // Descending counts so vocab ids align with the counts order.
+        let counts = [1000u64, 400, 150, 60, 20];
+        let vocab = vocab_with_counts(&counts);
+        let table = UnigramTable::new(&vocab, 100_000);
+        let expected = expected_dist(&counts);
+        let got = empirical(&table, counts.len(), 300_000);
+        for (g, e) in got.iter().zip(&expected) {
+            assert!((g - e).abs() < 0.01, "got {g}, expected {e}");
+        }
+    }
+
+    #[test]
+    fn alias_distribution_exact() {
+        let counts = [1000u64, 400, 150, 60, 20];
+        let vocab = vocab_with_counts(&counts);
+        let alias = AliasSampler::from_vocab(&vocab);
+        let expected = expected_dist(&counts);
+        let got = empirical(&alias, counts.len(), 300_000);
+        for (g, e) in got.iter().zip(&expected) {
+            assert!((g - e).abs() < 0.01, "got {g}, expected {e}");
+        }
+    }
+
+    #[test]
+    fn alias_handles_degenerate_weights() {
+        let alias = AliasSampler::from_weights(&[0.0, 1.0, 0.0]);
+        let mut rng = Xoshiro256::new(1);
+        for _ in 0..1000 {
+            assert_eq!(alias.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn alias_single_outcome() {
+        let alias = AliasSampler::from_weights(&[5.0]);
+        let mut rng = Xoshiro256::new(1);
+        assert_eq!(alias.sample(&mut rng), 0);
+    }
+
+    #[test]
+    fn alias_uniform_weights() {
+        let alias = AliasSampler::from_weights(&[1.0; 7]);
+        let got = empirical(&alias, 7, 140_000);
+        for g in got {
+            assert!((g - 1.0 / 7.0).abs() < 0.01);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must not all be zero")]
+    fn alias_all_zero_panics() {
+        let _ = AliasSampler::from_weights(&[0.0, 0.0]);
+    }
+
+    #[test]
+    fn table_covers_all_words() {
+        let counts = [100u64, 50, 25, 12, 6, 3];
+        let vocab = vocab_with_counts(&counts);
+        let table = UnigramTable::new(&vocab, 10_000);
+        let mut seen = vec![false; counts.len()];
+        for &w in &table.table {
+            seen[w as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "every word appears in the table");
+    }
+
+    #[test]
+    fn samplers_agree_with_each_other() {
+        let counts = [5000u64, 2000, 800, 300, 100, 40, 15];
+        let vocab = vocab_with_counts(&counts);
+        let table = UnigramTable::new(&vocab, 1 << 18);
+        let alias = AliasSampler::from_vocab(&vocab);
+        let a = empirical(&table, counts.len(), 200_000);
+        let b = empirical(&alias, counts.len(), 200_000);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 0.015, "table {x} vs alias {y}");
+        }
+    }
+}

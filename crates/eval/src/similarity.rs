@@ -1,0 +1,198 @@
+//! Word-similarity evaluation.
+//!
+//! The second standard intrinsic evaluation for embeddings (alongside
+//! analogies): how well do model cosine similarities rank word pairs
+//! against gold judgments? Real benchmarks (WordSim-353, SimLex-999)
+//! are not available offline, so the generator's planted relations
+//! provide the gold standard: related pairs (`(aᵢ, bᵢ)` of one
+//! category, and words sharing a topic) must outrank random pairs.
+//! Reported as a Spearman rank correlation, the metric those benchmarks
+//! use.
+
+use crate::analogy::word_similarity;
+use gw2v_core::model::Word2VecModel;
+use gw2v_corpus::synth::AnalogySet;
+use gw2v_corpus::vocab::Vocabulary;
+use gw2v_util::rng::{Rng64, SplitMix64, Xoshiro256};
+use serde::{Deserialize, Serialize};
+
+/// A scored word pair: gold relatedness vs model cosine.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ScoredPair {
+    /// First word.
+    pub a: String,
+    /// Second word.
+    pub b: String,
+    /// Gold relatedness in `[0, 1]`.
+    pub gold: f64,
+    /// Model cosine similarity.
+    pub model: f64,
+}
+
+/// Result of a similarity evaluation.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SimilarityReport {
+    /// Spearman rank correlation between gold and model scores.
+    pub spearman: f64,
+    /// Mean model cosine over related (gold = 1) pairs.
+    pub mean_related: f64,
+    /// Mean model cosine over random (gold = 0) pairs.
+    pub mean_random: f64,
+    /// Number of pairs evaluated.
+    pub n_pairs: usize,
+}
+
+/// Builds a similarity benchmark from a planted analogy suite: each
+/// question contributes its related pair `(a, b)` with gold 1.0, and a
+/// random vocabulary pair with gold 0.0. Evaluates `model` against it.
+pub fn evaluate_similarity(
+    model: &Word2VecModel,
+    vocab: &Vocabulary,
+    set: &AnalogySet,
+    seed: u64,
+) -> SimilarityReport {
+    let mut rng = Xoshiro256::new(SplitMix64::new(seed).derive(0x51));
+    let mut pairs: Vec<ScoredPair> = Vec::new();
+    for cat in &set.categories {
+        for q in &cat.questions {
+            if let Some(cos) = word_similarity(model, vocab, &q.a, &q.b) {
+                pairs.push(ScoredPair {
+                    a: q.a.clone(),
+                    b: q.b.clone(),
+                    gold: 1.0,
+                    model: cos as f64,
+                });
+            }
+            // A random pair as a gold-0 foil.
+            let x = rng.index(vocab.len()) as u32;
+            let y = rng.index(vocab.len()) as u32;
+            if x != y {
+                pairs.push(ScoredPair {
+                    a: vocab.word_of(x).to_owned(),
+                    b: vocab.word_of(y).to_owned(),
+                    gold: 0.0,
+                    model: word_similarity(model, vocab, vocab.word_of(x), vocab.word_of(y))
+                        .unwrap_or(0.0) as f64,
+                });
+            }
+        }
+    }
+    let gold: Vec<f64> = pairs.iter().map(|p| p.gold).collect();
+    let scores: Vec<f64> = pairs.iter().map(|p| p.model).collect();
+    let related: Vec<f64> = pairs
+        .iter()
+        .filter(|p| p.gold > 0.5)
+        .map(|p| p.model)
+        .collect();
+    let random: Vec<f64> = pairs
+        .iter()
+        .filter(|p| p.gold <= 0.5)
+        .map(|p| p.model)
+        .collect();
+    let mean = |v: &[f64]| {
+        if v.is_empty() {
+            0.0
+        } else {
+            v.iter().sum::<f64>() / v.len() as f64
+        }
+    };
+    SimilarityReport {
+        spearman: spearman(&gold, &scores),
+        mean_related: mean(&related),
+        mean_random: mean(&random),
+        n_pairs: pairs.len(),
+    }
+}
+
+/// Spearman rank correlation (average ranks for ties).
+pub fn spearman(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len());
+    if x.len() < 2 {
+        return 0.0;
+    }
+    let rx = ranks(x);
+    let ry = ranks(y);
+    pearson(&rx, &ry)
+}
+
+fn ranks(v: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..v.len()).collect();
+    idx.sort_by(|&a, &b| v[a].partial_cmp(&v[b]).expect("NaN in rank input"));
+    let mut ranks = vec![0.0; v.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && v[idx[j + 1]] == v[idx[i]] {
+            j += 1;
+        }
+        // Average rank for the tie group [i, j].
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            ranks[k] = avg;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+fn pearson(x: &[f64], y: &[f64]) -> f64 {
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (a, b) in x.iter().zip(y) {
+        cov += (a - mx) * (b - my);
+        vx += (a - mx) * (a - mx);
+        vy += (b - my) * (b - my);
+    }
+    if vx == 0.0 || vy == 0.0 {
+        0.0
+    } else {
+        cov / (vx * vy).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spearman_perfect_and_inverse() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [10.0, 20.0, 30.0, 40.0];
+        assert!((spearman(&x, &y) - 1.0).abs() < 1e-12);
+        let z = [40.0, 30.0, 20.0, 10.0];
+        assert!((spearman(&x, &z) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_is_rank_based() {
+        // Monotone but nonlinear transform leaves spearman at 1.
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y: Vec<f64> = x.iter().map(|v| f64::exp(*v)).collect();
+        assert!((spearman(&x, &y) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_handles_ties() {
+        let x = [1.0, 1.0, 2.0, 2.0];
+        let y = [1.0, 1.0, 2.0, 2.0];
+        assert!((spearman(&x, &y) - 1.0).abs() < 1e-12);
+        let flat = [3.0, 3.0, 3.0, 3.0];
+        assert_eq!(spearman(&flat, &y), 0.0, "zero variance → 0");
+    }
+
+    #[test]
+    fn spearman_degenerate_inputs() {
+        assert_eq!(spearman(&[], &[]), 0.0);
+        assert_eq!(spearman(&[1.0], &[2.0]), 0.0);
+    }
+
+    #[test]
+    fn ranks_average_ties() {
+        let r = ranks(&[10.0, 20.0, 20.0, 30.0]);
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+}

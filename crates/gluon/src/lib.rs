@@ -1,0 +1,56 @@
+//! # gw2v-gluon
+//!
+//! The communication substrate — the Gluon analogue (paper §2.4, §4.3,
+//! §4.4) specialized for synchronizing replicated vector models across
+//! simulated hosts.
+//!
+//! The model is fully replicated (every host has a proxy for every node,
+//! paper §4.2); masters are assigned in contiguous blocks. Each
+//! synchronization round runs the Gluon protocol:
+//!
+//! 1. hosts compute *deltas* for the nodes they touched since the last
+//!    sync (current value minus the snapshot taken on first touch);
+//! 2. **reduce** — touched mirror deltas are shipped to the node's master
+//!    host and folded together with a [`gw2v_combiner::CombinerKind`]
+//!    (Sum / Avg / the paper's Model Combiner);
+//! 3. **broadcast** — reconciled canonical values are shipped back to
+//!    mirrors.
+//!
+//! Three communication plans reproduce the paper's variants (§4.4):
+//! [`SyncPlan::RepModelNaive`] ships everything both ways;
+//! [`SyncPlan::RepModelOpt`] ships only touched/updated nodes (bit-vector
+//! sparse); [`SyncPlan::PullModel`] additionally restricts the broadcast
+//! to the nodes each host will access in its *next* round, supplied by an
+//! inspection pass. All three plans produce bit-identical models — they
+//! differ only in bytes moved — and tests pin that invariant.
+//!
+//! Two engines execute the protocol:
+//!
+//! * [`sync::sync_round`] — deterministic sequential engine (hosts
+//!   processed in id order within one thread). Exact and reproducible;
+//!   all scaling experiments use it, paired with [`cost::CostModel`] to
+//!   convert measured bytes into modeled network time (this reproduction
+//!   runs on a single machine — see DESIGN.md §1).
+//! * [`threaded::ThreadedCluster`] — one OS thread per host exchanging
+//!   serialized [`wire`] buffers over crossbeam channels with barrier
+//!   separation; produces bit-identical results to the sequential engine
+//!   (messages are folded in host-id order).
+
+#![warn(missing_docs)]
+// Index-driven loops across parallel per-host arrays are clearer than
+// iterator chains in the synchronization protocol code.
+#![allow(clippy::needless_range_loop)]
+
+pub mod cost;
+pub mod plan;
+pub mod replica;
+pub mod sync;
+pub mod threaded;
+pub mod volume;
+pub mod wire;
+
+pub use cost::CostModel;
+pub use plan::{AccessSets, SyncConfig, SyncPlan};
+pub use replica::{DeltaTracker, ModelReplica};
+pub use sync::sync_round;
+pub use volume::{CommStats, RoundVolume};

@@ -1,0 +1,507 @@
+//! The sequential synchronization engine.
+//!
+//! Executes one full Gluon synchronization (reduce + broadcast) across
+//! all host replicas, deterministically, within the calling thread:
+//! hosts are visited in id order, nodes in id order, so a given input
+//! always produces the same model — the property the PullModel
+//! inspection replay and all the equivalence tests rely on. The
+//! threaded engine ([`crate::threaded`]) reproduces this order exactly
+//! by folding incoming messages in source-host order.
+//!
+//! Semantics (identical across plans — plans only change which payloads
+//! cross the wire, paper §4.4):
+//!
+//! * For every node touched on ≥ 1 host, each touching host contributes
+//!   `delta = current − base` (its accumulated SGD movement this round).
+//! * Deltas are folded at the master in host-id order with the
+//!   configured combiner (for `Avg`, the divisor is the number of
+//!   *touching* hosts, as in Gluon where only updated proxies
+//!   participate in the reduction).
+//! * `canonical = base + combined` replaces the master row and is
+//!   broadcast to mirror replicas (all of them for RepModel plans; each
+//!   host's next-round access set for PullModel).
+
+use crate::plan::{AccessSets, SyncConfig, SyncPlan};
+use crate::replica::ModelReplica;
+use crate::volume::{CommStats, RoundVolume};
+use crate::wire::entry_bytes;
+use gw2v_combiner::CombineAccumulator;
+use gw2v_graph::partition::{master_block, master_host};
+use gw2v_util::bitvec::BitVec;
+use gw2v_util::fvec::FlatMatrix;
+
+/// Runs one synchronization round over all replicas.
+///
+/// `access` must be `Some` when `cfg.plan == PullModel`: for each host
+/// and layer, the set of nodes that host will access in its *next*
+/// compute round. Returns the round's per-host volume; cumulative
+/// counters are added to `stats`. Delta trackers are cleared on return.
+pub fn sync_round(
+    replicas: &mut [ModelReplica],
+    cfg: &SyncConfig,
+    access: Option<&AccessSets>,
+    stats: &mut CommStats,
+) -> RoundVolume {
+    let n_hosts = replicas.len();
+    assert!(n_hosts > 0);
+    if cfg.plan == SyncPlan::PullModel {
+        assert!(
+            access.is_some(),
+            "PullModel requires inspection access sets"
+        );
+    }
+    let n_nodes = replicas[0].n_nodes();
+    let n_layers = replicas[0].n_layers();
+    let mut volume = RoundVolume::new(n_hosts);
+
+    for layer in 0..n_layers {
+        let dim = replicas[0].layers[layer].dim();
+        let ebytes = entry_bytes(dim) as u64;
+
+        // ---- Reduce phase: fold per-node deltas in host-id order. ----
+        let mut accs: Vec<Option<CombineAccumulator>> = (0..n_nodes).map(|_| None).collect();
+        let mut updated = BitVec::new(n_nodes);
+        let mut delta = vec![0.0f32; dim];
+        for (h, replica) in replicas.iter().enumerate() {
+            let tracker = replica.tracker(layer);
+            for &node in tracker.touched_nodes() {
+                tracker.delta_into(node, replica.row(layer, node), &mut delta);
+                accs[node as usize]
+                    .get_or_insert_with(|| CombineAccumulator::new(cfg.combiner, dim))
+                    .push(&delta);
+                updated.set(node as usize);
+                let owner = master_host(n_nodes, n_hosts, node);
+                if owner != h && cfg.plan != SyncPlan::RepModelNaive {
+                    // Sparse plans: only touched mirrors cross the wire.
+                    volume.record(h, owner, ebytes);
+                    stats.reduce_bytes += ebytes;
+                    stats.reduce_msgs += 1;
+                }
+            }
+        }
+        if cfg.plan == SyncPlan::RepModelNaive {
+            // Dense reduce: every host ships *all* its mirror rows (even
+            // untouched): block_size(m) rows to every master host m ≠ h.
+            for h in 0..n_hosts {
+                for m in 0..n_hosts {
+                    if m == h {
+                        continue;
+                    }
+                    let rows = master_block(n_nodes, n_hosts, m).len() as u64;
+                    if rows > 0 {
+                        volume.record(h, m, rows * ebytes);
+                        stats.reduce_bytes += rows * ebytes;
+                        stats.reduce_msgs += rows;
+                    }
+                }
+            }
+        }
+
+        // ---- Apply combined deltas at masters; broadcast canonical. ----
+        let mut canonical = vec![0.0f32; dim];
+        for node in updated.iter_ones() {
+            let node_u = node as u32;
+            let owner = master_host(n_nodes, n_hosts, node_u);
+            let combined = accs[node]
+                .take()
+                .expect("updated node has an accumulator")
+                .finish();
+            {
+                let replica = &mut replicas[owner];
+                let (matrix, tracker) = replica.layer_and_tracker_mut(layer);
+                let row = matrix.row_mut(node);
+                if tracker.is_touched(node_u) {
+                    row.copy_from_slice(tracker.base_of(node_u));
+                }
+                for (r, c) in row.iter_mut().zip(&combined) {
+                    *r += c;
+                }
+                canonical.copy_from_slice(row);
+            }
+            // RepModel plans overwrite every mirror with the canonical
+            // value (PullModel applies values in its pull pass below).
+            if cfg.plan != SyncPlan::PullModel {
+                for (h, rep) in replicas.iter_mut().enumerate() {
+                    if h == owner {
+                        continue;
+                    }
+                    rep.row_mut_untracked(layer, node_u)
+                        .copy_from_slice(&canonical);
+                    if cfg.plan == SyncPlan::RepModelOpt {
+                        volume.record(owner, h, ebytes);
+                        stats.broadcast_bytes += ebytes;
+                        stats.broadcast_msgs += 1;
+                    }
+                }
+            }
+        }
+
+        match cfg.plan {
+            SyncPlan::RepModelNaive => {
+                // Dense broadcast: every master row to every other host.
+                for m in 0..n_hosts {
+                    let rows = master_block(n_nodes, n_hosts, m).len() as u64;
+                    for h in 0..n_hosts {
+                        if h == m || rows == 0 {
+                            continue;
+                        }
+                        volume.record(m, h, rows * ebytes);
+                        stats.broadcast_bytes += rows * ebytes;
+                        stats.broadcast_msgs += rows;
+                    }
+                }
+            }
+            SyncPlan::PullModel => {
+                // Pull pass: each host receives exactly the rows it will
+                // access next round — whether or not they were updated
+                // (paper: "it sends masters that may not have been
+                // updated").
+                let access = access.expect("checked above");
+                for h in 0..n_hosts {
+                    let set = access.get(h, layer);
+                    for node in set.iter_ones() {
+                        let node_u = node as u32;
+                        let owner = master_host(n_nodes, n_hosts, node_u);
+                        if owner == h {
+                            continue; // local master, no wire
+                        }
+                        canonical.copy_from_slice(replicas[owner].row(layer, node_u));
+                        replicas[h]
+                            .row_mut_untracked(layer, node_u)
+                            .copy_from_slice(&canonical);
+                        volume.record(owner, h, ebytes);
+                        stats.broadcast_bytes += ebytes;
+                        stats.broadcast_msgs += 1;
+                    }
+                }
+            }
+            SyncPlan::RepModelOpt => {}
+        }
+    }
+
+    for replica in replicas.iter_mut() {
+        replica.clear_tracking();
+    }
+    stats.rounds += 1;
+    volume
+}
+
+/// Assembles the canonical model (each node's master row) into a fresh
+/// set of layer matrices — the trained model a user would save.
+pub fn assemble_canonical(replicas: &[ModelReplica]) -> Vec<FlatMatrix> {
+    let n_hosts = replicas.len();
+    let n_nodes = replicas[0].n_nodes();
+    (0..replicas[0].n_layers())
+        .map(|layer| {
+            let dim = replicas[0].layers[layer].dim();
+            let mut m = FlatMatrix::zeros(n_nodes, dim);
+            for node in 0..n_nodes as u32 {
+                let owner = master_host(n_nodes, n_hosts, node);
+                m.row_mut(node as usize)
+                    .copy_from_slice(replicas[owner].row(layer, node));
+            }
+            m
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gw2v_combiner::CombinerKind;
+
+    fn make_replicas(n_hosts: usize, n_nodes: usize, dim: usize) -> Vec<ModelReplica> {
+        (0..n_hosts)
+            .map(|_| {
+                let mut m0 = FlatMatrix::zeros(n_nodes, dim);
+                let mut m1 = FlatMatrix::zeros(n_nodes, dim);
+                for r in 0..n_nodes {
+                    for d in 0..dim {
+                        m0.row_mut(r)[d] = (r * dim + d) as f32;
+                        m1.row_mut(r)[d] = -((r * dim + d) as f32);
+                    }
+                }
+                ModelReplica::new(vec![m0, m1])
+            })
+            .collect()
+    }
+
+    fn cfg(plan: SyncPlan, combiner: CombinerKind) -> SyncConfig {
+        SyncConfig { plan, combiner }
+    }
+
+    #[test]
+    fn sum_combiner_adds_concurrent_deltas() {
+        let mut reps = make_replicas(3, 6, 2);
+        // Hosts 0 and 1 both bump node 5 (owned by host 2) on layer 0.
+        reps[0].row_mut(0, 5)[0] += 1.0;
+        reps[1].row_mut(0, 5)[0] += 2.0;
+        let base = 5.0 * 2.0; // value at (5,0) = r*dim+d = 10
+        let mut stats = CommStats::default();
+        sync_round(
+            &mut reps,
+            &cfg(SyncPlan::RepModelOpt, CombinerKind::Sum),
+            None,
+            &mut stats,
+        );
+        for h in 0..3 {
+            assert_eq!(reps[h].row(0, 5)[0], base + 3.0, "host {h}");
+        }
+        assert_eq!(stats.rounds, 1);
+        assert_eq!(stats.reduce_msgs, 2);
+        // Broadcast to 2 mirrors.
+        assert_eq!(stats.broadcast_msgs, 2);
+    }
+
+    #[test]
+    fn avg_divides_by_touching_hosts_only() {
+        let mut reps = make_replicas(4, 4, 1);
+        reps[0].row_mut(0, 3)[0] += 4.0;
+        reps[1].row_mut(0, 3)[0] += 2.0;
+        // Hosts 2, 3 do not touch node 3.
+        let base = 3.0;
+        let mut stats = CommStats::default();
+        sync_round(
+            &mut reps,
+            &cfg(SyncPlan::RepModelOpt, CombinerKind::Avg),
+            None,
+            &mut stats,
+        );
+        for h in 0..4 {
+            assert_eq!(reps[h].row(0, 3)[0], base + 3.0, "avg of 4 and 2");
+        }
+    }
+
+    #[test]
+    fn master_local_touch_reconciles_with_remote() {
+        let mut reps = make_replicas(2, 2, 1);
+        // Node 0 owned by host 0; both hosts touch it.
+        reps[0].row_mut(0, 0)[0] += 10.0;
+        reps[1].row_mut(0, 0)[0] += 20.0;
+        let mut stats = CommStats::default();
+        sync_round(
+            &mut reps,
+            &cfg(SyncPlan::RepModelOpt, CombinerKind::Sum),
+            None,
+            &mut stats,
+        );
+        // base 0.0, combined = 30.
+        assert_eq!(reps[0].row(0, 0)[0], 30.0);
+        assert_eq!(reps[1].row(0, 0)[0], 30.0);
+    }
+
+    #[test]
+    fn layers_synchronize_independently() {
+        let mut reps = make_replicas(2, 4, 2);
+        reps[0].row_mut(0, 1)[0] += 1.0;
+        reps[1].row_mut(1, 2)[1] += 5.0;
+        let mut stats = CommStats::default();
+        sync_round(
+            &mut reps,
+            &cfg(SyncPlan::RepModelOpt, CombinerKind::Sum),
+            None,
+            &mut stats,
+        );
+        // Layer 0 node 1 synced.
+        assert_eq!(reps[1].row(0, 1)[0], reps[0].row(0, 1)[0]);
+        // Layer 1 node 2 synced.
+        assert_eq!(reps[0].row(1, 2)[1], reps[1].row(1, 2)[1]);
+        // Unrelated cells untouched.
+        assert_eq!(reps[0].row(1, 1)[0], -(1.0 * 2.0));
+    }
+
+    #[test]
+    fn plans_produce_identical_models() {
+        use gw2v_util::rng::{Rng64, Xoshiro256};
+        let combiner = CombinerKind::ModelCombiner;
+        let run = |plan: SyncPlan| -> Vec<FlatMatrix> {
+            let mut reps = make_replicas(4, 12, 3);
+            let mut stats = CommStats::default();
+            let mut rng = Xoshiro256::new(7);
+            for _round in 0..5 {
+                // Deterministic pseudo-random touches per host.
+                let mut access = AccessSets::new(4, 2, 12);
+                for h in 0..4 {
+                    for _ in 0..6 {
+                        let layer = rng.index(2);
+                        let node = rng.index(12) as u32;
+                        let bump = rng.next_f32() - 0.5;
+                        reps[h].row_mut(layer, node)[rng.index(3)] += bump;
+                    }
+                }
+                // Access sets for the *next* round must cover whatever the
+                // next round touches; since touches are random we declare
+                // everything accessed (superset is always safe for Pull).
+                for h in 0..4 {
+                    for l in 0..2 {
+                        access.get_mut(h, l).set_all();
+                    }
+                }
+                let cfg = cfg(plan, combiner);
+                sync_round(&mut reps, &cfg, Some(&access), &mut stats);
+            }
+            assemble_canonical(&reps)
+        };
+        let opt = run(SyncPlan::RepModelOpt);
+        let naive = run(SyncPlan::RepModelNaive);
+        let pull = run(SyncPlan::PullModel);
+        assert_eq!(opt, naive, "Naive and Opt must train identically");
+        assert_eq!(opt, pull, "Pull and Opt must train identically");
+    }
+
+    #[test]
+    fn volume_opt_leq_naive() {
+        let touch = |reps: &mut Vec<ModelReplica>| {
+            reps[0].row_mut(0, 1)[0] += 1.0;
+            reps[2].row_mut(1, 5)[0] += 1.0;
+        };
+        let mut naive_reps = make_replicas(4, 16, 4);
+        let mut opt_reps = make_replicas(4, 16, 4);
+        touch(&mut naive_reps);
+        touch(&mut opt_reps);
+        let mut s_naive = CommStats::default();
+        let mut s_opt = CommStats::default();
+        let v_naive = sync_round(
+            &mut naive_reps,
+            &cfg(SyncPlan::RepModelNaive, CombinerKind::Sum),
+            None,
+            &mut s_naive,
+        );
+        let v_opt = sync_round(
+            &mut opt_reps,
+            &cfg(SyncPlan::RepModelOpt, CombinerKind::Sum),
+            None,
+            &mut s_opt,
+        );
+        assert!(v_opt.total_bytes() < v_naive.total_bytes());
+        assert!(s_opt.total_bytes() < s_naive.total_bytes());
+        // Naive ships the whole model each way regardless of touches:
+        // reduce = H*(N - own block) rows, broadcast same.
+        let expected_rows = 4 * (16 - 4) as u64; // per layer, per direction
+        let ebytes = entry_bytes(4) as u64;
+        assert_eq!(s_naive.reduce_bytes, 2 * expected_rows * ebytes);
+        assert_eq!(s_naive.broadcast_bytes, 2 * expected_rows * ebytes);
+    }
+
+    #[test]
+    fn pull_ships_access_set_not_updates() {
+        let mut reps = make_replicas(2, 8, 2);
+        // Host 0 touches node 7 (owned by host 1).
+        reps[0].row_mut(0, 7)[0] += 1.0;
+        // Next round host 0 will access nodes 0..4 on layer 0 — note node 7
+        // is NOT accessed, and nodes 0..4 were NOT updated.
+        let mut access = AccessSets::new(2, 2, 8);
+        for n in 0..4 {
+            access.get_mut(0, 0).set(n);
+        }
+        let mut stats = CommStats::default();
+        sync_round(
+            &mut reps,
+            &cfg(SyncPlan::PullModel, CombinerKind::Sum),
+            Some(&access),
+            &mut stats,
+        );
+        // Reduce shipped the one touched mirror row.
+        assert_eq!(stats.reduce_msgs, 1);
+        // Broadcast shipped exactly the accessed-but-remote rows: nodes
+        // 0..4 are owned by host 0 itself (block 0..4 of 8 at 2 hosts), so
+        // nothing crosses the wire.
+        assert_eq!(stats.broadcast_msgs, 0);
+        // Canonical master (host 1) still got the update.
+        assert_eq!(reps[1].row(0, 7)[0], reps[1].layers[0].row(7)[0]);
+        let canon = assemble_canonical(&reps);
+        assert_eq!(canon[0].row(7)[0], 7.0 * 2.0 + 1.0);
+    }
+
+    #[test]
+    fn pull_refreshes_stale_accessed_rows() {
+        let mut reps = make_replicas(2, 4, 1);
+        // Round 1: host 1 updates node 0 (owned by host 0). Host 0's access
+        // set for round 2 does not include node 0; host 1's does.
+        reps[1].row_mut(0, 0)[0] += 5.0;
+        let mut access = AccessSets::new(2, 2, 4);
+        access.get_mut(1, 0).set(0);
+        let mut stats = CommStats::default();
+        sync_round(
+            &mut reps,
+            &cfg(SyncPlan::PullModel, CombinerKind::Sum),
+            Some(&access),
+            &mut stats,
+        );
+        // Host 1's mirror of node 0 is canonical; master too.
+        assert_eq!(reps[0].row(0, 0)[0], 5.0);
+        assert_eq!(reps[1].row(0, 0)[0], 5.0);
+        // Round 2: nobody touches node 0; host 0 now accesses it. The pull
+        // must refresh host 0's (never-stale here: host 0 IS the master) —
+        // instead check a remote case: host 1 accesses node 1 (owned by
+        // host 0) which it never touched; its replica already matches the
+        // master, and the pull ships it anyway (counted on the wire).
+        let mut access2 = AccessSets::new(2, 2, 4);
+        access2.get_mut(1, 0).set(1);
+        let before = stats.broadcast_msgs;
+        sync_round(
+            &mut reps,
+            &cfg(SyncPlan::PullModel, CombinerKind::Sum),
+            Some(&access2),
+            &mut stats,
+        );
+        assert_eq!(
+            stats.broadcast_msgs,
+            before + 1,
+            "unchanged row still pulled"
+        );
+    }
+
+    #[test]
+    fn trackers_cleared_after_round() {
+        let mut reps = make_replicas(2, 4, 1);
+        reps[0].row_mut(0, 1)[0] += 1.0;
+        let mut stats = CommStats::default();
+        sync_round(
+            &mut reps,
+            &cfg(SyncPlan::RepModelOpt, CombinerKind::Sum),
+            None,
+            &mut stats,
+        );
+        assert_eq!(reps[0].tracker(0).touched_count(), 0);
+        // A second sync with no touches moves nothing.
+        let v = sync_round(
+            &mut reps,
+            &cfg(SyncPlan::RepModelOpt, CombinerKind::Sum),
+            None,
+            &mut stats,
+        );
+        assert_eq!(v.total_bytes(), 0);
+    }
+
+    #[test]
+    fn single_host_needs_no_communication() {
+        let mut reps = make_replicas(1, 4, 2);
+        reps[0].row_mut(0, 1)[0] += 1.0;
+        reps[0].row_mut(1, 2)[0] += 1.0;
+        let mut stats = CommStats::default();
+        let v = sync_round(
+            &mut reps,
+            &cfg(SyncPlan::RepModelOpt, CombinerKind::ModelCombiner),
+            None,
+            &mut stats,
+        );
+        assert_eq!(v.total_bytes(), 0);
+        assert_eq!(stats.total_bytes(), 0);
+        // But the update is retained.
+        assert_eq!(reps[0].row(0, 1)[0], 1.0 * 2.0 + 1.0);
+    }
+
+    #[test]
+    fn assemble_canonical_reads_masters() {
+        let mut reps = make_replicas(2, 4, 1);
+        // Desynchronize *without* tracking: replicas disagree.
+        reps[0].row_mut_untracked(0, 0)[0] = 100.0; // node 0 owned by host 0
+        reps[1].row_mut_untracked(0, 0)[0] = -1.0;
+        reps[0].row_mut_untracked(0, 3)[0] = -1.0; // node 3 owned by host 1
+        reps[1].row_mut_untracked(0, 3)[0] = 300.0;
+        let canon = assemble_canonical(&reps);
+        assert_eq!(canon[0].row(0)[0], 100.0);
+        assert_eq!(canon[0].row(3)[0], 300.0);
+    }
+}

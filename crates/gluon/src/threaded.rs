@@ -1,0 +1,479 @@
+//! Threaded cluster engine: one OS thread per host.
+//!
+//! This is the engine a real multi-core/multi-host deployment would use:
+//! hosts run concurrently, exchange serialized [`crate::wire`] buffers
+//! over crossbeam channels, and separate protocol phases with a barrier.
+//! It implements the same reduce/broadcast semantics as the sequential
+//! engine ([`crate::sync::sync_round`]) and produces **bit-identical
+//! models**: incoming deltas are folded in source-host-id order, so the
+//! (order-sensitive) model combiner sees the same sequence either way.
+//! The equivalence is pinned by tests here and in `tests/`.
+//!
+//! Supported plans: `RepModelNaive` and `RepModelOpt`. `PullModel`'s
+//! inspection handshake is only implemented in the sequential engine,
+//! which is what all experiments use (see DESIGN.md §3).
+
+use crate::plan::{SyncConfig, SyncPlan};
+use crate::replica::ModelReplica;
+use crate::volume::CommStats;
+use crate::wire::{entry_bytes, RowDecoder, RowEncoder};
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use gw2v_combiner::CombineAccumulator;
+use gw2v_graph::partition::{master_block, master_host};
+use gw2v_util::bitvec::BitVec;
+use std::collections::HashMap;
+use std::sync::{Arc, Barrier};
+
+/// A message between host threads: one layer's payload for one phase.
+#[derive(Debug)]
+pub struct Message {
+    /// Sending host.
+    pub from: usize,
+    /// Model layer the payload belongs to.
+    pub layer: usize,
+    /// Serialized `(node, row)` entries.
+    pub payload: Bytes,
+}
+
+/// A host thread's handle to the cluster fabric.
+pub struct HostCtx {
+    /// This host's id.
+    pub host: usize,
+    /// Total hosts.
+    pub n_hosts: usize,
+    senders: Vec<Sender<Message>>,
+    receiver: Receiver<Message>,
+    barrier: Arc<Barrier>,
+}
+
+impl HostCtx {
+    fn send(&self, to: usize, msg: Message) {
+        self.senders[to].send(msg).expect("peer hung up");
+    }
+
+    fn recv_batch(&self, expected: usize) -> Vec<Message> {
+        (0..expected)
+            .map(|_| self.receiver.recv().expect("peer hung up"))
+            .collect()
+    }
+
+    /// Blocks until all hosts reach the same point.
+    pub fn barrier_wait(&self) {
+        self.barrier.wait();
+    }
+}
+
+/// Spawns `n_hosts` threads, each running `f` with its [`HostCtx`], and
+/// collects their results in host order.
+pub fn run_cluster<T, F>(n_hosts: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(HostCtx) -> T + Sync,
+{
+    assert!(n_hosts > 0);
+    let mut senders = Vec::with_capacity(n_hosts);
+    let mut receivers = Vec::with_capacity(n_hosts);
+    for _ in 0..n_hosts {
+        let (tx, rx) = unbounded();
+        senders.push(tx);
+        receivers.push(rx);
+    }
+    let barrier = Arc::new(Barrier::new(n_hosts));
+    let f = &f;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(n_hosts);
+        for (host, receiver) in receivers.into_iter().enumerate() {
+            let ctx = HostCtx {
+                host,
+                n_hosts,
+                senders: senders.clone(),
+                receiver,
+                barrier: Arc::clone(&barrier),
+            };
+            handles.push(scope.spawn(move || f(ctx)));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("host thread panicked"))
+            .collect()
+    })
+}
+
+/// One synchronization round from a single host's perspective; every
+/// host must call this the same number of times with the same `cfg`.
+///
+/// `stats` accumulates the bytes *this host sends* (summing over hosts
+/// gives cluster totals).
+pub fn sync_round_threaded(
+    ctx: &HostCtx,
+    replica: &mut ModelReplica,
+    cfg: &SyncConfig,
+    stats: &mut CommStats,
+) {
+    assert!(
+        cfg.plan != SyncPlan::PullModel,
+        "PullModel is sequential-engine only"
+    );
+    let n_hosts = ctx.n_hosts;
+    let n_nodes = replica.n_nodes();
+    let n_layers = replica.n_layers();
+
+    // ---- Phase 1: ship touched-mirror deltas to masters. ----
+    for layer in 0..n_layers {
+        let dim = replica.layers[layer].dim();
+        let mut encoders: HashMap<usize, RowEncoder> = HashMap::new();
+        let mut delta = vec![0.0f32; dim];
+        let tracker = replica.tracker(layer);
+        for &node in tracker.touched_nodes() {
+            let owner = master_host(n_nodes, n_hosts, node);
+            if owner == ctx.host {
+                continue;
+            }
+            tracker.delta_into(node, replica.row(layer, node), &mut delta);
+            encoders
+                .entry(owner)
+                .or_insert_with(|| RowEncoder::new(dim))
+                .push(node, &delta);
+        }
+        if cfg.plan == SyncPlan::RepModelNaive {
+            // Dense plan also ships a zero delta for every untouched
+            // mirror row (redundant traffic, counted but semantically
+            // inert — the master skips zero-contribution entries is NOT
+            // the semantics here; instead we simply account the bytes, as
+            // the sequential engine does analytically).
+            for m in 0..n_hosts {
+                if m == ctx.host {
+                    continue;
+                }
+                let all_rows = master_block(n_nodes, n_hosts, m).len() as u64;
+                let sent_rows = encoders.get(&m).map_or(0, |e| e.count() as u64);
+                let pad_rows = all_rows - sent_rows;
+                stats.reduce_bytes += pad_rows * entry_bytes(dim) as u64;
+                stats.reduce_msgs += pad_rows;
+            }
+        }
+        for peer in 0..n_hosts {
+            if peer == ctx.host {
+                continue;
+            }
+            let enc = encoders
+                .remove(&peer)
+                .unwrap_or_else(|| RowEncoder::new(dim));
+            stats.reduce_bytes += enc.byte_len() as u64;
+            stats.reduce_msgs += enc.count() as u64;
+            ctx.send(
+                peer,
+                Message {
+                    from: ctx.host,
+                    layer,
+                    payload: enc.finish(),
+                },
+            );
+        }
+    }
+
+    // ---- Receive deltas, fold at this host's masters. ----
+    let incoming = ctx.recv_batch((n_hosts - 1) * n_layers);
+    // Group by layer, order by source host so the fold order matches the
+    // sequential engine (hosts 0..H, self included at its position).
+    let mut by_layer: Vec<Vec<&Message>> = vec![Vec::new(); n_layers];
+    for m in &incoming {
+        by_layer[m.layer].push(m);
+    }
+    // updated_per_layer[l] = owned nodes needing broadcast.
+    let mut updated_per_layer: Vec<BitVec> = (0..n_layers).map(|_| BitVec::new(n_nodes)).collect();
+    for layer in 0..n_layers {
+        let dim = replica.layers[layer].dim();
+        by_layer[layer].sort_by_key(|m| m.from);
+        let mut accs: HashMap<u32, CombineAccumulator> = HashMap::new();
+        let mut order: Vec<u32> = Vec::new();
+        let push = |node: u32,
+                    delta: &[f32],
+                    accs: &mut HashMap<u32, CombineAccumulator>,
+                    order: &mut Vec<u32>| {
+            accs.entry(node)
+                .or_insert_with(|| {
+                    order.push(node);
+                    CombineAccumulator::new(cfg.combiner, dim)
+                })
+                .push(delta);
+        };
+        let mut host_cursor = 0usize;
+        let mut delta = vec![0.0f32; dim];
+        for h in 0..n_hosts {
+            if h == ctx.host {
+                let tracker = replica.tracker(layer);
+                for &node in tracker.touched_nodes() {
+                    if master_host(n_nodes, n_hosts, node) != ctx.host {
+                        continue;
+                    }
+                    tracker.delta_into(node, replica.row(layer, node), &mut delta);
+                    push(node, &delta, &mut accs, &mut order);
+                    updated_per_layer[layer].set(node as usize);
+                }
+            } else {
+                let msg = by_layer[layer][host_cursor];
+                debug_assert_eq!(msg.from, h);
+                host_cursor += 1;
+                let mut dec = RowDecoder::new(msg.payload.clone(), dim);
+                while let Some((node, row)) = dec.next_entry() {
+                    push(node, row, &mut accs, &mut order);
+                    updated_per_layer[layer].set(node as usize);
+                }
+            }
+        }
+        // Apply in node-id order (matches the sequential engine, which
+        // walks the updated bit vector in index order).
+        let mut sorted = order;
+        sorted.sort_unstable();
+        for node in sorted {
+            let combined = accs.remove(&node).expect("accumulated").finish();
+            let (matrix, tracker) = replica.layer_and_tracker_mut(layer);
+            let row = matrix.row_mut(node as usize);
+            if tracker.is_touched(node) {
+                row.copy_from_slice(tracker.base_of(node));
+            }
+            for (r, c) in row.iter_mut().zip(&combined) {
+                *r += c;
+            }
+        }
+    }
+    ctx.barrier_wait();
+
+    // ---- Phase 2: broadcast canonical values of updated owned rows. ----
+    for layer in 0..n_layers {
+        let dim = replica.layers[layer].dim();
+        let mut enc = RowEncoder::new(dim);
+        match cfg.plan {
+            SyncPlan::RepModelOpt => {
+                for node in updated_per_layer[layer].iter_ones() {
+                    enc.push(node as u32, replica.row(layer, node as u32));
+                }
+            }
+            SyncPlan::RepModelNaive => {
+                for node in master_block(n_nodes, n_hosts, ctx.host) {
+                    enc.push(node, replica.row(layer, node));
+                }
+            }
+            SyncPlan::PullModel => unreachable!("rejected above"),
+        }
+        let payload = enc.finish();
+        for peer in 0..n_hosts {
+            if peer == ctx.host {
+                continue;
+            }
+            stats.broadcast_bytes += payload.len() as u64;
+            stats.broadcast_msgs += (payload.len() / entry_bytes(dim)) as u64;
+            ctx.send(
+                peer,
+                Message {
+                    from: ctx.host,
+                    layer,
+                    payload: payload.clone(),
+                },
+            );
+        }
+    }
+    let incoming = ctx.recv_batch((n_hosts - 1) * n_layers);
+    for msg in incoming {
+        let dim = replica.layers[msg.layer].dim();
+        let mut dec = RowDecoder::new(msg.payload, dim);
+        while let Some((node, row)) = dec.next_entry() {
+            replica
+                .row_mut_untracked(msg.layer, node)
+                .copy_from_slice(row);
+        }
+    }
+    replica.clear_tracking();
+    stats.rounds += 1;
+    ctx.barrier_wait();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sync::{assemble_canonical, sync_round};
+    use gw2v_combiner::CombinerKind;
+    use gw2v_util::fvec::FlatMatrix;
+    use gw2v_util::rng::{Rng64, SplitMix64, Xoshiro256};
+
+    fn fresh_replica(n_nodes: usize, dim: usize, seed: u64) -> ModelReplica {
+        let mut rng = Xoshiro256::new(seed);
+        let mut m0 = FlatMatrix::zeros(n_nodes, dim);
+        let mut m1 = FlatMatrix::zeros(n_nodes, dim);
+        for r in 0..n_nodes {
+            for d in 0..dim {
+                m0.row_mut(r)[d] = rng.next_f32() - 0.5;
+                m1.row_mut(r)[d] = rng.next_f32() - 0.5;
+            }
+        }
+        ModelReplica::new(vec![m0, m1])
+    }
+
+    /// Deterministic per-host workload: same touches whichever engine runs it.
+    fn apply_workload(replica: &mut ModelReplica, host: usize, round: usize, n_nodes: usize) {
+        let seed = SplitMix64::new(42).derive((host * 1000 + round) as u64);
+        let mut rng = Xoshiro256::new(seed);
+        for _ in 0..8 {
+            let layer = rng.index(2);
+            let node = rng.index(n_nodes) as u32;
+            let slot = rng.index(replica.layers[layer].dim());
+            let bump = rng.next_f32() - 0.5;
+            replica.row_mut(layer, node)[slot] += bump;
+        }
+    }
+
+    fn run_threaded(
+        n_hosts: usize,
+        n_nodes: usize,
+        dim: usize,
+        rounds: usize,
+        plan: SyncPlan,
+        combiner: CombinerKind,
+    ) -> (Vec<FlatMatrix>, CommStats) {
+        let cfg = SyncConfig { plan, combiner };
+        let results = run_cluster(n_hosts, |ctx| {
+            // All replicas start identical (same init seed).
+            let mut replica = fresh_replica(n_nodes, dim, 7);
+            let mut stats = CommStats::default();
+            for round in 0..rounds {
+                apply_workload(&mut replica, ctx.host, round, n_nodes);
+                sync_round_threaded(&ctx, &mut replica, &cfg, &mut stats);
+            }
+            (replica, stats)
+        });
+        let (replicas, host_stats): (Vec<_>, Vec<_>) = results.into_iter().unzip();
+        let mut total = CommStats::default();
+        for s in &host_stats {
+            total.merge(s);
+        }
+        total.rounds = host_stats[0].rounds;
+        (assemble_canonical(&replicas), total)
+    }
+
+    fn run_sequential(
+        n_hosts: usize,
+        n_nodes: usize,
+        dim: usize,
+        rounds: usize,
+        plan: SyncPlan,
+        combiner: CombinerKind,
+    ) -> (Vec<FlatMatrix>, CommStats) {
+        let cfg = SyncConfig { plan, combiner };
+        let mut replicas: Vec<ModelReplica> = (0..n_hosts)
+            .map(|_| fresh_replica(n_nodes, dim, 7))
+            .collect();
+        let mut stats = CommStats::default();
+        for round in 0..rounds {
+            for (host, replica) in replicas.iter_mut().enumerate() {
+                apply_workload(replica, host, round, n_nodes);
+            }
+            sync_round(&mut replicas, &cfg, None, &mut stats);
+        }
+        (assemble_canonical(&replicas), stats)
+    }
+
+    #[test]
+    fn threaded_matches_sequential_bitwise() {
+        for combiner in [
+            CombinerKind::Sum,
+            CombinerKind::Avg,
+            CombinerKind::ModelCombiner,
+        ] {
+            let (seq_model, seq_stats) =
+                run_sequential(4, 20, 5, 4, SyncPlan::RepModelOpt, combiner);
+            let (thr_model, thr_stats) = run_threaded(4, 20, 5, 4, SyncPlan::RepModelOpt, combiner);
+            assert_eq!(
+                seq_model, thr_model,
+                "{combiner:?} models must be identical"
+            );
+            assert_eq!(
+                seq_stats.reduce_bytes, thr_stats.reduce_bytes,
+                "{combiner:?}"
+            );
+            assert_eq!(
+                seq_stats.broadcast_bytes, thr_stats.broadcast_bytes,
+                "{combiner:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn threaded_naive_matches_sequential() {
+        let (seq_model, seq_stats) = run_sequential(
+            3,
+            12,
+            4,
+            3,
+            SyncPlan::RepModelNaive,
+            CombinerKind::ModelCombiner,
+        );
+        let (thr_model, thr_stats) = run_threaded(
+            3,
+            12,
+            4,
+            3,
+            SyncPlan::RepModelNaive,
+            CombinerKind::ModelCombiner,
+        );
+        assert_eq!(seq_model, thr_model);
+        assert_eq!(seq_stats.reduce_bytes, thr_stats.reduce_bytes);
+        assert_eq!(seq_stats.broadcast_bytes, thr_stats.broadcast_bytes);
+    }
+
+    #[test]
+    fn replicas_agree_after_each_round() {
+        let cfg = SyncConfig {
+            plan: SyncPlan::RepModelOpt,
+            combiner: CombinerKind::ModelCombiner,
+        };
+        let models = run_cluster(3, |ctx| {
+            let mut replica = fresh_replica(10, 3, 1);
+            let mut stats = CommStats::default();
+            for round in 0..3 {
+                apply_workload(&mut replica, ctx.host, round, 10);
+                sync_round_threaded(&ctx, &mut replica, &cfg, &mut stats);
+            }
+            replica
+        });
+        // After the final sync every host's full replica is canonical.
+        for h in 1..3 {
+            assert_eq!(models[0].layers, models[h].layers);
+        }
+    }
+
+    #[test]
+    fn two_hosts_no_touches_is_quiet() {
+        let cfg = SyncConfig::default();
+        let stats = run_cluster(2, |ctx| {
+            let mut replica = fresh_replica(6, 2, 3);
+            let mut stats = CommStats::default();
+            sync_round_threaded(&ctx, &mut replica, &cfg, &mut stats);
+            stats
+        });
+        for s in stats {
+            assert_eq!(s.total_bytes(), 0);
+        }
+    }
+
+    #[test]
+    fn run_cluster_collects_in_host_order() {
+        let ids = run_cluster(5, |ctx| ctx.host * 10);
+        assert_eq!(ids, vec![0, 10, 20, 30, 40]);
+    }
+
+    #[test]
+    #[should_panic(expected = "host thread panicked")]
+    fn pull_rejected_on_threaded() {
+        let cfg = SyncConfig {
+            plan: SyncPlan::PullModel,
+            combiner: CombinerKind::ModelCombiner,
+        };
+        run_cluster(2, |ctx| {
+            let mut replica = fresh_replica(4, 2, 1);
+            let mut stats = CommStats::default();
+            sync_round_threaded(&ctx, &mut replica, &cfg, &mut stats);
+        });
+    }
+}

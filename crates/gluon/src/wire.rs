@@ -1,0 +1,166 @@
+//! Wire format for synchronization payloads.
+//!
+//! Rows cross the simulated network as serialized buffers, exactly as an
+//! MPI deployment would pack them: a `u32` node id followed by `dim`
+//! little-endian `f32`s per entry. Serializing for real (rather than
+//! passing references) keeps the byte accounting honest and lets the
+//! threaded engine ship owned buffers between host threads.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Serialized bytes for one `(node, row)` entry at dimension `dim`.
+#[inline]
+pub const fn entry_bytes(dim: usize) -> usize {
+    4 + 4 * dim
+}
+
+/// An encoder for a batch of `(node, row)` entries of fixed dimension.
+#[derive(Debug)]
+pub struct RowEncoder {
+    dim: usize,
+    buf: BytesMut,
+    count: usize,
+}
+
+impl RowEncoder {
+    /// Creates an encoder for rows of length `dim`.
+    pub fn new(dim: usize) -> Self {
+        Self {
+            dim,
+            buf: BytesMut::new(),
+            count: 0,
+        }
+    }
+
+    /// Appends one entry.
+    pub fn push(&mut self, node: u32, row: &[f32]) {
+        assert_eq!(row.len(), self.dim, "row dimension mismatch");
+        self.buf.reserve(entry_bytes(self.dim));
+        self.buf.put_u32_le(node);
+        for &x in row {
+            self.buf.put_f32_le(x);
+        }
+        self.count += 1;
+    }
+
+    /// Entries encoded so far.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Payload size so far in bytes.
+    pub fn byte_len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Finalizes into an immutable buffer.
+    pub fn finish(self) -> Bytes {
+        self.buf.freeze()
+    }
+}
+
+/// Iterator decoding a buffer produced by [`RowEncoder`].
+pub struct RowDecoder {
+    dim: usize,
+    buf: Bytes,
+    row: Vec<f32>,
+}
+
+impl RowDecoder {
+    /// Creates a decoder for rows of length `dim`.
+    pub fn new(buf: Bytes, dim: usize) -> Self {
+        assert_eq!(
+            buf.len() % entry_bytes(dim),
+            0,
+            "buffer length {} not a multiple of entry size {}",
+            buf.len(),
+            entry_bytes(dim)
+        );
+        Self {
+            dim,
+            buf,
+            row: vec![0.0; dim],
+        }
+    }
+
+    /// Decodes the next entry, exposing the row as a borrowed slice
+    /// (valid until the next call).
+    pub fn next_entry(&mut self) -> Option<(u32, &[f32])> {
+        if !self.buf.has_remaining() {
+            return None;
+        }
+        let node = self.buf.get_u32_le();
+        for slot in &mut self.row {
+            *slot = self.buf.get_f32_le();
+        }
+        Some((node, self.row.as_slice()))
+    }
+
+    /// Number of entries remaining.
+    pub fn remaining(&self) -> usize {
+        self.buf.remaining() / entry_bytes(self.dim)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut enc = RowEncoder::new(3);
+        enc.push(7, &[1.0, -2.5, 0.0]);
+        enc.push(u32::MAX - 1, &[f32::MIN_POSITIVE, 1e30, -1e-30]);
+        assert_eq!(enc.count(), 2);
+        assert_eq!(enc.byte_len(), 2 * entry_bytes(3));
+        let buf = enc.finish();
+        let mut dec = RowDecoder::new(buf, 3);
+        assert_eq!(dec.remaining(), 2);
+        let (n, r) = dec.next_entry().unwrap();
+        assert_eq!(n, 7);
+        assert_eq!(r, &[1.0, -2.5, 0.0]);
+        let (n, r) = dec.next_entry().unwrap();
+        assert_eq!(n, u32::MAX - 1);
+        assert_eq!(r, &[f32::MIN_POSITIVE, 1e30, -1e-30]);
+        assert!(dec.next_entry().is_none());
+    }
+
+    #[test]
+    fn empty_buffer() {
+        let enc = RowEncoder::new(5);
+        assert_eq!(enc.byte_len(), 0);
+        let mut dec = RowDecoder::new(enc.finish(), 5);
+        assert!(dec.next_entry().is_none());
+    }
+
+    #[test]
+    fn entry_bytes_formula() {
+        assert_eq!(entry_bytes(0), 4);
+        assert_eq!(entry_bytes(200), 804);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn truncated_buffer_rejected() {
+        let mut enc = RowEncoder::new(2);
+        enc.push(0, &[1.0, 2.0]);
+        let buf = enc.finish();
+        let _ = RowDecoder::new(buf.slice(0..7), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn wrong_dim_rejected() {
+        let mut enc = RowEncoder::new(2);
+        enc.push(0, &[1.0]);
+    }
+
+    #[test]
+    fn nan_survives_roundtrip_bitwise() {
+        let mut enc = RowEncoder::new(1);
+        enc.push(0, &[f32::NAN]);
+        let mut dec = RowDecoder::new(enc.finish(), 1);
+        let (_, r) = dec.next_entry().unwrap();
+        assert!(r[0].is_nan());
+    }
+}

@@ -1,0 +1,168 @@
+//! Property-based tests on the synchronization engine: invariants that
+//! must hold for arbitrary touch patterns across hosts.
+
+use gw2v_combiner::CombinerKind;
+use gw2v_gluon::plan::{AccessSets, SyncConfig, SyncPlan};
+use gw2v_gluon::sync::{assemble_canonical, sync_round};
+use gw2v_gluon::volume::CommStats;
+use gw2v_gluon::ModelReplica;
+use gw2v_util::fvec::FlatMatrix;
+use proptest::prelude::*;
+
+/// Arbitrary touch pattern: (host, layer, node, slot, bump).
+type Touch = (usize, usize, usize, usize, f32);
+
+const N_NODES: usize = 10;
+const DIM: usize = 4;
+
+fn make_replicas(n_hosts: usize) -> Vec<ModelReplica> {
+    (0..n_hosts)
+        .map(|_| {
+            let mut m0 = FlatMatrix::zeros(N_NODES, DIM);
+            let m1 = FlatMatrix::zeros(N_NODES, DIM);
+            for r in 0..N_NODES {
+                for d in 0..DIM {
+                    m0.row_mut(r)[d] = (r * DIM + d) as f32 * 0.1;
+                }
+            }
+            ModelReplica::new(vec![m0, m1])
+        })
+        .collect()
+}
+
+fn apply_touches(replicas: &mut [ModelReplica], touches: &[Touch]) {
+    let n_hosts = replicas.len();
+    for &(h, layer, node, slot, bump) in touches {
+        let h = h % n_hosts;
+        replicas[h].row_mut(layer % 2, (node % N_NODES) as u32)[slot % DIM] += bump;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// All three plans produce the same canonical model for the same
+    /// touch pattern — plans change bytes, never semantics.
+    #[test]
+    fn plans_agree_for_any_touch_pattern(
+        n_hosts in 1usize..5,
+        touches in proptest::collection::vec(
+            (0usize..8, 0usize..2, 0usize..N_NODES, 0usize..DIM, -1.0f32..1.0), 0..40),
+        combiner in prop_oneof![
+            Just(CombinerKind::Sum),
+            Just(CombinerKind::Avg),
+            Just(CombinerKind::ModelCombiner),
+        ],
+    ) {
+        let mut canonicals = Vec::new();
+        for plan in [SyncPlan::RepModelOpt, SyncPlan::RepModelNaive, SyncPlan::PullModel] {
+            let mut replicas = make_replicas(n_hosts);
+            apply_touches(&mut replicas, &touches);
+            let mut access = AccessSets::new(n_hosts, 2, N_NODES);
+            for h in 0..n_hosts {
+                for l in 0..2 {
+                    access.get_mut(h, l).set_all();
+                }
+            }
+            let mut stats = CommStats::default();
+            sync_round(
+                &mut replicas,
+                &SyncConfig { plan, combiner },
+                Some(&access),
+                &mut stats,
+            );
+            canonicals.push(assemble_canonical(&replicas));
+        }
+        prop_assert_eq!(&canonicals[0], &canonicals[1], "Opt vs Naive");
+        prop_assert_eq!(&canonicals[0], &canonicals[2], "Opt vs Pull");
+    }
+
+    /// After an Opt sync, every replica holds the canonical model
+    /// (full agreement), and a second sync with no touches moves nothing.
+    #[test]
+    fn opt_sync_reaches_agreement_and_quiesces(
+        n_hosts in 1usize..5,
+        touches in proptest::collection::vec(
+            (0usize..8, 0usize..2, 0usize..N_NODES, 0usize..DIM, -1.0f32..1.0), 0..40),
+    ) {
+        let mut replicas = make_replicas(n_hosts);
+        apply_touches(&mut replicas, &touches);
+        let cfg = SyncConfig { plan: SyncPlan::RepModelOpt, combiner: CombinerKind::ModelCombiner };
+        let mut stats = CommStats::default();
+        sync_round(&mut replicas, &cfg, None, &mut stats);
+        for h in 1..n_hosts {
+            prop_assert_eq!(&replicas[0].layers, &replicas[h].layers, "host {} disagrees", h);
+        }
+        let v = sync_round(&mut replicas, &cfg, None, &mut stats);
+        prop_assert_eq!(v.total_bytes(), 0);
+    }
+
+    /// Volume ordering invariant: Opt never ships more bytes than Naive,
+    /// and with a single host nothing ever crosses the wire.
+    #[test]
+    fn volume_orderings(
+        n_hosts in 1usize..5,
+        touches in proptest::collection::vec(
+            (0usize..8, 0usize..2, 0usize..N_NODES, 0usize..DIM, -1.0f32..1.0), 0..40),
+    ) {
+        let run = |plan: SyncPlan| {
+            let mut replicas = make_replicas(n_hosts);
+            apply_touches(&mut replicas, &touches);
+            let mut access = AccessSets::new(n_hosts, 2, N_NODES);
+            for h in 0..n_hosts {
+                for l in 0..2 {
+                    access.get_mut(h, l).set_all();
+                }
+            }
+            let mut stats = CommStats::default();
+            sync_round(
+                &mut replicas,
+                &SyncConfig { plan, combiner: CombinerKind::Sum },
+                Some(&access),
+                &mut stats,
+            );
+            stats
+        };
+        let opt = run(SyncPlan::RepModelOpt);
+        let naive = run(SyncPlan::RepModelNaive);
+        prop_assert!(opt.total_bytes() <= naive.total_bytes());
+        if n_hosts == 1 {
+            prop_assert_eq!(opt.total_bytes(), 0);
+            prop_assert_eq!(naive.total_bytes(), 0);
+        }
+    }
+
+    /// Sum-combiner semantics: the canonical value accumulates *all*
+    /// hosts' bumps exactly (float-associativity aside, with one bump per
+    /// host-node-slot the sums are exact).
+    #[test]
+    fn sum_accumulates_every_host(
+        n_hosts in 2usize..5,
+        node in 0usize..N_NODES,
+        bumps in proptest::collection::vec(-8i32..8, 2..5),
+    ) {
+        let mut replicas = make_replicas(n_hosts);
+        let mut expected = replicas[0].row(0, node as u32)[0];
+        for (h, &b) in bumps.iter().enumerate() {
+            let h = h % n_hosts;
+            replicas[h].row_mut(0, node as u32)[0] += b as f32;
+        }
+        // Each host touched the slot at most... hosts may repeat when
+        // bumps.len() > n_hosts; accumulate per host then sum.
+        let mut per_host = vec![0f32; n_hosts];
+        for (h, &b) in bumps.iter().enumerate() {
+            per_host[h % n_hosts] += b as f32;
+        }
+        expected += per_host.iter().sum::<f32>();
+        let mut stats = CommStats::default();
+        sync_round(
+            &mut replicas,
+            &SyncConfig { plan: SyncPlan::RepModelOpt, combiner: CombinerKind::Sum },
+            None,
+            &mut stats,
+        );
+        let canon = assemble_canonical(&replicas);
+        prop_assert!((canon[0].row(node)[0] - expected).abs() < 1e-4,
+            "{} vs {}", canon[0].row(node)[0], expected);
+    }
+}

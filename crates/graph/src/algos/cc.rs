@@ -1,0 +1,160 @@
+//! Connected components by label propagation.
+//!
+//! Each node's label starts as its own id; every round each edge pulls
+//! the minimum label across it; min-reduce reconciles proxies. At the
+//! fixed point every node in a (weakly, if the input is symmetrized)
+//! connected component carries the component's minimum node id.
+
+use crate::bsp::{BspRuntime, SyncStats};
+use crate::csr::Csr;
+use crate::partition::Partitioned;
+
+/// Sequential reference: union-find with path compression.
+pub fn cc_sequential<W: Copy>(g: &Csr<W>) -> Vec<u32> {
+    let n = g.n_nodes();
+    let mut parent: Vec<u32> = (0..n as u32).collect();
+    fn find(parent: &mut [u32], x: u32) -> u32 {
+        let mut root = x;
+        while parent[root as usize] != root {
+            root = parent[root as usize];
+        }
+        let mut cur = x;
+        while parent[cur as usize] != root {
+            let next = parent[cur as usize];
+            parent[cur as usize] = root;
+            cur = next;
+        }
+        root
+    }
+    for (s, d, _) in g.all_edges() {
+        let rs = find(&mut parent, s);
+        let rd = find(&mut parent, d);
+        if rs != rd {
+            // Union by smaller id so the representative is the min id.
+            let (lo, hi) = if rs < rd { (rs, rd) } else { (rd, rs) };
+            parent[hi as usize] = lo;
+        }
+    }
+    (0..n as u32).map(|x| find(&mut parent, x)).collect()
+}
+
+/// Distributed label propagation. Treats edges as undirected by
+/// propagating labels in both directions across each local edge.
+pub fn cc_distributed<W: Copy>(parted: &Partitioned<W>) -> (Vec<u32>, SyncStats) {
+    let mut rt: BspRuntime<u32, W> = BspRuntime::new(parted, |g| g);
+    loop {
+        for host in 0..parted.parts.len() {
+            let part = &parted.parts[host];
+            let (labels, touched) = rt.host_mut(host);
+            // Iterate to a local fixed point each round to cut down the
+            // number of global rounds (standard optimization).
+            let mut local_changed = true;
+            while local_changed {
+                local_changed = false;
+                for u in 0..part.local_graph.n_nodes() as u32 {
+                    for &v in part.local_graph.neighbors(u) {
+                        let (lu, lv) = (labels[u as usize], labels[v as usize]);
+                        if lu < lv {
+                            labels[v as usize] = lu;
+                            touched.set(v as usize);
+                            local_changed = true;
+                        } else if lv < lu {
+                            labels[u as usize] = lv;
+                            touched.set(u as usize);
+                            local_changed = true;
+                        }
+                    }
+                }
+            }
+        }
+        let (any_touched, _) = rt.sync(|canonical, incoming| {
+            if incoming < *canonical {
+                *canonical = incoming;
+                true
+            } else {
+                false
+            }
+        });
+        if !any_touched {
+            break;
+        }
+    }
+    let labels = (0..parted.n_nodes as u32)
+        .map(|g| rt.read_canonical(g))
+        .collect();
+    (labels, *rt.stats())
+}
+
+/// Number of distinct components in a label assignment.
+pub fn component_count(labels: &[u32]) -> usize {
+    let mut set: Vec<u32> = labels.to_vec();
+    set.sort_unstable();
+    set.dedup();
+    set.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use crate::partition::partition_blocked;
+
+    /// Adds reverse edges so directed inputs become symmetric.
+    fn symmetrize(g: &Csr<u32>) -> Csr<u32> {
+        let mut edges: Vec<(u32, u32, u32)> = g.all_edges().collect();
+        edges.extend(g.all_edges().map(|(s, d, w)| (d, s, w)));
+        Csr::from_edges(g.n_nodes(), &edges)
+    }
+
+    #[test]
+    fn two_components() {
+        let g: Csr = Csr::from_edges(5, &[(0, 1, ()), (1, 0, ()), (3, 4, ()), (4, 3, ())]);
+        let want = vec![0, 0, 2, 3, 3];
+        assert_eq!(cc_sequential(&g), want);
+        for hosts in [1, 2, 4] {
+            let p = partition_blocked(&g, hosts);
+            let (got, _) = cc_distributed(&p);
+            assert_eq!(got, want, "hosts={hosts}");
+        }
+    }
+
+    #[test]
+    fn all_isolated() {
+        let g: Csr = Csr::from_edges(4, &[]);
+        let p = partition_blocked(&g, 2);
+        let (labels, _) = cc_distributed(&p);
+        assert_eq!(labels, vec![0, 1, 2, 3]);
+        assert_eq!(component_count(&labels), 4);
+    }
+
+    #[test]
+    fn matches_union_find_on_random_graphs() {
+        for seed in [10u64, 20, 30] {
+            let g = symmetrize(&gen::uniform_random(50, 60, 1, seed));
+            let want = cc_sequential(&g);
+            for hosts in [1, 3, 5] {
+                let p = partition_blocked(&g, hosts);
+                let (got, _) = cc_distributed(&p);
+                assert_eq!(got, want, "seed={seed} hosts={hosts}");
+            }
+        }
+    }
+
+    #[test]
+    fn grid_is_one_component() {
+        let g = gen::grid(8, 8);
+        let p = partition_blocked(&g, 4);
+        let (labels, _) = cc_distributed(&p);
+        assert_eq!(component_count(&labels), 1);
+        assert!(labels.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn rmat_matches() {
+        let g = symmetrize(&gen::rmat(6, 4, 5, gen::RMAT_GRAPH500));
+        let want = cc_sequential(&g);
+        let p = partition_blocked(&g, 6);
+        let (got, _) = cc_distributed(&p);
+        assert_eq!(got, want);
+    }
+}

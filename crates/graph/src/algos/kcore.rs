@@ -1,0 +1,219 @@
+//! k-core decomposition.
+//!
+//! The k-core of a graph is the maximal subgraph in which every node has
+//! degree ≥ k; a node's *core number* is the largest k for which it
+//! belongs to the k-core. This exercises a different BSP pattern than
+//! the min/sum algorithms: iterative *peeling*, where each round removes
+//! nodes that fall below the threshold and the reduction propagates
+//! removal flags. Inputs are treated as undirected (callers symmetrize).
+
+use crate::bsp::{BspRuntime, SyncStats};
+use crate::csr::Csr;
+use crate::partition::Partitioned;
+
+/// Sequential reference: the standard peeling algorithm (O(E) with
+/// bucket queues; this simple version is O(V·E) worst case but exact).
+pub fn kcore_sequential<W: Copy>(g: &Csr<W>, k: usize) -> Vec<bool> {
+    let n = g.n_nodes();
+    let mut degree: Vec<usize> = (0..n as u32).map(|u| g.degree(u)).collect();
+    let mut alive = vec![true; n];
+    loop {
+        let mut changed = false;
+        for u in 0..n {
+            if alive[u] && degree[u] < k {
+                alive[u] = false;
+                changed = true;
+                for &v in g.neighbors(u as u32) {
+                    if alive[v as usize] {
+                        degree[v as usize] = degree[v as usize].saturating_sub(1);
+                    }
+                }
+            }
+        }
+        if !changed {
+            return alive;
+        }
+    }
+}
+
+/// Node label for the distributed peeling: remaining degree and
+/// aliveness. The reduction *sums* degree decrements gathered from
+/// remote edge endpoints.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct KcoreLabel {
+    /// Remaining degree (counting only alive neighbours).
+    pub degree: i64,
+    /// Decrements accumulated this round.
+    pub pending_dec: i64,
+    /// Whether the node is still in the subgraph.
+    pub alive: bool,
+}
+
+/// Distributed k-core membership over a partitioned (symmetrized)
+/// graph. Returns the aliveness vector and sync statistics.
+pub fn kcore_distributed<W: Copy>(parted: &Partitioned<W>, k: usize) -> (Vec<bool>, SyncStats) {
+    // Initialize degrees from the *global* degree: each host knows the
+    // out-degree of its owned (master) nodes because the blocked
+    // edge-cut places all their out-edges locally.
+    let mut rt: BspRuntime<KcoreLabel, W> = BspRuntime::new(parted, |_| KcoreLabel {
+        degree: 0,
+        pending_dec: 0,
+        alive: true,
+    });
+    // Round 0: masters set their own degree, broadcast to mirrors.
+    for host in 0..parted.parts.len() {
+        let part = &parted.parts[host];
+        let degrees: Vec<(u32, usize)> = part
+            .masters()
+            .map(|l| (l, part.local_graph.degree(l)))
+            .collect();
+        let (labels, touched) = rt.host_mut(host);
+        for (l, d) in degrees {
+            labels[l as usize].degree = d as i64;
+            touched.set(l as usize);
+        }
+    }
+    rt.sync(|_, _| false);
+
+    loop {
+        // Peel: a host decides removal for its *masters* (it has their
+        // canonical degree), then pushes decrements along its local
+        // out-edges into proxy accumulators.
+        let mut any_removed = false;
+        for host in 0..parted.parts.len() {
+            let part = &parted.parts[host];
+            let removals: Vec<u32> = {
+                let (labels, _) = rt.host_mut(host);
+                part.masters()
+                    .filter(|&l| {
+                        let lab = labels[l as usize];
+                        lab.alive && lab.degree < k as i64
+                    })
+                    .collect()
+            };
+            if removals.is_empty() {
+                continue;
+            }
+            any_removed = true;
+            let (labels, touched) = rt.host_mut(host);
+            for l in removals {
+                labels[l as usize].alive = false;
+                touched.set(l as usize);
+                // Decrement every neighbour (via its local proxy).
+                let neighbors: Vec<u32> = part.local_graph.neighbors(l).to_vec();
+                for v in neighbors {
+                    labels[v as usize].pending_dec += 1;
+                    touched.set(v as usize);
+                }
+            }
+        }
+        // Reduce: masters gather decrements (sum) and removal flags (or).
+        rt.sync(|canonical, incoming| {
+            let mut changed = false;
+            if incoming.pending_dec != 0 {
+                canonical.pending_dec += incoming.pending_dec;
+                changed = true;
+            }
+            if !incoming.alive && canonical.alive {
+                canonical.alive = false;
+                changed = true;
+            }
+            changed
+        });
+        // Apply decrements at masters and rebroadcast settled labels.
+        for host in 0..parted.parts.len() {
+            let part = &parted.parts[host];
+            let (labels, touched) = rt.host_mut(host);
+            for l in part.masters() {
+                let lab = &mut labels[l as usize];
+                if lab.pending_dec != 0 {
+                    lab.degree -= lab.pending_dec;
+                    lab.pending_dec = 0;
+                    touched.set(l as usize);
+                }
+            }
+        }
+        rt.sync(|_, _| false);
+        if !any_removed {
+            break;
+        }
+    }
+    let alive = (0..parted.n_nodes as u32)
+        .map(|g| rt.read_canonical(g).alive)
+        .collect();
+    (alive, *rt.stats())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use crate::partition::partition_blocked;
+
+    fn symmetrize(g: &Csr<u32>) -> Csr<u32> {
+        let mut edges: Vec<(u32, u32, u32)> = g.all_edges().collect();
+        edges.extend(g.all_edges().map(|(s, d, w)| (d, s, w)));
+        edges.sort_unstable();
+        edges.dedup();
+        Csr::from_edges(g.n_nodes(), &edges)
+    }
+
+    /// Triangle + pendant: nodes 0-1-2 form a triangle, 3 hangs off 0.
+    fn triangle_pendant() -> Csr<u32> {
+        symmetrize(&Csr::from_edges(
+            4,
+            &[(0, 1, 1u32), (1, 2, 1), (2, 0, 1), (0, 3, 1)],
+        ))
+    }
+
+    #[test]
+    fn sequential_peeling() {
+        let g = triangle_pendant();
+        // 2-core: the triangle survives, the pendant does not.
+        assert_eq!(kcore_sequential(&g, 2), vec![true, true, true, false]);
+        // 3-core: nothing survives.
+        assert_eq!(kcore_sequential(&g, 3), vec![false; 4]);
+        // 1-core: everything (all degrees ≥ 1).
+        assert_eq!(kcore_sequential(&g, 1), vec![true; 4]);
+    }
+
+    #[test]
+    fn cascading_removal() {
+        // A path 0-1-2-3: 2-core is empty, but removal cascades (ends
+        // first, then the middle).
+        let g = symmetrize(&Csr::from_edges(4, &[(0, 1, 1u32), (1, 2, 1), (2, 3, 1)]));
+        assert_eq!(kcore_sequential(&g, 2), vec![false; 4]);
+        let p = partition_blocked(&g, 2);
+        let (alive, _) = kcore_distributed(&p, 2);
+        assert_eq!(alive, vec![false; 4]);
+    }
+
+    #[test]
+    fn distributed_matches_sequential() {
+        for seed in [1u64, 2] {
+            let g = symmetrize(&gen::uniform_random(40, 120, 1, seed));
+            for k in [1usize, 2, 3, 4] {
+                let want = kcore_sequential(&g, k);
+                for hosts in [1, 3, 5] {
+                    let p = partition_blocked(&g, hosts);
+                    let (got, _) = kcore_distributed(&p, k);
+                    assert_eq!(got, want, "seed={seed} k={k} hosts={hosts}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rmat_kcore_shrinks_with_k() {
+        let g = symmetrize(&gen::rmat(7, 6, 3, gen::RMAT_GRAPH500));
+        let p = partition_blocked(&g, 4);
+        let sizes: Vec<usize> = [1usize, 2, 4, 8]
+            .iter()
+            .map(|&k| kcore_distributed(&p, k).0.iter().filter(|&&a| a).count())
+            .collect();
+        for w in sizes.windows(2) {
+            assert!(w[1] <= w[0], "{sizes:?}");
+        }
+        assert!(sizes[0] > 0);
+    }
+}

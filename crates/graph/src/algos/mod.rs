@@ -1,0 +1,22 @@
+//! Classic vertex programs on the BSP substrate.
+//!
+//! These are the validation suite for the distributed runtime: each
+//! algorithm is written exactly the way a D-Galois application is —
+//! a local operator plus a Gluon-style `sync` with a reduction operator
+//! (paper §2.4 uses SSSP as its running example) — and is tested against
+//! an independent sequential implementation on random, grid and
+//! power-law graphs.
+
+pub mod bfs;
+pub mod cc;
+pub mod kcore;
+pub mod pagerank;
+pub mod sssp;
+pub mod sssp_delta;
+
+pub use bfs::{bfs_distributed, bfs_sequential};
+pub use cc::{cc_distributed, cc_sequential};
+pub use kcore::{kcore_distributed, kcore_sequential};
+pub use pagerank::{pagerank_distributed, pagerank_sequential};
+pub use sssp::{sssp_distributed, sssp_sequential};
+pub use sssp_delta::sssp_data_driven;

@@ -1,0 +1,184 @@
+//! PageRank (push-style, fixed iteration count).
+//!
+//! PageRank stresses the substrate differently from the min-reduce
+//! algorithms: the reduction is a *sum* of partial accumulators, and each
+//! iteration needs two synchronizations — one to gather contribution sums
+//! at masters, one to publish the recomputed ranks — mirroring how
+//! multi-phase operators are written in D-Galois.
+
+use crate::bsp::{BspRuntime, SyncStats};
+use crate::csr::Csr;
+use crate::partition::Partitioned;
+
+/// Damping factor (the standard 0.85).
+pub const DAMPING: f32 = 0.85;
+
+/// Node label: current rank plus the incoming-contribution accumulator.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PrLabel {
+    /// Current PageRank value.
+    pub rank: f32,
+    /// Sum of contributions received this iteration.
+    pub acc: f32,
+}
+
+/// Sequential reference PageRank, `iters` power iterations.
+pub fn pagerank_sequential<W: Copy>(g: &Csr<W>, iters: usize) -> Vec<f32> {
+    let n = g.n_nodes();
+    let base = (1.0 - DAMPING) / n as f32;
+    let mut rank = vec![1.0 / n as f32; n];
+    let mut next = vec![0.0f32; n];
+    for _ in 0..iters {
+        next.fill(0.0);
+        for u in 0..n as u32 {
+            let deg = g.degree(u);
+            if deg == 0 {
+                continue; // dangling mass dropped, same as distributed
+            }
+            let share = rank[u as usize] / deg as f32;
+            for &v in g.neighbors(u) {
+                next[v as usize] += share;
+            }
+        }
+        for i in 0..n {
+            rank[i] = base + DAMPING * next[i];
+        }
+    }
+    rank
+}
+
+/// Distributed push-style PageRank over a partitioned graph.
+pub fn pagerank_distributed<W: Copy>(
+    parted: &Partitioned<W>,
+    iters: usize,
+) -> (Vec<f32>, SyncStats) {
+    let n = parted.n_nodes;
+    let base = (1.0 - DAMPING) / n as f32;
+    let init_rank = 1.0 / n as f32;
+    let mut rt: BspRuntime<PrLabel, W> = BspRuntime::new(parted, |_| PrLabel {
+        rank: init_rank,
+        acc: 0.0,
+    });
+    for _ in 0..iters {
+        // Phase A: every host pushes contributions of its *master* nodes
+        // along local out-edges into proxy accumulators.
+        for host in 0..parted.parts.len() {
+            let part = &parted.parts[host];
+            let (labels, touched) = rt.host_mut(host);
+            for u in 0..part.local_graph.n_nodes() as u32 {
+                // Only masters push: each global edge lives on exactly one
+                // host (its source's owner under the blocked edge-cut), so
+                // contributions are counted once.
+                if !part.is_master(u) {
+                    continue;
+                }
+                let deg = part.local_graph.degree(u);
+                if deg == 0 {
+                    continue;
+                }
+                let share = labels[u as usize].rank / deg as f32;
+                for &v in part.local_graph.neighbors(u) {
+                    labels[v as usize].acc += share;
+                    touched.set(v as usize);
+                }
+            }
+        }
+        // Sum-reduce the accumulators at masters.
+        rt.sync(|canonical, incoming| {
+            canonical.acc += incoming.acc;
+            incoming.acc != 0.0
+        });
+        // Phase B: masters recompute rank from the gathered sum and clear
+        // the accumulator; broadcast publishes the new canonical label
+        // (which also zeroes the mirrors' accumulators).
+        for host in 0..parted.parts.len() {
+            let part = &parted.parts[host];
+            let (labels, touched) = rt.host_mut(host);
+            for l in part.masters() {
+                let lab = &mut labels[l as usize];
+                lab.rank = base + DAMPING * lab.acc;
+                lab.acc = 0.0;
+                touched.set(l as usize);
+            }
+        }
+        rt.sync(|_, _| false);
+    }
+    let ranks = (0..n as u32).map(|g| rt.read_canonical(g).rank).collect();
+    (ranks, *rt.stats())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use crate::partition::partition_blocked;
+
+    fn assert_close(a: &[f32], b: &[f32], tol: f32) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!((x - y).abs() <= tol, "rank[{i}]: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn uniform_cycle_has_uniform_rank() {
+        // A directed 4-cycle: perfectly symmetric, rank = 1/4 everywhere.
+        let g: Csr = Csr::from_edges(4, &[(0, 1, ()), (1, 2, ()), (2, 3, ()), (3, 0, ())]);
+        let p = partition_blocked(&g, 2);
+        let (ranks, _) = pagerank_distributed(&p, 30);
+        for r in &ranks {
+            assert!((r - 0.25).abs() < 1e-4, "{ranks:?}");
+        }
+    }
+
+    #[test]
+    fn hub_accumulates_rank() {
+        // Star pointing at node 0: node 0 must outrank the leaves.
+        let g: Csr = Csr::from_edges(5, &[(1, 0, ()), (2, 0, ()), (3, 0, ()), (4, 0, ())]);
+        let p = partition_blocked(&g, 3);
+        let (ranks, _) = pagerank_distributed(&p, 20);
+        for leaf in 1..5 {
+            assert!(ranks[0] > ranks[leaf] * 2.0, "{ranks:?}");
+        }
+    }
+
+    #[test]
+    fn matches_sequential_on_random_graphs() {
+        for seed in [3u64, 14, 15] {
+            let g = gen::uniform_random(40, 240, 1, seed);
+            let want = pagerank_sequential(&g, 15);
+            for hosts in [1, 2, 5] {
+                let p = partition_blocked(&g, hosts);
+                let (got, _) = pagerank_distributed(&p, 15);
+                assert_close(&got, &want, 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn matches_sequential_on_rmat() {
+        let g = gen::rmat(6, 6, 99, gen::RMAT_GRAPH500);
+        let want = pagerank_sequential(&g, 10);
+        let p = partition_blocked(&g, 4);
+        let (got, _) = pagerank_distributed(&p, 10);
+        assert_close(&got, &want, 1e-5);
+    }
+
+    #[test]
+    fn ranks_sum_below_one_with_dangling_mass() {
+        let g = gen::uniform_random(30, 60, 1, 5);
+        let p = partition_blocked(&g, 3);
+        let (ranks, _) = pagerank_distributed(&p, 10);
+        let sum: f32 = ranks.iter().sum();
+        assert!(sum > 0.1 && sum <= 1.0 + 1e-4, "sum = {sum}");
+    }
+
+    #[test]
+    fn two_syncs_per_iteration() {
+        let g = gen::uniform_random(20, 60, 1, 6);
+        let p = partition_blocked(&g, 2);
+        let iters = 7;
+        let (_, stats) = pagerank_distributed(&p, iters);
+        assert_eq!(stats.rounds, 2 * iters);
+    }
+}

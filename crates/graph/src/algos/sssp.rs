@@ -1,0 +1,181 @@
+//! Single-source shortest paths.
+//!
+//! The paper's §2.4 uses SSSP to explain the graph-analytics model: node
+//! label = tentative distance, operator = edge relaxation, reduction =
+//! minimum. The distributed version is topology-driven Bellman-Ford: each
+//! BSP round relaxes every local edge, then a min-reduce sync reconciles
+//! proxies; the fixed point is reached when a round produces no update
+//! anywhere.
+
+use crate::bsp::{BspRuntime, SyncStats};
+use crate::csr::Csr;
+use crate::partition::Partitioned;
+
+/// Unreachable marker.
+pub const INF: u64 = u64::MAX;
+
+/// Sequential reference: Dijkstra with a binary heap.
+pub fn sssp_sequential(g: &Csr<u32>, source: u32) -> Vec<u64> {
+    let mut dist = vec![INF; g.n_nodes()];
+    let mut heap = std::collections::BinaryHeap::new();
+    dist[source as usize] = 0;
+    heap.push(std::cmp::Reverse((0u64, source)));
+    while let Some(std::cmp::Reverse((d, u))) = heap.pop() {
+        if d > dist[u as usize] {
+            continue;
+        }
+        for (v, w) in g.edges(u) {
+            let nd = d + w as u64;
+            if nd < dist[v as usize] {
+                dist[v as usize] = nd;
+                heap.push(std::cmp::Reverse((nd, v)));
+            }
+        }
+    }
+    dist
+}
+
+/// Distributed Bellman-Ford over a partitioned graph. Returns the
+/// canonical distances and the communication statistics.
+pub fn sssp_distributed(parted: &Partitioned<u32>, source: u32) -> (Vec<u64>, SyncStats) {
+    let mut rt: BspRuntime<u64, u32> =
+        BspRuntime::new(parted, |g| if g == source { 0 } else { INF });
+    loop {
+        // Compute phase: relax every local edge on every host.
+        for host in 0..parted.parts.len() {
+            let part = &parted.parts[host];
+            let (labels, touched) = rt.host_mut(host);
+            for u in 0..part.local_graph.n_nodes() as u32 {
+                let du = labels[u as usize];
+                if du == INF {
+                    continue;
+                }
+                for (v, w) in part.local_graph.edges(u) {
+                    let nd = du + w as u64;
+                    if nd < labels[v as usize] {
+                        labels[v as usize] = nd;
+                        touched.set(v as usize);
+                    }
+                }
+            }
+        }
+        // Min-reduce synchronization.
+        let (any_touched, _) = rt.sync(|canonical, incoming| {
+            if incoming < *canonical {
+                *canonical = incoming;
+                true
+            } else {
+                false
+            }
+        });
+        if !any_touched {
+            break;
+        }
+    }
+    let dist = (0..parted.n_nodes as u32)
+        .map(|g| rt.read_canonical(g))
+        .collect();
+    (dist, *rt.stats())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use crate::partition::partition_blocked;
+    use proptest::prelude::*;
+
+    #[test]
+    fn line_graph() {
+        // 0 -(2)-> 1 -(3)-> 2
+        let g = Csr::from_edges(3, &[(0, 1, 2u32), (1, 2, 3)]);
+        assert_eq!(sssp_sequential(&g, 0), vec![0, 2, 5]);
+        for hosts in [1, 2, 3] {
+            let p = partition_blocked(&g, hosts);
+            let (d, _) = sssp_distributed(&p, 0);
+            assert_eq!(d, vec![0, 2, 5], "hosts={hosts}");
+        }
+    }
+
+    #[test]
+    fn unreachable_nodes_stay_inf() {
+        let g = Csr::from_edges(4, &[(0, 1, 1u32)]);
+        let p = partition_blocked(&g, 2);
+        let (d, _) = sssp_distributed(&p, 0);
+        assert_eq!(d, vec![0, 1, INF, INF]);
+    }
+
+    #[test]
+    fn shorter_path_via_detour() {
+        // Direct 0->2 costs 10; detour 0->1->2 costs 3.
+        let g = Csr::from_edges(3, &[(0, 2, 10u32), (0, 1, 1), (1, 2, 2)]);
+        let p = partition_blocked(&g, 3);
+        let (d, _) = sssp_distributed(&p, 0);
+        assert_eq!(d, vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn matches_dijkstra_on_random_graphs() {
+        for seed in [1u64, 2, 3] {
+            let g = gen::uniform_random(50, 300, 9, seed);
+            let want = sssp_sequential(&g, 0);
+            for hosts in [1, 2, 4, 7] {
+                let p = partition_blocked(&g, hosts);
+                let (got, _) = sssp_distributed(&p, 0);
+                assert_eq!(got, want, "seed={seed} hosts={hosts}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_on_grid_long_diameter() {
+        let g = gen::grid(12, 5);
+        let want = sssp_sequential(&g, 0);
+        let p = partition_blocked(&g, 4);
+        let (got, stats) = sssp_distributed(&p, 0);
+        assert_eq!(got, want);
+        // Grid diameter forces multiple BSP rounds.
+        assert!(stats.rounds >= 3, "rounds = {}", stats.rounds);
+    }
+
+    #[test]
+    fn matches_on_rmat() {
+        let g = gen::rmat(7, 6, 77, gen::RMAT_GRAPH500);
+        let want = sssp_sequential(&g, 0);
+        let p = partition_blocked(&g, 5);
+        let (got, _) = sssp_distributed(&p, 0);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn communication_happens_beyond_one_host() {
+        let g = gen::uniform_random(40, 200, 5, 4);
+        let p1 = partition_blocked(&g, 1);
+        let (_, s1) = sssp_distributed(&p1, 0);
+        assert_eq!(s1.reduce_msgs, 0, "single host never communicates");
+        let p4 = partition_blocked(&g, 4);
+        let (_, s4) = sssp_distributed(&p4, 0);
+        assert!(s4.reduce_msgs > 0);
+        assert!(s4.broadcast_msgs > 0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn prop_distributed_matches_sequential(
+            n in 2usize..40,
+            n_hosts in 1usize..6,
+            raw in proptest::collection::vec((0u32..40, 0u32..40, 1u32..10), 1..150),
+        ) {
+            let edges: Vec<(u32, u32, u32)> = raw
+                .into_iter()
+                .map(|(s, d, w)| (s % n as u32, d % n as u32, w))
+                .collect();
+            let g = Csr::from_edges(n, &edges);
+            let want = sssp_sequential(&g, 0);
+            let p = partition_blocked(&g, n_hosts);
+            let (got, _) = sssp_distributed(&p, 0);
+            prop_assert_eq!(got, want);
+        }
+    }
+}

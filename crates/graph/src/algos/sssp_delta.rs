@@ -1,0 +1,163 @@
+//! Data-driven SSSP with a chunked worklist (delta-stepping-lite).
+//!
+//! The paper's §2.4 distinguishes *topology-driven* algorithms (apply
+//! the operator to every node each round — our distributed Bellman-Ford)
+//! from *data-driven* ones, where "a worklist maintains the active nodes
+//! where the operator must be applied". This is the data-driven
+//! shared-memory variant in the Galois style: a [`ChunkedWorklist`] of
+//! active vertices, bucketed by distance range (delta-stepping's
+//! coarsening), processed by racing worker threads over an atomic
+//! distance array.
+
+use crate::csr::Csr;
+use crate::worklist::ChunkedWorklist;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+/// Unreachable marker.
+pub const INF: u64 = u64::MAX;
+
+/// Data-driven SSSP. `delta` is the bucket width (1 = Dijkstra-like
+/// strictness, larger = more parallel work per phase); `n_threads`
+/// worker threads drain each bucket concurrently.
+pub fn sssp_data_driven(g: &Csr<u32>, source: u32, delta: u64, n_threads: usize) -> Vec<u64> {
+    assert!(delta > 0);
+    assert!(n_threads > 0);
+    let n = g.n_nodes();
+    let dist: Vec<AtomicU64> = (0..n)
+        .map(|i| AtomicU64::new(if i == source as usize { 0 } else { INF }))
+        .collect();
+    let mut bucket_lo = 0u64;
+    let mut pending: Vec<u32> = vec![source];
+    while !pending.is_empty() {
+        // All pending nodes whose tentative distance falls in the current
+        // bucket go on the worklist; the rest wait for a later bucket.
+        let bucket_hi = bucket_lo.saturating_add(delta);
+        let (now, later): (Vec<u32>, Vec<u32>) = pending
+            .into_iter()
+            .partition(|&u| dist[u as usize].load(Relaxed) < bucket_hi);
+        if now.is_empty() {
+            // Jump to the next non-empty bucket.
+            let min_later = later
+                .iter()
+                .map(|&u| dist[u as usize].load(Relaxed))
+                .min()
+                .unwrap_or(INF);
+            if min_later == INF {
+                break;
+            }
+            bucket_lo = min_later / delta * delta;
+            pending = later;
+            continue;
+        }
+        let wl = ChunkedWorklist::from_items(now, 64);
+        let next = ChunkedWorklist::new();
+        std::thread::scope(|scope| {
+            for _ in 0..n_threads {
+                let wl = &wl;
+                let next = &next;
+                let dist = &dist;
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    while let Some(chunk) = wl.pop_chunk() {
+                        for u in chunk {
+                            let du = dist[u as usize].load(Relaxed);
+                            if du >= bucket_hi {
+                                // Re-activated into a later bucket.
+                                out.push(u);
+                                continue;
+                            }
+                            for (v, w) in g.edges(u) {
+                                let nd = du + w as u64;
+                                // CAS-min loop: the relaxation operator.
+                                let mut cur = dist[v as usize].load(Relaxed);
+                                while nd < cur {
+                                    match dist[v as usize]
+                                        .compare_exchange_weak(cur, nd, Relaxed, Relaxed)
+                                    {
+                                        Ok(_) => {
+                                            out.push(v);
+                                            break;
+                                        }
+                                        Err(actual) => cur = actual,
+                                    }
+                                }
+                            }
+                            // A node relaxed again within its own bucket
+                            // must be reprocessed: check and requeue.
+                            if dist[u as usize].load(Relaxed) < du {
+                                out.push(u);
+                            }
+                        }
+                        if out.len() >= 64 {
+                            next.push_chunk(std::mem::take(&mut out));
+                        }
+                    }
+                    next.push_chunk(out);
+                });
+            }
+        });
+        let mut collected = Vec::new();
+        while let Some(chunk) = next.pop_chunk() {
+            collected.extend(chunk);
+        }
+        collected.extend(later);
+        collected.sort_unstable();
+        collected.dedup();
+        // Keep only nodes that could still improve something: all are
+        // candidates; bucket partitioning above handles ordering.
+        pending = collected;
+        bucket_lo = bucket_hi;
+    }
+    dist.into_iter().map(AtomicU64::into_inner).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algos::sssp::sssp_sequential;
+    use crate::gen;
+
+    #[test]
+    fn line_graph() {
+        let g = Csr::from_edges(4, &[(0, 1, 2u32), (1, 2, 3), (2, 3, 1)]);
+        assert_eq!(sssp_data_driven(&g, 0, 1, 1), vec![0, 2, 5, 6]);
+        assert_eq!(sssp_data_driven(&g, 0, 100, 2), vec![0, 2, 5, 6]);
+    }
+
+    #[test]
+    fn matches_dijkstra_across_deltas_and_threads() {
+        for seed in [5u64, 6] {
+            let g = gen::uniform_random(60, 360, 9, seed);
+            let want = sssp_sequential(&g, 0);
+            for delta in [1u64, 4, 16, 1000] {
+                for threads in [1usize, 2, 4] {
+                    let got = sssp_data_driven(&g, 0, delta, threads);
+                    assert_eq!(got, want, "seed={seed} delta={delta} threads={threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unreachable_stays_inf() {
+        let g = Csr::from_edges(3, &[(0, 1, 1u32)]);
+        let d = sssp_data_driven(&g, 0, 2, 2);
+        assert_eq!(d, vec![0, 1, INF]);
+    }
+
+    #[test]
+    fn grid_long_paths() {
+        let g = gen::grid(10, 10);
+        let want = sssp_sequential(&g, 0);
+        let got = sssp_data_driven(&g, 0, 2, 3);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn rmat_heavy_hubs() {
+        let g = gen::rmat(8, 8, 17, gen::RMAT_GRAPH500);
+        let want = sssp_sequential(&g, 0);
+        let got = sssp_data_driven(&g, 0, 8, 4);
+        assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,351 @@
+//! Bulk-synchronous runtime over partitioned graphs.
+//!
+//! Implements the Gluon synchronization protocol (paper §2.4) for
+//! plain-old-data node labels:
+//!
+//! 1. **Compute** — each host applies its operator to local proxies,
+//!    marking every written proxy in a touched-bit vector.
+//! 2. **Reduce** — touched *mirror* proxies ship `(node, label)` to the
+//!    node's master host, which folds them into the canonical value with
+//!    the algorithm's reduction operator.
+//! 3. **Broadcast** — every node whose master received an update (local
+//!    or remote) ships the canonical value back to all hosts holding a
+//!    mirror of it, so all proxies agree again.
+//!
+//! Hosts are simulated sequentially (BSP semantics make this exact); the
+//! runtime counts messages and bytes so substrate-level communication
+//! behaviour is observable in tests and benches. The threaded,
+//! plan-optimized engine used for Word2Vec training lives in `gw2v-gluon`
+//! and follows this same protocol.
+
+use crate::partition::Partitioned;
+use gw2v_util::bitvec::BitVec;
+
+/// Communication counters accumulated across [`BspRuntime::sync`] calls.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SyncStats {
+    /// Number of sync rounds performed.
+    pub rounds: usize,
+    /// Mirror→master messages.
+    pub reduce_msgs: u64,
+    /// Master→mirror messages.
+    pub broadcast_msgs: u64,
+    /// Bytes shipped mirror→master (4-byte id + label payload each).
+    pub reduce_bytes: u64,
+    /// Bytes shipped master→mirror.
+    pub broadcast_bytes: u64,
+}
+
+impl SyncStats {
+    /// Total bytes both directions.
+    pub fn total_bytes(&self) -> u64 {
+        self.reduce_bytes + self.broadcast_bytes
+    }
+}
+
+/// The distributed label store plus the synchronization engine.
+///
+/// `L` is the per-node label; it must be `Copy` (labels cross "the wire").
+pub struct BspRuntime<'a, L, W = ()> {
+    parts: &'a Partitioned<W>,
+    /// labels[host][local_id]
+    labels: Vec<Vec<L>>,
+    touched: Vec<BitVec>,
+    stats: SyncStats,
+}
+
+impl<'a, L: Copy, W: Copy> BspRuntime<'a, L, W> {
+    /// Creates the runtime, initializing every proxy of global node `g`
+    /// to `init(g)`.
+    pub fn new(parts: &'a Partitioned<W>, init: impl Fn(u32) -> L) -> Self {
+        let labels = parts
+            .parts
+            .iter()
+            .map(|p| p.local_to_global.iter().map(|&g| init(g)).collect())
+            .collect();
+        let touched = parts
+            .parts
+            .iter()
+            .map(|p| BitVec::new(p.n_local()))
+            .collect();
+        Self {
+            parts,
+            labels,
+            touched,
+            stats: SyncStats::default(),
+        }
+    }
+
+    /// Host count.
+    pub fn n_hosts(&self) -> usize {
+        self.parts.parts.len()
+    }
+
+    /// Read-only view of one host's labels (indexed by local id).
+    pub fn labels(&self, host: usize) -> &[L] {
+        &self.labels[host]
+    }
+
+    /// Mutable access to a host's labels and its touched-bit vector; the
+    /// compute phase writes labels and must set the touched bit for every
+    /// proxy it writes, or the write will not be synchronized.
+    pub fn host_mut(&mut self, host: usize) -> (&mut [L], &mut BitVec) {
+        (&mut self.labels[host], &mut self.touched[host])
+    }
+
+    /// The canonical (master) value of global node `g`.
+    pub fn read_canonical(&self, g: u32) -> L {
+        let owner = crate::partition::master_host(self.parts.n_nodes, self.n_hosts(), g);
+        let p = &self.parts.parts[owner];
+        let l = p
+            .local_of(g)
+            .expect("master host always has a proxy for its owned node");
+        self.labels[owner][l as usize]
+    }
+
+    /// Accumulated communication statistics.
+    pub fn stats(&self) -> &SyncStats {
+        &self.stats
+    }
+
+    /// One bulk-synchronization: reduce touched mirrors into masters with
+    /// `reduce`, then broadcast every updated master to its mirrors.
+    ///
+    /// `reduce(canonical, incoming)` must fold `incoming` into
+    /// `canonical`, returning whether the canonical value changed.
+    ///
+    /// Returns `(any_touched, any_master_changed)`: the former is true if
+    /// any proxy anywhere was written this round (drives fixed-point
+    /// loops), the latter if any canonical value changed during reduction.
+    pub fn sync(&mut self, mut reduce: impl FnMut(&mut L, L) -> bool) -> (bool, bool) {
+        let n_hosts = self.n_hosts();
+        let label_bytes = (4 + std::mem::size_of::<L>()) as u64;
+        let mut any_touched = false;
+        let mut any_changed = false;
+        // Nodes whose master received an update this round (global ids).
+        let mut updated = BitVec::new(self.parts.n_nodes);
+
+        // Phase 1: reduce. Mirrors ship to masters; masters note local touches.
+        for host in 0..n_hosts {
+            let part = &self.parts.parts[host];
+            // Collect this host's outgoing messages first (borrow rules:
+            // we mutate other hosts' labels while reading this host's).
+            let mut outgoing: Vec<(u32, L)> = Vec::new();
+            for l in self.touched[host].iter_ones() {
+                any_touched = true;
+                let g = part.global_of(l as u32);
+                if part.is_master(l as u32) {
+                    updated.set(g as usize);
+                } else {
+                    outgoing.push((g, self.labels[host][l]));
+                }
+            }
+            for (g, incoming) in outgoing {
+                let owner = crate::partition::master_host(self.parts.n_nodes, n_hosts, g);
+                self.stats.reduce_msgs += 1;
+                // Messages to self are free (master and mirror can't share
+                // a host for the same node, so this is always remote).
+                self.stats.reduce_bytes += label_bytes;
+                let owner_part = &self.parts.parts[owner];
+                let lm = owner_part
+                    .local_of(g)
+                    .expect("master host has a proxy for its owned node");
+                let canonical = &mut self.labels[owner][lm as usize];
+                if reduce(canonical, incoming) {
+                    any_changed = true;
+                }
+                updated.set(g as usize);
+            }
+        }
+
+        // Phase 2: broadcast canonical values of updated nodes to mirrors.
+        for g in updated.iter_ones() {
+            let owner = crate::partition::master_host(self.parts.n_nodes, n_hosts, g as u32);
+            let lm = self.parts.parts[owner]
+                .local_of(g as u32)
+                .expect("master proxy exists");
+            let canonical = self.labels[owner][lm as usize];
+            for &h in &self.parts.mirror_hosts[g] {
+                let p = &self.parts.parts[h as usize];
+                let l = p.local_of(g as u32).expect("mirror proxy exists");
+                self.labels[h as usize][l as usize] = canonical;
+                self.stats.broadcast_msgs += 1;
+                self.stats.broadcast_bytes += label_bytes;
+            }
+        }
+
+        // Reset touched bits for the next round.
+        for t in &mut self.touched {
+            t.clear_all();
+        }
+        self.stats.rounds += 1;
+        (any_touched, any_changed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use crate::partition::{partition_blocked, partition_full_replica};
+
+    #[test]
+    fn init_reaches_every_proxy() {
+        let g = gen::uniform_random(20, 80, 4, 1);
+        let parted = partition_blocked(&g, 3);
+        let rt: BspRuntime<u32, u32> = BspRuntime::new(&parted, |g| g * 10);
+        for (h, p) in parted.parts.iter().enumerate() {
+            for l in 0..p.n_local() as u32 {
+                assert_eq!(rt.labels(h)[l as usize], p.global_of(l) * 10);
+            }
+        }
+    }
+
+    #[test]
+    fn min_reduce_propagates_mirror_to_master_and_back() {
+        let g = gen::uniform_random(24, 120, 4, 2);
+        let parted = partition_blocked(&g, 4);
+        let mut rt: BspRuntime<u64, u32> = BspRuntime::new(&parted, |_| u64::MAX);
+        // Find a node with a mirror; write a value at the mirror.
+        let (host, local, global) = parted
+            .parts
+            .iter()
+            .enumerate()
+            .find_map(|(h, p)| p.mirrors().next().map(|l| (h, l, p.global_of(l))))
+            .expect("some mirror exists at 4 hosts");
+        {
+            let (labels, touched) = rt.host_mut(host);
+            labels[local as usize] = 7;
+            touched.set(local as usize);
+        }
+        let (any_touched, any_changed) = rt.sync(|a, b| {
+            if b < *a {
+                *a = b;
+                true
+            } else {
+                false
+            }
+        });
+        assert!(any_touched);
+        assert!(any_changed);
+        assert_eq!(rt.read_canonical(global), 7);
+        // All proxies of `global` agree.
+        for p in &parted.parts {
+            if let Some(l) = p.local_of(global) {
+                assert_eq!(rt.labels(p.host)[l as usize], 7);
+            }
+        }
+        assert!(rt.stats().reduce_msgs >= 1);
+        assert!(rt.stats().broadcast_msgs >= 1);
+    }
+
+    #[test]
+    fn touched_master_broadcasts_without_reduce_change() {
+        let parted = partition_full_replica(8, 2);
+        let mut rt: BspRuntime<u64, ()> = BspRuntime::new(&parted, |_| 0);
+        // Touch a master on host 0 (global 0 is owned by host 0).
+        {
+            let (labels, touched) = rt.host_mut(0);
+            labels[0] = 42;
+            touched.set(0);
+        }
+        let (any_touched, any_changed) = rt.sync(|a, b| {
+            if b < *a {
+                *a = b;
+                true
+            } else {
+                false
+            }
+        });
+        assert!(any_touched);
+        // No reduce happened (only a local master touch), so no "change".
+        assert!(!any_changed);
+        // But the mirror on host 1 still received the new canonical value.
+        let p1 = &parted.parts[1];
+        let l = p1.local_of(0).unwrap();
+        assert_eq!(rt.labels(1)[l as usize], 42);
+    }
+
+    #[test]
+    fn untouched_writes_are_not_synchronized() {
+        let parted = partition_full_replica(4, 2);
+        let mut rt: BspRuntime<u64, ()> = BspRuntime::new(&parted, |_| 0);
+        {
+            let (labels, _) = rt.host_mut(0);
+            labels[0] = 99; // written but NOT marked touched
+        }
+        let (any_touched, _) = rt.sync(|a, b| {
+            if b > *a {
+                *a = b;
+                true
+            } else {
+                false
+            }
+        });
+        assert!(!any_touched);
+        let p1 = &parted.parts[1];
+        let l = p1.local_of(0).unwrap();
+        assert_eq!(rt.labels(1)[l as usize], 0, "no sync for untouched writes");
+    }
+
+    #[test]
+    fn stats_accumulate_over_rounds() {
+        let parted = partition_full_replica(4, 3);
+        let mut rt: BspRuntime<u32, ()> = BspRuntime::new(&parted, |_| 0);
+        for round in 0..3 {
+            let (labels, touched) = rt.host_mut(0);
+            labels[0] = round + 1;
+            touched.set(0);
+            rt.sync(|a, b| {
+                if b > *a {
+                    *a = b;
+                    true
+                } else {
+                    false
+                }
+            });
+        }
+        assert_eq!(rt.stats().rounds, 3);
+        // Node 0 owned by host 0, mirrored on hosts 1 and 2: 2 broadcast
+        // messages per round.
+        assert_eq!(rt.stats().broadcast_msgs, 6);
+        assert_eq!(rt.stats().reduce_msgs, 0);
+    }
+
+    #[test]
+    fn concurrent_mirror_updates_reduce_correctly() {
+        // All 3 hosts write different values for the same node; master
+        // must end with the minimum regardless of host order.
+        let parted = partition_full_replica(6, 3);
+        let mut rt: BspRuntime<u64, ()> = BspRuntime::new(&parted, |_| u64::MAX);
+        // Node 5 is owned by host 2 (blocked). Hosts 0 and 1 mirror it.
+        for (host, val) in [(0usize, 30u64), (1, 10)] {
+            let p = &parted.parts[host];
+            let l = p.local_of(5).unwrap();
+            let (labels, touched) = rt.host_mut(host);
+            labels[l as usize] = val;
+            touched.set(l as usize);
+        }
+        // Master host also writes.
+        {
+            let p = &parted.parts[2];
+            let l = p.local_of(5).unwrap();
+            let (labels, touched) = rt.host_mut(2);
+            labels[l as usize] = 20;
+            touched.set(l as usize);
+        }
+        rt.sync(|a, b| {
+            if b < *a {
+                *a = b;
+                true
+            } else {
+                false
+            }
+        });
+        assert_eq!(rt.read_canonical(5), 10);
+        for p in &parted.parts {
+            let l = p.local_of(5).unwrap();
+            assert_eq!(rt.labels(p.host)[l as usize], 10);
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! Compressed-sparse-row graphs.
+//!
+//! The standard in-memory representation for graph analytics: node `u`'s
+//! out-edges are `targets[offsets[u] .. offsets[u+1]]`, with parallel
+//! per-edge data. Node ids are dense `u32`s (the vocabulary id space in
+//! the Word2Vec formulation).
+
+/// A directed graph in CSR form with edge data `W` (use `()` for
+/// unweighted graphs — it occupies no space).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Csr<W = ()> {
+    offsets: Vec<usize>,
+    targets: Vec<u32>,
+    edge_data: Vec<W>,
+}
+
+impl<W: Copy> Csr<W> {
+    /// Builds a CSR from an edge list `(src, dst, data)`. Edges are
+    /// grouped by source with a counting sort; relative order of a node's
+    /// out-edges follows input order (stable).
+    pub fn from_edges(n_nodes: usize, edges: &[(u32, u32, W)]) -> Self {
+        let mut degree = vec![0usize; n_nodes];
+        for &(s, d, _) in edges {
+            assert!((s as usize) < n_nodes, "source {s} out of range");
+            assert!((d as usize) < n_nodes, "target {d} out of range");
+            degree[s as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n_nodes + 1);
+        offsets.push(0usize);
+        for d in &degree {
+            let last = *offsets.last().expect("non-empty");
+            offsets.push(last + d);
+        }
+        let mut cursor = offsets.clone();
+        let mut targets = vec![0u32; edges.len()];
+        let mut edge_data: Vec<W> = Vec::with_capacity(edges.len());
+        // SAFETY-free approach: fill with the first edge's data then overwrite.
+        if let Some(&(_, _, w0)) = edges.first() {
+            edge_data.resize(edges.len(), w0);
+        }
+        for &(s, d, w) in edges {
+            let at = cursor[s as usize];
+            targets[at] = d;
+            edge_data[at] = w;
+            cursor[s as usize] += 1;
+        }
+        Self {
+            offsets,
+            targets,
+            edge_data,
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn n_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of directed edges.
+    #[inline]
+    pub fn n_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Out-degree of `u`.
+    #[inline]
+    pub fn degree(&self, u: u32) -> usize {
+        self.offsets[u as usize + 1] - self.offsets[u as usize]
+    }
+
+    /// Out-neighbors of `u`.
+    #[inline]
+    pub fn neighbors(&self, u: u32) -> &[u32] {
+        &self.targets[self.offsets[u as usize]..self.offsets[u as usize + 1]]
+    }
+
+    /// Out-edges of `u` as `(target, data)` pairs.
+    #[inline]
+    pub fn edges(&self, u: u32) -> impl Iterator<Item = (u32, W)> + '_ {
+        let r = self.offsets[u as usize]..self.offsets[u as usize + 1];
+        self.targets[r.clone()]
+            .iter()
+            .copied()
+            .zip(self.edge_data[r].iter().copied())
+    }
+
+    /// Iterates all edges as `(src, dst, data)`.
+    pub fn all_edges(&self) -> impl Iterator<Item = (u32, u32, W)> + '_ {
+        (0..self.n_nodes() as u32).flat_map(move |u| self.edges(u).map(move |(v, w)| (u, v, w)))
+    }
+
+    /// The reverse graph (every edge flipped), preserving edge data.
+    pub fn transpose(&self) -> Self {
+        let rev: Vec<(u32, u32, W)> = self.all_edges().map(|(s, d, w)| (d, s, w)).collect();
+        Self::from_edges(self.n_nodes(), &rev)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn diamond() -> Csr<u32> {
+        // 0 -> 1 (w 5), 0 -> 2 (w 1), 1 -> 3 (w 1), 2 -> 3 (w 2)
+        Csr::from_edges(4, &[(0, 1, 5), (0, 2, 1), (1, 3, 1), (2, 3, 2)])
+    }
+
+    #[test]
+    fn basic_shape() {
+        let g = diamond();
+        assert_eq!(g.n_nodes(), 4);
+        assert_eq!(g.n_edges(), 4);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(3), 0);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        let e: Vec<(u32, u32)> = g.edges(0).collect();
+        assert_eq!(e, vec![(1, 5), (2, 1)]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g: Csr = Csr::from_edges(3, &[]);
+        assert_eq!(g.n_nodes(), 3);
+        assert_eq!(g.n_edges(), 0);
+        assert_eq!(g.degree(2), 0);
+    }
+
+    #[test]
+    fn unweighted_uses_unit_type() {
+        let g: Csr = Csr::from_edges(2, &[(0, 1, ())]);
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(std::mem::size_of_val(&g.edge_data[0]), 0);
+    }
+
+    #[test]
+    fn self_loops_and_parallel_edges_kept() {
+        let g: Csr = Csr::from_edges(2, &[(0, 0, ()), (0, 1, ()), (0, 1, ())]);
+        assert_eq!(g.neighbors(0), &[0, 1, 1]);
+    }
+
+    #[test]
+    fn transpose_flips_edges() {
+        let g = diamond();
+        let t = g.transpose();
+        assert_eq!(t.n_edges(), g.n_edges());
+        assert_eq!(t.neighbors(3), &[1, 2]);
+        let e: Vec<(u32, u32)> = t.edges(1).collect();
+        assert_eq!(e, vec![(0, 5)]);
+    }
+
+    #[test]
+    fn all_edges_roundtrip() {
+        let edges = vec![(0u32, 1u32, 7u32), (2, 0, 3), (1, 2, 9), (0, 2, 4)];
+        let g = Csr::from_edges(3, &edges);
+        let mut got: Vec<(u32, u32, u32)> = g.all_edges().collect();
+        let mut want = edges.clone();
+        got.sort_unstable();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_rejected() {
+        let _: Csr = Csr::from_edges(2, &[(0, 5, ())]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_transpose_involution(
+            n in 1usize..30,
+            raw in proptest::collection::vec((0u32..30, 0u32..30), 0..120),
+        ) {
+            let edges: Vec<(u32, u32, ())> = raw
+                .into_iter()
+                .map(|(s, d)| (s % n as u32, d % n as u32, ()))
+                .collect();
+            let g = Csr::from_edges(n, &edges);
+            let tt = g.transpose().transpose();
+            let mut a: Vec<_> = g.all_edges().collect();
+            let mut b: Vec<_> = tt.all_edges().collect();
+            a.sort_unstable_by_key(|&(s, d, _)| (s, d));
+            b.sort_unstable_by_key(|&(s, d, _)| (s, d));
+            prop_assert_eq!(a, b);
+        }
+
+        #[test]
+        fn prop_degrees_sum_to_edges(
+            n in 1usize..30,
+            raw in proptest::collection::vec((0u32..30, 0u32..30), 0..120),
+        ) {
+            let edges: Vec<(u32, u32, ())> = raw
+                .into_iter()
+                .map(|(s, d)| (s % n as u32, d % n as u32, ()))
+                .collect();
+            let g = Csr::from_edges(n, &edges);
+            let sum: usize = (0..n as u32).map(|u| g.degree(u)).sum();
+            prop_assert_eq!(sum, g.n_edges());
+        }
+    }
+}

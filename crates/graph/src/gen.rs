@@ -1,0 +1,149 @@
+//! Graph generators for substrate validation.
+//!
+//! The BSP runtime and partitioner are validated on three families with
+//! very different structure: uniform random graphs (Erdős–Rényi style),
+//! 2-D grids (long diameters stress multi-round convergence), and R-MAT
+//! power-law graphs (skewed degrees stress the master/mirror protocol the
+//! way natural graphs do).
+
+use crate::csr::Csr;
+use gw2v_util::rng::{Rng64, SplitMix64, Xoshiro256};
+
+/// Uniform random directed graph: `n_edges` edges with independently
+/// uniform endpoints (self-loops possible, duplicates possible — as in
+/// the classic G(n, m) multigraph model). Weights uniform in `[1, max_w]`.
+pub fn uniform_random(n_nodes: usize, n_edges: usize, max_w: u32, seed: u64) -> Csr<u32> {
+    assert!(n_nodes > 0);
+    let mut rng = Xoshiro256::new(SplitMix64::new(seed).derive(1));
+    let edges: Vec<(u32, u32, u32)> = (0..n_edges)
+        .map(|_| {
+            let s = rng.index(n_nodes) as u32;
+            let d = rng.index(n_nodes) as u32;
+            let w = 1 + rng.below(max_w as u64) as u32;
+            (s, d, w)
+        })
+        .collect();
+    Csr::from_edges(n_nodes, &edges)
+}
+
+/// `w × h` 4-neighbour grid with bidirectional unit-weight edges. Node
+/// `(x, y)` has id `y * w + x`.
+pub fn grid(w: usize, h: usize) -> Csr<u32> {
+    assert!(w > 0 && h > 0);
+    let id = |x: usize, y: usize| (y * w + x) as u32;
+    let mut edges = Vec::with_capacity(4 * w * h);
+    for y in 0..h {
+        for x in 0..w {
+            if x + 1 < w {
+                edges.push((id(x, y), id(x + 1, y), 1));
+                edges.push((id(x + 1, y), id(x, y), 1));
+            }
+            if y + 1 < h {
+                edges.push((id(x, y), id(x, y + 1), 1));
+                edges.push((id(x, y + 1), id(x, y), 1));
+            }
+        }
+    }
+    Csr::from_edges(w * h, &edges)
+}
+
+/// R-MAT power-law generator (Chakrabarti, Zhan & Faloutsos 2004).
+///
+/// `scale` gives `n = 2^scale` nodes; `edge_factor` edges per node are
+/// placed by recursively descending the adjacency matrix with quadrant
+/// probabilities `(a, b, c, d)`. The standard Graph500 parameters are
+/// `(0.57, 0.19, 0.19, 0.05)`.
+pub fn rmat(scale: u32, edge_factor: usize, seed: u64, probs: (f64, f64, f64, f64)) -> Csr<u32> {
+    let (a, b, c, d) = probs;
+    assert!(
+        (a + b + c + d - 1.0).abs() < 1e-9,
+        "probabilities must sum to 1"
+    );
+    let n = 1usize << scale;
+    let n_edges = n * edge_factor;
+    let mut rng = Xoshiro256::new(SplitMix64::new(seed).derive(2));
+    let mut edges = Vec::with_capacity(n_edges);
+    for _ in 0..n_edges {
+        let (mut x, mut y) = (0usize, 0usize);
+        for level in (0..scale).rev() {
+            let r = rng.next_f64();
+            let (dx, dy) = if r < a {
+                (0, 0)
+            } else if r < a + b {
+                (1, 0)
+            } else if r < a + b + c {
+                (0, 1)
+            } else {
+                (1, 1)
+            };
+            x |= dx << level;
+            y |= dy << level;
+        }
+        let w = 1 + rng.below(16) as u32;
+        edges.push((x as u32, y as u32, w));
+    }
+    Csr::from_edges(n, &edges)
+}
+
+/// Standard Graph500 R-MAT probabilities.
+pub const RMAT_GRAPH500: (f64, f64, f64, f64) = (0.57, 0.19, 0.19, 0.05);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_has_requested_size() {
+        let g = uniform_random(100, 500, 10, 7);
+        assert_eq!(g.n_nodes(), 100);
+        assert_eq!(g.n_edges(), 500);
+        for (_, _, w) in g.all_edges() {
+            assert!((1..=10).contains(&w));
+        }
+    }
+
+    #[test]
+    fn uniform_deterministic() {
+        let a = uniform_random(50, 200, 5, 42);
+        let b = uniform_random(50, 200, 5, 42);
+        assert_eq!(a, b);
+        let c = uniform_random(50, 200, 5, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn grid_structure() {
+        let g = grid(3, 2);
+        assert_eq!(g.n_nodes(), 6);
+        // Each interior adjacency contributes 2 directed edges:
+        // horizontal: 2 per row * 2 rows = 4 adjacencies, vertical: 3.
+        assert_eq!(g.n_edges(), 2 * (4 + 3));
+        // Corner node 0 has 2 neighbors: 1 and 3.
+        let mut n: Vec<u32> = g.neighbors(0).to_vec();
+        n.sort_unstable();
+        assert_eq!(n, vec![1, 3]);
+    }
+
+    #[test]
+    fn grid_single_cell() {
+        let g = grid(1, 1);
+        assert_eq!(g.n_nodes(), 1);
+        assert_eq!(g.n_edges(), 0);
+    }
+
+    #[test]
+    fn rmat_shape_and_skew() {
+        let g = rmat(8, 8, 123, RMAT_GRAPH500);
+        assert_eq!(g.n_nodes(), 256);
+        assert_eq!(g.n_edges(), 256 * 8);
+        // Power-law skew: the maximum out-degree should far exceed the mean.
+        let max_deg = (0..256u32).map(|u| g.degree(u)).max().unwrap();
+        assert!(max_deg > 3 * 8, "max degree {max_deg} not skewed");
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn rmat_rejects_bad_probs() {
+        let _ = rmat(4, 2, 1, (0.5, 0.5, 0.5, 0.5));
+    }
+}

@@ -1,0 +1,141 @@
+//! Chunked work distribution.
+//!
+//! Galois provides efficient concurrent worklists for data-driven
+//! algorithms (paper §2.4). This is the Rust analogue used by the
+//! shared-memory trainers: producers push chunks of work items,
+//! consumers steal whole chunks, amortizing synchronization to one
+//! mutex operation per chunk rather than per item.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// A thread-safe worklist of item chunks.
+#[derive(Debug, Default)]
+pub struct ChunkedWorklist<T> {
+    chunks: Mutex<VecDeque<Vec<T>>>,
+}
+
+impl<T> ChunkedWorklist<T> {
+    /// Creates an empty worklist.
+    pub fn new() -> Self {
+        Self {
+            chunks: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Creates a worklist from `items` pre-split into chunks of
+    /// `chunk_size` items.
+    pub fn from_items(items: Vec<T>, chunk_size: usize) -> Self {
+        assert!(chunk_size > 0);
+        let mut items = items;
+        let mut chunks = VecDeque::new();
+        while !items.is_empty() {
+            let take = items.len().min(chunk_size);
+            let rest = items.split_off(take);
+            chunks.push_back(std::mem::replace(&mut items, rest));
+        }
+        Self {
+            chunks: Mutex::new(chunks),
+        }
+    }
+
+    /// Pushes one chunk of new work (e.g. newly-activated vertices).
+    pub fn push_chunk(&self, chunk: Vec<T>) {
+        if chunk.is_empty() {
+            return;
+        }
+        self.chunks
+            .lock()
+            .expect("worklist poisoned")
+            .push_back(chunk);
+    }
+
+    /// Takes the next chunk, or `None` if the list is (momentarily) empty.
+    pub fn pop_chunk(&self) -> Option<Vec<T>> {
+        self.chunks.lock().expect("worklist poisoned").pop_front()
+    }
+
+    /// Number of queued chunks.
+    pub fn len_chunks(&self) -> usize {
+        self.chunks.lock().expect("worklist poisoned").len()
+    }
+
+    /// True if no chunks are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len_chunks() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn from_items_chunks_exactly() {
+        let wl = ChunkedWorklist::from_items((0..10).collect(), 3);
+        assert_eq!(wl.len_chunks(), 4);
+        assert_eq!(wl.pop_chunk(), Some(vec![0, 1, 2]));
+        assert_eq!(wl.pop_chunk(), Some(vec![3, 4, 5]));
+        assert_eq!(wl.pop_chunk(), Some(vec![6, 7, 8]));
+        assert_eq!(wl.pop_chunk(), Some(vec![9]));
+        assert_eq!(wl.pop_chunk(), None);
+    }
+
+    #[test]
+    fn empty_chunk_ignored() {
+        let wl: ChunkedWorklist<u32> = ChunkedWorklist::new();
+        wl.push_chunk(vec![]);
+        assert!(wl.is_empty());
+    }
+
+    #[test]
+    fn fifo_order() {
+        let wl = ChunkedWorklist::new();
+        wl.push_chunk(vec![1]);
+        wl.push_chunk(vec![2]);
+        assert_eq!(wl.pop_chunk(), Some(vec![1]));
+        assert_eq!(wl.pop_chunk(), Some(vec![2]));
+    }
+
+    #[test]
+    fn concurrent_consumers_drain_everything() {
+        let wl = Arc::new(ChunkedWorklist::from_items((0..1000u32).collect(), 16));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let wl = Arc::clone(&wl);
+            handles.push(std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Some(chunk) = wl.pop_chunk() {
+                    got.extend(chunk);
+                }
+                got
+            }));
+        }
+        let mut all: Vec<u32> = handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("no panic"))
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn producers_and_consumers_interleave() {
+        let wl = Arc::new(ChunkedWorklist::<u32>::new());
+        let producer = {
+            let wl = Arc::clone(&wl);
+            std::thread::spawn(move || {
+                for i in 0..100 {
+                    wl.push_chunk(vec![i, i + 1000]);
+                }
+            })
+        };
+        producer.join().expect("producer ok");
+        let mut count = 0;
+        while let Some(c) = wl.pop_chunk() {
+            count += c.len();
+        }
+        assert_eq!(count, 200);
+    }
+}

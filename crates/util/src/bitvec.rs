@@ -1,0 +1,312 @@
+//! Fixed-capacity bit vector.
+//!
+//! The communication substrate tracks which graph nodes were *touched*
+//! (updated or accessed) in each synchronization round with one bit per
+//! node (paper §4.4, RepModel-Opt). The operations that matter are:
+//! set/test, clearing the whole vector between rounds, iterating set bits
+//! in index order (to build sparse message payloads), and bulk union
+//! (masters OR together the touched-sets of all hosts to decide what to
+//! broadcast).
+
+/// A fixed-capacity bit vector backed by `u64` words.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BitVec {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitVec {
+    /// Creates a bit vector with `len` bits, all zero.
+    pub fn new(len: usize) -> Self {
+        Self {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Number of bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the vector has zero bits.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Sets bit `i`. Returns the previous value.
+    #[inline]
+    pub fn set(&mut self, i: usize) -> bool {
+        debug_assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        let (w, b) = (i / 64, i % 64);
+        let prev = (self.words[w] >> b) & 1 == 1;
+        self.words[w] |= 1 << b;
+        prev
+    }
+
+    /// Clears bit `i`.
+    #[inline]
+    pub fn clear(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / 64] &= !(1 << (i % 64));
+    }
+
+    /// Tests bit `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Zeroes every bit. O(words), no reallocation.
+    pub fn clear_all(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Sets every bit.
+    pub fn set_all(&mut self) {
+        self.words.fill(!0);
+        self.mask_tail();
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True if no bit is set.
+    pub fn none(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// In-place union: `self |= other`. Both vectors must have equal length.
+    pub fn union_with(&mut self, other: &BitVec) {
+        assert_eq!(self.len, other.len, "bitvec length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= *b;
+        }
+    }
+
+    /// In-place intersection: `self &= other`.
+    pub fn intersect_with(&mut self, other: &BitVec) {
+        assert_eq!(self.len, other.len, "bitvec length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= *b;
+        }
+    }
+
+    /// True if every set bit of `self` is also set in `other`.
+    pub fn is_subset_of(&self, other: &BitVec) -> bool {
+        assert_eq!(self.len, other.len, "bitvec length mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
+    }
+
+    /// Iterates indices of set bits in increasing order.
+    ///
+    /// Word-skipping: zero words cost one comparison, so iteration over a
+    /// sparse vector is proportional to set bits plus words.
+    pub fn iter_ones(&self) -> IterOnes<'_> {
+        IterOnes {
+            words: &self.words,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+            len: self.len,
+        }
+    }
+
+    /// Serialized size in bytes when shipped over the simulated network
+    /// (one `u64` per 64 bits, as an MPI implementation would pack it).
+    pub fn wire_bytes(&self) -> usize {
+        self.words.len() * 8
+    }
+
+    /// Raw words, e.g. for checksumming in tests.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Keeps bits beyond `len` zero after bulk operations.
+    fn mask_tail(&mut self) {
+        let tail = self.len % 64;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+}
+
+/// Iterator over set-bit indices; see [`BitVec::iter_ones`].
+pub struct IterOnes<'a> {
+    words: &'a [u64],
+    word_idx: usize,
+    current: u64,
+    len: usize,
+}
+
+impl Iterator for IterOnes<'_> {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1; // clear lowest set bit
+                let idx = self.word_idx * 64 + bit;
+                return (idx < self.len).then_some(idx);
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.word_idx];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut bv = BitVec::new(200);
+        assert!(!bv.get(0));
+        assert!(!bv.set(63));
+        assert!(bv.set(63), "second set reports previous value");
+        assert!(bv.get(63));
+        assert!(!bv.get(64));
+        bv.set(64);
+        assert!(bv.get(64));
+        bv.clear(63);
+        assert!(!bv.get(63));
+        assert!(bv.get(64));
+    }
+
+    #[test]
+    fn count_and_none() {
+        let mut bv = BitVec::new(130);
+        assert!(bv.none());
+        assert_eq!(bv.count_ones(), 0);
+        for i in [0, 1, 64, 65, 129] {
+            bv.set(i);
+        }
+        assert_eq!(bv.count_ones(), 5);
+        assert!(!bv.none());
+        bv.clear_all();
+        assert!(bv.none());
+    }
+
+    #[test]
+    fn set_all_respects_length() {
+        let mut bv = BitVec::new(70);
+        bv.set_all();
+        assert_eq!(bv.count_ones(), 70);
+        assert_eq!(bv.iter_ones().count(), 70);
+    }
+
+    #[test]
+    fn iter_ones_in_order() {
+        let mut bv = BitVec::new(300);
+        let idxs = [3usize, 64, 65, 127, 128, 255, 299];
+        for &i in &idxs {
+            bv.set(i);
+        }
+        let collected: Vec<usize> = bv.iter_ones().collect();
+        assert_eq!(collected, idxs);
+    }
+
+    #[test]
+    fn iter_ones_empty_and_full_word_boundaries() {
+        let bv = BitVec::new(0);
+        assert_eq!(bv.iter_ones().count(), 0);
+        let bv = BitVec::new(64);
+        assert_eq!(bv.iter_ones().count(), 0);
+        let mut bv = BitVec::new(64);
+        bv.set_all();
+        assert_eq!(bv.iter_ones().count(), 64);
+    }
+
+    #[test]
+    fn union_and_subset() {
+        let mut a = BitVec::new(100);
+        let mut b = BitVec::new(100);
+        a.set(1);
+        a.set(99);
+        b.set(50);
+        assert!(!a.is_subset_of(&b));
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert!(a.is_subset_of(&u));
+        assert!(b.is_subset_of(&u));
+        assert_eq!(u.count_ones(), 3);
+    }
+
+    #[test]
+    fn intersect() {
+        let mut a = BitVec::new(100);
+        let mut b = BitVec::new(100);
+        for i in 0..50 {
+            a.set(i);
+        }
+        for i in 25..75 {
+            b.set(i);
+        }
+        a.intersect_with(&b);
+        assert_eq!(
+            a.iter_ones().collect::<Vec<_>>(),
+            (25..50).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn wire_bytes_rounds_up() {
+        assert_eq!(BitVec::new(0).wire_bytes(), 0);
+        assert_eq!(BitVec::new(1).wire_bytes(), 8);
+        assert_eq!(BitVec::new(64).wire_bytes(), 8);
+        assert_eq!(BitVec::new(65).wire_bytes(), 16);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_matches_hashset(len in 1usize..512, ops in proptest::collection::vec((0usize..512, any::<bool>()), 0..200)) {
+            let mut bv = BitVec::new(len);
+            let mut set = std::collections::BTreeSet::new();
+            for (i, insert) in ops {
+                let i = i % len;
+                if insert {
+                    bv.set(i);
+                    set.insert(i);
+                } else {
+                    bv.clear(i);
+                    set.remove(&i);
+                }
+            }
+            prop_assert_eq!(bv.count_ones(), set.len());
+            prop_assert_eq!(bv.iter_ones().collect::<Vec<_>>(), set.iter().copied().collect::<Vec<_>>());
+            for i in 0..len {
+                prop_assert_eq!(bv.get(i), set.contains(&i));
+            }
+        }
+
+        #[test]
+        fn prop_union_is_commutative_superset(len in 1usize..300, xs in proptest::collection::vec(0usize..300, 0..64), ys in proptest::collection::vec(0usize..300, 0..64)) {
+            let mut a = BitVec::new(len);
+            let mut b = BitVec::new(len);
+            for x in xs { a.set(x % len); }
+            for y in ys { b.set(y % len); }
+            let mut ab = a.clone(); ab.union_with(&b);
+            let mut ba = b.clone(); ba.union_with(&a);
+            prop_assert_eq!(&ab, &ba);
+            prop_assert!(a.is_subset_of(&ab));
+            prop_assert!(b.is_subset_of(&ab));
+        }
+    }
+}

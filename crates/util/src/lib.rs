@@ -1,0 +1,37 @@
+//! # gw2v-util
+//!
+//! Shared low-level utilities for the GraphWord2Vec workspace.
+//!
+//! Everything in this crate is dependency-light and deterministic:
+//!
+//! * [`rng`] — small, fast, *seedable and cloneable* random number
+//!   generators ([`rng::SplitMix64`], [`rng::Pcg32`], [`rng::Xoshiro256`]).
+//!   Determinism is load-bearing for the whole system: the PullModel
+//!   inspection phase replays the exact RNG stream of the upcoming
+//!   compute round, and tests pin distributed runs against sequential
+//!   references bit-for-bit.
+//! * [`bitvec`] — a fixed-capacity bit vector used by the Gluon-style
+//!   communication substrate to track which graph nodes were touched in a
+//!   synchronization round.
+//! * [`fvec`] — unrolled `f32` vector kernels (dot, axpy, scale, norm)
+//!   that the SGNS inner loop is built from.
+//! * [`stats`] — online statistics and summary helpers (mean, stddev,
+//!   geometric mean) used by the benchmark harness.
+//! * [`timer`] — phase timers that accumulate wall-clock time per named
+//!   phase (computation vs. communication breakdowns, Figure 9).
+//! * [`table`] — a tiny fixed-width table printer for harness output.
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod bitvec;
+pub mod fvec;
+pub mod rng;
+pub mod stats;
+pub mod table;
+pub mod timer;
+
+pub use bitvec::BitVec;
+pub use rng::{Pcg32, Rng64, SplitMix64, Xoshiro256};
+pub use stats::OnlineStats;
+pub use timer::PhaseTimer;

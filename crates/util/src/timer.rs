@@ -1,0 +1,138 @@
+//! Phase timers.
+//!
+//! Figure 9 of the paper breaks execution time into *computation* and
+//! *communication*; [`PhaseTimer`] accumulates wall-clock time per named
+//! phase so the harness can report the same breakdown.
+
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+/// Accumulates elapsed time under named phases.
+///
+/// ```
+/// use gw2v_util::timer::PhaseTimer;
+/// let mut t = PhaseTimer::new();
+/// {
+///     let _g = t.enter("compute");
+///     // ... work ...
+/// }
+/// t.add("communicate", std::time::Duration::from_millis(3));
+/// assert!(t.get("communicate") >= std::time::Duration::from_millis(3));
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct PhaseTimer {
+    phases: BTreeMap<&'static str, Duration>,
+}
+
+impl PhaseTimer {
+    /// Creates an empty timer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts timing `phase`; elapsed time is added when the returned guard
+    /// drops.
+    pub fn enter(&mut self, phase: &'static str) -> PhaseGuard<'_> {
+        PhaseGuard {
+            timer: self,
+            phase,
+            start: Instant::now(),
+        }
+    }
+
+    /// Adds a pre-measured duration to `phase`.
+    pub fn add(&mut self, phase: &'static str, d: Duration) {
+        *self.phases.entry(phase).or_default() += d;
+    }
+
+    /// Total accumulated time for `phase` (zero if never recorded).
+    pub fn get(&self, phase: &'static str) -> Duration {
+        self.phases.get(phase).copied().unwrap_or_default()
+    }
+
+    /// All phases in name order.
+    pub fn phases(&self) -> impl Iterator<Item = (&'static str, Duration)> + '_ {
+        self.phases.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Sum over all phases.
+    pub fn total(&self) -> Duration {
+        self.phases.values().sum()
+    }
+
+    /// Merges another timer's accumulations into this one.
+    pub fn merge(&mut self, other: &PhaseTimer) {
+        for (phase, d) in other.phases() {
+            self.add(phase, d);
+        }
+    }
+
+    /// Resets all accumulated time.
+    pub fn reset(&mut self) {
+        self.phases.clear();
+    }
+}
+
+/// RAII guard returned by [`PhaseTimer::enter`].
+pub struct PhaseGuard<'a> {
+    timer: &'a mut PhaseTimer,
+    phase: &'static str,
+    start: Instant,
+}
+
+impl Drop for PhaseGuard<'_> {
+    fn drop(&mut self) {
+        let elapsed = self.start.elapsed();
+        self.timer.add(self.phase, elapsed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_across_entries() {
+        let mut t = PhaseTimer::new();
+        t.add("a", Duration::from_millis(5));
+        t.add("a", Duration::from_millis(7));
+        t.add("b", Duration::from_millis(1));
+        assert_eq!(t.get("a"), Duration::from_millis(12));
+        assert_eq!(t.get("b"), Duration::from_millis(1));
+        assert_eq!(t.get("missing"), Duration::ZERO);
+        assert_eq!(t.total(), Duration::from_millis(13));
+    }
+
+    #[test]
+    fn guard_records_elapsed() {
+        let mut t = PhaseTimer::new();
+        {
+            let _g = t.enter("work");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(t.get("work") >= Duration::from_millis(1));
+    }
+
+    #[test]
+    fn merge_and_reset() {
+        let mut a = PhaseTimer::new();
+        let mut b = PhaseTimer::new();
+        a.add("x", Duration::from_secs(1));
+        b.add("x", Duration::from_secs(2));
+        b.add("y", Duration::from_secs(3));
+        a.merge(&b);
+        assert_eq!(a.get("x"), Duration::from_secs(3));
+        assert_eq!(a.get("y"), Duration::from_secs(3));
+        a.reset();
+        assert_eq!(a.total(), Duration::ZERO);
+    }
+
+    #[test]
+    fn phases_sorted_by_name() {
+        let mut t = PhaseTimer::new();
+        t.add("zeta", Duration::from_secs(1));
+        t.add("alpha", Duration::from_secs(1));
+        let names: Vec<&str> = t.phases().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["alpha", "zeta"]);
+    }
+}

@@ -1,0 +1,87 @@
+//! Cross-module property tests for the utility crate: the RNG-driven
+//! pieces compose (derive → streams → draws) without collisions or
+//! out-of-range values, and the vector kernels keep their algebraic
+//! identities under composition.
+
+use gw2v_util::fvec;
+use gw2v_util::rng::{Pcg32, Rng64, SplitMix64, Xoshiro256};
+use proptest::prelude::*;
+
+proptest! {
+    /// Derived child streams do not collide for distinct indices and are
+    /// stable across calls.
+    #[test]
+    fn derive_tree_is_stable_and_injective(seed in any::<u64>(), a in 0u64..10_000, b in 0u64..10_000) {
+        prop_assume!(a != b);
+        let root = SplitMix64::new(seed);
+        prop_assert_eq!(root.derive(a), root.derive(a));
+        prop_assert_ne!(root.derive(a), root.derive(b));
+    }
+
+    /// Streams from different derive indices decorrelate (first 8 draws
+    /// never all equal).
+    #[test]
+    fn derived_streams_differ(seed in any::<u64>(), i in 0u64..100, j in 0u64..100) {
+        prop_assume!(i != j);
+        let root = SplitMix64::new(seed);
+        let mut x = Xoshiro256::new(root.derive(i));
+        let mut y = Xoshiro256::new(root.derive(j));
+        let same = (0..8).all(|_| x.next_u64() == y.next_u64());
+        prop_assert!(!same);
+    }
+
+    /// below() stays in range for every generator type.
+    #[test]
+    fn below_in_range_all_generators(seed in any::<u64>(), bound in 1u64..1_000_000) {
+        let mut a = SplitMix64::new(seed);
+        let mut b = Pcg32::new(seed);
+        let mut c = Xoshiro256::new(seed);
+        for _ in 0..64 {
+            prop_assert!(a.below(bound) < bound);
+            prop_assert!(b.below(bound) < bound);
+            prop_assert!(c.below(bound) < bound);
+        }
+    }
+
+    /// dot(x, y+z) = dot(x, y) + dot(x, z) within float tolerance.
+    #[test]
+    fn dot_is_linear(
+        x in proptest::collection::vec(-10.0f32..10.0, 16),
+        y in proptest::collection::vec(-10.0f32..10.0, 16),
+        z in proptest::collection::vec(-10.0f32..10.0, 16),
+    ) {
+        let yz: Vec<f32> = y.iter().zip(&z).map(|(a, b)| a + b).collect();
+        let lhs = fvec::dot(&x, &yz);
+        let rhs = fvec::dot(&x, &y) + fvec::dot(&x, &z);
+        prop_assert!((lhs - rhs).abs() < 1e-2 * (1.0 + lhs.abs()), "{lhs} vs {rhs}");
+    }
+
+    /// axpy then axpy with the negated coefficient restores the input.
+    #[test]
+    fn axpy_roundtrip(
+        a in -5.0f32..5.0,
+        x in proptest::collection::vec(-10.0f32..10.0, 12),
+        y in proptest::collection::vec(-10.0f32..10.0, 12),
+    ) {
+        let mut v = y.clone();
+        fvec::axpy(a, &x, &mut v);
+        fvec::axpy(-a, &x, &mut v);
+        for (got, want) in v.iter().zip(&y) {
+            prop_assert!((got - want).abs() < 1e-3, "{got} vs {want}");
+        }
+    }
+
+    /// Cosine similarity is scale-invariant for positive scales.
+    #[test]
+    fn cosine_scale_invariant(
+        x in proptest::collection::vec(-10.0f32..10.0, 8),
+        y in proptest::collection::vec(-10.0f32..10.0, 8),
+        s in 0.01f32..100.0,
+    ) {
+        prop_assume!(fvec::norm(&x) > 1e-3 && fvec::norm(&y) > 1e-3);
+        let scaled: Vec<f32> = x.iter().map(|v| v * s).collect();
+        let c1 = fvec::cosine(&x, &y);
+        let c2 = fvec::cosine(&scaled, &y);
+        prop_assert!((c1 - c2).abs() < 1e-3, "{c1} vs {c2}");
+    }
+}

@@ -1,0 +1,109 @@
+//! Analogy evaluation walkthrough: train distributed with the model
+//! combiner, run the 14-category analogical-reasoning suite, and answer
+//! a few analogies interactively-style (printed).
+//!
+//! ```text
+//! cargo run --release --example analogy_search
+//! ```
+
+use graph_word2vec::core::distributed::{DistConfig, DistributedTrainer};
+use graph_word2vec::core::params::Hyperparams;
+use graph_word2vec::corpus::datasets::{DatasetPreset, Scale};
+use graph_word2vec::corpus::shard::Corpus;
+use graph_word2vec::corpus::tokenizer::{sentences_from_text, TokenizerConfig};
+use graph_word2vec::corpus::vocab::VocabBuilder;
+use graph_word2vec::eval::analogy::evaluate;
+use graph_word2vec::eval::knn::EmbeddingIndex;
+use graph_word2vec::util::fvec;
+
+fn main() {
+    let preset = DatasetPreset::by_name("news").expect("preset exists");
+    let synth = preset.generate(Scale::Tiny, 7);
+    let tok_cfg = TokenizerConfig::default();
+    let mut builder = VocabBuilder::new();
+    for s in sentences_from_text(&synth.text, tok_cfg.clone()) {
+        builder.add_sentence(&s);
+    }
+    let vocab = builder.build(1);
+    let corpus = Corpus::from_text(&synth.text, &vocab, tok_cfg);
+
+    // Distributed training: 8 hosts, Model Combiner, RepModel-Opt.
+    let params = Hyperparams {
+        dim: 48,
+        negative: 5,
+        epochs: 10,
+        ..Hyperparams::default()
+    };
+    println!("training on 8 simulated hosts ...");
+    let result =
+        DistributedTrainer::new(params, DistConfig::paper_default(8)).train(&corpus, &vocab);
+    println!(
+        "done: {:.1}s virtual ({:.1}s compute + {:.3}s comm), {} moved\n",
+        result.virtual_time(),
+        result.compute_time,
+        result.comm_time,
+        graph_word2vec::util::table::fmt_bytes(result.stats.total_bytes()),
+    );
+
+    // Full 14-category report.
+    let report = evaluate(&result.model, &vocab, &synth.analogies);
+    println!(
+        "{:<28} {:>6}  {:>5}/{:<5}",
+        "category", "acc%", "ok", "tried"
+    );
+    for cat in &report.categories {
+        println!(
+            "{:<28} {:>6.1}  {:>5}/{:<5}",
+            cat.name,
+            cat.accuracy(),
+            cat.correct,
+            cat.attempted
+        );
+    }
+    println!(
+        "\nsemantic {:.1}%  syntactic {:.1}%  total {:.1}%  (skipped {})",
+        report.semantic(),
+        report.syntactic(),
+        report.total(),
+        report.skipped()
+    );
+
+    // Answer a few analogies by hand with 3CosAdd.
+    let index = EmbeddingIndex::new(&result.model);
+    println!("\nsample analogies (a : b :: c : ?):");
+    for cat in report.categories.iter().take(2) {
+        let Some(q) = synth
+            .analogies
+            .categories
+            .iter()
+            .find(|c| c.name == cat.name)
+            .and_then(|c| c.questions.first())
+        else {
+            continue;
+        };
+        let (Some(a), Some(b), Some(c)) = (vocab.id_of(&q.a), vocab.id_of(&q.b), vocab.id_of(&q.c))
+        else {
+            continue;
+        };
+        let mut query = vec![0.0f32; result.model.dim()];
+        fvec::sub_into(index.vector(b), index.vector(a), &mut query);
+        fvec::add_assign(&mut query, index.vector(c));
+        if let Some((best, score)) = index.best(&query, &[a, b, c]) {
+            let mark = if vocab.word_of(best) == q.expected {
+                "✓"
+            } else {
+                "✗"
+            };
+            println!(
+                "  {} : {} :: {} : {} (cos {:.3}, expected {}) {}",
+                q.a,
+                q.b,
+                q.c,
+                vocab.word_of(best),
+                score,
+                q.expected,
+                mark
+            );
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Distributed scaling walkthrough: train the same corpus at increasing
+//! host counts and watch compute shrink while communication grows —
+//! Figures 8–9 of the paper in miniature. Also demonstrates the three
+//! communication plans and the combiner choice.
+//!
+//! ```text
+//! cargo run --release --example distributed_scaling
+//! ```
+
+use graph_word2vec::combiner::CombinerKind;
+use graph_word2vec::core::distributed::{DistConfig, DistributedTrainer};
+use graph_word2vec::core::params::Hyperparams;
+use graph_word2vec::corpus::datasets::{DatasetPreset, Scale};
+use graph_word2vec::corpus::shard::Corpus;
+use graph_word2vec::corpus::tokenizer::{sentences_from_text, TokenizerConfig};
+use graph_word2vec::corpus::vocab::VocabBuilder;
+use graph_word2vec::eval::analogy::evaluate;
+use graph_word2vec::gluon::plan::SyncPlan;
+use graph_word2vec::util::table::{fmt_bytes, fmt_secs, Align, Table};
+
+fn main() {
+    let preset = DatasetPreset::by_name("1-billion").expect("preset exists");
+    let synth = preset.generate(Scale::Tiny, 11);
+    let tok_cfg = TokenizerConfig::default();
+    let mut builder = VocabBuilder::new();
+    for s in sentences_from_text(&synth.text, tok_cfg.clone()) {
+        builder.add_sentence(&s);
+    }
+    let vocab = builder.build(1);
+    let corpus = Corpus::from_text(&synth.text, &vocab, tok_cfg);
+    let params = Hyperparams {
+        dim: 32,
+        negative: 5,
+        epochs: 4,
+        ..Hyperparams::default()
+    };
+
+    // Part 1: strong scaling with the default plan (RepModel-Opt + MC).
+    println!("strong scaling (RepModel-Opt, Model Combiner):\n");
+    let mut table = Table::new(vec![
+        "hosts(S)",
+        "virtual",
+        "compute",
+        "comm",
+        "volume",
+        "total acc%",
+    ])
+    .with_aligns(&[
+        Align::Left,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+    ]);
+    for hosts in [1usize, 2, 4, 8, 16, 32] {
+        let config = DistConfig::paper_default(hosts);
+        let result = DistributedTrainer::new(params.clone(), config).train(&corpus, &vocab);
+        let acc = evaluate(&result.model, &vocab, &synth.analogies).total();
+        table.add_row(vec![
+            format!("{hosts}({})", config.sync_rounds),
+            fmt_secs(result.virtual_time()),
+            fmt_secs(result.compute_time),
+            fmt_secs(result.comm_time),
+            fmt_bytes(result.stats.total_bytes()),
+            format!("{acc:.1}"),
+        ]);
+    }
+    print!("{table}");
+
+    // Part 2: the three communication plans at 8 hosts — identical
+    // models, different bytes.
+    println!("\ncommunication plans at 8 hosts (identical trained models):\n");
+    let mut table = Table::new(vec!["plan", "reduce", "broadcast", "total"]).with_aligns(&[
+        Align::Left,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+    ]);
+    for plan in [
+        SyncPlan::RepModelNaive,
+        SyncPlan::RepModelOpt,
+        SyncPlan::PullModel,
+    ] {
+        let mut config = DistConfig::paper_default(8);
+        config.plan = plan;
+        let result = DistributedTrainer::new(params.clone(), config).train(&corpus, &vocab);
+        table.add_row(vec![
+            plan.label().to_owned(),
+            fmt_bytes(result.stats.reduce_bytes),
+            fmt_bytes(result.stats.broadcast_bytes),
+            fmt_bytes(result.stats.total_bytes()),
+        ]);
+    }
+    print!("{table}");
+
+    // Part 3: combiner comparison at 16 hosts — MC holds accuracy.
+    println!("\nreduction operators at 16 hosts:\n");
+    let mut table =
+        Table::new(vec!["combiner", "total acc%"]).with_aligns(&[Align::Left, Align::Right]);
+    for combiner in [
+        CombinerKind::ModelCombiner,
+        CombinerKind::Avg,
+        CombinerKind::Sum,
+    ] {
+        let mut config = DistConfig::paper_default(16);
+        config.combiner = combiner;
+        let result = DistributedTrainer::new(params.clone(), config).train(&corpus, &vocab);
+        let acc = evaluate(&result.model, &vocab, &synth.analogies).total();
+        table.add_row(vec![combiner.label().to_owned(), format!("{acc:.1}")]);
+    }
+    print!("{table}");
+}

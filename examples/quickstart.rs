@@ -1,0 +1,69 @@
+//! Quickstart: generate a corpus, train embeddings sequentially, inspect
+//! nearest neighbours and analogy accuracy.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use graph_word2vec::core::params::Hyperparams;
+use graph_word2vec::core::trainer_seq::SequentialTrainer;
+use graph_word2vec::corpus::datasets::{DatasetPreset, Scale};
+use graph_word2vec::corpus::shard::Corpus;
+use graph_word2vec::corpus::tokenizer::TokenizerConfig;
+use graph_word2vec::corpus::vocab::VocabBuilder;
+use graph_word2vec::eval::analogy::evaluate;
+use graph_word2vec::eval::knn::EmbeddingIndex;
+
+fn main() {
+    // 1. A synthetic corpus standing in for the paper's datasets
+    //    (1-billion-sim at the Tiny scale: ~80 K tokens).
+    let preset = DatasetPreset::by_name("1-billion").expect("preset exists");
+    let synth = preset.generate(Scale::Tiny, 42);
+    println!(
+        "corpus: {} tokens, {} analogy questions",
+        synth.n_tokens,
+        synth.analogies.total_questions()
+    );
+
+    // 2. Vocabulary + encoded corpus (the graph's nodes + the worklist).
+    let mut builder = VocabBuilder::new();
+    let tok_cfg = TokenizerConfig::default();
+    for sentence in
+        graph_word2vec::corpus::tokenizer::sentences_from_text(&synth.text, tok_cfg.clone())
+    {
+        builder.add_sentence(&sentence);
+    }
+    let vocab = builder.build(1);
+    let corpus = Corpus::from_text(&synth.text, &vocab, tok_cfg);
+    println!("vocabulary: {} unique words", vocab.len());
+
+    // 3. Train (sequential baseline; see distributed_scaling.rs for the
+    //    multi-host engine).
+    let params = Hyperparams {
+        dim: 48,
+        negative: 5,
+        epochs: 8,
+        ..Hyperparams::default()
+    };
+    let trainer = SequentialTrainer::new(params);
+    let model = trainer.train_with_callback(&corpus, &vocab, |epoch, model| {
+        let report = evaluate(model, &vocab, &synth.analogies);
+        println!(
+            "epoch {:>2}: semantic {:>5.1}%  syntactic {:>5.1}%  total {:>5.1}%",
+            epoch + 1,
+            report.semantic(),
+            report.syntactic(),
+            report.total()
+        );
+    });
+
+    // 4. Nearest neighbours of a planted relation word.
+    let index = EmbeddingIndex::new(&model);
+    let probe = "capital-common_a0";
+    if let Some(id) = vocab.id_of(probe) {
+        println!("\nnearest neighbours of {probe}:");
+        for (w, score) in index.nearest(index.vector(id), 5, &[id]) {
+            println!("  {:<24} {:.3}", vocab.word_of(w), score);
+        }
+    }
+}

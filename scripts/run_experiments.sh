@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure of the paper in sequence, writing
+# text output to results/*.txt and JSON to results/*.json.
+#
+# Usage: scripts/run_experiments.sh [scale] [epochs]
+#   scale  — tiny | small | medium (default small)
+#   epochs — accuracy-experiment epoch count (default 16)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export GW2V_SCALE="${1:-small}"
+ACC_EPOCHS="${2:-16}"
+
+mkdir -p results
+run() {
+  local name="$1"; shift
+  echo "=== $name ($(date +%H:%M:%S)) ==="
+  "$@" 2>&1 | tee "results/$name.txt"
+}
+
+cargo build --release -p gw2v-bench --bins
+
+run table1 cargo run --release -q -p gw2v-bench --bin table1
+GW2V_EPOCHS="$ACC_EPOCHS" run table2 cargo run --release -q -p gw2v-bench --bin table2
+GW2V_EPOCHS="$ACC_EPOCHS" run table3 cargo run --release -q -p gw2v-bench --bin table3
+GW2V_EPOCHS="$ACC_EPOCHS" run fig6   cargo run --release -q -p gw2v-bench --bin fig6
+GW2V_EPOCHS="$ACC_EPOCHS" run fig7   cargo run --release -q -p gw2v-bench --bin fig7
+GW2V_EPOCHS=1 run fig8 cargo run --release -q -p gw2v-bench --bin fig8
+GW2V_EPOCHS=1 run fig9 cargo run --release -q -p gw2v-bench --bin fig9
+GW2V_EPOCHS=8 run ablation cargo run --release -q -p gw2v-bench --bin ablation
+
+echo "All experiments complete; outputs in results/."

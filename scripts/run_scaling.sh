@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Figures 8-9 + ablation, with per-dataset scales sized to this machine:
+# 1-billion/news at the small scale, wiki at tiny (its small-scale corpus
+# is 5.4x larger and the 21-configuration sweep would dominate the time
+# budget; the scaling *shape* is scale-invariant — see EXPERIMENTS.md).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+mkdir -p results
+
+echo "=== fig8 (1-billion, news @ small) ==="
+GW2V_EPOCHS=1 GW2V_SCALE=small GW2V_DATASETS=1-billion,news \
+  cargo run --release -q -p gw2v-bench --bin fig8 | tee results/fig8.txt
+mv results/fig8.json results/fig8_small.json
+
+echo "=== fig8 (wiki @ tiny) ==="
+GW2V_EPOCHS=1 GW2V_SCALE=tiny GW2V_DATASETS=wiki \
+  cargo run --release -q -p gw2v-bench --bin fig8 | tee results/fig8_wiki.txt
+mv results/fig8.json results/fig8_wiki_tiny.json
+
+echo "=== fig9 (1-billion, news @ small) ==="
+GW2V_EPOCHS=1 GW2V_SCALE=small GW2V_DATASETS=1-billion,news \
+  cargo run --release -q -p gw2v-bench --bin fig9 | tee results/fig9.txt
+mv results/fig9.json results/fig9_small.json
+
+echo "=== fig9 (wiki @ tiny) ==="
+GW2V_EPOCHS=1 GW2V_SCALE=tiny GW2V_DATASETS=wiki \
+  cargo run --release -q -p gw2v-bench --bin fig9 | tee results/fig9_wiki.txt
+mv results/fig9.json results/fig9_wiki_tiny.json
+
+echo "=== ablation ==="
+GW2V_EPOCHS=8 cargo run --release -q -p gw2v-bench --bin ablation | tee results/ablation.txt
+
+echo "Scaling experiments complete."

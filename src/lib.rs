@@ -1,0 +1,56 @@
+//! # graph-word2vec
+//!
+//! Facade crate re-exporting the whole GraphWord2Vec workspace — a Rust
+//! reproduction of *"Distributed Training of Embeddings using Graph
+//! Analytics"* (Gill et al., IPDPS 2021). See the README for a tour,
+//! DESIGN.md for the system inventory and EXPERIMENTS.md for the
+//! paper-vs-measured record.
+//!
+//! ```
+//! use graph_word2vec::prelude::*;
+//!
+//! // Generate a small corpus with planted analogy relations.
+//! let preset = DatasetPreset::by_name("1-billion").unwrap();
+//! let synth = preset.generate(Scale::Tiny, 42);
+//!
+//! // Vocabulary + encoded corpus.
+//! let cfg = TokenizerConfig::default();
+//! let mut b = VocabBuilder::new();
+//! for s in sentences_from_text(&synth.text, cfg.clone()) {
+//!     b.add_sentence(&s);
+//! }
+//! let vocab = b.build(1);
+//! let corpus = Corpus::from_text(&synth.text, &vocab, cfg);
+//!
+//! // Distributed training: 4 hosts, model combiner, RepModel-Opt.
+//! let params = Hyperparams { dim: 16, epochs: 1, negative: 3, ..Hyperparams::default() };
+//! let result = DistributedTrainer::new(params, DistConfig::paper_default(4))
+//!     .train(&corpus, &vocab);
+//! assert!(result.pairs_trained > 0);
+//! assert!(result.stats.total_bytes() > 0);
+//! ```
+
+pub use gw2v_combiner as combiner;
+pub use gw2v_core as core;
+pub use gw2v_corpus as corpus;
+pub use gw2v_eval as eval;
+pub use gw2v_gluon as gluon;
+pub use gw2v_graph as graph;
+pub use gw2v_util as util;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use gw2v_combiner::CombinerKind;
+    pub use gw2v_core::distributed::{DistConfig, DistributedTrainer, TrainResult};
+    pub use gw2v_core::model::Word2VecModel;
+    pub use gw2v_core::params::Hyperparams;
+    pub use gw2v_core::trainer_hogwild::HogwildTrainer;
+    pub use gw2v_core::trainer_seq::SequentialTrainer;
+    pub use gw2v_corpus::datasets::{DatasetPreset, Scale};
+    pub use gw2v_corpus::shard::Corpus;
+    pub use gw2v_corpus::tokenizer::{sentences_from_text, TokenizerConfig};
+    pub use gw2v_corpus::vocab::{VocabBuilder, Vocabulary};
+    pub use gw2v_eval::analogy::evaluate;
+    pub use gw2v_eval::knn::EmbeddingIndex;
+    pub use gw2v_gluon::plan::SyncPlan;
+}

@@ -1,0 +1,102 @@
+//! End-to-end pipeline through the *library* APIs the CLI composes:
+//! generate → save corpus + questions → streaming vocab from disk →
+//! distributed train → save model text → reload → evaluate. This is the
+//! full "downstream user" path with every disk format exercised.
+
+use graph_word2vec::core::distributed::{DistConfig, DistributedTrainer};
+use graph_word2vec::core::model::Word2VecModel;
+use graph_word2vec::core::params::Hyperparams;
+use graph_word2vec::corpus::datasets::{DatasetPreset, Scale};
+use graph_word2vec::corpus::file::{build_vocab_from_path, read_partition, write_corpus};
+use graph_word2vec::corpus::questions::{read_questions, write_questions};
+use graph_word2vec::corpus::shard::Corpus;
+use graph_word2vec::corpus::tokenizer::TokenizerConfig;
+use graph_word2vec::corpus::vocab::Vocabulary;
+use graph_word2vec::eval::analogy::evaluate;
+use std::io::BufReader;
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("gw2v_pipeline_{}_{name}", std::process::id()))
+}
+
+#[test]
+fn full_disk_pipeline() {
+    let corpus_path = tmp("corpus.txt");
+    let questions_path = tmp("questions.txt");
+    let model_path = tmp("model.txt");
+
+    // 1. Generate and persist corpus + analogy suite.
+    let preset = DatasetPreset::by_name("news").expect("preset");
+    let synth = preset.generate(Scale::Tiny, 17);
+    write_corpus(&corpus_path, &synth.text).expect("write corpus");
+    {
+        let mut f = std::fs::File::create(&questions_path).expect("create questions");
+        write_questions(&synth.analogies, &mut f).expect("write questions");
+    }
+
+    // 2. Stream the vocabulary from disk (paper §4.1).
+    let cfg = TokenizerConfig::default();
+    let vocab = build_vocab_from_path(&corpus_path, cfg.clone(), 1).expect("vocab");
+    assert!(vocab.len() > 100);
+
+    // 3. Every host reads its own byte-range partition of the file
+    //    (paper §4.2) — reassemble and check coverage.
+    let n_hosts = 3;
+    let mut all_tokens = 0usize;
+    let mut host_sentences = Vec::new();
+    for h in 0..n_hosts {
+        let sents = read_partition(&corpus_path, h, n_hosts, &vocab, cfg.clone()).expect("shard");
+        all_tokens += sents.iter().map(Vec::len).sum::<usize>();
+        host_sentences.push(sents);
+    }
+    assert_eq!(all_tokens as u64, vocab.total_words());
+
+    // 4. Train distributed on the in-memory corpus.
+    let text = std::fs::read_to_string(&corpus_path).expect("read");
+    let corpus = Corpus::from_text(&text, &vocab, cfg);
+    let params = Hyperparams {
+        dim: 24,
+        negative: 5,
+        epochs: 3,
+        ..Hyperparams::default()
+    };
+    let result =
+        DistributedTrainer::new(params, DistConfig::paper_default(4)).train(&corpus, &vocab);
+
+    // 5. Save as word2vec text, reload, and verify the roundtrip.
+    {
+        let mut f = std::fs::File::create(&model_path).expect("create model");
+        result.model.save_text(&vocab, &mut f).expect("save model");
+    }
+    let (words, reloaded) =
+        Word2VecModel::load_text(BufReader::new(std::fs::File::open(&model_path).unwrap()))
+            .expect("load model");
+    assert_eq!(words.len(), vocab.len());
+    assert_eq!(reloaded.dim(), 24);
+
+    // 6. Evaluate the reloaded model against the persisted questions.
+    let questions = read_questions(BufReader::new(
+        std::fs::File::open(&questions_path).unwrap(),
+    ))
+    .expect("questions");
+    let n = words.len() as u64;
+    let reload_vocab = Vocabulary::from_counts(
+        words.into_iter().enumerate().map(|(i, w)| (w, n - i as u64)),
+        1,
+    );
+    let report = evaluate(&reloaded, &reload_vocab, &questions);
+    // Same model, same questions: accuracy must match the in-memory eval
+    // (vectors roundtrip through decimal text with enough precision).
+    let direct = evaluate(&result.model, &vocab, &synth.analogies);
+    assert_eq!(report.skipped(), direct.skipped());
+    assert!(
+        (report.total() - direct.total()).abs() < 2.0,
+        "reloaded {:.1}% vs direct {:.1}%",
+        report.total(),
+        direct.total()
+    );
+
+    for p in [&corpus_path, &questions_path, &model_path] {
+        std::fs::remove_file(p).ok();
+    }
+}

@@ -1,0 +1,175 @@
+//! Engine-equivalence integration tests: the threaded cluster engine
+//! must train bit-identically to the deterministic sequential engine,
+//! end-to-end through the real SGNS operator (not just the synthetic
+//! workloads the unit tests use).
+
+use graph_word2vec::combiner::CombinerKind;
+use graph_word2vec::core::model::Word2VecModel;
+use graph_word2vec::core::params::Hyperparams;
+use graph_word2vec::core::schedule::LrSchedule;
+use graph_word2vec::core::setup::{TrainSetup, HOST_RNG_BASE};
+use graph_word2vec::core::sgns::{train_sentence, ReplicaStore, TrainScratch};
+use graph_word2vec::corpus::datasets::{DatasetPreset, Scale};
+use graph_word2vec::corpus::shard::Corpus;
+use graph_word2vec::corpus::tokenizer::{sentences_from_text, TokenizerConfig};
+use graph_word2vec::corpus::vocab::{VocabBuilder, Vocabulary};
+use graph_word2vec::gluon::plan::{SyncConfig, SyncPlan};
+use graph_word2vec::gluon::sync::{assemble_canonical, sync_round};
+use graph_word2vec::gluon::threaded::{run_cluster, sync_round_threaded};
+use graph_word2vec::gluon::volume::CommStats;
+use graph_word2vec::gluon::ModelReplica;
+use graph_word2vec::util::rng::{SplitMix64, Xoshiro256};
+
+fn prepare() -> (Vocabulary, Corpus, Hyperparams) {
+    let preset = DatasetPreset::by_name("1-billion").expect("preset");
+    let synth = preset.generate(Scale::Tiny, 99);
+    let cfg = TokenizerConfig::default();
+    let mut b = VocabBuilder::new();
+    for s in sentences_from_text(&synth.text, cfg.clone()) {
+        b.add_sentence(&s);
+    }
+    let vocab = b.build(1);
+    // Shrink the corpus so the threaded run stays fast.
+    let corpus = Corpus::from_sentences(
+        Corpus::from_text(&synth.text, &vocab, cfg)
+            .sentences()
+            .iter()
+            .take(300)
+            .cloned()
+            .collect(),
+    );
+    let params = Hyperparams {
+        dim: 16,
+        window: 3,
+        negative: 3,
+        epochs: 2,
+        seed: 5,
+        ..Hyperparams::default()
+    };
+    (vocab, corpus, params)
+}
+
+/// Drives one host's training + threaded sync, mirroring what the
+/// sequential `DistributedTrainer` does per host.
+fn threaded_train(
+    vocab: &Vocabulary,
+    corpus: &Corpus,
+    params: &Hyperparams,
+    n_hosts: usize,
+    rounds: usize,
+    combiner: CombinerKind,
+) -> Vec<graph_word2vec::util::fvec::FlatMatrix> {
+    let setup = TrainSetup::new(vocab, params);
+    let init = Word2VecModel::init(vocab.len(), params.dim, params.seed);
+    let schedule = LrSchedule::new(
+        params.alpha,
+        params.min_alpha_frac,
+        corpus.total_tokens() as u64,
+        params.epochs,
+    );
+    let sync_cfg = SyncConfig {
+        plan: SyncPlan::RepModelOpt,
+        combiner,
+    };
+    let replicas = run_cluster(n_hosts, |ctx| {
+        let ctx_train = setup.ctx(params);
+        let mut replica = ModelReplica::new(vec![init.syn0.clone(), init.syn1neg.clone()]);
+        let mut rng =
+            Xoshiro256::new(SplitMix64::new(params.seed).derive(HOST_RNG_BASE + ctx.host as u64));
+        let mut scratch = TrainScratch::default();
+        let mut stats = CommStats::default();
+        let mut processed = 0u64;
+        let shard = corpus.partition(ctx.host, n_hosts);
+        for _epoch in 0..params.epochs {
+            for s in 0..rounds {
+                let chunk = shard.round_chunk(s, rounds);
+                for sentence in chunk.sentences() {
+                    let alpha = schedule.alpha_for_host(processed, n_hosts);
+                    let mut store = ReplicaStore {
+                        replica: &mut replica,
+                    };
+                    train_sentence(
+                        &mut store,
+                        sentence,
+                        alpha,
+                        &ctx_train,
+                        &mut rng,
+                        &mut scratch,
+                    );
+                    processed += sentence.len() as u64;
+                }
+                sync_round_threaded(&ctx, &mut replica, &sync_cfg, &mut stats);
+            }
+        }
+        replica
+    });
+    assemble_canonical(&replicas)
+}
+
+/// The same schedule on the sequential engine.
+fn sequential_train(
+    vocab: &Vocabulary,
+    corpus: &Corpus,
+    params: &Hyperparams,
+    n_hosts: usize,
+    rounds: usize,
+    combiner: CombinerKind,
+) -> Vec<graph_word2vec::util::fvec::FlatMatrix> {
+    let setup = TrainSetup::new(vocab, params);
+    let init = Word2VecModel::init(vocab.len(), params.dim, params.seed);
+    let schedule = LrSchedule::new(
+        params.alpha,
+        params.min_alpha_frac,
+        corpus.total_tokens() as u64,
+        params.epochs,
+    );
+    let sync_cfg = SyncConfig {
+        plan: SyncPlan::RepModelOpt,
+        combiner,
+    };
+    let mut replicas: Vec<ModelReplica> = (0..n_hosts)
+        .map(|_| ModelReplica::new(vec![init.syn0.clone(), init.syn1neg.clone()]))
+        .collect();
+    let mut rngs: Vec<Xoshiro256> = (0..n_hosts)
+        .map(|h| Xoshiro256::new(SplitMix64::new(params.seed).derive(HOST_RNG_BASE + h as u64)))
+        .collect();
+    let mut processed = vec![0u64; n_hosts];
+    let mut scratch = TrainScratch::default();
+    let mut stats = CommStats::default();
+    let ctx_train = setup.ctx(params);
+    for _epoch in 0..params.epochs {
+        for s in 0..rounds {
+            for h in 0..n_hosts {
+                let shard = corpus.partition(h, n_hosts);
+                let chunk = shard.round_chunk(s, rounds);
+                for sentence in chunk.sentences() {
+                    let alpha = schedule.alpha_for_host(processed[h], n_hosts);
+                    let mut store = ReplicaStore {
+                        replica: &mut replicas[h],
+                    };
+                    train_sentence(
+                        &mut store,
+                        sentence,
+                        alpha,
+                        &ctx_train,
+                        &mut rngs[h],
+                        &mut scratch,
+                    );
+                    processed[h] += sentence.len() as u64;
+                }
+            }
+            sync_round(&mut replicas, &sync_cfg, None, &mut stats);
+        }
+    }
+    assemble_canonical(&replicas)
+}
+
+#[test]
+fn threaded_engine_trains_bit_identically_to_sequential() {
+    let (vocab, corpus, params) = prepare();
+    for combiner in [CombinerKind::ModelCombiner, CombinerKind::Avg] {
+        let seq = sequential_train(&vocab, &corpus, &params, 3, 2, combiner);
+        let thr = threaded_train(&vocab, &corpus, &params, 3, 2, combiner);
+        assert_eq!(seq, thr, "{combiner:?}: engines must agree bitwise");
+    }
+}
