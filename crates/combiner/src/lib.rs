@@ -190,6 +190,23 @@ impl CombineAccumulator {
         }
     }
 
+    /// Re-arms a used accumulator for a new reduction, reusing its
+    /// allocations. After `reset` the accumulator is indistinguishable
+    /// from `CombineAccumulator::new(kind, dim)`, so pools of
+    /// accumulators (one per concurrently-reduced node) can be recycled
+    /// across synchronization rounds without touching the heap. (The
+    /// `ModelCombinerPairwise` kind still buffers each pushed delta —
+    /// it is the ablation-only tree variant and keeps its allocations.)
+    pub fn reset(&mut self, kind: CombinerKind, dim: usize) {
+        self.kind = kind;
+        self.count = 0;
+        self.buffered.clear();
+        self.acc.clear();
+        self.acc.resize(dim, 0.0);
+        self.scratch.clear();
+        self.scratch.resize(dim, 0.0);
+    }
+
     /// Adds one host's delta.
     pub fn push(&mut self, delta: &[f32]) {
         assert_eq!(delta.len(), self.acc.len(), "delta dimension mismatch");
@@ -208,18 +225,33 @@ impl CombineAccumulator {
 
     /// Finishes the reduction, returning the combined delta.
     pub fn finish(mut self) -> Vec<f32> {
+        let mut out = vec![0.0; self.acc.len()];
+        self.finish_into(&mut out);
+        out
+    }
+
+    /// Finishes the reduction into a caller-provided buffer, leaving the
+    /// accumulator reusable via [`CombineAccumulator::reset`]. Writes the
+    /// same values [`CombineAccumulator::finish`] would return (`finish`
+    /// is a thin allocating wrapper around this). `out.len()` must match
+    /// the accumulator's dimension.
+    pub fn finish_into(&mut self, out: &mut [f32]) {
+        assert_eq!(out.len(), self.acc.len(), "output dimension mismatch");
         match self.kind {
             CombinerKind::Avg => {
+                out.copy_from_slice(&self.acc);
                 if self.count > 0 {
-                    fvec::scale(1.0 / self.count as f32, &mut self.acc);
+                    fvec::scale(1.0 / self.count as f32, out);
                 }
-                self.acc
             }
             CombinerKind::ModelCombinerPairwise => {
                 let refs: Vec<&[f32]> = self.buffered.iter().map(|v| v.as_slice()).collect();
-                pairwise_tree(&refs, self.acc.len()).unwrap_or(self.acc)
+                match pairwise_tree(&refs, self.acc.len()) {
+                    Some(combined) => out.copy_from_slice(&combined),
+                    None => out.copy_from_slice(&self.acc),
+                }
             }
-            _ => self.acc,
+            _ => out.copy_from_slice(&self.acc),
         }
     }
 }
@@ -358,6 +390,43 @@ mod tests {
             for (a, b) in batch.iter().zip(&streamed) {
                 assert!((a - b).abs() < 1e-5, "{kind:?}: {batch:?} vs {streamed:?}");
             }
+        }
+    }
+
+    #[test]
+    fn reset_accumulator_matches_fresh_bitwise() {
+        // A pooled accumulator, reset between reductions (possibly with a
+        // different kind and dimension), must be bit-identical to a fresh
+        // one — this is what lets sync rounds recycle accumulator pools.
+        let rounds: [(CombinerKind, usize, &[&[f32]]); 4] = [
+            (
+                CombinerKind::ModelCombiner,
+                3,
+                &[&[1.0, 2.0, 3.0], &[0.5, -1.0, 2.0]],
+            ),
+            (
+                CombinerKind::Avg,
+                2,
+                &[&[4.0, 2.0], &[2.0, 0.0], &[0.0, 1.0]],
+            ),
+            (CombinerKind::Sum, 4, &[&[1.0, 1.0, 1.0, 1.0]]),
+            (
+                CombinerKind::ModelCombinerPairwise,
+                2,
+                &[&[1.0, 0.0], &[1.0, 1.0]],
+            ),
+        ];
+        let mut pooled = CombineAccumulator::new(CombinerKind::Sum, 1);
+        for (kind, dim, deltas) in rounds {
+            pooled.reset(kind, dim);
+            let mut fresh = CombineAccumulator::new(kind, dim);
+            for d in deltas {
+                pooled.push(d);
+                fresh.push(d);
+            }
+            let mut out = vec![0.0; dim];
+            pooled.finish_into(&mut out);
+            assert_eq!(out, fresh.finish(), "{kind:?}");
         }
     }
 

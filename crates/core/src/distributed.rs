@@ -35,7 +35,7 @@ use gw2v_corpus::shard::Corpus;
 use gw2v_corpus::vocab::Vocabulary;
 use gw2v_gluon::cost::CostModel;
 use gw2v_gluon::plan::{AccessSets, SyncConfig, SyncPlan};
-use gw2v_gluon::sync::{assemble_canonical, sync_round};
+use gw2v_gluon::sync::{assemble_canonical, sync_round_with_scratch, SyncScratch};
 use gw2v_gluon::volume::CommStats;
 use gw2v_gluon::ModelReplica;
 use gw2v_util::rng::{SplitMix64, Xoshiro256};
@@ -181,6 +181,10 @@ impl DistributedTrainer {
         let mut pairs_trained = 0u64;
         let mut processed = vec![0u64; h_count];
         let mut scratch = TrainScratch::default();
+        // One sync scratch for the whole run: after the first round the
+        // reduce/broadcast path recycles its slab and buffers instead of
+        // reallocating per round.
+        let mut sync_scratch = SyncScratch::new();
 
         for epoch in 0..p.epochs {
             for s in 0..s_count {
@@ -246,7 +250,13 @@ impl DistributedTrainer {
                 };
 
                 // ---- Synchronize (reduce + broadcast). ----
-                let volume = sync_round(&mut replicas, &sync_cfg, access.as_ref(), &mut stats);
+                let volume = sync_round_with_scratch(
+                    &mut replicas,
+                    &sync_cfg,
+                    access.as_ref(),
+                    &mut stats,
+                    &mut sync_scratch,
+                );
                 compute_time += round_compute.iter().cloned().fold(0.0, f64::max);
                 comm_time += cfg.cost.round_time(&volume);
             }

@@ -60,6 +60,21 @@ pub trait SgnsStore {
     fn add_out(&mut self, wout: u32, g: f32, win: u32);
     /// `syn0[win] += buf`.
     fn add_in(&mut self, win: u32, buf: &[f32]);
+    /// Fused gradient step: `buf += g · syn1neg[wout]` then
+    /// `syn1neg[wout] += g · syn0[win]`, reading the pre-update `syn1neg`
+    /// row exactly once.
+    ///
+    /// The default falls back to the [`SgnsStore::acc_hidden`] /
+    /// [`SgnsStore::add_out`] pair, which is element-wise identical (the
+    /// stores that only observe accesses, like [`RecordingStore`], need no
+    /// override). Row-owning stores override this with
+    /// [`fvec::fused_grad_step`] to halve memory traffic per negative
+    /// sample.
+    #[inline]
+    fn fused_grad(&mut self, wout: u32, g: f32, win: u32, buf: &mut [f32]) {
+        self.acc_hidden(buf, g, wout);
+        self.add_out(wout, g, win);
+    }
 }
 
 /// Shared, immutable per-run training context.
@@ -139,8 +154,7 @@ where
                 };
                 let f = store.dot(context, target);
                 let g = (label - ctx.sigmoid.value(f)) * alpha;
-                store.acc_hidden(neu1e, g, target);
-                store.add_out(target, g, context);
+                store.fused_grad(target, g, context, neu1e);
             }
             store.add_in(context, neu1e);
             pairs += 1;
@@ -187,6 +201,17 @@ impl SgnsStore for PlainStore<'_> {
     fn add_in(&mut self, win: u32, buf: &[f32]) {
         fvec::add_assign(self.syn0.row_mut(win as usize), buf);
     }
+
+    #[inline]
+    fn fused_grad(&mut self, wout: u32, g: f32, win: u32, buf: &mut [f32]) {
+        let (syn0, syn1neg) = (&*self.syn0, &mut *self.syn1neg);
+        fvec::fused_grad_step(
+            g,
+            syn0.row(win as usize),
+            syn1neg.row_mut(wout as usize),
+            buf,
+        );
+    }
 }
 
 /// Distributed store over a host's tracked [`gw2v_gluon::ModelReplica`]
@@ -229,6 +254,16 @@ impl SgnsStore for ReplicaStore<'_> {
     #[inline]
     fn add_in(&mut self, win: u32, buf: &[f32]) {
         fvec::add_assign(self.replica.row_mut(LAYER_SYN0, win), buf);
+    }
+
+    #[inline]
+    fn fused_grad(&mut self, wout: u32, g: f32, win: u32, buf: &mut [f32]) {
+        // Same tracked split borrow as `add_out`: wout's base is
+        // snapshotted on first touch, syn0[win] is only read.
+        let (src, dst) = self
+            .replica
+            .row_and_row_mut(LAYER_SYN0, win, LAYER_SYN1NEG, wout);
+        fvec::fused_grad_step(g, src, dst, buf);
     }
 }
 

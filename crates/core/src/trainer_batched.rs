@@ -138,13 +138,14 @@ fn train_pair<R: Rng64>(
             model.syn1neg.row(target as usize),
         );
         let g = (label - sigmoid.value(f)) * alpha;
-        fvec::axpy(g, model.syn1neg.row(target as usize), neu1e);
-        // syn1neg[target] += g * syn0[input]; disjoint matrices.
+        // neu1e += g * syn1neg[target]; syn1neg[target] += g * syn0[input],
+        // fused into one pass over the rows (disjoint matrices).
         let (syn0, syn1neg) = (&model.syn0, &mut model.syn1neg);
-        fvec::axpy(
+        fvec::fused_grad_step(
             g,
             syn0.row(input as usize),
             syn1neg.row_mut(target as usize),
+            neu1e,
         );
     }
     fvec::add_assign(model.syn0.row_mut(input as usize), neu1e);

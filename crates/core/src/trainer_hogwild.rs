@@ -20,6 +20,7 @@ use crate::setup::{TrainSetup, HOST_RNG_BASE};
 use crate::sgns::{train_sentence, SgnsStore, TrainScratch};
 use gw2v_corpus::shard::Corpus;
 use gw2v_corpus::vocab::Vocabulary;
+use gw2v_util::fvec;
 use gw2v_util::rng::{SplitMix64, Xoshiro256};
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering::Relaxed};
 
@@ -70,20 +71,71 @@ impl AtomicModel {
         )
     }
 
+    /// Copies `syn0[row]` into `out` (one relaxed load per cell).
     #[inline]
-    fn load0(&self, idx: usize) -> f32 {
-        f32::from_bits(self.syn0[idx].load(Relaxed))
+    fn read_row0(&self, row: usize, out: &mut [f32]) {
+        let base = row * self.dim;
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = f32::from_bits(self.syn0[base + i].load(Relaxed));
+        }
     }
 
+    /// Copies `syn1neg[row]` into `out`.
     #[inline]
-    fn load1(&self, idx: usize) -> f32 {
-        f32::from_bits(self.syn1neg[idx].load(Relaxed))
+    fn read_row1(&self, row: usize, out: &mut [f32]) {
+        let base = row * self.dim;
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = f32::from_bits(self.syn1neg[base + i].load(Relaxed));
+        }
+    }
+
+    /// Writes `vals` into `syn0[row]` (one relaxed store per cell).
+    #[inline]
+    fn write_row0(&self, row: usize, vals: &[f32]) {
+        let base = row * self.dim;
+        for (i, &v) in vals.iter().enumerate() {
+            self.syn0[base + i].store(v.to_bits(), Relaxed);
+        }
+    }
+
+    /// Writes `vals` into `syn1neg[row]`.
+    #[inline]
+    fn write_row1(&self, row: usize, vals: &[f32]) {
+        let base = row * self.dim;
+        for (i, &v) in vals.iter().enumerate() {
+            self.syn1neg[base + i].store(v.to_bits(), Relaxed);
+        }
     }
 }
 
 /// Per-thread view of the shared atomic model.
+///
+/// Rows are staged through per-store scratch buffers so the arithmetic
+/// runs the same dispatched [`fvec`] kernels as every other trainer: a
+/// 1-thread Hogwild run stays bit-identical to the sequential trainer on
+/// whichever SIMD backend is active (pinned by a test below). The
+/// read-copy / compute / write-back sequence keeps the Hogwild recipe's
+/// racy read-modify-write semantics — each cell is still one relaxed load
+/// and one relaxed store per update, deliberately unsynchronized across
+/// threads. Create one store per worker (outside the sentence loop) so
+/// the scratch is allocated once.
 pub struct HogwildStore<'a> {
     model: &'a AtomicModel,
+    // RefCell because `dot`/`acc_hidden` take `&self` in the trait; each
+    // store is thread-local, so borrows never contend.
+    win_buf: std::cell::RefCell<Vec<f32>>,
+    wout_buf: std::cell::RefCell<Vec<f32>>,
+}
+
+impl<'a> HogwildStore<'a> {
+    /// Creates a worker view with dimension-sized scratch.
+    pub fn new(model: &'a AtomicModel) -> Self {
+        Self {
+            model,
+            win_buf: std::cell::RefCell::new(vec![0.0; model.dim]),
+            wout_buf: std::cell::RefCell::new(vec![0.0; model.dim]),
+        }
+    }
 }
 
 impl SgnsStore for HogwildStore<'_> {
@@ -94,55 +146,46 @@ impl SgnsStore for HogwildStore<'_> {
 
     #[inline]
     fn dot(&self, win: u32, wout: u32) -> f32 {
-        // Mirrors fvec::dot's 4-way unrolled summation order exactly, so
-        // a 1-thread Hogwild run is bit-identical to the sequential
-        // trainer (pinned by a test below).
-        let d = self.model.dim;
-        let (b0, b1) = (win as usize * d, wout as usize * d);
-        let chunks = d / 4;
-        let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
-        for i in 0..chunks {
-            let k = i * 4;
-            s0 += self.model.load0(b0 + k) * self.model.load1(b1 + k);
-            s1 += self.model.load0(b0 + k + 1) * self.model.load1(b1 + k + 1);
-            s2 += self.model.load0(b0 + k + 2) * self.model.load1(b1 + k + 2);
-            s3 += self.model.load0(b0 + k + 3) * self.model.load1(b1 + k + 3);
-        }
-        let mut s = (s0 + s1) + (s2 + s3);
-        for k in chunks * 4..d {
-            s += self.model.load0(b0 + k) * self.model.load1(b1 + k);
-        }
-        s
+        let mut a = self.win_buf.borrow_mut();
+        let mut b = self.wout_buf.borrow_mut();
+        self.model.read_row0(win as usize, &mut a);
+        self.model.read_row1(wout as usize, &mut b);
+        fvec::dot(&a, &b)
     }
 
     #[inline]
     fn acc_hidden(&self, buf: &mut [f32], g: f32, wout: u32) {
-        let d = self.model.dim;
-        let b1 = wout as usize * d;
-        for (i, slot) in buf.iter_mut().enumerate() {
-            *slot += g * self.model.load1(b1 + i);
-        }
+        let mut b = self.wout_buf.borrow_mut();
+        self.model.read_row1(wout as usize, &mut b);
+        fvec::axpy(g, &b, buf);
     }
 
     #[inline]
     fn add_out(&mut self, wout: u32, g: f32, win: u32) {
-        let d = self.model.dim;
-        let (b0, b1) = (win as usize * d, wout as usize * d);
-        for i in 0..d {
-            // Racy read-modify-write, by design (Hogwild).
-            let new = self.model.load1(b1 + i) + g * self.model.load0(b0 + i);
-            self.model.syn1neg[b1 + i].store(new.to_bits(), Relaxed);
-        }
+        let mut a = self.win_buf.borrow_mut();
+        let mut b = self.wout_buf.borrow_mut();
+        self.model.read_row0(win as usize, &mut a);
+        self.model.read_row1(wout as usize, &mut b);
+        fvec::axpy(g, &a, &mut b);
+        self.model.write_row1(wout as usize, &b);
     }
 
     #[inline]
     fn add_in(&mut self, win: u32, buf: &[f32]) {
-        let d = self.model.dim;
-        let b0 = win as usize * d;
-        for (i, &v) in buf.iter().enumerate() {
-            let new = self.model.load0(b0 + i) + v;
-            self.model.syn0[b0 + i].store(new.to_bits(), Relaxed);
-        }
+        let mut a = self.win_buf.borrow_mut();
+        self.model.read_row0(win as usize, &mut a);
+        fvec::add_assign(&mut a, buf);
+        self.model.write_row0(win as usize, &a);
+    }
+
+    #[inline]
+    fn fused_grad(&mut self, wout: u32, g: f32, win: u32, buf: &mut [f32]) {
+        let mut a = self.win_buf.borrow_mut();
+        let mut b = self.wout_buf.borrow_mut();
+        self.model.read_row0(win as usize, &mut a);
+        self.model.read_row1(wout as usize, &mut b);
+        fvec::fused_grad_step(g, &a, &mut b, buf);
+        self.model.write_row1(wout as usize, &b);
     }
 }
 
@@ -206,10 +249,10 @@ impl HogwildTrainer {
                     handles.push(scope.spawn(move || {
                         let ctx = setup.ctx(p);
                         let mut scratch = TrainScratch::default();
+                        let mut store = HogwildStore::new(atomic);
                         for sentence in shard.sentences() {
                             let done = progress.load(Relaxed);
                             let alpha = schedule.alpha_at(done);
-                            let mut store = HogwildStore { model: atomic };
                             train_sentence(&mut store, sentence, alpha, &ctx, rng, &mut scratch);
                             progress.fetch_add(sentence.len() as u64, Relaxed);
                         }

@@ -130,9 +130,7 @@ mod tests {
     }
 
     fn repeat_line(line: &str, n: usize) -> String {
-        std::iter::repeat_n(line, n)
-            .collect::<Vec<_>>()
-            .join("\n")
+        std::iter::repeat_n(line, n).collect::<Vec<_>>().join("\n")
     }
 
     #[test]

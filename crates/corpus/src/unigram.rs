@@ -53,11 +53,10 @@ impl UnigramTable {
         let mut cum = (vocab.count_of(0) as f64).powf(UNIGRAM_POWER) / pow_sum;
         for i in 0..size {
             table.push(word as u32);
-            if (i + 1) as f64 / size as f64 > cum
-                && word + 1 < vocab.len() {
-                    word += 1;
-                    cum += (vocab.count_of(word as u32) as f64).powf(UNIGRAM_POWER) / pow_sum;
-                }
+            if (i + 1) as f64 / size as f64 > cum && word + 1 < vocab.len() {
+                word += 1;
+                cum += (vocab.count_of(word as u32) as f64).powf(UNIGRAM_POWER) / pow_sum;
+            }
         }
         Self { table }
     }

@@ -35,6 +35,11 @@
 //!   serialized [`wire`] buffers over crossbeam channels with barrier
 //!   separation; produces bit-identical results to the sequential engine
 //!   (messages are folded in host-id order).
+//!
+//! Both engines take an optional reusable scratch
+//! ([`sync::SyncScratch`] / [`threaded::ThreadedSyncScratch`]) so
+//! steady-state rounds run without heap allocation in the
+//! reduce/broadcast path; results are bit-identical either way.
 
 #![warn(missing_docs)]
 // Index-driven loops across parallel per-host arrays are clearer than
@@ -52,5 +57,5 @@ pub mod wire;
 pub use cost::CostModel;
 pub use plan::{AccessSets, SyncConfig, SyncPlan};
 pub use replica::{DeltaTracker, ModelReplica};
-pub use sync::sync_round;
+pub use sync::{sync_round, sync_round_with_scratch, SyncScratch};
 pub use volume::{CommStats, RoundVolume};

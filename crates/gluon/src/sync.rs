@@ -25,22 +25,152 @@ use crate::plan::{AccessSets, SyncConfig, SyncPlan};
 use crate::replica::ModelReplica;
 use crate::volume::{CommStats, RoundVolume};
 use crate::wire::entry_bytes;
-use gw2v_combiner::CombineAccumulator;
+use gw2v_combiner::{CombineAccumulator, CombinerKind};
 use gw2v_graph::partition::{master_block, master_host};
 use gw2v_util::bitvec::BitVec;
 use gw2v_util::fvec::FlatMatrix;
 
-/// Runs one synchronization round over all replicas.
+/// Sentinel in [`NodeAccSlab::slot_of`]: no accumulator assigned.
+const NO_SLOT: u32 = u32::MAX;
+
+/// A recyclable pool of per-node [`CombineAccumulator`]s.
 ///
-/// `access` must be `Some` when `cfg.plan == PullModel`: for each host
-/// and layer, the set of nodes that host will access in its *next*
-/// compute round. Returns the round's per-host volume; cumulative
-/// counters are added to `stats`. Delta trackers are cleared on return.
+/// The reduce phase needs one accumulator per node touched this round —
+/// a sparse subset of the graph. Earlier versions materialized
+/// `Vec<Option<CombineAccumulator>>` over *all* nodes every round; this
+/// slab instead keeps a dense pool of accumulators (sized by the
+/// high-water mark of concurrently touched nodes) plus an O(1) node→slot
+/// index, so steady-state rounds assign, fold, and release without
+/// touching the heap. Slots are released in O(touched), not O(nodes).
+#[derive(Debug, Default)]
+pub(crate) struct NodeAccSlab {
+    /// node id → pool index, [`NO_SLOT`] when unassigned. Sized `n_nodes`.
+    slot_of: Vec<u32>,
+    /// Reusable accumulators; `pool[..used]` are live this layer.
+    pool: Vec<CombineAccumulator>,
+    /// Nodes holding slots, for O(touched) release.
+    touched: Vec<u32>,
+    used: usize,
+}
+
+impl NodeAccSlab {
+    /// Sizes the node→slot index (no-op when already `n_nodes` wide).
+    pub(crate) fn ensure_nodes(&mut self, n_nodes: usize) {
+        if self.slot_of.len() != n_nodes {
+            debug_assert_eq!(self.used, 0, "resize mid-round");
+            self.slot_of.clear();
+            self.slot_of.resize(n_nodes, NO_SLOT);
+        }
+    }
+
+    /// The accumulator for `node`, assigning (and recycling) a pool slot
+    /// on the node's first touch this round.
+    pub(crate) fn acc_mut(
+        &mut self,
+        node: u32,
+        kind: CombinerKind,
+        dim: usize,
+    ) -> &mut CombineAccumulator {
+        let slot = self.slot_of[node as usize];
+        let idx = if slot == NO_SLOT {
+            let idx = self.used;
+            if idx == self.pool.len() {
+                self.pool.push(CombineAccumulator::new(kind, dim));
+            } else {
+                self.pool[idx].reset(kind, dim);
+            }
+            self.slot_of[node as usize] = idx as u32;
+            self.touched.push(node);
+            self.used += 1;
+            idx
+        } else {
+            slot as usize
+        };
+        &mut self.pool[idx]
+    }
+
+    /// Finishes `node`'s reduction into `out`; the slot stays assigned
+    /// until [`NodeAccSlab::release_all`].
+    pub(crate) fn finish_into(&mut self, node: u32, out: &mut [f32]) {
+        let slot = self.slot_of[node as usize];
+        assert_ne!(slot, NO_SLOT, "node {node} has no accumulator");
+        self.pool[slot as usize].finish_into(out);
+    }
+
+    /// Returns every slot to the pool without deallocating.
+    pub(crate) fn release_all(&mut self) {
+        for &n in &self.touched {
+            self.slot_of[n as usize] = NO_SLOT;
+        }
+        self.touched.clear();
+        self.used = 0;
+    }
+}
+
+/// Reusable working memory for [`sync_round_with_scratch`].
+///
+/// Holds the accumulator slab, the updated-nodes bit vector, and the
+/// delta/canonical/combined row buffers a round needs. Constructed empty
+/// and grown on first use; after the first round on a given model shape,
+/// subsequent rounds perform **zero steady-state heap allocation** in the
+/// reduce/broadcast path (the `ModelCombinerPairwise` ablation combiner
+/// is the documented exception — it buffers deltas internally).
+#[derive(Debug, Default)]
+pub struct SyncScratch {
+    slab: NodeAccSlab,
+    updated: BitVec,
+    delta: Vec<f32>,
+    canonical: Vec<f32>,
+    combined: Vec<f32>,
+}
+
+impl SyncScratch {
+    /// Creates an empty scratch; buffers are sized on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Resizes a row buffer for the current layer's dimension (no-op at
+/// steady state, where consecutive rounds see the same dims).
+fn fit_row_buf(buf: &mut Vec<f32>, dim: usize) {
+    buf.clear();
+    buf.resize(dim, 0.0);
+}
+
+/// Runs one synchronization round over all replicas, allocating its
+/// working memory afresh.
+///
+/// Thin wrapper around [`sync_round_with_scratch`]; callers that
+/// synchronize repeatedly (the distributed trainer, benchmarks) should
+/// hold a [`SyncScratch`] across rounds instead.
 pub fn sync_round(
     replicas: &mut [ModelReplica],
     cfg: &SyncConfig,
     access: Option<&AccessSets>,
     stats: &mut CommStats,
+) -> RoundVolume {
+    let mut scratch = SyncScratch::new();
+    sync_round_with_scratch(replicas, cfg, access, stats, &mut scratch)
+}
+
+/// Runs one synchronization round over all replicas, reusing `scratch`.
+///
+/// `access` must be `Some` when `cfg.plan == PullModel`: for each host
+/// and layer, the set of nodes that host will access in its *next*
+/// compute round. Returns the round's per-host volume; cumulative
+/// counters are added to `stats`. Delta trackers are cleared on return.
+///
+/// The result is bit-for-bit identical whether `scratch` is fresh or
+/// carried over from previous rounds (pinned by tests below): hosts are
+/// still folded in id order and nodes applied in id order; the scratch
+/// only changes *where* the intermediate values live.
+pub fn sync_round_with_scratch(
+    replicas: &mut [ModelReplica],
+    cfg: &SyncConfig,
+    access: Option<&AccessSets>,
+    stats: &mut CommStats,
+    scratch: &mut SyncScratch,
 ) -> RoundVolume {
     let n_hosts = replicas.len();
     assert!(n_hosts > 0);
@@ -54,21 +184,31 @@ pub fn sync_round(
     let n_layers = replicas[0].n_layers();
     let mut volume = RoundVolume::new(n_hosts);
 
+    let SyncScratch {
+        slab,
+        updated,
+        delta,
+        canonical,
+        combined,
+    } = scratch;
+    slab.ensure_nodes(n_nodes);
+    if updated.len() != n_nodes {
+        *updated = BitVec::new(n_nodes);
+    }
+
     for layer in 0..n_layers {
         let dim = replicas[0].layers[layer].dim();
         let ebytes = entry_bytes(dim) as u64;
+        fit_row_buf(delta, dim);
+        fit_row_buf(canonical, dim);
+        fit_row_buf(combined, dim);
 
         // ---- Reduce phase: fold per-node deltas in host-id order. ----
-        let mut accs: Vec<Option<CombineAccumulator>> = (0..n_nodes).map(|_| None).collect();
-        let mut updated = BitVec::new(n_nodes);
-        let mut delta = vec![0.0f32; dim];
         for (h, replica) in replicas.iter().enumerate() {
             let tracker = replica.tracker(layer);
             for &node in tracker.touched_nodes() {
-                tracker.delta_into(node, replica.row(layer, node), &mut delta);
-                accs[node as usize]
-                    .get_or_insert_with(|| CombineAccumulator::new(cfg.combiner, dim))
-                    .push(&delta);
+                tracker.delta_into(node, replica.row(layer, node), delta);
+                slab.acc_mut(node, cfg.combiner, dim).push(delta);
                 updated.set(node as usize);
                 let owner = master_host(n_nodes, n_hosts, node);
                 if owner != h && cfg.plan != SyncPlan::RepModelNaive {
@@ -98,14 +238,10 @@ pub fn sync_round(
         }
 
         // ---- Apply combined deltas at masters; broadcast canonical. ----
-        let mut canonical = vec![0.0f32; dim];
         for node in updated.iter_ones() {
             let node_u = node as u32;
             let owner = master_host(n_nodes, n_hosts, node_u);
-            let combined = accs[node]
-                .take()
-                .expect("updated node has an accumulator")
-                .finish();
+            slab.finish_into(node_u, combined);
             {
                 let replica = &mut replicas[owner];
                 let (matrix, tracker) = replica.layer_and_tracker_mut(layer);
@@ -113,7 +249,7 @@ pub fn sync_round(
                 if tracker.is_touched(node_u) {
                     row.copy_from_slice(tracker.base_of(node_u));
                 }
-                for (r, c) in row.iter_mut().zip(&combined) {
+                for (r, c) in row.iter_mut().zip(combined.iter()) {
                     *r += c;
                 }
                 canonical.copy_from_slice(row);
@@ -126,7 +262,7 @@ pub fn sync_round(
                         continue;
                     }
                     rep.row_mut_untracked(layer, node_u)
-                        .copy_from_slice(&canonical);
+                        .copy_from_slice(canonical);
                     if cfg.plan == SyncPlan::RepModelOpt {
                         volume.record(owner, h, ebytes);
                         stats.broadcast_bytes += ebytes;
@@ -168,7 +304,7 @@ pub fn sync_round(
                         canonical.copy_from_slice(replicas[owner].row(layer, node_u));
                         replicas[h]
                             .row_mut_untracked(layer, node_u)
-                            .copy_from_slice(&canonical);
+                            .copy_from_slice(canonical);
                         volume.record(owner, h, ebytes);
                         stats.broadcast_bytes += ebytes;
                         stats.broadcast_msgs += 1;
@@ -177,6 +313,10 @@ pub fn sync_round(
             }
             SyncPlan::RepModelOpt => {}
         }
+
+        // Return this layer's slots and bits for the next layer/round.
+        slab.release_all();
+        updated.clear_all();
     }
 
     for replica in replicas.iter_mut() {
@@ -490,6 +630,57 @@ mod tests {
         assert_eq!(stats.total_bytes(), 0);
         // But the update is retained.
         assert_eq!(reps[0].row(0, 1)[0], 1.0 * 2.0 + 1.0);
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical_across_rounds() {
+        use gw2v_util::rng::{Rng64, Xoshiro256};
+        // A single SyncScratch carried across rounds (slots and buffers
+        // recycled, pool warm) must produce exactly the models a fresh
+        // scratch per round does — for every combiner, over enough rounds
+        // that the pool is actually reused.
+        for combiner in [
+            CombinerKind::Sum,
+            CombinerKind::Avg,
+            CombinerKind::ModelCombiner,
+            CombinerKind::ModelCombinerPairwise,
+        ] {
+            let cfg = cfg(SyncPlan::RepModelOpt, combiner);
+            let mut reused_reps = make_replicas(3, 10, 4);
+            let mut fresh_reps = make_replicas(3, 10, 4);
+            let mut s1 = CommStats::default();
+            let mut s2 = CommStats::default();
+            let mut scratch = SyncScratch::new();
+            let mut rng = Xoshiro256::new(99);
+            for round in 0..4 {
+                // Identical pseudo-random touches on both replica sets.
+                for h in 0..3 {
+                    for _ in 0..5 {
+                        let layer = rng.index(2);
+                        let node = rng.index(10) as u32;
+                        let slot = rng.index(4);
+                        let bump = rng.next_f32() - 0.5;
+                        reused_reps[h].row_mut(layer, node)[slot] += bump;
+                        fresh_reps[h].row_mut(layer, node)[slot] += bump;
+                    }
+                }
+                let v1 =
+                    sync_round_with_scratch(&mut reused_reps, &cfg, None, &mut s1, &mut scratch);
+                let v2 = sync_round(&mut fresh_reps, &cfg, None, &mut s2);
+                assert_eq!(
+                    v1.total_bytes(),
+                    v2.total_bytes(),
+                    "{combiner:?} round {round}"
+                );
+                for h in 0..3 {
+                    assert_eq!(
+                        reused_reps[h].layers, fresh_reps[h].layers,
+                        "{combiner:?} round {round} host {h}"
+                    );
+                }
+            }
+            assert_eq!(s1.total_bytes(), s2.total_bytes(), "{combiner:?}");
+        }
     }
 
     #[test]

@@ -15,11 +15,11 @@
 
 use crate::plan::{SyncConfig, SyncPlan};
 use crate::replica::ModelReplica;
+use crate::sync::NodeAccSlab;
 use crate::volume::CommStats;
 use crate::wire::{entry_bytes, RowDecoder, RowEncoder};
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use gw2v_combiner::CombineAccumulator;
 use gw2v_graph::partition::{master_block, master_host};
 use gw2v_util::bitvec::BitVec;
 use std::collections::HashMap;
@@ -100,16 +100,56 @@ where
     })
 }
 
-/// One synchronization round from a single host's perspective; every
-/// host must call this the same number of times with the same `cfg`.
+/// Reusable per-host working memory for [`sync_round_threaded_with_scratch`].
 ///
-/// `stats` accumulates the bytes *this host sends* (summing over hosts
-/// gives cluster totals).
+/// Mirrors the sequential engine's [`crate::sync::SyncScratch`]: the
+/// accumulator slab, per-layer updated bit vectors, and the row buffers
+/// are recycled across rounds, so the fold/apply path stops allocating
+/// once warm. What still allocates per round is inherent to the wire:
+/// `RowEncoder` payloads are frozen into shared [`Bytes`] handed to peer
+/// threads, and received messages own their buffers.
+#[derive(Debug, Default)]
+pub struct ThreadedSyncScratch {
+    slab: NodeAccSlab,
+    updated_per_layer: Vec<BitVec>,
+    delta: Vec<f32>,
+    combined: Vec<f32>,
+}
+
+impl ThreadedSyncScratch {
+    /// Creates an empty scratch; buffers are sized on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// One synchronization round from a single host's perspective, with
+/// per-round working memory allocated afresh.
+///
+/// Thin wrapper around [`sync_round_threaded_with_scratch`]; hosts that
+/// synchronize repeatedly should hold a [`ThreadedSyncScratch`] instead.
 pub fn sync_round_threaded(
     ctx: &HostCtx,
     replica: &mut ModelReplica,
     cfg: &SyncConfig,
     stats: &mut CommStats,
+) {
+    let mut scratch = ThreadedSyncScratch::new();
+    sync_round_threaded_with_scratch(ctx, replica, cfg, stats, &mut scratch)
+}
+
+/// One synchronization round from a single host's perspective, reusing
+/// `scratch`; every host must call this the same number of times with
+/// the same `cfg`.
+///
+/// `stats` accumulates the bytes *this host sends* (summing over hosts
+/// gives cluster totals).
+pub fn sync_round_threaded_with_scratch(
+    ctx: &HostCtx,
+    replica: &mut ModelReplica,
+    cfg: &SyncConfig,
+    stats: &mut CommStats,
+    scratch: &mut ThreadedSyncScratch,
 ) {
     assert!(
         cfg.plan != SyncPlan::PullModel,
@@ -119,22 +159,42 @@ pub fn sync_round_threaded(
     let n_nodes = replica.n_nodes();
     let n_layers = replica.n_layers();
 
+    let ThreadedSyncScratch {
+        slab,
+        updated_per_layer,
+        delta,
+        combined,
+    } = scratch;
+    slab.ensure_nodes(n_nodes);
+    if updated_per_layer.len() != n_layers
+        || updated_per_layer
+            .first()
+            .is_some_and(|b| b.len() != n_nodes)
+    {
+        *updated_per_layer = (0..n_layers).map(|_| BitVec::new(n_nodes)).collect();
+    } else {
+        for bv in updated_per_layer.iter_mut() {
+            bv.clear_all();
+        }
+    }
+
     // ---- Phase 1: ship touched-mirror deltas to masters. ----
     for layer in 0..n_layers {
         let dim = replica.layers[layer].dim();
         let mut encoders: HashMap<usize, RowEncoder> = HashMap::new();
-        let mut delta = vec![0.0f32; dim];
+        delta.clear();
+        delta.resize(dim, 0.0);
         let tracker = replica.tracker(layer);
         for &node in tracker.touched_nodes() {
             let owner = master_host(n_nodes, n_hosts, node);
             if owner == ctx.host {
                 continue;
             }
-            tracker.delta_into(node, replica.row(layer, node), &mut delta);
+            tracker.delta_into(node, replica.row(layer, node), delta);
             encoders
                 .entry(owner)
                 .or_insert_with(|| RowEncoder::new(dim))
-                .push(node, &delta);
+                .push(node, delta);
         }
         if cfg.plan == SyncPlan::RepModelNaive {
             // Dense plan also ships a zero delta for every untouched
@@ -177,30 +237,20 @@ pub fn sync_round_threaded(
     let incoming = ctx.recv_batch((n_hosts - 1) * n_layers);
     // Group by layer, order by source host so the fold order matches the
     // sequential engine (hosts 0..H, self included at its position).
+    // (These routing vectors borrow the received messages, so they cannot
+    // outlive the round; the heavy per-node state lives in `scratch`.)
     let mut by_layer: Vec<Vec<&Message>> = vec![Vec::new(); n_layers];
     for m in &incoming {
         by_layer[m.layer].push(m);
     }
-    // updated_per_layer[l] = owned nodes needing broadcast.
-    let mut updated_per_layer: Vec<BitVec> = (0..n_layers).map(|_| BitVec::new(n_nodes)).collect();
     for layer in 0..n_layers {
         let dim = replica.layers[layer].dim();
         by_layer[layer].sort_by_key(|m| m.from);
-        let mut accs: HashMap<u32, CombineAccumulator> = HashMap::new();
-        let mut order: Vec<u32> = Vec::new();
-        let push = |node: u32,
-                    delta: &[f32],
-                    accs: &mut HashMap<u32, CombineAccumulator>,
-                    order: &mut Vec<u32>| {
-            accs.entry(node)
-                .or_insert_with(|| {
-                    order.push(node);
-                    CombineAccumulator::new(cfg.combiner, dim)
-                })
-                .push(delta);
-        };
         let mut host_cursor = 0usize;
-        let mut delta = vec![0.0f32; dim];
+        delta.clear();
+        delta.resize(dim, 0.0);
+        combined.clear();
+        combined.resize(dim, 0.0);
         for h in 0..n_hosts {
             if h == ctx.host {
                 let tracker = replica.tracker(layer);
@@ -208,8 +258,8 @@ pub fn sync_round_threaded(
                     if master_host(n_nodes, n_hosts, node) != ctx.host {
                         continue;
                     }
-                    tracker.delta_into(node, replica.row(layer, node), &mut delta);
-                    push(node, &delta, &mut accs, &mut order);
+                    tracker.delta_into(node, replica.row(layer, node), delta);
+                    slab.acc_mut(node, cfg.combiner, dim).push(delta);
                     updated_per_layer[layer].set(node as usize);
                 }
             } else {
@@ -218,26 +268,26 @@ pub fn sync_round_threaded(
                 host_cursor += 1;
                 let mut dec = RowDecoder::new(msg.payload.clone(), dim);
                 while let Some((node, row)) = dec.next_entry() {
-                    push(node, row, &mut accs, &mut order);
+                    slab.acc_mut(node, cfg.combiner, dim).push(row);
                     updated_per_layer[layer].set(node as usize);
                 }
             }
         }
         // Apply in node-id order (matches the sequential engine, which
         // walks the updated bit vector in index order).
-        let mut sorted = order;
-        sorted.sort_unstable();
-        for node in sorted {
-            let combined = accs.remove(&node).expect("accumulated").finish();
+        for node in updated_per_layer[layer].iter_ones() {
+            let node_u = node as u32;
+            slab.finish_into(node_u, combined);
             let (matrix, tracker) = replica.layer_and_tracker_mut(layer);
-            let row = matrix.row_mut(node as usize);
-            if tracker.is_touched(node) {
-                row.copy_from_slice(tracker.base_of(node));
+            let row = matrix.row_mut(node);
+            if tracker.is_touched(node_u) {
+                row.copy_from_slice(tracker.base_of(node_u));
             }
-            for (r, c) in row.iter_mut().zip(&combined) {
+            for (r, c) in row.iter_mut().zip(combined.iter()) {
                 *r += c;
             }
         }
+        slab.release_all();
     }
     ctx.barrier_wait();
 
@@ -334,12 +384,21 @@ mod tests {
     ) -> (Vec<FlatMatrix>, CommStats) {
         let cfg = SyncConfig { plan, combiner };
         let results = run_cluster(n_hosts, |ctx| {
-            // All replicas start identical (same init seed).
+            // All replicas start identical (same init seed). Each host
+            // carries one scratch across rounds, so these equivalence
+            // tests also referee the recycled-scratch path bitwise.
             let mut replica = fresh_replica(n_nodes, dim, 7);
             let mut stats = CommStats::default();
+            let mut scratch = ThreadedSyncScratch::new();
             for round in 0..rounds {
                 apply_workload(&mut replica, ctx.host, round, n_nodes);
-                sync_round_threaded(&ctx, &mut replica, &cfg, &mut stats);
+                sync_round_threaded_with_scratch(
+                    &ctx,
+                    &mut replica,
+                    &cfg,
+                    &mut stats,
+                    &mut scratch,
+                );
             }
             (replica, stats)
         });

@@ -15,6 +15,13 @@ pub struct BitVec {
     len: usize,
 }
 
+impl Default for BitVec {
+    /// An empty (zero-bit) vector; resize by replacing with [`BitVec::new`].
+    fn default() -> Self {
+        Self::new(0)
+    }
+}
+
 impl BitVec {
     /// Creates a bit vector with `len` bits, all zero.
     pub fn new(len: usize) -> Self {

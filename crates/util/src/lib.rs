@@ -13,8 +13,11 @@
 //! * [`bitvec`] — a fixed-capacity bit vector used by the Gluon-style
 //!   communication substrate to track which graph nodes were touched in a
 //!   synchronization round.
-//! * [`fvec`] — unrolled `f32` vector kernels (dot, axpy, scale, norm)
-//!   that the SGNS inner loop is built from.
+//! * [`fvec`] — `f32` vector kernels (dot, axpy, scale, norm, fused SGNS
+//!   gradient step) that the SGNS inner loop is built from.
+//! * [`simd`] — the runtime-dispatched backends behind [`fvec`]:
+//!   AVX2+FMA where the host supports it, the portable scalar reference
+//!   otherwise (or when `GW2V_FORCE_SCALAR=1`).
 //! * [`stats`] — online statistics and summary helpers (mean, stddev,
 //!   geometric mean) used by the benchmark harness.
 //! * [`timer`] — phase timers that accumulate wall-clock time per named
@@ -27,6 +30,7 @@
 pub mod bitvec;
 pub mod fvec;
 pub mod rng;
+pub mod simd;
 pub mod stats;
 pub mod table;
 pub mod timer;

@@ -1,0 +1,525 @@
+//! Runtime-dispatched SIMD kernels for the dense `f32` hot paths.
+//!
+//! Every kernel exists twice: a portable scalar reference in [`scalar`]
+//! (the exact 4-way-unrolled code the workspace shipped with, kept
+//! bit-for-bit stable so forced-scalar runs reproduce historical results)
+//! and a hand-written AVX2+FMA implementation in the private `avx2`
+//! module. A process-wide dispatch table is selected once, on first use,
+//! by [`kernels`]:
+//!
+//! 1. if the `GW2V_FORCE_SCALAR` environment variable is set to `1` or
+//!    `true`, the scalar table is used unconditionally (tests, benches,
+//!    and bit-exact reproduction of pre-SIMD results);
+//! 2. otherwise, on x86/x86_64 hosts where `is_x86_feature_detected!`
+//!    reports both `avx2` and `fma`, the vector table is used;
+//! 3. otherwise the scalar table is the portable fallback.
+//!
+//! The public entry points in [`crate::fvec`] route through this table, so
+//! callers never name a backend. [`backend_name`] reports which table won,
+//! for logs and bench output.
+//!
+//! # Numerics
+//!
+//! The AVX2 kernels use fused multiply-add and 8/16-lane reassociation;
+//! results may differ from the scalar reference by a couple of ULPs per
+//! element (reductions like `dot` additionally reassociate the sum).
+//! NaN and ±∞ propagate the same way in both backends. The property suite
+//! in `tests/prop_simd.rs` pins scalar/SIMD agreement across lengths
+//! 0–512, including non-multiple-of-8 tails and non-finite inputs.
+
+use std::sync::OnceLock;
+
+/// Signature of the one-pass `(x·y, x·x, y·y)` kernel.
+pub type DotNormsFn = fn(x: &[f32], y: &[f32]) -> (f32, f32, f32);
+
+/// The per-backend kernel function table.
+///
+/// All slices must have matching lengths (debug-asserted); `fused_grad_step`
+/// requires `win`, `wout`, and `neu1e` to be non-overlapping, which Rust's
+/// borrow rules already guarantee for safe callers.
+#[derive(Debug, Clone, Copy)]
+pub struct Kernels {
+    /// Dot product `x · y`.
+    pub dot: fn(x: &[f32], y: &[f32]) -> f32,
+    /// `y += a · x`.
+    pub axpy: fn(a: f32, x: &[f32], y: &mut [f32]),
+    /// `x *= a`.
+    pub scale: fn(a: f32, x: &mut [f32]),
+    /// `out = x - y`.
+    pub sub_into: fn(x: &[f32], y: &[f32], out: &mut [f32]),
+    /// `x += y`.
+    pub add_assign: fn(x: &mut [f32], y: &[f32]),
+    /// One-pass `(x·y, x·x, y·y)` for cosine similarity.
+    pub dot_norms: DotNormsFn,
+    /// Fused SGNS gradient step: `neu1e += g·wout; wout += g·win`, reading
+    /// each row once (`wout` is read before it is updated).
+    pub fused_grad_step: fn(g: f32, win: &[f32], wout: &mut [f32], neu1e: &mut [f32]),
+}
+
+static SCALAR_KERNELS: Kernels = Kernels {
+    dot: scalar::dot,
+    axpy: scalar::axpy,
+    scale: scalar::scale,
+    sub_into: scalar::sub_into,
+    add_assign: scalar::add_assign,
+    dot_norms: scalar::dot_norms,
+    fused_grad_step: scalar::fused_grad_step,
+};
+
+#[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+static AVX2_KERNELS: Kernels = Kernels {
+    dot: |x, y| unsafe { avx2::dot(x, y) },
+    axpy: |a, x, y| unsafe { avx2::axpy(a, x, y) },
+    scale: |a, x| unsafe { avx2::scale(a, x) },
+    sub_into: |x, y, out| unsafe { avx2::sub_into(x, y, out) },
+    add_assign: |x, y| unsafe { avx2::add_assign(x, y) },
+    dot_norms: |x, y| unsafe { avx2::dot_norms(x, y) },
+    fused_grad_step: |g, win, wout, neu1e| unsafe { avx2::fused_grad_step(g, win, wout, neu1e) },
+};
+
+struct Selected {
+    kernels: &'static Kernels,
+    name: &'static str,
+}
+
+static SELECTED: OnceLock<Selected> = OnceLock::new();
+
+fn select() -> Selected {
+    if force_scalar() {
+        return Selected {
+            kernels: &SCALAR_KERNELS,
+            name: "scalar (forced by GW2V_FORCE_SCALAR)",
+        };
+    }
+    #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+        {
+            return Selected {
+                kernels: &AVX2_KERNELS,
+                name: "avx2+fma",
+            };
+        }
+    }
+    Selected {
+        kernels: &SCALAR_KERNELS,
+        name: "scalar",
+    }
+}
+
+/// True if `GW2V_FORCE_SCALAR` requests the scalar backend.
+pub fn force_scalar() -> bool {
+    matches!(
+        std::env::var("GW2V_FORCE_SCALAR").as_deref(),
+        Ok("1") | Ok("true")
+    )
+}
+
+/// The process-wide kernel table (selected once, on first call).
+#[inline]
+pub fn kernels() -> &'static Kernels {
+    SELECTED.get_or_init(select).kernels
+}
+
+/// Human-readable name of the selected backend.
+pub fn backend_name() -> &'static str {
+    SELECTED.get_or_init(select).name
+}
+
+/// Portable scalar reference kernels.
+///
+/// These are the workspace's original 4-way-unrolled loops, moved here
+/// verbatim: their exact operation order is load-bearing, because forced
+/// scalar runs (`GW2V_FORCE_SCALAR=1`) must reproduce pre-dispatch results
+/// bit-for-bit, and the SIMD property tests compare against them.
+pub mod scalar {
+    /// Dot product `x · y` with four independent accumulators, folded as
+    /// `(s0 + s1) + (s2 + s3)`.
+    #[inline]
+    pub fn dot(x: &[f32], y: &[f32]) -> f32 {
+        debug_assert_eq!(x.len(), y.len());
+        let n = x.len();
+        let chunks = n / 4;
+        let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+        for i in 0..chunks {
+            let b = i * 4;
+            s0 += x[b] * y[b];
+            s1 += x[b + 1] * y[b + 1];
+            s2 += x[b + 2] * y[b + 2];
+            s3 += x[b + 3] * y[b + 3];
+        }
+        let mut s = (s0 + s1) + (s2 + s3);
+        for i in chunks * 4..n {
+            s += x[i] * y[i];
+        }
+        s
+    }
+
+    /// `y += a * x`.
+    #[inline]
+    pub fn axpy(a: f32, x: &[f32], y: &mut [f32]) {
+        debug_assert_eq!(x.len(), y.len());
+        let n = x.len();
+        let chunks = n / 4;
+        for i in 0..chunks {
+            let b = i * 4;
+            y[b] += a * x[b];
+            y[b + 1] += a * x[b + 1];
+            y[b + 2] += a * x[b + 2];
+            y[b + 3] += a * x[b + 3];
+        }
+        for i in chunks * 4..n {
+            y[i] += a * x[i];
+        }
+    }
+
+    /// `x *= a`.
+    #[inline]
+    pub fn scale(a: f32, x: &mut [f32]) {
+        for v in x {
+            *v *= a;
+        }
+    }
+
+    /// `out = x - y`.
+    #[inline]
+    pub fn sub_into(x: &[f32], y: &[f32], out: &mut [f32]) {
+        debug_assert_eq!(x.len(), y.len());
+        debug_assert_eq!(x.len(), out.len());
+        for i in 0..x.len() {
+            out[i] = x[i] - y[i];
+        }
+    }
+
+    /// `x += y`.
+    #[inline]
+    pub fn add_assign(x: &mut [f32], y: &[f32]) {
+        axpy(1.0, y, x);
+    }
+
+    /// One-pass `(x·y, x·x, y·y)`. Each reduction uses the same four
+    /// accumulators and fold order as [`dot`], so the three results are
+    /// bit-identical to three separate `dot` calls.
+    #[inline]
+    pub fn dot_norms(x: &[f32], y: &[f32]) -> (f32, f32, f32) {
+        debug_assert_eq!(x.len(), y.len());
+        let n = x.len();
+        let chunks = n / 4;
+        let mut xy = [0.0f32; 4];
+        let mut xx = [0.0f32; 4];
+        let mut yy = [0.0f32; 4];
+        for i in 0..chunks {
+            let b = i * 4;
+            for l in 0..4 {
+                let (a, c) = (x[b + l], y[b + l]);
+                xy[l] += a * c;
+                xx[l] += a * a;
+                yy[l] += c * c;
+            }
+        }
+        let mut sxy = (xy[0] + xy[1]) + (xy[2] + xy[3]);
+        let mut sxx = (xx[0] + xx[1]) + (xx[2] + xx[3]);
+        let mut syy = (yy[0] + yy[1]) + (yy[2] + yy[3]);
+        for i in chunks * 4..n {
+            let (a, c) = (x[i], y[i]);
+            sxy += a * c;
+            sxx += a * a;
+            syy += c * c;
+        }
+        (sxy, sxx, syy)
+    }
+
+    /// Fused SGNS gradient step. Element-wise this is exactly
+    /// `axpy(g, wout, neu1e)` followed by `axpy(g, win, wout)`: each lane
+    /// is independent, so fusing the loops preserves bitwise results.
+    #[inline]
+    pub fn fused_grad_step(g: f32, win: &[f32], wout: &mut [f32], neu1e: &mut [f32]) {
+        debug_assert_eq!(win.len(), wout.len());
+        debug_assert_eq!(win.len(), neu1e.len());
+        for i in 0..win.len() {
+            let w = wout[i];
+            neu1e[i] += g * w;
+            wout[i] = w + g * win[i];
+        }
+    }
+}
+
+/// AVX2+FMA kernels. Callers must have verified `avx2` and `fma` support
+/// (the dispatch table in [`select`] does).
+#[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+mod avx2 {
+    #[cfg(target_arch = "x86")]
+    use std::arch::x86::*;
+    #[cfg(target_arch = "x86_64")]
+    use std::arch::x86_64::*;
+
+    /// Horizontal sum of the 8 lanes.
+    #[inline]
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn hsum(v: __m256) -> f32 {
+        // Register-only intrinsics are safe inside a matching
+        // #[target_feature] fn; no inner unsafe block needed.
+        let lo = _mm256_castps256_ps128(v);
+        let hi = _mm256_extractf128_ps(v, 1);
+        let quad = _mm_add_ps(lo, hi);
+        let duo = _mm_add_ps(quad, _mm_movehl_ps(quad, quad));
+        let one = _mm_add_ss(duo, _mm_movehdup_ps(duo));
+        _mm_cvtss_f32(one)
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn dot(x: &[f32], y: &[f32]) -> f32 {
+        debug_assert_eq!(x.len(), y.len());
+        let n = x.len();
+        let xp = x.as_ptr();
+        let yp = y.as_ptr();
+        // SAFETY: all loads stay within `n` elements of the slices.
+        unsafe {
+            let mut acc0 = _mm256_setzero_ps();
+            let mut acc1 = _mm256_setzero_ps();
+            let mut i = 0usize;
+            while i + 16 <= n {
+                acc0 =
+                    _mm256_fmadd_ps(_mm256_loadu_ps(xp.add(i)), _mm256_loadu_ps(yp.add(i)), acc0);
+                acc1 = _mm256_fmadd_ps(
+                    _mm256_loadu_ps(xp.add(i + 8)),
+                    _mm256_loadu_ps(yp.add(i + 8)),
+                    acc1,
+                );
+                i += 16;
+            }
+            if i + 8 <= n {
+                acc0 =
+                    _mm256_fmadd_ps(_mm256_loadu_ps(xp.add(i)), _mm256_loadu_ps(yp.add(i)), acc0);
+                i += 8;
+            }
+            let mut s = hsum(_mm256_add_ps(acc0, acc1));
+            while i < n {
+                s = x[i].mul_add(y[i], s);
+                i += 1;
+            }
+            s
+        }
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn axpy(a: f32, x: &[f32], y: &mut [f32]) {
+        debug_assert_eq!(x.len(), y.len());
+        let n = x.len();
+        let xp = x.as_ptr();
+        let yp = y.as_mut_ptr();
+        // SAFETY: all loads/stores stay within `n` elements.
+        unsafe {
+            let va = _mm256_set1_ps(a);
+            let mut i = 0usize;
+            while i + 8 <= n {
+                let v = _mm256_fmadd_ps(va, _mm256_loadu_ps(xp.add(i)), _mm256_loadu_ps(yp.add(i)));
+                _mm256_storeu_ps(yp.add(i), v);
+                i += 8;
+            }
+            while i < n {
+                y[i] = a.mul_add(x[i], y[i]);
+                i += 1;
+            }
+        }
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn scale(a: f32, x: &mut [f32]) {
+        let n = x.len();
+        let xp = x.as_mut_ptr();
+        // SAFETY: all loads/stores stay within `n` elements.
+        unsafe {
+            let va = _mm256_set1_ps(a);
+            let mut i = 0usize;
+            while i + 8 <= n {
+                _mm256_storeu_ps(xp.add(i), _mm256_mul_ps(va, _mm256_loadu_ps(xp.add(i))));
+                i += 8;
+            }
+            while i < n {
+                x[i] *= a;
+                i += 1;
+            }
+        }
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn sub_into(x: &[f32], y: &[f32], out: &mut [f32]) {
+        debug_assert_eq!(x.len(), y.len());
+        debug_assert_eq!(x.len(), out.len());
+        let n = x.len();
+        let xp = x.as_ptr();
+        let yp = y.as_ptr();
+        let op = out.as_mut_ptr();
+        // SAFETY: all loads/stores stay within `n` elements.
+        unsafe {
+            let mut i = 0usize;
+            while i + 8 <= n {
+                _mm256_storeu_ps(
+                    op.add(i),
+                    _mm256_sub_ps(_mm256_loadu_ps(xp.add(i)), _mm256_loadu_ps(yp.add(i))),
+                );
+                i += 8;
+            }
+            while i < n {
+                out[i] = x[i] - y[i];
+                i += 1;
+            }
+        }
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn add_assign(x: &mut [f32], y: &[f32]) {
+        debug_assert_eq!(x.len(), y.len());
+        let n = x.len();
+        let xp = x.as_mut_ptr();
+        let yp = y.as_ptr();
+        // SAFETY: all loads/stores stay within `n` elements.
+        unsafe {
+            let mut i = 0usize;
+            while i + 8 <= n {
+                _mm256_storeu_ps(
+                    xp.add(i),
+                    _mm256_add_ps(_mm256_loadu_ps(xp.add(i)), _mm256_loadu_ps(yp.add(i))),
+                );
+                i += 8;
+            }
+            while i < n {
+                x[i] += y[i];
+                i += 1;
+            }
+        }
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn dot_norms(x: &[f32], y: &[f32]) -> (f32, f32, f32) {
+        debug_assert_eq!(x.len(), y.len());
+        let n = x.len();
+        let xp = x.as_ptr();
+        let yp = y.as_ptr();
+        // SAFETY: all loads stay within `n` elements.
+        unsafe {
+            let mut axy = _mm256_setzero_ps();
+            let mut axx = _mm256_setzero_ps();
+            let mut ayy = _mm256_setzero_ps();
+            let mut i = 0usize;
+            while i + 8 <= n {
+                let vx = _mm256_loadu_ps(xp.add(i));
+                let vy = _mm256_loadu_ps(yp.add(i));
+                axy = _mm256_fmadd_ps(vx, vy, axy);
+                axx = _mm256_fmadd_ps(vx, vx, axx);
+                ayy = _mm256_fmadd_ps(vy, vy, ayy);
+                i += 8;
+            }
+            let mut sxy = hsum(axy);
+            let mut sxx = hsum(axx);
+            let mut syy = hsum(ayy);
+            while i < n {
+                let (a, c) = (x[i], y[i]);
+                sxy = a.mul_add(c, sxy);
+                sxx = a.mul_add(a, sxx);
+                syy = c.mul_add(c, syy);
+                i += 1;
+            }
+            (sxy, sxx, syy)
+        }
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn fused_grad_step(g: f32, win: &[f32], wout: &mut [f32], neu1e: &mut [f32]) {
+        debug_assert_eq!(win.len(), wout.len());
+        debug_assert_eq!(win.len(), neu1e.len());
+        let n = win.len();
+        let ip = win.as_ptr();
+        let op = wout.as_mut_ptr();
+        let np = neu1e.as_mut_ptr();
+        // SAFETY: all loads/stores stay within `n` elements; the three
+        // slices are disjoint by Rust's aliasing rules.
+        unsafe {
+            let vg = _mm256_set1_ps(g);
+            let mut i = 0usize;
+            while i + 8 <= n {
+                let vout = _mm256_loadu_ps(op.add(i));
+                let vn = _mm256_fmadd_ps(vg, vout, _mm256_loadu_ps(np.add(i)));
+                _mm256_storeu_ps(np.add(i), vn);
+                let vw = _mm256_fmadd_ps(vg, _mm256_loadu_ps(ip.add(i)), vout);
+                _mm256_storeu_ps(op.add(i), vw);
+                i += 8;
+            }
+            while i < n {
+                let w = wout[i];
+                neu1e[i] = g.mul_add(w, neu1e[i]);
+                wout[i] = g.mul_add(win[i], w);
+                i += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dispatch_is_stable_and_named() {
+        let a = kernels() as *const Kernels;
+        let b = kernels() as *const Kernels;
+        assert_eq!(a, b, "dispatch table must be selected exactly once");
+        let name = backend_name();
+        assert!(
+            name.contains("scalar") || name == "avx2+fma",
+            "unexpected backend name {name:?}"
+        );
+    }
+
+    #[test]
+    fn scalar_fused_grad_step_matches_axpy_pair_bitwise() {
+        let dims = [0usize, 1, 3, 8, 15, 64, 100, 200];
+        for &d in &dims {
+            let g = 0.37f32;
+            let win: Vec<f32> = (0..d).map(|i| (i as f32) * 0.11 - 2.0).collect();
+            let mut wout: Vec<f32> = (0..d).map(|i| 1.0 / (i as f32 + 1.5)).collect();
+            let mut neu1e: Vec<f32> = (0..d).map(|i| (i as f32) * -0.05).collect();
+            let mut wout_ref = wout.clone();
+            let mut neu1e_ref = neu1e.clone();
+            scalar::axpy(g, &wout_ref, &mut neu1e_ref);
+            scalar::axpy(g, &win, &mut wout_ref);
+            scalar::fused_grad_step(g, &win, &mut wout, &mut neu1e);
+            assert_eq!(wout, wout_ref, "wout diverged at dim {d}");
+            assert_eq!(neu1e, neu1e_ref, "neu1e diverged at dim {d}");
+        }
+    }
+
+    #[test]
+    fn scalar_dot_norms_matches_three_dots_bitwise() {
+        for d in [0usize, 1, 2, 5, 8, 33, 128, 200] {
+            let x: Vec<f32> = (0..d).map(|i| (i as f32).sin()).collect();
+            let y: Vec<f32> = (0..d).map(|i| (i as f32 * 0.7).cos()).collect();
+            let (xy, xx, yy) = scalar::dot_norms(&x, &y);
+            assert_eq!(xy.to_bits(), scalar::dot(&x, &y).to_bits());
+            assert_eq!(xx.to_bits(), scalar::dot(&x, &x).to_bits());
+            assert_eq!(yy.to_bits(), scalar::dot(&y, &y).to_bits());
+        }
+    }
+
+    #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+    #[test]
+    fn avx2_table_close_to_scalar_when_supported() {
+        if !(std::arch::is_x86_feature_detected!("avx2")
+            && std::arch::is_x86_feature_detected!("fma"))
+        {
+            return;
+        }
+        let k = &AVX2_KERNELS;
+        for d in [0usize, 1, 7, 8, 9, 64, 100, 200] {
+            let x: Vec<f32> = (0..d).map(|i| (i as f32) * 0.013 - 1.0).collect();
+            let y: Vec<f32> = (0..d).map(|i| ((i * 7) % 13) as f32 * 0.1 - 0.5).collect();
+            let simd = (k.dot)(&x, &y);
+            let reference = scalar::dot(&x, &y);
+            assert!(
+                (simd - reference).abs() <= 1e-4 * (1.0 + reference.abs()),
+                "dim {d}: {simd} vs {reference}"
+            );
+        }
+    }
+}

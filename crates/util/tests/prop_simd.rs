@@ -1,0 +1,321 @@
+//! SIMD-vs-scalar equivalence suite.
+//!
+//! The dispatched kernels (`fvec::*`, AVX2+FMA on hosts that support it)
+//! must agree with the portable scalar reference (`simd::scalar::*`) on
+//! every input shape the trainers produce:
+//!
+//! * all lengths 0..=512, including every non-multiple-of-8 tail, so both
+//!   the 16-wide/8-wide vector bodies and the scalar tail paths are hit;
+//! * within a scaled ~2-ULP-per-accumulation tolerance for reductions
+//!   (the two backends sum in different association orders) and a 1-ULP
+//!   FMA tolerance for element-wise kernels (FMA rounds `a*x + y` once,
+//!   mul+add rounds twice);
+//! * bit-exactly for kernels with one rounding per element (`scale`,
+//!   `sub_into`, `add_assign`);
+//! * propagating NaN/∞ identically (a lane is NaN under one backend iff
+//!   it is NaN under the other).
+//!
+//! Run with `GW2V_FORCE_SCALAR=1` the dispatched side *is* the scalar
+//! reference and every comparison collapses to exact equality — which is
+//! how the seed's pre-SIMD results are reproduced.
+
+use gw2v_util::fvec;
+use gw2v_util::simd::scalar;
+use proptest::prelude::*;
+
+/// Relative closeness for element-wise FMA-vs-mul+add differences:
+/// one rounding of difference on a term of magnitude `scale`.
+fn fma_close(a: f32, b: f32, scale: f32) -> bool {
+    if a == b || (a.is_nan() && b.is_nan()) {
+        return true;
+    }
+    (a - b).abs() <= 2.0 * f32::EPSILON * (scale + a.abs().max(b.abs())) + 1e-30
+}
+
+/// Closeness for reductions over `n` terms whose absolute sum is
+/// `abs_sum`: the backends associate differently, so allow ~2 ULP per
+/// accumulation step, scaled by the mass actually summed.
+fn reduce_close(a: f32, b: f32, n: usize, abs_sum: f32) -> bool {
+    if a == b || (a.is_nan() && b.is_nan()) {
+        return true;
+    }
+    let steps = (n as f32).max(8.0);
+    (a - b).abs() <= 2.0 * f32::EPSILON * steps * (abs_sum + a.abs().max(b.abs())) + 1e-30
+}
+
+/// Deterministic patterned vector: varied signs and magnitudes, no two
+/// adjacent lanes equal, so lane-shuffling bugs can't cancel out.
+fn pattern(n: usize, salt: u32) -> Vec<f32> {
+    (0..n)
+        .map(|i| {
+            let k = (i as u32).wrapping_mul(2654435761).wrapping_add(salt);
+            let mag = ((k >> 8) & 0xFF) as f32 / 32.0 - 4.0;
+            if k & 1 == 0 {
+                mag
+            } else {
+                -mag * 0.75
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn dot_matches_scalar_all_lengths_0_to_512() {
+    for n in 0..=512usize {
+        let x = pattern(n, 1);
+        let y = pattern(n, 2);
+        let got = fvec::dot(&x, &y);
+        let want = scalar::dot(&x, &y);
+        let abs_sum: f32 = x.iter().zip(&y).map(|(a, b)| (a * b).abs()).sum();
+        assert!(
+            reduce_close(got, want, n, abs_sum),
+            "dot n={n}: {got} vs {want}"
+        );
+    }
+}
+
+#[test]
+fn dot_norms_matches_scalar_all_lengths_0_to_512() {
+    for n in 0..=512usize {
+        let x = pattern(n, 3);
+        let y = pattern(n, 4);
+        let (xy, xx, yy) = fvec::dot_norms(&x, &y);
+        let (sxy, sxx, syy) = scalar::dot_norms(&x, &y);
+        let mass =
+            |p: &[f32], q: &[f32]| -> f32 { p.iter().zip(q).map(|(a, b)| (a * b).abs()).sum() };
+        assert!(reduce_close(xy, sxy, n, mass(&x, &y)), "xy n={n}");
+        assert!(reduce_close(xx, sxx, n, mass(&x, &x)), "xx n={n}");
+        assert!(reduce_close(yy, syy, n, mass(&y, &y)), "yy n={n}");
+    }
+}
+
+#[test]
+fn axpy_matches_scalar_all_lengths_0_to_512() {
+    for n in 0..=512usize {
+        let a = 0.37f32;
+        let x = pattern(n, 5);
+        let mut y = pattern(n, 6);
+        let mut y_ref = y.clone();
+        fvec::axpy(a, &x, &mut y);
+        scalar::axpy(a, &x, &mut y_ref);
+        for i in 0..n {
+            assert!(
+                fma_close(y[i], y_ref[i], (a * x[i]).abs()),
+                "axpy n={n} lane {i}: {} vs {}",
+                y[i],
+                y_ref[i]
+            );
+        }
+    }
+}
+
+#[test]
+fn fused_grad_step_matches_scalar_all_lengths_0_to_512() {
+    for n in 0..=512usize {
+        let g = -0.21f32;
+        let win = pattern(n, 7);
+        let mut wout = pattern(n, 8);
+        let mut neu1e = pattern(n, 9);
+        let wout_old = wout.clone();
+        let mut wout_ref = wout.clone();
+        let mut neu1e_ref = neu1e.clone();
+        fvec::fused_grad_step(g, &win, &mut wout, &mut neu1e);
+        scalar::fused_grad_step(g, &win, &mut wout_ref, &mut neu1e_ref);
+        for i in 0..n {
+            // neu1e's FMA multiplies g by the *pre-update* wout.
+            assert!(
+                fma_close(neu1e[i], neu1e_ref[i], (g * wout_old[i]).abs()),
+                "fused neu1e n={n} lane {i}"
+            );
+            assert!(
+                fma_close(wout[i], wout_ref[i], (g * win[i]).abs()),
+                "fused wout n={n} lane {i}"
+            );
+        }
+    }
+}
+
+#[test]
+fn single_rounding_kernels_match_scalar_bitwise() {
+    // scale, sub_into, and add_assign perform exactly one IEEE operation
+    // per lane on both backends, so the results must be bit-identical.
+    for n in 0..=512usize {
+        let x = pattern(n, 10);
+        let y = pattern(n, 11);
+
+        let mut s = x.clone();
+        let mut s_ref = x.clone();
+        fvec::scale(1.7, &mut s);
+        scalar::scale(1.7, &mut s_ref);
+        assert_eq!(s, s_ref, "scale n={n}");
+
+        let mut d = vec![0.0; n];
+        let mut d_ref = vec![0.0; n];
+        fvec::sub_into(&x, &y, &mut d);
+        scalar::sub_into(&x, &y, &mut d_ref);
+        assert_eq!(d, d_ref, "sub_into n={n}");
+
+        let mut a = x.clone();
+        let mut a_ref = x.clone();
+        fvec::add_assign(&mut a, &y);
+        scalar::add_assign(&mut a_ref, &y);
+        assert_eq!(a, a_ref, "add_assign n={n}");
+    }
+}
+
+#[test]
+fn nan_and_infinity_propagate_identically() {
+    // Specials planted in the vector body, at a lane straddling the
+    // 8-wide boundary, and in the scalar tail.
+    let specials = [f32::NAN, f32::INFINITY, f32::NEG_INFINITY];
+    for n in [1usize, 7, 8, 9, 16, 19, 67] {
+        for &s in &specials {
+            for pos in [0, n / 2, n - 1] {
+                let mut x = pattern(n, 12);
+                x[pos] = s;
+                let y = pattern(n, 13);
+
+                let got = fvec::dot(&x, &y);
+                let want = scalar::dot(&x, &y);
+                assert_eq!(
+                    got.is_nan(),
+                    want.is_nan(),
+                    "dot NaN-ness n={n} pos={pos} s={s}"
+                );
+                if !want.is_nan() {
+                    assert_eq!(got, want, "dot special n={n} pos={pos} s={s}");
+                }
+
+                let mut y1 = y.clone();
+                let mut y2 = y.clone();
+                fvec::axpy(1.5, &x, &mut y1);
+                scalar::axpy(1.5, &x, &mut y2);
+                for i in 0..n {
+                    assert_eq!(
+                        y1[i].is_nan(),
+                        y2[i].is_nan(),
+                        "axpy NaN lane n={n} pos={pos} lane={i}"
+                    );
+                    if !y2[i].is_nan() {
+                        assert_eq!(y1[i], y2[i], "axpy lane n={n} pos={pos} lane={i}");
+                    }
+                }
+
+                // inf − inf and inf + (−inf) must turn into NaN on both.
+                let mut d1 = vec![0.0; n];
+                let mut d2 = vec![0.0; n];
+                fvec::sub_into(&x, &x, &mut d1);
+                scalar::sub_into(&x, &x, &mut d2);
+                assert_eq!(
+                    d1.iter().map(|v| v.is_nan()).collect::<Vec<_>>(),
+                    d2.iter().map(|v| v.is_nan()).collect::<Vec<_>>(),
+                    "sub_into NaN pattern n={n} pos={pos} s={s}"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn prop_dot_matches_scalar(
+        pairs in proptest::collection::vec((-50.0f32..50.0, -50.0f32..50.0), 0..512)
+    ) {
+        let (x, y): (Vec<f32>, Vec<f32>) = pairs.into_iter().unzip();
+        let got = fvec::dot(&x, &y);
+        let want = scalar::dot(&x, &y);
+        let abs_sum: f32 = x.iter().zip(&y).map(|(a, b)| (a * b).abs()).sum();
+        prop_assert!(
+            reduce_close(got, want, x.len(), abs_sum),
+            "n={}: {} vs {}", x.len(), got, want
+        );
+    }
+
+    #[test]
+    fn prop_dot_norms_matches_three_dots(
+        pairs in proptest::collection::vec((-20.0f32..20.0, -20.0f32..20.0), 0..512)
+    ) {
+        let (x, y): (Vec<f32>, Vec<f32>) = pairs.into_iter().unzip();
+        let (xy, xx, yy) = fvec::dot_norms(&x, &y);
+        let n = x.len();
+        let mass = |p: &[f32], q: &[f32]| -> f32 {
+            p.iter().zip(q).map(|(a, b)| (a * b).abs()).sum()
+        };
+        prop_assert!(reduce_close(xy, fvec::dot(&x, &y), n, mass(&x, &y)));
+        prop_assert!(reduce_close(xx, fvec::dot(&x, &x), n, mass(&x, &x)));
+        prop_assert!(reduce_close(yy, fvec::dot(&y, &y), n, mass(&y, &y)));
+    }
+
+    #[test]
+    fn prop_axpy_matches_scalar(
+        a in -4.0f32..4.0,
+        pairs in proptest::collection::vec((-50.0f32..50.0, -50.0f32..50.0), 0..512)
+    ) {
+        let (x, y0): (Vec<f32>, Vec<f32>) = pairs.into_iter().unzip();
+        let mut y = y0.clone();
+        let mut y_ref = y0;
+        fvec::axpy(a, &x, &mut y);
+        scalar::axpy(a, &x, &mut y_ref);
+        for i in 0..x.len() {
+            prop_assert!(
+                fma_close(y[i], y_ref[i], (a * x[i]).abs()),
+                "lane {}: {} vs {}", i, y[i], y_ref[i]
+            );
+        }
+    }
+
+    #[test]
+    fn prop_fused_grad_step_is_axpy_pair(
+        g in -2.0f32..2.0,
+        triples in proptest::collection::vec(
+            (-20.0f32..20.0, -20.0f32..20.0, -20.0f32..20.0), 0..512)
+    ) {
+        // The fused kernel must equal the two-axpy sequence it replaces,
+        // computed by the scalar reference (which is exactly that pair).
+        let n = triples.len();
+        let mut win = Vec::with_capacity(n);
+        let mut wout = Vec::with_capacity(n);
+        let mut neu1e = Vec::with_capacity(n);
+        for (a, b, c) in triples {
+            win.push(a);
+            wout.push(b);
+            neu1e.push(c);
+        }
+        let wout_old = wout.clone();
+        let (mut wout_ref, mut neu1e_ref) = (wout.clone(), neu1e.clone());
+        scalar::axpy(g, &wout_old, &mut neu1e_ref);
+        scalar::axpy(g, &win, &mut wout_ref);
+        fvec::fused_grad_step(g, &win, &mut wout, &mut neu1e);
+        for i in 0..n {
+            // neu1e's FMA multiplies g by the *pre-update* wout.
+            prop_assert!(fma_close(neu1e[i], neu1e_ref[i], (g * wout_old[i]).abs()));
+            prop_assert!(fma_close(wout[i], wout_ref[i], (g * win[i]).abs()));
+        }
+    }
+
+    #[test]
+    fn prop_single_rounding_kernels_bitwise(
+        a in -4.0f32..4.0,
+        pairs in proptest::collection::vec((-50.0f32..50.0, -50.0f32..50.0), 0..512)
+    ) {
+        let (x, y): (Vec<f32>, Vec<f32>) = pairs.into_iter().unzip();
+        let mut s = x.clone();
+        let mut s_ref = x.clone();
+        fvec::scale(a, &mut s);
+        scalar::scale(a, &mut s_ref);
+        prop_assert_eq!(s, s_ref);
+
+        let n = x.len();
+        let mut d = vec![0.0; n];
+        let mut d_ref = vec![0.0; n];
+        fvec::sub_into(&x, &y, &mut d);
+        scalar::sub_into(&x, &y, &mut d_ref);
+        prop_assert_eq!(d, d_ref);
+
+        let mut t = x.clone();
+        let mut t_ref = x;
+        fvec::add_assign(&mut t, &y);
+        scalar::add_assign(&mut t_ref, &y);
+        prop_assert_eq!(t, t_ref);
+    }
+}

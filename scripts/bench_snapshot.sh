@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Benchmark snapshot: run the criterion microbenches twice — once with the
+# runtime-dispatched kernels (AVX2+FMA where available) and once with
+# GW2V_FORCE_SCALAR=1 — and emit a machine-readable JSON file with the
+# per-benchmark ns/iter for both backends and the scalar/simd speedup.
+#
+# Usage:
+#   scripts/bench_snapshot.sh [output.json]
+#
+# Defaults to BENCH_<YYYY-MM-DD>.json in the repo root. The per-benchmark
+# measurement budget can be tuned with GW2V_BENCH_MS (ms, default 300).
+#
+# The vendored criterion stub prints one line per benchmark:
+#   BENCH_RESULT\t<group>/<id>\t<ns_per_iter>\t<iters>
+# which is all this script parses — no jq or python required.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_$(date +%F).json}"
+BENCHES=(sgns_kernels combiner_ops sync_plans epoch_end_to_end)
+
+echo "building benches (release)..." >&2
+cargo build --release --benches -q
+
+run_backend() { # $1 = "1" to force scalar, $2 = output tsv
+    local force="$1" out="$2"
+    : >"$out"
+    for b in "${BENCHES[@]}"; do
+        echo "running $b (GW2V_FORCE_SCALAR=$force)..." >&2
+        GW2V_FORCE_SCALAR="$force" cargo bench -q -p gw2v-bench --bench "$b" 2>/dev/null |
+            grep -a $'^BENCH_RESULT\t' >>"$out"
+    done
+}
+
+SCALAR_TSV="$(mktemp)"
+SIMD_TSV="$(mktemp)"
+trap 'rm -f "$SCALAR_TSV" "$SIMD_TSV"' EXIT
+
+run_backend 1 "$SCALAR_TSV"
+run_backend 0 "$SIMD_TSV"
+
+awk -F'\t' -v date="$(date +%F)" -v host="$(uname -sm)" '
+    FNR == 1 { file++ }
+    file == 1 { scalar[$2] = $3; order[++n] = $2 }
+    file == 2 { simd[$2] = $3 }
+    END {
+        printf "{\n"
+        printf "  \"date\": \"%s\",\n", date
+        printf "  \"host\": \"%s\",\n", host
+        printf "  \"unit\": \"ns_per_iter\",\n"
+        printf "  \"benchmarks\": [\n"
+        for (i = 1; i <= n; i++) {
+            id = order[i]
+            sp = (simd[id] > 0) ? scalar[id] / simd[id] : 0
+            printf "    {\"id\": \"%s\", \"scalar_ns\": %.1f, \"simd_ns\": %.1f, \"speedup\": %.3f}%s\n", \
+                id, scalar[id], simd[id], sp, (i < n ? "," : "")
+        }
+        printf "  ]\n}\n"
+    }
+' "$SCALAR_TSV" "$SIMD_TSV" >"$OUT"
+
+echo "wrote $OUT" >&2
+grep -o '{"id"[^}]*}' "$OUT" >&2

@@ -81,7 +81,10 @@ fn full_disk_pipeline() {
     .expect("questions");
     let n = words.len() as u64;
     let reload_vocab = Vocabulary::from_counts(
-        words.into_iter().enumerate().map(|(i, w)| (w, n - i as u64)),
+        words
+            .into_iter()
+            .enumerate()
+            .map(|(i, w)| (w, n - i as u64)),
         1,
     );
     let report = evaluate(&reloaded, &reload_vocab, &questions);

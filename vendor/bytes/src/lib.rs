@@ -1,0 +1,189 @@
+//! Minimal, self-contained stand-in for the `bytes` crate.
+//!
+//! Implements the surface the gluon wire format uses: an owned growable
+//! [`BytesMut`], a cheaply-cloneable immutable [`Bytes`] view
+//! (`Arc`-backed), and the [`Buf`]/[`BufMut`] traits with little-endian
+//! `u32`/`f32` accessors.
+
+use std::ops::Range;
+use std::sync::Arc;
+
+/// Write side: append-only byte buffer.
+#[derive(Debug, Default)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Empty buffer with `cap` reserved bytes.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Ensures room for `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.buf.reserve(additional);
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Freezes into an immutable, cheaply-cloneable buffer.
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            data: Arc::new(self.buf),
+            start: 0,
+            end: usize::MAX, // resolved lazily against data.len()
+        }
+        .normalized()
+    }
+}
+
+/// Read side: immutable shared byte buffer (a view into `Arc<Vec<u8>>`).
+#[derive(Debug, Clone)]
+pub struct Bytes {
+    data: Arc<Vec<u8>>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    fn normalized(mut self) -> Self {
+        if self.end == usize::MAX {
+            self.end = self.data.len();
+        }
+        self
+    }
+
+    /// Length of this view in bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True if the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start >= self.end
+    }
+
+    /// Sub-view over `range` (relative to this view).
+    pub fn slice(&self, range: Range<usize>) -> Bytes {
+        assert!(
+            range.start <= range.end && self.start + range.end <= self.end,
+            "slice {range:?} out of bounds for buffer of length {}",
+            self.len()
+        );
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + range.start,
+            end: self.start + range.end,
+        }
+    }
+
+    /// The bytes of this view.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+
+    fn take(&mut self, n: usize) -> &[u8] {
+        assert!(self.start + n <= self.end, "buffer underflow");
+        let out = &self.data[self.start..self.start + n];
+        self.start += n;
+        out
+    }
+}
+
+/// Sequential little-endian reads that advance a cursor.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// True if any bytes are left.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+    /// Reads a little-endian `u32`, advancing 4 bytes.
+    fn get_u32_le(&mut self) -> u32;
+    /// Reads a little-endian `f32`, advancing 4 bytes.
+    fn get_f32_le(&mut self) -> f32;
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        let b = self.take(4);
+        u32::from_le_bytes([b[0], b[1], b[2], b[3]])
+    }
+
+    fn get_f32_le(&mut self) -> f32 {
+        f32::from_bits(self.get_u32_le())
+    }
+}
+
+/// Sequential little-endian appends.
+pub trait BufMut {
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32);
+    /// Appends a little-endian `f32` (bit-preserving, including NaN).
+    fn put_f32_le(&mut self, v: f32);
+}
+
+impl BufMut for BytesMut {
+    fn put_u32_le(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_f32_le(&mut self, v: f32) {
+        self.put_u32_le(v.to_bits());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_slice() {
+        let mut m = BytesMut::new();
+        m.reserve(12);
+        m.put_u32_le(7);
+        m.put_f32_le(-2.5);
+        m.put_f32_le(f32::NAN);
+        assert_eq!(m.len(), 12);
+        let b = m.freeze();
+        assert_eq!(b.len(), 12);
+        let mut r = b.clone();
+        assert_eq!(r.get_u32_le(), 7);
+        assert_eq!(r.get_f32_le(), -2.5);
+        assert!(r.get_f32_le().is_nan());
+        assert!(!r.has_remaining());
+        // Original view unaffected by the cursor on the clone.
+        assert_eq!(b.len(), 12);
+        let s = b.slice(4..8);
+        assert_eq!(s.len(), 4);
+        let mut s2 = s;
+        assert_eq!(s2.get_f32_le(), -2.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_out_of_bounds_panics() {
+        let b = BytesMut::new().freeze();
+        let _ = b.slice(0..1);
+    }
+}

@@ -1,0 +1,352 @@
+//! Minimal, self-contained stand-in for the `criterion` crate.
+//!
+//! Measures wall-clock time with batched calibration (so per-iteration
+//! `Instant` overhead does not pollute nanosecond-scale kernels) and prints
+//! one machine-readable line per benchmark:
+//!
+//! ```text
+//! BENCH_RESULT\t<group>/<id>\t<ns_per_iter>\t<iters>
+//! ```
+//!
+//! Tuning via environment:
+//! - `GW2V_BENCH_MS` — measurement budget per benchmark in milliseconds
+//!   (default 300).
+//!
+//! Supports `--test` (run every routine once, no timing — what
+//! `cargo test --benches` passes) and a positional substring filter
+//! (what `cargo bench -- <filter>` passes).
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Re-export matching `criterion::black_box` (deprecated upstream in favour
+/// of `std::hint::black_box`, which the workspace benches already use).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation; recorded for display purposes only.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier composed of a function name and a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function/parameter` identifier.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Identifier from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion into a benchmark id; implemented for `&str`, `String`, and
+/// [`BenchmarkId`].
+pub trait IntoBenchmarkId {
+    /// The textual id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    filter: Option<String>,
+    test_mode: bool,
+    budget_ns: u128,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let budget_ms: u64 = std::env::var("GW2V_BENCH_MS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(300);
+        Self {
+            filter: None,
+            test_mode: false,
+            budget_ns: u128::from(budget_ms) * 1_000_000,
+        }
+    }
+}
+
+impl Criterion {
+    /// Builds a harness from the process arguments (filter, `--test`).
+    pub fn from_args() -> Self {
+        let mut c = Self::default();
+        for arg in std::env::args().skip(1) {
+            if arg == "--test" {
+                c.test_mode = true;
+            } else if !arg.starts_with('-') {
+                c.filter = Some(arg);
+            }
+        }
+        c
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.into(),
+        }
+    }
+
+    /// Benchmarks a routine outside any group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(id.into_id(), f);
+        self
+    }
+
+    fn run_one<F>(&mut self, full_id: String, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !full_id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher {
+            budget_ns: self.budget_ns,
+            test_mode: self.test_mode,
+            ns_per_iter: 0.0,
+            iters: 0,
+        };
+        f(&mut b);
+        if self.test_mode {
+            println!("test bench {full_id} ... ok");
+        } else {
+            println!(
+                "{full_id}: {:.2} ns/iter ({} iters)",
+                b.ns_per_iter, b.iters
+            );
+            println!("BENCH_RESULT\t{full_id}\t{:.3}\t{}", b.ns_per_iter, b.iters);
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub sizes runs by time budget.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; throughput is not rescaled.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks a routine within the group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full_id = format!("{}/{}", self.name, id.into_id());
+        self.parent.run_one(full_id, f);
+        self
+    }
+
+    /// Benchmarks a routine parameterized by a borrowed input.
+    pub fn bench_with_input<ID, I, F>(&mut self, id: ID, input: &I, mut f: F) -> &mut Self
+    where
+        ID: IntoBenchmarkId,
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Timing driver handed to each benchmark closure.
+pub struct Bencher {
+    budget_ns: u128,
+    test_mode: bool,
+    ns_per_iter: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `f`, batching iterations so timer overhead is amortized.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        if self.test_mode {
+            std::hint::black_box(f());
+            return;
+        }
+        // Calibrate: double the batch size until one batch takes >= 2 ms
+        // (or a single iteration already exceeds the threshold).
+        let mut batch: u64 = 1;
+        let (mut total_ns, mut iters): (u128, u64);
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            let dt = t.elapsed().as_nanos();
+            if dt >= 2_000_000 || batch >= (1 << 30) {
+                total_ns = dt;
+                iters = batch;
+                break;
+            }
+            batch *= 2;
+        }
+        // Measure: accumulate whole batches until the budget is spent,
+        // with at least two batches so one warm-up outlier cannot dominate.
+        let mut batches = 1u32;
+        while total_ns < self.budget_ns || batches < 2 {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            total_ns += t.elapsed().as_nanos();
+            iters += batch;
+            batches += 1;
+        }
+        self.ns_per_iter = total_ns as f64 / iters as f64;
+        self.iters = iters;
+    }
+
+    /// Times `routine` only, rebuilding its input with `setup` each
+    /// iteration (unbatched: intended for µs-scale or slower routines).
+    pub fn iter_with_setup<I, R, S, F>(&mut self, mut setup: S, mut routine: F)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        if self.test_mode {
+            std::hint::black_box(routine(setup()));
+            return;
+        }
+        let wall = Instant::now();
+        let wall_limit = self.budget_ns.saturating_mul(4);
+        let mut total_ns: u128 = 0;
+        let mut iters: u64 = 0;
+        loop {
+            let input = setup();
+            let t = Instant::now();
+            let out = routine(input);
+            total_ns += t.elapsed().as_nanos();
+            std::hint::black_box(out);
+            iters += 1;
+            let routine_done = total_ns >= self.budget_ns;
+            let wall_done = wall.elapsed().as_nanos() >= wall_limit;
+            if (routine_done || wall_done) && iters >= 2 {
+                break;
+            }
+        }
+        self.ns_per_iter = total_ns as f64 / iters as f64;
+        self.iters = iters;
+    }
+}
+
+/// Bundles benchmark functions into a group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::from_args();
+            $($group(&mut c);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spin(n: u64) -> u64 {
+        let mut acc = 0u64;
+        for i in 0..n {
+            acc = acc.wrapping_add(std::hint::black_box(i));
+        }
+        acc
+    }
+
+    #[test]
+    fn iter_reports_positive_time() {
+        std::env::set_var("GW2V_BENCH_MS", "5");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group
+            .sample_size(10)
+            .throughput(Throughput::Elements(100))
+            .bench_function(BenchmarkId::new("spin", 100), |b| {
+                b.iter(|| spin(100));
+            });
+        group.finish();
+    }
+
+    #[test]
+    fn iter_with_setup_times_routine_only() {
+        std::env::set_var("GW2V_BENCH_MS", "5");
+        let mut c = Criterion::default();
+        c.bench_function("setup_smoke", |b| {
+            b.iter_with_setup(|| vec![1u64; 64], |v| v.iter().sum::<u64>());
+        });
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion {
+            filter: Some("nomatch".into()),
+            ..Criterion::default()
+        };
+        let mut ran = false;
+        c.bench_function("other", |_b| ran = true);
+        assert!(!ran);
+    }
+}

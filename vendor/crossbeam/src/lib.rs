@@ -1,0 +1,77 @@
+//! Minimal, self-contained stand-in for the `crossbeam` crate.
+//!
+//! Only `crossbeam::channel::{unbounded, Sender, Receiver}` is used by the
+//! workspace (the threaded Gluon engine); this maps it onto
+//! `std::sync::mpsc`, which provides the same FIFO-per-sender semantics the
+//! engine's barrier-phased protocol relies on.
+
+pub mod channel {
+    use std::sync::mpsc;
+
+    /// Sending half of an unbounded channel; clonable across threads.
+    #[derive(Debug)]
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    /// Receiving half of an unbounded channel.
+    #[derive(Debug)]
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    /// Error returned when the receiving side has disconnected.
+    #[derive(Debug)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned when all senders have disconnected.
+    #[derive(Debug)]
+    pub struct RecvError;
+
+    /// Creates an unbounded FIFO channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(rx))
+    }
+
+    impl<T> Sender<T> {
+        /// Sends a message, failing only if the receiver is gone.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            self.0.send(msg).map_err(|mpsc::SendError(m)| SendError(m))
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or all senders disconnect.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv().map_err(|_| RecvError)
+        }
+
+        /// Returns a message if one is ready.
+        pub fn try_recv(&self) -> Result<T, std::sync::mpsc::TryRecvError> {
+            self.0.try_recv()
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn fifo_across_threads() {
+            let (tx, rx) = unbounded::<u32>();
+            let tx2 = tx.clone();
+            let h = std::thread::spawn(move || {
+                for i in 0..100 {
+                    tx2.send(i).unwrap();
+                }
+            });
+            h.join().unwrap();
+            drop(tx);
+            let got: Vec<u32> = std::iter::from_fn(|| rx.recv().ok()).collect();
+            assert_eq!(got, (0..100).collect::<Vec<_>>());
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Minimal, self-contained stand-in for the `rayon` crate.
+//!
+//! Presents the parallel-iterator surface the workspace uses
+//! (`par_iter().map().reduce()`, `into_par_iter().map().collect()`) but runs
+//! sequentially on the calling thread. The container runs on a single core,
+//! so this loses no throughput; callers keep rayon-shaped code so restoring
+//! the real crate later is a manifest change only. The reduce operator's
+//! associativity contract is unchanged — callers cannot rely on a
+//! particular grouping, and this stub folds left-to-right, which is one of
+//! the groupings real rayon may produce.
+
+use std::ops::Range;
+
+/// Glob-import surface mirroring `rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParIter};
+}
+
+/// A "parallel" iterator: a thin wrapper over a sequential one.
+#[derive(Debug)]
+pub struct ParIter<I>(I);
+
+impl<I: Iterator> ParIter<I> {
+    /// Maps each item.
+    pub fn map<U, F: FnMut(I::Item) -> U>(self, f: F) -> ParIter<std::iter::Map<I, F>> {
+        ParIter(self.0.map(f))
+    }
+
+    /// Filters items.
+    pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> ParIter<std::iter::Filter<I, F>> {
+        ParIter(self.0.filter(f))
+    }
+
+    /// Reduces with an identity factory and an associative operator
+    /// (rayon's signature; the grouping is unspecified).
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+    where
+        ID: Fn() -> I::Item,
+        OP: Fn(I::Item, I::Item) -> I::Item,
+    {
+        self.0.fold(identity(), op)
+    }
+
+    /// Collects into any `FromIterator` target.
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.0.collect()
+    }
+
+    /// Sums the items.
+    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+        self.0.sum()
+    }
+
+    /// Runs `f` on each item.
+    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+        self.0.for_each(f)
+    }
+
+    /// Item count.
+    pub fn count(self) -> usize {
+        self.0.count()
+    }
+}
+
+/// Conversion into an owning parallel iterator.
+pub trait IntoParallelIterator {
+    /// Underlying sequential iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Item type.
+    type Item;
+    /// Converts into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Iter>;
+}
+
+impl<T> IntoParallelIterator for Vec<T> {
+    type Iter = std::vec::IntoIter<T>;
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<Self::Iter> {
+        ParIter(self.into_iter())
+    }
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Iter = Range<usize>;
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<Self::Iter> {
+        ParIter(self)
+    }
+}
+
+impl IntoParallelIterator for Range<u32> {
+    type Iter = Range<u32>;
+    type Item = u32;
+    fn into_par_iter(self) -> ParIter<Self::Iter> {
+        ParIter(self)
+    }
+}
+
+/// Conversion into a borrowing parallel iterator (`.par_iter()`).
+pub trait IntoParallelRefIterator<'a> {
+    /// Underlying sequential iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Item type (a reference).
+    type Item: 'a;
+    /// Borrows as a parallel iterator.
+    fn par_iter(&'a self) -> ParIter<Self::Iter>;
+}
+
+impl<'a, T: 'a> IntoParallelRefIterator<'a> for [T] {
+    type Iter = std::slice::Iter<'a, T>;
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<Self::Iter> {
+        ParIter(self.iter())
+    }
+}
+
+impl<'a, T: 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Iter = std::slice::Iter<'a, T>;
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<Self::Iter> {
+        ParIter(self.iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_reduce_matches_sequential() {
+        let shards = vec![vec![1u64, 2], vec![3], vec![4, 5, 6]];
+        let total: u64 = shards
+            .par_iter()
+            .map(|s| s.iter().sum::<u64>())
+            .reduce(|| 0, |a, b| a + b);
+        assert_eq!(total, 21);
+    }
+
+    #[test]
+    fn into_par_iter_collect() {
+        let squares: Vec<usize> = (0..10usize).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares[9], 81);
+    }
+}

@@ -1,0 +1,260 @@
+//! Minimal `derive(Serialize, Deserialize)` for the vendored serde stub.
+//!
+//! Parses the derive input by hand (no `syn`/`quote` available offline) and
+//! supports exactly the shapes this workspace uses:
+//!
+//! - non-generic structs with named fields (`#[serde(skip)]` honoured; a
+//!   skipped field deserializes via `Default::default()`), and
+//! - non-generic enums whose variants all carry no data (serialized as the
+//!   variant name string).
+//!
+//! Anything else panics at compile time with a clear message rather than
+//! silently producing wrong code.
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum Item {
+    Struct { name: String, fields: Vec<Field> },
+    Enum { name: String, variants: Vec<String> },
+}
+
+/// Derives the stub `serde::Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => {
+            let entries: String = fields
+                .iter()
+                .filter(|f| !f.skip)
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{0}\"), \
+                         ::serde::Serialize::to_value(&self.{0})),",
+                        f.name
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Map(::std::vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => \"{v}\",\n"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         let s = match self {{ {arms} }};\n\
+                         ::serde::Value::Str(::std::string::String::from(s))\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse()
+        .expect("serde stub derive: generated invalid code")
+}
+
+/// Derives the stub `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    if f.skip {
+                        format!("{}: ::std::default::Default::default(),\n", f.name)
+                    } else {
+                        format!(
+                            "{0}: ::serde::Deserialize::from_value(v.field(\"{0}\")?)?,\n",
+                            f.name
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         ::std::result::Result::Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),\n"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match v.as_str()? {{\n\
+                             {arms}\n\
+                             other => ::std::result::Result::Err(::serde::Error::custom(\n\
+                                 ::std::format!(\"unknown variant `{{other}}` for {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse()
+        .expect("serde stub derive: generated invalid code")
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut iter = input.into_iter();
+    while let Some(tt) = iter.next() {
+        match tt {
+            // Skip outer attributes (`#[...]`, including doc comments).
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                let _bracket = iter.next();
+            }
+            TokenTree::Ident(id) => {
+                let kw = id.to_string();
+                if kw == "struct" || kw == "enum" {
+                    let name = match iter.next() {
+                        Some(TokenTree::Ident(n)) => n.to_string(),
+                        other => panic!("serde stub derive: expected item name, got {other:?}"),
+                    };
+                    let body = match iter.next() {
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+                        other => panic!(
+                            "serde stub derive: only non-generic braced structs/enums are \
+                             supported (while deriving for `{name}`, got {other:?})"
+                        ),
+                    };
+                    return if kw == "struct" {
+                        Item::Struct {
+                            name,
+                            fields: parse_named_fields(body.stream()),
+                        }
+                    } else {
+                        Item::Enum {
+                            name,
+                            variants: parse_unit_variants(body.stream()),
+                        }
+                    };
+                }
+                // `pub`, `pub(crate)` etc. — keep scanning.
+            }
+            // Visibility restriction group `(crate)`, stray tokens — skip.
+            _ => {}
+        }
+    }
+    panic!("serde stub derive: no struct or enum found in input");
+}
+
+/// Returns true if an attribute group (the `[...]` token tree after `#`)
+/// is `[serde(skip)]` (or contains `skip` among the serde arguments).
+fn attr_is_serde_skip(group: &Group) -> bool {
+    let mut tokens = group.stream().into_iter();
+    match tokens.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match tokens.next() {
+        Some(TokenTree::Group(args)) => args
+            .stream()
+            .into_iter()
+            .any(|tt| matches!(&tt, TokenTree::Ident(id) if id.to_string() == "skip")),
+        _ => false,
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        let mut skip = false;
+        // Leading attributes on the field.
+        while matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            iter.next();
+            if let Some(TokenTree::Group(g)) = iter.next() {
+                if attr_is_serde_skip(&g) {
+                    skip = true;
+                }
+            }
+        }
+        // Visibility.
+        while matches!(iter.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            iter.next();
+            if matches!(
+                iter.peek(),
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+            ) {
+                iter.next();
+            }
+        }
+        let name = match iter.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => {
+                panic!("serde stub derive: expected field name (named fields only), got {other:?}")
+            }
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde stub derive: expected `:` after field `{name}`, got {other:?}"),
+        }
+        // Consume the type: everything up to a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        for tt in iter.by_ref() {
+            if let TokenTree::Punct(p) = &tt {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => break,
+                    _ => {}
+                }
+            }
+        }
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+fn parse_unit_variants(body: TokenStream) -> Vec<String> {
+    let mut variants = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        // Leading attributes (doc comments) on the variant.
+        while matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            iter.next();
+            iter.next();
+        }
+        let name = match iter.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => panic!("serde stub derive: expected variant name, got {other:?}"),
+        };
+        match iter.next() {
+            None => {
+                variants.push(name);
+                break;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => variants.push(name),
+            Some(other) => panic!(
+                "serde stub derive: only unit enum variants are supported \
+                 (variant `{name}` carries data: {other:?})"
+            ),
+        }
+    }
+    variants
+}
