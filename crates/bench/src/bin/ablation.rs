@@ -2,7 +2,9 @@
 //! DESIGN.md §4): combiner variants, negative-sampler implementations,
 //! and the incremental vs pairwise-tree model-combiner fold.
 
-use gw2v_bench::{bench_params, epochs_from_env, prepare, scale_from_env, write_json};
+use gw2v_bench::{
+    bench_params, epochs_from_env, obs_init, prepare, scale_from_env, write_json_run,
+};
 use gw2v_combiner::CombinerKind;
 use gw2v_core::distributed::{DistConfig, DistributedTrainer};
 use gw2v_core::params::SamplerChoice;
@@ -21,6 +23,7 @@ struct AblationRow {
 }
 
 fn main() {
+    obs_init();
     let scale = scale_from_env(Scale::Tiny);
     let epochs = epochs_from_env(8);
     let hosts = 8;
@@ -90,5 +93,5 @@ fn main() {
     }
     print!("{table}");
     println!("\nExpected: MC ≈ MC-PW ≫ AVG; SUM degraded or diverged; Table ≈ Alias accuracy.");
-    write_json("ablation", &rows);
+    write_json_run("ablation", scale, 1, &rows);
 }

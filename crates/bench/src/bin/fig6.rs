@@ -7,7 +7,9 @@
 //! AVG(0.025) converges visibly slower (mini-batch effect); AVG at the
 //! 32×-scaled learning rate 0.8 stays at ~0 (divergence).
 
-use gw2v_bench::{bench_params, epochs_from_env, prepare, scale_from_env, write_json};
+use gw2v_bench::{
+    bench_params, epochs_from_env, obs_init, prepare, scale_from_env, write_json_run,
+};
 use gw2v_combiner::CombinerKind;
 use gw2v_core::distributed::{DistConfig, DistributedTrainer};
 use gw2v_core::trainer_seq::SequentialTrainer;
@@ -25,6 +27,7 @@ struct Series {
 }
 
 fn main() {
+    obs_init();
     let scale = scale_from_env(Scale::Small);
     let epochs = epochs_from_env(16);
     let hosts = 32;
@@ -92,5 +95,5 @@ fn main() {
     }
     print!("{table}");
     println!("\nShape check: MC(0.025) tracks SM; AVG(0.025) lags; AVG(0.8) ~ 0 (diverged).");
-    write_json("fig6", &series);
+    write_json_run("fig6", scale, 1, &series);
 }

@@ -6,7 +6,9 @@
 //! sync frequency goes 12 → 24 → 48, approaching the 1-host line; AVG
 //! barely moves.
 
-use gw2v_bench::{bench_params, epochs_from_env, prepare, scale_from_env, write_json};
+use gw2v_bench::{
+    bench_params, epochs_from_env, obs_init, prepare, scale_from_env, write_json_run,
+};
 use gw2v_combiner::CombinerKind;
 use gw2v_core::distributed::{DistConfig, DistributedTrainer};
 use gw2v_core::trainer_seq::SequentialTrainer;
@@ -33,6 +35,7 @@ struct Output {
 }
 
 fn main() {
+    obs_init();
     let scale = scale_from_env(Scale::Small);
     let epochs = epochs_from_env(16);
     let hosts = 32;
@@ -99,8 +102,10 @@ fn main() {
         ref_report.total()
     );
     println!("Shape check: MC improves with frequency toward the 1-host line; AVG barely moves.");
-    write_json(
+    write_json_run(
         "fig7",
+        scale,
+        1,
         &Output {
             one_host_semantic: ref_report.semantic(),
             one_host_syntactic: ref_report.syntactic(),

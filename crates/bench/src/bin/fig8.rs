@@ -10,8 +10,8 @@
 //! communication grows.
 
 use gw2v_bench::{
-    bench_params, datasets_from_env, epochs_from_env, hosts_from_env, prepare, scale_from_env,
-    write_json,
+    bench_params, datasets_from_env, epochs_from_env, hosts_from_env, obs_init, prepare,
+    scale_from_env, write_json_run,
 };
 use gw2v_core::distributed::{DistConfig, DistributedTrainer};
 use gw2v_corpus::datasets::Scale;
@@ -32,6 +32,7 @@ struct Point {
 }
 
 fn main() {
+    obs_init();
     let scale = scale_from_env(Scale::Small);
     let epochs = epochs_from_env(1);
     let host_counts = hosts_from_env(&[1, 2, 4, 8, 16, 32, 64]);
@@ -101,5 +102,5 @@ fn main() {
             );
         }
     }
-    write_json("fig8", &points);
+    write_json_run("fig8", scale, 1, &points);
 }

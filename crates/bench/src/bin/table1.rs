@@ -4,7 +4,7 @@
 //! stand-ins actually generated at the selected scale, including the
 //! vocabulary/token *ratios*, which are the preserved quantity.
 
-use gw2v_bench::{datasets_from_env, prepare, scale_from_env, write_json};
+use gw2v_bench::{datasets_from_env, obs_init, prepare, scale_from_env, write_json_run};
 use gw2v_corpus::datasets::Scale;
 use gw2v_util::table::{fmt_bytes, Align, Table};
 use serde::Serialize;
@@ -21,6 +21,7 @@ struct Row {
 }
 
 fn main() {
+    obs_init();
     let scale = scale_from_env(Scale::Small);
     println!("Table 1: Datasets and their properties (scale: {scale:?})\n");
     let mut table = Table::new(vec![
@@ -80,5 +81,5 @@ fn main() {
     for (name, sv, sw, pv, pw) in ratios {
         println!("  {name:<12} vocab {sv:.2} / {pv:.2}   words {sw:.2} / {pw:.2}");
     }
-    write_json("table1", &rows);
+    write_json_run("table1", scale, 42, &rows);
 }

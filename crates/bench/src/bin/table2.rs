@@ -11,8 +11,8 @@
 //!        metric on a single-core reproduction box.
 
 use gw2v_bench::{
-    bench_params, datasets_from_env, epochs_from_env, fmt_speedup, prepare, scale_from_env,
-    write_json,
+    bench_params, datasets_from_env, epochs_from_env, fmt_speedup, obs_init, prepare,
+    scale_from_env, write_json_run,
 };
 use gw2v_core::distributed::{DistConfig, DistributedTrainer};
 use gw2v_core::trainer_batched::BatchedTrainer;
@@ -35,6 +35,7 @@ struct Row {
 }
 
 fn main() {
+    obs_init();
     let scale = scale_from_env(Scale::Small);
     let epochs = epochs_from_env(16);
     let hosts = 32;
@@ -93,5 +94,5 @@ fn main() {
     if let Some(g) = geomean(&speedups) {
         println!("\nGeo-mean speedup: {} (paper: 14x)", fmt_speedup(g));
     }
-    write_json("table2", &rows);
+    write_json_run("table2", scale, 1, &rows);
 }

@@ -5,7 +5,8 @@
 //! the shared-memory baselines at the same epoch count.
 
 use gw2v_bench::{
-    bench_params, datasets_from_env, epochs_from_env, prepare, scale_from_env, write_json,
+    bench_params, datasets_from_env, epochs_from_env, obs_init, prepare, scale_from_env,
+    write_json_run,
 };
 use gw2v_core::distributed::{DistConfig, DistributedTrainer};
 use gw2v_core::trainer_batched::BatchedTrainer;
@@ -25,6 +26,7 @@ struct Row {
 }
 
 fn main() {
+    obs_init();
     let scale = scale_from_env(Scale::Small);
     let epochs = epochs_from_env(16);
     let hosts = 32;
@@ -75,5 +77,5 @@ fn main() {
     }
     print!("{table}");
     println!("\nPaper shape check: GW2V total within ~2 points of W2V/GEN per dataset.");
-    write_json("table3", &rows);
+    write_json_run("table3", scale, 1, &rows);
 }

@@ -23,7 +23,8 @@ use gw2v_corpus::shard::Corpus;
 use gw2v_corpus::synth::SynthCorpus;
 use gw2v_corpus::tokenizer::{sentences_from_text, TokenizerConfig};
 use gw2v_corpus::vocab::{VocabBuilder, Vocabulary};
-use serde::Serialize;
+use gw2v_obs::{MetricsSnapshot, Provenance};
+use serde::{Serialize, Value};
 use std::path::Path;
 
 /// A generated dataset ready for training.
@@ -129,6 +130,61 @@ pub fn write_json<T: Serialize>(name: &str, value: &T) {
             Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
         },
         Err(e) => eprintln!("warning: cannot serialize {name}: {e}"),
+    }
+}
+
+/// Initializes observability for a benchmark binary.
+///
+/// The harness runs with metrics **on** by default — every result record
+/// should carry its metrics block — and `GW2V_METRICS=0` (or `false`,
+/// `off`, `no`) opts out. Call once at the top of `main`.
+pub fn obs_init() {
+    let off = std::env::var("GW2V_METRICS")
+        .is_ok_and(|v| matches!(v.trim(), "0" | "false" | "off" | "no"));
+    gw2v_obs::set_enabled(!off);
+}
+
+/// The uniform shape of every `results/*.json` record: the reproduced
+/// table/figure data plus the run's metrics snapshot and provenance.
+pub struct RunRecord<'a, T> {
+    /// Where the numbers came from (git sha, SIMD backend, scale, seed).
+    pub provenance: Provenance,
+    /// Snapshot of every instrument the run recorded.
+    pub metrics: MetricsSnapshot,
+    /// The table/figure payload itself.
+    pub data: &'a T,
+}
+
+// Hand-written: the vendored derive does not handle generic structs.
+impl<T: Serialize> Serialize for RunRecord<'_, T> {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("provenance".to_owned(), self.provenance.to_value()),
+            ("metrics".to_owned(), self.metrics.to_value()),
+            ("data".to_owned(), self.data.to_value()),
+        ])
+    }
+}
+
+/// Writes `results/<name>.json` as a [`RunRecord`] wrapping `data`, then
+/// flushes any buffered trace events (`GW2V_TRACE_OUT`). This is what
+/// every table/figure binary calls; plain [`write_json`] remains for
+/// records that are not experiment runs.
+pub fn write_json_run<T: Serialize>(name: &str, scale: Scale, seed: u64, data: &T) {
+    let record = RunRecord {
+        provenance: gw2v_obs::provenance(&format!("{scale:?}"), seed),
+        metrics: gw2v_obs::snapshot(),
+        data,
+    };
+    write_json(name, &record);
+    match gw2v_obs::flush_trace(None) {
+        Ok(n) if n > 0 => {
+            if let Ok(dest) = std::env::var("GW2V_TRACE_OUT") {
+                println!("[{n} trace events appended to {dest}]");
+            }
+        }
+        Ok(_) => {}
+        Err(e) => eprintln!("warning: cannot write trace: {e}"),
     }
 }
 

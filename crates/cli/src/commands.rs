@@ -207,6 +207,20 @@ pub fn train(raw: &[String]) -> CmdResult {
         other => return Err(ArgError(format!("unknown trainer {other:?}")).into()),
     };
     println!("trained in {:.1}s wall", t0.elapsed().as_secs_f64());
+    // With GW2V_METRICS=1 the trainers above recorded into the global
+    // registry; show the run's instruments and export the trace.
+    if gw2v_obs::enabled() {
+        print!("\n{}", gw2v_obs::summary());
+        match gw2v_obs::flush_trace(None) {
+            Ok(n) if n > 0 => {
+                if let Ok(dest) = std::env::var("GW2V_TRACE_OUT") {
+                    println!("[{n} trace events appended to {dest}]");
+                }
+            }
+            Ok(_) => {}
+            Err(e) => eprintln!("warning: cannot write trace: {e}"),
+        }
+    }
     let mut w = BufWriter::new(File::create(out)?);
     model.save_text(&vocab, &mut w)?;
     println!(

@@ -41,6 +41,9 @@ use gw2v_gluon::ModelReplica;
 use gw2v_util::rng::{SplitMix64, Xoshiro256};
 use std::time::Instant;
 
+/// Sampled positive pairs per epoch-end loss probe (`core.loss` gauge).
+const LOSS_PROBE_PAIRS: usize = 256;
+
 /// Distributed-run configuration.
 #[derive(Clone, Copy, Debug)]
 pub struct DistConfig {
@@ -181,6 +184,15 @@ impl DistributedTrainer {
         let mut pairs_trained = 0u64;
         let mut processed = vec![0u64; h_count];
         let mut scratch = TrainScratch::default();
+        // Cached instrument handles: one registry lookup for the whole
+        // run, then per-round recording is a relaxed atomic each. All of
+        // this only *reads* the computation (never the RNG streams or the
+        // model), so enabling metrics cannot change what gets trained —
+        // pinned by tests/obs_overhead.rs.
+        let obs_on = gw2v_obs::enabled();
+        let pairs_ctr = obs_on.then(|| gw2v_obs::counter("core.pairs"));
+        let compute_hist = obs_on.then(|| gw2v_obs::histogram("core.host_compute_ns"));
+        let lr_gauge = obs_on.then(|| gw2v_obs::gauge("core.lr"));
         // One sync scratch for the whole run: after the first round the
         // reduce/broadcast path recycles its slab and buffers instead of
         // reallocating per round.
@@ -188,6 +200,10 @@ impl DistributedTrainer {
 
         for epoch in 0..p.epochs {
             for s in 0..s_count {
+                let mut round_span = gw2v_obs::span("core.round")
+                    .epoch(epoch)
+                    .round(epoch * s_count + s);
+                let pairs_before = pairs_trained;
                 // ---- Compute phase (each host timed individually). ----
                 let mut round_compute = vec![0.0f64; h_count];
                 for h in 0..h_count {
@@ -257,13 +273,57 @@ impl DistributedTrainer {
                     &mut stats,
                     &mut sync_scratch,
                 );
-                compute_time += round_compute.iter().cloned().fold(0.0, f64::max);
-                comm_time += cfg.cost.round_time(&volume);
+                let round_comp = round_compute.iter().cloned().fold(0.0, f64::max);
+                let round_comm = cfg.cost.round_time(&volume);
+                compute_time += round_comp;
+                comm_time += round_comm;
+
+                if obs_on {
+                    if let Some(c) = &pairs_ctr {
+                        c.add(pairs_trained - pairs_before);
+                    }
+                    if let Some(h) = &compute_hist {
+                        for &t in &round_compute {
+                            h.observe_secs(t);
+                        }
+                    }
+                    if let Some(g) = &lr_gauge {
+                        g.set(schedule.alpha_for_host(processed[0], h_count) as f64);
+                    }
+                    gw2v_obs::add("core.compute_ns", (round_comp * 1e9) as u64);
+                    gw2v_obs::add("core.comm_virtual_ns", (round_comm * 1e9) as u64);
+                    round_span.field("pairs", (pairs_trained - pairs_before) as f64);
+                    round_span.field("compute_max_s", round_comp);
+                    round_span.field("comm_s", round_comm);
+                    round_span.field("bytes", volume.total_bytes() as f64);
+                    round_span.virtual_secs(round_comp + round_comm);
+                }
+                drop(round_span);
             }
             let layers = assemble_canonical(&replicas);
             let mut it = layers.into_iter();
             let canonical =
                 Word2VecModel::from_layers(it.next().expect("syn0"), it.next().expect("syn1neg"));
+            if obs_on {
+                // Read-only loss probe on the canonical model, outside any
+                // timed section and on its own RNG stream — the training
+                // streams never see it.
+                let loss = crate::loss::estimate_loss(
+                    &canonical,
+                    corpus,
+                    &setup,
+                    p.window,
+                    p.negative,
+                    LOSS_PROBE_PAIRS,
+                    p.seed,
+                );
+                gw2v_obs::gauge_set("core.loss", loss);
+                let mut ev = gw2v_obs::TraceEvent::new("core.epoch");
+                ev.epoch = Some(epoch as u64);
+                ev.virtual_s = Some(compute_time + comm_time);
+                ev.fields.push(("loss".to_owned(), loss));
+                gw2v_obs::event(ev);
+            }
             let snap = EpochSnapshot {
                 epoch,
                 virtual_time: compute_time + comm_time,
@@ -275,12 +335,26 @@ impl DistributedTrainer {
         let mut it = layers.into_iter();
         let model =
             Word2VecModel::from_layers(it.next().expect("syn0"), it.next().expect("syn1neg"));
+        let wall_time = wall_start.elapsed().as_secs_f64();
+        if obs_on {
+            gw2v_obs::gauge_set("core.compute_s", compute_time);
+            gw2v_obs::gauge_set("core.comm_virtual_s", comm_time);
+            gw2v_obs::gauge_set("core.wall_s", wall_time);
+            if wall_time > 0.0 {
+                gw2v_obs::gauge_set("core.pairs_per_sec", pairs_trained as f64 / wall_time);
+            }
+            gw2v_obs::add("core.epochs", p.epochs as u64);
+            gw2v_obs::add(
+                "core.negatives",
+                pairs_trained.saturating_mul(p.negative as u64),
+            );
+        }
         TrainResult {
             model,
             stats,
             compute_time,
             comm_time,
-            wall_time: wall_start.elapsed().as_secs_f64(),
+            wall_time,
             pairs_trained,
         }
     }

@@ -61,7 +61,10 @@ impl BatchedTrainer {
         let mut kept: Vec<u32> = Vec::new();
         let mut pairs: Vec<(u32, u32)> = Vec::new(); // (context/input, center/output)
         let mut neu1e = vec![0.0f32; p.dim];
+        let mut pairs_total: u64 = 0;
         for epoch in 0..p.epochs {
+            let mut epoch_span = gw2v_obs::span("core.batched.epoch").epoch(epoch);
+            let epoch_start_pairs = pairs_total;
             for sentence in corpus.sentences() {
                 let alpha = schedule.alpha_at(processed);
                 // Pass 1: generate the sentence's pair batch.
@@ -101,8 +104,15 @@ impl BatchedTrainer {
                         &mut neu1e,
                     );
                 }
+                pairs_total += pairs.len() as u64;
                 processed += sentence.len() as u64;
             }
+            if gw2v_obs::enabled() {
+                let epoch_pairs = pairs_total - epoch_start_pairs;
+                gw2v_obs::add("core.batched.pairs", epoch_pairs);
+                epoch_span.field("pairs", epoch_pairs as f64);
+            }
+            drop(epoch_span);
             on_epoch(epoch, &model);
         }
         model

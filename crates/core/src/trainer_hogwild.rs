@@ -238,6 +238,7 @@ impl HogwildTrainer {
             .collect();
 
         for epoch in 0..p.epochs {
+            let mut epoch_span = gw2v_obs::span("core.hogwild.epoch").epoch(epoch);
             std::thread::scope(|scope| {
                 let mut handles = Vec::new();
                 for (t, rng) in rngs.iter_mut().enumerate() {
@@ -250,18 +251,32 @@ impl HogwildTrainer {
                         let ctx = setup.ctx(p);
                         let mut scratch = TrainScratch::default();
                         let mut store = HogwildStore::new(atomic);
+                        let mut pairs: u64 = 0;
                         for sentence in shard.sentences() {
                             let done = progress.load(Relaxed);
                             let alpha = schedule.alpha_at(done);
-                            train_sentence(&mut store, sentence, alpha, &ctx, rng, &mut scratch);
+                            pairs += train_sentence(
+                                &mut store,
+                                sentence,
+                                alpha,
+                                &ctx,
+                                rng,
+                                &mut scratch,
+                            );
                             progress.fetch_add(sentence.len() as u64, Relaxed);
                         }
+                        // One registry touch per thread per epoch.
+                        gw2v_obs::add("core.hogwild.pairs", pairs);
                     }));
                 }
                 for h in handles {
                     h.join().expect("hogwild worker panicked");
                 }
             });
+            if gw2v_obs::enabled() {
+                epoch_span.field("threads", self.n_threads as f64);
+            }
+            drop(epoch_span);
             // Settled between epochs: snapshot for the callback.
             let snapshot = atomic.snapshot();
             on_epoch(epoch, &snapshot);

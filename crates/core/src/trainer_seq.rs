@@ -54,16 +54,27 @@ impl SequentialTrainer {
         let mut rng = Xoshiro256::new(SplitMix64::new(p.seed).derive(HOST_RNG_BASE));
         let mut scratch = TrainScratch::default();
         let mut processed: u64 = 0;
+        let mut pairs_total: u64 = 0;
         for epoch in 0..p.epochs {
+            let mut epoch_span = gw2v_obs::span("core.seq.epoch").epoch(epoch);
+            let epoch_start_pairs = pairs_total;
             for sentence in corpus.sentences() {
                 let alpha = schedule.alpha_at(processed);
                 let mut store = PlainStore {
                     syn0: &mut model.syn0,
                     syn1neg: &mut model.syn1neg,
                 };
-                train_sentence(&mut store, sentence, alpha, &ctx, &mut rng, &mut scratch);
+                pairs_total +=
+                    train_sentence(&mut store, sentence, alpha, &ctx, &mut rng, &mut scratch);
                 processed += sentence.len() as u64;
             }
+            if gw2v_obs::enabled() {
+                let epoch_pairs = pairs_total - epoch_start_pairs;
+                gw2v_obs::add("core.seq.pairs", epoch_pairs);
+                gw2v_obs::gauge_set("core.lr", schedule.alpha_at(processed) as f64);
+                epoch_span.field("pairs", epoch_pairs as f64);
+            }
+            drop(epoch_span);
             on_epoch(epoch, &model);
         }
         model

@@ -24,7 +24,7 @@
 //!   partitioning (paper §4.2), and per-round worklist chunking.
 //! * [`datasets`] — presets mirroring Table 1 of the paper at
 //!   laptop-friendly scales.
-//! * [`file`] — on-disk streaming: vocabulary construction without
+//! * [`mod@file`] — on-disk streaming: vocabulary construction without
 //!   materializing the corpus, and byte-range host partitions of a file
 //!   (paper §4.1's "stream C from disk").
 //! * [`phrases`] — the `word2phrase` bigram-joining preprocessing pass

@@ -1,7 +1,7 @@
 //! # gw2v-eval
 //!
 //! Evaluation of trained embeddings, following the paper's §5.1
-//! methodology: "we used the analogical reasoning task outlined by [the]
+//! methodology: "we used the analogical reasoning task outlined by \[the\]
 //! original Word2Vec paper [...] analogies such as Athens : Greece ::
 //! Berlin : ?, which are predicted by finding a vector x such that
 //! embedding vector(x) is closest to vector(Athens) − vector(Greece) +

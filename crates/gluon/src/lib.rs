@@ -31,7 +31,7 @@
 //!   all scaling experiments use it, paired with [`cost::CostModel`] to
 //!   convert measured bytes into modeled network time (this reproduction
 //!   runs on a single machine — see DESIGN.md §1).
-//! * [`threaded::ThreadedCluster`] — one OS thread per host exchanging
+//! * [`threaded::run_cluster`] — one OS thread per host exchanging
 //!   serialized [`wire`] buffers over crossbeam channels with barrier
 //!   separation; produces bit-identical results to the sequential engine
 //!   (messages are folded in host-id order).
@@ -41,7 +41,7 @@
 //! steady-state rounds run without heap allocation in the
 //! reduce/broadcast path; results are bit-identical either way.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 // Index-driven loops across parallel per-host arrays are clearer than
 // iterator chains in the synchronization protocol code.
 #![allow(clippy::needless_range_loop)]

@@ -142,7 +142,7 @@ impl ModelReplica {
 
     /// Mutable row access *with* delta tracking: snapshots the base on
     /// first touch per round. All training writes must go through here
-    /// (or pre-declare with [`ModelReplica::touch`]).
+    /// (or pre-declare via [`DeltaTracker::on_touch`]).
     #[inline]
     pub fn row_mut(&mut self, layer: usize, node: u32) -> &mut [f32] {
         let current = self.layers[layer].row(node as usize);

@@ -180,6 +180,10 @@ pub fn sync_round_with_scratch(
             "PullModel requires inspection access sets"
         );
     }
+    // Observability: an inert guard when metrics are disabled; otherwise it
+    // times the whole round and records the byte/message deltas below.
+    let mut obs_span = gw2v_obs::span("gluon.sync");
+    let stats_before = gw2v_obs::enabled().then_some(*stats);
     let n_nodes = replicas[0].n_nodes();
     let n_layers = replicas[0].n_layers();
     let mut volume = RoundVolume::new(n_hosts);
@@ -323,6 +327,25 @@ pub fn sync_round_with_scratch(
         replica.clear_tracking();
     }
     stats.rounds += 1;
+
+    if let Some(before) = stats_before {
+        let reduce_b = stats.reduce_bytes - before.reduce_bytes;
+        let bcast_b = stats.broadcast_bytes - before.broadcast_bytes;
+        gw2v_obs::add("gluon.rounds", 1);
+        gw2v_obs::add("gluon.reduce_bytes", reduce_b);
+        gw2v_obs::add("gluon.broadcast_bytes", bcast_b);
+        gw2v_obs::add("gluon.reduce_msgs", stats.reduce_msgs - before.reduce_msgs);
+        gw2v_obs::add(
+            "gluon.broadcast_msgs",
+            stats.broadcast_msgs - before.broadcast_msgs,
+        );
+        gw2v_obs::observe("gluon.round_bytes", reduce_b + bcast_b);
+        obs_span.field("reduce_bytes", reduce_b as f64);
+        obs_span.field("broadcast_bytes", bcast_b as f64);
+        obs_span.field("max_host_bytes", volume.max_host_bytes() as f64);
+        obs_span.field("hosts", n_hosts as f64);
+    }
+    drop(obs_span);
     volume
 }
 

@@ -62,6 +62,21 @@ impl HostCtx {
     pub fn barrier_wait(&self) {
         self.barrier.wait();
     }
+
+    /// [`HostCtx::barrier_wait`], recording the wait in the
+    /// `gluon.barrier_wait_ns` histogram when metrics are enabled. The
+    /// wait time is the straggler signal: a host that arrives early
+    /// waits for the slowest one, so the histogram's spread measures
+    /// per-round load imbalance across hosts.
+    pub fn barrier_wait_timed(&self) {
+        if gw2v_obs::enabled() {
+            let start = std::time::Instant::now();
+            self.barrier.wait();
+            gw2v_obs::observe("gluon.barrier_wait_ns", start.elapsed().as_nanos() as u64);
+        } else {
+            self.barrier.wait();
+        }
+    }
 }
 
 /// Spawns `n_hosts` threads, each running `f` with its [`HostCtx`], and
@@ -155,6 +170,10 @@ pub fn sync_round_threaded_with_scratch(
         cfg.plan != SyncPlan::PullModel,
         "PullModel is sequential-engine only"
     );
+    // Inert when metrics are disabled; otherwise times this host's whole
+    // round and records its send-side byte deltas below.
+    let mut obs_span = gw2v_obs::span("gluon.threaded.sync").host(ctx.host);
+    let stats_before = gw2v_obs::enabled().then_some(*stats);
     let n_hosts = ctx.n_hosts;
     let n_nodes = replica.n_nodes();
     let n_layers = replica.n_layers();
@@ -289,7 +308,7 @@ pub fn sync_round_threaded_with_scratch(
         }
         slab.release_all();
     }
-    ctx.barrier_wait();
+    ctx.barrier_wait_timed();
 
     // ---- Phase 2: broadcast canonical values of updated owned rows. ----
     for layer in 0..n_layers {
@@ -337,7 +356,22 @@ pub fn sync_round_threaded_with_scratch(
     }
     replica.clear_tracking();
     stats.rounds += 1;
-    ctx.barrier_wait();
+    ctx.barrier_wait_timed();
+
+    if let Some(before) = stats_before {
+        let reduce_b = stats.reduce_bytes - before.reduce_bytes;
+        let bcast_b = stats.broadcast_bytes - before.broadcast_bytes;
+        gw2v_obs::add("gluon.threaded.reduce_bytes", reduce_b);
+        gw2v_obs::add("gluon.threaded.broadcast_bytes", bcast_b);
+        gw2v_obs::add(
+            "gluon.threaded.msgs",
+            (stats.reduce_msgs - before.reduce_msgs)
+                + (stats.broadcast_msgs - before.broadcast_msgs),
+        );
+        obs_span.field("reduce_bytes", reduce_b as f64);
+        obs_span.field("broadcast_bytes", bcast_b as f64);
+    }
+    drop(obs_span);
 }
 
 #[cfg(test)]

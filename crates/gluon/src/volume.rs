@@ -56,7 +56,7 @@ impl RoundVolume {
 }
 
 /// Accumulated statistics over a whole training run.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
 pub struct CommStats {
     /// Number of synchronization rounds performed.
     pub rounds: u64,

@@ -5,6 +5,27 @@
 //! little-endian `f32`s per entry. Serializing for real (rather than
 //! passing references) keeps the byte accounting honest and lets the
 //! threaded engine ship owned buffers between host threads.
+//!
+//! # Format invariants
+//!
+//! * **Layout** — a buffer is a contiguous sequence of fixed-size
+//!   entries; each entry is `4 + 4·dim` bytes ([`entry_bytes`]): a
+//!   little-endian `u32` node id, then `dim` little-endian IEEE-754
+//!   `f32` values. No header, no padding, no alignment requirement.
+//! * **Self-describing length** — `buf.len()` must be an exact multiple
+//!   of `entry_bytes(dim)`; the decoder asserts this, so a truncated or
+//!   mis-dimensioned buffer fails loudly instead of desynchronizing.
+//! * **Order-preserving** — entries decode in the order they were
+//!   pushed. Determinism of the sync protocol relies on this: receivers
+//!   fold messages in host-id order and entries in push order.
+//! * **Bit-exact round-trip** — `f32` bits pass through unchanged
+//!   (including NaN payloads and negative zero), so a serialize →
+//!   deserialize cycle is the identity on rows and the threaded engine
+//!   stays bit-identical to the in-process sequential engine.
+//!
+//! The paper's byte-volume accounting (Table 3, Fig. 6–9) counts these
+//! serialized bytes, so changing the layout changes reported comm
+//! volumes; `tests/` pin both the layout and the accounting.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 

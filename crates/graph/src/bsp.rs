@@ -125,6 +125,11 @@ impl<'a, L: Copy, W: Copy> BspRuntime<'a, L, W> {
         // Nodes whose master received an update this round (global ids).
         let mut updated = BitVec::new(self.parts.n_nodes);
 
+        // Per-phase observability spans; inert when metrics are disabled.
+        let round = self.stats.rounds;
+        let before = self.stats;
+        let mut reduce_span = gw2v_obs::span("bsp.reduce").round(round);
+
         // Phase 1: reduce. Mirrors ship to masters; masters note local touches.
         for host in 0..n_hosts {
             let part = &self.parts.parts[host];
@@ -158,6 +163,14 @@ impl<'a, L: Copy, W: Copy> BspRuntime<'a, L, W> {
             }
         }
 
+        reduce_span.field(
+            "bytes",
+            (self.stats.reduce_bytes - before.reduce_bytes) as f64,
+        );
+        reduce_span.field("msgs", (self.stats.reduce_msgs - before.reduce_msgs) as f64);
+        drop(reduce_span);
+        let mut broadcast_span = gw2v_obs::span("bsp.broadcast").round(round);
+
         // Phase 2: broadcast canonical values of updated nodes to mirrors.
         for g in updated.iter_ones() {
             let owner = crate::partition::master_host(self.parts.n_nodes, n_hosts, g as u32);
@@ -172,6 +185,27 @@ impl<'a, L: Copy, W: Copy> BspRuntime<'a, L, W> {
                 self.stats.broadcast_msgs += 1;
                 self.stats.broadcast_bytes += label_bytes;
             }
+        }
+
+        broadcast_span.field(
+            "bytes",
+            (self.stats.broadcast_bytes - before.broadcast_bytes) as f64,
+        );
+        broadcast_span.field(
+            "msgs",
+            (self.stats.broadcast_msgs - before.broadcast_msgs) as f64,
+        );
+        drop(broadcast_span);
+        if gw2v_obs::enabled() {
+            gw2v_obs::add("bsp.rounds", 1);
+            gw2v_obs::add(
+                "bsp.reduce_bytes",
+                self.stats.reduce_bytes - before.reduce_bytes,
+            );
+            gw2v_obs::add(
+                "bsp.broadcast_bytes",
+                self.stats.broadcast_bytes - before.broadcast_bytes,
+            );
         }
 
         // Reset touched bits for the next round.

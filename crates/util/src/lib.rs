@@ -24,7 +24,7 @@
 //!   phase (computation vs. communication breakdowns, Figure 9).
 //! * [`table`] — a tiny fixed-width table printer for harness output.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod bitvec;

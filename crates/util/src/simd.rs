@@ -34,9 +34,24 @@ pub type DotNormsFn = fn(x: &[f32], y: &[f32]) -> (f32, f32, f32);
 
 /// The per-backend kernel function table.
 ///
-/// All slices must have matching lengths (debug-asserted); `fused_grad_step`
-/// requires `win`, `wout`, and `neu1e` to be non-overlapping, which Rust's
-/// borrow rules already guarantee for safe callers.
+/// # Dispatch contract
+///
+/// * The table is chosen **once per process** (on the first [`kernels`]
+///   call) and never changes afterwards: a run is entirely scalar or
+///   entirely AVX2, so intermediate results compose bit-identically
+///   across every crate in the workspace.
+/// * Every entry accepts **any slice length**, including zero and
+///   non-multiple-of-lane-width tails; vector backends must handle the
+///   tail with the scalar reference code so the last elements are not
+///   special-cased differently between backends.
+/// * All slices must have matching lengths (debug-asserted);
+///   `fused_grad_step` requires `win`, `wout`, and `neu1e` to be
+///   non-overlapping, which Rust's borrow rules already guarantee for
+///   safe callers.
+/// * A backend may reassociate reductions and use FMA (see the module
+///   docs on numerics) but must propagate NaN/±∞ identically to the
+///   scalar reference and must never read or write out of bounds —
+///   new backends are gated by `tests/prop_simd.rs` before dispatch.
 #[derive(Debug, Clone, Copy)]
 pub struct Kernels {
     /// Dot product `x · y`.

@@ -1,4 +1,9 @@
 //! Summary statistics for the benchmark harness.
+//!
+//! This module is folded into the observability layer: `gw2v-obs`
+//! re-exports it as `gw2v_obs::stats` and that path is the canonical
+//! one for new code. The implementation lives here because `gw2v-util`
+//! sits below `gw2v-obs` in the dependency layering.
 
 use serde::{Deserialize, Serialize};
 

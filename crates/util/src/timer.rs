@@ -3,6 +3,11 @@
 //! Figure 9 of the paper breaks execution time into *computation* and
 //! *communication*; [`PhaseTimer`] accumulates wall-clock time per named
 //! phase so the harness can report the same breakdown.
+//!
+//! This module is folded into the observability layer: `gw2v-obs`
+//! re-exports it as `gw2v_obs::timer` and that path is the canonical
+//! one for new code. The implementation lives here because `gw2v-util`
+//! sits below `gw2v-obs` in the dependency layering.
 
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};

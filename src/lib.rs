@@ -36,6 +36,7 @@ pub use gw2v_corpus as corpus;
 pub use gw2v_eval as eval;
 pub use gw2v_gluon as gluon;
 pub use gw2v_graph as graph;
+pub use gw2v_obs as obs;
 pub use gw2v_util as util;
 
 /// The most common imports in one place.

@@ -1,0 +1,116 @@
+//! Observability bit-identity guard: enabling the metrics/trace layer
+//! must not perturb training in any way. The instrumentation only
+//! *reads* model state and counts events — it must never touch an RNG
+//! stream or a model value — so a deterministic run with metrics ON
+//! must produce embeddings bitwise-identical to the same run with
+//! metrics OFF.
+//!
+//! This test lives in its own integration-test binary (own process)
+//! because it toggles the process-global enabled flag with
+//! [`graph_word2vec::obs::set_enabled`]; sharing a process with other
+//! tests that read the flag would race.
+
+use graph_word2vec::core::distributed::{DistConfig, DistributedTrainer};
+use graph_word2vec::core::params::Hyperparams;
+use graph_word2vec::corpus::datasets::{DatasetPreset, Scale};
+use graph_word2vec::corpus::shard::Corpus;
+use graph_word2vec::corpus::tokenizer::{sentences_from_text, TokenizerConfig};
+use graph_word2vec::corpus::vocab::{VocabBuilder, Vocabulary};
+use graph_word2vec::obs;
+
+fn prepare() -> (Vocabulary, Corpus) {
+    let preset = DatasetPreset::by_name("1-billion").expect("preset");
+    let synth = preset.generate(Scale::Tiny, 7);
+    let cfg = TokenizerConfig::default();
+    let mut b = VocabBuilder::new();
+    for s in sentences_from_text(&synth.text, cfg.clone()) {
+        b.add_sentence(&s);
+    }
+    let vocab = b.build(1);
+    let corpus = Corpus::from_text(&synth.text, &vocab, cfg);
+    (vocab, corpus)
+}
+
+fn params() -> Hyperparams {
+    Hyperparams {
+        dim: 16,
+        window: 3,
+        negative: 3,
+        epochs: 2,
+        seed: 11,
+        ..Hyperparams::default()
+    }
+}
+
+#[test]
+fn metrics_do_not_perturb_training() {
+    let (vocab, corpus) = prepare();
+
+    obs::set_enabled(false);
+    let off =
+        DistributedTrainer::new(params(), DistConfig::paper_default(2)).train(&corpus, &vocab);
+    assert!(
+        obs::snapshot().counters.is_empty(),
+        "disabled run must record nothing"
+    );
+
+    obs::set_enabled(true);
+    obs::reset();
+    let on = DistributedTrainer::new(params(), DistConfig::paper_default(2)).train(&corpus, &vocab);
+
+    // The instrumented run must actually have instrumented something.
+    let snap = obs::snapshot();
+    assert_eq!(
+        snap.counters.get("core.pairs").copied(),
+        Some(on.pairs_trained),
+        "core.pairs counter must match the trainer's own pair count"
+    );
+    assert!(
+        snap.counters.get("gluon.rounds").copied().unwrap_or(0) > 0,
+        "sync rounds must be counted: {:?}",
+        snap.counters.keys().collect::<Vec<_>>()
+    );
+    assert!(
+        snap.histograms.contains_key("core.host_compute_ns"),
+        "per-host compute histogram must be populated"
+    );
+
+    // ... without perturbing a single bit of the result.
+    assert_eq!(off.pairs_trained, on.pairs_trained);
+    assert_eq!(off.stats.total_bytes(), on.stats.total_bytes());
+    assert_eq!(
+        off.model.syn0.as_slice().len(),
+        on.model.syn0.as_slice().len()
+    );
+    for (i, (a, b)) in off
+        .model
+        .syn0
+        .as_slice()
+        .iter()
+        .zip(on.model.syn0.as_slice())
+        .enumerate()
+    {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "syn0[{i}] differs between metrics-off and metrics-on runs"
+        );
+    }
+    for (i, (a, b)) in off
+        .model
+        .syn1neg
+        .as_slice()
+        .iter()
+        .zip(on.model.syn1neg.as_slice())
+        .enumerate()
+    {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "syn1neg[{i}] differs between metrics-off and metrics-on runs"
+        );
+    }
+
+    obs::set_enabled(false);
+    obs::reset();
+}
