@@ -8,6 +8,7 @@ use gw2v_core::params::Hyperparams;
 use gw2v_core::trainer_batched::BatchedTrainer;
 use gw2v_core::trainer_hogwild::HogwildTrainer;
 use gw2v_core::trainer_seq::SequentialTrainer;
+use gw2v_core::trainer_threaded::ThreadedTrainer;
 use gw2v_corpus::datasets::{DatasetPreset, Scale};
 use gw2v_corpus::file::{build_vocab_from_path, write_corpus};
 use gw2v_corpus::phrases::{detect_phrases, PhraseConfig};
@@ -17,6 +18,7 @@ use gw2v_corpus::tokenizer::TokenizerConfig;
 use gw2v_corpus::vocab::Vocabulary;
 use gw2v_eval::analogy::{evaluate_with, AnalogyMethod};
 use gw2v_eval::knn::EmbeddingIndex;
+use gw2v_faults::FaultPlan;
 use gw2v_gluon::plan::SyncPlan;
 use std::error::Error;
 use std::fs::File;
@@ -33,12 +35,14 @@ USAGE:
   gw2v phrases   --input corpus.txt --out phrased.txt
                  [--threshold 100] [--discount 5]
   gw2v train     --input corpus.txt --out model.txt
-                 [--trainer seq|hogwild|batched|dist] [--hosts 8]
+                 [--trainer seq|hogwild|batched|dist|threaded] [--hosts 8]
                  [--sync-rounds N] [--dim 200] [--epochs 16]
                  [--negative 15] [--window 5] [--alpha 0.025]
                  [--combiner mc|avg|sum|mc-pairwise]
                  [--plan opt|naive|pull] [--threads 4] [--seed 1]
                  [--min-count 1] [--subsample 1e-4]
+                 [--fault-plan 'seed=7,drop=0.02,crash=1@3']
+                 [--checkpoint-dir DIR] [--checkpoint-every 1] [--resume]
   gw2v eval      --model model.txt --questions questions.txt
                  [--method cosadd|cosmul]
   gw2v neighbors --model model.txt --word WORD [--k 10]
@@ -135,6 +139,29 @@ fn hyperparams_from(args: &Args) -> Result<Hyperparams, ArgError> {
     })
 }
 
+fn dist_config_from(args: &Args) -> Result<DistConfig, ArgError> {
+    let hosts: usize = args.get_or("hosts", 8)?;
+    let mut config = DistConfig::paper_default(hosts);
+    config.sync_rounds = args.get_or("sync-rounds", config.sync_rounds)?;
+    if let Some(c) = args.get("combiner") {
+        config.combiner =
+            CombinerKind::parse(c).ok_or_else(|| ArgError(format!("bad combiner {c:?}")))?;
+    }
+    if let Some(p) = args.get("plan") {
+        config.plan = SyncPlan::parse(p).ok_or_else(|| ArgError(format!("bad plan {p:?}")))?;
+    }
+    Ok(config)
+}
+
+/// `--fault-plan` wins; otherwise `GW2V_FAULT_PLAN` from the
+/// environment; otherwise the inert plan.
+fn fault_plan_from(args: &Args) -> Result<FaultPlan, ArgError> {
+    match args.get("fault-plan") {
+        Some(spec) => FaultPlan::parse(spec).map_err(|e| ArgError(format!("--fault-plan: {e}"))),
+        None => FaultPlan::from_env().map_err(|e| ArgError(format!("GW2V_FAULT_PLAN: {e}"))),
+    }
+}
+
 fn load_corpus(path: &str, min_count: u64) -> Result<(Vocabulary, Corpus), Box<dyn Error>> {
     let cfg = TokenizerConfig::default();
     let vocab = build_vocab_from_path(path, cfg.clone(), min_count)?;
@@ -145,7 +172,7 @@ fn load_corpus(path: &str, min_count: u64) -> Result<(Vocabulary, Corpus), Box<d
 
 /// `gw2v train` — train a model and save word2vec-format text vectors.
 pub fn train(raw: &[String]) -> CmdResult {
-    let args = Args::parse(raw.iter().cloned(), &[])?;
+    let args = Args::parse(raw.iter().cloned(), &["resume"])?;
     args.check_known(&[
         "input",
         "out",
@@ -163,6 +190,10 @@ pub fn train(raw: &[String]) -> CmdResult {
         "seed",
         "min-count",
         "subsample",
+        "fault-plan",
+        "checkpoint-dir",
+        "checkpoint-every",
+        "resume",
     ])?;
     let input = args.require("input")?;
     let out = args.require("out")?;
@@ -183,23 +214,57 @@ pub fn train(raw: &[String]) -> CmdResult {
             HogwildTrainer::new(params, threads).train(&corpus, &vocab)
         }
         "dist" => {
-            let hosts: usize = args.get_or("hosts", 8)?;
-            let mut config = DistConfig::paper_default(hosts);
-            config.sync_rounds = args.get_or("sync-rounds", config.sync_rounds)?;
-            if let Some(c) = args.get("combiner") {
-                config.combiner = CombinerKind::parse(c)
-                    .ok_or_else(|| ArgError(format!("bad combiner {c:?}")))?;
+            let config = dist_config_from(&args)?;
+            let mut t =
+                DistributedTrainer::new(params, config).with_faults(fault_plan_from(&args)?);
+            match args.get("checkpoint-dir") {
+                Some(dir) => {
+                    let every: usize = args.get_or("checkpoint-every", 1)?;
+                    t = t
+                        .with_checkpointing(dir, every)
+                        .with_resume(args.flag("resume"));
+                }
+                None if args.flag("resume") => {
+                    return Err(ArgError("--resume requires --checkpoint-dir".into()).into())
+                }
+                None => {}
             }
-            if let Some(p) = args.get("plan") {
-                config.plan =
-                    SyncPlan::parse(p).ok_or_else(|| ArgError(format!("bad plan {p:?}")))?;
+            let result = t.train(&corpus, &vocab);
+            if let Some(epoch) = result.resumed_from {
+                println!("resumed after epoch {epoch} checkpoint");
             }
-            let result = DistributedTrainer::new(params, config).train(&corpus, &vocab);
             println!(
                 "distributed: virtual {:.1}s (compute {:.1}s, comm {:.2}s), volume {}",
                 result.virtual_time(),
                 result.compute_time,
                 result.comm_time,
+                gw2v_util::table::fmt_bytes(result.stats.total_bytes())
+            );
+            if result.killed {
+                println!(
+                    "run killed by fault plan after an epoch checkpoint; use --resume to continue"
+                );
+            }
+            result.model
+        }
+        "threaded" => {
+            let config = dist_config_from(&args)?;
+            if config.plan == SyncPlan::PullModel {
+                return Err(
+                    ArgError("--plan pull is simulator-only; use --trainer dist".into()).into(),
+                );
+            }
+            if args.get("checkpoint-dir").is_some() || args.flag("resume") {
+                return Err(
+                    ArgError("checkpointing is simulator-only; use --trainer dist".into()).into(),
+                );
+            }
+            let result = ThreadedTrainer::new(params, config)
+                .with_faults(fault_plan_from(&args)?)
+                .train(&corpus, &vocab)?;
+            println!(
+                "threaded cluster: {} sync rounds, volume {}",
+                result.stats.rounds,
                 gw2v_util::table::fmt_bytes(result.stats.total_bytes())
             );
             result.model
@@ -211,6 +276,10 @@ pub fn train(raw: &[String]) -> CmdResult {
     // registry; show the run's instruments and export the trace.
     if gw2v_obs::enabled() {
         print!("\n{}", gw2v_obs::summary());
+        if let Ok(dest) = std::env::var("GW2V_METRICS_OUT") {
+            std::fs::write(&dest, serde_json::to_string_pretty(&gw2v_obs::snapshot())?)?;
+            println!("[metrics snapshot written to {dest}]");
+        }
         match gw2v_obs::flush_trace(None) {
             Ok(n) if n > 0 => {
                 if let Ok(dest) = std::env::var("GW2V_TRACE_OUT") {
@@ -377,5 +446,61 @@ mod tests {
     fn unknown_options_rejected() {
         assert!(generate(&s(&["--out", "x", "--bogus", "1"])).is_err());
         assert!(train(&s(&["--input", "x", "--out", "y", "--nope", "1"])).is_err());
+    }
+
+    #[test]
+    fn fault_and_checkpoint_flags_pipeline() {
+        let corpus = tmp("chaos_corpus.txt");
+        let model = tmp("chaos_model.txt");
+        let ckdir = tmp("chaos_ck");
+        generate(&s(&[
+            "--out", &corpus, "--scale", "tiny", "--tokens", "20000",
+        ]))
+        .expect("generate");
+        let base = |trainer: &str| {
+            s(&[
+                "--input",
+                &corpus,
+                "--out",
+                &model,
+                "--trainer",
+                trainer,
+                "--hosts",
+                "2",
+                "--sync-rounds",
+                "2",
+                "--dim",
+                "8",
+                "--epochs",
+                "2",
+                "--negative",
+                "2",
+            ])
+        };
+        // Kill after the first epoch's checkpoint, then resume to the end.
+        let mut killed = base("dist");
+        killed.extend(s(&["--fault-plan", "kill=0", "--checkpoint-dir", &ckdir]));
+        train(&killed).expect("killed run");
+        let mut resumed = base("dist");
+        resumed.extend(s(&["--checkpoint-dir", &ckdir, "--resume"]));
+        train(&resumed).expect("resumed run");
+        // The threaded engine accepts a fault plan too.
+        let mut threaded = base("threaded");
+        threaded.extend(s(&["--fault-plan", "seed=3,drop=0.01"]));
+        train(&threaded).expect("threaded chaos run");
+        // Misuse is rejected up front.
+        let mut bare_resume = base("dist");
+        bare_resume.push("--resume".into());
+        assert!(
+            train(&bare_resume).is_err(),
+            "--resume needs --checkpoint-dir"
+        );
+        let mut bad_plan = base("dist");
+        bad_plan.extend(s(&["--fault-plan", "drop=2.0"]));
+        assert!(train(&bad_plan).is_err(), "probabilities must be in [0,1]");
+        std::fs::remove_dir_all(&ckdir).ok();
+        for f in [&corpus, &model] {
+            std::fs::remove_file(f).ok();
+        }
     }
 }

@@ -24,25 +24,49 @@
 //! phase: after computing round `s` it replays round `s+1`'s edge
 //! generation against a [`RecordingStore`] with a cloned RNG — producing
 //! the exact per-host access sets the broadcast needs (§4.4).
+//!
+//! # Fault tolerance (DESIGN.md §3d)
+//!
+//! A [`FaultPlan`] injects faults into the simulator's *virtual* clocks
+//! and schedule: scheduled crashes kill a host at a round boundary (its
+//! partition is adopted by the next alive host, continuing on the
+//! deterministic recovery RNG stream), stragglers add virtual seconds to
+//! a host's compute clock, and drop/flip probabilities replay the exact
+//! per-message coins the threaded transport consults, charging the
+//! retransmissions it would perform as extra virtual communication time.
+//! With the inert plan (the default) every fault path is skipped and the
+//! run is bit-identical to a build without the fault subsystem.
+//! Epoch-boundary [`Checkpoint`]s capture enough state — replicas, RNG
+//! streams, schedule positions, liveness, accumulated clocks — to resume
+//! bit-identically after a kill.
 
+use crate::checkpoint::Checkpoint;
 use crate::model::Word2VecModel;
 use crate::params::Hyperparams;
 use crate::schedule::LrSchedule;
-use crate::setup::{TrainSetup, HOST_RNG_BASE};
+use crate::setup::{TrainSetup, HOST_RNG_BASE, RECOVERY_RNG_BASE};
 use crate::sgns::{train_sentence, RecordingStore, ReplicaStore, TrainScratch};
 use gw2v_combiner::CombinerKind;
 use gw2v_corpus::shard::Corpus;
 use gw2v_corpus::vocab::Vocabulary;
+use gw2v_faults::{counters, FaultPlan};
 use gw2v_gluon::cost::CostModel;
+use gw2v_gluon::liveness::Liveness;
 use gw2v_gluon::plan::{AccessSets, SyncConfig, SyncPlan};
-use gw2v_gluon::sync::{assemble_canonical, sync_round_with_scratch, SyncScratch};
-use gw2v_gluon::volume::CommStats;
+use gw2v_gluon::sync::{assemble_canonical_live, sync_round_degraded, SyncScratch};
+use gw2v_gluon::volume::{CommStats, RoundVolume};
+use gw2v_gluon::wire::FRAME_HEADER_BYTES;
 use gw2v_gluon::ModelReplica;
 use gw2v_util::rng::{SplitMix64, Xoshiro256};
+use std::path::PathBuf;
 use std::time::Instant;
 
 /// Sampled positive pairs per epoch-end loss probe (`core.loss` gauge).
 const LOSS_PROBE_PAIRS: usize = 256;
+
+/// Retry bound for the virtual retransmission model, mirroring the
+/// threaded engine's [`gw2v_gluon::ClusterConfig`] default `max_retries`.
+const VIRTUAL_MAX_RETRIES: u32 = 200;
 
 /// Distributed-run configuration.
 #[derive(Clone, Copy, Debug)]
@@ -111,6 +135,11 @@ pub struct TrainResult {
     pub wall_time: f64,
     /// Positive pairs trained across all hosts.
     pub pairs_trained: u64,
+    /// True when the run was stopped early by the fault plan's `kill`
+    /// directive (after checkpointing that epoch).
+    pub killed: bool,
+    /// The epoch this run started at, when it resumed from a checkpoint.
+    pub resumed_from: Option<usize>,
 }
 
 impl TrainResult {
@@ -126,6 +155,10 @@ pub struct DistributedTrainer {
     pub params: Hyperparams,
     /// Cluster configuration.
     pub config: DistConfig,
+    faults: FaultPlan,
+    checkpoint_dir: Option<PathBuf>,
+    checkpoint_every: usize,
+    resume: bool,
 }
 
 impl DistributedTrainer {
@@ -133,7 +166,44 @@ impl DistributedTrainer {
     pub fn new(params: Hyperparams, config: DistConfig) -> Self {
         assert!(config.n_hosts > 0);
         assert!(config.sync_rounds > 0);
-        Self { params, config }
+        Self {
+            params,
+            config,
+            faults: FaultPlan::none(),
+            checkpoint_dir: None,
+            checkpoint_every: 1,
+            resume: false,
+        }
+    }
+
+    /// Installs a fault plan. The inert plan (the default) leaves every
+    /// fault path disabled and the run bit-identical to an unfaulted one.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
+        self
+    }
+
+    /// Enables epoch-boundary checkpointing into `dir`, writing every
+    /// `every_epochs` epochs (and always at the final epoch and before a
+    /// planned kill).
+    pub fn with_checkpointing(mut self, dir: impl Into<PathBuf>, every_epochs: usize) -> Self {
+        assert!(every_epochs > 0, "checkpoint interval must be positive");
+        self.checkpoint_dir = Some(dir.into());
+        self.checkpoint_every = every_epochs;
+        self
+    }
+
+    /// When enabled, training resumes from the newest checkpoint in the
+    /// checkpointing directory (if one exists and matches this run's
+    /// fingerprint), continuing bit-identically to the run that wrote it.
+    pub fn with_resume(mut self, resume: bool) -> Self {
+        self.resume = resume;
+        self
+    }
+
+    /// The installed fault plan.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.faults
     }
 
     /// Trains and returns the result.
@@ -151,6 +221,8 @@ impl DistributedTrainer {
     ) -> TrainResult {
         let p = &self.params;
         let cfg = &self.config;
+        let plan = &self.faults;
+        let faults_on = !plan.is_inert();
         let h_count = cfg.n_hosts;
         let s_count = cfg.sync_rounds;
         let n_words = vocab.len();
@@ -184,6 +256,64 @@ impl DistributedTrainer {
         let mut pairs_trained = 0u64;
         let mut processed = vec![0u64; h_count];
         let mut scratch = TrainScratch::default();
+        let mut live = Liveness::all(h_count);
+        // Adoption map for dead partitions: `adopters[d]` is the survivor
+        // currently working host d's shard. A (re)assignment — first
+        // adoption, or re-adoption after the adopter itself dies —
+        // restarts d's worklist RNG on the deterministic recovery stream;
+        // the threaded engine applies the identical rule, which keeps
+        // degraded runs bit-comparable across engines.
+        let mut adopters: Vec<Option<usize>> = vec![None; h_count];
+        let fingerprint = Checkpoint::fingerprint_of(p, cfg);
+        let mut start_epoch = 0usize;
+        let mut resumed_from = None;
+
+        if self.resume {
+            let dir = self
+                .checkpoint_dir
+                .as_ref()
+                .expect("resume requires a checkpoint directory");
+            let latest = Checkpoint::latest_in(dir)
+                .unwrap_or_else(|e| panic!("scanning checkpoint dir: {e}"));
+            if let Some(path) = latest {
+                let ckpt = Checkpoint::load(&path)
+                    .unwrap_or_else(|e| panic!("loading {}: {e}", path.display()));
+                assert_eq!(
+                    ckpt.fingerprint,
+                    fingerprint,
+                    "checkpoint {} was written by a run with different \
+                     hyperparameters or cluster configuration",
+                    path.display()
+                );
+                replicas = ckpt
+                    .layers
+                    .iter()
+                    .map(|layers| ModelReplica::new(layers.clone()))
+                    .collect();
+                for (rng, state) in rngs.iter_mut().zip(&ckpt.rng_states) {
+                    *rng = Xoshiro256::from_state(*state);
+                }
+                processed.copy_from_slice(&ckpt.processed);
+                for (h, &alive) in ckpt.alive.iter().enumerate() {
+                    if !alive {
+                        live.mark_dead(h);
+                    }
+                }
+                for (d, adopter) in adopters.iter_mut().enumerate() {
+                    if !live.is_alive(d) {
+                        *adopter = live.adopter_of(d);
+                    }
+                }
+                stats = ckpt.stats;
+                compute_time = ckpt.compute_time;
+                comm_time = ckpt.comm_time;
+                pairs_trained = ckpt.pairs_trained;
+                start_epoch = ckpt.epoch + 1;
+                resumed_from = Some(start_epoch);
+                counters::bump(counters::RECOVERED_RESUME);
+            }
+        }
+
         // Cached instrument handles: one registry lookup for the whole
         // run, then per-round recording is a relaxed atomic each. All of
         // this only *reads* the computation (never the RNG streams or the
@@ -197,16 +327,50 @@ impl DistributedTrainer {
         // reduce/broadcast path recycles its slab and buffers instead of
         // reallocating per round.
         let mut sync_scratch = SyncScratch::new();
+        let mut killed = false;
 
-        for epoch in 0..p.epochs {
+        for epoch in start_epoch..p.epochs {
             for s in 0..s_count {
-                let mut round_span = gw2v_obs::span("core.round")
-                    .epoch(epoch)
-                    .round(epoch * s_count + s);
+                let g = epoch * s_count + s;
+                let mut round_span = gw2v_obs::span("core.round").epoch(epoch).round(g);
                 let pairs_before = pairs_trained;
+
+                // ---- Scheduled crashes strike at the round boundary. ----
+                if faults_on {
+                    let mut someone_died = false;
+                    for h in 0..h_count {
+                        if live.is_alive(h) && plan.crash_round(h) == Some(g) {
+                            counters::bump(counters::INJECTED_CRASH);
+                            live.mark_dead(h);
+                            // The simulator notices instantly; the threaded
+                            // engine spins on its liveness registry for the
+                            // same effect.
+                            counters::bump(counters::DETECTED_CRASH);
+                            someone_died = true;
+                        }
+                    }
+                    if someone_died {
+                        for d in 0..h_count {
+                            if live.is_alive(d) {
+                                continue;
+                            }
+                            let a = live.adopter_of(d).expect("at least one survivor");
+                            if adopters[d] != Some(a) {
+                                adopters[d] = Some(a);
+                                rngs[d] =
+                                    Xoshiro256::new(root.derive(RECOVERY_RNG_BASE + d as u64));
+                                counters::bump(counters::RECOVERED_ADOPT);
+                            }
+                        }
+                    }
+                }
+
                 // ---- Compute phase (each host timed individually). ----
                 let mut round_compute = vec![0.0f64; h_count];
                 for h in 0..h_count {
+                    if !live.is_alive(h) {
+                        continue;
+                    }
                     let chunk = shards[h].round_chunk(s, s_count);
                     let t0 = Instant::now();
                     for sentence in chunk.sentences() {
@@ -225,6 +389,43 @@ impl DistributedTrainer {
                         processed[h] += sentence.len() as u64;
                     }
                     round_compute[h] = t0.elapsed().as_secs_f64();
+                    if faults_on {
+                        if let Some(delay) = plan.straggler_delay(h, g) {
+                            counters::bump(counters::INJECTED_STRAGGLE);
+                            // Virtual-clock injection: the barrier (the max
+                            // below) waits for the straggler.
+                            round_compute[h] += delay;
+                        }
+                    }
+                }
+
+                // ---- Adopted partitions: dead hosts' chunks, trained by
+                // their adopters on the adopters' replicas. ----
+                if faults_on {
+                    for d in 0..h_count {
+                        if live.is_alive(d) {
+                            continue;
+                        }
+                        let a = adopters[d].expect("dead host has an adopter");
+                        let chunk = shards[d].round_chunk(s, s_count);
+                        let t0 = Instant::now();
+                        for sentence in chunk.sentences() {
+                            let alpha = schedule.alpha_for_host(processed[d], h_count);
+                            let mut store = ReplicaStore {
+                                replica: &mut replicas[a],
+                            };
+                            pairs_trained += train_sentence(
+                                &mut store,
+                                sentence,
+                                alpha,
+                                &ctx,
+                                &mut rngs[d],
+                                &mut scratch,
+                            );
+                            processed[d] += sentence.len() as u64;
+                        }
+                        round_compute[a] += t0.elapsed().as_secs_f64();
+                    }
                 }
 
                 // ---- PullModel inspection of the *next* round (§4.4). ----
@@ -239,6 +440,9 @@ impl DistributedTrainer {
                     let mut sets = AccessSets::new(h_count, 2, n_words);
                     if let Some(next_s) = next {
                         for h in 0..h_count {
+                            if !live.is_alive(h) {
+                                continue;
+                            }
                             let chunk = shards[h].round_chunk(next_s, s_count);
                             let t0 = Instant::now();
                             // Clone: replaying must not advance the real stream.
@@ -254,6 +458,25 @@ impl DistributedTrainer {
                                     &mut scratch,
                                 );
                             }
+                            // An adopter also touches its wards' chunks next
+                            // round; fold those accesses into its sets.
+                            for d in 0..h_count {
+                                if live.is_alive(d) || adopters[d] != Some(h) {
+                                    continue;
+                                }
+                                let ward_chunk = shards[d].round_chunk(next_s, s_count);
+                                let mut ward_rng = rngs[d];
+                                for sentence in ward_chunk.sentences() {
+                                    train_sentence(
+                                        &mut recorder,
+                                        sentence,
+                                        0.0,
+                                        &ctx,
+                                        &mut ward_rng,
+                                        &mut scratch,
+                                    );
+                                }
+                            }
                             *sets.get_mut(h, 0) = recorder.syn0_access;
                             *sets.get_mut(h, 1) = recorder.syn1_access;
                             // Inspection is real per-host work: charge it.
@@ -266,15 +489,19 @@ impl DistributedTrainer {
                 };
 
                 // ---- Synchronize (reduce + broadcast). ----
-                let volume = sync_round_with_scratch(
+                let volume = sync_round_degraded(
                     &mut replicas,
                     &sync_cfg,
                     access.as_ref(),
                     &mut stats,
                     &mut sync_scratch,
+                    &live,
                 );
                 let round_comp = round_compute.iter().cloned().fold(0.0, f64::max);
-                let round_comm = cfg.cost.round_time(&volume);
+                let mut round_comm = cfg.cost.round_time(&volume);
+                if faults_on && (plan.drop_p > 0.0 || plan.flip_p > 0.0) {
+                    round_comm += virtual_retransmission_time(plan, g, &live, &volume, &cfg.cost);
+                }
                 compute_time += round_comp;
                 comm_time += round_comm;
 
@@ -300,7 +527,7 @@ impl DistributedTrainer {
                 }
                 drop(round_span);
             }
-            let layers = assemble_canonical(&replicas);
+            let layers = assemble_canonical_live(&replicas, &live);
             let mut it = layers.into_iter();
             let canonical =
                 Word2VecModel::from_layers(it.next().expect("syn0"), it.next().expect("syn1neg"));
@@ -329,9 +556,35 @@ impl DistributedTrainer {
                 virtual_time: compute_time + comm_time,
             };
             on_epoch(&snap, &canonical);
+
+            // ---- Epoch-boundary checkpoint + planned kill. ----
+            let kill_here = faults_on && plan.kill_after_epoch == Some(epoch);
+            if let Some(dir) = &self.checkpoint_dir {
+                if (epoch + 1) % self.checkpoint_every == 0 || epoch + 1 == p.epochs || kill_here {
+                    let ckpt = Checkpoint {
+                        fingerprint,
+                        epoch,
+                        pairs_trained,
+                        compute_time,
+                        comm_time,
+                        processed: processed.clone(),
+                        alive: (0..h_count).map(|h| live.is_alive(h)).collect(),
+                        rng_states: rngs.iter().map(Xoshiro256::state).collect(),
+                        stats,
+                        layers: replicas.iter().map(|r| r.layers.clone()).collect(),
+                    };
+                    ckpt.save_in(dir)
+                        .unwrap_or_else(|e| panic!("writing checkpoint: {e}"));
+                }
+            }
+            if kill_here {
+                counters::bump(counters::INJECTED_KILL);
+                killed = true;
+                break;
+            }
         }
 
-        let layers = assemble_canonical(&replicas);
+        let layers = assemble_canonical_live(&replicas, &live);
         let mut it = layers.into_iter();
         let model =
             Word2VecModel::from_layers(it.next().expect("syn0"), it.next().expect("syn1neg"));
@@ -356,8 +609,73 @@ impl DistributedTrainer {
             comm_time,
             wall_time,
             pairs_trained,
+            killed,
+            resumed_from,
         }
     }
+}
+
+/// Models the transport retransmissions the threaded engine performs for
+/// real: replays the per-message drop/flip coins for the round's two
+/// phases (the same coins the threaded transport consults, so both
+/// engines inject the same faults) and charges the resends at the
+/// round's average message size under the α–β cost model. Each simulated
+/// fault is also counted through the observability registry.
+fn virtual_retransmission_time(
+    plan: &FaultPlan,
+    global_round: usize,
+    live: &Liveness,
+    volume: &RoundVolume,
+    cost: &CostModel,
+) -> f64 {
+    let h_count = live.n_hosts();
+    let n_layers = 2usize;
+    let mut extra_msgs = 0u64;
+    for phase in 0..2u64 {
+        // The threaded engine's per-phase sequence numbers: round g runs
+        // phases 2g+1 (reduce) and 2g+2 (broadcast).
+        let seq = 2 * global_round as u64 + 1 + phase;
+        for from in 0..h_count {
+            if !live.is_alive(from) {
+                continue;
+            }
+            for to in 0..h_count {
+                if to == from || !live.is_alive(to) {
+                    continue;
+                }
+                for layer in 0..n_layers {
+                    let mut attempt = 0u32;
+                    while attempt <= VIRTUAL_MAX_RETRIES {
+                        if plan.should_drop(from, to, layer, seq, attempt) {
+                            counters::bump(counters::INJECTED_DROP);
+                            counters::bump(counters::DETECTED_TIMEOUT);
+                        } else if plan
+                            // The flip decision coin is length-independent
+                            // (any non-empty frame flips identically), so the
+                            // header size stands in for the frame length.
+                            .flip_bit(from, to, layer, seq, attempt, FRAME_HEADER_BYTES)
+                            .is_some()
+                        {
+                            counters::bump(counters::INJECTED_FLIP);
+                            counters::bump(counters::DETECTED_CORRUPT);
+                        } else {
+                            break;
+                        }
+                        counters::bump(counters::RECOVERED_RESEND);
+                        attempt += 1;
+                    }
+                    extra_msgs += attempt as u64;
+                }
+            }
+        }
+    }
+    if extra_msgs == 0 {
+        return 0.0;
+    }
+    let n_alive = live.n_alive() as u64;
+    let delivered = 2 * n_alive * n_alive.saturating_sub(1) * n_layers as u64;
+    let avg_bytes = volume.total_bytes() / delivered.max(1);
+    cost.transfer_time(extra_msgs * avg_bytes) + extra_msgs as f64 * cost.latency_sec
 }
 
 #[cfg(test)]
@@ -563,5 +881,76 @@ mod tests {
         assert!((lo..hi).contains(&r4.pairs_trained));
         assert!(r4.stats.total_bytes() > 0);
         assert!(r4.comm_time > 0.0);
+    }
+
+    #[test]
+    fn crash_degrades_gracefully_and_still_learns() {
+        let (corpus, vocab) = corpus(180);
+        let params = Hyperparams {
+            dim: 24,
+            epochs: 4,
+            negative: 5,
+            subsample: 0.0,
+            ..Hyperparams::test_scale()
+        };
+        let plan: FaultPlan = "crash=1@2".parse().unwrap();
+        let res = DistributedTrainer::new(
+            params,
+            dist_cfg(3, 2, SyncPlan::RepModelOpt, CombinerKind::ModelCombiner),
+        )
+        .with_faults(plan)
+        .train(&corpus, &vocab);
+        assert!(!res.killed);
+        assert!(res.model.syn0.as_slice().iter().all(|x| x.is_finite()));
+        let emb = |w: &str| res.model.embedding(vocab.id_of(w).unwrap());
+        let same = fvec::cosine(emb("a0"), emb("a2"));
+        let cross = fvec::cosine(emb("a0"), emb("b3"));
+        assert!(same > cross, "same {same} vs cross {cross}");
+    }
+
+    #[test]
+    fn degraded_runs_are_deterministic() {
+        let (corpus, vocab) = corpus(90);
+        let params = Hyperparams {
+            epochs: 2,
+            ..Hyperparams::test_scale()
+        };
+        let plan: FaultPlan = "seed=11,drop=0.05,crash=2@1,straggle=0@0x10ms"
+            .parse()
+            .unwrap();
+        let mk = || {
+            DistributedTrainer::new(
+                params.clone(),
+                dist_cfg(3, 2, SyncPlan::RepModelOpt, CombinerKind::ModelCombiner),
+            )
+            .with_faults(plan.clone())
+            .train(&corpus, &vocab)
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a.model, b.model, "same plan, same bits");
+        assert_eq!(a.pairs_trained, b.pairs_trained);
+        assert_eq!(a.stats.total_bytes(), b.stats.total_bytes());
+    }
+
+    #[test]
+    fn stragglers_inflate_virtual_time_only() {
+        let (corpus, vocab) = corpus(60);
+        let params = Hyperparams {
+            epochs: 1,
+            ..Hyperparams::test_scale()
+        };
+        let cfg = dist_cfg(2, 2, SyncPlan::RepModelOpt, CombinerKind::ModelCombiner);
+        let clean = DistributedTrainer::new(params.clone(), cfg).train(&corpus, &vocab);
+        let slow = DistributedTrainer::new(params, cfg)
+            .with_faults("straggle=1@0x2s".parse().unwrap())
+            .train(&corpus, &vocab);
+        assert_eq!(clean.model, slow.model, "a straggler changes no bits");
+        assert!(
+            slow.compute_time >= clean.compute_time + 1.9,
+            "virtual clock must absorb the 2 s delay: {} vs {}",
+            slow.compute_time,
+            clean.compute_time
+        );
     }
 }

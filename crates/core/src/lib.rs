@@ -28,7 +28,13 @@
 //!   Gensim ("GEN" in the paper's tables).
 //! * [`distributed`] — the GraphWord2Vec engine (Algorithm 1): per-host
 //!   worklists, per-round chunks, compute + synchronize loop, PullModel
-//!   inspection, virtual-time accounting.
+//!   inspection, virtual-time accounting, fault injection/recovery and
+//!   checkpoint/resume (DESIGN.md §3d).
+//! * [`trainer_threaded`] — the same distributed protocol run on the
+//!   gw2v-gluon threaded cluster (one OS thread per host), with the same
+//!   fault-tolerance guarantees executed for real.
+//! * [`checkpoint`] — epoch-boundary training snapshots for
+//!   kill/resume: bit-exact, CRC-guarded, atomically written.
 //! * [`loss`] — negative-sampling loss estimation for monitoring.
 //! * [`cbow`] — the Continuous-Bag-of-Words extension (the paper notes
 //!   its ideas "will work with other models as well"; CBOW is the other
@@ -40,6 +46,7 @@
 #![warn(missing_docs)]
 
 pub mod cbow;
+pub mod checkpoint;
 pub mod distributed;
 pub mod hs;
 pub mod huffman;
@@ -53,8 +60,11 @@ pub mod sigmoid;
 pub mod trainer_batched;
 pub mod trainer_hogwild;
 pub mod trainer_seq;
+pub mod trainer_threaded;
 
+pub use checkpoint::{Checkpoint, CheckpointError};
 pub use distributed::{DistConfig, DistributedTrainer, EpochSnapshot, TrainResult};
 pub use model::Word2VecModel;
 pub use params::Hyperparams;
 pub use trainer_seq::SequentialTrainer;
+pub use trainer_threaded::ThreadedTrainer;

@@ -19,6 +19,15 @@ use gw2v_util::rng::Rng64;
 /// it bit-comparable with distributed runs.
 pub const HOST_RNG_BASE: u64 = 0x1000;
 
+/// Stream-id base for *recovery* RNGs: when host `d` crashes and a
+/// survivor adopts its partition, the adopter continues `d`'s worklist
+/// with the fresh stream `SplitMix64::new(params.seed).derive(
+/// RECOVERY_RNG_BASE + d)` — the dead host's in-memory stream state is
+/// gone, so a deterministic replacement stream is derived instead. Both
+/// the sequential simulator and the threaded cluster use this rule,
+/// which keeps degraded runs bit-comparable across engines.
+pub const RECOVERY_RNG_BASE: u64 = 0x2000;
+
 /// Enum-dispatched negative sampler (the [`NegativeSampler`] trait has a
 /// generic method, so trait objects are not an option).
 #[derive(Clone, Debug)]

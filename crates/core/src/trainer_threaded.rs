@@ -1,0 +1,379 @@
+//! The distributed protocol on the threaded cluster engine.
+//!
+//! [`ThreadedTrainer`] runs Algorithm 1 with one OS thread per host on
+//! the gw2v-gluon threaded fabric: real message passing (CRC-framed,
+//! NAK/resend reliable), real barriers, real crashes. It is the
+//! demonstration that the protocol the BSP simulator models — including
+//! the fault-tolerance story of DESIGN.md §3d — executes correctly under
+//! genuine concurrency:
+//!
+//! * a faultless run produces a model **bit-identical** to
+//!   [`crate::DistributedTrainer`]'s (same RNG streams, same fold order);
+//! * drops and bit-flips are detected (CRC / timeout) and repaired by
+//!   retransmission, leaving the result bit-identical to a clean run;
+//! * a crashed host's shard is adopted by the next alive host, which
+//!   re-derives the dead worklist's position deterministically (raw token
+//!   counts are RNG-free) and continues it on the recovery RNG stream —
+//!   the same rule the simulator applies, so degraded runs also match the
+//!   simulator bit-for-bit;
+//! * a `kill=E` directive stops the whole cluster after epoch `E`.
+//!
+//! What the threaded engine deliberately does **not** do: PullModel
+//! (inspection is sequential-engine only, see DESIGN.md §3), virtual
+//! time accounting (`compute_time`/`comm_time` are reported as zero —
+//! wall time is the real measurement here), and checkpoint/resume
+//! (epoch-boundary checkpointing lives in the simulator, which is what
+//! experiments script against).
+
+use crate::distributed::{DistConfig, TrainResult};
+use crate::model::Word2VecModel;
+use crate::params::Hyperparams;
+use crate::schedule::LrSchedule;
+use crate::setup::{TrainSetup, HOST_RNG_BASE, RECOVERY_RNG_BASE};
+use crate::sgns::{train_sentence, ReplicaStore, TrainScratch};
+use gw2v_corpus::shard::{Corpus, CorpusShard};
+use gw2v_corpus::vocab::Vocabulary;
+use gw2v_faults::{counters, FaultPlan};
+use gw2v_gluon::liveness::Liveness;
+use gw2v_gluon::plan::{SyncConfig, SyncPlan};
+use gw2v_gluon::threaded::{
+    run_cluster_with, sync_round_threaded_degraded, ClusterConfig, ClusterError,
+    ThreadedSyncScratch,
+};
+use gw2v_gluon::volume::CommStats;
+use gw2v_gluon::ModelReplica;
+use gw2v_util::fvec::FlatMatrix;
+use gw2v_util::rng::{SplitMix64, Xoshiro256};
+use std::time::Instant;
+
+/// A dead host's shard, carried forward by its adopter.
+struct Ward {
+    host: usize,
+    rng: Xoshiro256,
+    processed: u64,
+}
+
+/// What each host thread hands back to the coordinator.
+struct HostOutcome {
+    crashed: bool,
+    layers: Vec<FlatMatrix>,
+    stats: CommStats,
+    pairs: u64,
+}
+
+/// Tokens host `d` has processed by the start of `(epoch, s)`: full
+/// epochs' worth of its shard plus this epoch's earlier chunks. Raw
+/// token counts are independent of any RNG stream, so an adopter can
+/// recompute a dead host's schedule position exactly.
+fn processed_at(shard: &CorpusShard<'_>, epoch: usize, s: usize, s_count: usize) -> u64 {
+    let mut total = epoch as u64 * shard.total_tokens() as u64;
+    for s_prior in 0..s {
+        total += shard.round_chunk(s_prior, s_count).total_tokens() as u64;
+    }
+    total
+}
+
+/// The distributed trainer on the threaded cluster engine.
+pub struct ThreadedTrainer {
+    /// Hyperparameters.
+    pub params: Hyperparams,
+    /// Cluster configuration ([`SyncPlan::PullModel`] is rejected — the
+    /// inspection handshake is sequential-engine only).
+    pub config: DistConfig,
+    faults: FaultPlan,
+    cluster: ClusterConfig,
+}
+
+impl ThreadedTrainer {
+    /// Creates a trainer.
+    pub fn new(params: Hyperparams, config: DistConfig) -> Self {
+        assert!(config.n_hosts > 0);
+        assert!(config.sync_rounds > 0);
+        assert!(
+            config.plan != SyncPlan::PullModel,
+            "PullModel is sequential-engine only (DESIGN.md §3)"
+        );
+        Self {
+            params,
+            config,
+            faults: FaultPlan::none(),
+            cluster: ClusterConfig::default(),
+        }
+    }
+
+    /// Installs a fault plan; drops, flips, stragglers and crashes are
+    /// injected for real (withheld frames, corrupted bytes, `sleep`s,
+    /// exiting threads).
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
+        self
+    }
+
+    /// Overrides the reliable-transport timing knobs.
+    pub fn with_cluster_config(mut self, cluster: ClusterConfig) -> Self {
+        self.cluster = cluster;
+        self
+    }
+
+    /// Trains on one thread per host. Returns the canonical model (every
+    /// survivor's replica agrees after the final broadcast) or the first
+    /// cluster-fabric error.
+    pub fn train(&self, corpus: &Corpus, vocab: &Vocabulary) -> Result<TrainResult, ClusterError> {
+        let p = &self.params;
+        let cfg = &self.config;
+        let h_count = cfg.n_hosts;
+        let s_count = cfg.sync_rounds;
+        let wall_start = Instant::now();
+
+        let setup = TrainSetup::new(vocab, p);
+        let init = Word2VecModel::init(vocab.len(), p.dim, p.seed);
+        let root = SplitMix64::new(p.seed);
+        let schedule = LrSchedule::new(
+            p.alpha,
+            p.min_alpha_frac,
+            corpus.total_tokens() as u64,
+            p.epochs,
+        );
+        let sync_cfg = SyncConfig {
+            plan: cfg.plan,
+            combiner: cfg.combiner,
+        };
+        let killed = self
+            .faults
+            .kill_after_epoch
+            .is_some_and(|e| e + 1 < p.epochs);
+
+        let outcomes = run_cluster_with(
+            h_count,
+            self.faults.clone(),
+            self.cluster,
+            |ctx| -> Result<HostOutcome, ClusterError> {
+                let h = ctx.host;
+                let train_ctx = setup.ctx(p);
+                let mut replica = ModelReplica::new(vec![init.syn0.clone(), init.syn1neg.clone()]);
+                let mut rng = Xoshiro256::new(root.derive(HOST_RNG_BASE + h as u64));
+                let shard = corpus.partition(h, h_count);
+                let mut stats = CommStats::default();
+                let mut pairs = 0u64;
+                let mut processed = 0u64;
+                let mut scratch = TrainScratch::default();
+                let mut sync_scratch = ThreadedSyncScratch::new();
+                let mut live = Liveness::all(h_count);
+                let mut wards: Vec<Ward> = Vec::new();
+
+                for epoch in 0..p.epochs {
+                    for s in 0..s_count {
+                        let g = epoch * s_count + s;
+                        if ctx.plan().crash_round(h) == Some(g) {
+                            ctx.mark_self_dead();
+                            return Ok(HostOutcome {
+                                crashed: true,
+                                layers: Vec::new(),
+                                stats,
+                                pairs,
+                            });
+                        }
+                        // Peers scheduled to die this round: confirm each
+                        // death through the runtime registry, then degrade
+                        // the deterministic view every survivor shares.
+                        let mut someone_died = false;
+                        for peer in 0..h_count {
+                            if peer != h
+                                && live.is_alive(peer)
+                                && ctx.plan().crash_round(peer) == Some(g)
+                            {
+                                ctx.await_death(peer);
+                                live.mark_dead(peer);
+                                someone_died = true;
+                            }
+                        }
+                        if someone_died {
+                            for d in 0..h_count {
+                                if live.is_alive(d)
+                                    || live.adopter_of(d) != Some(h)
+                                    || wards.iter().any(|w| w.host == d)
+                                {
+                                    continue;
+                                }
+                                counters::bump(counters::RECOVERED_ADOPT);
+                                wards.push(Ward {
+                                    host: d,
+                                    rng: Xoshiro256::new(root.derive(RECOVERY_RNG_BASE + d as u64)),
+                                    processed: processed_at(
+                                        &corpus.partition(d, h_count),
+                                        epoch,
+                                        s,
+                                        s_count,
+                                    ),
+                                });
+                            }
+                            wards.sort_by_key(|w| w.host);
+                        }
+                        ctx.maybe_straggle(g);
+
+                        // Own chunk first, then adopted chunks in dead-host
+                        // order — the simulator applies updates to this
+                        // replica in exactly this sequence.
+                        for sentence in shard.round_chunk(s, s_count).sentences() {
+                            let alpha = schedule.alpha_for_host(processed, h_count);
+                            let mut store = ReplicaStore {
+                                replica: &mut replica,
+                            };
+                            pairs += train_sentence(
+                                &mut store,
+                                sentence,
+                                alpha,
+                                &train_ctx,
+                                &mut rng,
+                                &mut scratch,
+                            );
+                            processed += sentence.len() as u64;
+                        }
+                        for w in wards.iter_mut() {
+                            let ward_shard = corpus.partition(w.host, h_count);
+                            for sentence in ward_shard.round_chunk(s, s_count).sentences() {
+                                let alpha = schedule.alpha_for_host(w.processed, h_count);
+                                let mut store = ReplicaStore {
+                                    replica: &mut replica,
+                                };
+                                pairs += train_sentence(
+                                    &mut store,
+                                    sentence,
+                                    alpha,
+                                    &train_ctx,
+                                    &mut w.rng,
+                                    &mut scratch,
+                                );
+                                w.processed += sentence.len() as u64;
+                            }
+                        }
+
+                        sync_round_threaded_degraded(
+                            &ctx,
+                            &mut replica,
+                            &sync_cfg,
+                            &mut stats,
+                            &mut sync_scratch,
+                            &live,
+                        )?;
+                    }
+                    if ctx.plan().kill_after_epoch == Some(epoch) && epoch + 1 < p.epochs {
+                        // Whole-cluster stop; the lowest alive host counts it.
+                        if (0..h_count).find(|&x| live.is_alive(x)) == Some(h) {
+                            counters::bump(counters::INJECTED_KILL);
+                        }
+                        break;
+                    }
+                }
+                Ok(HostOutcome {
+                    crashed: false,
+                    layers: replica.layers,
+                    stats,
+                    pairs,
+                })
+            },
+        );
+
+        let mut stats = CommStats::default();
+        let mut pairs_trained = 0u64;
+        let mut rounds = 0u64;
+        let mut survivor_layers: Option<Vec<FlatMatrix>> = None;
+        for outcome in outcomes {
+            let outcome = outcome?;
+            stats.merge(&outcome.stats);
+            rounds = rounds.max(outcome.stats.rounds);
+            pairs_trained += outcome.pairs;
+            if !outcome.crashed && survivor_layers.is_none() {
+                survivor_layers = Some(outcome.layers);
+            }
+        }
+        stats.rounds = rounds;
+        let mut it = survivor_layers
+            .expect("at least one host survives")
+            .into_iter();
+        let model =
+            Word2VecModel::from_layers(it.next().expect("syn0"), it.next().expect("syn1neg"));
+        Ok(TrainResult {
+            model,
+            stats,
+            compute_time: 0.0,
+            comm_time: 0.0,
+            wall_time: wall_start.elapsed().as_secs_f64(),
+            pairs_trained,
+            killed,
+            resumed_from: None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distributed::DistributedTrainer;
+    use gw2v_combiner::CombinerKind;
+    use gw2v_corpus::tokenizer::TokenizerConfig;
+    use gw2v_corpus::vocab::VocabBuilder;
+    use gw2v_gluon::cost::CostModel;
+
+    fn corpus(n_sentences: usize) -> (Corpus, Vocabulary) {
+        let mut text = String::new();
+        for i in 0..n_sentences {
+            match i % 3 {
+                0 => text.push_str("a0 a1 a2 a3 a1 a2\n"),
+                1 => text.push_str("b0 b1 b2 b3 b1 b2\n"),
+                _ => text.push_str("c0 c1 a1 b1 c2 c0\n"),
+            }
+        }
+        let mut b = VocabBuilder::new();
+        for tok in text.split_whitespace() {
+            b.add_token(tok);
+        }
+        let vocab = b.build(1);
+        let cfg = TokenizerConfig {
+            lowercase: false,
+            max_sentence_len: 6,
+        };
+        (Corpus::from_text(&text, &vocab, cfg), vocab)
+    }
+
+    fn cfg(n_hosts: usize, rounds: usize) -> DistConfig {
+        DistConfig {
+            n_hosts,
+            sync_rounds: rounds,
+            plan: SyncPlan::RepModelOpt,
+            combiner: CombinerKind::ModelCombiner,
+            cost: CostModel::infiniband_56g(),
+        }
+    }
+
+    #[test]
+    fn faultless_threaded_matches_simulator_bitwise() {
+        let (corpus, vocab) = corpus(90);
+        let params = Hyperparams {
+            epochs: 2,
+            ..Hyperparams::test_scale()
+        };
+        let sim = DistributedTrainer::new(params.clone(), cfg(3, 2)).train(&corpus, &vocab);
+        let thr = ThreadedTrainer::new(params, cfg(3, 2))
+            .train(&corpus, &vocab)
+            .expect("faultless cluster run");
+        assert_eq!(sim.model, thr.model, "engines must agree bit-for-bit");
+        assert_eq!(sim.pairs_trained, thr.pairs_trained);
+        assert_eq!(sim.stats.total_bytes(), thr.stats.total_bytes());
+        assert_eq!(sim.stats.rounds, thr.stats.rounds);
+    }
+
+    #[test]
+    fn pull_model_is_rejected() {
+        let result = std::panic::catch_unwind(|| {
+            ThreadedTrainer::new(
+                Hyperparams::test_scale(),
+                DistConfig {
+                    plan: SyncPlan::PullModel,
+                    ..cfg(2, 2)
+                },
+            )
+        });
+        assert!(result.is_err());
+    }
+}

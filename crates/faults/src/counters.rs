@@ -1,0 +1,40 @@
+//! Canonical gw2v-obs counter names for fault events.
+//!
+//! Three families mirror the lifecycle the fault-tolerance subsystem
+//! guarantees: every fault is *injected* deliberately, *detected* by a
+//! checksum/timeout/liveness mechanism, and *recovered* from by
+//! retransmission, adoption or resume. Chaos tests assert the families
+//! against each other (e.g. every injected drop must be recovered by a
+//! resend), so all engines must count through these exact names.
+
+/// A message was deliberately withheld by the injector.
+pub const INJECTED_DROP: &str = "faults.injected.drop";
+/// A payload bit was deliberately flipped by the injector.
+pub const INJECTED_FLIP: &str = "faults.injected.flip";
+/// A host was crashed at a round boundary.
+pub const INJECTED_CRASH: &str = "faults.injected.crash";
+/// A host's compute phase was artificially delayed.
+pub const INJECTED_STRAGGLE: &str = "faults.injected.straggle";
+/// The whole training process was stopped after an epoch boundary.
+pub const INJECTED_KILL: &str = "faults.injected.kill";
+
+/// A frame failed its CRC-32 check at the receiver.
+pub const DETECTED_CORRUPT: &str = "faults.detected.corrupt";
+/// An expected message did not arrive within the receive timeout.
+pub const DETECTED_TIMEOUT: &str = "faults.detected.timeout";
+/// A dead host was noticed through the liveness registry.
+pub const DETECTED_CRASH: &str = "faults.detected.crash";
+
+/// A missing or corrupt message was recovered via NAK/resend.
+pub const RECOVERED_RESEND: &str = "faults.recovered.resend";
+/// A surviving host adopted a crashed host's partition.
+pub const RECOVERED_ADOPT: &str = "faults.recovered.adopt";
+/// A training run resumed from an on-disk checkpoint.
+pub const RECOVERED_RESUME: &str = "faults.recovered.resume";
+
+/// Increments `name` by 1 in the global registry (no-op when metrics are
+/// disabled, like all of gw2v-obs).
+#[inline]
+pub fn bump(name: &str) {
+    gw2v_obs::add(name, 1);
+}

@@ -1,0 +1,47 @@
+//! # gw2v-faults
+//!
+//! Deterministic fault injection for the distributed engines.
+//!
+//! The paper's D-Galois deployment ran on 32 real Azure hosts, where
+//! stragglers, dropped packets and host failures are facts of life. This
+//! crate provides the *injection* half of the reproduction's
+//! fault-tolerance story: a seeded [`FaultPlan`] describing which faults
+//! strike where, evaluated as a **pure function of coordinates** — never
+//! of wall-clock time, thread scheduling or query order — so a chaos run
+//! is exactly as reproducible as a faultless one.
+//!
+//! Faults modeled:
+//!
+//! * **Message drops** — a per-message Bernoulli coin ([`FaultPlan::should_drop`]);
+//!   the threaded cluster really withholds the message, the BSP simulator
+//!   charges the virtual retransmission latency.
+//! * **Payload bit-flips** — [`FaultPlan::flip_bit`] picks a deterministic
+//!   bit of the framed payload; the CRC-32 wire frame (gw2v-gluon) is
+//!   guaranteed to detect it.
+//! * **Host crashes** — [`FaultPlan::crash_round`] kills a host at the
+//!   start of a chosen global sync round; a surviving host adopts its
+//!   corpus shard and master block.
+//! * **Straggler delays** — [`FaultPlan::straggler_delay`] slows one
+//!   host's compute phase in chosen rounds (a real `sleep` on the
+//!   threaded engine, virtual seconds on the simulator).
+//! * **Process kills** — [`FaultPlan::kill_after_epoch`] stops the whole
+//!   training run after an epoch boundary, standing in for SIGKILL in
+//!   checkpoint/resume tests.
+//!
+//! Plans parse from a compact spec string (`GW2V_FAULT_PLAN` /
+//! `--fault-plan`), e.g.:
+//!
+//! ```text
+//! seed=42,drop=0.02,flip=0.001,crash=1@3,straggle=2@1x50ms,kill=2
+//! ```
+//!
+//! Every injected, detected and recovered fault event is counted through
+//! [`gw2v_obs`] under the [`counters`] names, so chaos runs are auditable
+//! from the metrics snapshot alone.
+
+#![deny(missing_docs)]
+
+pub mod counters;
+mod plan;
+
+pub use plan::{CrashSpec, FaultPlan, PlanParseError, StragglerSpec};

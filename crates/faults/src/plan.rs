@@ -1,0 +1,424 @@
+//! The seeded, deterministic fault plan.
+
+use gw2v_util::rng::SplitMix64;
+use std::fmt;
+
+/// Domain-separation tags for the per-fault-kind decision streams.
+const TAG_DROP: u64 = 0xD80F;
+const TAG_FLIP: u64 = 0xF117;
+const TAG_FLIP_POS: u64 = 0xF119;
+
+/// Crash `host` at the start of global sync round `round`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CrashSpec {
+    /// Host to kill.
+    pub host: usize,
+    /// Global round index (`epoch · sync_rounds + s`) at whose start the
+    /// host dies, before computing or sending anything.
+    pub round: usize,
+}
+
+/// Delay `host`'s compute phase in global sync round `round`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StragglerSpec {
+    /// Host to slow down.
+    pub host: usize,
+    /// Global round index the delay applies to.
+    pub round: usize,
+    /// Added compute time in seconds (a real sleep on the threaded
+    /// engine, virtual seconds on the BSP simulator).
+    pub delay_secs: f64,
+}
+
+/// A deterministic, seeded schedule of faults to inject into a
+/// distributed training run.
+///
+/// All stochastic decisions (drops, flips) are pure functions of
+/// `(seed, message coordinates, attempt)` — hashed, not drawn from a
+/// stateful stream — so they are independent of query order, thread
+/// interleaving and wall-clock time. Two runs with the same plan inject
+/// byte-identical faults.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for the drop/flip decision hashes.
+    pub seed: u64,
+    /// Per-message, per-attempt drop probability in `[0, 1]`.
+    pub drop_p: f64,
+    /// Per-message, per-attempt bit-flip probability in `[0, 1]`.
+    pub flip_p: f64,
+    /// Scheduled host crashes.
+    pub crashes: Vec<CrashSpec>,
+    /// Scheduled straggler delays.
+    pub stragglers: Vec<StragglerSpec>,
+    /// Stop the whole training process after this epoch completes (and
+    /// checkpoints) — the injector's stand-in for SIGKILL in
+    /// checkpoint/resume tests.
+    pub kill_after_epoch: Option<usize>,
+}
+
+/// A fault-plan spec string that could not be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanParseError(pub String);
+
+impl fmt::Display for PlanParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bad fault plan: {}", self.0)
+    }
+}
+
+impl std::error::Error for PlanParseError {}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+impl FaultPlan {
+    /// The inert plan: injects nothing, costs nothing.
+    pub fn none() -> Self {
+        Self {
+            seed: 0,
+            drop_p: 0.0,
+            flip_p: 0.0,
+            crashes: Vec::new(),
+            stragglers: Vec::new(),
+            kill_after_epoch: None,
+        }
+    }
+
+    /// True when the plan injects no fault of any kind. Engines use this
+    /// to skip the fault paths entirely, keeping faultless runs
+    /// bit-identical to a build without the fault subsystem.
+    pub fn is_inert(&self) -> bool {
+        self.drop_p == 0.0
+            && self.flip_p == 0.0
+            && self.crashes.is_empty()
+            && self.stragglers.is_empty()
+            && self.kill_after_epoch.is_none()
+    }
+
+    /// Order-independent decision hash over the given coordinates.
+    fn hash(&self, tag: u64, words: [u64; 5]) -> u64 {
+        let mut h = SplitMix64::new(self.seed).derive(tag);
+        for w in words {
+            h = SplitMix64::new(h).derive(w);
+        }
+        h
+    }
+
+    /// Uniform `[0, 1)` coin for the given coordinates.
+    fn coin(&self, tag: u64, words: [u64; 5]) -> f64 {
+        (self.hash(tag, words) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Should delivery attempt `attempt` of the `(from → to, layer)`
+    /// message of phase `seq` be dropped?
+    ///
+    /// `seq` is the global phase sequence number (two phases — reduce and
+    /// broadcast — per sync round), and `attempt` counts retransmissions,
+    /// so a dropped message's resend gets an independent coin and
+    /// bounded-retry recovery terminates with probability 1.
+    pub fn should_drop(
+        &self,
+        from: usize,
+        to: usize,
+        layer: usize,
+        seq: u64,
+        attempt: u32,
+    ) -> bool {
+        self.drop_p > 0.0
+            && self.coin(
+                TAG_DROP,
+                [from as u64, to as u64, layer as u64, seq, attempt as u64],
+            ) < self.drop_p
+    }
+
+    /// If this delivery attempt is to be corrupted, the bit index (within
+    /// `len_bytes · 8`) to flip; `None` for clean delivery.
+    pub fn flip_bit(
+        &self,
+        from: usize,
+        to: usize,
+        layer: usize,
+        seq: u64,
+        attempt: u32,
+        len_bytes: usize,
+    ) -> Option<usize> {
+        if self.flip_p == 0.0 || len_bytes == 0 {
+            return None;
+        }
+        let words = [from as u64, to as u64, layer as u64, seq, attempt as u64];
+        if self.coin(TAG_FLIP, words) >= self.flip_p {
+            return None;
+        }
+        Some((self.hash(TAG_FLIP_POS, words) % (len_bytes as u64 * 8)) as usize)
+    }
+
+    /// The global round at whose start `host` crashes, if scheduled.
+    pub fn crash_round(&self, host: usize) -> Option<usize> {
+        self.crashes
+            .iter()
+            .filter(|c| c.host == host)
+            .map(|c| c.round)
+            .min()
+    }
+
+    /// The straggler delay (seconds) for `host` in global round `round`.
+    pub fn straggler_delay(&self, host: usize, round: usize) -> Option<f64> {
+        let total: f64 = self
+            .stragglers
+            .iter()
+            .filter(|s| s.host == host && s.round == round)
+            .map(|s| s.delay_secs)
+            .sum();
+        (total > 0.0).then_some(total)
+    }
+
+    /// Parses a compact spec string:
+    ///
+    /// ```text
+    /// seed=42,drop=0.02,flip=0.001,crash=1@3,straggle=2@1x50ms,kill=2
+    /// ```
+    ///
+    /// `crash` and `straggle` entries may repeat; `straggle` delays take a
+    /// `ms` or `s` suffix. An empty string is the inert plan.
+    pub fn parse(spec: &str) -> Result<Self, PlanParseError> {
+        let mut plan = Self::none();
+        for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| PlanParseError(format!("{part:?} is not key=value")))?;
+            match key {
+                "seed" => plan.seed = parse_num(key, value)?,
+                "drop" => plan.drop_p = parse_prob(key, value)?,
+                "flip" => plan.flip_p = parse_prob(key, value)?,
+                "kill" => plan.kill_after_epoch = Some(parse_num(key, value)?),
+                "crash" => {
+                    let (host, round) = value
+                        .split_once('@')
+                        .ok_or_else(|| PlanParseError(format!("crash={value:?}: want H@R")))?;
+                    plan.crashes.push(CrashSpec {
+                        host: parse_num("crash host", host)?,
+                        round: parse_num("crash round", round)?,
+                    });
+                }
+                "straggle" => {
+                    let (host, rest) = value.split_once('@').ok_or_else(|| {
+                        PlanParseError(format!("straggle={value:?}: want H@RxDELAY"))
+                    })?;
+                    let (round, delay) = rest.split_once('x').ok_or_else(|| {
+                        PlanParseError(format!("straggle={value:?}: want H@RxDELAY"))
+                    })?;
+                    plan.stragglers.push(StragglerSpec {
+                        host: parse_num("straggle host", host)?,
+                        round: parse_num("straggle round", round)?,
+                        delay_secs: parse_delay(delay)?,
+                    });
+                }
+                other => return Err(PlanParseError(format!("unknown key {other:?}"))),
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Reads the plan from the `GW2V_FAULT_PLAN` environment variable;
+    /// unset or empty means the inert plan.
+    pub fn from_env() -> Result<Self, PlanParseError> {
+        match std::env::var("GW2V_FAULT_PLAN") {
+            Ok(spec) => Self::parse(&spec),
+            Err(_) => Ok(Self::none()),
+        }
+    }
+}
+
+impl std::str::FromStr for FaultPlan {
+    type Err = PlanParseError;
+
+    fn from_str(spec: &str) -> Result<Self, Self::Err> {
+        Self::parse(spec)
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    /// Formats the plan back into its [`FaultPlan::parse`] spec form.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut parts = vec![format!("seed={}", self.seed)];
+        if self.drop_p > 0.0 {
+            parts.push(format!("drop={}", self.drop_p));
+        }
+        if self.flip_p > 0.0 {
+            parts.push(format!("flip={}", self.flip_p));
+        }
+        for c in &self.crashes {
+            parts.push(format!("crash={}@{}", c.host, c.round));
+        }
+        for s in &self.stragglers {
+            parts.push(format!(
+                "straggle={}@{}x{}ms",
+                s.host,
+                s.round,
+                s.delay_secs * 1e3
+            ));
+        }
+        if let Some(e) = self.kill_after_epoch {
+            parts.push(format!("kill={e}"));
+        }
+        f.write_str(&parts.join(","))
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(key: &str, value: &str) -> Result<T, PlanParseError> {
+    value
+        .parse()
+        .map_err(|_| PlanParseError(format!("{key}: cannot parse {value:?}")))
+}
+
+fn parse_prob(key: &str, value: &str) -> Result<f64, PlanParseError> {
+    let p: f64 = parse_num(key, value)?;
+    if !(0.0..=1.0).contains(&p) {
+        return Err(PlanParseError(format!("{key}={p} outside [0, 1]")));
+    }
+    Ok(p)
+}
+
+fn parse_delay(value: &str) -> Result<f64, PlanParseError> {
+    if let Some(ms) = value.strip_suffix("ms") {
+        Ok(parse_num::<f64>("straggle delay", ms)? / 1e3)
+    } else if let Some(s) = value.strip_suffix('s') {
+        parse_num("straggle delay", s)
+    } else {
+        Err(PlanParseError(format!(
+            "straggle delay {value:?}: want e.g. 50ms or 0.05s"
+        )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chaos() -> FaultPlan {
+        FaultPlan::parse("seed=42,drop=0.02,flip=0.001,crash=1@3,straggle=2@1x50ms,kill=2").unwrap()
+    }
+
+    #[test]
+    fn parse_full_spec() {
+        let p = chaos();
+        assert_eq!(p.seed, 42);
+        assert_eq!(p.drop_p, 0.02);
+        assert_eq!(p.flip_p, 0.001);
+        assert_eq!(p.crashes, vec![CrashSpec { host: 1, round: 3 }]);
+        assert_eq!(p.stragglers.len(), 1);
+        assert_eq!(p.stragglers[0].host, 2);
+        assert_eq!(p.stragglers[0].round, 1);
+        assert!((p.stragglers[0].delay_secs - 0.05).abs() < 1e-12);
+        assert_eq!(p.kill_after_epoch, Some(2));
+        assert!(!p.is_inert());
+    }
+
+    #[test]
+    fn display_roundtrips() {
+        let p = chaos();
+        assert_eq!(FaultPlan::parse(&p.to_string()).unwrap(), p);
+        let inert = FaultPlan::none();
+        assert_eq!(FaultPlan::parse(&inert.to_string()).unwrap(), inert);
+    }
+
+    #[test]
+    fn empty_spec_is_inert() {
+        assert!(FaultPlan::parse("").unwrap().is_inert());
+        assert!(FaultPlan::none().is_inert());
+    }
+
+    #[test]
+    fn bad_specs_rejected() {
+        for bad in [
+            "nonsense",
+            "drop=2.0",
+            "drop=-0.1",
+            "crash=1",
+            "straggle=1@2",
+            "straggle=1@2x50",
+            "frobnicate=1",
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn decisions_are_pure_functions() {
+        let p = chaos();
+        for seq in 0..64u64 {
+            for attempt in 0..3 {
+                assert_eq!(
+                    p.should_drop(0, 1, 0, seq, attempt),
+                    p.should_drop(0, 1, 0, seq, attempt)
+                );
+                assert_eq!(
+                    p.flip_bit(0, 1, 0, seq, attempt, 100),
+                    p.flip_bit(0, 1, 0, seq, attempt, 100)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn drop_rate_tracks_probability() {
+        let p = FaultPlan {
+            drop_p: 0.1,
+            seed: 7,
+            ..FaultPlan::none()
+        };
+        let n = 100_000u64;
+        let hits = (0..n).filter(|&seq| p.should_drop(0, 1, 0, seq, 0)).count();
+        let rate = hits as f64 / n as f64;
+        assert!((rate - 0.1).abs() < 0.01, "observed {rate}");
+    }
+
+    #[test]
+    fn attempts_get_independent_coins() {
+        // A message dropped at attempt 0 must not be doomed forever:
+        // across many dropped messages, attempt 1 must usually survive.
+        let p = FaultPlan {
+            drop_p: 0.5,
+            seed: 3,
+            ..FaultPlan::none()
+        };
+        let dropped: Vec<u64> = (0..10_000)
+            .filter(|&s| p.should_drop(0, 1, 0, s, 0))
+            .collect();
+        assert!(!dropped.is_empty());
+        let still = dropped
+            .iter()
+            .filter(|&&s| p.should_drop(0, 1, 0, s, 1))
+            .count();
+        let rate = still as f64 / dropped.len() as f64;
+        assert!((rate - 0.5).abs() < 0.05, "attempt-1 drop rate {rate}");
+    }
+
+    #[test]
+    fn flip_bit_in_range_and_inert_without_prob() {
+        let p = FaultPlan {
+            flip_p: 1.0,
+            seed: 9,
+            ..FaultPlan::none()
+        };
+        for seq in 0..100 {
+            let bit = p.flip_bit(1, 0, 1, seq, 0, 16).expect("flip_p=1");
+            assert!(bit < 16 * 8);
+        }
+        assert_eq!(FaultPlan::none().flip_bit(1, 0, 1, 0, 0, 16), None);
+        assert_eq!(p.flip_bit(1, 0, 1, 0, 0, 0), None, "empty payload");
+    }
+
+    #[test]
+    fn crash_and_straggle_lookup() {
+        let p = chaos();
+        assert_eq!(p.crash_round(1), Some(3));
+        assert_eq!(p.crash_round(0), None);
+        assert_eq!(p.straggler_delay(2, 1), Some(0.05));
+        assert_eq!(p.straggler_delay(2, 2), None);
+        assert_eq!(p.straggler_delay(1, 1), None);
+    }
+}

@@ -47,6 +47,7 @@
 #![allow(clippy::needless_range_loop)]
 
 pub mod cost;
+pub mod liveness;
 pub mod plan;
 pub mod replica;
 pub mod sync;
@@ -55,7 +56,10 @@ pub mod volume;
 pub mod wire;
 
 pub use cost::CostModel;
+pub use liveness::{Liveness, SharedLiveness};
 pub use plan::{AccessSets, SyncConfig, SyncPlan};
 pub use replica::{DeltaTracker, ModelReplica};
-pub use sync::{sync_round, sync_round_with_scratch, SyncScratch};
+pub use sync::{sync_round, sync_round_degraded, sync_round_with_scratch, SyncScratch};
+pub use threaded::{ClusterConfig, ClusterError};
 pub use volume::{CommStats, RoundVolume};
+pub use wire::{open_frame, seal_frame, WireError};

@@ -21,6 +21,7 @@
 //!   broadcast to mirror replicas (all of them for RepModel plans; each
 //!   host's next-round access set for PullModel).
 
+use crate::liveness::Liveness;
 use crate::plan::{AccessSets, SyncConfig, SyncPlan};
 use crate::replica::ModelReplica;
 use crate::volume::{CommStats, RoundVolume};
@@ -172,8 +173,30 @@ pub fn sync_round_with_scratch(
     stats: &mut CommStats,
     scratch: &mut SyncScratch,
 ) -> RoundVolume {
+    let live = Liveness::all(replicas.len());
+    sync_round_degraded(replicas, cfg, access, stats, scratch, &live)
+}
+
+/// [`sync_round_with_scratch`] under an explicit liveness view.
+///
+/// Dead hosts contribute no deltas, receive no broadcasts and have their
+/// trackers left untouched; their master blocks are reconciled at the
+/// adopter host ([`Liveness::effective_master`]). Byte accounting covers
+/// only traffic between alive hosts. With an all-alive view this is
+/// exactly [`sync_round_with_scratch`], bit for bit — the BSP
+/// simulator's modeled fault rounds and the faultless path share this
+/// one implementation.
+pub fn sync_round_degraded(
+    replicas: &mut [ModelReplica],
+    cfg: &SyncConfig,
+    access: Option<&AccessSets>,
+    stats: &mut CommStats,
+    scratch: &mut SyncScratch,
+    live: &Liveness,
+) -> RoundVolume {
     let n_hosts = replicas.len();
     assert!(n_hosts > 0);
+    assert_eq!(live.n_hosts(), n_hosts, "liveness view size mismatch");
     if cfg.plan == SyncPlan::PullModel {
         assert!(
             access.is_some(),
@@ -209,12 +232,15 @@ pub fn sync_round_with_scratch(
 
         // ---- Reduce phase: fold per-node deltas in host-id order. ----
         for (h, replica) in replicas.iter().enumerate() {
+            if !live.is_alive(h) {
+                continue;
+            }
             let tracker = replica.tracker(layer);
             for &node in tracker.touched_nodes() {
                 tracker.delta_into(node, replica.row(layer, node), delta);
                 slab.acc_mut(node, cfg.combiner, dim).push(delta);
                 updated.set(node as usize);
-                let owner = master_host(n_nodes, n_hosts, node);
+                let owner = live.effective_master(master_host(n_nodes, n_hosts, node));
                 if owner != h && cfg.plan != SyncPlan::RepModelNaive {
                     // Sparse plans: only touched mirrors cross the wire.
                     volume.record(h, owner, ebytes);
@@ -225,13 +251,20 @@ pub fn sync_round_with_scratch(
         }
         if cfg.plan == SyncPlan::RepModelNaive {
             // Dense reduce: every host ships *all* its mirror rows (even
-            // untouched): block_size(m) rows to every master host m ≠ h.
+            // untouched): block_size(m) rows to every master host m ≠ h,
+            // where m's rows cover every block m effectively masters.
             for h in 0..n_hosts {
+                if !live.is_alive(h) {
+                    continue;
+                }
                 for m in 0..n_hosts {
-                    if m == h {
+                    if m == h || !live.is_alive(m) {
                         continue;
                     }
-                    let rows = master_block(n_nodes, n_hosts, m).len() as u64;
+                    let rows: u64 = (0..n_hosts)
+                        .filter(|&owner| live.effective_master(owner) == m)
+                        .map(|owner| master_block(n_nodes, n_hosts, owner).len() as u64)
+                        .sum();
                     if rows > 0 {
                         volume.record(h, m, rows * ebytes);
                         stats.reduce_bytes += rows * ebytes;
@@ -244,7 +277,7 @@ pub fn sync_round_with_scratch(
         // ---- Apply combined deltas at masters; broadcast canonical. ----
         for node in updated.iter_ones() {
             let node_u = node as u32;
-            let owner = master_host(n_nodes, n_hosts, node_u);
+            let owner = live.effective_master(master_host(n_nodes, n_hosts, node_u));
             slab.finish_into(node_u, combined);
             {
                 let replica = &mut replicas[owner];
@@ -262,7 +295,7 @@ pub fn sync_round_with_scratch(
             // value (PullModel applies values in its pull pass below).
             if cfg.plan != SyncPlan::PullModel {
                 for (h, rep) in replicas.iter_mut().enumerate() {
-                    if h == owner {
+                    if h == owner || !live.is_alive(h) {
                         continue;
                     }
                     rep.row_mut_untracked(layer, node_u)
@@ -280,9 +313,15 @@ pub fn sync_round_with_scratch(
             SyncPlan::RepModelNaive => {
                 // Dense broadcast: every master row to every other host.
                 for m in 0..n_hosts {
-                    let rows = master_block(n_nodes, n_hosts, m).len() as u64;
+                    if !live.is_alive(m) {
+                        continue;
+                    }
+                    let rows: u64 = (0..n_hosts)
+                        .filter(|&owner| live.effective_master(owner) == m)
+                        .map(|owner| master_block(n_nodes, n_hosts, owner).len() as u64)
+                        .sum();
                     for h in 0..n_hosts {
-                        if h == m || rows == 0 {
+                        if h == m || rows == 0 || !live.is_alive(h) {
                             continue;
                         }
                         volume.record(m, h, rows * ebytes);
@@ -298,10 +337,13 @@ pub fn sync_round_with_scratch(
                 // updated").
                 let access = access.expect("checked above");
                 for h in 0..n_hosts {
+                    if !live.is_alive(h) {
+                        continue;
+                    }
                     let set = access.get(h, layer);
                     for node in set.iter_ones() {
                         let node_u = node as u32;
-                        let owner = master_host(n_nodes, n_hosts, node_u);
+                        let owner = live.effective_master(master_host(n_nodes, n_hosts, node_u));
                         if owner == h {
                             continue; // local master, no wire
                         }
@@ -323,8 +365,10 @@ pub fn sync_round_with_scratch(
         updated.clear_all();
     }
 
-    for replica in replicas.iter_mut() {
-        replica.clear_tracking();
+    for (h, replica) in replicas.iter_mut().enumerate() {
+        if live.is_alive(h) {
+            replica.clear_tracking();
+        }
     }
     stats.rounds += 1;
 
@@ -352,6 +396,12 @@ pub fn sync_round_with_scratch(
 /// Assembles the canonical model (each node's master row) into a fresh
 /// set of layer matrices — the trained model a user would save.
 pub fn assemble_canonical(replicas: &[ModelReplica]) -> Vec<FlatMatrix> {
+    assemble_canonical_live(replicas, &Liveness::all(replicas.len()))
+}
+
+/// [`assemble_canonical`] under a liveness view: rows mastered by dead
+/// hosts are read from their adopters' replicas instead.
+pub fn assemble_canonical_live(replicas: &[ModelReplica], live: &Liveness) -> Vec<FlatMatrix> {
     let n_hosts = replicas.len();
     let n_nodes = replicas[0].n_nodes();
     (0..replicas[0].n_layers())
@@ -359,7 +409,7 @@ pub fn assemble_canonical(replicas: &[ModelReplica]) -> Vec<FlatMatrix> {
             let dim = replicas[0].layers[layer].dim();
             let mut m = FlatMatrix::zeros(n_nodes, dim);
             for node in 0..n_nodes as u32 {
-                let owner = master_host(n_nodes, n_hosts, node);
+                let owner = live.effective_master(master_host(n_nodes, n_hosts, node));
                 m.row_mut(node as usize)
                     .copy_from_slice(replicas[owner].row(layer, node));
             }
@@ -704,6 +754,39 @@ mod tests {
             }
             assert_eq!(s1.total_bytes(), s2.total_bytes(), "{combiner:?}");
         }
+    }
+
+    #[test]
+    fn degraded_round_routes_to_adopter() {
+        // Host 1 of 3 is dead. Hosts 0 and 2 touch node 5 (block-owned by
+        // the dead host 1 → adopted by host 2); the reconciled value must
+        // land on host 2's replica and broadcast only to host 0.
+        let mut reps = make_replicas(3, 9, 1);
+        let mut live = Liveness::all(3);
+        live.mark_dead(1);
+        reps[0].row_mut(0, 5)[0] += 1.0;
+        reps[2].row_mut(0, 5)[0] += 2.0;
+        let base = 5.0;
+        let dead_before = reps[1].layers.clone();
+        let mut stats = CommStats::default();
+        let mut scratch = SyncScratch::new();
+        let v = sync_round_degraded(
+            &mut reps,
+            &cfg(SyncPlan::RepModelOpt, CombinerKind::Sum),
+            None,
+            &mut stats,
+            &mut scratch,
+            &live,
+        );
+        assert_eq!(reps[2].row(0, 5)[0], base + 3.0, "adopter holds canonical");
+        assert_eq!(reps[0].row(0, 5)[0], base + 3.0, "survivor mirrors it");
+        assert_eq!(reps[1].layers, dead_before, "dead replica stays frozen");
+        // One delta shipped (host 0 → adopter 2), one broadcast back.
+        assert_eq!(stats.reduce_msgs, 1);
+        assert_eq!(stats.broadcast_msgs, 1);
+        assert!(v.total_bytes() > 0);
+        let canon = assemble_canonical_live(&reps, &live);
+        assert_eq!(canon[0].row(5)[0], base + 3.0);
     }
 
     #[test]

@@ -9,21 +9,147 @@
 //! (order-sensitive) model combiner sees the same sequence either way.
 //! The equivalence is pinned by tests here and in `tests/`.
 //!
+//! # Reliability
+//!
+//! The transport is lossy by decree: a [`FaultPlan`] may drop messages,
+//! flip payload bits, delay hosts or kill them outright. The protocol
+//! therefore ships every payload inside a CRC-32 frame
+//! ([`crate::wire::seal_frame`]) and runs a NAK/resend loop on top:
+//!
+//! * every phase (reduce, broadcast) carries a lockstep sequence number;
+//! * senders buffer each phase's payloads until the phase's closing
+//!   barrier, so any receiver still missing data can NAK the
+//!   `(sender, layer)` slot and get a retransmission;
+//! * receivers NAK on CRC failure immediately and on silence after a
+//!   configurable delay, with bounded retries
+//!   ([`ClusterConfig::max_retries`]);
+//! * duplicate deliveries (a resend racing the original) are deduped by
+//!   `(sender, layer)`; resent bytes are identical, so either copy folds
+//!   bit-identically;
+//! * the phase barrier is crash-aware ([`HostCtx::barrier_wait`]): it
+//!   releases when all *registered-alive* hosts arrive, serves NAKs while
+//!   waiting, and counts long waits under `gluon.barrier_timeout`.
+//!
+//! Crashed hosts flag themselves in the shared liveness registry at a
+//! round boundary; survivors route around them using a deterministic
+//! [`Liveness`] view (see [`sync_round_threaded_degraded`]), with the
+//! next alive host adopting the dead host's master block.
+//!
+//! With an inert plan the protocol delivers every frame on the first
+//! attempt and the fold/apply path is unchanged, so faultless runs stay
+//! bit-identical to the sequential engine — `tests/chaos.rs` pins this.
+//!
 //! Supported plans: `RepModelNaive` and `RepModelOpt`. `PullModel`'s
 //! inspection handshake is only implemented in the sequential engine,
 //! which is what all experiments use (see DESIGN.md §3).
 
+use crate::liveness::{Liveness, SharedLiveness};
 use crate::plan::{SyncConfig, SyncPlan};
 use crate::replica::ModelReplica;
 use crate::sync::NodeAccSlab;
 use crate::volume::CommStats;
-use crate::wire::{entry_bytes, RowDecoder, RowEncoder};
-use bytes::Bytes;
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crate::wire::{entry_bytes, open_frame, seal_frame, RowDecoder, RowEncoder};
+use bytes::{Bytes, BytesMut};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use gw2v_faults::{counters, FaultPlan};
 use gw2v_graph::partition::{master_block, master_host};
 use gw2v_util::bitvec::BitVec;
-use std::collections::HashMap;
-use std::sync::{Arc, Barrier};
+use std::cell::{Cell, RefCell};
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// A cluster-fabric failure surfaced to the caller instead of a panic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClusterError {
+    /// A send to `to` failed while `to` was still registered alive
+    /// (its thread is gone without flagging the liveness registry).
+    SendFailed {
+        /// Sending host.
+        from: usize,
+        /// Intended receiver.
+        to: usize,
+    },
+    /// `host`'s own receive channel closed (all peer threads gone).
+    RecvFailed {
+        /// The host whose channel died.
+        host: usize,
+    },
+    /// `host` gave up waiting for `(peer, layer)` after
+    /// [`ClusterConfig::max_retries`] NAK rounds went unanswered.
+    RetriesExhausted {
+        /// The starved receiver.
+        host: usize,
+        /// The peer that never delivered.
+        peer: usize,
+        /// Model layer of the missing payload.
+        layer: usize,
+    },
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::SendFailed { from, to } => {
+                write!(
+                    f,
+                    "host {from}: send to live host {to} failed (channel closed)"
+                )
+            }
+            ClusterError::RecvFailed { host } => {
+                write!(f, "host {host}: receive channel closed (all peers gone)")
+            }
+            ClusterError::RetriesExhausted { host, peer, layer } => write!(
+                f,
+                "host {host}: no payload from host {peer} for layer {layer} after max retries"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+/// Timing knobs for the reliable transport.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterConfig {
+    /// Receive-poll granularity inside collect loops and barrier waits.
+    pub tick: Duration,
+    /// Silence (no progress) tolerated before NAKing missing payloads.
+    pub nak_delay: Duration,
+    /// NAK rounds per phase before a receiver errors out with
+    /// [`ClusterError::RetriesExhausted`].
+    pub max_retries: u32,
+    /// Barrier wait beyond this duration counts one
+    /// `gluon.barrier_timeout` (the stuck-peer signal; the wait itself
+    /// continues until the alive set arrives).
+    pub barrier_timeout: Duration,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        Self {
+            tick: Duration::from_millis(2),
+            nak_delay: Duration::from_millis(25),
+            max_retries: 200,
+            barrier_timeout: Duration::from_millis(250),
+        }
+    }
+}
+
+/// What a [`Message`] carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MsgKind {
+    /// A sealed payload frame; `attempt` counts retransmissions so the
+    /// fault injector draws an independent coin per delivery attempt.
+    Data {
+        /// 0 for the original send, incremented per resend.
+        attempt: u32,
+    },
+    /// A negative acknowledgement: "resend your payload for `layer` of
+    /// phase `seq` to me". Payload is empty.
+    Nak,
+}
 
 /// A message between host threads: one layer's payload for one phase.
 #[derive(Debug)]
@@ -32,8 +158,120 @@ pub struct Message {
     pub from: usize,
     /// Model layer the payload belongs to.
     pub layer: usize,
-    /// Serialized `(node, row)` entries.
+    /// Lockstep phase sequence number (two phases per sync round).
+    pub seq: u64,
+    /// Data or NAK.
+    pub kind: MsgKind,
+    /// Sealed `(node, row)` frame for data; empty for NAKs.
     pub payload: Bytes,
+}
+
+/// Generation-counting barrier that releases when all *registered-alive*
+/// hosts arrive, so a crashed host cannot wedge the cluster.
+#[derive(Debug)]
+struct FaultBarrier {
+    lock: Mutex<BarrierGen>,
+    cvar: Condvar,
+}
+
+#[derive(Debug, Default)]
+struct BarrierGen {
+    arrived: usize,
+    generation: u64,
+}
+
+impl FaultBarrier {
+    fn new() -> Self {
+        Self {
+            lock: Mutex::new(BarrierGen::default()),
+            cvar: Condvar::new(),
+        }
+    }
+
+    /// Waits until all alive hosts arrive. `on_tick` runs (unlocked)
+    /// roughly every `tick` so waiters keep serving NAKs. Returns true
+    /// if the wait exceeded `patience`.
+    fn wait(
+        &self,
+        live: &SharedLiveness,
+        tick: Duration,
+        patience: Duration,
+        mut on_tick: impl FnMut(),
+    ) -> bool {
+        let start = Instant::now();
+        let mut guard = self.lock.lock().unwrap();
+        let generation = guard.generation;
+        guard.arrived += 1;
+        if guard.arrived >= live.n_alive() {
+            guard.arrived = 0;
+            guard.generation += 1;
+            drop(guard);
+            self.cvar.notify_all();
+            return false;
+        }
+        let mut late = false;
+        loop {
+            let (g, res) = self.cvar.wait_timeout(guard, tick).unwrap();
+            guard = g;
+            if guard.generation != generation {
+                return late;
+            }
+            if res.timed_out() {
+                // A host may have died while we waited: re-check whether
+                // the remaining alive set is already fully here.
+                if guard.arrived >= live.n_alive() {
+                    guard.arrived = 0;
+                    guard.generation += 1;
+                    drop(guard);
+                    self.cvar.notify_all();
+                    return late;
+                }
+                late = late || start.elapsed() >= patience;
+                drop(guard);
+                on_tick();
+                guard = self.lock.lock().unwrap();
+                if guard.generation != generation {
+                    return late;
+                }
+            }
+        }
+    }
+
+    /// Wakes all waiters to re-check the alive set (called by
+    /// [`ClusterState::mark_dead`]).
+    fn poke(&self, live: &SharedLiveness) {
+        let mut guard = self.lock.lock().unwrap();
+        if guard.arrived > 0 && guard.arrived >= live.n_alive() {
+            guard.arrived = 0;
+            guard.generation += 1;
+        }
+        drop(guard);
+        self.cvar.notify_all();
+    }
+}
+
+/// Shared fabric state: fault plan, transport config, liveness registry
+/// and the crash-aware barrier.
+#[derive(Debug)]
+struct ClusterState {
+    plan: FaultPlan,
+    config: ClusterConfig,
+    live: SharedLiveness,
+    barrier: FaultBarrier,
+}
+
+impl ClusterState {
+    fn mark_dead(&self, host: usize) {
+        self.live.mark_dead(host);
+        self.barrier.poke(&self.live);
+    }
+}
+
+/// A buffered payload awaiting possible retransmission.
+#[derive(Debug)]
+struct ResendSlot {
+    payload: Bytes,
+    attempts: u32,
 }
 
 /// A host thread's handle to the cluster fabric.
@@ -44,23 +282,301 @@ pub struct HostCtx {
     pub n_hosts: usize,
     senders: Vec<Sender<Message>>,
     receiver: Receiver<Message>,
-    barrier: Arc<Barrier>,
+    state: Arc<ClusterState>,
+    /// Lockstep phase counter; all hosts advance it identically.
+    seq: Cell<u64>,
+    /// Current phase's sent payloads, kept until the closing barrier so
+    /// NAKs can be served.
+    resend: RefCell<HashMap<(usize, usize), ResendSlot>>,
+    /// Stash for frames from a future phase (drained at next collect).
+    pending: RefCell<VecDeque<Message>>,
+    /// Dead hosts this ctx has already counted under `faults.detected.crash`.
+    crash_noted: RefCell<Vec<bool>>,
+}
+
+fn empty_bytes() -> Bytes {
+    BytesMut::new().freeze()
 }
 
 impl HostCtx {
-    fn send(&self, to: usize, msg: Message) {
-        self.senders[to].send(msg).expect("peer hung up");
+    /// The fault plan this cluster runs under.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.state.plan
     }
 
-    fn recv_batch(&self, expected: usize) -> Vec<Message> {
-        (0..expected)
-            .map(|_| self.receiver.recv().expect("peer hung up"))
-            .collect()
+    /// Flags this host dead in the liveness registry and wakes any
+    /// barrier waiters; the host must stop syncing after this.
+    pub fn mark_self_dead(&self) {
+        counters::bump(counters::INJECTED_CRASH);
+        self.state.mark_dead(self.host);
     }
 
-    /// Blocks until all hosts reach the same point.
+    /// Sleeps out any straggler delay the plan schedules for this host in
+    /// `global_round` (counted under `faults.injected.straggle`).
+    pub fn maybe_straggle(&self, global_round: usize) {
+        if let Some(delay) = self.state.plan.straggler_delay(self.host, global_round) {
+            counters::bump(counters::INJECTED_STRAGGLE);
+            std::thread::sleep(Duration::from_secs_f64(delay));
+        }
+    }
+
+    /// Blocks until `dead` is flagged in the liveness registry, counting
+    /// the first observation under `faults.detected.crash`. Callers know
+    /// *when* a peer dies from the shared plan; this confirms the death
+    /// through the runtime registry before degrading the round.
+    pub fn await_death(&self, dead: usize) {
+        assert_ne!(dead, self.host, "a host cannot await its own death");
+        while self.state.live.is_alive(dead) {
+            std::thread::yield_now();
+        }
+        let mut noted = self.crash_noted.borrow_mut();
+        if !noted[dead] {
+            noted[dead] = true;
+            counters::bump(counters::DETECTED_CRASH);
+        }
+    }
+
+    /// Opens a new phase: advances the lockstep sequence number and
+    /// forgets the previous phase's resend buffer (its closing barrier
+    /// proved every receiver got the data).
+    fn begin_phase(&self) {
+        self.seq.set(self.seq.get() + 1);
+        self.resend.borrow_mut().clear();
+    }
+
+    /// Sends `msg` to `to`, tolerating channels of dead hosts.
+    fn post(&self, to: usize, msg: Message) -> Result<(), ClusterError> {
+        if self.senders[to].send(msg).is_err() && self.state.live.is_alive(to) {
+            return Err(ClusterError::SendFailed {
+                from: self.host,
+                to,
+            });
+        }
+        Ok(())
+    }
+
+    /// Buffers `payload` for NAK service, then delivers it (attempt 0)
+    /// through the fault injector.
+    fn ship(&self, to: usize, layer: usize, payload: Bytes) -> Result<(), ClusterError> {
+        self.resend.borrow_mut().insert(
+            (to, layer),
+            ResendSlot {
+                payload: payload.clone(),
+                attempts: 0,
+            },
+        );
+        self.send_data(to, layer, &payload, 0)
+    }
+
+    /// One delivery attempt: the injector may withhold the frame or flip
+    /// one bit of it; what survives goes on the channel sealed.
+    fn send_data(
+        &self,
+        to: usize,
+        layer: usize,
+        payload: &Bytes,
+        attempt: u32,
+    ) -> Result<(), ClusterError> {
+        let seq = self.seq.get();
+        let plan = &self.state.plan;
+        if plan.should_drop(self.host, to, layer, seq, attempt) {
+            counters::bump(counters::INJECTED_DROP);
+            return Ok(());
+        }
+        let mut frame = seal_frame(payload);
+        if let Some(bit) = plan.flip_bit(self.host, to, layer, seq, attempt, frame.len()) {
+            let mut raw = frame.as_slice().to_vec();
+            raw[bit / 8] ^= 1 << (bit % 8);
+            frame = Bytes::from(raw);
+            counters::bump(counters::INJECTED_FLIP);
+        }
+        self.post(
+            to,
+            Message {
+                from: self.host,
+                layer,
+                seq,
+                kind: MsgKind::Data { attempt },
+                payload: frame,
+            },
+        )
+    }
+
+    /// Asks `peer` to retransmit its current-phase payload for `layer`.
+    fn nak(&self, peer: usize, layer: usize) -> Result<(), ClusterError> {
+        self.post(
+            peer,
+            Message {
+                from: self.host,
+                layer,
+                seq: self.seq.get(),
+                kind: MsgKind::Nak,
+                payload: empty_bytes(),
+            },
+        )
+    }
+
+    /// Retransmits the buffered payload a NAK points at. Stale NAKs
+    /// (earlier phases) are ignored — their phase's closing barrier
+    /// proved delivery.
+    fn serve_nak(&self, to: usize, layer: usize, seq: u64) -> Result<(), ClusterError> {
+        if seq != self.seq.get() {
+            return Ok(());
+        }
+        let (payload, attempt) = {
+            let mut resend = self.resend.borrow_mut();
+            match resend.get_mut(&(to, layer)) {
+                Some(slot) => {
+                    slot.attempts += 1;
+                    (slot.payload.clone(), slot.attempts)
+                }
+                // NAK for a slot we never shipped this phase; nothing to do.
+                None => return Ok(()),
+            }
+        };
+        counters::bump(counters::RECOVERED_RESEND);
+        self.send_data(to, layer, &payload, attempt)
+    }
+
+    /// Drains whatever is queued without blocking: serves NAKs, stashes
+    /// future-phase data, drops current-phase duplicates. Runs from
+    /// barrier waits, where this host's collect is already complete.
+    fn drain_for_naks(&self) {
+        while let Ok(msg) = self.receiver.try_recv() {
+            match msg.kind {
+                MsgKind::Nak => {
+                    // A send failure here means a peer thread vanished
+                    // without flagging liveness; its own collect will
+                    // surface the error (or its panic fails the join).
+                    let _ = self.serve_nak(msg.from, msg.layer, msg.seq);
+                }
+                MsgKind::Data { .. } => {
+                    if msg.seq > self.seq.get() {
+                        self.pending.borrow_mut().push_back(msg);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Receives one payload per `(alive peer, layer)` slot for the
+    /// current phase, NAKing corrupt or missing deliveries until the set
+    /// completes or retries exhaust.
+    fn collect_phase(
+        &self,
+        live: &Liveness,
+        n_layers: usize,
+    ) -> Result<HashMap<(usize, usize), Bytes>, ClusterError> {
+        let seq = self.seq.get();
+        let cfg = self.state.config;
+        let expected: Vec<(usize, usize)> = (0..self.n_hosts)
+            .filter(|&h| h != self.host && live.is_alive(h))
+            .flat_map(|h| (0..n_layers).map(move |l| (h, l)))
+            .collect();
+        let mut got: HashMap<(usize, usize), Bytes> = HashMap::with_capacity(expected.len());
+
+        let handle = |msg: Message,
+                      got: &mut HashMap<(usize, usize), Bytes>|
+         -> Result<bool, ClusterError> {
+            match msg.kind {
+                MsgKind::Nak => {
+                    self.serve_nak(msg.from, msg.layer, msg.seq)?;
+                    Ok(false)
+                }
+                MsgKind::Data { .. } => {
+                    let key = (msg.from, msg.layer);
+                    if got.contains_key(&key) || !live.is_alive(msg.from) {
+                        return Ok(false); // duplicate resend, or routed-around host
+                    }
+                    match open_frame(&msg.payload) {
+                        Ok(payload) => {
+                            got.insert(key, payload);
+                            Ok(true)
+                        }
+                        Err(_) => {
+                            counters::bump(counters::DETECTED_CORRUPT);
+                            self.nak(msg.from, msg.layer)?;
+                            Ok(false)
+                        }
+                    }
+                }
+            }
+        };
+
+        // Frames stashed by an earlier barrier drain may belong to this
+        // phase now.
+        let stashed: Vec<Message> = self.pending.borrow_mut().drain(..).collect();
+        for msg in stashed {
+            if msg.seq == seq {
+                handle(msg, &mut got)?;
+            } else if msg.seq > seq {
+                self.pending.borrow_mut().push_back(msg);
+            }
+        }
+
+        let mut last_progress = Instant::now();
+        let mut nak_rounds = 0u32;
+        while got.len() < expected.len() {
+            match self.receiver.recv_timeout(cfg.tick) {
+                Ok(msg) => {
+                    if msg.seq > seq {
+                        self.pending.borrow_mut().push_back(msg);
+                        continue;
+                    }
+                    if msg.seq < seq {
+                        continue; // stale duplicate or stale NAK
+                    }
+                    if handle(msg, &mut got)? {
+                        last_progress = Instant::now();
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(ClusterError::RecvFailed { host: self.host })
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    if last_progress.elapsed() < cfg.nak_delay {
+                        continue;
+                    }
+                    let missing: Vec<(usize, usize)> = expected
+                        .iter()
+                        .filter(|k| !got.contains_key(k))
+                        .copied()
+                        .collect();
+                    nak_rounds += 1;
+                    if nak_rounds > cfg.max_retries {
+                        let (peer, layer) = missing[0];
+                        return Err(ClusterError::RetriesExhausted {
+                            host: self.host,
+                            peer,
+                            layer,
+                        });
+                    }
+                    counters::bump(counters::DETECTED_TIMEOUT);
+                    for (peer, layer) in missing {
+                        self.nak(peer, layer)?;
+                    }
+                    last_progress = Instant::now();
+                }
+            }
+        }
+        Ok(got)
+    }
+
+    /// Blocks until all registered-alive hosts reach the same point,
+    /// serving NAKs while waiting. A wait past
+    /// [`ClusterConfig::barrier_timeout`] counts one
+    /// `gluon.barrier_timeout`.
     pub fn barrier_wait(&self) {
-        self.barrier.wait();
+        let cfg = self.state.config;
+        let late = self
+            .state
+            .barrier
+            .wait(&self.state.live, cfg.tick, cfg.barrier_timeout, || {
+                self.drain_for_naks()
+            });
+        if late {
+            gw2v_obs::add("gluon.barrier_timeout", 1);
+        }
     }
 
     /// [`HostCtx::barrier_wait`], recording the wait in the
@@ -71,17 +587,32 @@ impl HostCtx {
     pub fn barrier_wait_timed(&self) {
         if gw2v_obs::enabled() {
             let start = std::time::Instant::now();
-            self.barrier.wait();
+            self.barrier_wait();
             gw2v_obs::observe("gluon.barrier_wait_ns", start.elapsed().as_nanos() as u64);
         } else {
-            self.barrier.wait();
+            self.barrier_wait();
         }
     }
 }
 
 /// Spawns `n_hosts` threads, each running `f` with its [`HostCtx`], and
-/// collects their results in host order.
+/// collects their results in host order. Runs with the inert fault plan
+/// and default transport timing; see [`run_cluster_with`] for chaos runs.
 pub fn run_cluster<T, F>(n_hosts: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(HostCtx) -> T + Sync,
+{
+    run_cluster_with(n_hosts, FaultPlan::none(), ClusterConfig::default(), f)
+}
+
+/// [`run_cluster`] under an explicit [`FaultPlan`] and transport config.
+pub fn run_cluster_with<T, F>(
+    n_hosts: usize,
+    plan: FaultPlan,
+    config: ClusterConfig,
+    f: F,
+) -> Vec<T>
 where
     T: Send,
     F: Fn(HostCtx) -> T + Sync,
@@ -94,7 +625,12 @@ where
         senders.push(tx);
         receivers.push(rx);
     }
-    let barrier = Arc::new(Barrier::new(n_hosts));
+    let state = Arc::new(ClusterState {
+        plan,
+        config,
+        live: SharedLiveness::all(n_hosts),
+        barrier: FaultBarrier::new(),
+    });
     let f = &f;
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(n_hosts);
@@ -104,7 +640,11 @@ where
                 n_hosts,
                 senders: senders.clone(),
                 receiver,
-                barrier: Arc::clone(&barrier),
+                state: Arc::clone(&state),
+                seq: Cell::new(0),
+                resend: RefCell::new(HashMap::new()),
+                pending: RefCell::new(VecDeque::new()),
+                crash_noted: RefCell::new(vec![false; n_hosts]),
             };
             handles.push(scope.spawn(move || f(ctx)));
         }
@@ -148,7 +688,7 @@ pub fn sync_round_threaded(
     replica: &mut ModelReplica,
     cfg: &SyncConfig,
     stats: &mut CommStats,
-) {
+) -> Result<(), ClusterError> {
     let mut scratch = ThreadedSyncScratch::new();
     sync_round_threaded_with_scratch(ctx, replica, cfg, stats, &mut scratch)
 }
@@ -165,11 +705,33 @@ pub fn sync_round_threaded_with_scratch(
     cfg: &SyncConfig,
     stats: &mut CommStats,
     scratch: &mut ThreadedSyncScratch,
-) {
+) -> Result<(), ClusterError> {
+    let live = Liveness::all(ctx.n_hosts);
+    sync_round_threaded_degraded(ctx, replica, cfg, stats, scratch, &live)
+}
+
+/// [`sync_round_threaded_with_scratch`] under an explicit liveness view:
+/// dead hosts are neither sent to nor expected from, and their master
+/// blocks are handled by their adopters
+/// ([`Liveness::effective_master`]). All alive hosts must call this with
+/// the *same* `live` view for the round — the view is derived from the
+/// shared fault plan, so no agreement protocol is needed.
+///
+/// With an all-alive view this is exactly the classic protocol and stays
+/// bit-identical to [`crate::sync::sync_round`].
+pub fn sync_round_threaded_degraded(
+    ctx: &HostCtx,
+    replica: &mut ModelReplica,
+    cfg: &SyncConfig,
+    stats: &mut CommStats,
+    scratch: &mut ThreadedSyncScratch,
+    live: &Liveness,
+) -> Result<(), ClusterError> {
     assert!(
         cfg.plan != SyncPlan::PullModel,
         "PullModel is sequential-engine only"
     );
+    assert!(live.is_alive(ctx.host), "dead hosts do not sync");
     // Inert when metrics are disabled; otherwise times this host's whole
     // round and records its send-side byte deltas below.
     let mut obs_span = gw2v_obs::span("gluon.threaded.sync").host(ctx.host);
@@ -197,7 +759,8 @@ pub fn sync_round_threaded_with_scratch(
         }
     }
 
-    // ---- Phase 1: ship touched-mirror deltas to masters. ----
+    // ---- Phase 1: ship touched-mirror deltas to (effective) masters. ----
+    ctx.begin_phase();
     for layer in 0..n_layers {
         let dim = replica.layers[layer].dim();
         let mut encoders: HashMap<usize, RowEncoder> = HashMap::new();
@@ -205,7 +768,7 @@ pub fn sync_round_threaded_with_scratch(
         delta.resize(dim, 0.0);
         let tracker = replica.tracker(layer);
         for &node in tracker.touched_nodes() {
-            let owner = master_host(n_nodes, n_hosts, node);
+            let owner = live.effective_master(master_host(n_nodes, n_hosts, node));
             if owner == ctx.host {
                 continue;
             }
@@ -222,10 +785,13 @@ pub fn sync_round_threaded_with_scratch(
             // the semantics here; instead we simply account the bytes, as
             // the sequential engine does analytically).
             for m in 0..n_hosts {
-                if m == ctx.host {
+                if m == ctx.host || !live.is_alive(m) {
                     continue;
                 }
-                let all_rows = master_block(n_nodes, n_hosts, m).len() as u64;
+                let all_rows: u64 = (0..n_hosts)
+                    .filter(|&owner| live.effective_master(owner) == m)
+                    .map(|owner| master_block(n_nodes, n_hosts, owner).len() as u64)
+                    .sum();
                 let sent_rows = encoders.get(&m).map_or(0, |e| e.count() as u64);
                 let pad_rows = all_rows - sent_rows;
                 stats.reduce_bytes += pad_rows * entry_bytes(dim) as u64;
@@ -233,7 +799,7 @@ pub fn sync_round_threaded_with_scratch(
             }
         }
         for peer in 0..n_hosts {
-            if peer == ctx.host {
+            if peer == ctx.host || !live.is_alive(peer) {
                 continue;
             }
             let enc = encoders
@@ -241,55 +807,40 @@ pub fn sync_round_threaded_with_scratch(
                 .unwrap_or_else(|| RowEncoder::new(dim));
             stats.reduce_bytes += enc.byte_len() as u64;
             stats.reduce_msgs += enc.count() as u64;
-            ctx.send(
-                peer,
-                Message {
-                    from: ctx.host,
-                    layer,
-                    payload: enc.finish(),
-                },
-            );
+            ctx.ship(peer, layer, enc.finish())?;
         }
     }
 
-    // ---- Receive deltas, fold at this host's masters. ----
-    let incoming = ctx.recv_batch((n_hosts - 1) * n_layers);
-    // Group by layer, order by source host so the fold order matches the
-    // sequential engine (hosts 0..H, self included at its position).
-    // (These routing vectors borrow the received messages, so they cannot
-    // outlive the round; the heavy per-node state lives in `scratch`.)
-    let mut by_layer: Vec<Vec<&Message>> = vec![Vec::new(); n_layers];
-    for m in &incoming {
-        by_layer[m.layer].push(m);
-    }
+    // ---- Receive deltas, fold at this host's (effective) masters. ----
+    let incoming = ctx.collect_phase(live, n_layers)?;
     for layer in 0..n_layers {
         let dim = replica.layers[layer].dim();
-        by_layer[layer].sort_by_key(|m| m.from);
-        let mut host_cursor = 0usize;
         delta.clear();
         delta.resize(dim, 0.0);
         combined.clear();
         combined.resize(dim, 0.0);
+        // Fold in host-id order so the (order-sensitive) combiner sees
+        // the same sequence as the sequential engine, self included at
+        // its position and dead hosts contributing nothing.
         for h in 0..n_hosts {
             if h == ctx.host {
                 let tracker = replica.tracker(layer);
                 for &node in tracker.touched_nodes() {
-                    if master_host(n_nodes, n_hosts, node) != ctx.host {
+                    if live.effective_master(master_host(n_nodes, n_hosts, node)) != ctx.host {
                         continue;
                     }
                     tracker.delta_into(node, replica.row(layer, node), delta);
                     slab.acc_mut(node, cfg.combiner, dim).push(delta);
                     updated_per_layer[layer].set(node as usize);
                 }
-            } else {
-                let msg = by_layer[layer][host_cursor];
-                debug_assert_eq!(msg.from, h);
-                host_cursor += 1;
-                let mut dec = RowDecoder::new(msg.payload.clone(), dim);
+            } else if let Some(payload) = incoming.get(&(h, layer)) {
+                let mut dec = RowDecoder::new(payload.clone(), dim);
                 while let Some((node, row)) = dec.next_entry() {
                     slab.acc_mut(node, cfg.combiner, dim).push(row);
                     updated_per_layer[layer].set(node as usize);
                 }
+            } else {
+                debug_assert!(!live.is_alive(h), "collect_phase guarantees alive peers");
             }
         }
         // Apply in node-id order (matches the sequential engine, which
@@ -311,6 +862,7 @@ pub fn sync_round_threaded_with_scratch(
     ctx.barrier_wait_timed();
 
     // ---- Phase 2: broadcast canonical values of updated owned rows. ----
+    ctx.begin_phase();
     for layer in 0..n_layers {
         let dim = replica.layers[layer].dim();
         let mut enc = RowEncoder::new(dim);
@@ -321,37 +873,33 @@ pub fn sync_round_threaded_with_scratch(
                 }
             }
             SyncPlan::RepModelNaive => {
-                for node in master_block(n_nodes, n_hosts, ctx.host) {
-                    enc.push(node, replica.row(layer, node));
+                for owner in 0..n_hosts {
+                    if live.effective_master(owner) != ctx.host {
+                        continue;
+                    }
+                    for node in master_block(n_nodes, n_hosts, owner) {
+                        enc.push(node, replica.row(layer, node));
+                    }
                 }
             }
             SyncPlan::PullModel => unreachable!("rejected above"),
         }
         let payload = enc.finish();
         for peer in 0..n_hosts {
-            if peer == ctx.host {
+            if peer == ctx.host || !live.is_alive(peer) {
                 continue;
             }
             stats.broadcast_bytes += payload.len() as u64;
             stats.broadcast_msgs += (payload.len() / entry_bytes(dim)) as u64;
-            ctx.send(
-                peer,
-                Message {
-                    from: ctx.host,
-                    layer,
-                    payload: payload.clone(),
-                },
-            );
+            ctx.ship(peer, layer, payload.clone())?;
         }
     }
-    let incoming = ctx.recv_batch((n_hosts - 1) * n_layers);
-    for msg in incoming {
-        let dim = replica.layers[msg.layer].dim();
-        let mut dec = RowDecoder::new(msg.payload, dim);
+    let incoming = ctx.collect_phase(live, n_layers)?;
+    for ((_, layer), payload) in incoming {
+        let dim = replica.layers[layer].dim();
+        let mut dec = RowDecoder::new(payload, dim);
         while let Some((node, row)) = dec.next_entry() {
-            replica
-                .row_mut_untracked(msg.layer, node)
-                .copy_from_slice(row);
+            replica.row_mut_untracked(layer, node).copy_from_slice(row);
         }
     }
     replica.clear_tracking();
@@ -372,6 +920,7 @@ pub fn sync_round_threaded_with_scratch(
         obs_span.field("broadcast_bytes", bcast_b as f64);
     }
     drop(obs_span);
+    Ok(())
 }
 
 #[cfg(test)]
@@ -408,16 +957,21 @@ mod tests {
         }
     }
 
-    fn run_threaded(
+    fn run_threaded_plan(
         n_hosts: usize,
         n_nodes: usize,
         dim: usize,
         rounds: usize,
         plan: SyncPlan,
         combiner: CombinerKind,
+        faults: FaultPlan,
     ) -> (Vec<FlatMatrix>, CommStats) {
         let cfg = SyncConfig { plan, combiner };
-        let results = run_cluster(n_hosts, |ctx| {
+        let cluster_cfg = ClusterConfig {
+            nak_delay: Duration::from_millis(10),
+            ..ClusterConfig::default()
+        };
+        let results = run_cluster_with(n_hosts, faults, cluster_cfg, |ctx| {
             // All replicas start identical (same init seed). Each host
             // carries one scratch across rounds, so these equivalence
             // tests also referee the recycled-scratch path bitwise.
@@ -432,7 +986,8 @@ mod tests {
                     &cfg,
                     &mut stats,
                     &mut scratch,
-                );
+                )
+                .unwrap();
             }
             (replica, stats)
         });
@@ -443,6 +998,25 @@ mod tests {
         }
         total.rounds = host_stats[0].rounds;
         (assemble_canonical(&replicas), total)
+    }
+
+    fn run_threaded(
+        n_hosts: usize,
+        n_nodes: usize,
+        dim: usize,
+        rounds: usize,
+        plan: SyncPlan,
+        combiner: CombinerKind,
+    ) -> (Vec<FlatMatrix>, CommStats) {
+        run_threaded_plan(
+            n_hosts,
+            n_nodes,
+            dim,
+            rounds,
+            plan,
+            combiner,
+            FaultPlan::none(),
+        )
     }
 
     fn run_sequential(
@@ -516,6 +1090,111 @@ mod tests {
     }
 
     #[test]
+    fn drops_and_flips_recovered_bitwise() {
+        // Heavy message loss and corruption: the NAK/resend loop must
+        // reconstruct the exact faultless result — recovery is exact,
+        // not approximate — and the *accounted* payload volume must not
+        // change (retransmissions are transport overhead, not model
+        // traffic).
+        let faults = FaultPlan::parse("seed=9,drop=0.15,flip=0.05").unwrap();
+        let (clean_model, clean_stats) = run_sequential(
+            3,
+            16,
+            4,
+            3,
+            SyncPlan::RepModelOpt,
+            CombinerKind::ModelCombiner,
+        );
+        let (chaos_model, chaos_stats) = run_threaded_plan(
+            3,
+            16,
+            4,
+            3,
+            SyncPlan::RepModelOpt,
+            CombinerKind::ModelCombiner,
+            faults,
+        );
+        assert_eq!(clean_model, chaos_model);
+        assert_eq!(clean_stats.reduce_bytes, chaos_stats.reduce_bytes);
+        assert_eq!(clean_stats.broadcast_bytes, chaos_stats.broadcast_bytes);
+    }
+
+    #[test]
+    fn crash_degrades_and_survivors_agree() {
+        // Host 1 dies at the start of global round 1 (of 3). Survivors
+        // route around it with the deterministic plan-derived liveness
+        // view; after every remaining round their replicas must agree.
+        let faults = FaultPlan::parse("seed=5,crash=1@1").unwrap();
+        let n_hosts = 3;
+        let n_nodes = 12;
+        let cfg = SyncConfig {
+            plan: SyncPlan::RepModelOpt,
+            combiner: CombinerKind::ModelCombiner,
+        };
+        let crash_round = 1usize;
+        let results = run_cluster_with(n_hosts, faults.clone(), ClusterConfig::default(), |ctx| {
+            let mut replica = fresh_replica(n_nodes, 4, 7);
+            let mut stats = CommStats::default();
+            let mut scratch = ThreadedSyncScratch::new();
+            let mut live = Liveness::all(n_hosts);
+            for round in 0..3 {
+                if ctx.plan().crash_round(ctx.host) == Some(round) {
+                    ctx.mark_self_dead();
+                    return None;
+                }
+                if round == crash_round {
+                    ctx.await_death(1);
+                    live.mark_dead(1);
+                }
+                apply_workload(&mut replica, ctx.host, round, n_nodes);
+                sync_round_threaded_degraded(
+                    &ctx,
+                    &mut replica,
+                    &cfg,
+                    &mut stats,
+                    &mut scratch,
+                    &live,
+                )
+                .unwrap();
+            }
+            Some(replica)
+        });
+        assert!(results[1].is_none(), "host 1 must have crashed");
+        let survivors: Vec<&ModelReplica> = results.iter().flatten().collect();
+        assert_eq!(survivors.len(), 2);
+        assert_eq!(
+            survivors[0].layers, survivors[1].layers,
+            "survivors must hold identical replicas after degraded rounds"
+        );
+    }
+
+    #[test]
+    fn barrier_releases_without_dead_host() {
+        // One host dies before ever reaching the barrier; the others'
+        // barrier must release on the reduced alive count instead of
+        // hanging.
+        let done = run_cluster_with(
+            3,
+            FaultPlan::none(),
+            ClusterConfig {
+                tick: Duration::from_millis(1),
+                barrier_timeout: Duration::from_millis(5),
+                ..ClusterConfig::default()
+            },
+            |ctx| {
+                if ctx.host == 2 {
+                    std::thread::sleep(Duration::from_millis(20));
+                    ctx.mark_self_dead();
+                    return false;
+                }
+                ctx.barrier_wait();
+                true
+            },
+        );
+        assert_eq!(done, vec![true, true, false]);
+    }
+
+    #[test]
     fn replicas_agree_after_each_round() {
         let cfg = SyncConfig {
             plan: SyncPlan::RepModelOpt,
@@ -526,7 +1205,7 @@ mod tests {
             let mut stats = CommStats::default();
             for round in 0..3 {
                 apply_workload(&mut replica, ctx.host, round, 10);
-                sync_round_threaded(&ctx, &mut replica, &cfg, &mut stats);
+                sync_round_threaded(&ctx, &mut replica, &cfg, &mut stats).unwrap();
             }
             replica
         });
@@ -542,7 +1221,7 @@ mod tests {
         let stats = run_cluster(2, |ctx| {
             let mut replica = fresh_replica(6, 2, 3);
             let mut stats = CommStats::default();
-            sync_round_threaded(&ctx, &mut replica, &cfg, &mut stats);
+            sync_round_threaded(&ctx, &mut replica, &cfg, &mut stats).unwrap();
             stats
         });
         for s in stats {
@@ -566,7 +1245,7 @@ mod tests {
         run_cluster(2, |ctx| {
             let mut replica = fresh_replica(4, 2, 1);
             let mut stats = CommStats::default();
-            sync_round_threaded(&ctx, &mut replica, &cfg, &mut stats);
+            let _ = sync_round_threaded(&ctx, &mut replica, &cfg, &mut stats);
         });
     }
 }

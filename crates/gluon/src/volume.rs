@@ -9,7 +9,7 @@
 use serde::{Deserialize, Serialize};
 
 /// Byte/message counters for one synchronization round, per host.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RoundVolume {
     /// Bytes sent by each host (reduce payloads it ships to masters plus
     /// broadcast payloads it ships to mirrors).
@@ -56,7 +56,7 @@ impl RoundVolume {
 }
 
 /// Accumulated statistics over a whole training run.
-#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CommStats {
     /// Number of synchronization rounds performed.
     pub rounds: u64,

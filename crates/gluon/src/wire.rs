@@ -28,6 +28,8 @@
 //! volumes; `tests/` pin both the layout and the accounting.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use gw2v_util::crc32::crc32;
+use std::fmt;
 
 /// Serialized bytes for one `(node, row)` entry at dimension `dim`.
 #[inline]
@@ -123,6 +125,113 @@ impl RowDecoder {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Checksummed frames
+// ---------------------------------------------------------------------------
+
+/// Magic number opening every sealed frame (`"GW2V"` little-endian).
+pub const FRAME_MAGIC: u32 = u32::from_le_bytes(*b"GW2V");
+
+/// Sealed-frame header size: magic `u32` + payload length `u32` +
+/// CRC-32 `u32`, all little-endian.
+pub const FRAME_HEADER_BYTES: usize = 12;
+
+/// A received frame that failed validation.
+///
+/// The threaded engine treats any of these as a corrupted delivery: the
+/// receiver NAKs the `(sender, layer)` slot and the sender retransmits
+/// from its resend buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer is shorter than a frame header, or the header's length
+    /// field disagrees with the actual payload size.
+    BadLength {
+        /// Bytes the header claims the payload has (0 if no header fit).
+        claimed: usize,
+        /// Bytes actually present after the header.
+        actual: usize,
+    },
+    /// The frame does not open with [`FRAME_MAGIC`].
+    BadMagic,
+    /// The payload's CRC-32 does not match the header checksum.
+    Corrupt {
+        /// Checksum carried in the header.
+        expected: u32,
+        /// Checksum computed over the received payload.
+        computed: u32,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::BadLength { claimed, actual } => {
+                write!(
+                    f,
+                    "frame length mismatch: header claims {claimed} payload bytes, got {actual}"
+                )
+            }
+            WireError::BadMagic => write!(f, "frame does not start with GW2V magic"),
+            WireError::Corrupt { expected, computed } => {
+                write!(
+                    f,
+                    "payload checksum mismatch: header {expected:#010x}, computed {computed:#010x}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Wraps a payload in a checksummed frame:
+/// `[magic u32][payload_len u32][crc32(payload) u32][payload]`.
+///
+/// The frame's 12-byte overhead is transport armor, not model traffic —
+/// comm-volume accounting ([`crate::volume::CommStats`]) keeps counting
+/// the bare payload bytes, so sealed and unsealed runs report identical
+/// volumes.
+pub fn seal_frame(payload: &Bytes) -> Bytes {
+    let mut buf = BytesMut::with_capacity(FRAME_HEADER_BYTES + payload.len());
+    buf.put_u32_le(FRAME_MAGIC);
+    buf.put_u32_le(payload.len() as u32);
+    buf.put_u32_le(crc32(payload.as_slice()));
+    buf.put_slice(payload.as_slice());
+    buf.freeze()
+}
+
+/// Validates a sealed frame and returns the payload as a zero-copy slice
+/// of `frame`.
+///
+/// Guarantees: a faultless `seal_frame` → `open_frame` round-trip is the
+/// identity on payload bytes, and *any* single-bit corruption of the
+/// frame (header or payload) is rejected — CRC-32 detects all single-bit
+/// errors, and header fields are cross-checked against the buffer.
+pub fn open_frame(frame: &Bytes) -> Result<Bytes, WireError> {
+    if frame.len() < FRAME_HEADER_BYTES {
+        return Err(WireError::BadLength {
+            claimed: 0,
+            actual: frame.len(),
+        });
+    }
+    let mut header = frame.slice(0..FRAME_HEADER_BYTES);
+    if header.get_u32_le() != FRAME_MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    let claimed = header.get_u32_le() as usize;
+    let actual = frame.len() - FRAME_HEADER_BYTES;
+    if claimed != actual {
+        return Err(WireError::BadLength { claimed, actual });
+    }
+    let expected = header.get_u32_le();
+    let payload = frame.slice(FRAME_HEADER_BYTES..frame.len());
+    let computed = crc32(payload.as_slice());
+    if computed != expected {
+        return Err(WireError::Corrupt { expected, computed });
+    }
+    Ok(payload)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -183,5 +292,61 @@ mod tests {
         let mut dec = RowDecoder::new(enc.finish(), 1);
         let (_, r) = dec.next_entry().unwrap();
         assert!(r[0].is_nan());
+    }
+
+    fn sample_payload() -> Bytes {
+        let mut enc = RowEncoder::new(3);
+        enc.push(7, &[1.0, -2.5, f32::NAN]);
+        enc.push(42, &[0.0, -0.0, 1e-30]);
+        enc.finish()
+    }
+
+    #[test]
+    fn frame_roundtrip_is_identity_on_payload() {
+        let payload = sample_payload();
+        let frame = seal_frame(&payload);
+        assert_eq!(frame.len(), FRAME_HEADER_BYTES + payload.len());
+        let opened = open_frame(&frame).unwrap();
+        assert_eq!(opened.as_slice(), payload.as_slice());
+    }
+
+    #[test]
+    fn empty_payload_frames_fine() {
+        let payload = RowEncoder::new(4).finish();
+        let opened = open_frame(&seal_frame(&payload)).unwrap();
+        assert!(opened.is_empty());
+    }
+
+    #[test]
+    fn every_single_bit_flip_detected() {
+        let frame = seal_frame(&sample_payload());
+        for bit in 0..frame.len() * 8 {
+            let mut bytes = frame.as_slice().to_vec();
+            bytes[bit / 8] ^= 1 << (bit % 8);
+            assert!(
+                open_frame(&Bytes::from(bytes)).is_err(),
+                "flip of bit {bit} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_and_garbage_frames_rejected() {
+        let frame = seal_frame(&sample_payload());
+        assert_eq!(
+            open_frame(&frame.slice(0..4)).unwrap_err(),
+            WireError::BadLength {
+                claimed: 0,
+                actual: 4
+            }
+        );
+        assert!(matches!(
+            open_frame(&frame.slice(0..frame.len() - 1)),
+            Err(WireError::BadLength { .. })
+        ));
+        assert_eq!(
+            open_frame(&Bytes::from(vec![0xAB; 32])).unwrap_err(),
+            WireError::BadMagic
+        );
     }
 }

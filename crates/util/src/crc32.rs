@@ -1,0 +1,132 @@
+//! CRC-32 (IEEE 802.3) checksums.
+//!
+//! Used by the fault-tolerance layer to detect payload corruption: the
+//! wire frames of the threaded cluster engine and the on-disk training
+//! checkpoints both carry a CRC-32 trailer. The IEEE polynomial
+//! (`0xEDB88320` reflected) detects **all** single-bit errors and all
+//! burst errors up to 32 bits — exactly the corruption model the
+//! deterministic fault injector produces — so a checksum match after a
+//! fault-free round-trip is a bit-exactness witness, and any injected
+//! bit-flip is guaranteed to be noticed.
+//!
+//! Implementation: the standard byte-at-a-time table method with a
+//! compile-time generated 256-entry table. Fast enough for message
+//! framing (a few GB/s) without SIMD; checksumming is a per-message
+//! cost, not a per-row cost.
+
+/// The reflected IEEE 802.3 polynomial.
+const POLY: u32 = 0xEDB8_8320;
+
+/// Byte-at-a-time lookup table, generated at compile time.
+const TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// A streaming CRC-32 hasher.
+///
+/// Feed bytes with [`Crc32::update`]; [`Crc32::finish`] yields the same
+/// value [`crc32`] computes over the concatenation of all updates.
+#[derive(Debug, Clone, Copy)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    /// Creates a hasher in its initial state.
+    #[inline]
+    pub fn new() -> Self {
+        Self { state: 0xFFFF_FFFF }
+    }
+
+    /// Absorbs `bytes` into the checksum.
+    #[inline]
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut crc = self.state;
+        for &b in bytes {
+            crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+        }
+        self.state = crc;
+    }
+
+    /// Returns the checksum of everything absorbed so far.
+    #[inline]
+    pub fn finish(&self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One-shot CRC-32 of `bytes`.
+#[inline]
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut h = Crc32::new();
+    h.update(bytes);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_vectors() {
+        // Standard check values for CRC-32/IEEE.
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn streaming_matches_oneshot() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        let mut h = Crc32::new();
+        for chunk in data.chunks(37) {
+            h.update(chunk);
+        }
+        assert_eq!(h.finish(), crc32(&data));
+    }
+
+    #[test]
+    fn detects_every_single_bit_flip() {
+        let data = b"deterministic fault injection".to_vec();
+        let clean = crc32(&data);
+        for byte in 0..data.len() {
+            for bit in 0..8 {
+                let mut corrupt = data.clone();
+                corrupt[byte] ^= 1 << bit;
+                assert_ne!(crc32(&corrupt), clean, "flip at {byte}:{bit} undetected");
+            }
+        }
+    }
+
+    #[test]
+    fn finish_is_idempotent() {
+        let mut h = Crc32::new();
+        h.update(b"abc");
+        assert_eq!(h.finish(), h.finish());
+    }
+}

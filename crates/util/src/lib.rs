@@ -13,6 +13,8 @@
 //! * [`bitvec`] — a fixed-capacity bit vector used by the Gluon-style
 //!   communication substrate to track which graph nodes were touched in a
 //!   synchronization round.
+//! * [`crc32`] — CRC-32 (IEEE) checksums guarding wire frames and training
+//!   checkpoints against corruption.
 //! * [`fvec`] — `f32` vector kernels (dot, axpy, scale, norm, fused SGNS
 //!   gradient step) that the SGNS inner loop is built from.
 //! * [`simd`] — the runtime-dispatched backends behind [`fvec`]:
@@ -28,6 +30,7 @@
 #![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod bitvec;
+pub mod crc32;
 pub mod fvec;
 pub mod rng;
 pub mod simd;

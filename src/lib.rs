@@ -34,6 +34,7 @@ pub use gw2v_combiner as combiner;
 pub use gw2v_core as core;
 pub use gw2v_corpus as corpus;
 pub use gw2v_eval as eval;
+pub use gw2v_faults as faults;
 pub use gw2v_gluon as gluon;
 pub use gw2v_graph as graph;
 pub use gw2v_obs as obs;
@@ -42,16 +43,19 @@ pub use gw2v_util as util;
 /// The most common imports in one place.
 pub mod prelude {
     pub use gw2v_combiner::CombinerKind;
+    pub use gw2v_core::checkpoint::{Checkpoint, CheckpointError};
     pub use gw2v_core::distributed::{DistConfig, DistributedTrainer, TrainResult};
     pub use gw2v_core::model::Word2VecModel;
     pub use gw2v_core::params::Hyperparams;
     pub use gw2v_core::trainer_hogwild::HogwildTrainer;
     pub use gw2v_core::trainer_seq::SequentialTrainer;
+    pub use gw2v_core::trainer_threaded::ThreadedTrainer;
     pub use gw2v_corpus::datasets::{DatasetPreset, Scale};
     pub use gw2v_corpus::shard::Corpus;
     pub use gw2v_corpus::tokenizer::{sentences_from_text, TokenizerConfig};
     pub use gw2v_corpus::vocab::{VocabBuilder, Vocabulary};
     pub use gw2v_eval::analogy::evaluate;
     pub use gw2v_eval::knn::EmbeddingIndex;
+    pub use gw2v_faults::FaultPlan;
     pub use gw2v_gluon::plan::SyncPlan;
 }

@@ -98,7 +98,8 @@ fn threaded_train(
                     );
                     processed += sentence.len() as u64;
                 }
-                sync_round_threaded(&ctx, &mut replica, &sync_cfg, &mut stats);
+                sync_round_threaded(&ctx, &mut replica, &sync_cfg, &mut stats)
+                    .expect("faultless sync round");
             }
         }
         replica

@@ -98,11 +98,27 @@ impl Bytes {
         &self.data[self.start..self.end]
     }
 
+    /// Copies `src` into a new owned buffer.
+    pub fn copy_from_slice(src: &[u8]) -> Bytes {
+        Bytes::from(src.to_vec())
+    }
+
     fn take(&mut self, n: usize) -> &[u8] {
         assert!(self.start + n <= self.end, "buffer underflow");
         let out = &self.data[self.start..self.start + n];
         self.start += n;
         out
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(buf: Vec<u8>) -> Self {
+        let end = buf.len();
+        Bytes {
+            data: Arc::new(buf),
+            start: 0,
+            end,
+        }
     }
 }
 
@@ -141,6 +157,8 @@ pub trait BufMut {
     fn put_u32_le(&mut self, v: u32);
     /// Appends a little-endian `f32` (bit-preserving, including NaN).
     fn put_f32_le(&mut self, v: f32);
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
 }
 
 impl BufMut for BytesMut {
@@ -150,6 +168,10 @@ impl BufMut for BytesMut {
 
     fn put_f32_le(&mut self, v: f32) {
         self.put_u32_le(v.to_bits());
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.buf.extend_from_slice(src);
     }
 }
 
@@ -178,6 +200,17 @@ mod tests {
         assert_eq!(s.len(), 4);
         let mut s2 = s;
         assert_eq!(s2.get_f32_le(), -2.5);
+    }
+
+    #[test]
+    fn from_vec_and_put_slice() {
+        let mut m = BytesMut::new();
+        m.put_slice(&[1, 2, 3]);
+        m.put_slice(&[]);
+        assert_eq!(m.freeze().as_slice(), &[1, 2, 3]);
+        let b = Bytes::from(vec![9, 8]);
+        assert_eq!(b.as_slice(), &[9, 8]);
+        assert_eq!(Bytes::copy_from_slice(b.as_slice()).as_slice(), &[9, 8]);
     }
 
     #[test]

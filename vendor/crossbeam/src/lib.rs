@@ -1,9 +1,10 @@
 //! Minimal, self-contained stand-in for the `crossbeam` crate.
 //!
-//! Only `crossbeam::channel::{unbounded, Sender, Receiver}` is used by the
-//! workspace (the threaded Gluon engine); this maps it onto
-//! `std::sync::mpsc`, which provides the same FIFO-per-sender semantics the
-//! engine's barrier-phased protocol relies on.
+//! Only `crossbeam::channel::{unbounded, Sender, Receiver}` (with blocking,
+//! non-blocking and timed receives) is used by the workspace (the threaded
+//! Gluon engine); this maps it onto `std::sync::mpsc`, which provides the
+//! same FIFO-per-sender semantics the engine's barrier-phased protocol
+//! relies on.
 
 pub mod channel {
     use std::sync::mpsc;
@@ -30,6 +31,15 @@ pub mod channel {
     #[derive(Debug)]
     pub struct RecvError;
 
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message arrived within the timeout.
+        Timeout,
+        /// All senders have disconnected and the queue is drained.
+        Disconnected,
+    }
+
     /// Creates an unbounded FIFO channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         let (tx, rx) = mpsc::channel();
@@ -53,11 +63,35 @@ pub mod channel {
         pub fn try_recv(&self) -> Result<T, std::sync::mpsc::TryRecvError> {
             self.0.try_recv()
         }
+
+        /// Blocks for at most `timeout` waiting for a message.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            self.0.recv_timeout(timeout).map_err(|e| match e {
+                std::sync::mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+                std::sync::mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+            })
+        }
     }
 
     #[cfg(test)]
     mod tests {
         use super::*;
+
+        #[test]
+        fn recv_timeout_times_out_then_delivers() {
+            let (tx, rx) = unbounded::<u32>();
+            assert_eq!(
+                rx.recv_timeout(std::time::Duration::from_millis(5)),
+                Err(RecvTimeoutError::Timeout)
+            );
+            tx.send(7).unwrap();
+            assert_eq!(rx.recv_timeout(std::time::Duration::from_millis(5)), Ok(7));
+            drop(tx);
+            assert_eq!(
+                rx.recv_timeout(std::time::Duration::from_millis(5)),
+                Err(RecvTimeoutError::Disconnected)
+            );
+        }
 
         #[test]
         fn fifo_across_threads() {
