@@ -249,24 +249,33 @@ pub fn train(raw: &[String]) -> CmdResult {
         }
         "threaded" => {
             let config = dist_config_from(&args)?;
-            if config.plan == SyncPlan::PullModel {
-                return Err(
-                    ArgError("--plan pull is simulator-only; use --trainer dist".into()).into(),
-                );
+            let mut t = ThreadedTrainer::new(params, config).with_faults(fault_plan_from(&args)?);
+            match args.get("checkpoint-dir") {
+                Some(dir) => {
+                    let every: usize = args.get_or("checkpoint-every", 1)?;
+                    t = t
+                        .with_checkpointing(dir, every)
+                        .with_resume(args.flag("resume"));
+                }
+                None if args.flag("resume") => {
+                    return Err(ArgError("--resume requires --checkpoint-dir".into()).into())
+                }
+                None => {}
             }
-            if args.get("checkpoint-dir").is_some() || args.flag("resume") {
-                return Err(
-                    ArgError("checkpointing is simulator-only; use --trainer dist".into()).into(),
-                );
+            let result = t.train(&corpus, &vocab)?;
+            if let Some(epoch) = result.resumed_from {
+                println!("resumed after epoch {epoch} checkpoint");
             }
-            let result = ThreadedTrainer::new(params, config)
-                .with_faults(fault_plan_from(&args)?)
-                .train(&corpus, &vocab)?;
             println!(
                 "threaded cluster: {} sync rounds, volume {}",
                 result.stats.rounds,
                 gw2v_util::table::fmt_bytes(result.stats.total_bytes())
             );
+            if result.killed {
+                println!(
+                    "run killed by fault plan after an epoch checkpoint; use --resume to continue"
+                );
+            }
             result.model
         }
         other => return Err(ArgError(format!("unknown trainer {other:?}")).into()),
@@ -488,12 +497,41 @@ mod tests {
         let mut threaded = base("threaded");
         threaded.extend(s(&["--fault-plan", "seed=3,drop=0.01"]));
         train(&threaded).expect("threaded chaos run");
+        // The threaded engine honors checkpoint/resume flags: kill after
+        // the first epoch's checkpoint, then resume to the end.
+        let thr_ckdir = tmp("chaos_thr_ck");
+        let mut thr_killed = base("threaded");
+        thr_killed.extend(s(&[
+            "--fault-plan",
+            "kill=0",
+            "--checkpoint-dir",
+            &thr_ckdir,
+        ]));
+        train(&thr_killed).expect("threaded killed run");
+        assert!(
+            std::fs::read_dir(&thr_ckdir).unwrap().next().is_some(),
+            "threaded --checkpoint-dir must produce a checkpoint file"
+        );
+        let mut thr_resumed = base("threaded");
+        thr_resumed.extend(s(&["--checkpoint-dir", &thr_ckdir, "--resume"]));
+        train(&thr_resumed).expect("threaded resumed run");
+        // And the threaded engine runs PullModel now.
+        let mut thr_pull = base("threaded");
+        thr_pull.extend(s(&["--plan", "pull"]));
+        train(&thr_pull).expect("threaded pull run");
+        std::fs::remove_dir_all(&thr_ckdir).ok();
         // Misuse is rejected up front.
         let mut bare_resume = base("dist");
         bare_resume.push("--resume".into());
         assert!(
             train(&bare_resume).is_err(),
             "--resume needs --checkpoint-dir"
+        );
+        let mut thr_bare_resume = base("threaded");
+        thr_bare_resume.push("--resume".into());
+        assert!(
+            train(&thr_bare_resume).is_err(),
+            "--resume needs --checkpoint-dir on the threaded engine too"
         );
         let mut bad_plan = base("dist");
         bad_plan.extend(s(&["--fault-plan", "drop=2.0"]));

@@ -54,8 +54,9 @@ use gw2v_gluon::cost::CostModel;
 use gw2v_gluon::liveness::Liveness;
 use gw2v_gluon::plan::{AccessSets, SyncConfig, SyncPlan};
 use gw2v_gluon::sync::{assemble_canonical_live, sync_round_degraded, SyncScratch};
+use gw2v_gluon::threaded::REJOIN_CONTROL_BYTES;
 use gw2v_gluon::volume::{CommStats, RoundVolume};
-use gw2v_gluon::wire::FRAME_HEADER_BYTES;
+use gw2v_gluon::wire::{entry_bytes, FRAME_HEADER_BYTES};
 use gw2v_gluon::ModelReplica;
 use gw2v_util::rng::{SplitMix64, Xoshiro256};
 use std::path::PathBuf;
@@ -330,6 +331,49 @@ impl DistributedTrainer {
         let mut killed = false;
 
         for epoch in start_epoch..p.epochs {
+            // ---- Epoch-boundary re-admission (rejoin=H@E). ----
+            if faults_on && !plan.rejoins.is_empty() {
+                let mut someone_rejoined = false;
+                for d in 0..h_count {
+                    if live.is_alive(d) || plan.rejoin_epoch(d) != Some(epoch) {
+                        continue;
+                    }
+                    // The adopter streams its full replica back; the
+                    // rejoiner resumes its worklist on the recovery
+                    // stream it was being carried on (`rngs[d]` holds
+                    // it), keeping the round bit-identical to a run
+                    // where the ward had never changed hands.
+                    let a = adopters[d].take().expect("dead host has an adopter");
+                    replicas[d] = ModelReplica::new(replicas[a].layers.clone());
+                    live.mark_alive(d);
+                    counters::bump(counters::RECOVERED_REJOIN);
+                    let bytes: u64 = replicas[d]
+                        .layers
+                        .iter()
+                        .map(|l| l.rows() as u64 * entry_bytes(l.dim()) as u64)
+                        .sum::<u64>()
+                        + REJOIN_CONTROL_BYTES;
+                    gw2v_obs::add("gluon.state_transfer_bytes", bytes);
+                    someone_rejoined = true;
+                }
+                // A rejoin can change effective masters, so re-evaluate
+                // the adoption map exactly like a death does: a migrated
+                // ward restarts on a fresh recovery stream (its schedule
+                // position survives in `processed`, which is RNG-free).
+                if someone_rejoined {
+                    for d in 0..h_count {
+                        if live.is_alive(d) {
+                            continue;
+                        }
+                        let a = live.adopter_of(d).expect("at least one survivor");
+                        if adopters[d] != Some(a) {
+                            adopters[d] = Some(a);
+                            rngs[d] = Xoshiro256::new(root.derive(RECOVERY_RNG_BASE + d as u64));
+                            counters::bump(counters::RECOVERED_ADOPT);
+                        }
+                    }
+                }
+            }
             for s in 0..s_count {
                 let g = epoch * s_count + s;
                 let mut round_span = gw2v_obs::span("core.round").epoch(epoch).round(g);

@@ -1,0 +1,148 @@
+//! Property-based tests on the GW2VCKP1 checkpoint codec: for arbitrary
+//! layer contents, RNG states and schedule positions, encode → decode is
+//! an identity, and *any* single corrupted byte anywhere in the image is
+//! rejected (by the magic check at the front, the CRC-32 everywhere
+//! else).
+
+use gw2v_core::checkpoint::Checkpoint;
+use gw2v_gluon::volume::CommStats;
+use gw2v_util::fvec::FlatMatrix;
+use proptest::prelude::*;
+
+/// Builds a checkpoint from raw generator material. Layer values go in
+/// as raw bits so denormals, NaN payloads and negative zero all travel
+/// through the codec.
+#[allow(clippy::too_many_arguments)]
+fn build(
+    n_hosts: usize,
+    n_nodes: usize,
+    dim: usize,
+    epoch: usize,
+    pairs: u64,
+    cell_bits: &[u32],
+    rng_words: &[u64],
+    processed: &[u64],
+    alive_bits: u8,
+    stats: (u64, u64, u64, u64, u64),
+) -> Checkpoint {
+    let mut cells = cell_bits.iter().cycle();
+    let layers = (0..n_hosts)
+        .map(|_| {
+            (0..2)
+                .map(|_| {
+                    let mut m = FlatMatrix::zeros(n_nodes, dim);
+                    for r in 0..n_nodes {
+                        for x in m.row_mut(r) {
+                            *x = f32::from_bits(*cells.next().expect("cycled"));
+                        }
+                    }
+                    m
+                })
+                .collect()
+        })
+        .collect();
+    let mut words = rng_words.iter().cycle();
+    Checkpoint {
+        fingerprint: 0xABCD_EF01_2345_6789,
+        epoch,
+        pairs_trained: pairs,
+        compute_time: 12.5,
+        comm_time: 0.25,
+        processed: (0..n_hosts)
+            .map(|h| processed[h % processed.len()])
+            .collect(),
+        // Keep at least one host alive, like any reachable run state.
+        alive: (0..n_hosts)
+            .map(|h| h == 0 || alive_bits >> h & 1 == 1)
+            .collect(),
+        rng_states: (0..n_hosts)
+            .map(|_| std::array::from_fn(|_| *words.next().expect("cycled")))
+            .collect(),
+        stats: CommStats {
+            reduce_bytes: stats.0,
+            broadcast_bytes: stats.1,
+            reduce_msgs: stats.2,
+            broadcast_msgs: stats.3,
+            rounds: stats.4,
+        },
+        layers,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Encode → decode identity: every field survives, bit-for-bit, as
+    /// witnessed by the decoded image re-encoding to the same bytes.
+    #[test]
+    fn encode_decode_is_identity(
+        n_hosts in 1usize..4,
+        n_nodes in 1usize..6,
+        dim in 1usize..5,
+        epoch in 0usize..100,
+        pairs in any::<u64>(),
+        cell_bits in proptest::collection::vec(any::<u32>(), 1..64),
+        rng_words in proptest::collection::vec(any::<u64>(), 1..16),
+        processed in proptest::collection::vec(any::<u64>(), 1..4),
+        alive_bits in any::<u8>(),
+        stats in (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+    ) {
+        let ckpt = build(
+            n_hosts, n_nodes, dim, epoch, pairs,
+            &cell_bits, &rng_words, &processed, alive_bits, stats,
+        );
+        let bytes = ckpt.to_bytes();
+        let back = Checkpoint::from_bytes(&bytes).expect("clean image must decode");
+        prop_assert_eq!(back.fingerprint, ckpt.fingerprint);
+        prop_assert_eq!(back.epoch, ckpt.epoch);
+        prop_assert_eq!(back.pairs_trained, ckpt.pairs_trained);
+        prop_assert_eq!(back.compute_time.to_bits(), ckpt.compute_time.to_bits());
+        prop_assert_eq!(back.comm_time.to_bits(), ckpt.comm_time.to_bits());
+        prop_assert_eq!(&back.processed, &ckpt.processed);
+        prop_assert_eq!(&back.alive, &ckpt.alive);
+        prop_assert_eq!(&back.rng_states, &ckpt.rng_states);
+        prop_assert_eq!(back.stats, ckpt.stats);
+        // Compare layer cells as raw bits: float equality would reject
+        // NaN == NaN even though the codec preserved the payload exactly.
+        for (bh, ch) in back.layers.iter().zip(&ckpt.layers) {
+            prop_assert_eq!(bh.len(), ch.len());
+            for (bm, cm) in bh.iter().zip(ch) {
+                prop_assert_eq!(bm.rows(), cm.rows());
+                prop_assert_eq!(bm.dim(), cm.dim());
+                let bb: Vec<u32> = bm.as_slice().iter().map(|x| x.to_bits()).collect();
+                let cb: Vec<u32> = cm.as_slice().iter().map(|x| x.to_bits()).collect();
+                prop_assert_eq!(bb, cb, "layer bits must survive unchanged");
+            }
+        }
+        prop_assert_eq!(back.to_bytes(), bytes, "decode must round-trip the exact bytes");
+    }
+
+    /// Adversarial corruption: flipping any one byte anywhere in the
+    /// image — magic, header, matrix data or the CRC trailer itself,
+    /// position and XOR mask chosen arbitrarily — must make from_bytes
+    /// reject it.
+    #[test]
+    fn any_corrupted_byte_is_rejected(
+        n_hosts in 1usize..3,
+        n_nodes in 1usize..5,
+        dim in 1usize..4,
+        cell_bits in proptest::collection::vec(any::<u32>(), 1..32),
+        rng_words in proptest::collection::vec(any::<u64>(), 1..8),
+        pick in any::<u64>(),
+        mask in 1u8..=255,
+    ) {
+        let ckpt = build(
+            n_hosts, n_nodes, dim, 3, 77,
+            &cell_bits, &rng_words, &[42], 0xFF, (1, 2, 3, 4, 5),
+        );
+        let mut bytes = ckpt.to_bytes();
+        let pos = (pick % bytes.len() as u64) as usize;
+        bytes[pos] ^= mask;
+        prop_assert!(
+            Checkpoint::from_bytes(&bytes).is_err(),
+            "corrupting byte {} of {} must be detected",
+            pos,
+            bytes.len()
+        );
+    }
+}

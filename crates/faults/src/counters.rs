@@ -31,6 +31,9 @@ pub const RECOVERED_RESEND: &str = "faults.recovered.resend";
 pub const RECOVERED_ADOPT: &str = "faults.recovered.adopt";
 /// A training run resumed from an on-disk checkpoint.
 pub const RECOVERED_RESUME: &str = "faults.recovered.resume";
+/// A crashed host was re-admitted at an epoch boundary and took its
+/// partition back from the adopter.
+pub const RECOVERED_REJOIN: &str = "faults.recovered.rejoin";
 
 /// Increments `name` by 1 in the global registry (no-op when metrics are
 /// disabled, like all of gw2v-obs).

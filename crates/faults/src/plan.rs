@@ -30,6 +30,16 @@ pub struct StragglerSpec {
     pub delay_secs: f64,
 }
 
+/// Re-admit crashed `host` at the start of epoch `epoch`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RejoinSpec {
+    /// Host to bring back.
+    pub host: usize,
+    /// Epoch at whose start the host rejoins. The rejoin is ignored if
+    /// the host is still alive then (it never crashed, or crashed later).
+    pub epoch: usize,
+}
+
 /// A deterministic, seeded schedule of faults to inject into a
 /// distributed training run.
 ///
@@ -50,6 +60,8 @@ pub struct FaultPlan {
     pub crashes: Vec<CrashSpec>,
     /// Scheduled straggler delays.
     pub stragglers: Vec<StragglerSpec>,
+    /// Scheduled crashed-host re-admissions.
+    pub rejoins: Vec<RejoinSpec>,
     /// Stop the whole training process after this epoch completes (and
     /// checkpoints) — the injector's stand-in for SIGKILL in
     /// checkpoint/resume tests.
@@ -83,6 +95,7 @@ impl FaultPlan {
             flip_p: 0.0,
             crashes: Vec::new(),
             stragglers: Vec::new(),
+            rejoins: Vec::new(),
             kill_after_epoch: None,
         }
     }
@@ -95,6 +108,7 @@ impl FaultPlan {
             && self.flip_p == 0.0
             && self.crashes.is_empty()
             && self.stragglers.is_empty()
+            && self.rejoins.is_empty()
             && self.kill_after_epoch.is_none()
     }
 
@@ -164,6 +178,15 @@ impl FaultPlan {
             .min()
     }
 
+    /// The epoch at whose start crashed `host` rejoins, if scheduled.
+    pub fn rejoin_epoch(&self, host: usize) -> Option<usize> {
+        self.rejoins
+            .iter()
+            .filter(|r| r.host == host)
+            .map(|r| r.epoch)
+            .min()
+    }
+
     /// The straggler delay (seconds) for `host` in global round `round`.
     pub fn straggler_delay(&self, host: usize, round: usize) -> Option<f64> {
         let total: f64 = self
@@ -181,8 +204,9 @@ impl FaultPlan {
     /// seed=42,drop=0.02,flip=0.001,crash=1@3,straggle=2@1x50ms,kill=2
     /// ```
     ///
-    /// `crash` and `straggle` entries may repeat; `straggle` delays take a
-    /// `ms` or `s` suffix. An empty string is the inert plan.
+    /// `crash`, `straggle` and `rejoin` (`rejoin=H@E`, epoch granularity)
+    /// entries may repeat; `straggle` delays take a `ms` or `s` suffix.
+    /// An empty string is the inert plan.
     pub fn parse(spec: &str) -> Result<Self, PlanParseError> {
         let mut plan = Self::none();
         for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
@@ -214,6 +238,15 @@ impl FaultPlan {
                         host: parse_num("straggle host", host)?,
                         round: parse_num("straggle round", round)?,
                         delay_secs: parse_delay(delay)?,
+                    });
+                }
+                "rejoin" => {
+                    let (host, epoch) = value
+                        .split_once('@')
+                        .ok_or_else(|| PlanParseError(format!("rejoin={value:?}: want H@E")))?;
+                    plan.rejoins.push(RejoinSpec {
+                        host: parse_num("rejoin host", host)?,
+                        epoch: parse_num("rejoin epoch", epoch)?,
                     });
                 }
                 other => return Err(PlanParseError(format!("unknown key {other:?}"))),
@@ -261,6 +294,9 @@ impl fmt::Display for FaultPlan {
                 s.delay_secs * 1e3
             ));
         }
+        for r in &self.rejoins {
+            parts.push(format!("rejoin={}@{}", r.host, r.epoch));
+        }
         if let Some(e) = self.kill_after_epoch {
             parts.push(format!("kill={e}"));
         }
@@ -299,7 +335,10 @@ mod tests {
     use super::*;
 
     fn chaos() -> FaultPlan {
-        FaultPlan::parse("seed=42,drop=0.02,flip=0.001,crash=1@3,straggle=2@1x50ms,kill=2").unwrap()
+        FaultPlan::parse(
+            "seed=42,drop=0.02,flip=0.001,crash=1@3,straggle=2@1x50ms,rejoin=1@2,kill=2",
+        )
+        .unwrap()
     }
 
     #[test]
@@ -313,8 +352,21 @@ mod tests {
         assert_eq!(p.stragglers[0].host, 2);
         assert_eq!(p.stragglers[0].round, 1);
         assert!((p.stragglers[0].delay_secs - 0.05).abs() < 1e-12);
+        assert_eq!(p.rejoins, vec![RejoinSpec { host: 1, epoch: 2 }]);
         assert_eq!(p.kill_after_epoch, Some(2));
         assert!(!p.is_inert());
+    }
+
+    #[test]
+    fn rejoin_lookup_and_inertness() {
+        let p = chaos();
+        assert_eq!(p.rejoin_epoch(1), Some(2));
+        assert_eq!(p.rejoin_epoch(0), None);
+        let only_rejoin = FaultPlan::parse("rejoin=2@1").unwrap();
+        assert!(!only_rejoin.is_inert());
+        // Repeats resolve to the earliest epoch.
+        let multi = FaultPlan::parse("rejoin=2@4,rejoin=2@1").unwrap();
+        assert_eq!(multi.rejoin_epoch(2), Some(1));
     }
 
     #[test]
@@ -340,6 +392,8 @@ mod tests {
             "crash=1",
             "straggle=1@2",
             "straggle=1@2x50",
+            "rejoin=1",
+            "rejoin=x@2",
             "frobnicate=1",
         ] {
             assert!(FaultPlan::parse(bad).is_err(), "{bad:?} should fail");

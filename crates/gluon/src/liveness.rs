@@ -50,6 +50,11 @@ impl Liveness {
         );
     }
 
+    /// Marks `host` alive again (re-admission at an epoch boundary).
+    pub fn mark_alive(&mut self, host: usize) {
+        self.alive[host] = true;
+    }
+
     /// Is `host` participating?
     pub fn is_alive(&self, host: usize) -> bool {
         self.alive[host]
@@ -107,6 +112,15 @@ impl SharedLiveness {
         self.alive[host].store(false, Ordering::SeqCst);
     }
 
+    /// Flags `host` as alive again (idempotent). Used by re-admission:
+    /// the rejoining host registers itself *before* its adopter releases
+    /// the next barrier, so the barrier immediately starts counting it.
+    /// No barrier poke is needed — raising `n_alive` can only make a
+    /// release condition stricter, never stale-release a waiting round.
+    pub fn mark_alive(&self, host: usize) {
+        self.alive[host].store(true, Ordering::SeqCst);
+    }
+
     /// Is `host` still registered alive?
     pub fn is_alive(&self, host: usize) -> bool {
         self.alive[host].load(Ordering::SeqCst)
@@ -154,6 +168,25 @@ mod tests {
         assert_eq!(live.effective_master(2), 0);
         assert_eq!(live.effective_master(3), 0);
         assert_eq!(live.effective_master(0), 0);
+    }
+
+    #[test]
+    fn rejoin_restores_ownership() {
+        let mut live = Liveness::all(3);
+        live.mark_dead(1);
+        assert_eq!(live.adopter_of(1), Some(2));
+        live.mark_alive(1);
+        assert!(live.is_alive(1) && live.all_alive());
+        assert_eq!(live.effective_master(1), 1);
+        assert_eq!(live.adopter_of(1), None);
+
+        let shared = SharedLiveness::all(3);
+        shared.mark_dead(1);
+        assert_eq!(shared.n_alive(), 2);
+        shared.mark_alive(1);
+        shared.mark_alive(1);
+        assert_eq!(shared.n_alive(), 3);
+        assert!(shared.snapshot().all_alive());
     }
 
     #[test]

@@ -39,21 +39,33 @@
 //! attempt and the fold/apply path is unchanged, so faultless runs stay
 //! bit-identical to the sequential engine — `tests/chaos.rs` pins this.
 //!
-//! Supported plans: `RepModelNaive` and `RepModelOpt`. `PullModel`'s
-//! inspection handshake is only implemented in the sequential engine,
-//! which is what all experiments use (see DESIGN.md §3).
+//! All three plans are supported. `RepModelNaive` and `RepModelOpt` run
+//! two phases per round (reduce, broadcast); `PullModel` runs three
+//! (reduce, pull-request, pull-response): instead of broadcasting, each
+//! host ships per-owner node-id lists from its inspection-derived access
+//! sets and owners respond with exactly the requested canonical rows —
+//! the same rows the sequential engine copies in its pull pass, so the
+//! engines stay bit-identical per replica.
+//!
+//! Beyond the phase protocol, the fabric carries **out-of-band state
+//! transfer** for crashed-host re-admission: at an epoch boundary a
+//! rejoining host's adopter streams its full replica (plus the ward's
+//! RNG state and schedule position) back over CRC-sealed frames tagged
+//! with [`STATE_TRANSFER_SEQ`], outside the lockstep phase numbering and
+//! the fault injector (state transfer models a reliable bulk channel).
 
 use crate::liveness::{Liveness, SharedLiveness};
-use crate::plan::{SyncConfig, SyncPlan};
+use crate::plan::{AccessSets, SyncConfig, SyncPlan};
 use crate::replica::ModelReplica;
 use crate::sync::NodeAccSlab;
 use crate::volume::CommStats;
 use crate::wire::{entry_bytes, open_frame, seal_frame, RowDecoder, RowEncoder};
-use bytes::{Bytes, BytesMut};
+use bytes::{BufMut, Bytes, BytesMut};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use gw2v_faults::{counters, FaultPlan};
 use gw2v_graph::partition::{master_block, master_host};
 use gw2v_util::bitvec::BitVec;
+use gw2v_util::fvec::FlatMatrix;
 use std::cell::{Cell, RefCell};
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
@@ -273,6 +285,35 @@ struct ResendSlot {
     payload: Bytes,
     attempts: u32,
 }
+
+/// Sequence number reserved for out-of-band state-transfer frames
+/// (crashed-host re-admission). They ride the same channels as protocol
+/// messages but sit outside the lockstep phase numbering and bypass the
+/// drop/flip injector — state transfer models a reliable bulk transport.
+pub const STATE_TRANSFER_SEQ: u64 = u64::MAX;
+
+/// Payload bytes of the re-admission control frame: the ward's four
+/// Xoshiro256 state words plus its schedule position, all `u64`. The
+/// sequential simulator charges the same constant to
+/// `gluon.state_transfer_bytes` so both engines report identical
+/// transfer volumes.
+pub const REJOIN_CONTROL_BYTES: u64 = 5 * 8;
+
+/// Protocol phases per sync round: the replication plans run reduce +
+/// broadcast, PullModel runs reduce + pull-request + pull-response. A
+/// re-admitted host resynchronizes its lockstep sequence counter to
+/// `phases_per_round(plan) · completed_rounds`.
+pub const fn phases_per_round(plan: SyncPlan) -> u64 {
+    match plan {
+        SyncPlan::PullModel => 3,
+        SyncPlan::RepModelNaive | SyncPlan::RepModelOpt => 2,
+    }
+}
+
+/// Tag (in the layer slot) of a state transfer's leading control frame.
+const STATE_CTRL_TAG: usize = usize::MAX;
+/// Tag of the rejoiner's closing acknowledgement frame.
+const STATE_ACK_TAG: usize = usize::MAX - 1;
 
 /// A host thread's handle to the cluster fabric.
 pub struct HostCtx {
@@ -593,6 +634,141 @@ impl HostCtx {
             self.barrier_wait();
         }
     }
+
+    /// Flags this host dead in the liveness registry *without* counting
+    /// an injected crash — used when a resumed run restores a host that
+    /// was already dead at the checkpoint boundary (the crash was counted
+    /// in the run that wrote the checkpoint).
+    pub fn resign(&self) {
+        self.state.mark_dead(self.host);
+    }
+
+    /// Re-registers this host alive (re-admission). Called by the
+    /// rejoining host *before* it acknowledges the state transfer, so the
+    /// adopter cannot reach the next barrier while the registry still
+    /// excludes the rejoiner.
+    pub fn register_alive(&self) {
+        self.state.live.mark_alive(self.host);
+    }
+
+    /// Re-synchronizes the lockstep phase counter after dormancy and
+    /// forgets any stale resend buffer. The rejoined host sets this to
+    /// [`phases_per_round`]` · completed_rounds` so its next
+    /// `begin_phase` lands on the same sequence number as its peers.
+    pub fn resync_seq(&self, seq: u64) {
+        self.seq.set(seq);
+        self.resend.borrow_mut().clear();
+    }
+
+    /// Sends one out-of-band state-transfer frame to `to`, tagged with
+    /// `tag` in the layer slot and [`STATE_TRANSFER_SEQ`] in the sequence
+    /// slot. The frame is CRC-sealed but bypasses the drop/flip injector
+    /// (state transfer models a reliable bulk transport). Returns the
+    /// payload length for `gluon.state_transfer_bytes` accounting.
+    pub fn send_state(&self, to: usize, tag: usize, payload: Bytes) -> Result<usize, ClusterError> {
+        let len = payload.len();
+        self.post(
+            to,
+            Message {
+                from: self.host,
+                layer: tag,
+                seq: STATE_TRANSFER_SEQ,
+                kind: MsgKind::Data { attempt: 0 },
+                payload: seal_frame(&payload),
+            },
+        )?;
+        Ok(len)
+    }
+
+    /// Blocks until the next state-transfer frame from `from` arrives and
+    /// returns `(tag, payload)`. Protocol messages that arrive in the
+    /// meantime are stashed for the next `collect_phase` (Data) or
+    /// dropped (NAKs — the peer re-NAKs until served). State frames come
+    /// from a single sender over a FIFO channel, so callers may rely on
+    /// their send order.
+    pub fn recv_state(&self, from: usize) -> Result<(usize, Bytes), ClusterError> {
+        loop {
+            let msg = self
+                .receiver
+                .recv()
+                .map_err(|_| ClusterError::RecvFailed { host: self.host })?;
+            if msg.seq == STATE_TRANSFER_SEQ {
+                if msg.from != from {
+                    continue; // not the transfer we are waiting for
+                }
+                let payload = open_frame(&msg.payload)
+                    .expect("state-transfer frames bypass the fault injector");
+                return Ok((msg.layer, payload));
+            }
+            if let MsgKind::Data { .. } = msg.kind {
+                self.pending.borrow_mut().push_back(msg);
+            }
+        }
+    }
+
+    /// Streams a full partition state to rejoining host `to`: one
+    /// control frame (the ward's RNG state and schedule position), then
+    /// one frame per layer carrying every row, then blocks for the ACK —
+    /// the rejoiner registers itself alive *before* acking, so this host
+    /// cannot reach the next barrier while the registry still excludes
+    /// it. Returns the payload bytes sent (`gluon.state_transfer_bytes`).
+    pub fn send_partition_state(
+        &self,
+        to: usize,
+        rng_state: [u64; 4],
+        processed: u64,
+        layers: &[FlatMatrix],
+    ) -> Result<u64, ClusterError> {
+        let mut ctrl = BytesMut::with_capacity(REJOIN_CONTROL_BYTES as usize);
+        for word in rng_state {
+            ctrl.put_slice(&word.to_le_bytes());
+        }
+        ctrl.put_slice(&processed.to_le_bytes());
+        let mut sent = self.send_state(to, STATE_CTRL_TAG, ctrl.freeze())? as u64;
+        for (layer, matrix) in layers.iter().enumerate() {
+            let mut enc = RowEncoder::new(matrix.dim());
+            for node in 0..matrix.rows() {
+                enc.push(node as u32, matrix.row(node));
+            }
+            sent += self.send_state(to, layer, enc.finish())? as u64;
+        }
+        let (tag, _) = self.recv_state(to)?;
+        debug_assert_eq!(tag, STATE_ACK_TAG, "state transfer ends with an ACK");
+        Ok(sent)
+    }
+
+    /// Receives the partition state streamed by adopter `from` (see
+    /// [`HostCtx::send_partition_state`]), registers this host alive in
+    /// the runtime registry, and acknowledges. `shape` gives `(rows,
+    /// dim)` per layer. Returns `(rng_state, processed, layers)`.
+    pub fn recv_partition_state(
+        &self,
+        from: usize,
+        shape: &[(usize, usize)],
+    ) -> Result<([u64; 4], u64, Vec<FlatMatrix>), ClusterError> {
+        let (tag, ctrl) = self.recv_state(from)?;
+        debug_assert_eq!(tag, STATE_CTRL_TAG, "control frame leads the transfer");
+        debug_assert_eq!(ctrl.len() as u64, REJOIN_CONTROL_BYTES);
+        let raw = ctrl.as_slice();
+        let word =
+            |i: usize| u64::from_le_bytes(raw[i * 8..(i + 1) * 8].try_into().expect("8-byte word"));
+        let rng_state = [word(0), word(1), word(2), word(3)];
+        let processed = word(4);
+        let mut layers = Vec::with_capacity(shape.len());
+        for (layer, &(rows, dim)) in shape.iter().enumerate() {
+            let (tag, payload) = self.recv_state(from)?;
+            debug_assert_eq!(tag, layer, "layer frames follow in order");
+            let mut matrix = FlatMatrix::zeros(rows, dim);
+            let mut dec = RowDecoder::new(payload, dim);
+            while let Some((node, row)) = dec.next_entry() {
+                matrix.row_mut(node as usize).copy_from_slice(row);
+            }
+            layers.push(matrix);
+        }
+        self.register_alive();
+        self.send_state(from, STATE_ACK_TAG, empty_bytes())?;
+        Ok((rng_state, processed, layers))
+    }
 }
 
 /// Spawns `n_hosts` threads, each running `f` with its [`HostCtx`], and
@@ -693,6 +869,13 @@ pub fn sync_round_threaded(
     sync_round_threaded_with_scratch(ctx, replica, cfg, stats, &mut scratch)
 }
 
+/// Access sets for [`sync_round_threaded_degraded`]'s PullModel path.
+///
+/// Each host only consults *its own* row of the set matrix (what it will
+/// touch next round, from its local inspection replay), unlike the
+/// sequential engine where one [`AccessSets`] holds every host's sets.
+pub type PullAccess<'a> = Option<&'a AccessSets>;
+
 /// One synchronization round from a single host's perspective, reusing
 /// `scratch`; every host must call this the same number of times with
 /// the same `cfg`.
@@ -707,7 +890,7 @@ pub fn sync_round_threaded_with_scratch(
     scratch: &mut ThreadedSyncScratch,
 ) -> Result<(), ClusterError> {
     let live = Liveness::all(ctx.n_hosts);
-    sync_round_threaded_degraded(ctx, replica, cfg, stats, scratch, &live)
+    sync_round_threaded_degraded(ctx, replica, cfg, None, stats, scratch, &live)
 }
 
 /// [`sync_round_threaded_with_scratch`] under an explicit liveness view:
@@ -719,17 +902,22 @@ pub fn sync_round_threaded_with_scratch(
 ///
 /// With an all-alive view this is exactly the classic protocol and stays
 /// bit-identical to [`crate::sync::sync_round`].
+///
+/// For [`SyncPlan::PullModel`], `access` must carry this host's
+/// inspection-derived sets (see [`PullAccess`]); the replication plans
+/// ignore it.
 pub fn sync_round_threaded_degraded(
     ctx: &HostCtx,
     replica: &mut ModelReplica,
     cfg: &SyncConfig,
+    access: PullAccess<'_>,
     stats: &mut CommStats,
     scratch: &mut ThreadedSyncScratch,
     live: &Liveness,
 ) -> Result<(), ClusterError> {
     assert!(
-        cfg.plan != SyncPlan::PullModel,
-        "PullModel is sequential-engine only"
+        cfg.plan != SyncPlan::PullModel || access.is_some(),
+        "PullModel requires inspection-derived access sets"
     );
     assert!(live.is_alive(ctx.host), "dead hosts do not sync");
     // Inert when metrics are disabled; otherwise times this host's whole
@@ -861,45 +1049,111 @@ pub fn sync_round_threaded_degraded(
     }
     ctx.barrier_wait_timed();
 
-    // ---- Phase 2: broadcast canonical values of updated owned rows. ----
-    ctx.begin_phase();
-    for layer in 0..n_layers {
-        let dim = replica.layers[layer].dim();
-        let mut enc = RowEncoder::new(dim);
-        match cfg.plan {
-            SyncPlan::RepModelOpt => {
-                for node in updated_per_layer[layer].iter_ones() {
-                    enc.push(node as u32, replica.row(layer, node as u32));
+    if cfg.plan == SyncPlan::PullModel {
+        let access = access.expect("checked on entry");
+        // ---- Phase 2: pull requests — per-owner node-id lists. ----
+        // Request lists are control traffic, like NAKs and frame armor:
+        // not accounted in CommStats (the sequential engine's pull pass
+        // has no request side at all).
+        ctx.begin_phase();
+        for layer in 0..n_layers {
+            let mut encoders: HashMap<usize, RowEncoder> = HashMap::new();
+            for node in access.get(ctx.host, layer).iter_ones() {
+                let node_u = node as u32;
+                let owner = live.effective_master(master_host(n_nodes, n_hosts, node_u));
+                if owner == ctx.host {
+                    continue;
                 }
+                encoders
+                    .entry(owner)
+                    .or_insert_with(|| RowEncoder::new(0))
+                    .push(node_u, &[]);
             }
-            SyncPlan::RepModelNaive => {
-                for owner in 0..n_hosts {
-                    if live.effective_master(owner) != ctx.host {
-                        continue;
-                    }
-                    for node in master_block(n_nodes, n_hosts, owner) {
+            for peer in 0..n_hosts {
+                if peer == ctx.host || !live.is_alive(peer) {
+                    continue;
+                }
+                let enc = encoders.remove(&peer).unwrap_or_else(|| RowEncoder::new(0));
+                ctx.ship(peer, layer, enc.finish())?;
+            }
+        }
+        let requests = ctx.collect_phase(live, n_layers)?;
+        // The closing barrier proves every owner holds all requests
+        // before anyone advances the phase counter (begin_phase drops the
+        // resend buffer that NAK recovery would need).
+        ctx.barrier_wait_timed();
+
+        // ---- Phase 3: pull responses — canonical rows, request order. ----
+        ctx.begin_phase();
+        for layer in 0..n_layers {
+            let dim = replica.layers[layer].dim();
+            for peer in 0..n_hosts {
+                if peer == ctx.host || !live.is_alive(peer) {
+                    continue;
+                }
+                let mut enc = RowEncoder::new(dim);
+                if let Some(list) = requests.get(&(peer, layer)) {
+                    let mut dec = RowDecoder::new(list.clone(), 0);
+                    while let Some((node, _)) = dec.next_entry() {
                         enc.push(node, replica.row(layer, node));
                     }
                 }
+                // Accounted exactly like the sequential pull pass: the
+                // owner charges one broadcast entry per served row.
+                stats.broadcast_bytes += enc.byte_len() as u64;
+                stats.broadcast_msgs += enc.count() as u64;
+                ctx.ship(peer, layer, enc.finish())?;
             }
-            SyncPlan::PullModel => unreachable!("rejected above"),
         }
-        let payload = enc.finish();
-        for peer in 0..n_hosts {
-            if peer == ctx.host || !live.is_alive(peer) {
-                continue;
+        let incoming = ctx.collect_phase(live, n_layers)?;
+        for ((_, layer), payload) in incoming {
+            let dim = replica.layers[layer].dim();
+            let mut dec = RowDecoder::new(payload, dim);
+            while let Some((node, row)) = dec.next_entry() {
+                replica.row_mut_untracked(layer, node).copy_from_slice(row);
             }
-            stats.broadcast_bytes += payload.len() as u64;
-            stats.broadcast_msgs += (payload.len() / entry_bytes(dim)) as u64;
-            ctx.ship(peer, layer, payload.clone())?;
         }
-    }
-    let incoming = ctx.collect_phase(live, n_layers)?;
-    for ((_, layer), payload) in incoming {
-        let dim = replica.layers[layer].dim();
-        let mut dec = RowDecoder::new(payload, dim);
-        while let Some((node, row)) = dec.next_entry() {
-            replica.row_mut_untracked(layer, node).copy_from_slice(row);
+    } else {
+        // ---- Phase 2: broadcast canonical values of updated owned rows. ----
+        ctx.begin_phase();
+        for layer in 0..n_layers {
+            let dim = replica.layers[layer].dim();
+            let mut enc = RowEncoder::new(dim);
+            match cfg.plan {
+                SyncPlan::RepModelOpt => {
+                    for node in updated_per_layer[layer].iter_ones() {
+                        enc.push(node as u32, replica.row(layer, node as u32));
+                    }
+                }
+                SyncPlan::RepModelNaive => {
+                    for owner in 0..n_hosts {
+                        if live.effective_master(owner) != ctx.host {
+                            continue;
+                        }
+                        for node in master_block(n_nodes, n_hosts, owner) {
+                            enc.push(node, replica.row(layer, node));
+                        }
+                    }
+                }
+                SyncPlan::PullModel => unreachable!("handled above"),
+            }
+            let payload = enc.finish();
+            for peer in 0..n_hosts {
+                if peer == ctx.host || !live.is_alive(peer) {
+                    continue;
+                }
+                stats.broadcast_bytes += payload.len() as u64;
+                stats.broadcast_msgs += (payload.len() / entry_bytes(dim)) as u64;
+                ctx.ship(peer, layer, payload.clone())?;
+            }
+        }
+        let incoming = ctx.collect_phase(live, n_layers)?;
+        for ((_, layer), payload) in incoming {
+            let dim = replica.layers[layer].dim();
+            let mut dec = RowDecoder::new(payload, dim);
+            while let Some((node, row)) = dec.next_entry() {
+                replica.row_mut_untracked(layer, node).copy_from_slice(row);
+            }
         }
     }
     replica.clear_tracking();
@@ -1151,6 +1405,7 @@ mod tests {
                     &ctx,
                     &mut replica,
                     &cfg,
+                    None,
                     &mut stats,
                     &mut scratch,
                     &live,
@@ -1236,8 +1491,88 @@ mod tests {
     }
 
     #[test]
+    fn pull_model_threaded_matches_sequential() {
+        // PullModel replicas diverge by design (only accessed rows are
+        // refreshed), so parity is per-host: each threaded replica must
+        // be bit-identical to its sequential counterpart, and the summed
+        // send-side stats must match the sequential accounting.
+        let n_hosts = 3;
+        let n_nodes = 12;
+        let dim = 4;
+        let rounds = 3;
+        let cfg = SyncConfig {
+            plan: SyncPlan::PullModel,
+            combiner: CombinerKind::ModelCombiner,
+        };
+        // Deterministic stand-in for the inspection replay: the rows each
+        // host "will touch next round", same sets for both engines.
+        let access_for = |round: usize| {
+            let mut sets = AccessSets::new(n_hosts, 2, n_nodes);
+            for host in 0..n_hosts {
+                for layer in 0..2 {
+                    for node in 0..n_nodes {
+                        if (node + host + round + layer).is_multiple_of(3) {
+                            sets.get_mut(host, layer).set(node);
+                        }
+                    }
+                }
+            }
+            sets
+        };
+
+        let mut seq_replicas: Vec<ModelReplica> = (0..n_hosts)
+            .map(|_| fresh_replica(n_nodes, dim, 7))
+            .collect();
+        let mut seq_stats = CommStats::default();
+        for round in 0..rounds {
+            for (host, replica) in seq_replicas.iter_mut().enumerate() {
+                apply_workload(replica, host, round, n_nodes);
+            }
+            sync_round(
+                &mut seq_replicas,
+                &cfg,
+                Some(&access_for(round)),
+                &mut seq_stats,
+            );
+        }
+
+        let results = run_cluster(n_hosts, |ctx| {
+            let mut replica = fresh_replica(n_nodes, dim, 7);
+            let mut stats = CommStats::default();
+            let mut scratch = ThreadedSyncScratch::new();
+            let live = Liveness::all(n_hosts);
+            for round in 0..rounds {
+                apply_workload(&mut replica, ctx.host, round, n_nodes);
+                let access = access_for(round);
+                sync_round_threaded_degraded(
+                    &ctx,
+                    &mut replica,
+                    &cfg,
+                    Some(&access),
+                    &mut stats,
+                    &mut scratch,
+                    &live,
+                )
+                .unwrap();
+            }
+            (replica, stats)
+        });
+        let mut total = CommStats::default();
+        for (host, (replica, stats)) in results.iter().enumerate() {
+            assert_eq!(
+                seq_replicas[host].layers, replica.layers,
+                "host {host} replica must be bit-identical across engines"
+            );
+            total.merge(stats);
+        }
+        assert_eq!(seq_stats.reduce_bytes, total.reduce_bytes);
+        assert_eq!(seq_stats.broadcast_bytes, total.broadcast_bytes);
+        assert_eq!(seq_stats.broadcast_msgs, total.broadcast_msgs);
+    }
+
+    #[test]
     #[should_panic(expected = "host thread panicked")]
-    fn pull_rejected_on_threaded() {
+    fn pull_without_access_sets_is_rejected() {
         let cfg = SyncConfig {
             plan: SyncPlan::PullModel,
             combiner: CombinerKind::ModelCombiner,

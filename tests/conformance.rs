@@ -1,0 +1,275 @@
+//! Differential conformance suite: threaded engine vs BSP simulator.
+//!
+//! The two engines implement the same protocol on very different
+//! substrates — virtual clocks and in-order folds on one side, OS
+//! threads, CRC-framed transport and real barriers on the other. The
+//! contract is that for every sync plan and every fault family they
+//! produce **bit-identical** final models (`syn0`/`syn1neg`) and train
+//! the same number of pairs. Virtual-time numbers and fault counters are
+//! explicitly *not* compared: the simulator models retransmission
+//! latency analytically while the threaded engine lives it (different
+//! retry counts, n−1 observers per crash instead of one).
+//!
+//! The suite also pins the threaded engine's checkpoint/resume story:
+//! kill → resume must be bit-for-bit the uninterrupted run, including
+//! when a host is dead at the checkpoint and re-admitted after resume.
+
+use graph_word2vec::combiner::CombinerKind;
+use graph_word2vec::core::distributed::{DistConfig, DistributedTrainer, TrainResult};
+use graph_word2vec::core::params::Hyperparams;
+use graph_word2vec::core::trainer_threaded::ThreadedTrainer;
+use graph_word2vec::corpus::datasets::{DatasetPreset, Scale};
+use graph_word2vec::corpus::shard::Corpus;
+use graph_word2vec::corpus::tokenizer::{sentences_from_text, TokenizerConfig};
+use graph_word2vec::corpus::vocab::{VocabBuilder, Vocabulary};
+use graph_word2vec::faults::FaultPlan;
+use graph_word2vec::gluon::cost::CostModel;
+use graph_word2vec::gluon::plan::SyncPlan;
+use graph_word2vec::gluon::ClusterConfig;
+use std::path::PathBuf;
+use std::time::Duration;
+
+const PLANS: [SyncPlan; 3] = [
+    SyncPlan::RepModelNaive,
+    SyncPlan::RepModelOpt,
+    SyncPlan::PullModel,
+];
+
+fn prepare() -> (Vocabulary, Corpus, Hyperparams) {
+    let preset = DatasetPreset::by_name("1-billion").expect("preset");
+    let synth = preset.generate(Scale::Tiny, 42);
+    let cfg = TokenizerConfig::default();
+    let mut b = VocabBuilder::new();
+    for s in sentences_from_text(&synth.text, cfg.clone()) {
+        b.add_sentence(&s);
+    }
+    let vocab = b.build(1);
+    // Shrink the corpus so the threaded runs stay fast.
+    let corpus = Corpus::from_sentences(
+        Corpus::from_text(&synth.text, &vocab, cfg)
+            .sentences()
+            .iter()
+            .take(240)
+            .cloned()
+            .collect(),
+    );
+    let params = Hyperparams {
+        dim: 16,
+        window: 3,
+        negative: 3,
+        epochs: 3,
+        seed: 11,
+        ..Hyperparams::default()
+    };
+    (vocab, corpus, params)
+}
+
+fn dist_cfg(plan: SyncPlan) -> DistConfig {
+    DistConfig {
+        n_hosts: 3,
+        sync_rounds: 2,
+        plan,
+        combiner: CombinerKind::ModelCombiner,
+        cost: CostModel::infiniband_56g(),
+    }
+}
+
+fn fast_cluster() -> ClusterConfig {
+    ClusterConfig {
+        tick: Duration::from_millis(1),
+        nak_delay: Duration::from_millis(10),
+        ..ClusterConfig::default()
+    }
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gw2v-conf-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Runs both engines under `plan_str` and asserts model + pairs
+/// bit-identity; returns the pair for extra per-family assertions.
+fn run_pair(sync: SyncPlan, plan_str: &str) -> (TrainResult, TrainResult) {
+    let (vocab, corpus, params) = prepare();
+    let cfg = dist_cfg(sync);
+    let plan = FaultPlan::parse(plan_str).expect("fault plan");
+    let sim = DistributedTrainer::new(params.clone(), cfg)
+        .with_faults(plan.clone())
+        .train(&corpus, &vocab);
+    let thr = ThreadedTrainer::new(params, cfg)
+        .with_faults(plan)
+        .with_cluster_config(fast_cluster())
+        .train(&corpus, &vocab)
+        .expect("threaded run must complete");
+    assert_eq!(
+        sim.model, thr.model,
+        "[{sync:?} / {plan_str:?}] engines must agree bit-for-bit"
+    );
+    assert_eq!(
+        sim.pairs_trained, thr.pairs_trained,
+        "[{sync:?} / {plan_str:?}] pair counts must agree"
+    );
+    (sim, thr)
+}
+
+/// Faultless: every plan, both engines, identical bits and identical
+/// communication volume.
+#[test]
+fn conformance_faultless_all_plans() {
+    for sync in PLANS {
+        let (sim, thr) = run_pair(sync, "seed=7");
+        assert_eq!(sim.stats.total_bytes(), thr.stats.total_bytes());
+        assert_eq!(sim.stats.rounds, thr.stats.rounds);
+    }
+}
+
+/// Message corruption: drops and bit-flips are repaired by NAK/resend in
+/// the threaded engine and charged as virtual latency in the simulator —
+/// the model bits must come out untouched either way.
+#[test]
+fn conformance_drops_and_flips_all_plans() {
+    for sync in PLANS {
+        run_pair(sync, "seed=7,drop=0.03,flip=0.02");
+    }
+}
+
+/// Host crash mid-run: the survivor adoption protocol must degrade both
+/// engines identically, shard bytes included.
+#[test]
+fn conformance_crash_all_plans() {
+    for sync in PLANS {
+        let (sim, thr) = run_pair(sync, "seed=7,crash=1@2");
+        assert_eq!(sim.stats.total_bytes(), thr.stats.total_bytes());
+        assert!(!sim.killed && !thr.killed);
+    }
+}
+
+/// Stragglers delay but never change arithmetic.
+#[test]
+fn conformance_straggle_all_plans() {
+    for sync in PLANS {
+        let (sim, thr) = run_pair(sync, "seed=7,straggle=2@1x15ms");
+        assert_eq!(sim.stats.total_bytes(), thr.stats.total_bytes());
+    }
+}
+
+/// Crash → re-admission: the rejoined host takes its partition back at
+/// an epoch boundary (an analytic copy in the simulator, a CRC-sealed
+/// state stream from the adopter in the threaded engine) and both
+/// engines land on the same bits.
+#[test]
+fn conformance_rejoin_all_plans() {
+    for sync in PLANS {
+        let (sim, thr) = run_pair(sync, "seed=7,crash=1@1,rejoin=1@2");
+        assert_eq!(sim.stats.total_bytes(), thr.stats.total_bytes());
+    }
+}
+
+/// Threaded checkpoint → kill → resume must reproduce the uninterrupted
+/// threaded run bit-for-bit (which itself matches the simulator).
+#[test]
+fn threaded_kill_resume_is_bit_identical() {
+    let (vocab, corpus, params) = prepare();
+    let cfg = dist_cfg(SyncPlan::RepModelOpt);
+    let dir = tmpdir("thr-resume");
+
+    let uninterrupted = ThreadedTrainer::new(params.clone(), cfg)
+        .with_cluster_config(fast_cluster())
+        .train(&corpus, &vocab)
+        .expect("uninterrupted run");
+
+    let killed = ThreadedTrainer::new(params.clone(), cfg)
+        .with_cluster_config(fast_cluster())
+        .with_checkpointing(&dir, 1)
+        .with_faults(FaultPlan::parse("kill=1").unwrap())
+        .train(&corpus, &vocab)
+        .expect("killed run");
+    assert!(killed.killed, "kill=1 must stop the cluster early");
+    assert_ne!(
+        killed.model, uninterrupted.model,
+        "the killed run stopped an epoch short"
+    );
+
+    let resumed = ThreadedTrainer::new(params.clone(), cfg)
+        .with_cluster_config(fast_cluster())
+        .with_checkpointing(&dir, 1)
+        .with_resume(true)
+        .train(&corpus, &vocab)
+        .expect("resumed run");
+    assert_eq!(resumed.resumed_from, Some(2), "must resume at epoch 2");
+    assert_eq!(
+        resumed.model, uninterrupted.model,
+        "threaded resume must reproduce the uninterrupted run bit-for-bit"
+    );
+    assert_eq!(resumed.pairs_trained, uninterrupted.pairs_trained);
+    assert_eq!(resumed.stats, uninterrupted.stats);
+
+    // The simulator agrees with the whole story.
+    let sim = DistributedTrainer::new(params, cfg).train(&corpus, &vocab);
+    assert_eq!(sim.model, resumed.model);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The hard case: a host is dead at the checkpoint, the cluster is
+/// killed, and the resumed run re-admits it at the first epoch back.
+/// Kill → resume must equal the uninterrupted crash+rejoin run in both
+/// engines, and the engines must agree with each other.
+#[test]
+fn threaded_resume_with_dormant_rejoin_is_bit_identical() {
+    let (vocab, corpus, params) = prepare();
+    let cfg = dist_cfg(SyncPlan::RepModelOpt);
+    let full_plan = FaultPlan::parse("seed=7,crash=1@1,rejoin=1@2").unwrap();
+    let cut_plan = FaultPlan::parse("seed=7,crash=1@1,rejoin=1@2,kill=1").unwrap();
+
+    let thr_full = ThreadedTrainer::new(params.clone(), cfg)
+        .with_faults(full_plan.clone())
+        .with_cluster_config(fast_cluster())
+        .train(&corpus, &vocab)
+        .expect("uninterrupted crash+rejoin run");
+
+    let dir = tmpdir("thr-dormant");
+    let thr_cut = ThreadedTrainer::new(params.clone(), cfg)
+        .with_faults(cut_plan.clone())
+        .with_cluster_config(fast_cluster())
+        .with_checkpointing(&dir, 1)
+        .train(&corpus, &vocab)
+        .expect("killed run");
+    assert!(thr_cut.killed);
+    let thr_resumed = ThreadedTrainer::new(params.clone(), cfg)
+        .with_faults(cut_plan.clone())
+        .with_cluster_config(fast_cluster())
+        .with_checkpointing(&dir, 1)
+        .with_resume(true)
+        .train(&corpus, &vocab)
+        .expect("resumed run with dormant host");
+    assert_eq!(thr_resumed.resumed_from, Some(2));
+    assert_eq!(
+        thr_resumed.model, thr_full.model,
+        "resume with a dormant rejoiner must match the uninterrupted run"
+    );
+    assert_eq!(thr_resumed.pairs_trained, thr_full.pairs_trained);
+    assert_eq!(thr_resumed.stats, thr_full.stats);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Simulator under the same kill → resume sequence.
+    let dir = tmpdir("sim-dormant");
+    let sim_full = DistributedTrainer::new(params.clone(), cfg)
+        .with_faults(full_plan)
+        .train(&corpus, &vocab);
+    let _ = DistributedTrainer::new(params.clone(), cfg)
+        .with_faults(cut_plan.clone())
+        .with_checkpointing(&dir, 1)
+        .train(&corpus, &vocab);
+    let sim_resumed = DistributedTrainer::new(params, cfg)
+        .with_faults(cut_plan)
+        .with_checkpointing(&dir, 1)
+        .with_resume(true)
+        .train(&corpus, &vocab);
+    assert_eq!(sim_resumed.model, sim_full.model);
+    assert_eq!(
+        sim_full.model, thr_full.model,
+        "engines must agree on the crash+rejoin run"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

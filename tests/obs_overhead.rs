@@ -12,11 +12,20 @@
 
 use graph_word2vec::core::distributed::{DistConfig, DistributedTrainer};
 use graph_word2vec::core::params::Hyperparams;
+use graph_word2vec::core::trainer_threaded::ThreadedTrainer;
 use graph_word2vec::corpus::datasets::{DatasetPreset, Scale};
 use graph_word2vec::corpus::shard::Corpus;
 use graph_word2vec::corpus::tokenizer::{sentences_from_text, TokenizerConfig};
 use graph_word2vec::corpus::vocab::{VocabBuilder, Vocabulary};
+use graph_word2vec::faults::FaultPlan;
+use graph_word2vec::gluon::ClusterConfig;
 use graph_word2vec::obs;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Tests in this binary still share the process-global enabled flag
+/// with each other — serialize them.
+static OBS_LOCK: Mutex<()> = Mutex::new(());
 
 fn prepare() -> (Vocabulary, Corpus) {
     let preset = DatasetPreset::by_name("1-billion").expect("preset");
@@ -44,6 +53,7 @@ fn params() -> Hyperparams {
 
 #[test]
 fn metrics_do_not_perturb_training() {
+    let _g = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     let (vocab, corpus) = prepare();
 
     obs::set_enabled(false);
@@ -108,6 +118,101 @@ fn metrics_do_not_perturb_training() {
             a.to_bits(),
             b.to_bits(),
             "syn1neg[{i}] differs between metrics-off and metrics-on runs"
+        );
+    }
+
+    obs::set_enabled(false);
+    obs::reset();
+}
+
+/// Re-admission instrumentation: a crash→rejoin run must surface the
+/// `faults.recovered.rejoin` and `gluon.state_transfer_bytes` counters
+/// in the exported snapshot — with *identical* transfer-byte values in
+/// both engines (the simulator charges the state stream analytically,
+/// the threaded engine measures the frames it actually sends) — and a
+/// metrics-off rejoin run must stay bitwise identical to a metrics-on
+/// one.
+#[test]
+fn rejoin_counters_are_observable_and_inert_when_off() {
+    let _g = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let (vocab, corpus) = prepare();
+    // Shrink the corpus so the threaded runs stay fast.
+    let corpus = Corpus::from_sentences(corpus.sentences().iter().take(240).cloned().collect());
+    let params = Hyperparams {
+        epochs: 3,
+        ..params()
+    };
+    let cfg = DistConfig::paper_default(3);
+    let cluster = ClusterConfig {
+        tick: Duration::from_millis(1),
+        nak_delay: Duration::from_millis(10),
+        ..ClusterConfig::default()
+    };
+    let plan = FaultPlan::parse("seed=7,crash=1@1,rejoin=1@2").unwrap();
+
+    obs::set_enabled(false);
+    obs::reset();
+    let off = ThreadedTrainer::new(params.clone(), cfg)
+        .with_faults(plan.clone())
+        .with_cluster_config(cluster)
+        .train(&corpus, &vocab)
+        .expect("metrics-off rejoin run");
+    assert!(obs::snapshot().counters.is_empty());
+
+    obs::set_enabled(true);
+    obs::reset();
+    let sim = DistributedTrainer::new(params.clone(), cfg)
+        .with_faults(plan.clone())
+        .train(&corpus, &vocab);
+    let sim_snap = obs::snapshot().counters;
+    obs::reset();
+    let on = ThreadedTrainer::new(params, cfg)
+        .with_faults(plan)
+        .with_cluster_config(cluster)
+        .train(&corpus, &vocab)
+        .expect("metrics-on rejoin run");
+    let thr_snap = obs::snapshot().counters;
+
+    for snap in [&sim_snap, &thr_snap] {
+        assert_eq!(
+            snap.get("faults.recovered.rejoin").copied(),
+            Some(1),
+            "one re-admission must be counted: {:?}",
+            snap.keys().collect::<Vec<_>>()
+        );
+        assert!(
+            snap.get("gluon.state_transfer_bytes").copied().unwrap_or(0) > 0,
+            "the state stream must be measured"
+        );
+    }
+    assert_eq!(
+        sim_snap.get("gluon.state_transfer_bytes"),
+        thr_snap.get("gluon.state_transfer_bytes"),
+        "analytic and measured transfer volume must agree"
+    );
+
+    // Instrumentation reads, never writes: same bits either way.
+    assert_eq!(sim.model, on.model, "engines must agree bit-for-bit");
+    assert_eq!(off.pairs_trained, on.pairs_trained);
+    assert_eq!(off.stats, on.stats);
+    for (a, b) in off
+        .model
+        .syn0
+        .as_slice()
+        .iter()
+        .chain(off.model.syn1neg.as_slice())
+        .zip(
+            on.model
+                .syn0
+                .as_slice()
+                .iter()
+                .chain(on.model.syn1neg.as_slice()),
+        )
+    {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "metrics toggles must not move a bit"
         );
     }
 
