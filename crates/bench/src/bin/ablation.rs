@@ -8,6 +8,8 @@ use gw2v_bench::{
 use gw2v_combiner::CombinerKind;
 use gw2v_core::distributed::{DistConfig, DistributedTrainer};
 use gw2v_core::params::SamplerChoice;
+use gw2v_gluon::plan::SyncPlan;
+use gw2v_gluon::wire::WireMode;
 use gw2v_corpus::datasets::{DatasetPreset, Scale};
 use gw2v_eval::analogy::evaluate;
 use gw2v_util::table::{fmt_secs, Align, Table};
@@ -74,6 +76,34 @@ fn main() {
         });
     }
 
+    // Study 3: wire payload mode. The id-memoized format caches the
+    // per-(host-pair, layer) node-id lists after the first round of each
+    // epoch and ships value-only payloads on a cache hit, dropping the
+    // 4-byte id per entry. Accuracy must be bit-identical — the mode
+    // changes bytes, never arithmetic.
+    for plan in [
+        SyncPlan::RepModelNaive,
+        SyncPlan::RepModelOpt,
+        SyncPlan::PullModel,
+    ] {
+        for wire in [WireMode::IdValue, WireMode::Memo] {
+            eprintln!("[ablation] wire {}/{} ...", plan.label(), wire.label());
+            let params = bench_params(scale, epochs, 1);
+            let mut config = DistConfig::paper_default(hosts);
+            config.plan = plan;
+            config.wire = wire;
+            let result = DistributedTrainer::new(params, config).train(&d.corpus, &d.vocab);
+            let report = evaluate(&result.model, &d.vocab, &d.synth.analogies);
+            rows.push(AblationRow {
+                study: "wire".into(),
+                variant: format!("{}/{}", plan.label(), wire.label()),
+                total_accuracy: report.total(),
+                virtual_secs: result.virtual_time(),
+                comm_bytes: result.stats.total_bytes(),
+            });
+        }
+    }
+
     let mut table = Table::new(vec!["Study", "Variant", "Total acc", "Virt time", "Volume"])
         .with_aligns(&[
             Align::Left,
@@ -92,6 +122,7 @@ fn main() {
         ]);
     }
     print!("{table}");
-    println!("\nExpected: MC ≈ MC-PW ≫ AVG; SUM degraded or diverged; Table ≈ Alias accuracy.");
+    println!("\nExpected: MC ≈ MC-PW ≫ AVG; SUM degraded or diverged; Table ≈ Alias accuracy;");
+    println!("memo wire == id-value accuracy at strictly lower volume for naive, ≤ otherwise.");
     write_json_run("ablation", scale, 1, &rows);
 }

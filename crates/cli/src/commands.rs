@@ -20,6 +20,7 @@ use gw2v_eval::analogy::{evaluate_with, AnalogyMethod};
 use gw2v_eval::knn::EmbeddingIndex;
 use gw2v_faults::FaultPlan;
 use gw2v_gluon::plan::SyncPlan;
+use gw2v_gluon::wire::WireMode;
 use std::error::Error;
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
@@ -39,7 +40,8 @@ USAGE:
                  [--sync-rounds N] [--dim 200] [--epochs 16]
                  [--negative 15] [--window 5] [--alpha 0.025]
                  [--combiner mc|avg|sum|mc-pairwise]
-                 [--plan opt|naive|pull] [--threads 4] [--seed 1]
+                 [--plan opt|naive|pull] [--wire id-value|memo]
+                 [--threads 4] [--seed 1]
                  [--min-count 1] [--subsample 1e-4]
                  [--fault-plan 'seed=7,drop=0.02,crash=1@3']
                  [--checkpoint-dir DIR] [--checkpoint-every 1] [--resume]
@@ -150,6 +152,9 @@ fn dist_config_from(args: &Args) -> Result<DistConfig, ArgError> {
     if let Some(p) = args.get("plan") {
         config.plan = SyncPlan::parse(p).ok_or_else(|| ArgError(format!("bad plan {p:?}")))?;
     }
+    if let Some(w) = args.get("wire") {
+        config.wire = WireMode::parse(w).ok_or_else(|| ArgError(format!("bad wire mode {w:?}")))?;
+    }
     Ok(config)
 }
 
@@ -186,6 +191,7 @@ pub fn train(raw: &[String]) -> CmdResult {
         "alpha",
         "combiner",
         "plan",
+        "wire",
         "threads",
         "seed",
         "min-count",

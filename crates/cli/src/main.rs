@@ -8,7 +8,7 @@
 //!                [--trainer seq|hogwild|batched|dist] [--hosts 8]
 //!                [--dim 200] [--epochs 16] [--negative 15] [--window 5]
 //!                [--alpha 0.025] [--combiner mc|avg|sum] [--plan opt|naive|pull]
-//!                [--threads 4] [--seed 1] [--min-count 1]
+//!                [--wire id-value|memo] [--threads 4] [--seed 1] [--min-count 1]
 //! gw2v eval      --model model.txt --questions questions.txt [--method cosadd|cosmul]
 //! gw2v neighbors --model model.txt --word WORD [--k 10]
 //! ```

@@ -29,7 +29,7 @@
 //! Eq. (4): `‖d′‖ ≤ ‖d‖`, and (consequently)
 //! `‖combine(d₁…d_n)‖² ≤ Σ‖dᵢ‖²`, which is what prevents divergence.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 use gw2v_util::fvec;
 use serde::{Deserialize, Serialize};

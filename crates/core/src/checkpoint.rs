@@ -485,6 +485,7 @@ mod tests {
             plan: SyncPlan::RepModelOpt,
             combiner: CombinerKind::ModelCombiner,
             cost: CostModel::infiniband_56g(),
+            wire: gw2v_gluon::wire::WireMode::IdValue,
         };
         let f = Checkpoint::fingerprint_of(&p, &cfg);
         assert_eq!(f, Checkpoint::fingerprint_of(&p, &cfg), "stable");

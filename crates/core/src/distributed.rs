@@ -56,7 +56,7 @@ use gw2v_gluon::plan::{AccessSets, SyncConfig, SyncPlan};
 use gw2v_gluon::sync::{assemble_canonical_live, sync_round_degraded, SyncScratch};
 use gw2v_gluon::threaded::REJOIN_CONTROL_BYTES;
 use gw2v_gluon::volume::{CommStats, RoundVolume};
-use gw2v_gluon::wire::{entry_bytes, FRAME_HEADER_BYTES};
+use gw2v_gluon::wire::{entry_bytes, WireMemo, WireMode, FRAME_HEADER_BYTES};
 use gw2v_gluon::ModelReplica;
 use gw2v_util::rng::{SplitMix64, Xoshiro256};
 use std::path::PathBuf;
@@ -83,6 +83,9 @@ pub struct DistConfig {
     pub combiner: CombinerKind,
     /// Network model for virtual communication time.
     pub cost: CostModel,
+    /// Wire payload mode (§4.4 / Table 3): classic id+value entries or
+    /// the id-memoized value-only format.
+    pub wire: WireMode,
 }
 
 impl DistConfig {
@@ -107,6 +110,7 @@ impl DistConfig {
             plan: SyncPlan::RepModelOpt,
             combiner: CombinerKind::ModelCombiner,
             cost: CostModel::infiniband_56g(),
+            wire: WireMode::IdValue,
         }
     }
 }
@@ -328,9 +332,16 @@ impl DistributedTrainer {
         // reduce/broadcast path recycles its slab and buffers instead of
         // reallocating per round.
         let mut sync_scratch = SyncScratch::new();
+        // Id-list memoization cache (wire = memo): epoch-scoped, cleared
+        // below at every epoch start so checkpoint-resumed runs (which cut
+        // at epoch boundaries) make identical hit/miss decisions.
+        let mut wire_memo = (cfg.wire == WireMode::Memo).then(WireMemo::new);
         let mut killed = false;
 
         for epoch in start_epoch..p.epochs {
+            if let Some(m) = wire_memo.as_mut() {
+                m.begin_epoch();
+            }
             // ---- Epoch-boundary re-admission (rejoin=H@E). ----
             if faults_on && !plan.rejoins.is_empty() {
                 let mut someone_rejoined = false;
@@ -540,6 +551,7 @@ impl DistributedTrainer {
                     &mut stats,
                     &mut sync_scratch,
                     &live,
+                    wire_memo.as_mut(),
                 );
                 let round_comp = round_compute.iter().cloned().fold(0.0, f64::max);
                 let mut round_comm = cfg.cost.round_time(&volume);
@@ -758,6 +770,7 @@ mod tests {
             plan,
             combiner: comb,
             cost: CostModel::infiniband_56g(),
+            wire: WireMode::IdValue,
         }
     }
 

@@ -83,12 +83,12 @@ impl DeltaTracker {
         self.nodes.len()
     }
 
-    /// Writes `current − base` for `node` into `out`.
+    /// Writes `current − base` for `node` into `out` (element-wise
+    /// subtraction through the SIMD kernel table; bit-identical across
+    /// backends).
     pub fn delta_into(&self, node: u32, current: &[f32], out: &mut [f32]) {
         let base = self.base_of(node);
-        for i in 0..self.dim {
-            out[i] = current[i] - base[i];
-        }
+        (gw2v_util::simd::kernels().sub_into)(current, base, out);
     }
 
     /// Clears all tracking for the next round; O(touched).

@@ -25,7 +25,7 @@ use crate::liveness::Liveness;
 use crate::plan::{AccessSets, SyncConfig, SyncPlan};
 use crate::replica::ModelReplica;
 use crate::volume::{CommStats, RoundVolume};
-use crate::wire::entry_bytes;
+use crate::wire::{entry_bytes, value_bytes, Channel, WireMemo};
 use gw2v_combiner::{CombineAccumulator, CombinerKind};
 use gw2v_graph::partition::{master_block, master_host};
 use gw2v_util::bitvec::BitVec;
@@ -155,6 +155,23 @@ pub fn sync_round(
     sync_round_with_scratch(replicas, cfg, access, stats, &mut scratch)
 }
 
+/// [`sync_round_with_scratch`] in id-memoized wire mode
+/// ([`crate::wire::WireMode::Memo`]): `memo` carries the id-list caches
+/// across rounds and the round's byte accounting reflects value-only
+/// payloads on cache hits. Model results are bit-identical to the
+/// id+value mode — only the accounted bytes change.
+pub fn sync_round_memoized(
+    replicas: &mut [ModelReplica],
+    cfg: &SyncConfig,
+    access: Option<&AccessSets>,
+    stats: &mut CommStats,
+    scratch: &mut SyncScratch,
+    memo: &mut WireMemo,
+) -> RoundVolume {
+    let live = Liveness::all(replicas.len());
+    sync_round_degraded(replicas, cfg, access, stats, scratch, &live, Some(memo))
+}
+
 /// Runs one synchronization round over all replicas, reusing `scratch`.
 ///
 /// `access` must be `Some` when `cfg.plan == PullModel`: for each host
@@ -174,7 +191,7 @@ pub fn sync_round_with_scratch(
     scratch: &mut SyncScratch,
 ) -> RoundVolume {
     let live = Liveness::all(replicas.len());
-    sync_round_degraded(replicas, cfg, access, stats, scratch, &live)
+    sync_round_degraded(replicas, cfg, access, stats, scratch, &live, None)
 }
 
 /// [`sync_round_with_scratch`] under an explicit liveness view.
@@ -186,6 +203,16 @@ pub fn sync_round_with_scratch(
 /// exactly [`sync_round_with_scratch`], bit for bit — the BSP
 /// simulator's modeled fault rounds and the faultless path share this
 /// one implementation.
+///
+/// `memo` is `Some` in id-memoized wire mode
+/// ([`crate::wire::WireMode::Memo`]): payload id lists are derived per
+/// (sender, receiver, layer, channel) exactly as the threaded engine
+/// ships them — including empty lists for every alive ordered pair, so
+/// the two engines' caches make identical hit/miss decisions — and hits
+/// are accounted at [`value_bytes`] per entry instead of
+/// [`entry_bytes`]. With `None` this is the classic id+value
+/// accounting, untouched.
+#[allow(clippy::too_many_arguments)]
 pub fn sync_round_degraded(
     replicas: &mut [ModelReplica],
     cfg: &SyncConfig,
@@ -193,6 +220,7 @@ pub fn sync_round_degraded(
     stats: &mut CommStats,
     scratch: &mut SyncScratch,
     live: &Liveness,
+    mut memo: Option<&mut WireMemo>,
 ) -> RoundVolume {
     let n_hosts = replicas.len();
     assert!(n_hosts > 0);
@@ -202,6 +230,11 @@ pub fn sync_round_degraded(
             access.is_some(),
             "PullModel requires inspection access sets"
         );
+    }
+    if let Some(m) = memo.as_deref_mut() {
+        // Any liveness change invalidates every cached id list (routing
+        // changed); must happen before the first submit of the round.
+        m.observe_liveness(live);
     }
     // Observability: an inert guard when metrics are disabled; otherwise it
     // times the whole round and records the byte/message deltas below.
@@ -226,15 +259,24 @@ pub fn sync_round_degraded(
     for layer in 0..n_layers {
         let dim = replicas[0].layers[layer].dim();
         let ebytes = entry_bytes(dim) as u64;
+        let vbytes = value_bytes(dim) as u64;
         fit_row_buf(delta, dim);
         fit_row_buf(canonical, dim);
         fit_row_buf(combined, dim);
 
         // ---- Reduce phase: fold per-node deltas in host-id order. ----
+        let memo_mode = memo.is_some();
         for (h, replica) in replicas.iter().enumerate() {
             if !live.is_alive(h) {
                 continue;
             }
+            // Memo mode stages the per-destination id list (the exact
+            // payload order the threaded engine ships) instead of
+            // accounting inline per entry.
+            let mut stage = match memo.as_deref_mut() {
+                Some(m) if cfg.plan != SyncPlan::RepModelNaive => m.take_stage(n_hosts),
+                _ => Vec::new(),
+            };
             let tracker = replica.tracker(layer);
             for &node in tracker.touched_nodes() {
                 tracker.delta_into(node, replica.row(layer, node), delta);
@@ -242,10 +284,36 @@ pub fn sync_round_degraded(
                 updated.set(node as usize);
                 let owner = live.effective_master(master_host(n_nodes, n_hosts, node));
                 if owner != h && cfg.plan != SyncPlan::RepModelNaive {
-                    // Sparse plans: only touched mirrors cross the wire.
-                    volume.record(h, owner, ebytes);
-                    stats.reduce_bytes += ebytes;
-                    stats.reduce_msgs += 1;
+                    if memo_mode {
+                        stage[owner].push(node);
+                    } else {
+                        // Sparse plans: only touched mirrors cross the wire.
+                        volume.record(h, owner, ebytes);
+                        stats.reduce_bytes += ebytes;
+                        stats.reduce_msgs += 1;
+                    }
+                }
+            }
+            if let Some(m) = memo.as_deref_mut() {
+                if cfg.plan != SyncPlan::RepModelNaive {
+                    // Submit for *every* alive ordered pair — the
+                    // threaded engine ships a payload (possibly empty)
+                    // to each peer every phase, so its caches advance
+                    // even on empty lists.
+                    for peer in 0..n_hosts {
+                        if peer == h || !live.is_alive(peer) {
+                            continue;
+                        }
+                        let hit = m.submit(h, peer, layer, Channel::Reduce, &stage[peer]);
+                        let per = if hit { vbytes } else { ebytes };
+                        let bytes = stage[peer].len() as u64 * per;
+                        if bytes > 0 {
+                            volume.record(h, peer, bytes);
+                        }
+                        stats.reduce_bytes += bytes;
+                        stats.reduce_msgs += stage[peer].len() as u64;
+                    }
+                    m.put_stage(stage);
                 }
             }
         }
@@ -253,28 +321,74 @@ pub fn sync_round_degraded(
             // Dense reduce: every host ships *all* its mirror rows (even
             // untouched): block_size(m) rows to every master host m ≠ h,
             // where m's rows cover every block m effectively masters.
-            for h in 0..n_hosts {
-                if !live.is_alive(h) {
-                    continue;
-                }
+            if let Some(m_) = memo.as_deref_mut() {
+                // Memo mode: the dense id list per destination master is
+                // identical for every sender, and repeats round after
+                // round while liveness holds — hits from round two on.
+                let mut stage = m_.take_stage(n_hosts);
                 for m in 0..n_hosts {
-                    if m == h || !live.is_alive(m) {
+                    if !live.is_alive(m) {
                         continue;
                     }
-                    let rows: u64 = (0..n_hosts)
-                        .filter(|&owner| live.effective_master(owner) == m)
-                        .map(|owner| master_block(n_nodes, n_hosts, owner).len() as u64)
-                        .sum();
-                    if rows > 0 {
-                        volume.record(h, m, rows * ebytes);
-                        stats.reduce_bytes += rows * ebytes;
-                        stats.reduce_msgs += rows;
+                    for owner in 0..n_hosts {
+                        if live.effective_master(owner) == m {
+                            for node in master_block(n_nodes, n_hosts, owner) {
+                                stage[m].push(node as u32);
+                            }
+                        }
+                    }
+                }
+                for h in 0..n_hosts {
+                    if !live.is_alive(h) {
+                        continue;
+                    }
+                    for m in 0..n_hosts {
+                        if m == h || !live.is_alive(m) {
+                            continue;
+                        }
+                        let hit = m_.submit(h, m, layer, Channel::Reduce, &stage[m]);
+                        let per = if hit { vbytes } else { ebytes };
+                        let bytes = stage[m].len() as u64 * per;
+                        if bytes > 0 {
+                            volume.record(h, m, bytes);
+                        }
+                        stats.reduce_bytes += bytes;
+                        stats.reduce_msgs += stage[m].len() as u64;
+                    }
+                }
+                m_.put_stage(stage);
+            } else {
+                for h in 0..n_hosts {
+                    if !live.is_alive(h) {
+                        continue;
+                    }
+                    for m in 0..n_hosts {
+                        if m == h || !live.is_alive(m) {
+                            continue;
+                        }
+                        let rows: u64 = (0..n_hosts)
+                            .filter(|&owner| live.effective_master(owner) == m)
+                            .map(|owner| master_block(n_nodes, n_hosts, owner).len() as u64)
+                            .sum();
+                        if rows > 0 {
+                            volume.record(h, m, rows * ebytes);
+                            stats.reduce_bytes += rows * ebytes;
+                            stats.reduce_msgs += rows;
+                        }
                     }
                 }
             }
         }
 
         // ---- Apply combined deltas at masters; broadcast canonical. ----
+        // Memo mode stages the Opt broadcast id list per master: the
+        // threaded engine builds ONE payload per master per layer
+        // (updated ∩ effectively-owned, node-id order) and ships it to
+        // every peer, so the memo key list is per-sender, not per-pair.
+        let mut bcast_stage = match memo.as_deref_mut() {
+            Some(m) if cfg.plan == SyncPlan::RepModelOpt => m.take_stage(n_hosts),
+            _ => Vec::new(),
+        };
         for node in updated.iter_ones() {
             let node_u = node as u32;
             let owner = live.effective_master(master_host(n_nodes, n_hosts, node_u));
@@ -286,10 +400,11 @@ pub fn sync_round_degraded(
                 if tracker.is_touched(node_u) {
                     row.copy_from_slice(tracker.base_of(node_u));
                 }
-                for (r, c) in row.iter_mut().zip(combined.iter()) {
-                    *r += c;
-                }
+                (gw2v_util::simd::kernels().add_assign)(row, combined);
                 canonical.copy_from_slice(row);
+            }
+            if memo_mode && cfg.plan == SyncPlan::RepModelOpt {
+                bcast_stage[owner].push(node_u);
             }
             // RepModel plans overwrite every mirror with the canonical
             // value (PullModel applies values in its pull pass below).
@@ -300,7 +415,7 @@ pub fn sync_round_degraded(
                     }
                     rep.row_mut_untracked(layer, node_u)
                         .copy_from_slice(canonical);
-                    if cfg.plan == SyncPlan::RepModelOpt {
+                    if cfg.plan == SyncPlan::RepModelOpt && !memo_mode {
                         volume.record(owner, h, ebytes);
                         stats.broadcast_bytes += ebytes;
                         stats.broadcast_msgs += 1;
@@ -308,25 +423,87 @@ pub fn sync_round_degraded(
                 }
             }
         }
+        if let Some(m_) = memo.as_deref_mut() {
+            if cfg.plan == SyncPlan::RepModelOpt {
+                for sender in 0..n_hosts {
+                    if !live.is_alive(sender) {
+                        continue;
+                    }
+                    for peer in 0..n_hosts {
+                        if peer == sender || !live.is_alive(peer) {
+                            continue;
+                        }
+                        let hit =
+                            m_.submit(sender, peer, layer, Channel::Broadcast, &bcast_stage[sender]);
+                        let per = if hit { vbytes } else { ebytes };
+                        let bytes = bcast_stage[sender].len() as u64 * per;
+                        if bytes > 0 {
+                            volume.record(sender, peer, bytes);
+                        }
+                        stats.broadcast_bytes += bytes;
+                        stats.broadcast_msgs += bcast_stage[sender].len() as u64;
+                    }
+                }
+                m_.put_stage(bcast_stage);
+            }
+        }
 
         match cfg.plan {
             SyncPlan::RepModelNaive => {
                 // Dense broadcast: every master row to every other host.
-                for m in 0..n_hosts {
-                    if !live.is_alive(m) {
-                        continue;
-                    }
-                    let rows: u64 = (0..n_hosts)
-                        .filter(|&owner| live.effective_master(owner) == m)
-                        .map(|owner| master_block(n_nodes, n_hosts, owner).len() as u64)
-                        .sum();
-                    for h in 0..n_hosts {
-                        if h == m || rows == 0 || !live.is_alive(h) {
+                if let Some(m_) = memo.as_deref_mut() {
+                    // Memo mode: same dense id-list derivation as the
+                    // dense reduce above (the threaded engine ships one
+                    // dense payload per master per layer).
+                    let mut stage = m_.take_stage(n_hosts);
+                    for m in 0..n_hosts {
+                        if !live.is_alive(m) {
                             continue;
                         }
-                        volume.record(m, h, rows * ebytes);
-                        stats.broadcast_bytes += rows * ebytes;
-                        stats.broadcast_msgs += rows;
+                        for owner in 0..n_hosts {
+                            if live.effective_master(owner) == m {
+                                for node in master_block(n_nodes, n_hosts, owner) {
+                                    stage[m].push(node as u32);
+                                }
+                            }
+                        }
+                    }
+                    for m in 0..n_hosts {
+                        if !live.is_alive(m) {
+                            continue;
+                        }
+                        for h in 0..n_hosts {
+                            if h == m || !live.is_alive(h) {
+                                continue;
+                            }
+                            let hit = m_.submit(m, h, layer, Channel::Broadcast, &stage[m]);
+                            let per = if hit { vbytes } else { ebytes };
+                            let bytes = stage[m].len() as u64 * per;
+                            if bytes > 0 {
+                                volume.record(m, h, bytes);
+                            }
+                            stats.broadcast_bytes += bytes;
+                            stats.broadcast_msgs += stage[m].len() as u64;
+                        }
+                    }
+                    m_.put_stage(stage);
+                } else {
+                    for m in 0..n_hosts {
+                        if !live.is_alive(m) {
+                            continue;
+                        }
+                        let rows: u64 = (0..n_hosts)
+                            .filter(|&owner| live.effective_master(owner) == m)
+                            .map(|owner| master_block(n_nodes, n_hosts, owner).len() as u64)
+                            .sum();
+                        for h in 0..n_hosts {
+                            if h == m || rows == 0 || !live.is_alive(h) {
+                                continue;
+                            }
+                            volume.record(m, h, rows * ebytes);
+                            stats.broadcast_bytes += rows * ebytes;
+                            stats.broadcast_msgs += rows;
+                        }
                     }
                 }
             }
@@ -340,6 +517,14 @@ pub fn sync_round_degraded(
                     if !live.is_alive(h) {
                         continue;
                     }
+                    // Memo mode stages the per-owner request list (the
+                    // exact response payload order: the owner answers in
+                    // request order, which is the access set's node-id
+                    // order).
+                    let mut stage = match memo.as_deref_mut() {
+                        Some(m) => m.take_stage(n_hosts),
+                        None => Vec::new(),
+                    };
                     let set = access.get(h, layer);
                     for node in set.iter_ones() {
                         let node_u = node as u32;
@@ -351,9 +536,29 @@ pub fn sync_round_degraded(
                         replicas[h]
                             .row_mut_untracked(layer, node_u)
                             .copy_from_slice(canonical);
-                        volume.record(owner, h, ebytes);
-                        stats.broadcast_bytes += ebytes;
-                        stats.broadcast_msgs += 1;
+                        if memo_mode {
+                            stage[owner].push(node_u);
+                        } else {
+                            volume.record(owner, h, ebytes);
+                            stats.broadcast_bytes += ebytes;
+                            stats.broadcast_msgs += 1;
+                        }
+                    }
+                    if let Some(m_) = memo.as_deref_mut() {
+                        for owner in 0..n_hosts {
+                            if owner == h || !live.is_alive(owner) {
+                                continue;
+                            }
+                            let hit = m_.submit(owner, h, layer, Channel::Broadcast, &stage[owner]);
+                            let per = if hit { vbytes } else { ebytes };
+                            let bytes = stage[owner].len() as u64 * per;
+                            if bytes > 0 {
+                                volume.record(owner, h, bytes);
+                            }
+                            stats.broadcast_bytes += bytes;
+                            stats.broadcast_msgs += stage[owner].len() as u64;
+                        }
+                        m_.put_stage(stage);
                     }
                 }
             }
@@ -777,6 +982,7 @@ mod tests {
             &mut stats,
             &mut scratch,
             &live,
+            None,
         );
         assert_eq!(reps[2].row(0, 5)[0], base + 3.0, "adopter holds canonical");
         assert_eq!(reps[0].row(0, 5)[0], base + 3.0, "survivor mirrors it");

@@ -59,7 +59,9 @@ use crate::plan::{AccessSets, SyncConfig, SyncPlan};
 use crate::replica::ModelReplica;
 use crate::sync::NodeAccSlab;
 use crate::volume::CommStats;
-use crate::wire::{entry_bytes, open_frame, seal_frame, RowDecoder, RowEncoder};
+use crate::wire::{
+    entry_bytes, open_frame, seal_frame, Channel, RowDecoder, RowEncoder, ValueDecoder, WireMemo,
+};
 use bytes::{BufMut, Bytes, BytesMut};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use gw2v_faults::{counters, FaultPlan};
@@ -174,7 +176,15 @@ pub struct Message {
     pub seq: u64,
     /// Data or NAK.
     pub kind: MsgKind,
-    /// Sealed `(node, row)` frame for data; empty for NAKs.
+    /// True when the payload is a memoized value-only buffer
+    /// ([`crate::wire::WireMode::Memo`] cache hit) to be decoded against
+    /// the receiver's cached id list. Metadata, not payload: it rides
+    /// outside the CRC-sealed frame (like `from`/`layer`/`seq`) so byte
+    /// accounting stays exact and the fault injector's bit flips cannot
+    /// silently change a payload's layout.
+    pub value_only: bool,
+    /// Sealed frame for data (`(node, row)` entries, or bare rows when
+    /// `value_only`); empty for NAKs.
     pub payload: Bytes,
 }
 
@@ -283,6 +293,7 @@ impl ClusterState {
 #[derive(Debug)]
 struct ResendSlot {
     payload: Bytes,
+    value_only: bool,
     attempts: u32,
 }
 
@@ -397,16 +408,24 @@ impl HostCtx {
     }
 
     /// Buffers `payload` for NAK service, then delivers it (attempt 0)
-    /// through the fault injector.
-    fn ship(&self, to: usize, layer: usize, payload: Bytes) -> Result<(), ClusterError> {
+    /// through the fault injector. `value_only` tags memoized payloads
+    /// ([`crate::wire::WireMode::Memo`] cache hits).
+    fn ship(
+        &self,
+        to: usize,
+        layer: usize,
+        payload: Bytes,
+        value_only: bool,
+    ) -> Result<(), ClusterError> {
         self.resend.borrow_mut().insert(
             (to, layer),
             ResendSlot {
                 payload: payload.clone(),
+                value_only,
                 attempts: 0,
             },
         );
-        self.send_data(to, layer, &payload, 0)
+        self.send_data(to, layer, &payload, value_only, 0)
     }
 
     /// One delivery attempt: the injector may withhold the frame or flip
@@ -416,6 +435,7 @@ impl HostCtx {
         to: usize,
         layer: usize,
         payload: &Bytes,
+        value_only: bool,
         attempt: u32,
     ) -> Result<(), ClusterError> {
         let seq = self.seq.get();
@@ -438,6 +458,7 @@ impl HostCtx {
                 layer,
                 seq,
                 kind: MsgKind::Data { attempt },
+                value_only,
                 payload: frame,
             },
         )
@@ -452,6 +473,7 @@ impl HostCtx {
                 layer,
                 seq: self.seq.get(),
                 kind: MsgKind::Nak,
+                value_only: false,
                 payload: empty_bytes(),
             },
         )
@@ -464,19 +486,19 @@ impl HostCtx {
         if seq != self.seq.get() {
             return Ok(());
         }
-        let (payload, attempt) = {
+        let (payload, value_only, attempt) = {
             let mut resend = self.resend.borrow_mut();
             match resend.get_mut(&(to, layer)) {
                 Some(slot) => {
                     slot.attempts += 1;
-                    (slot.payload.clone(), slot.attempts)
+                    (slot.payload.clone(), slot.value_only, slot.attempts)
                 }
                 // NAK for a slot we never shipped this phase; nothing to do.
                 None => return Ok(()),
             }
         };
         counters::bump(counters::RECOVERED_RESEND);
-        self.send_data(to, layer, &payload, attempt)
+        self.send_data(to, layer, &payload, value_only, attempt)
     }
 
     /// Drains whatever is queued without blocking: serves NAKs, stashes
@@ -502,22 +524,24 @@ impl HostCtx {
 
     /// Receives one payload per `(alive peer, layer)` slot for the
     /// current phase, NAKing corrupt or missing deliveries until the set
-    /// completes or retries exhaust.
+    /// completes or retries exhaust. Each entry carries the sender's
+    /// `value_only` tag alongside the verified payload.
     fn collect_phase(
         &self,
         live: &Liveness,
         n_layers: usize,
-    ) -> Result<HashMap<(usize, usize), Bytes>, ClusterError> {
+    ) -> Result<HashMap<(usize, usize), (Bytes, bool)>, ClusterError> {
         let seq = self.seq.get();
         let cfg = self.state.config;
         let expected: Vec<(usize, usize)> = (0..self.n_hosts)
             .filter(|&h| h != self.host && live.is_alive(h))
             .flat_map(|h| (0..n_layers).map(move |l| (h, l)))
             .collect();
-        let mut got: HashMap<(usize, usize), Bytes> = HashMap::with_capacity(expected.len());
+        let mut got: HashMap<(usize, usize), (Bytes, bool)> =
+            HashMap::with_capacity(expected.len());
 
         let handle = |msg: Message,
-                      got: &mut HashMap<(usize, usize), Bytes>|
+                      got: &mut HashMap<(usize, usize), (Bytes, bool)>|
          -> Result<bool, ClusterError> {
             match msg.kind {
                 MsgKind::Nak => {
@@ -531,7 +555,7 @@ impl HostCtx {
                     }
                     match open_frame(&msg.payload) {
                         Ok(payload) => {
-                            got.insert(key, payload);
+                            got.insert(key, (payload, msg.value_only));
                             Ok(true)
                         }
                         Err(_) => {
@@ -674,6 +698,7 @@ impl HostCtx {
                 layer: tag,
                 seq: STATE_TRANSFER_SEQ,
                 kind: MsgKind::Data { attempt: 0 },
+                value_only: false,
                 payload: seal_frame(&payload),
             },
         )?;
@@ -759,10 +784,8 @@ impl HostCtx {
             let (tag, payload) = self.recv_state(from)?;
             debug_assert_eq!(tag, layer, "layer frames follow in order");
             let mut matrix = FlatMatrix::zeros(rows, dim);
-            let mut dec = RowDecoder::new(payload, dim);
-            while let Some((node, row)) = dec.next_entry() {
-                matrix.row_mut(node as usize).copy_from_slice(row);
-            }
+            let mut sink = |node: u32| -> *mut [f32] { matrix.row_mut(node as usize) };
+            RowDecoder::new(payload, dim).decode_into(&mut sink);
             layers.push(matrix);
         }
         self.register_alive();
@@ -890,7 +913,7 @@ pub fn sync_round_threaded_with_scratch(
     scratch: &mut ThreadedSyncScratch,
 ) -> Result<(), ClusterError> {
     let live = Liveness::all(ctx.n_hosts);
-    sync_round_threaded_degraded(ctx, replica, cfg, None, stats, scratch, &live)
+    sync_round_threaded_degraded(ctx, replica, cfg, None, stats, scratch, &live, None)
 }
 
 /// [`sync_round_threaded_with_scratch`] under an explicit liveness view:
@@ -906,6 +929,17 @@ pub fn sync_round_threaded_with_scratch(
 /// For [`SyncPlan::PullModel`], `access` must carry this host's
 /// inspection-derived sets (see [`PullAccess`]); the replication plans
 /// ignore it.
+///
+/// `memo` is `Some` in id-memoized wire mode
+/// ([`crate::wire::WireMode::Memo`]): this host's [`WireMemo`] decides
+/// per payload whether the peer already caches the id list (ship
+/// value-only) and resolves incoming value-only payloads against its
+/// own cache. Every host must run the same mode; caches must be cleared
+/// at epoch starts by the caller ([`WireMemo::begin_epoch`]) — liveness
+/// changes clear them here. Model results are bit-identical either way;
+/// only bytes moved change, mirroring
+/// [`crate::sync::sync_round_degraded`]'s analytic accounting exactly.
+#[allow(clippy::too_many_arguments)]
 pub fn sync_round_threaded_degraded(
     ctx: &HostCtx,
     replica: &mut ModelReplica,
@@ -914,12 +948,20 @@ pub fn sync_round_threaded_degraded(
     stats: &mut CommStats,
     scratch: &mut ThreadedSyncScratch,
     live: &Liveness,
+    mut memo: Option<&mut WireMemo>,
 ) -> Result<(), ClusterError> {
     assert!(
         cfg.plan != SyncPlan::PullModel || access.is_some(),
         "PullModel requires inspection-derived access sets"
     );
     assert!(live.is_alive(ctx.host), "dead hosts do not sync");
+    if let Some(m) = memo.as_deref_mut() {
+        // Any liveness change invalidates every cached id list; all hosts
+        // derive the same view from the shared fault plan, so every memo
+        // in the cluster (and the simulator's) clears on the same round.
+        m.observe_liveness(live);
+    }
+    let memo_mode = memo.is_some();
     // Inert when metrics are disabled; otherwise times this host's whole
     // round and records its send-side byte deltas below.
     let mut obs_span = gw2v_obs::span("gluon.threaded.sync").host(ctx.host);
@@ -967,23 +1009,58 @@ pub fn sync_round_threaded_degraded(
                 .push(node, delta);
         }
         if cfg.plan == SyncPlan::RepModelNaive {
-            // Dense plan also ships a zero delta for every untouched
-            // mirror row (redundant traffic, counted but semantically
-            // inert — the master skips zero-contribution entries is NOT
-            // the semantics here; instead we simply account the bytes, as
-            // the sequential engine does analytically).
-            for m in 0..n_hosts {
-                if m == ctx.host || !live.is_alive(m) {
-                    continue;
+            if let Some(m_) = memo.as_deref_mut() {
+                // Memo-mode dense accounting: the *analytic* dense id
+                // list per destination master (same derivation as the
+                // sequential engine) is memoized; physical payloads stay
+                // touched-only id+value below (their bytes are NOT
+                // separately accounted — the dense figure covers them).
+                let mut stage = m_.take_stage(n_hosts);
+                for m in 0..n_hosts {
+                    if m == ctx.host || !live.is_alive(m) {
+                        continue;
+                    }
+                    for owner in 0..n_hosts {
+                        if live.effective_master(owner) == m {
+                            for node in master_block(n_nodes, n_hosts, owner) {
+                                stage[m].push(node as u32);
+                            }
+                        }
+                    }
                 }
-                let all_rows: u64 = (0..n_hosts)
-                    .filter(|&owner| live.effective_master(owner) == m)
-                    .map(|owner| master_block(n_nodes, n_hosts, owner).len() as u64)
-                    .sum();
-                let sent_rows = encoders.get(&m).map_or(0, |e| e.count() as u64);
-                let pad_rows = all_rows - sent_rows;
-                stats.reduce_bytes += pad_rows * entry_bytes(dim) as u64;
-                stats.reduce_msgs += pad_rows;
+                for m in 0..n_hosts {
+                    if m == ctx.host || !live.is_alive(m) {
+                        continue;
+                    }
+                    let hit = m_.submit(ctx.host, m, layer, Channel::Reduce, &stage[m]);
+                    let per = if hit {
+                        crate::wire::value_bytes(dim)
+                    } else {
+                        entry_bytes(dim)
+                    } as u64;
+                    stats.reduce_bytes += stage[m].len() as u64 * per;
+                    stats.reduce_msgs += stage[m].len() as u64;
+                }
+                m_.put_stage(stage);
+            } else {
+                // Dense plan also ships a zero delta for every untouched
+                // mirror row (redundant traffic, counted but semantically
+                // inert — the master skips zero-contribution entries is NOT
+                // the semantics here; instead we simply account the bytes, as
+                // the sequential engine does analytically).
+                for m in 0..n_hosts {
+                    if m == ctx.host || !live.is_alive(m) {
+                        continue;
+                    }
+                    let all_rows: u64 = (0..n_hosts)
+                        .filter(|&owner| live.effective_master(owner) == m)
+                        .map(|owner| master_block(n_nodes, n_hosts, owner).len() as u64)
+                        .sum();
+                    let sent_rows = encoders.get(&m).map_or(0, |e| e.count() as u64);
+                    let pad_rows = all_rows - sent_rows;
+                    stats.reduce_bytes += pad_rows * entry_bytes(dim) as u64;
+                    stats.reduce_msgs += pad_rows;
+                }
             }
         }
         for peer in 0..n_hosts {
@@ -993,9 +1070,29 @@ pub fn sync_round_threaded_degraded(
             let enc = encoders
                 .remove(&peer)
                 .unwrap_or_else(|| RowEncoder::new(dim));
-            stats.reduce_bytes += enc.byte_len() as u64;
-            stats.reduce_msgs += enc.count() as u64;
-            ctx.ship(peer, layer, enc.finish())?;
+            if cfg.plan == SyncPlan::RepModelNaive {
+                // Classic mode accounts the touched payload here (the pad
+                // block above tops it up to the dense figure); memo mode
+                // already accounted the full dense figure above.
+                if !memo_mode {
+                    stats.reduce_bytes += enc.byte_len() as u64;
+                    stats.reduce_msgs += enc.count() as u64;
+                }
+                ctx.ship(peer, layer, enc.finish(), false)?;
+            } else {
+                let hit = match memo.as_deref_mut() {
+                    Some(m_) => m_.submit(ctx.host, peer, layer, Channel::Reduce, enc.ids()),
+                    None => false,
+                };
+                stats.reduce_msgs += enc.count() as u64;
+                if hit {
+                    stats.reduce_bytes += enc.value_byte_len() as u64;
+                    ctx.ship(peer, layer, enc.finish_values(), true)?;
+                } else {
+                    stats.reduce_bytes += enc.byte_len() as u64;
+                    ctx.ship(peer, layer, enc.finish(), false)?;
+                }
+            }
         }
     }
 
@@ -1021,11 +1118,40 @@ pub fn sync_round_threaded_degraded(
                     slab.acc_mut(node, cfg.combiner, dim).push(delta);
                     updated_per_layer[layer].set(node as usize);
                 }
-            } else if let Some(payload) = incoming.get(&(h, layer)) {
-                let mut dec = RowDecoder::new(payload.clone(), dim);
-                while let Some((node, row)) = dec.next_entry() {
-                    slab.acc_mut(node, cfg.combiner, dim).push(row);
-                    updated_per_layer[layer].set(node as usize);
+            } else if let Some((payload, value_only)) = incoming.get(&(h, layer)) {
+                if *value_only {
+                    let m_ = memo
+                        .as_deref_mut()
+                        .expect("value-only payload outside memo mode");
+                    let ids = m_
+                        .cached(h, ctx.host, layer, Channel::Reduce)
+                        .expect("value-only payload with no cached id list");
+                    let mut dec = ValueDecoder::new(payload.clone(), dim, ids)
+                        .expect("value-only payload length matches cached id list");
+                    while let Some((node, row)) = dec.next_entry() {
+                        slab.acc_mut(node, cfg.combiner, dim).push(row);
+                        updated_per_layer[layer].set(node as usize);
+                    }
+                } else {
+                    let mut dec = RowDecoder::new(payload.clone(), dim);
+                    if memo_mode {
+                        // Record the decoded id list so a later
+                        // value-only payload on this key can be resolved.
+                        let mut ids = Vec::with_capacity(dec.remaining());
+                        while let Some((node, row)) = dec.next_entry() {
+                            ids.push(node);
+                            slab.acc_mut(node, cfg.combiner, dim).push(row);
+                            updated_per_layer[layer].set(node as usize);
+                        }
+                        memo.as_deref_mut()
+                            .expect("memo mode")
+                            .store(h, ctx.host, layer, Channel::Reduce, ids);
+                    } else {
+                        while let Some((node, row)) = dec.next_entry() {
+                            slab.acc_mut(node, cfg.combiner, dim).push(row);
+                            updated_per_layer[layer].set(node as usize);
+                        }
+                    }
                 }
             } else {
                 debug_assert!(!live.is_alive(h), "collect_phase guarantees alive peers");
@@ -1041,9 +1167,7 @@ pub fn sync_round_threaded_degraded(
             if tracker.is_touched(node_u) {
                 row.copy_from_slice(tracker.base_of(node_u));
             }
-            for (r, c) in row.iter_mut().zip(combined.iter()) {
-                *r += c;
-            }
+            (gw2v_util::simd::kernels().add_assign)(row, combined);
         }
         slab.release_all();
     }
@@ -1074,7 +1198,13 @@ pub fn sync_round_threaded_degraded(
                     continue;
                 }
                 let enc = encoders.remove(&peer).unwrap_or_else(|| RowEncoder::new(0));
-                ctx.ship(peer, layer, enc.finish())?;
+                if let Some(m_) = memo.as_deref_mut() {
+                    // The response from `peer` will carry exactly this
+                    // list in this order; cache it now so a value-only
+                    // response resolves without a round trip.
+                    m_.store(peer, ctx.host, layer, Channel::Broadcast, enc.ids().to_vec());
+                }
+                ctx.ship(peer, layer, enc.finish(), false)?;
             }
         }
         let requests = ctx.collect_phase(live, n_layers)?;
@@ -1092,25 +1222,46 @@ pub fn sync_round_threaded_degraded(
                     continue;
                 }
                 let mut enc = RowEncoder::new(dim);
-                if let Some(list) = requests.get(&(peer, layer)) {
+                if let Some((list, _)) = requests.get(&(peer, layer)) {
                     let mut dec = RowDecoder::new(list.clone(), 0);
                     while let Some((node, _)) = dec.next_entry() {
                         enc.push(node, replica.row(layer, node));
                     }
                 }
                 // Accounted exactly like the sequential pull pass: the
-                // owner charges one broadcast entry per served row.
-                stats.broadcast_bytes += enc.byte_len() as u64;
+                // owner charges one broadcast entry per served row
+                // (value-sized on a memo hit).
+                let hit = match memo.as_deref_mut() {
+                    Some(m_) => m_.submit(ctx.host, peer, layer, Channel::Broadcast, enc.ids()),
+                    None => false,
+                };
                 stats.broadcast_msgs += enc.count() as u64;
-                ctx.ship(peer, layer, enc.finish())?;
+                if hit {
+                    stats.broadcast_bytes += enc.value_byte_len() as u64;
+                    ctx.ship(peer, layer, enc.finish_values(), true)?;
+                } else {
+                    stats.broadcast_bytes += enc.byte_len() as u64;
+                    ctx.ship(peer, layer, enc.finish(), false)?;
+                }
             }
         }
         let incoming = ctx.collect_phase(live, n_layers)?;
-        for ((_, layer), payload) in incoming {
+        for ((h, layer), (payload, value_only)) in incoming {
             let dim = replica.layers[layer].dim();
-            let mut dec = RowDecoder::new(payload, dim);
-            while let Some((node, row)) = dec.next_entry() {
-                replica.row_mut_untracked(layer, node).copy_from_slice(row);
+            if value_only {
+                let m_ = memo
+                    .as_deref_mut()
+                    .expect("value-only payload outside memo mode");
+                let ids = m_
+                    .cached(h, ctx.host, layer, Channel::Broadcast)
+                    .expect("value-only response with no cached request list");
+                let mut sink = |node: u32| -> *mut [f32] { replica.row_mut_untracked(layer, node) };
+                ValueDecoder::new(payload, dim, ids)
+                    .expect("value-only response length matches request list")
+                    .decode_into(&mut sink);
+            } else {
+                let mut sink = |node: u32| -> *mut [f32] { replica.row_mut_untracked(layer, node) };
+                RowDecoder::new(payload, dim).decode_into(&mut sink);
             }
         }
     } else {
@@ -1137,22 +1288,60 @@ pub fn sync_round_threaded_degraded(
                 }
                 SyncPlan::PullModel => unreachable!("handled above"),
             }
-            let payload = enc.finish();
+            // One shared id+value payload per layer; in memo mode each
+            // peer may instead take the (also shared) value-only form,
+            // decided per peer — all peers see the same id list, so after
+            // the first miss-round they all hit together.
+            let mut full: Option<Bytes> = None;
+            let mut vo: Option<Bytes> = None;
             for peer in 0..n_hosts {
                 if peer == ctx.host || !live.is_alive(peer) {
                     continue;
                 }
-                stats.broadcast_bytes += payload.len() as u64;
-                stats.broadcast_msgs += (payload.len() / entry_bytes(dim)) as u64;
-                ctx.ship(peer, layer, payload.clone())?;
+                let hit = match memo.as_deref_mut() {
+                    Some(m_) => m_.submit(ctx.host, peer, layer, Channel::Broadcast, enc.ids()),
+                    None => false,
+                };
+                if hit {
+                    let payload = vo.get_or_insert_with(|| enc.finish_values()).clone();
+                    stats.broadcast_bytes += payload.len() as u64;
+                    stats.broadcast_msgs += enc.count() as u64;
+                    ctx.ship(peer, layer, payload, true)?;
+                } else {
+                    let payload = full.get_or_insert_with(|| enc.finish()).clone();
+                    stats.broadcast_bytes += payload.len() as u64;
+                    stats.broadcast_msgs += (payload.len() / entry_bytes(dim)) as u64;
+                    ctx.ship(peer, layer, payload, false)?;
+                }
             }
         }
         let incoming = ctx.collect_phase(live, n_layers)?;
-        for ((_, layer), payload) in incoming {
+        for ((h, layer), (payload, value_only)) in incoming {
             let dim = replica.layers[layer].dim();
-            let mut dec = RowDecoder::new(payload, dim);
-            while let Some((node, row)) = dec.next_entry() {
-                replica.row_mut_untracked(layer, node).copy_from_slice(row);
+            if value_only {
+                let m_ = memo
+                    .as_deref_mut()
+                    .expect("value-only payload outside memo mode");
+                let ids = m_
+                    .cached(h, ctx.host, layer, Channel::Broadcast)
+                    .expect("value-only broadcast with no cached id list");
+                let mut sink = |node: u32| -> *mut [f32] { replica.row_mut_untracked(layer, node) };
+                ValueDecoder::new(payload, dim, ids)
+                    .expect("value-only broadcast length matches cached id list")
+                    .decode_into(&mut sink);
+            } else if memo_mode {
+                let mut dec = RowDecoder::new(payload, dim);
+                let mut ids = Vec::with_capacity(dec.remaining());
+                while let Some((node, row)) = dec.next_entry() {
+                    ids.push(node);
+                    replica.row_mut_untracked(layer, node).copy_from_slice(row);
+                }
+                memo.as_deref_mut()
+                    .expect("memo mode")
+                    .store(h, ctx.host, layer, Channel::Broadcast, ids);
+            } else {
+                let mut sink = |node: u32| -> *mut [f32] { replica.row_mut_untracked(layer, node) };
+                RowDecoder::new(payload, dim).decode_into(&mut sink);
             }
         }
     }
@@ -1409,6 +1598,7 @@ mod tests {
                     &mut stats,
                     &mut scratch,
                     &live,
+                    None,
                 )
                 .unwrap();
             }
@@ -1552,6 +1742,7 @@ mod tests {
                     &mut stats,
                     &mut scratch,
                     &live,
+                    None,
                 )
                 .unwrap();
             }

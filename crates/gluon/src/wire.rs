@@ -1,48 +1,146 @@
 //! Wire format for synchronization payloads.
 //!
 //! Rows cross the simulated network as serialized buffers, exactly as an
-//! MPI deployment would pack them: a `u32` node id followed by `dim`
-//! little-endian `f32`s per entry. Serializing for real (rather than
+//! MPI deployment would pack them. Serializing for real (rather than
 //! passing references) keeps the byte accounting honest and lets the
 //! threaded engine ship owned buffers between host threads.
+//!
+//! # Payload modes
+//!
+//! Two payload layouts exist, selected per run by [`WireMode`]:
+//!
+//! * **Id+value** ([`WireMode::IdValue`], the default) — each entry is a
+//!   `u32` node id followed by `dim` `f32`s ([`entry_bytes`] bytes).
+//!   Self-describing: the receiver learns *which* rows it got from the
+//!   payload itself. Encoded by [`RowEncoder::finish`], decoded by
+//!   [`RowDecoder`].
+//! * **Memoized value-only** ([`WireMode::Memo`]) — the Gluon
+//!   memoization optimization: node-id lists for a given
+//!   (sender, receiver, layer, channel) key are invariant whenever the
+//!   same rows are exchanged again, so after the first exchange both
+//!   ends cache the id list ([`WireMemo`]) and later rounds ship bare
+//!   `dim` `f32`s per entry ([`value_bytes`] bytes, a
+//!   `4 / (4 + 4·dim)`-fraction saving). Encoded by
+//!   [`RowEncoder::finish_values`], decoded by [`ValueDecoder`] against
+//!   the cached id list. The sender decides per payload: a cache *hit*
+//!   (list unchanged since last send) ships value-only; a *miss* ships
+//!   id+value and both ends update their cache. Caches clear at every
+//!   epoch start and on any liveness change (crash, adoption, rejoin),
+//!   so fault recovery never decodes against a stale list.
+//!
+//! Both modes carry bit-identical `f32` row values — the mode changes
+//! bytes moved, never training results; the conformance suite pins this
+//! across both engines and all fault families.
 //!
 //! # Format invariants
 //!
 //! * **Layout** — a buffer is a contiguous sequence of fixed-size
-//!   entries; each entry is `4 + 4·dim` bytes ([`entry_bytes`]): a
-//!   little-endian `u32` node id, then `dim` little-endian IEEE-754
-//!   `f32` values. No header, no padding, no alignment requirement.
+//!   entries. Id+value: `4 + 4·dim` bytes per entry ([`entry_bytes`]), a
+//!   little-endian `u32` node id then `dim` little-endian IEEE-754
+//!   `f32`s. Value-only: `4·dim` bytes per entry ([`value_bytes`]), the
+//!   `f32`s alone in cached-id-list order. No header, no padding, no
+//!   alignment requirement.
 //! * **Self-describing length** — `buf.len()` must be an exact multiple
-//!   of `entry_bytes(dim)`; the decoder asserts this, so a truncated or
-//!   mis-dimensioned buffer fails loudly instead of desynchronizing.
+//!   of the entry size; [`RowDecoder`] asserts this and [`ValueDecoder`]
+//!   additionally requires the length to match the cached id list
+//!   exactly, so a truncated, mis-dimensioned, or stale-cache buffer
+//!   fails loudly instead of desynchronizing.
 //! * **Order-preserving** — entries decode in the order they were
 //!   pushed. Determinism of the sync protocol relies on this: receivers
-//!   fold messages in host-id order and entries in push order.
+//!   fold messages in host-id order and entries in push order, and the
+//!   memoized mode relies on it twice over (the cached id list *is* the
+//!   push order).
 //! * **Bit-exact round-trip** — `f32` bits pass through unchanged
 //!   (including NaN payloads and negative zero), so a serialize →
 //!   deserialize cycle is the identity on rows and the threaded engine
 //!   stays bit-identical to the in-process sequential engine.
 //!
-//! The paper's byte-volume accounting (Table 3, Fig. 6–9) counts these
-//! serialized bytes, so changing the layout changes reported comm
-//! volumes; `tests/` pin both the layout and the accounting.
+//! Encoding and decoding of the `f32` blocks goes through the runtime-
+//! dispatched [`gw2v_util::simd`] kernels (`encode_rows`/`decode_rows`);
+//! pure byte movement, so scalar and AVX2 backends are bit-identical.
+//!
+//! # Byte accounting and the paper's Table 3
+//!
+//! The paper's comm-volume numbers (Table 3, Fig. 6–9) count payload
+//! bytes per sync round. [`crate::volume::CommStats`] mirrors that
+//! accounting exactly in both engines:
+//!
+//! * id+value entries count [`entry_bytes`]`(dim)` each — this is the
+//!   figure the paper reports for RepModelNaive / RepModelOpt /
+//!   PullModel;
+//! * memoized value-only entries count [`value_bytes`]`(dim)` each, so
+//!   the analytic simulator and the byte-measuring threaded engine agree
+//!   to the byte in both modes ("analytic == measured");
+//! * sealed-frame armor ([`seal_frame`]'s 12-byte header) and PullModel
+//!   request id-lists are transport/control traffic the paper does not
+//!   count, and neither do we.
 
+use crate::liveness::Liveness;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use gw2v_util::crc32::crc32;
+use gw2v_util::simd::kernels;
+use std::collections::HashMap;
 use std::fmt;
 
-/// Serialized bytes for one `(node, row)` entry at dimension `dim`.
+/// Serialized bytes for one `(node, row)` id+value entry at dimension
+/// `dim`.
 #[inline]
 pub const fn entry_bytes(dim: usize) -> usize {
     4 + 4 * dim
 }
 
+/// Serialized bytes for one memoized value-only entry at dimension
+/// `dim` (the row values alone; the node id lives in the receiver's
+/// [`WireMemo`] cache).
+#[inline]
+pub const fn value_bytes(dim: usize) -> usize {
+    4 * dim
+}
+
+/// Which payload layout a run ships (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WireMode {
+    /// Self-describing id+value entries every round (the default).
+    #[default]
+    IdValue,
+    /// Gluon-style id-list memoization: id+value on the first exchange
+    /// (and after any cache invalidation), bare values afterwards.
+    Memo,
+}
+
+impl WireMode {
+    /// Parses a CLI spelling (`"id-value"` / `"memo"`).
+    pub fn parse(s: &str) -> Option<WireMode> {
+        match s {
+            "id-value" | "idvalue" => Some(WireMode::IdValue),
+            "memo" | "memoized" => Some(WireMode::Memo),
+            _ => None,
+        }
+    }
+
+    /// Stable label for provenance records and plots.
+    pub fn label(self) -> &'static str {
+        match self {
+            WireMode::IdValue => "id-value",
+            WireMode::Memo => "memo",
+        }
+    }
+}
+
 /// An encoder for a batch of `(node, row)` entries of fixed dimension.
+///
+/// Ids and values are staged separately so one encoder can serve both
+/// payload layouts: [`finish`](RowEncoder::finish) interleaves them into
+/// an id+value buffer, [`finish_values`](RowEncoder::finish_values)
+/// emits the values alone, and [`ids`](RowEncoder::ids) exposes the id
+/// list for [`WireMemo`] bookkeeping. Both finishers are non-consuming,
+/// so the same staged batch can be shipped in either layout to
+/// different peers.
 #[derive(Debug)]
 pub struct RowEncoder {
     dim: usize,
-    buf: BytesMut,
-    count: usize,
+    ids: Vec<u32>,
+    values: Vec<f32>,
 }
 
 impl RowEncoder {
@@ -50,42 +148,92 @@ impl RowEncoder {
     pub fn new(dim: usize) -> Self {
         Self {
             dim,
-            buf: BytesMut::new(),
-            count: 0,
+            ids: Vec::new(),
+            values: Vec::new(),
         }
     }
 
     /// Appends one entry.
     pub fn push(&mut self, node: u32, row: &[f32]) {
         assert_eq!(row.len(), self.dim, "row dimension mismatch");
-        self.buf.reserve(entry_bytes(self.dim));
-        self.buf.put_u32_le(node);
-        for &x in row {
-            self.buf.put_f32_le(x);
-        }
-        self.count += 1;
+        self.ids.push(node);
+        self.values.extend_from_slice(row);
     }
 
     /// Entries encoded so far.
     pub fn count(&self) -> usize {
-        self.count
+        self.ids.len()
     }
 
-    /// Payload size so far in bytes.
+    /// Id+value payload size in bytes ([`entry_bytes`] per entry).
     pub fn byte_len(&self) -> usize {
-        self.buf.len()
+        self.ids.len() * entry_bytes(self.dim)
     }
 
-    /// Finalizes into an immutable buffer.
-    pub fn finish(self) -> Bytes {
-        self.buf.freeze()
+    /// Value-only payload size in bytes ([`value_bytes`] per entry).
+    pub fn value_byte_len(&self) -> usize {
+        self.ids.len() * value_bytes(self.dim)
+    }
+
+    /// The node ids pushed so far, in push order.
+    pub fn ids(&self) -> &[u32] {
+        &self.ids
+    }
+
+    /// Serializes the staged batch as an id+value buffer (bulk-encoded
+    /// through the SIMD kernel table). Non-consuming: the batch stays
+    /// staged.
+    pub fn finish(&self) -> Bytes {
+        let k = kernels();
+        let mut buf = BytesMut::new();
+        buf.resize(self.byte_len(), 0);
+        let out = buf.as_mut_slice();
+        let row_bytes = value_bytes(self.dim);
+        for (i, &node) in self.ids.iter().enumerate() {
+            let off = i * entry_bytes(self.dim);
+            out[off..off + 4].copy_from_slice(&node.to_le_bytes());
+            (k.encode_rows)(
+                &self.values[i * self.dim..(i + 1) * self.dim],
+                &mut out[off + 4..off + 4 + row_bytes],
+            );
+        }
+        buf.freeze()
+    }
+
+    /// Serializes the staged batch as a value-only buffer (one bulk
+    /// kernel call over all rows). Non-consuming.
+    pub fn finish_values(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        buf.resize(self.value_byte_len(), 0);
+        (kernels().encode_rows)(&self.values, buf.as_mut_slice());
+        buf.freeze()
     }
 }
 
-/// Iterator decoding a buffer produced by [`RowEncoder`].
+/// A destination rows can be decoded straight into (a replica layer, a
+/// raw matrix, …) without staging through an intermediate row buffer.
+pub trait RowSink {
+    /// Mutable storage for `node`'s row; the decoder fills it in place.
+    fn row_mut(&mut self, node: u32) -> &mut [f32];
+}
+
+impl<F> RowSink for F
+where
+    F: FnMut(u32) -> *mut [f32],
+{
+    fn row_mut(&mut self, node: u32) -> &mut [f32] {
+        // SAFETY: callers hand out disjoint rows of storage they
+        // exclusively borrow for the duration of the decode.
+        unsafe { &mut *self(node) }
+    }
+}
+
+/// Iterator decoding an id+value buffer produced by
+/// [`RowEncoder::finish`].
 pub struct RowDecoder {
     dim: usize,
     buf: Bytes,
+    pos: usize,
     row: Vec<f32>,
 }
 
@@ -102,6 +250,7 @@ impl RowDecoder {
         Self {
             dim,
             buf,
+            pos: 0,
             row: vec![0.0; dim],
         }
     }
@@ -109,19 +258,233 @@ impl RowDecoder {
     /// Decodes the next entry, exposing the row as a borrowed slice
     /// (valid until the next call).
     pub fn next_entry(&mut self) -> Option<(u32, &[f32])> {
-        if !self.buf.has_remaining() {
+        if self.pos >= self.buf.len() {
             return None;
         }
-        let node = self.buf.get_u32_le();
-        for slot in &mut self.row {
-            *slot = self.buf.get_f32_le();
-        }
+        let src = self.buf.as_slice();
+        let node = u32::from_le_bytes([
+            src[self.pos],
+            src[self.pos + 1],
+            src[self.pos + 2],
+            src[self.pos + 3],
+        ]);
+        let start = self.pos + 4;
+        (kernels().decode_rows)(&src[start..start + value_bytes(self.dim)], &mut self.row);
+        self.pos += entry_bytes(self.dim);
         Some((node, self.row.as_slice()))
     }
 
     /// Number of entries remaining.
     pub fn remaining(&self) -> usize {
-        self.buf.remaining() / entry_bytes(self.dim)
+        (self.buf.len() - self.pos) / entry_bytes(self.dim)
+    }
+
+    /// Decodes every remaining entry directly into `sink`'s row storage
+    /// (no intermediate copy through the decoder's row buffer).
+    pub fn decode_into<S: RowSink>(&mut self, sink: &mut S) {
+        let src = self.buf.as_slice();
+        let k = kernels();
+        while self.pos < self.buf.len() {
+            let node = u32::from_le_bytes([
+                src[self.pos],
+                src[self.pos + 1],
+                src[self.pos + 2],
+                src[self.pos + 3],
+            ]);
+            let start = self.pos + 4;
+            (k.decode_rows)(
+                &src[start..start + value_bytes(self.dim)],
+                sink.row_mut(node),
+            );
+            self.pos += entry_bytes(self.dim);
+        }
+    }
+}
+
+/// Iterator decoding a memoized value-only buffer produced by
+/// [`RowEncoder::finish_values`], pairing each row with the
+/// corresponding id from the receiver's cached list.
+#[derive(Debug)]
+pub struct ValueDecoder<'a> {
+    dim: usize,
+    buf: Bytes,
+    ids: &'a [u32],
+    next: usize,
+    row: Vec<f32>,
+}
+
+impl<'a> ValueDecoder<'a> {
+    /// Creates a decoder pairing `buf`'s rows with `ids`; fails with
+    /// [`WireError::BadLength`] when the payload does not carry exactly
+    /// one row per cached id (a stale or mismatched cache).
+    pub fn new(buf: Bytes, dim: usize, ids: &'a [u32]) -> Result<Self, WireError> {
+        let claimed = ids.len() * value_bytes(dim);
+        if buf.len() != claimed {
+            return Err(WireError::BadLength {
+                claimed,
+                actual: buf.len(),
+            });
+        }
+        Ok(Self {
+            dim,
+            buf,
+            ids,
+            next: 0,
+            row: vec![0.0; dim],
+        })
+    }
+
+    /// Decodes the next entry, exposing the row as a borrowed slice
+    /// (valid until the next call).
+    pub fn next_entry(&mut self) -> Option<(u32, &[f32])> {
+        let node = *self.ids.get(self.next)?;
+        let start = self.next * value_bytes(self.dim);
+        (kernels().decode_rows)(
+            &self.buf.as_slice()[start..start + value_bytes(self.dim)],
+            &mut self.row,
+        );
+        self.next += 1;
+        Some((node, self.row.as_slice()))
+    }
+
+    /// Decodes every remaining entry directly into `sink`'s row storage.
+    pub fn decode_into<S: RowSink>(&mut self, sink: &mut S) {
+        let src = self.buf.as_slice();
+        let k = kernels();
+        let row_bytes = value_bytes(self.dim);
+        while let Some(&node) = self.ids.get(self.next) {
+            let start = self.next * row_bytes;
+            (k.decode_rows)(&src[start..start + row_bytes], sink.row_mut(node));
+            self.next += 1;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Id-list memoization
+// ---------------------------------------------------------------------------
+
+/// Which protocol phase a payload belongs to; reduce and broadcast
+/// traffic between the same host pair memoize independently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Channel {
+    /// Mirror deltas shipped to the (effective) master.
+    Reduce,
+    /// Canonical values shipped back to mirrors (including PullModel
+    /// responses).
+    Broadcast,
+}
+
+/// Per-(sender, receiver, layer, channel) node-id-list cache driving
+/// [`WireMode::Memo`].
+///
+/// Both ends of a link hold one: the **sender** calls
+/// [`submit`](WireMemo::submit) with the id list it is about to ship —
+/// a hit (list identical to the cached one) means the receiver already
+/// knows the ids, so a value-only payload suffices; a miss updates the
+/// cache and ships id+value. The **receiver** calls
+/// [`store`](WireMemo::store) with the ids it decodes from every
+/// id+value payload and [`cached`](WireMemo::cached) to resolve
+/// value-only payloads. Because both sides derive their updates from
+/// the same payload sequence, the caches stay in lockstep without any
+/// extra coordination traffic.
+///
+/// Invalidation keeps fault plans exact: [`begin_epoch`](WireMemo::begin_epoch)
+/// clears everything at each epoch start (checkpoints cut at epoch
+/// boundaries, so a resumed run and an uninterrupted run see identical
+/// cache states), and [`observe_liveness`](WireMemo::observe_liveness)
+/// clears on any alive-set change (crash, adoption, rejoin) since
+/// routing — and therefore every id list — changes with it.
+#[derive(Debug, Default)]
+pub struct WireMemo {
+    cache: HashMap<(usize, usize, usize, Channel), Vec<u32>>,
+    live: Option<Liveness>,
+    stage: Vec<Vec<u32>>,
+}
+
+impl WireMemo {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clears every cached list (call at each epoch start, both
+    /// engines).
+    pub fn begin_epoch(&mut self) {
+        self.cache.clear();
+        self.live = None;
+    }
+
+    /// Clears every cached list if the alive set changed since the last
+    /// observation. Call once per sync round before any submit/store.
+    pub fn observe_liveness(&mut self, live: &Liveness) {
+        if self.live.as_ref() != Some(live) {
+            self.cache.clear();
+            self.live = Some(live.clone());
+        }
+    }
+
+    /// Sender side: decides the layout for the payload `from` is about
+    /// to ship `to` on `(layer, channel)`. Returns `true` (hit: ship
+    /// value-only) when `ids` matches the cached list; otherwise caches
+    /// `ids` and returns `false` (miss: ship id+value).
+    pub fn submit(
+        &mut self,
+        from: usize,
+        to: usize,
+        layer: usize,
+        channel: Channel,
+        ids: &[u32],
+    ) -> bool {
+        let key = (from, to, layer, channel);
+        match self.cache.get_mut(&key) {
+            Some(cached) if cached.as_slice() == ids => true,
+            Some(cached) => {
+                cached.clear();
+                cached.extend_from_slice(ids);
+                false
+            }
+            None => {
+                self.cache.insert(key, ids.to_vec());
+                false
+            }
+        }
+    }
+
+    /// Receiver side: records the id list decoded from an id+value
+    /// payload so a later value-only payload on the same key can be
+    /// resolved.
+    pub fn store(&mut self, from: usize, to: usize, layer: usize, channel: Channel, ids: Vec<u32>) {
+        self.cache.insert((from, to, layer, channel), ids);
+    }
+
+    /// Receiver side: the cached id list for a value-only payload, if
+    /// one exists.
+    pub fn cached(&self, from: usize, to: usize, layer: usize, channel: Channel) -> Option<&[u32]> {
+        self.cache
+            .get(&(from, to, layer, channel))
+            .map(Vec::as_slice)
+    }
+
+    /// Borrow-friendly staging: takes `n` cleared scratch id-lists out
+    /// of the memo's pool (callers stage per-destination lists while
+    /// iterating structures that also borrow the memo's owner, then
+    /// [`submit`](WireMemo::submit) and [`put_stage`](WireMemo::put_stage)
+    /// them back).
+    pub fn take_stage(&mut self, n: usize) -> Vec<Vec<u32>> {
+        let mut out = std::mem::take(&mut self.stage);
+        out.resize_with(n, Vec::new);
+        out.truncate(n);
+        for v in &mut out {
+            v.clear();
+        }
+        out
+    }
+
+    /// Returns staging lists taken with [`take_stage`](WireMemo::take_stage)
+    /// so steady-state rounds reuse their allocations.
+    pub fn put_stage(&mut self, stage: Vec<Vec<u32>>) {
+        self.stage = stage;
     }
 }
 
@@ -143,12 +506,14 @@ pub const FRAME_HEADER_BYTES: usize = 12;
 /// from its resend buffer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WireError {
-    /// The buffer is shorter than a frame header, or the header's length
-    /// field disagrees with the actual payload size.
+    /// The buffer is shorter than a frame header, the header's length
+    /// field disagrees with the actual payload size, or a value-only
+    /// payload does not match its cached id list.
     BadLength {
-        /// Bytes the header claims the payload has (0 if no header fit).
+        /// Bytes the header (or cached id list) claims the payload has
+        /// (0 if no header fit).
         claimed: usize,
-        /// Bytes actually present after the header.
+        /// Bytes actually present.
         actual: usize,
     },
     /// The frame does not open with [`FRAME_MAGIC`].
@@ -168,7 +533,7 @@ impl fmt::Display for WireError {
             WireError::BadLength { claimed, actual } => {
                 write!(
                     f,
-                    "frame length mismatch: header claims {claimed} payload bytes, got {actual}"
+                    "frame length mismatch: expected {claimed} payload bytes, got {actual}"
                 )
             }
             WireError::BadMagic => write!(f, "frame does not start with GW2V magic"),
@@ -267,6 +632,8 @@ mod tests {
     fn entry_bytes_formula() {
         assert_eq!(entry_bytes(0), 4);
         assert_eq!(entry_bytes(200), 804);
+        assert_eq!(value_bytes(0), 0);
+        assert_eq!(value_bytes(200), 800);
     }
 
     #[test]
@@ -292,6 +659,131 @@ mod tests {
         let mut dec = RowDecoder::new(enc.finish(), 1);
         let (_, r) = dec.next_entry().unwrap();
         assert!(r[0].is_nan());
+    }
+
+    #[test]
+    fn value_only_roundtrip_against_cached_ids() {
+        let mut enc = RowEncoder::new(2);
+        enc.push(5, &[1.5, -2.0]);
+        enc.push(9, &[f32::NAN, 0.25]);
+        assert_eq!(enc.value_byte_len(), 2 * value_bytes(2));
+        assert_eq!(enc.ids(), &[5, 9]);
+        // Non-consuming: both layouts come off the same staged batch.
+        let full = enc.finish();
+        let vo = enc.finish_values();
+        assert_eq!(full.len(), 2 * entry_bytes(2));
+        assert_eq!(vo.len(), 2 * value_bytes(2));
+        let mut dec = ValueDecoder::new(vo, 2, enc.ids()).unwrap();
+        let (n, r) = dec.next_entry().unwrap();
+        assert_eq!((n, r[0], r[1]), (5, 1.5, -2.0));
+        let (n, r) = dec.next_entry().unwrap();
+        assert_eq!(n, 9);
+        assert!(r[0].is_nan() && r[1] == 0.25);
+        assert!(dec.next_entry().is_none());
+    }
+
+    #[test]
+    fn value_only_length_mismatch_rejected() {
+        let mut enc = RowEncoder::new(2);
+        enc.push(5, &[1.0, 2.0]);
+        let vo = enc.finish_values();
+        // Cached list claims two entries; payload has one.
+        let err = ValueDecoder::new(vo, 2, &[5, 9]).unwrap_err();
+        assert_eq!(
+            err,
+            WireError::BadLength {
+                claimed: 2 * value_bytes(2),
+                actual: value_bytes(2)
+            }
+        );
+    }
+
+    #[test]
+    fn decode_into_fills_sink_rows() {
+        let mut enc = RowEncoder::new(3);
+        enc.push(1, &[1.0, 2.0, 3.0]);
+        enc.push(3, &[-1.0, f32::NAN, 0.5]);
+        let mut store = vec![vec![0.0f32; 3]; 4];
+        let mut sink = |node: u32| -> *mut [f32] { store[node as usize].as_mut_slice() };
+        RowDecoder::new(enc.finish(), 3).decode_into(&mut sink);
+        assert_eq!(store[1], &[1.0, 2.0, 3.0]);
+        assert!(store[3][1].is_nan() && store[3][2] == 0.5);
+        // Same rows through the value-only path land identically.
+        let mut store2 = vec![vec![0.0f32; 3]; 4];
+        let mut sink2 = |node: u32| -> *mut [f32] { store2[node as usize].as_mut_slice() };
+        ValueDecoder::new(enc.finish_values(), 3, enc.ids())
+            .unwrap()
+            .decode_into(&mut sink2);
+        assert_eq!(store2[1], store[1]);
+        assert_eq!(store2[3][0], store[3][0]);
+    }
+
+    #[test]
+    fn memo_hit_miss_lifecycle() {
+        let mut memo = WireMemo::new();
+        let live3 = Liveness::all(3);
+        memo.observe_liveness(&live3);
+        // First submit is a miss; an identical resubmit hits.
+        assert!(!memo.submit(0, 1, 0, Channel::Reduce, &[1, 2, 3]));
+        assert!(memo.submit(0, 1, 0, Channel::Reduce, &[1, 2, 3]));
+        // Different key dimensions miss independently.
+        assert!(!memo.submit(0, 1, 1, Channel::Reduce, &[1, 2, 3]));
+        assert!(!memo.submit(0, 1, 0, Channel::Broadcast, &[1, 2, 3]));
+        assert!(!memo.submit(1, 0, 0, Channel::Reduce, &[1, 2, 3]));
+        // A changed list misses and re-caches.
+        assert!(!memo.submit(0, 1, 0, Channel::Reduce, &[1, 2]));
+        assert!(memo.submit(0, 1, 0, Channel::Reduce, &[1, 2]));
+        // Receiver-side store resolves value-only payloads.
+        memo.store(2, 0, 0, Channel::Broadcast, vec![7, 8]);
+        assert_eq!(memo.cached(2, 0, 0, Channel::Broadcast), Some(&[7, 8][..]));
+        assert_eq!(memo.cached(2, 0, 1, Channel::Broadcast), None);
+        // Liveness change clears everything …
+        let mut live2 = live3.clone();
+        live2.mark_dead(2);
+        memo.observe_liveness(&live2);
+        assert!(!memo.submit(0, 1, 0, Channel::Reduce, &[1, 2]));
+        assert_eq!(memo.cached(2, 0, 0, Channel::Broadcast), None);
+        // … an unchanged observation does not.
+        memo.observe_liveness(&live2);
+        assert!(memo.submit(0, 1, 0, Channel::Reduce, &[1, 2]));
+        // Epoch start clears too.
+        memo.begin_epoch();
+        assert!(!memo.submit(0, 1, 0, Channel::Reduce, &[1, 2]));
+    }
+
+    #[test]
+    fn memo_empty_lists_memoize_like_any_other() {
+        let mut memo = WireMemo::new();
+        assert!(!memo.submit(0, 1, 0, Channel::Reduce, &[]));
+        assert!(memo.submit(0, 1, 0, Channel::Reduce, &[]));
+        assert!(!memo.submit(0, 1, 0, Channel::Reduce, &[4]));
+        assert!(!memo.submit(0, 1, 0, Channel::Reduce, &[]));
+    }
+
+    #[test]
+    fn memo_stage_pool_recycles() {
+        let mut memo = WireMemo::new();
+        let mut stage = memo.take_stage(3);
+        assert_eq!(stage.len(), 3);
+        stage[1].extend_from_slice(&[1, 2, 3]);
+        memo.put_stage(stage);
+        let stage = memo.take_stage(2);
+        assert_eq!(stage.len(), 2);
+        assert!(stage.iter().all(Vec::is_empty), "stage lists come back cleared");
+        memo.put_stage(stage);
+        let stage = memo.take_stage(4);
+        assert_eq!(stage.len(), 4);
+    }
+
+    #[test]
+    fn wire_mode_parse_and_label() {
+        assert_eq!(WireMode::parse("id-value"), Some(WireMode::IdValue));
+        assert_eq!(WireMode::parse("memo"), Some(WireMode::Memo));
+        assert_eq!(WireMode::parse("memoized"), Some(WireMode::Memo));
+        assert_eq!(WireMode::parse("zip"), None);
+        assert_eq!(WireMode::default(), WireMode::IdValue);
+        assert_eq!(WireMode::IdValue.label(), "id-value");
+        assert_eq!(WireMode::Memo.label(), "memo");
     }
 
     fn sample_payload() -> Bytes {

@@ -24,7 +24,7 @@
 //!   sequential reference; these are the "classic graph analytics" proof
 //!   that the substrate is a real framework, not a Word2Vec one-off.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod algos;
 pub mod bsp;

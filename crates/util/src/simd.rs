@@ -69,6 +69,13 @@ pub struct Kernels {
     /// Fused SGNS gradient step: `neu1e += g·wout; wout += g·win`, reading
     /// each row once (`wout` is read before it is updated).
     pub fused_grad_step: fn(g: f32, win: &[f32], wout: &mut [f32], neu1e: &mut [f32]),
+    /// Bulk wire encode: serializes `values` as little-endian IEEE-754
+    /// bytes into `out` (`out.len() == 4·values.len()`), bit-preserving
+    /// (NaN payloads survive).
+    pub encode_rows: fn(values: &[f32], out: &mut [u8]),
+    /// Bulk wire decode: the exact inverse of `encode_rows`
+    /// (`src.len() == 4·values.len()`).
+    pub decode_rows: fn(src: &[u8], values: &mut [f32]),
 }
 
 static SCALAR_KERNELS: Kernels = Kernels {
@@ -79,6 +86,8 @@ static SCALAR_KERNELS: Kernels = Kernels {
     add_assign: scalar::add_assign,
     dot_norms: scalar::dot_norms,
     fused_grad_step: scalar::fused_grad_step,
+    encode_rows: scalar::encode_rows,
+    decode_rows: scalar::decode_rows,
 };
 
 #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
@@ -90,6 +99,8 @@ static AVX2_KERNELS: Kernels = Kernels {
     add_assign: |x, y| unsafe { avx2::add_assign(x, y) },
     dot_norms: |x, y| unsafe { avx2::dot_norms(x, y) },
     fused_grad_step: |g, win, wout, neu1e| unsafe { avx2::fused_grad_step(g, win, wout, neu1e) },
+    encode_rows: |values, out| unsafe { avx2::encode_rows(values, out) },
+    decode_rows: |src, values| unsafe { avx2::decode_rows(src, values) },
 };
 
 struct Selected {
@@ -255,6 +266,27 @@ pub mod scalar {
             let w = wout[i];
             neu1e[i] += g * w;
             wout[i] = w + g * win[i];
+        }
+    }
+
+    /// Serializes `values` as little-endian IEEE-754 bytes into `out`.
+    /// Pure bit movement (`to_bits` → `to_le_bytes`), so the result is
+    /// identical on every backend, including NaN payloads.
+    #[inline]
+    pub fn encode_rows(values: &[f32], out: &mut [u8]) {
+        debug_assert_eq!(out.len(), values.len() * 4);
+        for (v, b) in values.iter().zip(out.chunks_exact_mut(4)) {
+            b.copy_from_slice(&v.to_bits().to_le_bytes());
+        }
+    }
+
+    /// Deserializes little-endian IEEE-754 bytes from `src` into
+    /// `values`; the exact inverse of [`encode_rows`].
+    #[inline]
+    pub fn decode_rows(src: &[u8], values: &mut [f32]) {
+        debug_assert_eq!(src.len(), values.len() * 4);
+        for (v, b) in values.iter_mut().zip(src.chunks_exact(4)) {
+            *v = f32::from_bits(u32::from_le_bytes([b[0], b[1], b[2], b[3]]));
         }
     }
 }
@@ -469,6 +501,53 @@ mod avx2 {
             }
         }
     }
+
+    /// Bulk little-endian encode. On x86 the in-memory representation of
+    /// an `f32` *is* its little-endian wire form, so eight rows move per
+    /// 32-byte unaligned store; the tail falls back to the scalar
+    /// reference, which performs the identical bit movement.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn encode_rows(values: &[f32], out: &mut [u8]) {
+        debug_assert_eq!(out.len(), values.len() * 4);
+        let n = values.len();
+        let vp = values.as_ptr();
+        let op = out.as_mut_ptr();
+        // SAFETY: every 8-lane load reads within `values` and every
+        // 32-byte store writes within `out` (checked by the bound above).
+        unsafe {
+            let mut i = 0usize;
+            while i + 8 <= n {
+                let v = _mm256_loadu_ps(vp.add(i));
+                _mm256_storeu_si256(op.add(i * 4) as *mut __m256i, _mm256_castps_si256(v));
+                i += 8;
+            }
+            if i < n {
+                super::scalar::encode_rows(&values[i..], &mut out[i * 4..]);
+            }
+        }
+    }
+
+    /// Bulk little-endian decode; exact inverse of [`encode_rows`].
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn decode_rows(src: &[u8], values: &mut [f32]) {
+        debug_assert_eq!(src.len(), values.len() * 4);
+        let n = values.len();
+        let sp = src.as_ptr();
+        let vp = values.as_mut_ptr();
+        // SAFETY: every 32-byte load reads within `src` and every 8-lane
+        // store writes within `values` (checked by the bound above).
+        unsafe {
+            let mut i = 0usize;
+            while i + 8 <= n {
+                let v = _mm256_loadu_si256(sp.add(i * 4) as *const __m256i);
+                _mm256_storeu_ps(vp.add(i), _mm256_castsi256_ps(v));
+                i += 8;
+            }
+            if i < n {
+                super::scalar::decode_rows(&src[i * 4..], &mut values[i..]);
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -514,6 +593,48 @@ mod tests {
             assert_eq!(xy.to_bits(), scalar::dot(&x, &y).to_bits());
             assert_eq!(xx.to_bits(), scalar::dot(&x, &x).to_bits());
             assert_eq!(yy.to_bits(), scalar::dot(&y, &y).to_bits());
+        }
+    }
+
+    #[test]
+    fn scalar_codec_round_trips_bitwise() {
+        for d in [0usize, 1, 3, 7, 8, 9, 63, 64, 200] {
+            let values: Vec<f32> = (0..d)
+                .map(|i| f32::from_bits(0x7fc0_0001u32.wrapping_mul(i as u32 + 1)))
+                .collect();
+            let mut bytes = vec![0u8; d * 4];
+            scalar::encode_rows(&values, &mut bytes);
+            let mut back = vec![0.0f32; d];
+            scalar::decode_rows(&bytes, &mut back);
+            for (a, b) in values.iter().zip(&back) {
+                assert_eq!(a.to_bits(), b.to_bits(), "dim {d}");
+            }
+        }
+    }
+
+    #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+    #[test]
+    fn avx2_codec_bit_identical_to_scalar_when_supported() {
+        if !(std::arch::is_x86_feature_detected!("avx2")
+            && std::arch::is_x86_feature_detected!("fma"))
+        {
+            return;
+        }
+        let k = &AVX2_KERNELS;
+        for d in [0usize, 1, 7, 8, 9, 15, 16, 17, 100, 333] {
+            let values: Vec<f32> = (0..d).map(|i| (i as f32) * 0.37 - 11.5).collect();
+            let mut simd_bytes = vec![0u8; d * 4];
+            let mut ref_bytes = vec![0u8; d * 4];
+            (k.encode_rows)(&values, &mut simd_bytes);
+            scalar::encode_rows(&values, &mut ref_bytes);
+            assert_eq!(simd_bytes, ref_bytes, "encode diverged at dim {d}");
+            let mut simd_vals = vec![0.0f32; d];
+            let mut ref_vals = vec![0.0f32; d];
+            (k.decode_rows)(&ref_bytes, &mut simd_vals);
+            scalar::decode_rows(&ref_bytes, &mut ref_vals);
+            for (a, b) in simd_vals.iter().zip(&ref_vals) {
+                assert_eq!(a.to_bits(), b.to_bits(), "decode diverged at dim {d}");
+            }
         }
     }
 

@@ -59,6 +59,7 @@ fn dist_cfg(n_hosts: usize, rounds: usize) -> DistConfig {
         plan: SyncPlan::RepModelOpt,
         combiner: CombinerKind::ModelCombiner,
         cost: CostModel::infiniband_56g(),
+        wire: graph_word2vec::gluon::WireMode::IdValue,
     }
 }
 

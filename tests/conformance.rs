@@ -25,7 +25,7 @@ use graph_word2vec::corpus::vocab::{VocabBuilder, Vocabulary};
 use graph_word2vec::faults::FaultPlan;
 use graph_word2vec::gluon::cost::CostModel;
 use graph_word2vec::gluon::plan::SyncPlan;
-use graph_word2vec::gluon::ClusterConfig;
+use graph_word2vec::gluon::{ClusterConfig, WireMode};
 use std::path::PathBuf;
 use std::time::Duration;
 
@@ -71,6 +71,7 @@ fn dist_cfg(plan: SyncPlan) -> DistConfig {
         plan,
         combiner: CombinerKind::ModelCombiner,
         cost: CostModel::infiniband_56g(),
+        wire: WireMode::IdValue,
     }
 }
 
@@ -91,8 +92,16 @@ fn tmpdir(tag: &str) -> PathBuf {
 /// Runs both engines under `plan_str` and asserts model + pairs
 /// bit-identity; returns the pair for extra per-family assertions.
 fn run_pair(sync: SyncPlan, plan_str: &str) -> (TrainResult, TrainResult) {
+    run_pair_wire(sync, WireMode::IdValue, plan_str)
+}
+
+/// [`run_pair`] with an explicit wire payload mode.
+fn run_pair_wire(sync: SyncPlan, wire: WireMode, plan_str: &str) -> (TrainResult, TrainResult) {
     let (vocab, corpus, params) = prepare();
-    let cfg = dist_cfg(sync);
+    let cfg = DistConfig {
+        wire,
+        ..dist_cfg(sync)
+    };
     let plan = FaultPlan::parse(plan_str).expect("fault plan");
     let sim = DistributedTrainer::new(params.clone(), cfg)
         .with_faults(plan.clone())
@@ -272,4 +281,74 @@ fn threaded_resume_with_dormant_rejoin_is_bit_identical() {
         "engines must agree on the crash+rejoin run"
     );
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Memoized wire mode, faultless: the id-list caches on both ends must
+/// make identical hit/miss decisions in the analytic simulator and the
+/// threaded engine (analytic == measured bytes), training must stay
+/// bit-identical to the classic id+value mode, and the mode must never
+/// cost more bytes than classic. RepModel-Naive repeats its dense id
+/// lists every round, so from the second round of each epoch every
+/// payload is value-only — a strictly lower byte total.
+#[test]
+fn conformance_memo_faultless_all_plans() {
+    for sync in PLANS {
+        let (sim, thr) = run_pair_wire(sync, WireMode::Memo, "seed=7");
+        assert_eq!(
+            sim.stats, thr.stats,
+            "[{sync:?}] memoized counters must agree across engines"
+        );
+
+        let (vocab, corpus, params) = prepare();
+        let classic = DistributedTrainer::new(params, dist_cfg(sync)).train(&corpus, &vocab);
+        assert_eq!(
+            sim.model, classic.model,
+            "[{sync:?}] the wire mode must not change training arithmetic"
+        );
+        assert!(
+            sim.stats.total_bytes() <= classic.stats.total_bytes(),
+            "[{sync:?}] memoized mode must never ship more than classic"
+        );
+        if sync == SyncPlan::RepModelNaive {
+            assert!(
+                sim.stats.total_bytes() < classic.stats.total_bytes(),
+                "[{sync:?}] dense id lists repeat — memoization must save bytes"
+            );
+        }
+    }
+}
+
+/// Memoized mode under message corruption: drops and bit-flips hit the
+/// CRC-framed transport, not the caches (the `value_only` flag rides in
+/// the message metadata), so repair via NAK/resend leaves the decisions
+/// and the model untouched.
+#[test]
+fn conformance_memo_drops_and_flips_all_plans() {
+    for sync in PLANS {
+        let (sim, thr) = run_pair_wire(sync, WireMode::Memo, "seed=7,drop=0.03,flip=0.02");
+        assert_eq!(sim.stats.total_bytes(), thr.stats.total_bytes());
+    }
+}
+
+/// Memoized mode across a crash: the liveness change must invalidate
+/// every cache in both engines at the same round boundary.
+#[test]
+fn conformance_memo_crash_all_plans() {
+    for sync in PLANS {
+        let (sim, thr) = run_pair_wire(sync, WireMode::Memo, "seed=7,crash=1@2");
+        assert_eq!(sim.stats, thr.stats);
+        assert!(!sim.killed && !thr.killed);
+    }
+}
+
+/// Memoized mode across crash + re-admission: the rejoin flips liveness
+/// a second time (and re-enters the epoch loop on the rejoiner), so the
+/// caches are invalidated twice and rebuilt — both engines must land on
+/// identical bytes and bits.
+#[test]
+fn conformance_memo_rejoin_all_plans() {
+    for sync in PLANS {
+        let (sim, thr) = run_pair_wire(sync, WireMode::Memo, "seed=7,crash=1@1,rejoin=1@2");
+        assert_eq!(sim.stats, thr.stats);
+    }
 }

@@ -42,6 +42,18 @@ impl BytesMut {
         self.buf.is_empty()
     }
 
+    /// Resizes to `new_len` bytes, filling any growth with `value`
+    /// (mirrors `bytes::BytesMut::resize`).
+    pub fn resize(&mut self, new_len: usize, value: u8) {
+        self.buf.resize(new_len, value);
+    }
+
+    /// Mutable view of the written bytes (the real crate offers this via
+    /// `DerefMut<Target = [u8]>`); used for bulk in-place encoding.
+    pub fn as_mut_slice(&mut self) -> &mut [u8] {
+        &mut self.buf
+    }
+
     /// Freezes into an immutable, cheaply-cloneable buffer.
     pub fn freeze(self) -> Bytes {
         Bytes {
