@@ -6,6 +6,7 @@ use gw2v_bench::prepare;
 use gw2v_core::distributed::{DistConfig, DistributedTrainer};
 use gw2v_core::params::Hyperparams;
 use gw2v_core::trainer_batched::BatchedTrainer;
+use gw2v_core::trainer_hogbatch::HogBatchTrainer;
 use gw2v_core::trainer_hogwild::HogwildTrainer;
 use gw2v_core::trainer_seq::SequentialTrainer;
 use gw2v_corpus::datasets::{Scale, PRESETS};
@@ -32,6 +33,13 @@ fn bench_epoch(c: &mut Criterion) {
     group.bench_function("hogwild_2threads", |b| {
         b.iter(|| black_box(HogwildTrainer::new(params.clone(), 2).train(&d.corpus, &d.vocab)));
     });
+    for threads in [1usize, 2, 4] {
+        group.bench_function(format!("hogbatch_{threads}threads").as_str(), |b| {
+            b.iter(|| {
+                black_box(HogBatchTrainer::new(params.clone(), threads).train(&d.corpus, &d.vocab))
+            });
+        });
+    }
     for hosts in [4usize, 16] {
         group.bench_function(BenchmarkId::new("distributed", hosts), |b| {
             b.iter(|| {

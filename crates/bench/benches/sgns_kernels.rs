@@ -5,6 +5,7 @@ use gw2v_core::model::Word2VecModel;
 use gw2v_core::params::Hyperparams;
 use gw2v_core::setup::TrainSetup;
 use gw2v_core::sgns::{train_sentence, PlainStore, TrainScratch};
+use gw2v_core::trainer_hogbatch::{train_sentence_hogbatch, MinibatchScratch};
 use gw2v_corpus::vocab::{VocabBuilder, Vocabulary};
 use gw2v_util::fvec;
 use gw2v_util::rng::{Rng64, Xoshiro256};
@@ -32,6 +33,45 @@ fn bench_vector_kernels(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("axpy", dim), &dim, |b, _| {
             b.iter(|| fvec::axpy(black_box(0.01), black_box(&x), black_box(&mut y)));
         });
+    }
+    group.finish();
+}
+
+fn bench_gemm_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm");
+    // HogBatch's hot shapes: m = minibatch (window positives), n =
+    // 1 + negative targets, k = embedding dim.
+    for (m, n, k) in [(10usize, 6usize, 64usize), (10, 16, 200)] {
+        let a: Vec<f32> = (0..m * k).map(|i| (i as f32).sin()).collect();
+        let b_mat: Vec<f32> = (0..n * k).map(|i| (i as f32).cos()).collect();
+        let mut c_out = vec![0.0f32; m * n];
+        group.throughput(Throughput::Elements((m * n * k) as u64));
+        group.bench_with_input(
+            BenchmarkId::new("nt", format!("{m}x{n}x{k}")),
+            &k,
+            |bch, _| {
+                bch.iter(|| {
+                    c_out.iter_mut().for_each(|v| *v = 0.0);
+                    fvec::gemm_nt(m, n, k, black_box(&a), black_box(&b_mat), &mut c_out);
+                    black_box(&c_out);
+                });
+            },
+        );
+        // gemm_tn's hogbatch shape: grads[mb×nt]ᵀ-style rank-k update.
+        let g: Vec<f32> = (0..m * n).map(|i| (i as f32).sin()).collect();
+        let x: Vec<f32> = (0..m * k).map(|i| (i as f32).cos()).collect();
+        let mut delta = vec![0.0f32; n * k];
+        group.bench_with_input(
+            BenchmarkId::new("tn", format!("{n}x{k}x{m}")),
+            &k,
+            |bch, _| {
+                bch.iter(|| {
+                    delta.iter_mut().for_each(|v| *v = 0.0);
+                    fvec::gemm_tn(n, k, m, black_box(&g), black_box(&x), &mut delta);
+                    black_box(&delta);
+                });
+            },
+        );
     }
     group.finish();
 }
@@ -72,9 +112,35 @@ fn bench_train_sentence(c: &mut Criterion) {
                 });
             },
         );
+        let mut mb_scratch = MinibatchScratch::new();
+        let mut rng_hb = Xoshiro256::new(9);
+        group.bench_function(
+            BenchmarkId::new("train_sentence_hogbatch", format!("dim{dim}_neg{negative}")),
+            |b| {
+                b.iter(|| {
+                    let mut store = PlainStore {
+                        syn0: &mut model.syn0,
+                        syn1neg: &mut model.syn1neg,
+                    };
+                    black_box(train_sentence_hogbatch(
+                        &mut store,
+                        black_box(&sentence),
+                        0.025,
+                        &ctx,
+                        &mut rng_hb,
+                        &mut mb_scratch,
+                    ))
+                });
+            },
+        );
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_vector_kernels, bench_train_sentence);
+criterion_group!(
+    benches,
+    bench_vector_kernels,
+    bench_gemm_kernels,
+    bench_train_sentence
+);
 criterion_main!(benches);

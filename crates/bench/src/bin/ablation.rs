@@ -8,10 +8,10 @@ use gw2v_bench::{
 use gw2v_combiner::CombinerKind;
 use gw2v_core::distributed::{DistConfig, DistributedTrainer};
 use gw2v_core::params::SamplerChoice;
-use gw2v_gluon::plan::SyncPlan;
-use gw2v_gluon::wire::WireMode;
 use gw2v_corpus::datasets::{DatasetPreset, Scale};
 use gw2v_eval::analogy::evaluate;
+use gw2v_gluon::plan::SyncPlan;
+use gw2v_gluon::wire::WireMode;
 use gw2v_util::table::{fmt_secs, Align, Table};
 use serde::Serialize;
 

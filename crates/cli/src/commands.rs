@@ -6,6 +6,7 @@ use gw2v_core::distributed::{DistConfig, DistributedTrainer};
 use gw2v_core::model::Word2VecModel;
 use gw2v_core::params::Hyperparams;
 use gw2v_core::trainer_batched::BatchedTrainer;
+use gw2v_core::trainer_hogbatch::{HogBatchTrainer, SgnsMode};
 use gw2v_core::trainer_hogwild::HogwildTrainer;
 use gw2v_core::trainer_seq::SequentialTrainer;
 use gw2v_core::trainer_threaded::ThreadedTrainer;
@@ -36,12 +37,12 @@ USAGE:
   gw2v phrases   --input corpus.txt --out phrased.txt
                  [--threshold 100] [--discount 5]
   gw2v train     --input corpus.txt --out model.txt
-                 [--trainer seq|hogwild|batched|dist|threaded] [--hosts 8]
-                 [--sync-rounds N] [--dim 200] [--epochs 16]
+                 [--trainer seq|hogwild|hogbatch|batched|dist|threaded]
+                 [--hosts 8] [--sync-rounds N] [--dim 200] [--epochs 16]
                  [--negative 15] [--window 5] [--alpha 0.025]
                  [--combiner mc|avg|sum|mc-pairwise]
                  [--plan opt|naive|pull] [--wire id-value|memo]
-                 [--threads 4] [--seed 1]
+                 [--sgns per-pair|hogbatch] [--threads 4] [--seed 1]
                  [--min-count 1] [--subsample 1e-4]
                  [--fault-plan 'seed=7,drop=0.02,crash=1@3']
                  [--checkpoint-dir DIR] [--checkpoint-every 1] [--resume]
@@ -155,6 +156,13 @@ fn dist_config_from(args: &Args) -> Result<DistConfig, ArgError> {
     if let Some(w) = args.get("wire") {
         config.wire = WireMode::parse(w).ok_or_else(|| ArgError(format!("bad wire mode {w:?}")))?;
     }
+    if let Some(s) = args.get("sgns") {
+        config.sgns = match s {
+            "per-pair" => SgnsMode::PerPair,
+            "hogbatch" => SgnsMode::HogBatch,
+            other => return Err(ArgError(format!("bad sgns mode {other:?}"))),
+        };
+    }
     Ok(config)
 }
 
@@ -192,6 +200,7 @@ pub fn train(raw: &[String]) -> CmdResult {
         "combiner",
         "plan",
         "wire",
+        "sgns",
         "threads",
         "seed",
         "min-count",
@@ -218,6 +227,10 @@ pub fn train(raw: &[String]) -> CmdResult {
         "hogwild" => {
             let threads: usize = args.get_or("threads", 4)?;
             HogwildTrainer::new(params, threads).train(&corpus, &vocab)
+        }
+        "hogbatch" => {
+            let threads: usize = args.get_or("threads", 4)?;
+            HogBatchTrainer::new(params, threads).train(&corpus, &vocab)
         }
         "dist" => {
             let config = dist_config_from(&args)?;
@@ -455,6 +468,69 @@ mod tests {
         assert!(text.contains('_'), "{text}");
         std::fs::remove_file(&input).ok();
         std::fs::remove_file(&out).ok();
+    }
+
+    #[test]
+    fn hogbatch_trainer_and_sgns_mode_pipeline() {
+        let corpus = tmp("hb_corpus.txt");
+        let model = tmp("hb_model.txt");
+        generate(&s(&[
+            "--out", &corpus, "--scale", "tiny", "--tokens", "20000",
+        ]))
+        .expect("generate");
+        // Shared-memory HogBatch trainer.
+        train(&s(&[
+            "--input",
+            &corpus,
+            "--out",
+            &model,
+            "--trainer",
+            "hogbatch",
+            "--threads",
+            "2",
+            "--dim",
+            "16",
+            "--epochs",
+            "1",
+            "--negative",
+            "3",
+        ]))
+        .expect("hogbatch train");
+        // Distributed engine with the minibatch inner loop.
+        train(&s(&[
+            "--input",
+            &corpus,
+            "--out",
+            &model,
+            "--trainer",
+            "dist",
+            "--hosts",
+            "2",
+            "--sgns",
+            "hogbatch",
+            "--dim",
+            "16",
+            "--epochs",
+            "1",
+            "--negative",
+            "3",
+        ]))
+        .expect("dist --sgns hogbatch train");
+        // Bad mode is rejected up front.
+        assert!(train(&s(&[
+            "--input",
+            &corpus,
+            "--out",
+            &model,
+            "--trainer",
+            "dist",
+            "--sgns",
+            "bogus",
+        ]))
+        .is_err());
+        for f in [&corpus, &model] {
+            std::fs::remove_file(f).ok();
+        }
     }
 
     #[test]

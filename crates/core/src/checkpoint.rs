@@ -486,6 +486,7 @@ mod tests {
             combiner: CombinerKind::ModelCombiner,
             cost: CostModel::infiniband_56g(),
             wire: gw2v_gluon::wire::WireMode::IdValue,
+            sgns: crate::trainer_hogbatch::SgnsMode::PerPair,
         };
         let f = Checkpoint::fingerprint_of(&p, &cfg);
         assert_eq!(f, Checkpoint::fingerprint_of(&p, &cfg), "stable");

@@ -45,7 +45,8 @@ use crate::model::Word2VecModel;
 use crate::params::Hyperparams;
 use crate::schedule::LrSchedule;
 use crate::setup::{TrainSetup, HOST_RNG_BASE, RECOVERY_RNG_BASE};
-use crate::sgns::{train_sentence, RecordingStore, ReplicaStore, TrainScratch};
+use crate::sgns::{RecordingStore, ReplicaStore};
+use crate::trainer_hogbatch::{train_sentence_mode, MinibatchScratch, SgnsMode};
 use gw2v_combiner::CombinerKind;
 use gw2v_corpus::shard::Corpus;
 use gw2v_corpus::vocab::Vocabulary;
@@ -86,6 +87,10 @@ pub struct DistConfig {
     /// Wire payload mode (§4.4 / Table 3): classic id+value entries or
     /// the id-memoized value-only format.
     pub wire: WireMode,
+    /// SGNS inner loop: classic per-pair or shared-negative minibatch
+    /// (HogBatch). Part of the checkpoint fingerprint — the RNG streams
+    /// differ between modes, so a resume must match.
+    pub sgns: SgnsMode,
 }
 
 impl DistConfig {
@@ -111,6 +116,7 @@ impl DistConfig {
             combiner: CombinerKind::ModelCombiner,
             cost: CostModel::infiniband_56g(),
             wire: WireMode::IdValue,
+            sgns: SgnsMode::PerPair,
         }
     }
 }
@@ -260,7 +266,7 @@ impl DistributedTrainer {
         let mut comm_time = 0.0f64;
         let mut pairs_trained = 0u64;
         let mut processed = vec![0u64; h_count];
-        let mut scratch = TrainScratch::default();
+        let mut scratch = MinibatchScratch::new();
         let mut live = Liveness::all(h_count);
         // Adoption map for dead partitions: `adopters[d]` is the survivor
         // currently working host d's shard. A (re)assignment — first
@@ -433,7 +439,8 @@ impl DistributedTrainer {
                         let mut store = ReplicaStore {
                             replica: &mut replicas[h],
                         };
-                        pairs_trained += train_sentence(
+                        pairs_trained += train_sentence_mode(
+                            cfg.sgns,
                             &mut store,
                             sentence,
                             alpha,
@@ -469,7 +476,8 @@ impl DistributedTrainer {
                             let mut store = ReplicaStore {
                                 replica: &mut replicas[a],
                             };
-                            pairs_trained += train_sentence(
+                            pairs_trained += train_sentence_mode(
+                                cfg.sgns,
                                 &mut store,
                                 sentence,
                                 alpha,
@@ -504,7 +512,8 @@ impl DistributedTrainer {
                             let mut probe_rng = rngs[h];
                             let mut recorder = RecordingStore::new(n_words, p.dim);
                             for sentence in chunk.sentences() {
-                                train_sentence(
+                                train_sentence_mode(
+                                    cfg.sgns,
                                     &mut recorder,
                                     sentence,
                                     0.0,
@@ -522,7 +531,8 @@ impl DistributedTrainer {
                                 let ward_chunk = shards[d].round_chunk(next_s, s_count);
                                 let mut ward_rng = rngs[d];
                                 for sentence in ward_chunk.sentences() {
-                                    train_sentence(
+                                    train_sentence_mode(
+                                        cfg.sgns,
                                         &mut recorder,
                                         sentence,
                                         0.0,
@@ -765,6 +775,7 @@ mod tests {
 
     fn dist_cfg(n_hosts: usize, rounds: usize, plan: SyncPlan, comb: CombinerKind) -> DistConfig {
         DistConfig {
+            sgns: SgnsMode::PerPair,
             n_hosts,
             sync_rounds: rounds,
             plan,

@@ -26,6 +26,10 @@
 //!   atomics, paper §2.3).
 //! * [`trainer_batched`] — sentence-batched variant standing in for
 //!   Gensim ("GEN" in the paper's tables).
+//! * [`trainer_hogbatch`] — shared-negative minibatch trainer (HogBatch,
+//!   Ji et al.): window-sized GEMM updates through the dispatched
+//!   `gemm_nt`/`gemm_tn` microkernels, plus the [`SgnsMode`] switch that
+//!   lets the distributed/threaded engines run the same loop.
 //! * [`distributed`] — the GraphWord2Vec engine (Algorithm 1): per-host
 //!   worklists, per-round chunks, compute + synchronize loop, PullModel
 //!   inspection, virtual-time accounting, fault injection/recovery and
@@ -58,6 +62,7 @@ pub mod setup;
 pub mod sgns;
 pub mod sigmoid;
 pub mod trainer_batched;
+pub mod trainer_hogbatch;
 pub mod trainer_hogwild;
 pub mod trainer_seq;
 pub mod trainer_threaded;
@@ -66,5 +71,6 @@ pub use checkpoint::{Checkpoint, CheckpointError};
 pub use distributed::{DistConfig, DistributedTrainer, EpochSnapshot, TrainResult};
 pub use model::Word2VecModel;
 pub use params::Hyperparams;
+pub use trainer_hogbatch::{HogBatchTrainer, SgnsMode};
 pub use trainer_seq::SequentialTrainer;
 pub use trainer_threaded::ThreadedTrainer;

@@ -94,8 +94,8 @@ pub struct TrainContext<'a, S> {
 /// Reusable per-worker scratch buffers.
 #[derive(Clone, Debug, Default)]
 pub struct TrainScratch {
-    kept: Vec<u32>,
-    neu1e: Vec<f32>,
+    pub(crate) kept: Vec<u32>,
+    pub(crate) neu1e: Vec<f32>,
 }
 
 /// Trains one sentence; returns the number of (positive) pairs stepped.

@@ -17,6 +17,7 @@ use crate::params::Hyperparams;
 use crate::schedule::LrSchedule;
 use crate::setup::{Sampler, TrainSetup, HOST_RNG_BASE};
 use crate::sigmoid::SigmoidTable;
+use crate::trainer_hogbatch::MinibatchScratch;
 use gw2v_corpus::shard::Corpus;
 use gw2v_corpus::unigram::NegativeSampler;
 use gw2v_corpus::vocab::Vocabulary;
@@ -58,9 +59,10 @@ impl BatchedTrainer {
         );
         let mut rng = Xoshiro256::new(SplitMix64::new(p.seed).derive(HOST_RNG_BASE + 0x47));
         let mut processed = 0u64;
-        let mut kept: Vec<u32> = Vec::new();
-        let mut pairs: Vec<(u32, u32)> = Vec::new(); // (context/input, center/output)
-        let mut neu1e = vec![0.0f32; p.dim];
+        // The shared minibatch scratch pools the kept-token, pair-list
+        // and accumulator buffers across sentences and epochs.
+        let mut scratch = MinibatchScratch::new();
+        scratch.pair.neu1e.resize(p.dim, 0.0);
         let mut pairs_total: u64 = 0;
         for epoch in 0..p.epochs {
             let mut epoch_span = gw2v_obs::span("core.batched.epoch").epoch(epoch);
@@ -68,14 +70,15 @@ impl BatchedTrainer {
             for sentence in corpus.sentences() {
                 let alpha = schedule.alpha_at(processed);
                 // Pass 1: generate the sentence's pair batch.
-                kept.clear();
-                kept.extend(
+                scratch.pair.kept.clear();
+                scratch.pair.kept.extend(
                     sentence
                         .iter()
                         .copied()
                         .filter(|&w| setup.subsample.keep(w, &mut rng)),
                 );
-                pairs.clear();
+                let kept = &scratch.pair.kept;
+                scratch.pairs.clear();
                 for i in 0..kept.len() {
                     let b = rng.index(p.window);
                     let span = 2 * p.window + 1 - b;
@@ -87,11 +90,11 @@ impl BatchedTrainer {
                         if c < 0 || c as usize >= kept.len() {
                             continue;
                         }
-                        pairs.push((kept[c as usize], kept[i]));
+                        scratch.pairs.push((kept[c as usize], kept[i]));
                     }
                 }
                 // Pass 2: batched updates over the pair list.
-                for &(input, center) in &pairs {
+                for &(input, center) in &scratch.pairs {
                     train_pair(
                         &mut model,
                         input,
@@ -101,10 +104,10 @@ impl BatchedTrainer {
                         &setup.sigmoid,
                         &setup.sampler,
                         &mut rng,
-                        &mut neu1e,
+                        &mut scratch.pair.neu1e,
                     );
                 }
-                pairs_total += pairs.len() as u64;
+                pairs_total += scratch.pairs.len() as u64;
                 processed += sentence.len() as u64;
             }
             if gw2v_obs::enabled() {

@@ -1,0 +1,867 @@
+//! HogBatch shared-negative minibatch trainer (Ji et al.,
+//! arXiv:1604.04661 / arXiv:1611.06172).
+//!
+//! Per-pair SGNS ([`crate::sgns::train_sentence`]) walks one
+//! (context, target) edge at a time with level-1 `dot`/`axpy` kernels:
+//! every step re-reads both model rows, so the arithmetic intensity is
+//! too low for threads (or SIMD) to win anything — the shared rows
+//! bounce between per-pair atomic copies. HogBatch restructures the
+//! window update so each sentence window becomes a *minibatch*:
+//!
+//! ```text
+//! for each surviving center i:
+//!   inputs  = the context words of i's (shrunk) window   # mb rows
+//!   targets = [center] + negative samples (one shared set) # nt rows
+//!   X = syn0[inputs]    (gathered once)                   # mb×d
+//!   O = syn1neg[targets](gathered once)                   # nt×d
+//!   S = X·Oᵀ                                              # one GEMM
+//!   G[r,j] = (label_j − σ(S[r,j]))·α                      # elementwise
+//!   syn1neg[targets] += Gᵀ·X                              # rank-mb update
+//!   syn0[inputs]     += G·O                               # rank-nt update
+//! ```
+//!
+//! All three matrix products run through the dispatched
+//! [`fvec::gemm_nt`]/[`fvec::gemm_tn`] microkernels, so each gathered
+//! row is touched by register-blocked FMA code instead of `mb·nt`
+//! scalar-ish dot/axpy passes. The price is *staleness*: every product
+//! in a window sees the rows as gathered at the start of the window
+//! (plus one shared negative set per window instead of one per pair).
+//! Ji et al. show — and `tests/hogbatch_parity.rs` pins — that accuracy
+//! is statistically indistinguishable from the sequential trainer.
+//!
+//! The RNG discipline matters for the distributed engines: frequent-word
+//! subsampling and window shrinking make the same *kinds* of draws as
+//! the per-pair loop (the streams diverge after the first window, since
+//! one shared set consumes fewer draws than per-pair negatives), and the
+//! shared negative set is drawn *only when the window has at least one
+//! context* (the per-pair loop draws nothing for empty windows either).
+//! No stochastic choice depends on
+//! model values, so replaying a sentence against a recording
+//! [`BatchRows`] store with a cloned RNG predicts the touch set of the
+//! real execution exactly — the same property the PullModel inspection
+//! phase relies on for per-pair training.
+
+use crate::model::Word2VecModel;
+use crate::params::Hyperparams;
+use crate::schedule::LrSchedule;
+use crate::setup::{TrainSetup, HOST_RNG_BASE};
+use crate::sgns::{
+    train_sentence, PlainStore, RecordingStore, ReplicaStore, SgnsStore, TrainContext,
+    TrainScratch, LAYER_SYN0, LAYER_SYN1NEG,
+};
+use crate::trainer_hogwild::AtomicModel;
+use gw2v_corpus::shard::Corpus;
+use gw2v_corpus::unigram::NegativeSampler;
+use gw2v_corpus::vocab::Vocabulary;
+use gw2v_util::fvec;
+use gw2v_util::rng::{Rng64, SplitMix64, Xoshiro256};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+/// Which SGNS inner loop a trainer runs.
+///
+/// Part of [`crate::distributed::DistConfig`], so it feeds the
+/// checkpoint fingerprint: resuming a run under a different mode is
+/// rejected (the RNG streams differ, so the trajectories diverge).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SgnsMode {
+    /// Classic per-pair loop ([`train_sentence`]): one dot/axpy step per
+    /// (context, target) edge, fresh negatives per pair. Bit-compatible
+    /// with the reference C implementation.
+    PerPair,
+    /// Shared-negative minibatch loop ([`train_sentence_hogbatch`]): one
+    /// negative set per window, GEMM-shaped updates.
+    HogBatch,
+}
+
+/// Bulk row access for the minibatch gather/scatter phases.
+///
+/// The GEMM path never does arithmetic *through* the store — it gathers
+/// rows into dense scratch, computes there, and scatters additive deltas
+/// back. Stores only decide where rows live (plain matrices, a tracked
+/// replica, relaxed atomics) and what a delta write means (the recording
+/// store only takes notes). Method names deliberately avoid the
+/// [`SgnsStore`] names so one type can implement both traits without
+/// call-site ambiguity.
+pub trait BatchRows {
+    /// `false` for inspection-only stores: [`train_sentence_hogbatch`]
+    /// then skips the gather/GEMM/scatter arithmetic entirely and calls
+    /// [`BatchRows::add_in_delta`]/[`BatchRows::add_out_delta`] with
+    /// empty deltas, purely to mark the touch set. The RNG draws are
+    /// identical either way.
+    const COMPUTE: bool = true;
+    /// Vector dimensionality.
+    fn batch_dim(&self) -> usize;
+    /// Copies `syn0[row]` into `out`.
+    fn load_in(&self, row: u32, out: &mut [f32]);
+    /// Copies `syn1neg[row]` into `out`.
+    fn load_out(&self, row: u32, out: &mut [f32]);
+    /// `syn0[row] += delta`.
+    fn add_in_delta(&mut self, row: u32, delta: &[f32]);
+    /// `syn1neg[row] += delta`.
+    fn add_out_delta(&mut self, row: u32, delta: &[f32]);
+}
+
+impl BatchRows for PlainStore<'_> {
+    #[inline]
+    fn batch_dim(&self) -> usize {
+        self.syn0.dim()
+    }
+
+    #[inline]
+    fn load_in(&self, row: u32, out: &mut [f32]) {
+        out.copy_from_slice(self.syn0.row(row as usize));
+    }
+
+    #[inline]
+    fn load_out(&self, row: u32, out: &mut [f32]) {
+        out.copy_from_slice(self.syn1neg.row(row as usize));
+    }
+
+    #[inline]
+    fn add_in_delta(&mut self, row: u32, delta: &[f32]) {
+        fvec::add_assign(self.syn0.row_mut(row as usize), delta);
+    }
+
+    #[inline]
+    fn add_out_delta(&mut self, row: u32, delta: &[f32]) {
+        fvec::add_assign(self.syn1neg.row_mut(row as usize), delta);
+    }
+}
+
+impl BatchRows for ReplicaStore<'_> {
+    #[inline]
+    fn batch_dim(&self) -> usize {
+        self.replica.layers[LAYER_SYN0].dim()
+    }
+
+    #[inline]
+    fn load_in(&self, row: u32, out: &mut [f32]) {
+        out.copy_from_slice(self.replica.row(LAYER_SYN0, row));
+    }
+
+    #[inline]
+    fn load_out(&self, row: u32, out: &mut [f32]) {
+        out.copy_from_slice(self.replica.row(LAYER_SYN1NEG, row));
+    }
+
+    #[inline]
+    fn add_in_delta(&mut self, row: u32, delta: &[f32]) {
+        // Tracked write: `row_mut` snapshots the base on first touch so
+        // the synchronization phase ships the delta.
+        fvec::add_assign(self.replica.row_mut(LAYER_SYN0, row), delta);
+    }
+
+    #[inline]
+    fn add_out_delta(&mut self, row: u32, delta: &[f32]) {
+        fvec::add_assign(self.replica.row_mut(LAYER_SYN1NEG, row), delta);
+    }
+}
+
+impl BatchRows for RecordingStore {
+    const COMPUTE: bool = false;
+
+    #[inline]
+    fn batch_dim(&self) -> usize {
+        SgnsStore::dim(self)
+    }
+
+    #[inline]
+    fn load_in(&self, _row: u32, _out: &mut [f32]) {}
+
+    #[inline]
+    fn load_out(&self, _row: u32, _out: &mut [f32]) {}
+
+    #[inline]
+    fn add_in_delta(&mut self, row: u32, _delta: &[f32]) {
+        self.syn0_access.set(row as usize);
+    }
+
+    #[inline]
+    fn add_out_delta(&mut self, row: u32, _delta: &[f32]) {
+        self.syn1_access.set(row as usize);
+    }
+}
+
+/// Per-thread [`BatchRows`] view of a shared [`AtomicModel`].
+///
+/// Gathers copy each cell with one relaxed load, delta scatters are a
+/// read-modify-write per cell (load, SIMD `add_assign`, store) — the
+/// same deliberately racy Hogwild discipline as
+/// [`crate::trainer_hogwild::HogwildStore`], but amortized: a row is
+/// copied once per *window*, not once per (pair × negative) step.
+pub struct HogBatchStore<'a> {
+    model: &'a AtomicModel,
+    buf: Vec<f32>,
+}
+
+impl<'a> HogBatchStore<'a> {
+    /// Creates a worker view with dimension-sized scratch.
+    pub fn new(model: &'a AtomicModel) -> Self {
+        Self {
+            buf: vec![0.0; model.dim()],
+            model,
+        }
+    }
+}
+
+impl BatchRows for HogBatchStore<'_> {
+    #[inline]
+    fn batch_dim(&self) -> usize {
+        self.model.dim()
+    }
+
+    #[inline]
+    fn load_in(&self, row: u32, out: &mut [f32]) {
+        self.model.read_row0(row as usize, out);
+    }
+
+    #[inline]
+    fn load_out(&self, row: u32, out: &mut [f32]) {
+        self.model.read_row1(row as usize, out);
+    }
+
+    #[inline]
+    fn add_in_delta(&mut self, row: u32, delta: &[f32]) {
+        self.model.read_row0(row as usize, &mut self.buf);
+        fvec::add_assign(&mut self.buf, delta);
+        self.model.write_row0(row as usize, &self.buf);
+    }
+
+    #[inline]
+    fn add_out_delta(&mut self, row: u32, delta: &[f32]) {
+        self.model.read_row1(row as usize, &mut self.buf);
+        fvec::add_assign(&mut self.buf, delta);
+        self.model.write_row1(row as usize, &self.buf);
+    }
+}
+
+/// Pooled per-worker scratch for both SGNS loops.
+///
+/// Owns the per-pair [`TrainScratch`] plus every buffer the minibatch
+/// path gathers into, so a worker allocates nothing per sentence after
+/// the first window of the hot shape (same discipline as
+/// `gw2v_gluon::SyncScratch`): buffers grow to the high-water mark on
+/// first use and are reused verbatim afterwards. Create one per worker
+/// and keep it across epochs.
+#[derive(Clone, Debug, Default)]
+pub struct MinibatchScratch {
+    /// Per-pair scratch (`kept` doubles as the subsample buffer for the
+    /// minibatch loop; `neu1e` is the batched trainer's accumulator).
+    pub(crate) pair: TrainScratch,
+    /// Deferred (context, target) pairs for the batched trainer.
+    pub(crate) pairs: Vec<(u32, u32)>,
+    /// Context word ids of the current window (minibatch rows).
+    inputs: Vec<u32>,
+    /// Center + shared negative ids of the current window.
+    targets: Vec<u32>,
+    /// Gathered `syn0[inputs]`, `mb×d` row-major.
+    x: Vec<f32>,
+    /// Gathered `syn1neg[targets]`, `nt×d` row-major.
+    o: Vec<f32>,
+    /// `X·Oᵀ` scores, `mb×nt`.
+    scores: Vec<f32>,
+    /// Elementwise gradient, `mb×nt`.
+    grads: Vec<f32>,
+    /// Transposed gradient, `nt×mb` (tiny; feeds the `syn0` update).
+    grads_t: Vec<f32>,
+    /// `G·O` deltas for `syn0[inputs]`, `mb×d`.
+    in_delta: Vec<f32>,
+    /// `Gᵀ·X` deltas for `syn1neg[targets]`, `nt×d`.
+    out_delta: Vec<f32>,
+    minibatches: u64,
+    shared_negatives: u64,
+}
+
+impl MinibatchScratch {
+    /// Creates an empty scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drains the `(minibatches, shared_negatives)` counters accumulated
+    /// since the last call — flush them into `gw2v-obs` once per worker
+    /// per epoch, not per sentence.
+    pub fn take_stats(&mut self) -> (u64, u64) {
+        let stats = (self.minibatches, self.shared_negatives);
+        self.minibatches = 0;
+        self.shared_negatives = 0;
+        stats
+    }
+}
+
+/// Trains one sentence with shared-negative minibatches; returns the
+/// number of (positive) pairs stepped, like [`train_sentence`].
+///
+/// Subsampling and window shrinking consume `rng` exactly as the
+/// per-pair loop does; the negative draws differ by construction (one
+/// set per window instead of one per pair), so the two modes are
+/// trajectory-different but accuracy-equivalent.
+pub fn train_sentence_hogbatch<M, S, R>(
+    rows: &mut M,
+    sentence: &[u32],
+    alpha: f32,
+    ctx: &TrainContext<'_, S>,
+    rng: &mut R,
+    scratch: &mut MinibatchScratch,
+) -> u64
+where
+    M: BatchRows,
+    S: NegativeSampler,
+    R: Rng64,
+{
+    debug_assert!(ctx.window >= 1);
+    let d = rows.batch_dim();
+    scratch.pair.kept.clear();
+    scratch.pair.kept.extend(
+        sentence
+            .iter()
+            .copied()
+            .filter(|&w| ctx.subsample.keep(w, rng)),
+    );
+    let mut pairs = 0u64;
+    for i in 0..scratch.pair.kept.len() {
+        let kept = &scratch.pair.kept;
+        let center = kept[i];
+        // Random window shrink, same draw as the per-pair loop.
+        let b = rng.index(ctx.window);
+        let span = 2 * ctx.window + 1 - b;
+        scratch.inputs.clear();
+        for a in b..span {
+            if a == ctx.window {
+                continue;
+            }
+            let c = i as isize + a as isize - ctx.window as isize;
+            if c < 0 || c as usize >= kept.len() {
+                continue;
+            }
+            scratch.inputs.push(kept[c as usize]);
+        }
+        if scratch.inputs.is_empty() {
+            // The per-pair loop draws no negatives for an empty window
+            // either; keeping that invariant keeps inspection replays in
+            // lock-step with execution.
+            continue;
+        }
+        // One shared negative set for the whole window. Accidental hits
+        // on the center are skipped (not redrawn), as in the C code.
+        scratch.targets.clear();
+        scratch.targets.push(center);
+        for _ in 0..ctx.negative {
+            let t = ctx.sampler.sample(rng);
+            if t != center {
+                scratch.targets.push(t);
+            }
+        }
+        let mb = scratch.inputs.len();
+        let nt = scratch.targets.len();
+        scratch.minibatches += 1;
+        scratch.shared_negatives += (nt - 1) as u64;
+        pairs += mb as u64;
+        if !M::COMPUTE {
+            // Inspection: mark the rows the real run will read & write.
+            for &t in &scratch.targets {
+                rows.add_out_delta(t, &[]);
+            }
+            for &w in &scratch.inputs {
+                rows.add_in_delta(w, &[]);
+            }
+            continue;
+        }
+        // Gather. Each row is copied once per window, no matter how many
+        // products it participates in.
+        scratch.x.resize(mb * d, 0.0);
+        for (r, &w) in scratch.inputs.iter().enumerate() {
+            rows.load_in(w, &mut scratch.x[r * d..(r + 1) * d]);
+        }
+        scratch.o.resize(nt * d, 0.0);
+        for (j, &t) in scratch.targets.iter().enumerate() {
+            rows.load_out(t, &mut scratch.o[j * d..(j + 1) * d]);
+        }
+        // Scores: S[mb×nt] = X·Oᵀ in one GEMM.
+        scratch.scores.resize(mb * nt, 0.0);
+        scratch.scores.fill(0.0);
+        fvec::gemm_nt(mb, nt, d, &scratch.x, &scratch.o, &mut scratch.scores);
+        // Elementwise gradient; column 0 is the positive (the center).
+        scratch.grads.resize(mb * nt, 0.0);
+        for r in 0..mb {
+            for j in 0..nt {
+                let label = if j == 0 { 1.0f32 } else { 0.0 };
+                let f = scratch.scores[r * nt + j];
+                scratch.grads[r * nt + j] = (label - ctx.sigmoid.value(f)) * alpha;
+            }
+        }
+        // Gᵀ for the syn0 update (tiny: mb·nt floats).
+        scratch.grads_t.resize(nt * mb, 0.0);
+        for r in 0..mb {
+            for j in 0..nt {
+                scratch.grads_t[j * mb + r] = scratch.grads[r * nt + j];
+            }
+        }
+        // Rank-mb update of the targets: ΔO[nt×d] = Gᵀ·X. `gemm_tn`
+        // reads A as [k×m] and applies the transpose itself, so G
+        // ([mb×nt] = [k×m]) goes in untransposed.
+        scratch.out_delta.resize(nt * d, 0.0);
+        scratch.out_delta.fill(0.0);
+        fvec::gemm_tn(
+            nt,
+            d,
+            mb,
+            &scratch.grads,
+            &scratch.x,
+            &mut scratch.out_delta,
+        );
+        // Rank-nt update of the inputs: ΔX[mb×d] = G·O, via Gᵀᵀ.
+        scratch.in_delta.resize(mb * d, 0.0);
+        scratch.in_delta.fill(0.0);
+        fvec::gemm_tn(
+            mb,
+            d,
+            nt,
+            &scratch.grads_t,
+            &scratch.o,
+            &mut scratch.in_delta,
+        );
+        // Scatter. Sequential `+=` per row: duplicate ids (repeated
+        // negatives, a word appearing twice in a window) accumulate both
+        // deltas, each computed against the start-of-window gather —
+        // the HogBatch staleness contract.
+        for (j, &t) in scratch.targets.iter().enumerate() {
+            rows.add_out_delta(t, &scratch.out_delta[j * d..(j + 1) * d]);
+        }
+        for (r, &w) in scratch.inputs.iter().enumerate() {
+            rows.add_in_delta(w, &scratch.in_delta[r * d..(r + 1) * d]);
+        }
+    }
+    pairs
+}
+
+/// Dispatches one sentence to the configured SGNS inner loop.
+///
+/// The distributed and threaded engines call this at every training and
+/// inspection site so a single `SgnsMode` value switches the whole
+/// engine between loops.
+#[inline]
+pub fn train_sentence_mode<M, S, R>(
+    mode: SgnsMode,
+    store: &mut M,
+    sentence: &[u32],
+    alpha: f32,
+    ctx: &TrainContext<'_, S>,
+    rng: &mut R,
+    scratch: &mut MinibatchScratch,
+) -> u64
+where
+    M: SgnsStore + BatchRows,
+    S: NegativeSampler,
+    R: Rng64,
+{
+    match mode {
+        SgnsMode::PerPair => train_sentence(store, sentence, alpha, ctx, rng, &mut scratch.pair),
+        SgnsMode::HogBatch => train_sentence_hogbatch(store, sentence, alpha, ctx, rng, scratch),
+    }
+}
+
+/// Multi-threaded shared-memory HogBatch trainer.
+///
+/// Threading structure is identical to
+/// [`crate::trainer_hogwild::HogwildTrainer`] — racing threads over an
+/// [`AtomicModel`], contiguous token-balanced shards, a shared progress
+/// counter for the learning-rate schedule, exact epoch boundaries — only
+/// the inner loop differs. That makes `hogwild` vs `hogbatch` benches an
+/// apples-to-apples measurement of the minibatch restructuring.
+pub struct HogBatchTrainer {
+    /// Hyperparameters.
+    pub params: Hyperparams,
+    /// Number of racing worker threads.
+    pub n_threads: usize,
+}
+
+impl HogBatchTrainer {
+    /// Creates a trainer with `n_threads` workers.
+    pub fn new(params: Hyperparams, n_threads: usize) -> Self {
+        assert!(n_threads > 0);
+        Self { params, n_threads }
+    }
+
+    /// Trains and returns the model.
+    pub fn train(&self, corpus: &Corpus, vocab: &Vocabulary) -> Word2VecModel {
+        self.train_with_callback(corpus, vocab, |_, _| {})
+    }
+
+    /// Trains with a per-epoch callback (observes a settled model).
+    /// Per-thread RNGs, stores and scratches persist across epochs, so
+    /// steady-state epochs allocate nothing.
+    pub fn train_with_callback(
+        &self,
+        corpus: &Corpus,
+        vocab: &Vocabulary,
+        mut on_epoch: impl FnMut(usize, &Word2VecModel),
+    ) -> Word2VecModel {
+        let p = &self.params;
+        let setup = TrainSetup::new(vocab, p);
+        let init = Word2VecModel::init(vocab.len(), p.dim, p.seed);
+        let atomic = AtomicModel::from_model(&init);
+        let schedule = LrSchedule::new(
+            p.alpha,
+            p.min_alpha_frac,
+            corpus.total_tokens() as u64,
+            p.epochs,
+        );
+        let progress = AtomicU64::new(0);
+        let root = SplitMix64::new(p.seed);
+        // Same per-thread RNG derivation as Hogwild: thread t on the
+        // same seed sees the same stream regardless of the inner loop.
+        let mut workers: Vec<(Xoshiro256, HogBatchStore<'_>, MinibatchScratch)> = (0..self
+            .n_threads)
+            .map(|t| {
+                (
+                    Xoshiro256::new(root.derive(HOST_RNG_BASE + t as u64)),
+                    HogBatchStore::new(&atomic),
+                    MinibatchScratch::new(),
+                )
+            })
+            .collect();
+
+        for epoch in 0..p.epochs {
+            let mut epoch_span = gw2v_obs::span("core.hogbatch.epoch").epoch(epoch);
+            std::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for (t, (rng, store, scratch)) in workers.iter_mut().enumerate() {
+                    let shard = corpus.partition(t, self.n_threads);
+                    let setup = &setup;
+                    let progress = &progress;
+                    let schedule = &schedule;
+                    handles.push(scope.spawn(move || {
+                        let ctx = setup.ctx(p);
+                        let mut pairs: u64 = 0;
+                        for sentence in shard.sentences() {
+                            let done = progress.load(Relaxed);
+                            let alpha = schedule.alpha_at(done);
+                            pairs +=
+                                train_sentence_hogbatch(store, sentence, alpha, &ctx, rng, scratch);
+                            progress.fetch_add(sentence.len() as u64, Relaxed);
+                        }
+                        // One registry touch per counter per thread per
+                        // epoch.
+                        let (minibatches, shared_negatives) = scratch.take_stats();
+                        gw2v_obs::add("core.hogbatch.pairs", pairs);
+                        gw2v_obs::add("sgns.minibatches", minibatches);
+                        gw2v_obs::add("sgns.shared_negatives", shared_negatives);
+                    }));
+                }
+                for h in handles {
+                    h.join().expect("hogbatch worker panicked");
+                }
+            });
+            if gw2v_obs::enabled() {
+                epoch_span.field("threads", self.n_threads as f64);
+            }
+            drop(epoch_span);
+            let snapshot = atomic.snapshot();
+            on_epoch(epoch, &snapshot);
+        }
+        drop(workers);
+        atomic.into_model()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sigmoid::SigmoidTable;
+    use gw2v_corpus::subsample::SubsampleTable;
+    use gw2v_corpus::tokenizer::TokenizerConfig;
+    use gw2v_corpus::unigram::AliasSampler;
+    use gw2v_corpus::vocab::VocabBuilder;
+    use gw2v_gluon::ModelReplica;
+
+    struct Fixture {
+        sampler: AliasSampler,
+        sigmoid: SigmoidTable,
+        subsample: SubsampleTable,
+    }
+
+    impl Fixture {
+        fn new(n: usize) -> Self {
+            let mut b = VocabBuilder::new();
+            for i in 0..n {
+                for _ in 0..(2 * (n - i)) {
+                    b.add_token(&format!("w{i:03}"));
+                }
+            }
+            let vocab = b.build(1);
+            let sampler = AliasSampler::from_vocab(&vocab);
+            Self {
+                subsample: SubsampleTable::new(&vocab, 0.0), // keep all
+                sigmoid: SigmoidTable::new(),
+                sampler,
+            }
+        }
+
+        fn ctx(&self, window: usize, negative: usize) -> TrainContext<'_, AliasSampler> {
+            TrainContext {
+                window,
+                negative,
+                sigmoid: &self.sigmoid,
+                sampler: &self.sampler,
+                subsample: &self.subsample,
+            }
+        }
+    }
+
+    fn corpus() -> (Corpus, Vocabulary) {
+        let mut text = String::new();
+        for i in 0..300 {
+            if i % 2 == 0 {
+                text.push_str("x0 x1 x2 x1 x0\n");
+            } else {
+                text.push_str("y0 y1 y2 y1 y0\n");
+            }
+        }
+        let mut b = VocabBuilder::new();
+        for tok in text.split_whitespace() {
+            b.add_token(tok);
+        }
+        let vocab = b.build(1);
+        let cfg = TokenizerConfig {
+            lowercase: false,
+            max_sentence_len: 5,
+        };
+        (Corpus::from_text(&text, &vocab, cfg), vocab)
+    }
+
+    #[test]
+    fn hogbatch_sentence_is_deterministic() {
+        let fx = Fixture::new(12);
+        let sentence: Vec<u32> = vec![0, 3, 5, 7, 2, 1];
+        let ctx = fx.ctx(3, 5);
+        let run = || {
+            let mut model = Word2VecModel::init(12, 8, 11);
+            let mut rng = Xoshiro256::new(42);
+            let mut scratch = MinibatchScratch::new();
+            let mut store = PlainStore {
+                syn0: &mut model.syn0,
+                syn1neg: &mut model.syn1neg,
+            };
+            let pairs =
+                train_sentence_hogbatch(&mut store, &sentence, 0.025, &ctx, &mut rng, &mut scratch);
+            (model, pairs, scratch.take_stats())
+        };
+        let (m1, p1, s1) = run();
+        let (m2, p2, s2) = run();
+        assert_eq!(p1, p2);
+        assert_eq!(s1, s2);
+        assert_eq!(m1, m2);
+        assert!(p1 > 0);
+        assert!(s1.0 > 0, "no minibatches counted");
+        assert!(s1.1 > 0, "no shared negatives counted");
+    }
+
+    #[test]
+    fn hogbatch_counts_same_pairs_as_per_pair() {
+        // With window=1 and a two-token sentence every window holds
+        // exactly one context, so both loops draw the same number of
+        // negatives and their RNG streams stay in lock-step — the pair
+        // counts must then match exactly. (Longer windows interleave
+        // draws differently, so counts legitimately diverge there.)
+        let fx = Fixture::new(15);
+        let sentence: Vec<u32> = vec![4, 9];
+        let ctx = fx.ctx(1, 4);
+        let mut model_a = Word2VecModel::init(15, 12, 77);
+        let mut rng_a = Xoshiro256::new(9);
+        let mut scratch_a = TrainScratch::default();
+        let mut store_a = PlainStore {
+            syn0: &mut model_a.syn0,
+            syn1neg: &mut model_a.syn1neg,
+        };
+        let per_pair = train_sentence(
+            &mut store_a,
+            &sentence,
+            0.03,
+            &ctx,
+            &mut rng_a,
+            &mut scratch_a,
+        );
+        let mut model_b = Word2VecModel::init(15, 12, 77);
+        let mut rng_b = Xoshiro256::new(9);
+        let mut scratch_b = MinibatchScratch::new();
+        let mut store_b = PlainStore {
+            syn0: &mut model_b.syn0,
+            syn1neg: &mut model_b.syn1neg,
+        };
+        let hogbatch = train_sentence_hogbatch(
+            &mut store_b,
+            &sentence,
+            0.03,
+            &ctx,
+            &mut rng_b,
+            &mut scratch_b,
+        );
+        assert_eq!(per_pair, hogbatch);
+        assert!(per_pair > 0);
+    }
+
+    #[test]
+    fn hogbatch_positive_pair_similarity_increases() {
+        let fx = Fixture::new(10);
+        let mut model = Word2VecModel::init(10, 16, 3);
+        let sentence = vec![1u32, 2];
+        let ctx = fx.ctx(2, 3);
+        let before = fvec::dot(model.syn0.row(2), model.syn1neg.row(1));
+        let mut rng = Xoshiro256::new(5);
+        let mut scratch = MinibatchScratch::new();
+        for _ in 0..200 {
+            let mut store = PlainStore {
+                syn0: &mut model.syn0,
+                syn1neg: &mut model.syn1neg,
+            };
+            train_sentence_hogbatch(&mut store, &sentence, 0.05, &ctx, &mut rng, &mut scratch);
+        }
+        let after = fvec::dot(model.syn0.row(2), model.syn1neg.row(1));
+        assert!(after > before + 0.5, "dot went {before} -> {after}");
+    }
+
+    #[test]
+    fn recording_store_predicts_hogbatch_touch_sets_exactly() {
+        let fx = Fixture::new(20);
+        let sentence: Vec<u32> = vec![3, 8, 15, 1, 0, 19, 4, 4, 7];
+        let ctx = fx.ctx(3, 6);
+        // Inspection replay with a cloned RNG...
+        let mut rng_inspect = Xoshiro256::new(123);
+        let mut recorder = RecordingStore::new(20, 10);
+        let mut scratch = MinibatchScratch::new();
+        train_sentence_hogbatch(
+            &mut recorder,
+            &sentence,
+            0.025,
+            &ctx,
+            &mut rng_inspect,
+            &mut scratch,
+        );
+        // ...then the real execution with the same starting RNG state.
+        let init = Word2VecModel::init(20, 10, 5);
+        let mut replica = ModelReplica::new(vec![init.syn0, init.syn1neg]);
+        let mut rng_real = Xoshiro256::new(123);
+        {
+            let mut store = ReplicaStore {
+                replica: &mut replica,
+            };
+            train_sentence_hogbatch(
+                &mut store,
+                &sentence,
+                0.025,
+                &ctx,
+                &mut rng_real,
+                &mut scratch,
+            );
+        }
+        assert_eq!(
+            &recorder.syn0_access,
+            replica.tracker(LAYER_SYN0).touched_bits(),
+            "inspection must predict syn0 touches exactly"
+        );
+        assert_eq!(
+            &recorder.syn1_access,
+            replica.tracker(LAYER_SYN1NEG).touched_bits(),
+            "inspection must predict syn1neg touches exactly"
+        );
+        // And the RNGs advanced identically.
+        assert_eq!(rng_inspect.next_u64(), rng_real.next_u64());
+    }
+
+    #[test]
+    fn replica_store_matches_plain_store_under_hogbatch() {
+        let fx = Fixture::new(15);
+        let sentence: Vec<u32> = vec![4, 9, 1, 0, 13, 2, 6];
+        let ctx = fx.ctx(2, 4);
+        let mut model = Word2VecModel::init(15, 12, 77);
+        let mut rng_a = Xoshiro256::new(9);
+        let mut scratch = MinibatchScratch::new();
+        {
+            let mut store = PlainStore {
+                syn0: &mut model.syn0,
+                syn1neg: &mut model.syn1neg,
+            };
+            train_sentence_hogbatch(&mut store, &sentence, 0.03, &ctx, &mut rng_a, &mut scratch);
+        }
+        let init = Word2VecModel::init(15, 12, 77);
+        let mut replica = ModelReplica::new(vec![init.syn0, init.syn1neg]);
+        let mut rng_b = Xoshiro256::new(9);
+        {
+            let mut store = ReplicaStore {
+                replica: &mut replica,
+            };
+            train_sentence_hogbatch(&mut store, &sentence, 0.03, &ctx, &mut rng_b, &mut scratch);
+        }
+        assert_eq!(model.syn0, replica.layers[LAYER_SYN0]);
+        assert_eq!(model.syn1neg, replica.layers[LAYER_SYN1NEG]);
+    }
+
+    #[test]
+    fn hogbatch_single_thread_is_deterministic() {
+        let (corpus, vocab) = corpus();
+        let params = Hyperparams {
+            epochs: 2,
+            ..Hyperparams::test_scale()
+        };
+        let a = HogBatchTrainer::new(params.clone(), 1).train(&corpus, &vocab);
+        let b = HogBatchTrainer::new(params, 1).train(&corpus, &vocab);
+        assert_eq!(a, b, "1-thread HogBatch must be run-to-run deterministic");
+    }
+
+    #[test]
+    fn hogbatch_multi_thread_still_learns() {
+        let (corpus, vocab) = corpus();
+        let params = Hyperparams {
+            dim: 24,
+            epochs: 6,
+            negative: 5,
+            subsample: 0.0,
+            ..Hyperparams::test_scale()
+        };
+        let model = HogBatchTrainer::new(params, 4).train(&corpus, &vocab);
+        let emb = |w: &str| model.embedding(vocab.id_of(w).unwrap());
+        let same = fvec::cosine(emb("x0"), emb("x1"));
+        let cross = fvec::cosine(emb("x0"), emb("y1"));
+        assert!(same > cross, "same {same} vs cross {cross}");
+        assert!(model.syn0.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn mode_dispatch_routes_both_loops() {
+        let fx = Fixture::new(10);
+        let sentence: Vec<u32> = vec![1, 2, 3, 4, 5];
+        let ctx = fx.ctx(2, 3);
+        let run = |mode: SgnsMode| {
+            let mut model = Word2VecModel::init(10, 8, 4);
+            let mut rng = Xoshiro256::new(17);
+            let mut scratch = MinibatchScratch::new();
+            let mut store = PlainStore {
+                syn0: &mut model.syn0,
+                syn1neg: &mut model.syn1neg,
+            };
+            let pairs = train_sentence_mode(
+                mode,
+                &mut store,
+                &sentence,
+                0.025,
+                &ctx,
+                &mut rng,
+                &mut scratch,
+            );
+            (model, pairs, scratch.take_stats().0)
+        };
+        let (m_pp, p_pp, mb_pp) = run(SgnsMode::PerPair);
+        let (m_hb, p_hb, mb_hb) = run(SgnsMode::HogBatch);
+        // Both loops train; only HogBatch counts minibatches.
+        assert!(p_pp > 0);
+        assert!(p_hb > 0);
+        assert_eq!(mb_pp, 0);
+        assert!(mb_hb > 0);
+        // The trajectories legitimately differ (different negative-draw
+        // discipline) — but both trained.
+        let init = Word2VecModel::init(10, 8, 4);
+        assert_ne!(m_pp, init);
+        assert_ne!(m_hb, init);
+    }
+}

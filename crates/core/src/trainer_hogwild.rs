@@ -17,7 +17,8 @@ use crate::model::Word2VecModel;
 use crate::params::Hyperparams;
 use crate::schedule::LrSchedule;
 use crate::setup::{TrainSetup, HOST_RNG_BASE};
-use crate::sgns::{train_sentence, SgnsStore, TrainScratch};
+use crate::sgns::{train_sentence, SgnsStore};
+use crate::trainer_hogbatch::MinibatchScratch;
 use gw2v_corpus::shard::Corpus;
 use gw2v_corpus::vocab::Vocabulary;
 use gw2v_util::fvec;
@@ -71,9 +72,15 @@ impl AtomicModel {
         )
     }
 
+    /// Embedding dimensionality.
+    #[inline]
+    pub(crate) fn dim(&self) -> usize {
+        self.dim
+    }
+
     /// Copies `syn0[row]` into `out` (one relaxed load per cell).
     #[inline]
-    fn read_row0(&self, row: usize, out: &mut [f32]) {
+    pub(crate) fn read_row0(&self, row: usize, out: &mut [f32]) {
         let base = row * self.dim;
         for (i, slot) in out.iter_mut().enumerate() {
             *slot = f32::from_bits(self.syn0[base + i].load(Relaxed));
@@ -82,7 +89,7 @@ impl AtomicModel {
 
     /// Copies `syn1neg[row]` into `out`.
     #[inline]
-    fn read_row1(&self, row: usize, out: &mut [f32]) {
+    pub(crate) fn read_row1(&self, row: usize, out: &mut [f32]) {
         let base = row * self.dim;
         for (i, slot) in out.iter_mut().enumerate() {
             *slot = f32::from_bits(self.syn1neg[base + i].load(Relaxed));
@@ -91,7 +98,7 @@ impl AtomicModel {
 
     /// Writes `vals` into `syn0[row]` (one relaxed store per cell).
     #[inline]
-    fn write_row0(&self, row: usize, vals: &[f32]) {
+    pub(crate) fn write_row0(&self, row: usize, vals: &[f32]) {
         let base = row * self.dim;
         for (i, &v) in vals.iter().enumerate() {
             self.syn0[base + i].store(v.to_bits(), Relaxed);
@@ -100,7 +107,7 @@ impl AtomicModel {
 
     /// Writes `vals` into `syn1neg[row]`.
     #[inline]
-    fn write_row1(&self, row: usize, vals: &[f32]) {
+    pub(crate) fn write_row1(&self, row: usize, vals: &[f32]) {
         let base = row * self.dim;
         for (i, &v) in vals.iter().enumerate() {
             self.syn1neg[base + i].store(v.to_bits(), Relaxed);
@@ -213,8 +220,9 @@ impl HogwildTrainer {
 
     /// Trains with a per-epoch callback: each epoch spawns a fresh thread
     /// scope (threads race within an epoch; epoch boundaries are exact),
-    /// so the callback observes a settled model. Per-thread RNGs persist
-    /// across epochs.
+    /// so the callback observes a settled model. Per-thread RNGs, stores
+    /// and scratches persist across epochs, so steady-state epochs
+    /// allocate nothing.
     pub fn train_with_callback(
         &self,
         corpus: &Corpus,
@@ -233,35 +241,43 @@ impl HogwildTrainer {
         );
         let progress = AtomicU64::new(0);
         let root = SplitMix64::new(p.seed);
-        let mut rngs: Vec<Xoshiro256> = (0..self.n_threads)
-            .map(|t| Xoshiro256::new(root.derive(HOST_RNG_BASE + t as u64)))
+        // Per-thread state hoisted outside the epoch loop: the RNG (so
+        // streams continue across epochs), the store (its row staging
+        // buffers) and the pooled scratch are each allocated once per
+        // run, never per epoch or per sentence.
+        let mut workers: Vec<(Xoshiro256, HogwildStore<'_>, MinibatchScratch)> = (0..self
+            .n_threads)
+            .map(|t| {
+                (
+                    Xoshiro256::new(root.derive(HOST_RNG_BASE + t as u64)),
+                    HogwildStore::new(&atomic),
+                    MinibatchScratch::new(),
+                )
+            })
             .collect();
 
         for epoch in 0..p.epochs {
             let mut epoch_span = gw2v_obs::span("core.hogwild.epoch").epoch(epoch);
             std::thread::scope(|scope| {
                 let mut handles = Vec::new();
-                for (t, rng) in rngs.iter_mut().enumerate() {
+                for (t, (rng, store, scratch)) in workers.iter_mut().enumerate() {
                     let shard = corpus.partition(t, self.n_threads);
-                    let atomic = &atomic;
                     let setup = &setup;
                     let progress = &progress;
                     let schedule = &schedule;
                     handles.push(scope.spawn(move || {
                         let ctx = setup.ctx(p);
-                        let mut scratch = TrainScratch::default();
-                        let mut store = HogwildStore::new(atomic);
                         let mut pairs: u64 = 0;
                         for sentence in shard.sentences() {
                             let done = progress.load(Relaxed);
                             let alpha = schedule.alpha_at(done);
                             pairs += train_sentence(
-                                &mut store,
+                                store,
                                 sentence,
                                 alpha,
                                 &ctx,
                                 rng,
-                                &mut scratch,
+                                &mut scratch.pair,
                             );
                             progress.fetch_add(sentence.len() as u64, Relaxed);
                         }
@@ -281,6 +297,7 @@ impl HogwildTrainer {
             let snapshot = atomic.snapshot();
             on_epoch(epoch, &snapshot);
         }
+        drop(workers);
         atomic.into_model()
     }
 }

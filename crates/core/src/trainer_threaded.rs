@@ -41,7 +41,8 @@ use crate::model::Word2VecModel;
 use crate::params::Hyperparams;
 use crate::schedule::LrSchedule;
 use crate::setup::{TrainSetup, HOST_RNG_BASE, RECOVERY_RNG_BASE};
-use crate::sgns::{train_sentence, RecordingStore, ReplicaStore, TrainScratch};
+use crate::sgns::{RecordingStore, ReplicaStore};
+use crate::trainer_hogbatch::{train_sentence_mode, MinibatchScratch};
 use gw2v_corpus::shard::{Corpus, CorpusShard};
 use gw2v_corpus::vocab::Vocabulary;
 use gw2v_faults::{counters, FaultPlan};
@@ -349,7 +350,7 @@ impl ThreadedTrainer {
                 let mut processed = 0u64;
                 let mut stats = CommStats::default();
                 let mut pairs = 0u64;
-                let mut scratch = TrainScratch::default();
+                let mut scratch = MinibatchScratch::new();
                 let mut sync_scratch = ThreadedSyncScratch::new();
                 // Per-host id-list memoization cache (wire = memo). Holds
                 // this host's sender keys (self→*) and receiver keys
@@ -569,7 +570,8 @@ impl ThreadedTrainer {
                             let mut store = ReplicaStore {
                                 replica: &mut replica,
                             };
-                            pairs += train_sentence(
+                            pairs += train_sentence_mode(
+                                cfg.sgns,
                                 &mut store,
                                 sentence,
                                 alpha,
@@ -586,7 +588,8 @@ impl ThreadedTrainer {
                                 let mut store = ReplicaStore {
                                     replica: &mut replica,
                                 };
-                                pairs += train_sentence(
+                                pairs += train_sentence_mode(
+                                    cfg.sgns,
                                     &mut store,
                                     sentence,
                                     alpha,
@@ -616,7 +619,8 @@ impl ThreadedTrainer {
                                 let mut recorder = RecordingStore::new(n_words, p.dim);
                                 let mut probe_rng = rng;
                                 for sentence in shard.round_chunk(next_s, s_count).sentences() {
-                                    train_sentence(
+                                    train_sentence_mode(
+                                        cfg.sgns,
                                         &mut recorder,
                                         sentence,
                                         0.0,
@@ -631,7 +635,8 @@ impl ThreadedTrainer {
                                     for sentence in
                                         ward_shard.round_chunk(next_s, s_count).sentences()
                                     {
-                                        train_sentence(
+                                        train_sentence_mode(
+                                            cfg.sgns,
                                             &mut recorder,
                                             sentence,
                                             0.0,
@@ -882,6 +887,7 @@ mod tests {
             combiner: CombinerKind::ModelCombiner,
             cost: CostModel::infiniband_56g(),
             wire: WireMode::IdValue,
+            sgns: crate::trainer_hogbatch::SgnsMode::PerPair,
         }
     }
 
@@ -900,6 +906,30 @@ mod tests {
         assert_eq!(sim.pairs_trained, thr.pairs_trained);
         assert_eq!(sim.stats.total_bytes(), thr.stats.total_bytes());
         assert_eq!(sim.stats.rounds, thr.stats.rounds);
+    }
+
+    #[test]
+    fn hogbatch_threaded_matches_simulator_bitwise() {
+        // PullModel + HogBatch is the strictest combination: both the
+        // training and the inspection-replay sites must dispatch to the
+        // minibatch loop identically in both engines.
+        let (corpus, vocab) = corpus(90);
+        let params = Hyperparams {
+            epochs: 2,
+            ..Hyperparams::test_scale()
+        };
+        let dc = DistConfig {
+            plan: SyncPlan::PullModel,
+            sgns: crate::trainer_hogbatch::SgnsMode::HogBatch,
+            ..cfg(3, 2)
+        };
+        let sim = DistributedTrainer::new(params.clone(), dc).train(&corpus, &vocab);
+        let thr = ThreadedTrainer::new(params, dc)
+            .train(&corpus, &vocab)
+            .expect("hogbatch cluster run");
+        assert_eq!(sim.model, thr.model, "engines must agree bit-for-bit");
+        assert_eq!(sim.pairs_trained, thr.pairs_trained);
+        assert_eq!(sim.stats.total_bytes(), thr.stats.total_bytes());
     }
 
     #[test]

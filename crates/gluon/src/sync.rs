@@ -333,7 +333,7 @@ pub fn sync_round_degraded(
                     for owner in 0..n_hosts {
                         if live.effective_master(owner) == m {
                             for node in master_block(n_nodes, n_hosts, owner) {
-                                stage[m].push(node as u32);
+                                stage[m].push(node);
                             }
                         }
                     }
@@ -433,8 +433,13 @@ pub fn sync_round_degraded(
                         if peer == sender || !live.is_alive(peer) {
                             continue;
                         }
-                        let hit =
-                            m_.submit(sender, peer, layer, Channel::Broadcast, &bcast_stage[sender]);
+                        let hit = m_.submit(
+                            sender,
+                            peer,
+                            layer,
+                            Channel::Broadcast,
+                            &bcast_stage[sender],
+                        );
                         let per = if hit { vbytes } else { ebytes };
                         let bytes = bcast_stage[sender].len() as u64 * per;
                         if bytes > 0 {
@@ -463,7 +468,7 @@ pub fn sync_round_degraded(
                         for owner in 0..n_hosts {
                             if live.effective_master(owner) == m {
                                 for node in master_block(n_nodes, n_hosts, owner) {
-                                    stage[m].push(node as u32);
+                                    stage[m].push(node);
                                 }
                             }
                         }

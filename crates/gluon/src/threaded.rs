@@ -74,6 +74,10 @@ use std::fmt;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+/// Verified payloads collected for one sync phase, keyed by
+/// `(sender host, layer)`; the `bool` is the sender's `value_only` tag.
+type PhasePayloads = HashMap<(usize, usize), (Bytes, bool)>;
+
 /// A cluster-fabric failure surfaced to the caller instead of a panic.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ClusterError {
@@ -530,7 +534,7 @@ impl HostCtx {
         &self,
         live: &Liveness,
         n_layers: usize,
-    ) -> Result<HashMap<(usize, usize), (Bytes, bool)>, ClusterError> {
+    ) -> Result<PhasePayloads, ClusterError> {
         let seq = self.seq.get();
         let cfg = self.state.config;
         let expected: Vec<(usize, usize)> = (0..self.n_hosts)
@@ -1023,7 +1027,7 @@ pub fn sync_round_threaded_degraded(
                     for owner in 0..n_hosts {
                         if live.effective_master(owner) == m {
                             for node in master_block(n_nodes, n_hosts, owner) {
-                                stage[m].push(node as u32);
+                                stage[m].push(node);
                             }
                         }
                     }
@@ -1143,9 +1147,13 @@ pub fn sync_round_threaded_degraded(
                             slab.acc_mut(node, cfg.combiner, dim).push(row);
                             updated_per_layer[layer].set(node as usize);
                         }
-                        memo.as_deref_mut()
-                            .expect("memo mode")
-                            .store(h, ctx.host, layer, Channel::Reduce, ids);
+                        memo.as_deref_mut().expect("memo mode").store(
+                            h,
+                            ctx.host,
+                            layer,
+                            Channel::Reduce,
+                            ids,
+                        );
                     } else {
                         while let Some((node, row)) = dec.next_entry() {
                             slab.acc_mut(node, cfg.combiner, dim).push(row);
@@ -1202,7 +1210,13 @@ pub fn sync_round_threaded_degraded(
                     // The response from `peer` will carry exactly this
                     // list in this order; cache it now so a value-only
                     // response resolves without a round trip.
-                    m_.store(peer, ctx.host, layer, Channel::Broadcast, enc.ids().to_vec());
+                    m_.store(
+                        peer,
+                        ctx.host,
+                        layer,
+                        Channel::Broadcast,
+                        enc.ids().to_vec(),
+                    );
                 }
                 ctx.ship(peer, layer, enc.finish(), false)?;
             }
@@ -1336,9 +1350,13 @@ pub fn sync_round_threaded_degraded(
                     ids.push(node);
                     replica.row_mut_untracked(layer, node).copy_from_slice(row);
                 }
-                memo.as_deref_mut()
-                    .expect("memo mode")
-                    .store(h, ctx.host, layer, Channel::Broadcast, ids);
+                memo.as_deref_mut().expect("memo mode").store(
+                    h,
+                    ctx.host,
+                    layer,
+                    Channel::Broadcast,
+                    ids,
+                );
             } else {
                 let mut sink = |node: u32| -> *mut [f32] { replica.row_mut_untracked(layer, node) };
                 RowDecoder::new(payload, dim).decode_into(&mut sink);

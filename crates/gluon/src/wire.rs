@@ -9,8 +9,9 @@
 //!
 //! Two payload layouts exist, selected per run by [`WireMode`]:
 //!
-//! * **Id+value** ([`WireMode::IdValue`], the default) — each entry is a
-//!   `u32` node id followed by `dim` `f32`s ([`entry_bytes`] bytes).
+//! * **Id+value** ([`WireMode::IdValue`], the default) — every entry
+//!   contributes a `u32` node id and `dim` `f32`s ([`entry_bytes`]
+//!   bytes), laid out struct-of-arrays: all ids first, then all rows.
 //!   Self-describing: the receiver learns *which* rows it got from the
 //!   payload itself. Encoded by [`RowEncoder::finish`], decoded by
 //!   [`RowDecoder`].
@@ -34,12 +35,17 @@
 //!
 //! # Format invariants
 //!
-//! * **Layout** — a buffer is a contiguous sequence of fixed-size
-//!   entries. Id+value: `4 + 4·dim` bytes per entry ([`entry_bytes`]), a
-//!   little-endian `u32` node id then `dim` little-endian IEEE-754
-//!   `f32`s. Value-only: `4·dim` bytes per entry ([`value_bytes`]), the
-//!   `f32`s alone in cached-id-list order. No header, no padding, no
-//!   alignment requirement.
+//! * **Layout** — struct-of-arrays. Id+value: all `n` little-endian
+//!   `u32` node ids first, then all `n·dim` little-endian IEEE-754
+//!   `f32`s in the same order — `n` is self-describing
+//!   (`buf.len() / entry_bytes(dim)`), and the total is still
+//!   [`entry_bytes`]`(dim)` per entry, so byte accounting is unchanged
+//!   from the historical interleaved layout. Value-only: `4·dim` bytes
+//!   per entry ([`value_bytes`]), the `f32`s alone in cached-id-list
+//!   order. No header, no padding, no alignment requirement. Keeping
+//!   the two regions contiguous is what lets the codec run as two bulk
+//!   copies (one `memcpy`-shaped id pass, one SIMD value pass) instead
+//!   of `n` interleaved gather/scatter steps.
 //! * **Self-describing length** — `buf.len()` must be an exact multiple
 //!   of the entry size; [`RowDecoder`] asserts this and [`ValueDecoder`]
 //!   additionally requires the length to match the cached id list
@@ -180,23 +186,19 @@ impl RowEncoder {
         &self.ids
     }
 
-    /// Serializes the staged batch as an id+value buffer (bulk-encoded
-    /// through the SIMD kernel table). Non-consuming: the batch stays
+    /// Serializes the staged batch as an id+value buffer: the id region
+    /// as one pass, then the whole value region in a single bulk call
+    /// through the SIMD kernel table. Non-consuming: the batch stays
     /// staged.
     pub fn finish(&self) -> Bytes {
-        let k = kernels();
         let mut buf = BytesMut::new();
         buf.resize(self.byte_len(), 0);
         let out = buf.as_mut_slice();
-        let row_bytes = value_bytes(self.dim);
+        let ids_end = self.ids.len() * 4;
         for (i, &node) in self.ids.iter().enumerate() {
-            let off = i * entry_bytes(self.dim);
-            out[off..off + 4].copy_from_slice(&node.to_le_bytes());
-            (k.encode_rows)(
-                &self.values[i * self.dim..(i + 1) * self.dim],
-                &mut out[off + 4..off + 4 + row_bytes],
-            );
+            out[i * 4..i * 4 + 4].copy_from_slice(&node.to_le_bytes());
         }
+        (kernels().encode_rows)(&self.values, &mut out[ids_end..]);
         buf.freeze()
     }
 
@@ -230,15 +232,23 @@ where
 
 /// Iterator decoding an id+value buffer produced by
 /// [`RowEncoder::finish`].
+///
+/// The struct-of-arrays layout lets construction decode the *entire*
+/// value region with one bulk kernel call; iteration and
+/// [`decode_into`](RowDecoder::decode_into) then only hand out (or
+/// `memcpy`) slices of the already-decoded block — no per-row kernel
+/// dispatch.
 pub struct RowDecoder {
     dim: usize,
     buf: Bytes,
-    pos: usize,
-    row: Vec<f32>,
+    count: usize,
+    next: usize,
+    values: Vec<f32>,
 }
 
 impl RowDecoder {
-    /// Creates a decoder for rows of length `dim`.
+    /// Creates a decoder for rows of length `dim`, bulk-decoding the
+    /// value region up front.
     pub fn new(buf: Bytes, dim: usize) -> Self {
         assert_eq!(
             buf.len() % entry_bytes(dim),
@@ -247,56 +257,46 @@ impl RowDecoder {
             buf.len(),
             entry_bytes(dim)
         );
+        let count = buf.len() / entry_bytes(dim);
+        let mut values = vec![0.0; count * dim];
+        (kernels().decode_rows)(&buf.as_slice()[count * 4..], &mut values);
         Self {
             dim,
             buf,
-            pos: 0,
-            row: vec![0.0; dim],
+            count,
+            next: 0,
+            values,
         }
     }
 
     /// Decodes the next entry, exposing the row as a borrowed slice
     /// (valid until the next call).
     pub fn next_entry(&mut self) -> Option<(u32, &[f32])> {
-        if self.pos >= self.buf.len() {
+        if self.next >= self.count {
             return None;
         }
         let src = self.buf.as_slice();
-        let node = u32::from_le_bytes([
-            src[self.pos],
-            src[self.pos + 1],
-            src[self.pos + 2],
-            src[self.pos + 3],
-        ]);
-        let start = self.pos + 4;
-        (kernels().decode_rows)(&src[start..start + value_bytes(self.dim)], &mut self.row);
-        self.pos += entry_bytes(self.dim);
-        Some((node, self.row.as_slice()))
+        let off = self.next * 4;
+        let node = u32::from_le_bytes([src[off], src[off + 1], src[off + 2], src[off + 3]]);
+        let row = &self.values[self.next * self.dim..(self.next + 1) * self.dim];
+        self.next += 1;
+        Some((node, row))
     }
 
     /// Number of entries remaining.
     pub fn remaining(&self) -> usize {
-        (self.buf.len() - self.pos) / entry_bytes(self.dim)
+        self.count - self.next
     }
 
-    /// Decodes every remaining entry directly into `sink`'s row storage
-    /// (no intermediate copy through the decoder's row buffer).
+    /// Copies every remaining entry directly into `sink`'s row storage.
     pub fn decode_into<S: RowSink>(&mut self, sink: &mut S) {
         let src = self.buf.as_slice();
-        let k = kernels();
-        while self.pos < self.buf.len() {
-            let node = u32::from_le_bytes([
-                src[self.pos],
-                src[self.pos + 1],
-                src[self.pos + 2],
-                src[self.pos + 3],
-            ]);
-            let start = self.pos + 4;
-            (k.decode_rows)(
-                &src[start..start + value_bytes(self.dim)],
-                sink.row_mut(node),
-            );
-            self.pos += entry_bytes(self.dim);
+        while self.next < self.count {
+            let off = self.next * 4;
+            let node = u32::from_le_bytes([src[off], src[off + 1], src[off + 2], src[off + 3]]);
+            sink.row_mut(node)
+                .copy_from_slice(&self.values[self.next * self.dim..(self.next + 1) * self.dim]);
+            self.next += 1;
         }
     }
 }
@@ -307,14 +307,14 @@ impl RowDecoder {
 #[derive(Debug)]
 pub struct ValueDecoder<'a> {
     dim: usize,
-    buf: Bytes,
     ids: &'a [u32],
     next: usize,
-    row: Vec<f32>,
+    values: Vec<f32>,
 }
 
 impl<'a> ValueDecoder<'a> {
-    /// Creates a decoder pairing `buf`'s rows with `ids`; fails with
+    /// Creates a decoder pairing `buf`'s rows with `ids`,
+    /// bulk-decoding the whole payload up front; fails with
     /// [`WireError::BadLength`] when the payload does not carry exactly
     /// one row per cached id (a stale or mismatched cache).
     pub fn new(buf: Bytes, dim: usize, ids: &'a [u32]) -> Result<Self, WireError> {
@@ -325,12 +325,13 @@ impl<'a> ValueDecoder<'a> {
                 actual: buf.len(),
             });
         }
+        let mut values = vec![0.0; ids.len() * dim];
+        (kernels().decode_rows)(buf.as_slice(), &mut values);
         Ok(Self {
             dim,
-            buf,
             ids,
             next: 0,
-            row: vec![0.0; dim],
+            values,
         })
     }
 
@@ -338,23 +339,16 @@ impl<'a> ValueDecoder<'a> {
     /// (valid until the next call).
     pub fn next_entry(&mut self) -> Option<(u32, &[f32])> {
         let node = *self.ids.get(self.next)?;
-        let start = self.next * value_bytes(self.dim);
-        (kernels().decode_rows)(
-            &self.buf.as_slice()[start..start + value_bytes(self.dim)],
-            &mut self.row,
-        );
+        let row = &self.values[self.next * self.dim..(self.next + 1) * self.dim];
         self.next += 1;
-        Some((node, self.row.as_slice()))
+        Some((node, row))
     }
 
-    /// Decodes every remaining entry directly into `sink`'s row storage.
+    /// Copies every remaining entry directly into `sink`'s row storage.
     pub fn decode_into<S: RowSink>(&mut self, sink: &mut S) {
-        let src = self.buf.as_slice();
-        let k = kernels();
-        let row_bytes = value_bytes(self.dim);
         while let Some(&node) = self.ids.get(self.next) {
-            let start = self.next * row_bytes;
-            (k.decode_rows)(&src[start..start + row_bytes], sink.row_mut(node));
+            sink.row_mut(node)
+                .copy_from_slice(&self.values[self.next * self.dim..(self.next + 1) * self.dim]);
             self.next += 1;
         }
     }
@@ -621,6 +615,26 @@ mod tests {
     }
 
     #[test]
+    fn soa_layout_pins_byte_positions() {
+        let mut enc = RowEncoder::new(2);
+        enc.push(7, &[1.0, 2.0]);
+        enc.push(9, &[3.0, 4.0]);
+        let buf = enc.finish();
+        assert_eq!(buf.len(), 2 * entry_bytes(2));
+        let b = buf.as_slice();
+        // Id region first: one LE u32 per entry, in push order.
+        assert_eq!(&b[0..4], &7u32.to_le_bytes());
+        assert_eq!(&b[4..8], &9u32.to_le_bytes());
+        // Then the value region: rows back to back, in push order.
+        assert_eq!(&b[8..12], &1.0f32.to_le_bytes());
+        assert_eq!(&b[12..16], &2.0f32.to_le_bytes());
+        assert_eq!(&b[16..20], &3.0f32.to_le_bytes());
+        assert_eq!(&b[20..24], &4.0f32.to_le_bytes());
+        // The value region is byte-identical to the value-only payload.
+        assert_eq!(&b[8..], enc.finish_values().as_slice());
+    }
+
+    #[test]
     fn empty_buffer() {
         let enc = RowEncoder::new(5);
         assert_eq!(enc.byte_len(), 0);
@@ -769,7 +783,10 @@ mod tests {
         memo.put_stage(stage);
         let stage = memo.take_stage(2);
         assert_eq!(stage.len(), 2);
-        assert!(stage.iter().all(Vec::is_empty), "stage lists come back cleared");
+        assert!(
+            stage.iter().all(Vec::is_empty),
+            "stage lists come back cleared"
+        );
         memo.put_stage(stage);
         let stage = memo.take_stage(4);
         assert_eq!(stage.len(), 4);

@@ -96,6 +96,25 @@ pub fn normalize(x: &mut [f32]) {
     }
 }
 
+/// Small-matrix GEMM, "NT" shape: `C[m×n] += A[m×k] · B[n×k]ᵀ`, all
+/// row-major. `C[i][j]` accumulates `row_i(A) · row_j(B)` — the HogBatch
+/// score kernel, where `A` gathers input rows, `B` gathers target rows,
+/// and `k` is the embedding dimension. Accumulate semantics: zero `c`
+/// first for a fresh product.
+#[inline]
+pub fn gemm_nt(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    (kernels().gemm_nt)(m, n, k, a, b, c)
+}
+
+/// Small-matrix GEMM, "TN" shape: `C[m×n] += A[k×m]ᵀ · B[k×n]`, all
+/// row-major. `C[i][j]` accumulates `Σ_l A[l][i] · B[l][j]` — the
+/// HogBatch rank-`k` update kernel, where `A` is the tiny gradient
+/// matrix, `B` gathers rows, and `n` is the embedding dimension.
+#[inline]
+pub fn gemm_tn(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    (kernels().gemm_tn)(m, n, k, a, b, c)
+}
+
 /// A flat matrix of `rows` vectors of dimension `dim`, stored row-major in
 /// one contiguous allocation.
 ///

@@ -32,6 +32,10 @@ use std::sync::OnceLock;
 /// Signature of the one-pass `(x·y, x·x, y·y)` kernel.
 pub type DotNormsFn = fn(x: &[f32], y: &[f32]) -> (f32, f32, f32);
 
+/// Signature of the small-matrix GEMM kernels (`gemm_nt`/`gemm_tn`):
+/// `C[m×n] += op(A) · op(B)` with `k` the contraction length.
+pub type GemmFn = fn(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]);
+
 /// The per-backend kernel function table.
 ///
 /// # Dispatch contract
@@ -76,6 +80,19 @@ pub struct Kernels {
     /// Bulk wire decode: the exact inverse of `encode_rows`
     /// (`src.len() == 4·values.len()`).
     pub decode_rows: fn(src: &[u8], values: &mut [f32]),
+    /// Small-matrix GEMM, "NT" shape: `C[m×n] += A[m×k] · B[n×k]ᵀ`.
+    /// All matrices row-major; `B` holds `n` rows of length `k`, so each
+    /// `C[i][j]` accumulates the dot product of row `i` of `A` with row
+    /// `j` of `B`. This is the HogBatch *score* kernel: `A` = gathered
+    /// input rows, `B` = gathered target rows, `k` = embedding dim
+    /// (register-blocked for the dim ∈ {64, 200} hot sizes).
+    pub gemm_nt: GemmFn,
+    /// Small-matrix GEMM, "TN" shape: `C[m×n] += A[k×m]ᵀ · B[k×n]`.
+    /// All matrices row-major; `C[i][j]` accumulates
+    /// `Σ_l A[l][i] · B[l][j]`. This is the HogBatch *rank-k update*
+    /// kernel: `A` = the (tiny) gradient matrix, `B` = gathered rows,
+    /// `n` = embedding dim.
+    pub gemm_tn: GemmFn,
 }
 
 static SCALAR_KERNELS: Kernels = Kernels {
@@ -88,6 +105,8 @@ static SCALAR_KERNELS: Kernels = Kernels {
     fused_grad_step: scalar::fused_grad_step,
     encode_rows: scalar::encode_rows,
     decode_rows: scalar::decode_rows,
+    gemm_nt: scalar::gemm_nt,
+    gemm_tn: scalar::gemm_tn,
 };
 
 #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
@@ -101,6 +120,8 @@ static AVX2_KERNELS: Kernels = Kernels {
     fused_grad_step: |g, win, wout, neu1e| unsafe { avx2::fused_grad_step(g, win, wout, neu1e) },
     encode_rows: |values, out| unsafe { avx2::encode_rows(values, out) },
     decode_rows: |src, values| unsafe { avx2::decode_rows(src, values) },
+    gemm_nt: |m, n, k, a, b, c| unsafe { avx2::gemm_nt(m, n, k, a, b, c) },
+    gemm_tn: |m, n, k, a, b, c| unsafe { avx2::gemm_tn(m, n, k, a, b, c) },
 };
 
 struct Selected {
@@ -287,6 +308,38 @@ pub mod scalar {
         debug_assert_eq!(src.len(), values.len() * 4);
         for (v, b) in values.iter_mut().zip(src.chunks_exact(4)) {
             *v = f32::from_bits(u32::from_le_bytes([b[0], b[1], b[2], b[3]]));
+        }
+    }
+
+    /// `C[m×n] += A[m×k] · B[n×k]ᵀ`, row-major. Each output element is
+    /// one [`dot`] call over rows of `A` and `B`, so every entry carries
+    /// the reference dot product's exact accumulator fold.
+    pub fn gemm_nt(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+        debug_assert_eq!(a.len(), m * k);
+        debug_assert_eq!(b.len(), n * k);
+        debug_assert_eq!(c.len(), m * n);
+        for i in 0..m {
+            let ar = &a[i * k..(i + 1) * k];
+            let cr = &mut c[i * n..(i + 1) * n];
+            for j in 0..n {
+                cr[j] += dot(ar, &b[j * k..(j + 1) * k]);
+            }
+        }
+    }
+
+    /// `C[m×n] += A[k×m]ᵀ · B[k×n]`, row-major. Row `i` of `C`
+    /// accumulates `Σ_l A[l][i] · row_l(B)`, applied as `k` successive
+    /// [`axpy`] calls in increasing-`l` order — the accumulation order is
+    /// part of the reference semantics.
+    pub fn gemm_tn(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+        debug_assert_eq!(a.len(), k * m);
+        debug_assert_eq!(b.len(), k * n);
+        debug_assert_eq!(c.len(), m * n);
+        for l in 0..k {
+            let br = &b[l * n..(l + 1) * n];
+            for i in 0..m {
+                axpy(a[l * m + i], br, &mut c[i * n..(i + 1) * n]);
+            }
         }
     }
 }
@@ -502,28 +555,22 @@ mod avx2 {
         }
     }
 
-    /// Bulk little-endian encode. On x86 the in-memory representation of
-    /// an `f32` *is* its little-endian wire form, so eight rows move per
-    /// 32-byte unaligned store; the tail falls back to the scalar
-    /// reference, which performs the identical bit movement.
+    /// Bulk little-endian encode. x86-64 is little-endian, so the
+    /// in-memory representation of an `f32` slice *is* its wire form and
+    /// the whole payload moves as one `memcpy` — libc's wide-vector /
+    /// `rep movsb` paths beat any hand-rolled 32-byte lane loop on the
+    /// multi-KiB buffers the codec ships.
     #[target_feature(enable = "avx2", enable = "fma")]
     pub unsafe fn encode_rows(values: &[f32], out: &mut [u8]) {
         debug_assert_eq!(out.len(), values.len() * 4);
-        let n = values.len();
-        let vp = values.as_ptr();
-        let op = out.as_mut_ptr();
-        // SAFETY: every 8-lane load reads within `values` and every
-        // 32-byte store writes within `out` (checked by the bound above).
+        // SAFETY: `out` holds exactly `4 · values.len()` bytes (checked
+        // above) and the two slices cannot overlap (&/&mut aliasing).
         unsafe {
-            let mut i = 0usize;
-            while i + 8 <= n {
-                let v = _mm256_loadu_ps(vp.add(i));
-                _mm256_storeu_si256(op.add(i * 4) as *mut __m256i, _mm256_castps_si256(v));
-                i += 8;
-            }
-            if i < n {
-                super::scalar::encode_rows(&values[i..], &mut out[i * 4..]);
-            }
+            std::ptr::copy_nonoverlapping(
+                values.as_ptr() as *const u8,
+                out.as_mut_ptr(),
+                out.len(),
+            );
         }
     }
 
@@ -531,20 +578,181 @@ mod avx2 {
     #[target_feature(enable = "avx2", enable = "fma")]
     pub unsafe fn decode_rows(src: &[u8], values: &mut [f32]) {
         debug_assert_eq!(src.len(), values.len() * 4);
-        let n = values.len();
-        let sp = src.as_ptr();
-        let vp = values.as_mut_ptr();
-        // SAFETY: every 32-byte load reads within `src` and every 8-lane
-        // store writes within `values` (checked by the bound above).
+        // SAFETY: `src` holds exactly `4 · values.len()` bytes (checked
+        // above), the slices cannot overlap, and `u8` reads have no
+        // alignment requirement on the `f32` destination's raw bytes.
+        unsafe {
+            std::ptr::copy_nonoverlapping(src.as_ptr(), values.as_mut_ptr() as *mut u8, src.len());
+        }
+    }
+
+    /// `C[m×n] += A[m×k] · B[n×k]ᵀ`, row-major. Blocked one `A` row
+    /// against four `B` rows: each 8-lane `A` load is reused by four FMA
+    /// accumulators, quartering the load traffic of four independent dot
+    /// products. `k` is the embedding dim here, so the inner loop runs
+    /// 8/25 full iterations at the dim ∈ {64, 200} hot sizes.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn gemm_nt(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+        debug_assert_eq!(a.len(), m * k);
+        debug_assert_eq!(b.len(), n * k);
+        debug_assert_eq!(c.len(), m * n);
+        let ap = a.as_ptr();
+        let bp = b.as_ptr();
+        // SAFETY: every pointer offset below is bounded by the three
+        // length equalities asserted above.
+        unsafe {
+            for i in 0..m {
+                let ar = ap.add(i * k);
+                let cr = &mut c[i * n..(i + 1) * n];
+                let mut j = 0usize;
+                while j + 4 <= n {
+                    let b0 = bp.add(j * k);
+                    let b1 = bp.add((j + 1) * k);
+                    let b2 = bp.add((j + 2) * k);
+                    let b3 = bp.add((j + 3) * k);
+                    let mut acc0 = _mm256_setzero_ps();
+                    let mut acc1 = _mm256_setzero_ps();
+                    let mut acc2 = _mm256_setzero_ps();
+                    let mut acc3 = _mm256_setzero_ps();
+                    let mut p = 0usize;
+                    while p + 8 <= k {
+                        let va = _mm256_loadu_ps(ar.add(p));
+                        acc0 = _mm256_fmadd_ps(va, _mm256_loadu_ps(b0.add(p)), acc0);
+                        acc1 = _mm256_fmadd_ps(va, _mm256_loadu_ps(b1.add(p)), acc1);
+                        acc2 = _mm256_fmadd_ps(va, _mm256_loadu_ps(b2.add(p)), acc2);
+                        acc3 = _mm256_fmadd_ps(va, _mm256_loadu_ps(b3.add(p)), acc3);
+                        p += 8;
+                    }
+                    let mut s0 = hsum(acc0);
+                    let mut s1 = hsum(acc1);
+                    let mut s2 = hsum(acc2);
+                    let mut s3 = hsum(acc3);
+                    while p < k {
+                        let av = *ar.add(p);
+                        s0 = av.mul_add(*b0.add(p), s0);
+                        s1 = av.mul_add(*b1.add(p), s1);
+                        s2 = av.mul_add(*b2.add(p), s2);
+                        s3 = av.mul_add(*b3.add(p), s3);
+                        p += 1;
+                    }
+                    cr[j] += s0;
+                    cr[j + 1] += s1;
+                    cr[j + 2] += s2;
+                    cr[j + 3] += s3;
+                    j += 4;
+                }
+                while j < n {
+                    cr[j] += dot(&a[i * k..(i + 1) * k], &b[j * k..(j + 1) * k]);
+                    j += 1;
+                }
+            }
+        }
+    }
+
+    /// `C[m×n] += A[k×m]ᵀ · B[k×n]`, row-major. Register-blocked 4×16:
+    /// four `C` rows × two 8-lane column strips held in eight ymm
+    /// accumulators across the whole `k` loop, fed by two `B` loads and
+    /// four scalar broadcasts per iteration. With `n` the embedding dim,
+    /// a dim-64 update runs four full column blocks per row quad;
+    /// dim 200 runs twelve plus an 8-wide strip. Row/column tails reuse
+    /// [`axpy`], whose own tail handling covers any residue.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn gemm_tn(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+        debug_assert_eq!(a.len(), k * m);
+        debug_assert_eq!(b.len(), k * n);
+        debug_assert_eq!(c.len(), m * n);
+        let ap = a.as_ptr();
+        let bp = b.as_ptr();
+        let cp = c.as_mut_ptr();
+        // SAFETY: every pointer offset below is bounded by the three
+        // length equalities asserted above; `a`, `b`, and `c` are
+        // distinct slices by Rust's aliasing rules.
         unsafe {
             let mut i = 0usize;
-            while i + 8 <= n {
-                let v = _mm256_loadu_si256(sp.add(i * 4) as *const __m256i);
-                _mm256_storeu_ps(vp.add(i), _mm256_castsi256_ps(v));
-                i += 8;
+            while i + 4 <= m {
+                let mut j = 0usize;
+                while j + 16 <= n {
+                    let mut acc00 = _mm256_setzero_ps();
+                    let mut acc01 = _mm256_setzero_ps();
+                    let mut acc10 = _mm256_setzero_ps();
+                    let mut acc11 = _mm256_setzero_ps();
+                    let mut acc20 = _mm256_setzero_ps();
+                    let mut acc21 = _mm256_setzero_ps();
+                    let mut acc30 = _mm256_setzero_ps();
+                    let mut acc31 = _mm256_setzero_ps();
+                    for l in 0..k {
+                        let br = bp.add(l * n + j);
+                        let b0 = _mm256_loadu_ps(br);
+                        let b1 = _mm256_loadu_ps(br.add(8));
+                        let al = ap.add(l * m + i);
+                        let a0 = _mm256_set1_ps(*al);
+                        acc00 = _mm256_fmadd_ps(a0, b0, acc00);
+                        acc01 = _mm256_fmadd_ps(a0, b1, acc01);
+                        let a1 = _mm256_set1_ps(*al.add(1));
+                        acc10 = _mm256_fmadd_ps(a1, b0, acc10);
+                        acc11 = _mm256_fmadd_ps(a1, b1, acc11);
+                        let a2 = _mm256_set1_ps(*al.add(2));
+                        acc20 = _mm256_fmadd_ps(a2, b0, acc20);
+                        acc21 = _mm256_fmadd_ps(a2, b1, acc21);
+                        let a3 = _mm256_set1_ps(*al.add(3));
+                        acc30 = _mm256_fmadd_ps(a3, b0, acc30);
+                        acc31 = _mm256_fmadd_ps(a3, b1, acc31);
+                    }
+                    let c0 = cp.add(i * n + j);
+                    let c1 = cp.add((i + 1) * n + j);
+                    let c2 = cp.add((i + 2) * n + j);
+                    let c3 = cp.add((i + 3) * n + j);
+                    _mm256_storeu_ps(c0, _mm256_add_ps(_mm256_loadu_ps(c0), acc00));
+                    _mm256_storeu_ps(c0.add(8), _mm256_add_ps(_mm256_loadu_ps(c0.add(8)), acc01));
+                    _mm256_storeu_ps(c1, _mm256_add_ps(_mm256_loadu_ps(c1), acc10));
+                    _mm256_storeu_ps(c1.add(8), _mm256_add_ps(_mm256_loadu_ps(c1.add(8)), acc11));
+                    _mm256_storeu_ps(c2, _mm256_add_ps(_mm256_loadu_ps(c2), acc20));
+                    _mm256_storeu_ps(c2.add(8), _mm256_add_ps(_mm256_loadu_ps(c2.add(8)), acc21));
+                    _mm256_storeu_ps(c3, _mm256_add_ps(_mm256_loadu_ps(c3), acc30));
+                    _mm256_storeu_ps(c3.add(8), _mm256_add_ps(_mm256_loadu_ps(c3.add(8)), acc31));
+                    j += 16;
+                }
+                while j + 8 <= n {
+                    let mut acc0 = _mm256_setzero_ps();
+                    let mut acc1 = _mm256_setzero_ps();
+                    let mut acc2 = _mm256_setzero_ps();
+                    let mut acc3 = _mm256_setzero_ps();
+                    for l in 0..k {
+                        let bv = _mm256_loadu_ps(bp.add(l * n + j));
+                        let al = ap.add(l * m + i);
+                        acc0 = _mm256_fmadd_ps(_mm256_set1_ps(*al), bv, acc0);
+                        acc1 = _mm256_fmadd_ps(_mm256_set1_ps(*al.add(1)), bv, acc1);
+                        acc2 = _mm256_fmadd_ps(_mm256_set1_ps(*al.add(2)), bv, acc2);
+                        acc3 = _mm256_fmadd_ps(_mm256_set1_ps(*al.add(3)), bv, acc3);
+                    }
+                    for (r, acc) in [acc0, acc1, acc2, acc3].into_iter().enumerate() {
+                        let cr = cp.add((i + r) * n + j);
+                        _mm256_storeu_ps(cr, _mm256_add_ps(_mm256_loadu_ps(cr), acc));
+                    }
+                    j += 8;
+                }
+                if j < n {
+                    for l in 0..k {
+                        for r in 0..4 {
+                            let av = *ap.add(l * m + i + r);
+                            for jj in j..n {
+                                let cc = cp.add((i + r) * n + jj);
+                                *cc = av.mul_add(*bp.add(l * n + jj), *cc);
+                            }
+                        }
+                    }
+                }
+                i += 4;
             }
-            if i < n {
-                super::scalar::decode_rows(&src[i * 4..], &mut values[i..]);
+            while i < m {
+                for l in 0..k {
+                    axpy(
+                        *ap.add(l * m + i),
+                        &b[l * n..(l + 1) * n],
+                        &mut c[i * n..(i + 1) * n],
+                    );
+                }
+                i += 1;
             }
         }
     }
@@ -634,6 +842,126 @@ mod tests {
             scalar::decode_rows(&ref_bytes, &mut ref_vals);
             for (a, b) in simd_vals.iter().zip(&ref_vals) {
                 assert_eq!(a.to_bits(), b.to_bits(), "decode diverged at dim {d}");
+            }
+        }
+    }
+
+    fn pattern_mat(rows: usize, cols: usize, salt: f32) -> Vec<f32> {
+        (0..rows * cols)
+            .map(|i| ((i as f32) * 0.37 + salt).sin() * 2.0)
+            .collect()
+    }
+
+    fn naive_gemm_nt(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+        for i in 0..m {
+            for j in 0..n {
+                let mut s = 0.0f64;
+                for p in 0..k {
+                    s += (a[i * k + p] as f64) * (b[j * k + p] as f64);
+                }
+                c[i * n + j] += s as f32;
+            }
+        }
+    }
+
+    fn naive_gemm_tn(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+        for i in 0..m {
+            for j in 0..n {
+                let mut s = 0.0f64;
+                for l in 0..k {
+                    s += (a[l * m + i] as f64) * (b[l * n + j] as f64);
+                }
+                c[i * n + j] += s as f32;
+            }
+        }
+    }
+
+    #[test]
+    fn scalar_gemms_match_naive() {
+        for &(m, n, k) in &[
+            (0usize, 0usize, 0usize),
+            (1, 1, 1),
+            (3, 5, 7),
+            (4, 16, 11),
+            (5, 21, 64),
+            (7, 13, 200),
+            (2, 6, 32),
+        ] {
+            let a = pattern_mat(m, k, 0.1);
+            let b = pattern_mat(n, k, 0.7);
+            let mut c = pattern_mat(m, n, -0.3);
+            let mut c_ref = c.clone();
+            scalar::gemm_nt(m, n, k, &a, &b, &mut c);
+            naive_gemm_nt(m, n, k, &a, &b, &mut c_ref);
+            for (i, (x, y)) in c.iter().zip(&c_ref).enumerate() {
+                assert!(
+                    (x - y).abs() <= 1e-3 * (1.0 + y.abs()),
+                    "nt ({m},{n},{k}) elem {i}: {x} vs {y}"
+                );
+            }
+
+            let a = pattern_mat(k, m, 0.2);
+            let b = pattern_mat(k, n, -0.9);
+            let mut c = pattern_mat(m, n, 0.5);
+            let mut c_ref = c.clone();
+            scalar::gemm_tn(m, n, k, &a, &b, &mut c);
+            naive_gemm_tn(m, n, k, &a, &b, &mut c_ref);
+            for (i, (x, y)) in c.iter().zip(&c_ref).enumerate() {
+                assert!(
+                    (x - y).abs() <= 1e-3 * (1.0 + y.abs()),
+                    "tn ({m},{n},{k}) elem {i}: {x} vs {y}"
+                );
+            }
+        }
+    }
+
+    #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+    #[test]
+    fn avx2_gemms_close_to_scalar_when_supported() {
+        if !(std::arch::is_x86_feature_detected!("avx2")
+            && std::arch::is_x86_feature_detected!("fma"))
+        {
+            return;
+        }
+        let kn = &AVX2_KERNELS;
+        // Shapes straddle every block boundary: m tails (m % 4 ≠ 0),
+        // n tails (16-, 8-, and sub-8 strips), and k tails (k % 8 ≠ 0),
+        // plus the dim ∈ {32, 64, 200} hot sizes.
+        for &(m, n, k) in &[
+            (0usize, 0usize, 0usize),
+            (1, 1, 1),
+            (4, 16, 8),
+            (5, 17, 9),
+            (3, 7, 5),
+            (8, 33, 64),
+            (6, 21, 200),
+            (9, 40, 32),
+            (2, 19, 13),
+        ] {
+            let a = pattern_mat(m, k, 0.4);
+            let b = pattern_mat(n, k, -0.2);
+            let mut c = pattern_mat(m, n, 1.1);
+            let mut c_ref = c.clone();
+            (kn.gemm_nt)(m, n, k, &a, &b, &mut c);
+            scalar::gemm_nt(m, n, k, &a, &b, &mut c_ref);
+            for (i, (x, y)) in c.iter().zip(&c_ref).enumerate() {
+                assert!(
+                    (x - y).abs() <= 1e-3 * (1.0 + y.abs()),
+                    "nt ({m},{n},{k}) elem {i}: {x} vs {y}"
+                );
+            }
+
+            let a = pattern_mat(k, m, -0.6);
+            let b = pattern_mat(k, n, 0.9);
+            let mut c = pattern_mat(m, n, -1.4);
+            let mut c_ref = c.clone();
+            (kn.gemm_tn)(m, n, k, &a, &b, &mut c);
+            scalar::gemm_tn(m, n, k, &a, &b, &mut c_ref);
+            for (i, (x, y)) in c.iter().zip(&c_ref).enumerate() {
+                assert!(
+                    (x - y).abs() <= 1e-3 * (1.0 + y.abs()),
+                    "tn ({m},{n},{k}) elem {i}: {x} vs {y}"
+                );
             }
         }
     }

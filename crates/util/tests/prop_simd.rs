@@ -332,6 +332,62 @@ proptest! {
     }
 
     #[test]
+    fn prop_gemm_nt_matches_scalar(
+        m in 0usize..9,
+        n in 0usize..34,
+        k in 0usize..72,
+        salt in 0u32..1000,
+    ) {
+        let a = pattern(m * k, salt);
+        let b = pattern(n * k, salt.wrapping_add(1));
+        let c0 = pattern(m * n, salt.wrapping_add(2));
+        let mut c = c0.clone();
+        let mut c_ref = c0;
+        fvec::gemm_nt(m, n, k, &a, &b, &mut c);
+        scalar::gemm_nt(m, n, k, &a, &b, &mut c_ref);
+        for i in 0..m {
+            for j in 0..n {
+                let abs_sum: f32 = (0..k)
+                    .map(|p| (a[i * k + p] * b[j * k + p]).abs())
+                    .sum();
+                prop_assert!(
+                    reduce_close(c[i * n + j], c_ref[i * n + j], k, abs_sum),
+                    "nt ({},{},{}) elem ({},{}): {} vs {}",
+                    m, n, k, i, j, c[i * n + j], c_ref[i * n + j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prop_gemm_tn_matches_scalar(
+        m in 0usize..9,
+        n in 0usize..72,
+        k in 0usize..34,
+        salt in 0u32..1000,
+    ) {
+        let a = pattern(k * m, salt);
+        let b = pattern(k * n, salt.wrapping_add(1));
+        let c0 = pattern(m * n, salt.wrapping_add(2));
+        let mut c = c0.clone();
+        let mut c_ref = c0;
+        fvec::gemm_tn(m, n, k, &a, &b, &mut c);
+        scalar::gemm_tn(m, n, k, &a, &b, &mut c_ref);
+        for i in 0..m {
+            for j in 0..n {
+                let abs_sum: f32 = (0..k)
+                    .map(|l| (a[l * m + i] * b[l * n + j]).abs())
+                    .sum();
+                prop_assert!(
+                    reduce_close(c[i * n + j], c_ref[i * n + j], k, abs_sum),
+                    "tn ({},{},{}) elem ({},{}): {} vs {}",
+                    m, n, k, i, j, c[i * n + j], c_ref[i * n + j]
+                );
+            }
+        }
+    }
+
+    #[test]
     fn prop_single_rounding_kernels_bitwise(
         a in -4.0f32..4.0,
         pairs in proptest::collection::vec((-50.0f32..50.0, -50.0f32..50.0), 0..512)

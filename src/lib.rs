@@ -47,6 +47,7 @@ pub mod prelude {
     pub use gw2v_core::distributed::{DistConfig, DistributedTrainer, TrainResult};
     pub use gw2v_core::model::Word2VecModel;
     pub use gw2v_core::params::Hyperparams;
+    pub use gw2v_core::trainer_hogbatch::{HogBatchTrainer, SgnsMode};
     pub use gw2v_core::trainer_hogwild::HogwildTrainer;
     pub use gw2v_core::trainer_seq::SequentialTrainer;
     pub use gw2v_core::trainer_threaded::ThreadedTrainer;

@@ -60,6 +60,7 @@ fn dist_cfg(n_hosts: usize, rounds: usize) -> DistConfig {
         combiner: CombinerKind::ModelCombiner,
         cost: CostModel::infiniband_56g(),
         wire: graph_word2vec::gluon::WireMode::IdValue,
+        sgns: graph_word2vec::core::trainer_hogbatch::SgnsMode::PerPair,
     }
 }
 

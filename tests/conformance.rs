@@ -72,6 +72,7 @@ fn dist_cfg(plan: SyncPlan) -> DistConfig {
         combiner: CombinerKind::ModelCombiner,
         cost: CostModel::infiniband_56g(),
         wire: WireMode::IdValue,
+        sgns: graph_word2vec::core::trainer_hogbatch::SgnsMode::PerPair,
     }
 }
 
