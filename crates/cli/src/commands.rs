@@ -22,9 +22,11 @@ use gw2v_eval::knn::EmbeddingIndex;
 use gw2v_faults::FaultPlan;
 use gw2v_gluon::plan::SyncPlan;
 use gw2v_gluon::wire::WireMode;
+use gw2v_serve::{Query, QueryEngine, ServeError, ShardedStore};
 use std::error::Error;
 use std::fs::File;
-use std::io::{BufReader, BufWriter};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
 
 /// Top-level usage text.
 pub const USAGE: &str = "\
@@ -49,7 +51,14 @@ USAGE:
   gw2v eval      --model model.txt --questions questions.txt
                  [--method cosadd|cosmul]
   gw2v neighbors --model model.txt --word WORD [--k 10]
+  gw2v serve     (--model model.txt | --checkpoint DIR|FILE --vocab corpus.txt)
+                 [--min-count 1] [--queries FILE] [--out FILE]
+                 [--k 10] [--shards 8] [--batch 32]
   gw2v help
+
+serve reads one query per line (`sim WORD` or `analogy A B C`; blank
+lines and # comments ignored) from --queries or stdin and emits one JSON
+result line per query to --out or stdout.
 ";
 
 type CmdResult = Result<(), Box<dyn Error>>;
@@ -391,6 +400,128 @@ pub fn neighbors(raw: &[String]) -> CmdResult {
     Ok(())
 }
 
+/// `gw2v serve` — load an embedding store and answer similarity/analogy
+/// queries as JSON lines.
+///
+/// Two load paths: `--model model.txt` (word2vec text format, carries
+/// its own words) or `--checkpoint DIR|FILE --vocab corpus.txt`, which
+/// rebuilds the vocabulary exactly as `train` does so word ids align
+/// with the checkpoint's embedding rows.
+pub fn serve(raw: &[String]) -> CmdResult {
+    let args = Args::parse(raw.iter().cloned(), &[])?;
+    args.check_known(&[
+        "model",
+        "checkpoint",
+        "vocab",
+        "min-count",
+        "queries",
+        "out",
+        "k",
+        "shards",
+        "batch",
+    ])?;
+    let k: usize = args.get_or("k", 10)?;
+    let n_shards: usize = args.get_or("shards", 8)?;
+    let batch: usize = std::cmp::max(1, args.get_or("batch", 32)?);
+    let (vocab, store) = match (args.get("model"), args.get("checkpoint")) {
+        (Some(_), Some(_)) => {
+            return Err(ArgError("--model and --checkpoint are mutually exclusive".into()).into())
+        }
+        (Some(m), None) => {
+            let (vocab, model) = load_model(m)?;
+            let store = ShardedStore::from_matrix(&model.syn0, n_shards);
+            eprintln!(
+                "serving {} x {} vectors from model {m} ({} shards)",
+                store.len(),
+                store.dim(),
+                store.n_shards()
+            );
+            (vocab, store)
+        }
+        (None, Some(c)) => {
+            let vpath = args.get("vocab").ok_or_else(|| {
+                ArgError("--checkpoint needs --vocab CORPUS to name the rows".into())
+            })?;
+            let min_count: u64 = args.get_or("min-count", 1)?;
+            let vocab = build_vocab_from_path(vpath, TokenizerConfig::default(), min_count)?;
+            let (store, summary) = ShardedStore::load(Path::new(c), n_shards)?;
+            if vocab.len() != store.len() {
+                return Err(ServeError::VocabMismatch {
+                    words: vocab.len(),
+                    rows: store.len(),
+                }
+                .into());
+            }
+            eprintln!(
+                "serving {} x {} vectors from checkpoint {c} (epoch {}, {} hosts, {} shards)",
+                store.len(),
+                store.dim(),
+                summary.epoch,
+                summary.n_hosts,
+                store.n_shards()
+            );
+            (vocab, store)
+        }
+        (None, None) => {
+            return Err(ArgError("serve needs --model or --checkpoint".into()).into())
+        }
+    };
+    let engine = QueryEngine::new(&store, &vocab);
+    let reader: Box<dyn BufRead> = match args.get("queries") {
+        Some(p) => Box::new(BufReader::new(File::open(p)?)),
+        None => Box::new(BufReader::new(std::io::stdin())),
+    };
+    let mut writer: Box<dyn Write> = match args.get("out") {
+        Some(p) => Box::new(BufWriter::new(File::create(p)?)),
+        None => Box::new(BufWriter::new(std::io::stdout())),
+    };
+    let t0 = std::time::Instant::now();
+    let mut pending: Vec<Query> = Vec::with_capacity(batch);
+    let mut served = 0usize;
+    let flush =
+        |pending: &mut Vec<Query>, writer: &mut dyn Write| -> Result<usize, Box<dyn Error>> {
+            let n = pending.len();
+            for answer in engine.answer_batch(pending, k) {
+                writeln!(writer, "{}", answer.json_line(&vocab))?;
+            }
+            pending.clear();
+            Ok(n)
+        };
+    for line in reader.lines() {
+        match Query::parse(&line?) {
+            Ok(Some(q)) => {
+                pending.push(q);
+                if pending.len() == batch {
+                    served += flush(&mut pending, writer.as_mut())?;
+                }
+            }
+            Ok(None) => {}
+            Err(e) => {
+                // Keep output order aligned with input order: answer
+                // everything queued before reporting the bad line.
+                served += flush(&mut pending, writer.as_mut())?;
+                let mut msg = String::new();
+                gw2v_serve::query::json_escape_into(&e, &mut msg);
+                writeln!(writer, "{{\"error\":\"{msg}\"}}")?;
+            }
+        }
+    }
+    served += flush(&mut pending, writer.as_mut())?;
+    writer.flush()?;
+    eprintln!(
+        "served {served} queries in {:.3}s",
+        t0.elapsed().as_secs_f64()
+    );
+    if gw2v_obs::enabled() {
+        eprint!("\n{}", gw2v_obs::summary());
+        if let Ok(dest) = std::env::var("GW2V_METRICS_OUT") {
+            std::fs::write(&dest, serde_json::to_string_pretty(&gw2v_obs::snapshot())?)?;
+            eprintln!("[metrics snapshot written to {dest}]");
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -537,6 +668,98 @@ mod tests {
     fn unknown_options_rejected() {
         assert!(generate(&s(&["--out", "x", "--bogus", "1"])).is_err());
         assert!(train(&s(&["--input", "x", "--out", "y", "--nope", "1"])).is_err());
+        assert!(serve(&s(&["--model", "x", "--nope", "1"])).is_err());
+    }
+
+    #[test]
+    fn serve_pipeline_model_and_checkpoint() {
+        let corpus = tmp("serve_corpus.txt");
+        let model = tmp("serve_model.txt");
+        let ckdir = tmp("serve_ck");
+        let queries = tmp("serve_queries.txt");
+        let out = tmp("serve_out.jsonl");
+        generate(&s(&[
+            "--out", &corpus, "--scale", "tiny", "--tokens", "20000",
+        ]))
+        .expect("generate");
+        train(&s(&[
+            "--input",
+            &corpus,
+            "--out",
+            &model,
+            "--trainer",
+            "dist",
+            "--hosts",
+            "2",
+            "--dim",
+            "16",
+            "--epochs",
+            "1",
+            "--negative",
+            "3",
+            "--checkpoint-dir",
+            &ckdir,
+        ]))
+        .expect("train");
+        std::fs::write(
+            &queries,
+            "# a comment\n\nsim bg0\nanalogy bg0 bg1 bg2\nsim zz_not_a_word\nbogus line\n",
+        )
+        .unwrap();
+        // Serve straight from the checkpoint directory, rebuilding the
+        // vocabulary from the training corpus.
+        serve(&s(&[
+            "--checkpoint",
+            &ckdir,
+            "--vocab",
+            &corpus,
+            "--queries",
+            &queries,
+            "--out",
+            &out,
+            "--k",
+            "3",
+            "--shards",
+            "4",
+        ]))
+        .expect("serve from checkpoint");
+        let text = std::fs::read_to_string(&out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4, "one line per query: {text}");
+        assert!(lines[0].starts_with("{\"kind\":\"sim\",\"words\":[\"bg0\"],\"hits\":["));
+        assert!(lines[1].starts_with("{\"kind\":\"analogy\""));
+        assert!(lines[2].contains("\"error\":\"unknown word"), "{}", lines[2]);
+        assert!(lines[3].starts_with("{\"error\":"), "{}", lines[3]);
+        assert_eq!(lines[0].matches("\"word\":").count(), 3, "k=3 hits");
+        assert!(!lines[0].contains("\"word\":\"bg0\""), "self excluded");
+        // The text-model path answers the same query shape.
+        let out2 = tmp("serve_out2.jsonl");
+        serve(&s(&[
+            "--model", &model, "--queries", &queries, "--out", &out2, "--k", "3",
+        ]))
+        .expect("serve from model");
+        assert_eq!(
+            std::fs::read_to_string(&out2).unwrap().lines().count(),
+            4,
+            "model path serves the same queries"
+        );
+        // Misuse is rejected up front.
+        assert!(
+            serve(&s(&["--queries", &queries])).is_err(),
+            "needs a source"
+        );
+        assert!(
+            serve(&s(&["--model", &model, "--checkpoint", &ckdir, "--vocab", &corpus])).is_err(),
+            "sources are mutually exclusive"
+        );
+        assert!(
+            serve(&s(&["--checkpoint", &ckdir])).is_err(),
+            "checkpoint path needs --vocab"
+        );
+        std::fs::remove_dir_all(&ckdir).ok();
+        for f in [&corpus, &model, &queries, &out, &out2] {
+            std::fs::remove_file(f).ok();
+        }
     }
 
     #[test]

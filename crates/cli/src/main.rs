@@ -5,12 +5,14 @@
 //!                [--seed 42] [--questions questions.txt]
 //! gw2v phrases   --input corpus.txt --out phrased.txt [--threshold 100]
 //! gw2v train     --input corpus.txt --out model.txt
-//!                [--trainer seq|hogwild|batched|dist] [--hosts 8]
+//!                [--trainer seq|hogwild|hogbatch|batched|dist|threaded] [--hosts 8]
 //!                [--dim 200] [--epochs 16] [--negative 15] [--window 5]
 //!                [--alpha 0.025] [--combiner mc|avg|sum] [--plan opt|naive|pull]
 //!                [--wire id-value|memo] [--threads 4] [--seed 1] [--min-count 1]
 //! gw2v eval      --model model.txt --questions questions.txt [--method cosadd|cosmul]
 //! gw2v neighbors --model model.txt --word WORD [--k 10]
+//! gw2v serve     (--model model.txt | --checkpoint DIR --vocab corpus.txt)
+//!                [--queries FILE] [--out FILE] [--k 10] [--shards 8] [--batch 32]
 //! ```
 
 mod args;
@@ -28,6 +30,7 @@ fn main() {
         "train" => commands::train(&rest),
         "eval" => commands::eval(&rest),
         "neighbors" => commands::neighbors(&rest),
+        "serve" => commands::serve(&rest),
         "help" | "--help" | "-h" => {
             print!("{}", commands::USAGE);
             Ok(())

@@ -1,0 +1,127 @@
+//! Byte-level backend parity for `gw2v serve`.
+//!
+//! Kernel dispatch (AVX2+FMA vs scalar) is decided once per process, so
+//! this test spawns the real binary twice over the same checkpoint and
+//! query file — once with the runtime-dispatched kernels and once with
+//! `GW2V_FORCE_SCALAR=1` — and asserts the two output files are
+//! byte-identical. This is the serving layer's acceptance criterion: the
+//! canonical scalar rescore (see `gw2v-serve`'s module docs) makes the
+//! served JSON independent of which SIMD backend scanned the shards.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn gw2v() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_gw2v"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("gw2v_parity_{}_{name}", std::process::id()))
+}
+
+fn run_ok(cmd: &mut Command) {
+    let out = cmd.output().expect("spawn gw2v");
+    assert!(
+        out.status.success(),
+        "gw2v failed: {:?}\nstdout: {}\nstderr: {}",
+        cmd.get_args().collect::<Vec<_>>(),
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn serve_output_is_byte_identical_across_backends() {
+    let corpus = tmp("corpus.txt");
+    let model = tmp("model.txt");
+    let ckdir = tmp("ck");
+    let queries = tmp("queries.txt");
+    let _ = std::fs::remove_dir_all(&ckdir);
+
+    run_ok(gw2v().args([
+        "generate",
+        "--out",
+        corpus.to_str().unwrap(),
+        "--scale",
+        "tiny",
+        "--tokens",
+        "20000",
+    ]));
+    run_ok(gw2v().args([
+        "train",
+        "--input",
+        corpus.to_str().unwrap(),
+        "--out",
+        model.to_str().unwrap(),
+        "--trainer",
+        "dist",
+        "--hosts",
+        "3",
+        "--dim",
+        "24",
+        "--epochs",
+        "2",
+        "--negative",
+        "4",
+        "--checkpoint-dir",
+        ckdir.to_str().unwrap(),
+    ]));
+
+    // A mix that exercises similarity, analogy, OOV errors, and parse
+    // errors — every output shape the serializer can produce.
+    let mut lines = String::from("# parity probe\n");
+    for i in (0..40).step_by(3) {
+        lines.push_str(&format!("sim bg{i}\n"));
+    }
+    for i in (0..30).step_by(5) {
+        lines.push_str(&format!("analogy bg{i} bg{} bg{}\n", i + 1, i + 2));
+    }
+    lines.push_str("sim zz_not_a_word\nbogus line\n");
+    std::fs::write(&queries, lines).unwrap();
+
+    let serve_with = |force_scalar: &str, out: &PathBuf| {
+        run_ok(
+            gw2v()
+                .args([
+                    "serve",
+                    "--checkpoint",
+                    ckdir.to_str().unwrap(),
+                    "--vocab",
+                    corpus.to_str().unwrap(),
+                    "--queries",
+                    queries.to_str().unwrap(),
+                    "--out",
+                    out.to_str().unwrap(),
+                    "--k",
+                    "10",
+                    "--shards",
+                    "8",
+                    "--batch",
+                    "16",
+                ])
+                .env("GW2V_FORCE_SCALAR", force_scalar),
+        );
+    };
+
+    let out_dispatched = tmp("out_dispatched.jsonl");
+    let out_scalar = tmp("out_scalar.jsonl");
+    serve_with("0", &out_dispatched);
+    serve_with("1", &out_scalar);
+
+    let a = std::fs::read(&out_dispatched).unwrap();
+    let b = std::fs::read(&out_scalar).unwrap();
+    assert!(
+        a.windows(7).any(|w| w == b"\"hits\":"),
+        "output should contain ranked hits"
+    );
+    assert_eq!(
+        a, b,
+        "serve output must be byte-identical between the dispatched and \
+         forced-scalar backends"
+    );
+
+    std::fs::remove_dir_all(&ckdir).ok();
+    for f in [&corpus, &model, &queries, &out_dispatched, &out_scalar] {
+        std::fs::remove_file(f).ok();
+    }
+}

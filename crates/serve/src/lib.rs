@@ -1,0 +1,38 @@
+//! # gw2v-serve — the read path for trained embeddings
+//!
+//! Training (gw2v-core) produces GW2VCKP1 checkpoints and word2vec-format
+//! text models; this crate is the subsystem that *answers queries* from
+//! them. It is deliberately decoupled from the trainers — the store is
+//! immutable once loaded, so serving needs none of the synchronization
+//! machinery and can lay data out purely for read throughput.
+//!
+//! The pipeline is:
+//!
+//! 1. **Load** ([`store`]): a checkpoint holds one replica per simulated
+//!    host. The canonical model assigns each node the row held by its
+//!    master's *effective* host (dead masters are adopted cyclically), so
+//!    [`ShardedStore::from_checkpoint`] replays the liveness map and
+//!    gathers exactly the rows `assemble_canonical_live` would — the
+//!    stored vectors are bitwise-equal to what the trainer saved.
+//! 2. **Shard**: rows are hash-partitioned into `n_shards` shards, each a
+//!    contiguous [`FlatMatrix`](gw2v_util::fvec::FlatMatrix) so the
+//!    `gemm_nt` microkernel can stream them, with per-row inverse norms
+//!    precomputed once at load time.
+//! 3. **Query** ([`query`]): similarity and analogy queries are batched
+//!    into a matrix, normalized once, and scored against every shard with
+//!    one GEMM per shard. Ranking uses scores quantized to 1e-6 with
+//!    ascending-id tie-breaks, which makes the served output byte-identical
+//!    across SIMD backends (see [`query::quantize`]).
+//!
+//! Everything is instrumented through gw2v-obs: `serve.queries`,
+//! `serve.batches`, `serve.oov`, and the `serve.query_ns` /
+//! `serve.shard_scan_ns` log-bucketed histograms that the load harness
+//! reads back for p50/p99 reporting.
+
+#![deny(missing_docs)]
+
+pub mod query;
+pub mod store;
+
+pub use query::{Answer, Hit, Query, QueryEngine};
+pub use store::{ServeError, Shard, ShardedStore};

@@ -1,0 +1,645 @@
+//! Batched top-k similarity and analogy queries over a [`ShardedStore`].
+//!
+//! # Execution model
+//!
+//! A batch of queries becomes one `m × dim` row-major matrix of unit
+//! query vectors (normalization paid once per query, using the store's
+//! precomputed inverse norms where possible). Each shard is then scored
+//! with a single [`gemm_nt`](gw2v_util::fvec::gemm_nt) call — `scores =
+//! Q · Rᵀ`, the same microkernel HogBatch uses for its minibatch scores —
+//! and the raw dot products are turned into cosines by the shard's
+//! per-row inverse norms. Top-k selection runs per query with an
+//! exclusion list (a similarity query never returns its own word, an
+//! analogy never returns its three inputs).
+//!
+//! # The backend-invariance contract
+//!
+//! The AVX2 kernels are only ULP-equivalent to the scalar ones (FMA and
+//! reassociation round differently), so the GEMM scan's raw `f32` scores
+//! cannot be the served values — at any quantization granularity a score
+//! can land on a rounding boundary and straddle it between backends.
+//! Serving therefore runs in two phases:
+//!
+//! 1. **Scan** (dispatched kernels, fast): the per-shard GEMM nominates a
+//!    candidate *pool* of `k + POOL_SLACK` ids per query by approximate
+//!    quantized score.
+//! 2. **Rescore** (fixed-order scalar kernel, tiny): each pool
+//!    candidate's canonical score is recomputed as
+//!    `scalar::dot(unit_query, row) * inv_norm`, where both the unit
+//!    query and the store's inverse norms are themselves built with plain
+//!    scalar arithmetic. Canonical scores are quantized by [`quantize`]
+//!    and re-ranked with ascending-id tie-breaks.
+//!
+//! Every value that reaches the output is computed by the same
+//! instruction sequence on every backend, so a `serve` run under
+//! `GW2V_FORCE_SCALAR=1` emits byte-identical output to the AVX2 run
+//! (pinned by `tests/serve.rs`, the CLI backend-parity test, and the CI
+//! serve smoke). Backends could only diverge if pool *nomination*
+//! differed — which requires more than [`POOL_SLACK`] candidates packed
+//! within kernel ULP noise of the k-th best score.
+
+use crate::store::ShardedStore;
+use gw2v_corpus::vocab::Vocabulary;
+use gw2v_util::fvec;
+use gw2v_util::simd::scalar;
+use std::time::Instant;
+
+/// Reciprocal of the score quantum: scores are ranked and printed at
+/// 1e-6 resolution.
+pub const SCORE_SCALE: f64 = 1e6;
+
+/// Extra candidates the dispatched scan nominates beyond `k`, absorbing
+/// any ULP-level disagreement between backends at the pool boundary
+/// before the scalar rescore picks the final top-k.
+pub const POOL_SLACK: usize = 16;
+
+/// Quantizes a cosine score to integer micro-units for backend-invariant
+/// ranking. NaN maps to `i64::MIN` so a poisoned row can never outrank a
+/// finite score.
+#[inline]
+pub fn quantize(score: f32) -> i64 {
+    if score.is_nan() {
+        i64::MIN
+    } else {
+        (score as f64 * SCORE_SCALE).round() as i64
+    }
+}
+
+/// One ranked result: a word id and its quantized cosine score.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Hit {
+    /// Word id in the store/vocabulary.
+    pub id: u32,
+    /// Cosine similarity in micro-units (`score() * 1e6`, rounded).
+    pub score_micro: i64,
+}
+
+impl Hit {
+    /// The quantized cosine score as a float in `[-1, 1]`.
+    pub fn score(&self) -> f64 {
+        self.score_micro as f64 / SCORE_SCALE
+    }
+}
+
+/// A parsed serve request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Query {
+    /// `sim WORD` — nearest neighbours of a word.
+    Similar {
+        /// The probe word.
+        word: String,
+    },
+    /// `analogy A B C` — words `x` maximizing `cos(x, v(B) − v(A) + v(C))`
+    /// over unit vectors: "A is to B as C is to x" (3CosAdd).
+    Analogy {
+        /// The first pair's source word.
+        a: String,
+        /// The first pair's target word.
+        b: String,
+        /// The second pair's source word.
+        c: String,
+    },
+}
+
+impl Query {
+    /// Parses one line of the query language. Blank lines and `#`
+    /// comments yield `Ok(None)`; anything unrecognized is an error
+    /// naming the offending line.
+    ///
+    /// ```text
+    /// sim king            # also: similar king
+    /// analogy man king woman
+    /// ```
+    pub fn parse(line: &str) -> Result<Option<Query>, String> {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            return Ok(None);
+        }
+        let mut tok = line.split_whitespace();
+        let verb = tok.next().expect("non-empty line has a first token");
+        let rest: Vec<&str> = tok.collect();
+        match (verb, rest.as_slice()) {
+            ("sim" | "similar", [w]) => Ok(Some(Query::Similar {
+                word: (*w).to_owned(),
+            })),
+            ("analogy", [a, b, c]) => Ok(Some(Query::Analogy {
+                a: (*a).to_owned(),
+                b: (*b).to_owned(),
+                c: (*c).to_owned(),
+            })),
+            ("sim" | "similar", _) => Err(format!("sim takes exactly one word: {line:?}")),
+            ("analogy", _) => Err(format!("analogy takes exactly three words: {line:?}")),
+            _ => Err(format!("unknown query {line:?} (want: sim W | analogy A B C)")),
+        }
+    }
+
+    /// Short tag for output records: `"sim"` or `"analogy"`.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Query::Similar { .. } => "sim",
+            Query::Analogy { .. } => "analogy",
+        }
+    }
+
+    /// The query's words, in request order.
+    pub fn words(&self) -> Vec<&str> {
+        match self {
+            Query::Similar { word } => vec![word],
+            Query::Analogy { a, b, c } => vec![a, b, c],
+        }
+    }
+}
+
+/// The outcome of one query: ranked hits, or a per-query error (unknown
+/// word, malformed request) that does not abort the batch.
+#[derive(Clone, Debug)]
+pub struct Answer {
+    /// The request this answers.
+    pub query: Query,
+    /// Ranked hits (best first), or the reason no ranking was possible.
+    pub hits: Result<Vec<Hit>, String>,
+}
+
+impl Answer {
+    /// Renders the answer as one deterministic JSON line. Scores print
+    /// with exactly six decimals of their quantized value, so equal
+    /// quantized results serialize to identical bytes on every backend.
+    pub fn json_line(&self, vocab: &Vocabulary) -> String {
+        let mut out = String::with_capacity(128);
+        out.push_str("{\"kind\":\"");
+        out.push_str(self.query.kind());
+        out.push_str("\",\"words\":[");
+        for (i, w) in self.query.words().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            json_escape_into(w, &mut out);
+            out.push('"');
+        }
+        out.push(']');
+        match &self.hits {
+            Ok(hits) => {
+                out.push_str(",\"hits\":[");
+                for (i, h) in hits.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str("{\"word\":\"");
+                    json_escape_into(vocab.word_of(h.id), &mut out);
+                    out.push_str(&format!("\",\"id\":{},\"score\":{:.6}}}", h.id, h.score()));
+                }
+                out.push(']');
+            }
+            Err(e) => {
+                out.push_str(",\"error\":\"");
+                json_escape_into(e, &mut out);
+                out.push('"');
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control bytes),
+/// appended to `out`. Public so the CLI can emit error records in the
+/// same dialect as [`Answer::json_line`].
+pub fn json_escape_into(s: &str, out: &mut String) {
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Best-first bounded selection: higher quantized score wins, ties break
+/// toward the lower word id (both total orders, so selection is
+/// deterministic on every backend).
+struct TopK {
+    k: usize,
+    items: Vec<(i64, u32)>,
+}
+
+#[inline]
+fn better(a: (i64, u32), b: (i64, u32)) -> bool {
+    a.0 > b.0 || (a.0 == b.0 && a.1 < b.1)
+}
+
+impl TopK {
+    fn new(k: usize) -> Self {
+        Self {
+            k,
+            items: Vec::with_capacity(k + 1),
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, micro: i64, id: u32) {
+        if self.k == 0 {
+            return;
+        }
+        if self.items.len() == self.k && !better((micro, id), self.items[self.k - 1]) {
+            return;
+        }
+        let pos = self.items.partition_point(|&it| better(it, (micro, id)));
+        self.items.insert(pos, (micro, id));
+        self.items.truncate(self.k);
+    }
+}
+
+/// A resolved query ready for the GEMM scan: its row in the batch
+/// matrix plus the ids its ranking must skip.
+struct Resolved {
+    query_index: usize,
+    exclude: Vec<u32>,
+}
+
+/// The batched query engine: borrows a store and the vocabulary that
+/// names its rows.
+pub struct QueryEngine<'a> {
+    store: &'a ShardedStore,
+    vocab: &'a Vocabulary,
+}
+
+impl<'a> QueryEngine<'a> {
+    /// Creates an engine over `store`, whose row ids are named by
+    /// `vocab` (row `i` ↔ `vocab.word_of(i)`).
+    pub fn new(store: &'a ShardedStore, vocab: &'a Vocabulary) -> Self {
+        Self { store, vocab }
+    }
+
+    /// The store being served.
+    pub fn store(&self) -> &ShardedStore {
+        self.store
+    }
+
+    /// Resolves a word to an id present in the store.
+    fn id_of(&self, word: &str) -> Result<u32, String> {
+        self.vocab
+            .id_of(word)
+            .filter(|&id| (id as usize) < self.store.len())
+            .ok_or_else(|| format!("unknown word {word:?}"))
+    }
+
+    /// Writes the unit vector of `id` into `out` (raw row × precomputed
+    /// inverse norm; a zero/non-finite row contributes all zeros).
+    fn unit_into(&self, id: u32, out: &mut [f32]) {
+        let row = self.store.vector(id).expect("id resolved against store");
+        let inv = self.store.inv_norm(id).expect("id resolved against store");
+        for (o, &x) in out.iter_mut().zip(row) {
+            *o = x * inv;
+        }
+    }
+
+    /// Builds the unit query vector for one request, or the per-query
+    /// error that will be reported instead.
+    fn resolve(&self, query: &Query, vec: &mut [f32]) -> Result<Vec<u32>, String> {
+        match query {
+            Query::Similar { word } => {
+                let id = self.id_of(word)?;
+                self.unit_into(id, vec);
+                Ok(vec![id])
+            }
+            Query::Analogy { a, b, c } => {
+                let (ia, ib, ic) = (self.id_of(a)?, self.id_of(b)?, self.id_of(c)?);
+                // 3CosAdd over unit vectors: v(b) − v(a) + v(c), then
+                // normalized so reported scores are true cosines. Plain
+                // scalar arithmetic only — the query vector feeds the
+                // canonical rescore and must be backend-invariant.
+                let dim = vec.len();
+                let mut tmp = vec![0.0f32; dim];
+                self.unit_into(ib, vec);
+                self.unit_into(ia, &mut tmp);
+                for (v, t) in vec.iter_mut().zip(&tmp) {
+                    *v -= *t;
+                }
+                self.unit_into(ic, &mut tmp);
+                for (v, t) in vec.iter_mut().zip(&tmp) {
+                    *v += *t;
+                }
+                let n = scalar::dot(vec, vec).sqrt();
+                if n.is_finite() && n > 0.0 {
+                    let inv = 1.0 / n;
+                    for v in vec.iter_mut() {
+                        *v *= inv;
+                    }
+                }
+                Ok(vec![ia, ib, ic])
+            }
+        }
+    }
+
+    /// Answers one query; equivalent to a batch of size one.
+    pub fn answer(&self, query: &Query, k: usize) -> Answer {
+        self.answer_batch(std::slice::from_ref(query), k)
+            .pop()
+            .expect("one answer per query")
+    }
+
+    /// Answers a batch of queries: one GEMM per shard scores every
+    /// resolvable query at once, then each query ranks its own top `k`
+    /// under its exclusion list. Answers come back in request order;
+    /// unknown words produce per-query errors, not a batch failure.
+    pub fn answer_batch(&self, queries: &[Query], k: usize) -> Vec<Answer> {
+        let t_batch = Instant::now();
+        let span = gw2v_obs::span("serve.batch");
+        let dim = self.store.dim();
+        gw2v_obs::add("serve.queries", queries.len() as u64);
+        gw2v_obs::counter("serve.batches").inc();
+
+        // Resolve every query into a packed m_active × dim matrix.
+        let mut qmat: Vec<f32> = Vec::with_capacity(queries.len() * dim);
+        let mut active: Vec<Resolved> = Vec::with_capacity(queries.len());
+        let mut failures: Vec<Option<String>> = vec![None; queries.len()];
+        let mut row = vec![0.0f32; dim];
+        for (qi, q) in queries.iter().enumerate() {
+            row.fill(0.0);
+            match self.resolve(q, &mut row) {
+                Ok(exclude) => {
+                    qmat.extend_from_slice(&row);
+                    active.push(Resolved {
+                        query_index: qi,
+                        exclude,
+                    });
+                }
+                Err(e) => {
+                    gw2v_obs::counter("serve.oov").inc();
+                    failures[qi] = Some(e);
+                }
+            }
+        }
+
+        let m = active.len();
+        // The scan keeps a pool wider than k; the canonical rescore
+        // below picks the final k (see the module docs).
+        let pool_k = if k == 0 { 0 } else { k.saturating_add(POOL_SLACK) };
+        let mut tops: Vec<TopK> = (0..m).map(|_| TopK::new(pool_k)).collect();
+        if m > 0 {
+            let max_shard = self
+                .store
+                .shards()
+                .iter()
+                .map(|s| s.len())
+                .max()
+                .unwrap_or(0);
+            let mut scores = vec![0.0f32; m * max_shard];
+            for shard in self.store.shards() {
+                let n = shard.len();
+                if n == 0 {
+                    continue;
+                }
+                let t_scan = Instant::now();
+                let block = &mut scores[..m * n];
+                block.fill(0.0);
+                fvec::gemm_nt(m, n, dim, &qmat, shard.rows().as_slice(), block);
+                let (ids, inv) = (shard.ids(), shard.inv_norms());
+                for (i, top) in tops.iter_mut().enumerate() {
+                    let qrow = &block[i * n..(i + 1) * n];
+                    let exclude = &active[i].exclude;
+                    for j in 0..n {
+                        let id = ids[j];
+                        if exclude.contains(&id) {
+                            continue;
+                        }
+                        top.push(quantize(qrow[j] * inv[j]), id);
+                    }
+                }
+                gw2v_obs::observe("serve.shard_scan_ns", t_scan.elapsed().as_nanos() as u64);
+            }
+        }
+
+        // Canonical rescore of each query's pool with the fixed-order
+        // scalar kernel, then reassemble in request order.
+        let mut hits: Vec<Option<Vec<Hit>>> = failures.iter().map(|_| None).collect();
+        for (i, (resolved, top)) in active.into_iter().zip(tops).enumerate() {
+            let q = &qmat[i * dim..(i + 1) * dim];
+            let mut scored: Vec<(i64, u32)> = top
+                .items
+                .iter()
+                .map(|&(_, id)| {
+                    let row = self.store.vector(id).expect("pool id is in store");
+                    let inv = self.store.inv_norm(id).expect("pool id is in store");
+                    (quantize(scalar::dot(q, row) * inv), id)
+                })
+                .collect();
+            scored.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+            scored.truncate(k);
+            hits[resolved.query_index] = Some(
+                scored
+                    .into_iter()
+                    .map(|(score_micro, id)| Hit { id, score_micro })
+                    .collect(),
+            );
+        }
+        let answers: Vec<Answer> = queries
+            .iter()
+            .zip(hits.into_iter().zip(failures))
+            .map(|(q, (h, f))| Answer {
+                query: q.clone(),
+                hits: match (h, f) {
+                    (Some(hs), _) => Ok(hs),
+                    (None, Some(e)) => Err(e),
+                    (None, None) => unreachable!("query neither resolved nor failed"),
+                },
+            })
+            .collect();
+
+        let elapsed_ns = t_batch.elapsed().as_nanos() as u64;
+        gw2v_obs::observe("serve.batch_ns", elapsed_ns);
+        if !queries.is_empty() {
+            // Amortized per-query latency; the load harness observes true
+            // per-request latency separately from the client side.
+            let per_query = elapsed_ns / queries.len() as u64;
+            let h = gw2v_obs::histogram("serve.query_ns");
+            for _ in 0..queries.len() {
+                h.observe(per_query);
+            }
+        }
+        let mut span = span;
+        span.field("queries", queries.len() as f64);
+        span.field("k", k as f64);
+        drop(span);
+        answers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gw2v_util::fvec::FlatMatrix;
+
+    fn store_and_vocab(rows: usize, dim: usize) -> (ShardedStore, Vocabulary) {
+        let mut t = FlatMatrix::zeros(rows, dim);
+        // Deterministic pseudo-random rows.
+        let mut s = 0x243F_6A88_85A3_08D3u64;
+        for r in 0..rows {
+            for d in 0..dim {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                t.row_mut(r)[d] = ((s >> 40) as f32 / (1u64 << 24) as f32) - 0.5;
+            }
+        }
+        let store = ShardedStore::from_matrix(&t, 4);
+        let n = rows as u64;
+        let vocab = Vocabulary::from_counts((0..rows).map(|i| (format!("w{i}"), n - i as u64)), 1);
+        (store, vocab)
+    }
+
+    #[test]
+    fn parse_accepts_the_query_language() {
+        assert_eq!(Query::parse("").unwrap(), None);
+        assert_eq!(Query::parse("  # comment").unwrap(), None);
+        assert_eq!(
+            Query::parse("sim king # trailing").unwrap(),
+            Some(Query::Similar {
+                word: "king".into()
+            })
+        );
+        assert_eq!(
+            Query::parse("analogy man king woman").unwrap(),
+            Some(Query::Analogy {
+                a: "man".into(),
+                b: "king".into(),
+                c: "woman".into()
+            })
+        );
+        assert!(Query::parse("sim a b").is_err());
+        assert!(Query::parse("analogy a b").is_err());
+        assert!(Query::parse("frobnicate x").is_err());
+    }
+
+    #[test]
+    fn similarity_excludes_self_and_ranks_by_cosine() {
+        let (store, vocab) = store_and_vocab(40, 16);
+        let engine = QueryEngine::new(&store, &vocab);
+        let q = Query::Similar { word: "w3".into() };
+        let hits = engine.answer(&q, 5).hits.unwrap();
+        assert_eq!(hits.len(), 5);
+        assert!(hits.iter().all(|h| h.id != 3), "self excluded");
+        assert!(
+            hits.windows(2)
+                .all(|w| better((w[0].score_micro, w[0].id), (w[1].score_micro, w[1].id))),
+            "strictly best-first"
+        );
+        // Cross-check the winner against a brute-force scan using the
+        // canonical score formula (unit query × raw row × inverse norm,
+        // fixed-order scalar kernel).
+        let inv3 = store.inv_norm(3).unwrap();
+        let unit3: Vec<f32> = store.vector(3).unwrap().iter().map(|x| x * inv3).collect();
+        let canon = |i: u32| {
+            quantize(scalar::dot(&unit3, store.vector(i).unwrap()) * store.inv_norm(i).unwrap())
+        };
+        let best = (0..40u32)
+            .filter(|&i| i != 3)
+            .max_by(|&x, &y| canon(x).cmp(&canon(y)).then(y.cmp(&x)))
+            .unwrap();
+        assert_eq!(hits[0].id, best);
+        assert_eq!(hits[0].score_micro, canon(best));
+    }
+
+    #[test]
+    fn analogy_excludes_all_three_inputs() {
+        let (store, vocab) = store_and_vocab(30, 8);
+        let engine = QueryEngine::new(&store, &vocab);
+        let q = Query::Analogy {
+            a: "w1".into(),
+            b: "w2".into(),
+            c: "w3".into(),
+        };
+        let hits = engine.answer(&q, 27).hits.unwrap();
+        assert_eq!(hits.len(), 27, "k capped by candidates");
+        assert!(hits.iter().all(|h| ![1, 2, 3].contains(&h.id)));
+    }
+
+    #[test]
+    fn unknown_words_fail_per_query_not_per_batch() {
+        let (store, vocab) = store_and_vocab(10, 8);
+        let engine = QueryEngine::new(&store, &vocab);
+        let batch = [
+            Query::Similar { word: "w1".into() },
+            Query::Similar {
+                word: "nope".into(),
+            },
+            Query::Similar { word: "w2".into() },
+        ];
+        let answers = engine.answer_batch(&batch, 3);
+        assert!(answers[0].hits.is_ok());
+        assert!(answers[1].hits.as_ref().unwrap_err().contains("nope"));
+        assert!(answers[2].hits.is_ok());
+    }
+
+    #[test]
+    fn batched_and_single_answers_agree() {
+        let (store, vocab) = store_and_vocab(50, 12);
+        let engine = QueryEngine::new(&store, &vocab);
+        let batch: Vec<Query> = (0..20)
+            .map(|i| {
+                if i % 3 == 0 {
+                    Query::Analogy {
+                        a: format!("w{i}"),
+                        b: format!("w{}", i + 1),
+                        c: format!("w{}", i + 2),
+                    }
+                } else {
+                    Query::Similar {
+                        word: format!("w{i}"),
+                    }
+                }
+            })
+            .collect();
+        let batched = engine.answer_batch(&batch, 7);
+        for (q, a) in batch.iter().zip(&batched) {
+            let single = engine.answer(q, 7);
+            assert_eq!(
+                single.hits.as_ref().unwrap(),
+                a.hits.as_ref().unwrap(),
+                "batch vs single mismatch for {q:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn shard_count_does_not_change_results() {
+        let (store1, vocab) = store_and_vocab(60, 16);
+        // Rebuild the same table with different shardings.
+        let mut t = FlatMatrix::zeros(60, 16);
+        for id in 0..60u32 {
+            t.row_mut(id as usize)
+                .copy_from_slice(store1.vector(id).unwrap());
+        }
+        for n_shards in [1usize, 3, 17] {
+            let store2 = ShardedStore::from_matrix(&t, n_shards);
+            let e1 = QueryEngine::new(&store1, &vocab);
+            let e2 = QueryEngine::new(&store2, &vocab);
+            for w in ["w0", "w7", "w59"] {
+                let q = Query::Similar { word: w.into() };
+                assert_eq!(
+                    e1.answer(&q, 10).hits.unwrap(),
+                    e2.answer(&q, 10).hits.unwrap(),
+                    "sharding must be invisible to ranking ({n_shards} shards)"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn json_lines_are_deterministic_and_escaped() {
+        let (store, vocab) = store_and_vocab(10, 8);
+        let engine = QueryEngine::new(&store, &vocab);
+        let a = engine.answer(&Query::Similar { word: "w1".into() }, 2);
+        let line = a.json_line(&vocab);
+        assert!(line.starts_with("{\"kind\":\"sim\",\"words\":[\"w1\"],\"hits\":["));
+        assert!(line.ends_with("}]}"));
+        let err = engine.answer(
+            &Query::Similar {
+                word: "a\"b\\c".into(),
+            },
+            2,
+        );
+        let line = err.json_line(&vocab);
+        assert!(line.contains("\\\"b\\\\c"), "escaped: {line}");
+    }
+}

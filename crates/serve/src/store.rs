@@ -1,0 +1,397 @@
+//! The sharded in-memory embedding store and its checkpoint load path.
+//!
+//! # Checkpoint → store
+//!
+//! A GW2VCKP1 file stores *per-host replicas* — under the sparse sync
+//! plans these are not identical, and only each node's master row is
+//! canonical. [`ShardedStore::from_checkpoint`] therefore mirrors the
+//! trainer's own `assemble_canonical_live`: it rebuilds the liveness map
+//! from the checkpoint's `alive` vector and, for every node, copies the
+//! `syn0` row held by `effective_master(master_host(node))`. The gathered
+//! rows are **bitwise-equal** to the model the trainer would have saved
+//! from the same checkpoint — pinned by `tests/serve.rs`.
+//!
+//! # Shard layout and the SIMD contract
+//!
+//! Rows are partitioned by a splitmix-style hash of the word id into
+//! `n_shards` shards. Within a shard, rows are stored back-to-back in one
+//! contiguous [`FlatMatrix`] in ascending-id order — exactly the `B[n×k]`
+//! operand shape of [`gemm_nt`](gw2v_util::fvec::gemm_nt), so a scan is
+//! one GEMM per shard with no gather step. Raw (unnormalized) trainer
+//! values are preserved; cosine normalization is amortized into a
+//! per-row inverse norm computed once at load time (`0.0` for zero or
+//! non-finite rows, so they can never win a top-k slot).
+
+use gw2v_core::checkpoint::{Checkpoint, CheckpointError};
+use gw2v_gluon::liveness::Liveness;
+use gw2v_graph::partition::master_host;
+use gw2v_util::fvec::FlatMatrix;
+use gw2v_util::simd::scalar;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Why a store could not be built or a serve request could not start.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The checkpoint file failed to load or validate (bad magic,
+    /// CRC mismatch, truncation, I/O).
+    Checkpoint(CheckpointError),
+    /// No `epoch-*.gw2vckp` file exists in the given directory.
+    NoCheckpoint(PathBuf),
+    /// The checkpoint's liveness map marks every host dead; no replica
+    /// can be canonical.
+    NoHostsAlive,
+    /// The vocabulary used to name rows has a different size than the
+    /// checkpoint's embedding table, so ids cannot be aligned.
+    VocabMismatch {
+        /// Words in the supplied vocabulary.
+        words: usize,
+        /// Embedding rows in the checkpoint.
+        rows: usize,
+    },
+    /// The checkpoint carries no layers or zero-dimensional rows.
+    EmptyModel,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Checkpoint(e) => write!(f, "checkpoint rejected: {e}"),
+            ServeError::NoCheckpoint(dir) => {
+                write!(f, "no .gw2vckp checkpoint found in {}", dir.display())
+            }
+            ServeError::NoHostsAlive => {
+                write!(f, "checkpoint liveness map has no alive host")
+            }
+            ServeError::VocabMismatch { words, rows } => write!(
+                f,
+                "vocabulary has {words} words but the checkpoint has {rows} embedding rows; \
+                 rebuild the vocabulary from the training corpus with the training --min-count"
+            ),
+            ServeError::EmptyModel => write!(f, "checkpoint holds an empty model"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<CheckpointError> for ServeError {
+    fn from(e: CheckpointError) -> Self {
+        ServeError::Checkpoint(e)
+    }
+}
+
+/// Assembles the canonical layers of a checkpoint: for each node, the row
+/// held by the effective master of its owning host (dead masters resolve
+/// to their cyclic adopters, exactly as the trainer's end-of-run assembly
+/// does).
+pub fn canonical_layers(ckpt: &Checkpoint) -> Result<Vec<FlatMatrix>, ServeError> {
+    let n_hosts = ckpt.layers.len();
+    if n_hosts == 0 || ckpt.layers[0].is_empty() {
+        return Err(ServeError::EmptyModel);
+    }
+    if !ckpt.alive.iter().any(|&a| a) {
+        return Err(ServeError::NoHostsAlive);
+    }
+    let mut live = Liveness::all(n_hosts);
+    for (h, &alive) in ckpt.alive.iter().enumerate() {
+        if !alive {
+            live.mark_dead(h);
+        }
+    }
+    let n_layers = ckpt.layers[0].len();
+    let n_nodes = ckpt.layers[0][0].rows();
+    let dim = ckpt.layers[0][0].dim();
+    if n_nodes == 0 || dim == 0 {
+        return Err(ServeError::EmptyModel);
+    }
+    // Masters are assigned per node; resolve each node's effective owner
+    // once and reuse it for every layer.
+    let owners: Vec<usize> = (0..n_nodes as u32)
+        .map(|node| live.effective_master(master_host(n_nodes, n_hosts, node)))
+        .collect();
+    Ok((0..n_layers)
+        .map(|layer| {
+            let mut m = FlatMatrix::zeros(n_nodes, dim);
+            for (node, &owner) in owners.iter().enumerate() {
+                m.row_mut(node)
+                    .copy_from_slice(ckpt.layers[owner][layer].row(node));
+            }
+            m
+        })
+        .collect())
+}
+
+/// Small provenance record of the checkpoint a store was loaded from.
+#[derive(Clone, Copy, Debug)]
+pub struct CheckpointSummary {
+    /// Last epoch fully trained before the checkpoint was written.
+    pub epoch: usize,
+    /// Number of simulated hosts in the training run.
+    pub n_hosts: usize,
+    /// Positive pairs trained up to the checkpoint.
+    pub pairs_trained: u64,
+    /// Run-identity fingerprint (hyperparameters ⊕ cluster config).
+    pub fingerprint: u64,
+}
+
+/// One hash partition of the embedding table: ascending word ids, their
+/// raw rows packed contiguously, and the matching inverse norms.
+#[derive(Clone, Debug)]
+pub struct Shard {
+    ids: Vec<u32>,
+    rows: FlatMatrix,
+    inv_norms: Vec<f32>,
+}
+
+impl Shard {
+    /// Word ids resident in this shard, ascending.
+    pub fn ids(&self) -> &[u32] {
+        &self.ids
+    }
+
+    /// The shard's rows, contiguous and in `ids` order — the `B` operand
+    /// of a `gemm_nt` scan.
+    pub fn rows(&self) -> &FlatMatrix {
+        &self.rows
+    }
+
+    /// Per-row `1 / ‖row‖` (0 for zero or non-finite rows), aligned with
+    /// [`Shard::ids`].
+    pub fn inv_norms(&self) -> &[f32] {
+        &self.inv_norms
+    }
+
+    /// Number of rows in this shard.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True when the hash assigned this shard no rows.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+}
+
+/// The read-optimized embedding store: the canonical `syn0` table,
+/// hash-partitioned into contiguous shards with precomputed norms.
+#[derive(Clone, Debug)]
+pub struct ShardedStore {
+    dim: usize,
+    shards: Vec<Shard>,
+    /// `id → (shard, index-within-shard)` for O(1) row lookup.
+    locate: Vec<(u32, u32)>,
+}
+
+/// splitmix64-style avalanche of a word id; decouples shard assignment
+/// from the frequency-sorted id order so hot words spread across shards.
+#[inline]
+fn shard_of(id: u32, n_shards: usize) -> usize {
+    let mut z = (id as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z % n_shards as u64) as usize
+}
+
+impl ShardedStore {
+    /// Builds a store over an already-assembled embedding matrix. Row `r`
+    /// of `table` is word id `r`; values are copied bit-for-bit.
+    pub fn from_matrix(table: &FlatMatrix, n_shards: usize) -> Self {
+        let n_shards = n_shards.max(1);
+        let (n_rows, dim) = (table.rows(), table.dim());
+        let span = gw2v_obs::span("serve.load");
+        // Two passes: size each shard, then fill preserving ascending-id
+        // order (ids are visited in order, so pushes stay sorted).
+        let mut counts = vec![0usize; n_shards];
+        for id in 0..n_rows as u32 {
+            counts[shard_of(id, n_shards)] += 1;
+        }
+        let mut ids: Vec<Vec<u32>> = counts.iter().map(|&c| Vec::with_capacity(c)).collect();
+        let mut data: Vec<Vec<f32>> = counts
+            .iter()
+            .map(|&c| Vec::with_capacity(c * dim))
+            .collect();
+        for id in 0..n_rows as u32 {
+            let s = shard_of(id, n_shards);
+            ids[s].push(id);
+            data[s].extend_from_slice(table.row(id as usize));
+        }
+        let mut locate = vec![(0u32, 0u32); n_rows];
+        for (s, shard_ids) in ids.iter().enumerate() {
+            for (i, &id) in shard_ids.iter().enumerate() {
+                locate[id as usize] = (s as u32, i as u32);
+            }
+        }
+        let shards: Vec<Shard> = ids
+            .into_iter()
+            .zip(data)
+            .map(|(ids, data)| {
+                let rows = FlatMatrix::from_vec(data, ids.len(), dim);
+                // Norms come from the fixed-order scalar kernel, never
+                // the dispatched one: they feed the *canonical* served
+                // scores, which must be byte-identical across backends.
+                let inv_norms = (0..ids.len())
+                    .map(|i| {
+                        let row = rows.row(i);
+                        let n = scalar::dot(row, row).sqrt();
+                        if n.is_finite() && n > 0.0 {
+                            1.0 / n
+                        } else {
+                            0.0
+                        }
+                    })
+                    .collect();
+                Shard {
+                    ids,
+                    rows,
+                    inv_norms,
+                }
+            })
+            .collect();
+        drop(span);
+        gw2v_obs::add("serve.rows_loaded", n_rows as u64);
+        Self {
+            dim,
+            shards,
+            locate,
+        }
+    }
+
+    /// Builds a store from a parsed checkpoint: assembles the canonical
+    /// `syn0` layer (see [`canonical_layers`]) and shards it.
+    pub fn from_checkpoint(ckpt: &Checkpoint, n_shards: usize) -> Result<Self, ServeError> {
+        let layers = canonical_layers(ckpt)?;
+        Ok(Self::from_matrix(&layers[0], n_shards))
+    }
+
+    /// Loads a checkpoint file — or, given a directory, its
+    /// highest-epoch checkpoint — and builds a store from it.
+    pub fn load(path: &Path, n_shards: usize) -> Result<(Self, CheckpointSummary), ServeError> {
+        let file = if path.is_dir() {
+            Checkpoint::latest_in(path)?.ok_or_else(|| ServeError::NoCheckpoint(path.into()))?
+        } else {
+            path.to_path_buf()
+        };
+        let ckpt = Checkpoint::load(&file)?;
+        let summary = CheckpointSummary {
+            epoch: ckpt.epoch,
+            n_hosts: ckpt.layers.len(),
+            pairs_trained: ckpt.pairs_trained,
+            fingerprint: ckpt.fingerprint,
+        };
+        Ok((Self::from_checkpoint(&ckpt, n_shards)?, summary))
+    }
+
+    /// Embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Total number of stored vectors.
+    pub fn len(&self) -> usize {
+        self.locate.len()
+    }
+
+    /// True when the store holds no vectors.
+    pub fn is_empty(&self) -> bool {
+        self.locate.is_empty()
+    }
+
+    /// The shards, in hash order.
+    pub fn shards(&self) -> &[Shard] {
+        &self.shards
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The raw stored vector of word `id` (bitwise-equal to the trainer's
+    /// row), or `None` for an out-of-range id.
+    pub fn vector(&self, id: u32) -> Option<&[f32]> {
+        let &(s, i) = self.locate.get(id as usize)?;
+        Some(self.shards[s as usize].rows.row(i as usize))
+    }
+
+    /// `1 / ‖vector(id)‖`, or `None` for an out-of-range id. Zero for
+    /// zero-norm or non-finite rows.
+    pub fn inv_norm(&self, id: u32) -> Option<f32> {
+        let &(s, i) = self.locate.get(id as usize)?;
+        Some(self.shards[s as usize].inv_norms[i as usize])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(rows: usize, dim: usize) -> FlatMatrix {
+        let mut m = FlatMatrix::zeros(rows, dim);
+        for r in 0..rows {
+            for d in 0..dim {
+                m.row_mut(r)[d] = (r * dim + d) as f32 * 0.25 - 3.0;
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn sharding_preserves_every_row_bitwise() {
+        let t = table(37, 8);
+        for n_shards in [1, 2, 7, 64] {
+            let store = ShardedStore::from_matrix(&t, n_shards);
+            assert_eq!(store.len(), 37);
+            assert_eq!(store.dim(), 8);
+            assert_eq!(store.n_shards(), n_shards);
+            let mut seen = 0usize;
+            for shard in store.shards() {
+                assert!(shard.ids().windows(2).all(|w| w[0] < w[1]), "ids ascending");
+                seen += shard.len();
+            }
+            assert_eq!(seen, 37, "every row lands in exactly one shard");
+            for id in 0..37u32 {
+                let got = store.vector(id).unwrap();
+                let want = t.row(id as usize);
+                assert!(
+                    got.iter().zip(want).all(|(a, b)| a.to_bits() == b.to_bits()),
+                    "row {id} altered by sharding"
+                );
+            }
+            assert!(store.vector(37).is_none());
+        }
+    }
+
+    #[test]
+    fn inv_norms_guard_degenerate_rows() {
+        let mut t = table(4, 4);
+        t.row_mut(1).fill(0.0);
+        t.row_mut(2).fill(f32::NAN);
+        let store = ShardedStore::from_matrix(&t, 2);
+        assert_eq!(store.inv_norm(1), Some(0.0), "zero row");
+        assert_eq!(store.inv_norm(2), Some(0.0), "NaN row");
+        let n0 = store.inv_norm(0).unwrap();
+        assert!(n0 > 0.0 && n0.is_finite());
+    }
+
+    #[test]
+    fn empty_checkpoint_shapes_are_rejected() {
+        let ckpt = Checkpoint {
+            fingerprint: 0,
+            epoch: 0,
+            pairs_trained: 0,
+            compute_time: 0.0,
+            comm_time: 0.0,
+            processed: vec![],
+            alive: vec![],
+            rng_states: vec![],
+            stats: Default::default(),
+            layers: vec![],
+        };
+        assert!(matches!(
+            ShardedStore::from_checkpoint(&ckpt, 4),
+            Err(ServeError::EmptyModel)
+        ));
+    }
+}

@@ -18,7 +18,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 OUT="${1:-BENCH_$(date +%F).json}"
-BENCHES=(sgns_kernels combiner_ops sync_plans epoch_end_to_end)
+BENCHES=(sgns_kernels combiner_ops sync_plans epoch_end_to_end serve_query)
 
 echo "building benches (release)..." >&2
 cargo build --release --benches -q

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Serving load snapshot: train a small model through the distributed
+# path, load it into the sharded store from its GW2VCKP1 checkpoint, and
+# replay a synthetic 80/20 similarity/analogy mix closed-loop at each
+# concurrency level. Writes results/serve_load.json (provenance + the
+# gw2v-obs metrics snapshot + per-level throughput and p50/p90/p99
+# latency) and prints the latency table.
+#
+# Usage:
+#   scripts/serve_load.sh
+#
+# Knobs (all optional, see crates/bench/src/bin/serve_load.rs):
+#   GW2V_SCALE=tiny|small|medium   corpus scale            (default tiny)
+#   SERVE_CONCURRENCY=1,2,4,8      client thread sweep
+#   SERVE_REQUESTS=2000            requests per level
+#   SERVE_K=10 SERVE_SHARDS=8 SERVE_DIM=128 SERVE_HOSTS=4
+#   GW2V_FORCE_SCALAR=1            pin the scalar kernels
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "building serve_load (release)..." >&2
+cargo build --release -q -p gw2v-bench --bin serve_load
+
+mkdir -p results
+./target/release/serve_load
+echo "wrote results/serve_load.json" >&2

@@ -38,6 +38,7 @@ pub use gw2v_faults as faults;
 pub use gw2v_gluon as gluon;
 pub use gw2v_graph as graph;
 pub use gw2v_obs as obs;
+pub use gw2v_serve as serve;
 pub use gw2v_util as util;
 
 /// The most common imports in one place.
@@ -59,4 +60,5 @@ pub mod prelude {
     pub use gw2v_eval::knn::EmbeddingIndex;
     pub use gw2v_faults::FaultPlan;
     pub use gw2v_gluon::plan::SyncPlan;
+    pub use gw2v_serve::{Query, QueryEngine, ServeError, ShardedStore};
 }
