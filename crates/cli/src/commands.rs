@@ -19,9 +19,10 @@ use gw2v_corpus::tokenizer::TokenizerConfig;
 use gw2v_corpus::vocab::Vocabulary;
 use gw2v_eval::analogy::{evaluate_with, AnalogyMethod};
 use gw2v_eval::knn::EmbeddingIndex;
-use gw2v_faults::FaultPlan;
+use gw2v_faults::{FaultPlan, OnPartition};
 use gw2v_gluon::plan::SyncPlan;
 use gw2v_gluon::wire::WireMode;
+use gw2v_gluon::ClusterConfig;
 use gw2v_serve::{Query, QueryEngine, ServeError, ShardedStore};
 use std::error::Error;
 use std::fs::File;
@@ -47,6 +48,8 @@ USAGE:
                  [--sgns per-pair|hogbatch] [--threads 4] [--seed 1]
                  [--min-count 1] [--subsample 1e-4]
                  [--fault-plan 'seed=7,drop=0.02,crash=1@3']
+                 [--on-partition stall|degrade] [--max-stale-rounds 8]
+                 [--nak-delay MS] [--max-retries N] [--barrier-timeout MS]
                  [--checkpoint-dir DIR] [--checkpoint-every 1] [--resume]
   gw2v eval      --model model.txt --questions questions.txt
                  [--method cosadd|cosmul]
@@ -59,6 +62,10 @@ USAGE:
 serve reads one query per line (`sim WORD` or `analogy A B C`; blank
 lines and # comments ignored) from --queries or stdin and emits one JSON
 result line per query to --out or stdout.
+
+The threaded trainer's timing knobs fall back to the GW2V_NAK_DELAY_MS,
+GW2V_MAX_RETRIES and GW2V_BARRIER_TIMEOUT_MS environment variables when
+the corresponding flag is absent (flags win).
 ";
 
 type CmdResult = Result<(), Box<dyn Error>>;
@@ -172,7 +179,36 @@ fn dist_config_from(args: &Args) -> Result<DistConfig, ArgError> {
             other => return Err(ArgError(format!("bad sgns mode {other:?}"))),
         };
     }
+    if let Some(p) = args.get("on-partition") {
+        config.on_partition = OnPartition::parse(p)
+            .ok_or_else(|| ArgError(format!("bad on-partition policy {p:?}")))?;
+    }
+    config.max_stale_rounds = args.get_or("max-stale-rounds", config.max_stale_rounds)?;
     Ok(config)
+}
+
+/// Threaded-transport timing: environment first
+/// ([`ClusterConfig::from_env`]), then explicit CLI flags override. All
+/// durations are milliseconds.
+fn cluster_config_from(args: &Args) -> Result<ClusterConfig, ArgError> {
+    fn ms_flag(args: &Args, name: &str) -> Result<Option<std::time::Duration>, ArgError> {
+        match args.get(name) {
+            None => Ok(None),
+            Some(v) => v
+                .parse::<f64>()
+                .map(|ms| Some(std::time::Duration::from_secs_f64(ms / 1e3)))
+                .map_err(|_| ArgError(format!("--{name}: cannot parse {v:?}"))),
+        }
+    }
+    let mut cfg = ClusterConfig::from_env().map_err(ArgError)?;
+    if let Some(d) = ms_flag(args, "nak-delay")? {
+        cfg.nak_delay = d;
+    }
+    if let Some(d) = ms_flag(args, "barrier-timeout")? {
+        cfg.barrier_timeout = d;
+    }
+    cfg.max_retries = args.get_or("max-retries", cfg.max_retries)?;
+    Ok(cfg)
 }
 
 /// `--fault-plan` wins; otherwise `GW2V_FAULT_PLAN` from the
@@ -215,6 +251,11 @@ pub fn train(raw: &[String]) -> CmdResult {
         "min-count",
         "subsample",
         "fault-plan",
+        "on-partition",
+        "max-stale-rounds",
+        "nak-delay",
+        "max-retries",
+        "barrier-timeout",
         "checkpoint-dir",
         "checkpoint-every",
         "resume",
@@ -277,7 +318,9 @@ pub fn train(raw: &[String]) -> CmdResult {
         }
         "threaded" => {
             let config = dist_config_from(&args)?;
-            let mut t = ThreadedTrainer::new(params, config).with_faults(fault_plan_from(&args)?);
+            let mut t = ThreadedTrainer::new(params, config)
+                .with_faults(fault_plan_from(&args)?)
+                .with_cluster_config(cluster_config_from(&args)?);
             match args.get("checkpoint-dir") {
                 Some(dir) => {
                     let every: usize = args.get_or("checkpoint-every", 1)?;
@@ -462,9 +505,7 @@ pub fn serve(raw: &[String]) -> CmdResult {
             );
             (vocab, store)
         }
-        (None, None) => {
-            return Err(ArgError("serve needs --model or --checkpoint".into()).into())
-        }
+        (None, None) => return Err(ArgError("serve needs --model or --checkpoint".into()).into()),
     };
     let engine = QueryEngine::new(&store, &vocab);
     let reader: Box<dyn BufRead> = match args.get("queries") {
@@ -672,6 +713,103 @@ mod tests {
     }
 
     #[test]
+    fn partition_and_cluster_timing_flags_pipeline() {
+        let corpus = tmp("part_corpus.txt");
+        let model = tmp("part_model.txt");
+        generate(&s(&[
+            "--out", &corpus, "--scale", "tiny", "--tokens", "20000",
+        ]))
+        .expect("generate");
+        let base = |trainer: &str| {
+            s(&[
+                "--input",
+                &corpus,
+                "--out",
+                &model,
+                "--trainer",
+                trainer,
+                "--hosts",
+                "3",
+                "--sync-rounds",
+                "2",
+                "--dim",
+                "8",
+                "--epochs",
+                "2",
+                "--negative",
+                "2",
+                "--fault-plan",
+                "seed=5,partition=0.1|2@1..2,dup=0.05,reorder=0.1",
+            ])
+        };
+        // Both engines run a partition plan under both policies.
+        for trainer in ["dist", "threaded"] {
+            for policy in ["stall", "degrade"] {
+                let mut run = base(trainer);
+                run.extend(s(&["--on-partition", policy]));
+                if trainer == "threaded" {
+                    // Exercise the timing knobs on the same run.
+                    run.extend(s(&[
+                        "--nak-delay",
+                        "10",
+                        "--barrier-timeout",
+                        "500",
+                        "--max-retries",
+                        "100",
+                    ]));
+                }
+                train(&run).unwrap_or_else(|e| panic!("{trainer}/{policy}: {e}"));
+            }
+        }
+        // Misuse is rejected up front.
+        let mut bad_policy = base("dist");
+        bad_policy.extend(s(&["--on-partition", "panic"]));
+        assert!(train(&bad_policy).is_err(), "unknown policy");
+        let mut bad_delay = base("threaded");
+        bad_delay.extend(s(&["--nak-delay", "soon"]));
+        assert!(train(&bad_delay).is_err(), "unparseable --nak-delay");
+        let mut bad_retries = base("threaded");
+        bad_retries.extend(s(&["--max-retries", "-3"]));
+        assert!(train(&bad_retries).is_err(), "unparseable --max-retries");
+        let mut bad_directive = base("dist");
+        let n = bad_directive.len();
+        bad_directive[n - 1] = "seed=5,partitoin=0|1@1..2".into();
+        assert!(train(&bad_directive).is_err(), "unknown plan directive");
+        for f in [&corpus, &model] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+
+    #[test]
+    fn cluster_timing_env_vars_are_honored_and_validated() {
+        // Serialized within this test: set, read, restore. The variables
+        // only shape transport timing, never model bits, so a concurrent
+        // threaded test seeing them transiently stays correct.
+        std::env::set_var("GW2V_NAK_DELAY_MS", "15");
+        std::env::set_var("GW2V_MAX_RETRIES", "77");
+        std::env::set_var("GW2V_BARRIER_TIMEOUT_MS", "400");
+        let cfg = cluster_config_from(&Args::parse(std::iter::empty::<String>(), &[]).unwrap())
+            .expect("env-configured cluster");
+        assert_eq!(cfg.nak_delay, std::time::Duration::from_millis(15));
+        assert_eq!(cfg.max_retries, 77);
+        assert_eq!(cfg.barrier_timeout, std::time::Duration::from_millis(400));
+        // A CLI flag overrides its env twin.
+        let over =
+            cluster_config_from(&Args::parse(s(&["--nak-delay", "20"]), &[]).unwrap())
+                .expect("flag overrides env");
+        assert_eq!(over.nak_delay, std::time::Duration::from_millis(20));
+        assert_eq!(over.max_retries, 77, "untouched knobs keep env values");
+        // A set-but-garbage value is an error, not a silent default.
+        std::env::set_var("GW2V_MAX_RETRIES", "many");
+        assert!(
+            cluster_config_from(&Args::parse(std::iter::empty::<String>(), &[]).unwrap()).is_err()
+        );
+        std::env::remove_var("GW2V_NAK_DELAY_MS");
+        std::env::remove_var("GW2V_MAX_RETRIES");
+        std::env::remove_var("GW2V_BARRIER_TIMEOUT_MS");
+    }
+
+    #[test]
     fn serve_pipeline_model_and_checkpoint() {
         let corpus = tmp("serve_corpus.txt");
         let model = tmp("serve_model.txt");
@@ -728,14 +866,25 @@ mod tests {
         assert_eq!(lines.len(), 4, "one line per query: {text}");
         assert!(lines[0].starts_with("{\"kind\":\"sim\",\"words\":[\"bg0\"],\"hits\":["));
         assert!(lines[1].starts_with("{\"kind\":\"analogy\""));
-        assert!(lines[2].contains("\"error\":\"unknown word"), "{}", lines[2]);
+        assert!(
+            lines[2].contains("\"error\":\"unknown word"),
+            "{}",
+            lines[2]
+        );
         assert!(lines[3].starts_with("{\"error\":"), "{}", lines[3]);
         assert_eq!(lines[0].matches("\"word\":").count(), 3, "k=3 hits");
         assert!(!lines[0].contains("\"word\":\"bg0\""), "self excluded");
         // The text-model path answers the same query shape.
         let out2 = tmp("serve_out2.jsonl");
         serve(&s(&[
-            "--model", &model, "--queries", &queries, "--out", &out2, "--k", "3",
+            "--model",
+            &model,
+            "--queries",
+            &queries,
+            "--out",
+            &out2,
+            "--k",
+            "3",
         ]))
         .expect("serve from model");
         assert_eq!(
@@ -749,7 +898,15 @@ mod tests {
             "needs a source"
         );
         assert!(
-            serve(&s(&["--model", &model, "--checkpoint", &ckdir, "--vocab", &corpus])).is_err(),
+            serve(&s(&[
+                "--model",
+                &model,
+                "--checkpoint",
+                &ckdir,
+                "--vocab",
+                &corpus
+            ]))
+            .is_err(),
             "sources are mutually exclusive"
         );
         assert!(

@@ -487,6 +487,8 @@ mod tests {
             cost: CostModel::infiniband_56g(),
             wire: gw2v_gluon::wire::WireMode::IdValue,
             sgns: crate::trainer_hogbatch::SgnsMode::PerPair,
+            on_partition: gw2v_faults::OnPartition::Stall,
+            max_stale_rounds: 8,
         };
         let f = Checkpoint::fingerprint_of(&p, &cfg);
         assert_eq!(f, Checkpoint::fingerprint_of(&p, &cfg), "stable");

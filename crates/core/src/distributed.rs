@@ -50,7 +50,7 @@ use crate::trainer_hogbatch::{train_sentence_mode, MinibatchScratch, SgnsMode};
 use gw2v_combiner::CombinerKind;
 use gw2v_corpus::shard::Corpus;
 use gw2v_corpus::vocab::Vocabulary;
-use gw2v_faults::{counters, FaultPlan};
+use gw2v_faults::{counters, FaultPlan, OnPartition};
 use gw2v_gluon::cost::CostModel;
 use gw2v_gluon::liveness::Liveness;
 use gw2v_gluon::plan::{AccessSets, SyncConfig, SyncPlan};
@@ -91,6 +91,16 @@ pub struct DistConfig {
     /// (HogBatch). Part of the checkpoint fingerprint — the RNG streams
     /// differ between modes, so a resume must match.
     pub sgns: SgnsMode,
+    /// Policy for fault-plan network partitions: `Stall` rides out the
+    /// NAK loop bit-identically to faultless runs; `Degrade` marks the
+    /// dormant side unreachable and keeps training on the reachable side
+    /// (deterministic crash/rejoin conversion, see
+    /// [`gw2v_faults::FaultPlan::degrade_partitions`]).
+    pub on_partition: OnPartition,
+    /// Staleness bound for `Degrade`: a partition spanning more than
+    /// this many rounds falls back to `Stall` (the dormant side would
+    /// drift too far to heal inside the bound).
+    pub max_stale_rounds: usize,
 }
 
 impl DistConfig {
@@ -117,6 +127,8 @@ impl DistConfig {
             cost: CostModel::infiniband_56g(),
             wire: WireMode::IdValue,
             sgns: SgnsMode::PerPair,
+            on_partition: OnPartition::Stall,
+            max_stale_rounds: 8,
         }
     }
 }
@@ -232,7 +244,31 @@ impl DistributedTrainer {
     ) -> TrainResult {
         let p = &self.params;
         let cfg = &self.config;
-        let plan = &self.faults;
+        // Degrade mode rewrites qualifying partition specs into
+        // deterministic crash + rejoin pairs for the dormant side before
+        // training starts; everything downstream (liveness, adoption,
+        // rejoin state transfer) then runs the established crash
+        // machinery unchanged. Non-qualifying specs (duration beyond the
+        // staleness bound) stay in the plan and stall as usual.
+        let degraded_plan;
+        let plan = if cfg.on_partition == OnPartition::Degrade {
+            let (eff, converted) = self
+                .faults
+                .degrade_partitions(cfg.max_stale_rounds, cfg.sync_rounds);
+            for spec in &converted {
+                counters::bump(counters::INJECTED_PARTITION);
+                counters::bump(counters::DETECTED_PARTITION);
+                if spec.to_round.div_ceil(cfg.sync_rounds.max(1)) < p.epochs {
+                    // The dormant side's scheduled rejoin lands inside
+                    // the run: the partition heals deterministically.
+                    counters::bump(counters::RECOVERED_HEAL);
+                }
+            }
+            degraded_plan = eff;
+            &degraded_plan
+        } else {
+            &self.faults
+        };
         let faults_on = !plan.is_inert();
         let h_count = cfg.n_hosts;
         let s_count = cfg.sync_rounds;
@@ -565,8 +601,15 @@ impl DistributedTrainer {
                 );
                 let round_comp = round_compute.iter().cloned().fold(0.0, f64::max);
                 let mut round_comm = cfg.cost.round_time(&volume);
-                if faults_on && (plan.drop_p > 0.0 || plan.flip_p > 0.0) {
+                if faults_on
+                    && (plan.drop_p > 0.0
+                        || plan.flip_p > 0.0
+                        || plan.dup_p > 0.0
+                        || plan.reorder_p > 0.0
+                        || plan.partition_active(g))
+                {
                     round_comm += virtual_retransmission_time(plan, g, &live, &volume, &cfg.cost);
+                    round_comm += cfg.cost.partition_stall_time(plan, &live, g);
                 }
                 compute_time += round_comp;
                 comm_time += round_comm;
@@ -710,9 +753,19 @@ fn virtual_retransmission_time(
                     continue;
                 }
                 for layer in 0..n_layers {
+                    // Replay the reorder coin: a deferred send changes
+                    // per-channel delivery order, not bytes or time.
+                    if plan.should_reorder(from, to, layer, seq) {
+                        counters::bump(counters::INJECTED_REORDER);
+                    }
                     let mut attempt = 0u32;
                     while attempt <= VIRTUAL_MAX_RETRIES {
-                        if plan.should_drop(from, to, layer, seq, attempt) {
+                        if plan.partition_blocked(from, to, global_round, attempt) {
+                            // Stall-mode partition withholds the leading
+                            // attempts; the NAK loop heals the channel.
+                            counters::bump(counters::INJECTED_PARTITION);
+                            counters::bump(counters::DETECTED_TIMEOUT);
+                        } else if plan.should_drop(from, to, layer, seq, attempt) {
                             counters::bump(counters::INJECTED_DROP);
                             counters::bump(counters::DETECTED_TIMEOUT);
                         } else if plan
@@ -729,6 +782,19 @@ fn virtual_retransmission_time(
                         }
                         counters::bump(counters::RECOVERED_RESEND);
                         attempt += 1;
+                    }
+                    if attempt > 0 && plan.partition_blocked(from, to, global_round, attempt - 1) {
+                        // The delivered attempt is the first past the
+                        // partition's withheld window.
+                        counters::bump(counters::RECOVERED_HEAL);
+                    }
+                    // Replay the dup coin for the delivered (clean) attempt:
+                    // one extra frame on the wire, discarded by the
+                    // receiver's dedup.
+                    if plan.should_dup(from, to, layer, seq, attempt) {
+                        counters::bump(counters::INJECTED_DUP);
+                        counters::bump(counters::RECOVERED_DEDUP);
+                        extra_msgs += 1;
                     }
                     extra_msgs += attempt as u64;
                 }
@@ -782,6 +848,8 @@ mod tests {
             combiner: comb,
             cost: CostModel::infiniband_56g(),
             wire: WireMode::IdValue,
+            on_partition: OnPartition::Stall,
+            max_stale_rounds: 8,
         }
     }
 

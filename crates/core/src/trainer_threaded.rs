@@ -45,7 +45,7 @@ use crate::sgns::{RecordingStore, ReplicaStore};
 use crate::trainer_hogbatch::{train_sentence_mode, MinibatchScratch};
 use gw2v_corpus::shard::{Corpus, CorpusShard};
 use gw2v_corpus::vocab::Vocabulary;
-use gw2v_faults::{counters, FaultPlan};
+use gw2v_faults::{counters, FaultPlan, OnPartition};
 use gw2v_gluon::liveness::Liveness;
 use gw2v_gluon::plan::{AccessSets, SyncConfig, SyncPlan};
 use gw2v_gluon::sync::assemble_canonical_live;
@@ -270,7 +270,30 @@ impl ThreadedTrainer {
         let h_count = cfg.n_hosts;
         let s_count = cfg.sync_rounds;
         let n_words = vocab.len();
-        let faults_on = !self.faults.is_inert();
+        // Degrade mode rewrites qualifying partition specs into crash +
+        // rejoin pairs for the dormant side before the fabric spawns
+        // (mirroring the simulator exactly — see
+        // [`FaultPlan::degrade_partitions`]); every host and the fabric
+        // then run the established crash/rejoin machinery on the single
+        // effective plan. Non-qualifying specs stay and stall.
+        let degraded_plan;
+        let plan: &FaultPlan = if cfg.on_partition == OnPartition::Degrade {
+            let (eff, converted) = self
+                .faults
+                .degrade_partitions(cfg.max_stale_rounds, cfg.sync_rounds);
+            for spec in &converted {
+                counters::bump(counters::INJECTED_PARTITION);
+                counters::bump(counters::DETECTED_PARTITION);
+                if spec.to_round.div_ceil(cfg.sync_rounds.max(1)) < p.epochs {
+                    counters::bump(counters::RECOVERED_HEAL);
+                }
+            }
+            degraded_plan = eff;
+            &degraded_plan
+        } else {
+            &self.faults
+        };
+        let faults_on = !plan.is_inert();
         let wall_start = Instant::now();
 
         let setup = TrainSetup::new(vocab, p);
@@ -315,8 +338,7 @@ impl ThreadedTrainer {
         };
         let start_epoch = resume_ckpt.as_ref().map_or(0, |c| c.epoch + 1);
         let resumed_from = resume_ckpt.as_ref().map(|_| start_epoch);
-        let killed = self
-            .faults
+        let killed = plan
             .kill_after_epoch
             .is_some_and(|e| e + 1 < p.epochs && e >= start_epoch);
 
@@ -339,7 +361,7 @@ impl ThreadedTrainer {
 
         let outcomes = run_cluster_with(
             h_count,
-            self.faults.clone(),
+            plan.clone(),
             self.cluster,
             |ctx| -> Result<HostOutcome, ClusterError> {
                 let h = ctx.host;
@@ -482,6 +504,10 @@ impl ThreadedTrainer {
                     }
                     for s in 0..s_count {
                         let g = epoch * s_count + s;
+                        // Partition blocking is round-indexed: tell the
+                        // fabric which global round the coming phases
+                        // belong to.
+                        ctx.begin_round(g);
                         if ctx.plan().crash_round(h) == Some(g) {
                             // Orphan the tallies *before* announcing the
                             // death: await_death releases survivors, and
@@ -888,6 +914,8 @@ mod tests {
             cost: CostModel::infiniband_56g(),
             wire: WireMode::IdValue,
             sgns: crate::trainer_hogbatch::SgnsMode::PerPair,
+            on_partition: gw2v_faults::OnPartition::Stall,
+            max_stale_rounds: 8,
         }
     }
 

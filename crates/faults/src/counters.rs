@@ -17,6 +17,13 @@ pub const INJECTED_CRASH: &str = "faults.injected.crash";
 pub const INJECTED_STRAGGLE: &str = "faults.injected.straggle";
 /// The whole training process was stopped after an epoch boundary.
 pub const INJECTED_KILL: &str = "faults.injected.kill";
+/// A frame was withheld by an active network partition (stall mode:
+/// per withheld attempt; degrade mode: once per converted spec).
+pub const INJECTED_PARTITION: &str = "faults.injected.partition";
+/// A cleanly delivered frame was delivered a second time.
+pub const INJECTED_DUP: &str = "faults.injected.dup";
+/// A frame's send was deferred to the end of its phase's send sequence.
+pub const INJECTED_REORDER: &str = "faults.injected.reorder";
 
 /// A frame failed its CRC-32 check at the receiver.
 pub const DETECTED_CORRUPT: &str = "faults.detected.corrupt";
@@ -24,6 +31,10 @@ pub const DETECTED_CORRUPT: &str = "faults.detected.corrupt";
 pub const DETECTED_TIMEOUT: &str = "faults.detected.timeout";
 /// A dead host was noticed through the liveness registry.
 pub const DETECTED_CRASH: &str = "faults.detected.crash";
+/// A peer was declared dormant-unreachable under degrade mode (one per
+/// converted partition spec; stall-mode partitions surface as
+/// [`DETECTED_TIMEOUT`] instead).
+pub const DETECTED_PARTITION: &str = "faults.detected.partition";
 
 /// A missing or corrupt message was recovered via NAK/resend.
 pub const RECOVERED_RESEND: &str = "faults.recovered.resend";
@@ -34,6 +45,13 @@ pub const RECOVERED_RESUME: &str = "faults.recovered.resume";
 /// A crashed host was re-admitted at an epoch boundary and took its
 /// partition back from the adopter.
 pub const RECOVERED_REJOIN: &str = "faults.recovered.rejoin";
+/// A duplicate delivery was discarded by the receiver's
+/// `(sender, layer)` dedup.
+pub const RECOVERED_DEDUP: &str = "faults.recovered.dedup";
+/// A partitioned channel healed: its first unblocked delivery attempt
+/// went through (stall mode), or a dormant side's scheduled rejoin fits
+/// inside the run (degrade mode).
+pub const RECOVERED_HEAL: &str = "faults.recovered.heal";
 
 /// Increments `name` by 1 in the global registry (no-op when metrics are
 /// disabled, like all of gw2v-obs).

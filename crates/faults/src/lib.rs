@@ -27,6 +27,15 @@
 //! * **Process kills** — [`FaultPlan::kill_after_epoch`] stops the whole
 //!   training run after an epoch boundary, standing in for SIGKILL in
 //!   checkpoint/resume tests.
+//! * **Network partitions** — [`FaultPlan::partition_blocked`] withholds
+//!   cross-group data frames for a round range; the trainer's
+//!   [`OnPartition`] policy decides between stalling on the NAK loop and
+//!   degrading to dormant-unreachable peers with deterministic healing.
+//! * **Duplicate deliveries** — [`FaultPlan::should_dup`] delivers a
+//!   clean frame twice, exercising the receiver's attempt-dedup path.
+//! * **Send reordering** — [`FaultPlan::should_reorder`] defers a frame
+//!   to the end of its phase's send sequence, shuffling per-channel
+//!   delivery order (model bits are fold-order-canonical, so unchanged).
 //!
 //! Plans parse from a compact spec string (`GW2V_FAULT_PLAN` /
 //! `--fault-plan`), e.g.:
@@ -44,4 +53,7 @@
 pub mod counters;
 mod plan;
 
-pub use plan::{CrashSpec, FaultPlan, PlanParseError, StragglerSpec};
+pub use plan::{
+    CrashSpec, FaultPlan, OnPartition, PartitionSpec, PlanParseError, RejoinSpec, StragglerSpec,
+    PARTITION_STALL_ATTEMPTS,
+};

@@ -7,6 +7,20 @@ use std::fmt;
 const TAG_DROP: u64 = 0xD80F;
 const TAG_FLIP: u64 = 0xF117;
 const TAG_FLIP_POS: u64 = 0xF119;
+const TAG_DUP: u64 = 0xD0B1;
+const TAG_REORDER: u64 = 0x0EDE;
+const TAG_BACKOFF: u64 = 0xBAC0;
+
+/// Leading delivery attempts blocked on a partitioned channel.
+///
+/// A BSP round cannot advance while frames are withheld, so a partition's
+/// in-round "duration" is modeled in *attempts*, not wall time: every
+/// cross-group frame of an affected round is withheld for this many
+/// delivery attempts and delivered by the NAK/resend loop afterwards.
+/// Being a pure function of `(channel, round, attempt)`, the healing
+/// point is identical in the simulator and the threaded cluster, and the
+/// stall can never deadlock the lockstep protocol.
+pub const PARTITION_STALL_ATTEMPTS: u32 = 2;
 
 /// Crash `host` at the start of global sync round `round`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -40,6 +54,87 @@ pub struct RejoinSpec {
     pub epoch: usize,
 }
 
+/// A network partition: hosts in `group_a` and hosts in `group_b`
+/// cannot exchange data frames for global rounds `from_round ..
+/// to_round` (half-open). Hosts listed in neither group reach both
+/// sides. Control traffic (NAKs, out-of-band state transfer) still
+/// crosses — like drops, the partition models a lossy data path, not a
+/// severed control plane.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PartitionSpec {
+    /// One side of the split.
+    pub group_a: Vec<usize>,
+    /// The other side. On degrade-mode conversion the smaller group
+    /// goes dormant; `group_b` yields on a size tie.
+    pub group_b: Vec<usize>,
+    /// First global round the split is active in.
+    pub from_round: usize,
+    /// First global round after the heal (exclusive bound).
+    pub to_round: usize,
+}
+
+impl PartitionSpec {
+    /// Round range covered by this spec.
+    pub fn covers(&self, round: usize) -> bool {
+        (self.from_round..self.to_round).contains(&round)
+    }
+
+    /// True if `from` and `to` sit on opposite sides of the split.
+    pub fn severs(&self, from: usize, to: usize) -> bool {
+        (self.group_a.contains(&from) && self.group_b.contains(&to))
+            || (self.group_b.contains(&from) && self.group_a.contains(&to))
+    }
+
+    /// The side that goes dormant under degrade-mode conversion: the
+    /// smaller group, with `group_b` yielding on a size tie.
+    pub fn dormant_side(&self) -> &[usize] {
+        if self.group_a.len() < self.group_b.len() {
+            &self.group_a
+        } else {
+            &self.group_b
+        }
+    }
+}
+
+/// What a distributed trainer does when a fault plan partitions the
+/// cluster. Selected per run (`--on-partition`), not per plan: the same
+/// plan replays under either policy.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum OnPartition {
+    /// Stall: affected rounds block on the NAK/resend loop until the
+    /// partition's attempt-indexed healing point
+    /// ([`PARTITION_STALL_ATTEMPTS`]). Preserves bit-identity with
+    /// partition-free behavior — the model never sees the fault.
+    #[default]
+    Stall,
+    /// Degrade: the partition's yielding side goes dormant-unreachable
+    /// at `from_round` (synthesized crash, adoption-map takeover) and
+    /// heals through the rejoin/state-transfer path at the first epoch
+    /// boundary at or after `to_round` — unless the partition outlives
+    /// the staleness bound, in which case that spec falls back to stall.
+    Degrade,
+}
+
+impl OnPartition {
+    /// Parses the `--on-partition` argument.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "stall" => Some(Self::Stall),
+            "degrade" => Some(Self::Degrade),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for OnPartition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Self::Stall => "stall",
+            Self::Degrade => "degrade",
+        })
+    }
+}
+
 /// A deterministic, seeded schedule of faults to inject into a
 /// distributed training run.
 ///
@@ -62,6 +157,16 @@ pub struct FaultPlan {
     pub stragglers: Vec<StragglerSpec>,
     /// Scheduled crashed-host re-admissions.
     pub rejoins: Vec<RejoinSpec>,
+    /// Scheduled network partitions.
+    pub partitions: Vec<PartitionSpec>,
+    /// Per-delivered-frame duplication probability in `[0, 1]`: a clean
+    /// delivery is delivered a second time, exercising the receiver's
+    /// attempt-dedup path.
+    pub dup_p: f64,
+    /// Per-message send-reorder probability in `[0, 1]`: the sender
+    /// defers the frame to the end of its phase's send sequence,
+    /// shuffling per-channel delivery order.
+    pub reorder_p: f64,
     /// Stop the whole training process after this epoch completes (and
     /// checkpoints) — the injector's stand-in for SIGKILL in
     /// checkpoint/resume tests.
@@ -70,11 +175,28 @@ pub struct FaultPlan {
 
 /// A fault-plan spec string that could not be parsed.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct PlanParseError(pub String);
+pub enum PlanParseError {
+    /// A directive word that names no known fault family — a typo like
+    /// `dorp=0.1` must fail loudly, never silently inject nothing.
+    UnknownDirective(String),
+    /// A known directive whose value does not fit its grammar.
+    Malformed(String),
+}
+
+impl PlanParseError {
+    fn malformed(msg: impl Into<String>) -> Self {
+        Self::Malformed(msg.into())
+    }
+}
 
 impl fmt::Display for PlanParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "bad fault plan: {}", self.0)
+        match self {
+            Self::UnknownDirective(word) => {
+                write!(f, "bad fault plan: unknown directive {word:?}")
+            }
+            Self::Malformed(msg) => write!(f, "bad fault plan: {msg}"),
+        }
     }
 }
 
@@ -96,6 +218,9 @@ impl FaultPlan {
             crashes: Vec::new(),
             stragglers: Vec::new(),
             rejoins: Vec::new(),
+            partitions: Vec::new(),
+            dup_p: 0.0,
+            reorder_p: 0.0,
             kill_after_epoch: None,
         }
     }
@@ -109,6 +234,9 @@ impl FaultPlan {
             && self.crashes.is_empty()
             && self.stragglers.is_empty()
             && self.rejoins.is_empty()
+            && self.partitions.is_empty()
+            && self.dup_p == 0.0
+            && self.reorder_p == 0.0
             && self.kill_after_epoch.is_none()
     }
 
@@ -198,30 +326,129 @@ impl FaultPlan {
         (total > 0.0).then_some(total)
     }
 
+    /// True when any partition spec covers global round `round`.
+    pub fn partition_active(&self, round: usize) -> bool {
+        self.partitions.iter().any(|p| p.covers(round))
+    }
+
+    /// Leading delivery attempts withheld on the `from → to` channel in
+    /// global round `round`: [`PARTITION_STALL_ATTEMPTS`] when a
+    /// covering spec severs the pair, 0 otherwise.
+    pub fn partition_block_attempts(&self, from: usize, to: usize, round: usize) -> u32 {
+        if self
+            .partitions
+            .iter()
+            .any(|p| p.covers(round) && p.severs(from, to))
+        {
+            PARTITION_STALL_ATTEMPTS
+        } else {
+            0
+        }
+    }
+
+    /// Is delivery attempt `attempt` of a `from → to` frame in global
+    /// round `round` withheld by an active partition?
+    pub fn partition_blocked(&self, from: usize, to: usize, round: usize, attempt: u32) -> bool {
+        attempt < self.partition_block_attempts(from, to, round)
+    }
+
+    /// Should this clean delivery attempt be delivered a second time?
+    /// The duplicate exercises the receiver's `(sender, layer)` dedup
+    /// path; resent bytes are identical, so model bits cannot change.
+    pub fn should_dup(&self, from: usize, to: usize, layer: usize, seq: u64, attempt: u32) -> bool {
+        self.dup_p > 0.0
+            && self.coin(
+                TAG_DUP,
+                [from as u64, to as u64, layer as u64, seq, attempt as u64],
+            ) < self.dup_p
+    }
+
+    /// Should the sender defer this frame to the end of its phase's send
+    /// sequence, shuffling per-channel delivery order? Receivers fold in
+    /// canonical host-id order, so reordering cannot change model bits.
+    pub fn should_reorder(&self, from: usize, to: usize, layer: usize, seq: u64) -> bool {
+        self.reorder_p > 0.0
+            && self.coin(TAG_REORDER, [from as u64, to as u64, layer as u64, seq, 0])
+                < self.reorder_p
+    }
+
+    /// Deterministic `[0, 1)` jitter for NAK-backoff schedules: a pure
+    /// function of `(seed, waiter, seq, nak_round)`, so the simulator
+    /// and the threaded engine draw identical backoff schedules.
+    pub fn backoff_jitter(&self, waiter: usize, seq: u64, nak_round: u32) -> f64 {
+        self.coin(TAG_BACKOFF, [waiter as u64, seq, nak_round as u64, 0, 0])
+    }
+
+    /// Degrade-mode plan rewrite: every partition spec whose round-range
+    /// duration fits `max_stale_rounds` is converted into a synthesized
+    /// crash of its [`PartitionSpec::dormant_side`] at `from_round` plus
+    /// a rejoin at the first epoch boundary at or after `to_round`
+    /// (`ceil(to_round / sync_rounds)`), so the dormant side heals
+    /// through the existing rejoin/state-transfer machinery. Specs that
+    /// outlive the bound are kept and fall back to stall blocking.
+    ///
+    /// Returns the rewritten plan and the converted specs (for
+    /// partition-event counters). The rewrite is a pure function of the
+    /// plan and the bounds, so both engines derive the same schedule.
+    pub fn degrade_partitions(
+        &self,
+        max_stale_rounds: usize,
+        sync_rounds: usize,
+    ) -> (FaultPlan, Vec<PartitionSpec>) {
+        let mut out = self.clone();
+        out.partitions.clear();
+        let mut converted = Vec::new();
+        for spec in &self.partitions {
+            if spec.to_round - spec.from_round > max_stale_rounds {
+                out.partitions.push(spec.clone());
+                continue;
+            }
+            let heal_epoch = spec.to_round.div_ceil(sync_rounds.max(1));
+            for &host in spec.dormant_side() {
+                out.crashes.push(CrashSpec {
+                    host,
+                    round: spec.from_round,
+                });
+                out.rejoins.push(RejoinSpec {
+                    host,
+                    epoch: heal_epoch,
+                });
+            }
+            converted.push(spec.clone());
+        }
+        (out, converted)
+    }
+
     /// Parses a compact spec string:
     ///
     /// ```text
-    /// seed=42,drop=0.02,flip=0.001,crash=1@3,straggle=2@1x50ms,kill=2
+    /// seed=42,drop=0.02,flip=0.001,crash=1@3,straggle=2@1x50ms,
+    /// partition=0.1|2@2..4,dup=0.05,reorder=0.2,kill=2
     /// ```
     ///
-    /// `crash`, `straggle` and `rejoin` (`rejoin=H@E`, epoch granularity)
-    /// entries may repeat; `straggle` delays take a `ms` or `s` suffix.
-    /// An empty string is the inert plan.
+    /// `crash`, `straggle`, `rejoin` (`rejoin=H@E`, epoch granularity)
+    /// and `partition` (`partition=A|B@r..r'`, groups as `.`-separated
+    /// host lists, half-open round range) entries may repeat; `straggle`
+    /// delays take a `ms` or `s` suffix. An unknown directive word is a
+    /// typed error ([`PlanParseError::UnknownDirective`]). An empty
+    /// string is the inert plan.
     pub fn parse(spec: &str) -> Result<Self, PlanParseError> {
         let mut plan = Self::none();
         for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
             let (key, value) = part
                 .split_once('=')
-                .ok_or_else(|| PlanParseError(format!("{part:?} is not key=value")))?;
+                .ok_or_else(|| PlanParseError::malformed(format!("{part:?} is not key=value")))?;
             match key {
                 "seed" => plan.seed = parse_num(key, value)?,
                 "drop" => plan.drop_p = parse_prob(key, value)?,
                 "flip" => plan.flip_p = parse_prob(key, value)?,
+                "dup" => plan.dup_p = parse_prob(key, value)?,
+                "reorder" => plan.reorder_p = parse_prob(key, value)?,
                 "kill" => plan.kill_after_epoch = Some(parse_num(key, value)?),
                 "crash" => {
-                    let (host, round) = value
-                        .split_once('@')
-                        .ok_or_else(|| PlanParseError(format!("crash={value:?}: want H@R")))?;
+                    let (host, round) = value.split_once('@').ok_or_else(|| {
+                        PlanParseError::malformed(format!("crash={value:?}: want H@R"))
+                    })?;
                     plan.crashes.push(CrashSpec {
                         host: parse_num("crash host", host)?,
                         round: parse_num("crash round", round)?,
@@ -229,10 +456,10 @@ impl FaultPlan {
                 }
                 "straggle" => {
                     let (host, rest) = value.split_once('@').ok_or_else(|| {
-                        PlanParseError(format!("straggle={value:?}: want H@RxDELAY"))
+                        PlanParseError::malformed(format!("straggle={value:?}: want H@RxDELAY"))
                     })?;
                     let (round, delay) = rest.split_once('x').ok_or_else(|| {
-                        PlanParseError(format!("straggle={value:?}: want H@RxDELAY"))
+                        PlanParseError::malformed(format!("straggle={value:?}: want H@RxDELAY"))
                     })?;
                     plan.stragglers.push(StragglerSpec {
                         host: parse_num("straggle host", host)?,
@@ -241,15 +468,16 @@ impl FaultPlan {
                     });
                 }
                 "rejoin" => {
-                    let (host, epoch) = value
-                        .split_once('@')
-                        .ok_or_else(|| PlanParseError(format!("rejoin={value:?}: want H@E")))?;
+                    let (host, epoch) = value.split_once('@').ok_or_else(|| {
+                        PlanParseError::malformed(format!("rejoin={value:?}: want H@E"))
+                    })?;
                     plan.rejoins.push(RejoinSpec {
                         host: parse_num("rejoin host", host)?,
                         epoch: parse_num("rejoin epoch", epoch)?,
                     });
                 }
-                other => return Err(PlanParseError(format!("unknown key {other:?}"))),
+                "partition" => plan.partitions.push(parse_partition(value)?),
+                other => return Err(PlanParseError::UnknownDirective(other.to_owned())),
             }
         }
         Ok(plan)
@@ -297,6 +525,21 @@ impl fmt::Display for FaultPlan {
         for r in &self.rejoins {
             parts.push(format!("rejoin={}@{}", r.host, r.epoch));
         }
+        for p in &self.partitions {
+            parts.push(format!(
+                "partition={}|{}@{}..{}",
+                fmt_group(&p.group_a),
+                fmt_group(&p.group_b),
+                p.from_round,
+                p.to_round
+            ));
+        }
+        if self.dup_p > 0.0 {
+            parts.push(format!("dup={}", self.dup_p));
+        }
+        if self.reorder_p > 0.0 {
+            parts.push(format!("reorder={}", self.reorder_p));
+        }
         if let Some(e) = self.kill_after_epoch {
             parts.push(format!("kill={e}"));
         }
@@ -304,16 +547,26 @@ impl fmt::Display for FaultPlan {
     }
 }
 
+fn fmt_group(hosts: &[usize]) -> String {
+    hosts
+        .iter()
+        .map(usize::to_string)
+        .collect::<Vec<_>>()
+        .join(".")
+}
+
 fn parse_num<T: std::str::FromStr>(key: &str, value: &str) -> Result<T, PlanParseError> {
     value
         .parse()
-        .map_err(|_| PlanParseError(format!("{key}: cannot parse {value:?}")))
+        .map_err(|_| PlanParseError::malformed(format!("{key}: cannot parse {value:?}")))
 }
 
 fn parse_prob(key: &str, value: &str) -> Result<f64, PlanParseError> {
     let p: f64 = parse_num(key, value)?;
     if !(0.0..=1.0).contains(&p) {
-        return Err(PlanParseError(format!("{key}={p} outside [0, 1]")));
+        return Err(PlanParseError::malformed(format!(
+            "{key}={p} outside [0, 1]"
+        )));
     }
     Ok(p)
 }
@@ -324,10 +577,46 @@ fn parse_delay(value: &str) -> Result<f64, PlanParseError> {
     } else if let Some(s) = value.strip_suffix('s') {
         parse_num("straggle delay", s)
     } else {
-        Err(PlanParseError(format!(
+        Err(PlanParseError::malformed(format!(
             "straggle delay {value:?}: want e.g. 50ms or 0.05s"
         )))
     }
+}
+
+fn parse_group(key: &str, value: &str) -> Result<Vec<usize>, PlanParseError> {
+    let hosts: Vec<usize> = value
+        .split('.')
+        .map(|h| parse_num(key, h))
+        .collect::<Result<_, _>>()?;
+    if hosts.is_empty() {
+        return Err(PlanParseError::malformed(format!("{key}: empty group")));
+    }
+    Ok(hosts)
+}
+
+/// Parses `A|B@r..r'` — `.`-separated host groups, half-open round range.
+fn parse_partition(value: &str) -> Result<PartitionSpec, PlanParseError> {
+    let want = || PlanParseError::malformed(format!("partition={value:?}: want A|B@r..r'"));
+    let (groups, range) = value.split_once('@').ok_or_else(want)?;
+    let (a, b) = groups.split_once('|').ok_or_else(want)?;
+    let (from, to) = range.split_once("..").ok_or_else(want)?;
+    let spec = PartitionSpec {
+        group_a: parse_group("partition group", a)?,
+        group_b: parse_group("partition group", b)?,
+        from_round: parse_num("partition start round", from)?,
+        to_round: parse_num("partition end round", to)?,
+    };
+    if spec.from_round >= spec.to_round {
+        return Err(PlanParseError::malformed(format!(
+            "partition={value:?}: empty round range"
+        )));
+    }
+    if spec.group_a.iter().any(|h| spec.group_b.contains(h)) {
+        return Err(PlanParseError::malformed(format!(
+            "partition={value:?}: groups overlap"
+        )));
+    }
+    Ok(spec)
 }
 
 #[cfg(test)]
@@ -336,7 +625,8 @@ mod tests {
 
     fn chaos() -> FaultPlan {
         FaultPlan::parse(
-            "seed=42,drop=0.02,flip=0.001,crash=1@3,straggle=2@1x50ms,rejoin=1@2,kill=2",
+            "seed=42,drop=0.02,flip=0.001,crash=1@3,straggle=2@1x50ms,rejoin=1@2,\
+             partition=0.1|2@2..4,dup=0.05,reorder=0.2,kill=2",
         )
         .unwrap()
     }
@@ -353,8 +643,84 @@ mod tests {
         assert_eq!(p.stragglers[0].round, 1);
         assert!((p.stragglers[0].delay_secs - 0.05).abs() < 1e-12);
         assert_eq!(p.rejoins, vec![RejoinSpec { host: 1, epoch: 2 }]);
+        assert_eq!(
+            p.partitions,
+            vec![PartitionSpec {
+                group_a: vec![0, 1],
+                group_b: vec![2],
+                from_round: 2,
+                to_round: 4,
+            }]
+        );
+        assert_eq!(p.dup_p, 0.05);
+        assert_eq!(p.reorder_p, 0.2);
         assert_eq!(p.kill_after_epoch, Some(2));
         assert!(!p.is_inert());
+    }
+
+    #[test]
+    fn partition_blocking_is_round_and_group_scoped() {
+        let p = chaos();
+        // Cross-group channels block their leading attempts in covered
+        // rounds only; same-group and out-of-range traffic is untouched.
+        assert!(p.partition_blocked(0, 2, 2, 0));
+        assert!(p.partition_blocked(2, 1, 3, PARTITION_STALL_ATTEMPTS - 1));
+        assert!(!p.partition_blocked(0, 2, 2, PARTITION_STALL_ATTEMPTS));
+        assert!(!p.partition_blocked(0, 1, 2, 0), "same group");
+        assert!(!p.partition_blocked(0, 2, 1, 0), "before the split");
+        assert!(!p.partition_blocked(0, 2, 4, 0), "healed");
+        assert!(p.partition_active(2) && p.partition_active(3));
+        assert!(!p.partition_active(4));
+    }
+
+    #[test]
+    fn degrade_converts_within_staleness_bound() {
+        let p = chaos();
+        // Duration 2 fits the bound: minority host 2 crashes at round 2
+        // and rejoins at ceil(4 / 2) = epoch 2.
+        let (eff, converted) = p.degrade_partitions(8, 2);
+        assert_eq!(converted.len(), 1);
+        assert!(eff.partitions.is_empty());
+        assert_eq!(eff.crash_round(2), Some(2));
+        assert_eq!(eff.rejoin_epoch(2), Some(2));
+        // Original crash/rejoin entries survive the rewrite.
+        assert_eq!(eff.crash_round(1), Some(3));
+        assert_eq!(eff.rejoin_epoch(1), Some(2));
+        // A partition longer than the bound falls back to stall.
+        let (eff, converted) = p.degrade_partitions(1, 2);
+        assert!(converted.is_empty());
+        assert_eq!(eff, p);
+    }
+
+    #[test]
+    fn dup_and_reorder_coins_are_pure_and_track_probability() {
+        let p = FaultPlan {
+            dup_p: 0.1,
+            reorder_p: 0.3,
+            seed: 11,
+            ..FaultPlan::none()
+        };
+        let n = 100_000u64;
+        let dups = (0..n).filter(|&s| p.should_dup(0, 1, 0, s, 0)).count();
+        let reorders = (0..n).filter(|&s| p.should_reorder(0, 1, 0, s)).count();
+        assert!((dups as f64 / n as f64 - 0.1).abs() < 0.01, "{dups}");
+        assert!(
+            (reorders as f64 / n as f64 - 0.3).abs() < 0.01,
+            "{reorders}"
+        );
+        assert_eq!(p.should_dup(0, 1, 0, 7, 1), p.should_dup(0, 1, 0, 7, 1));
+        assert!(!FaultPlan::none().should_dup(0, 1, 0, 7, 0));
+        assert!(!FaultPlan::none().should_reorder(0, 1, 0, 7));
+    }
+
+    #[test]
+    fn backoff_jitter_is_pure_and_in_range() {
+        let p = chaos();
+        for nr in 0..8 {
+            let j = p.backoff_jitter(1, 5, nr);
+            assert!((0.0..1.0).contains(&j));
+            assert_eq!(j, p.backoff_jitter(1, 5, nr));
+        }
     }
 
     #[test]
@@ -395,9 +761,36 @@ mod tests {
             "rejoin=1",
             "rejoin=x@2",
             "frobnicate=1",
+            "dup=1.5",
+            "reorder=-0.2",
+            "partition=0|1",
+            "partition=0.1@2..4",
+            "partition=0|1@4..2",
+            "partition=0|1@3..3",
+            "partition=0.1|1.2@0..2",
+            "partition=|1@0..2",
         ] {
             assert!(FaultPlan::parse(bad).is_err(), "{bad:?} should fail");
         }
+    }
+
+    #[test]
+    fn unknown_directives_are_typed_errors() {
+        // A typo like `dorp=` must surface as UnknownDirective, never be
+        // silently ignored and inject nothing.
+        for (spec, word) in [
+            ("dorp=0.1", "dorp"),
+            ("seed=1,partitoin=0|1@0..2", "partitoin"),
+        ] {
+            match FaultPlan::parse(spec) {
+                Err(PlanParseError::UnknownDirective(w)) => assert_eq!(w, word),
+                other => panic!("{spec:?}: expected UnknownDirective, got {other:?}"),
+            }
+        }
+        assert!(matches!(
+            FaultPlan::parse("drop=oops"),
+            Err(PlanParseError::Malformed(_))
+        ));
     }
 
     #[test]

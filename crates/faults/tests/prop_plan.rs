@@ -1,0 +1,107 @@
+//! Property-based tests on the fault-plan spec grammar.
+//!
+//! The spec string is the plan's interchange format (`--fault-plan`,
+//! `GW2V_FAULT_PLAN`, CI matrices), so `Display` and `parse` must be
+//! exact inverses over the *whole* grammar — every fault family,
+//! repeated entries included. Two properties pin it: format → parse
+//! recovers the identical plan, and format → parse → format is
+//! idempotent on the string. A third pins the typed error contract:
+//! an arbitrary unknown directive word always surfaces as
+//! [`PlanParseError::UnknownDirective`], never as silence.
+//!
+//! The vendored proptest stub composes strategies only through ranges,
+//! tuples and `collection::vec`, so each generator draws plain tuples
+//! and the test body assembles the spec structs.
+
+use gw2v_faults::{CrashSpec, FaultPlan, PartitionSpec, PlanParseError, RejoinSpec, StragglerSpec};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// `parse(format(p))` recovers the identical plan, and the printed
+    /// form is a fixed point of another format → parse cycle.
+    ///
+    /// Probabilities draw from `[0, 1]` with an explicit `Just(0.0)` arm
+    /// so the zero-omitting `Display` path is exercised; Rust float
+    /// formatting is shortest-round-trip, so any generated value
+    /// re-parses exactly. Straggler delays are whole milliseconds
+    /// because `Display` prints `delay_secs · 1e3` with an `ms` suffix.
+    /// Partition groups are made disjoint and non-empty by construction
+    /// (`group_b` starts where `group_a` ends) with `from < to`, the
+    /// only shapes the parser admits.
+    #[test]
+    fn format_parse_format_roundtrips(
+        seed in any::<u64>(),
+        drop_p in prop_oneof![Just(0.0), 0.0f64..=1.0],
+        flip_p in prop_oneof![Just(0.0), 0.0f64..=1.0],
+        dup_p in prop_oneof![Just(0.0), 0.0f64..=1.0],
+        reorder_p in prop_oneof![Just(0.0), 0.0f64..=1.0],
+        kill in (any::<bool>(), 0usize..64),
+        crashes in proptest::collection::vec((0usize..16, 0usize..64), 0..3),
+        stragglers in proptest::collection::vec((0usize..16, 0usize..64, 1u64..500), 0..3),
+        rejoins in proptest::collection::vec((0usize..16, 0usize..64), 0..3),
+        partitions in proptest::collection::vec(
+            (1usize..4, 1usize..4, 0usize..32, 1usize..8), 0..3),
+    ) {
+        let plan = FaultPlan {
+            seed,
+            drop_p,
+            flip_p,
+            dup_p,
+            reorder_p,
+            kill_after_epoch: if kill.0 { Some(kill.1) } else { None },
+            crashes: crashes
+                .iter()
+                .map(|&(host, round)| CrashSpec { host, round })
+                .collect(),
+            stragglers: stragglers
+                .iter()
+                .map(|&(host, round, ms)| StragglerSpec {
+                    host,
+                    round,
+                    delay_secs: ms as f64 / 1e3,
+                })
+                .collect(),
+            rejoins: rejoins
+                .iter()
+                .map(|&(host, epoch)| RejoinSpec { host, epoch })
+                .collect(),
+            partitions: partitions
+                .iter()
+                .map(|&(na, nb, from, len)| PartitionSpec {
+                    group_a: (0..na).collect(),
+                    group_b: (na..na + nb).collect(),
+                    from_round: from,
+                    to_round: from + len,
+                })
+                .collect(),
+        };
+        let spec = plan.to_string();
+        let parsed = match FaultPlan::parse(&spec) {
+            Ok(p) => p,
+            Err(e) => return Err(proptest::TestCaseError::Fail(
+                format!("{spec:?} must re-parse: {e}"))),
+        };
+        prop_assert_eq!(&parsed, &plan, "parse(format(p)) == p for {}", spec);
+        prop_assert_eq!(parsed.to_string(), spec, "format is a fixed point of {}", spec);
+    }
+
+    /// Any directive word outside the grammar is a typed
+    /// `UnknownDirective` error carrying the word verbatim.
+    #[test]
+    fn unknown_directives_always_typed(letters in proptest::collection::vec(0u8..26, 1..12)) {
+        const KNOWN: [&str; 10] = [
+            "seed", "drop", "flip", "dup", "reorder", "kill",
+            "crash", "straggle", "rejoin", "partition",
+        ];
+        let word: String = letters.iter().map(|&c| (b'a' + c) as char).collect();
+        prop_assume!(!KNOWN.contains(&word.as_str()));
+        let spec = format!("seed=1,{word}=0.5");
+        match FaultPlan::parse(&spec) {
+            Err(PlanParseError::UnknownDirective(w)) => prop_assert_eq!(w, word),
+            other => prop_assert!(
+                false, "{}: expected UnknownDirective, got {:?}", spec, other),
+        }
+    }
+}

@@ -17,8 +17,34 @@
 //! concurrently, so the busiest port dominates). This is the standard
 //! α-β (latency–bandwidth) model of collective-communication analysis.
 
+use crate::liveness::Liveness;
 use crate::volume::RoundVolume;
+use gw2v_faults::FaultPlan;
 use serde::{Deserialize, Serialize};
+
+/// Exponent cap for [`nak_backoff_secs`]: backoff grows `2^k` per NAK
+/// round up to `2^4 = 16×` the base delay, bounding worst-case silence
+/// while still spreading retry load.
+pub const NAK_BACKOFF_EXP_CAP: u32 = 4;
+
+/// Deterministic exponential NAK backoff with seeded jitter.
+///
+/// The silence tolerated before NAK round `nak_round` fires:
+/// `base · 2^min(nak_round, cap) · (1 + ½·jitter)`, where the jitter is
+/// a pure `[0, 1)` hash of `(plan seed, waiter, seq, nak_round)`
+/// ([`FaultPlan::backoff_jitter`]). Attempt-indexed and coordinate-
+/// hashed, so the sequential simulator and the threaded cluster draw
+/// identical schedules for the same plan — wall-clock never enters.
+pub fn nak_backoff_secs(
+    plan: &FaultPlan,
+    base_secs: f64,
+    waiter: usize,
+    seq: u64,
+    nak_round: u32,
+) -> f64 {
+    let mult = (1u64 << nak_round.min(NAK_BACKOFF_EXP_CAP)) as f64;
+    base_secs * mult * (1.0 + 0.5 * plan.backoff_jitter(waiter, seq, nak_round))
+}
 
 /// α–β network cost model.
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
@@ -67,6 +93,50 @@ impl CostModel {
     /// aggregate estimates).
     pub fn transfer_time(&self, bytes: u64) -> f64 {
         bytes as f64 / self.bandwidth_bytes_per_sec
+    }
+
+    /// Virtual NAK-delay base used when replaying the threaded engine's
+    /// backoff schedule, matching the threaded transport's default
+    /// (`ClusterConfig::default().nak_delay` = 25 ms) so both engines
+    /// draw the same schedule out of the box.
+    pub const NAK_BASE_SECS: f64 = 0.025;
+
+    /// Virtual stall charged to a round under an active stall-mode
+    /// partition.
+    ///
+    /// Replays the threaded engine's recovery: in each of the round's
+    /// two phases, every waiter with a partition-blocked inbound channel
+    /// runs [`gw2v_faults::PARTITION_STALL_ATTEMPTS`] NAK rounds, each
+    /// preceded by its [`nak_backoff_secs`] silence window. Waiters wait
+    /// concurrently, so the phase charges the slowest waiter's total;
+    /// the per-frame resend traffic itself is charged separately by the
+    /// retransmission model. Returns 0 when no partition covers `round`.
+    pub fn partition_stall_time(&self, plan: &FaultPlan, live: &Liveness, round: usize) -> f64 {
+        if !plan.partition_active(round) {
+            return 0.0;
+        }
+        let n_hosts = live.n_hosts();
+        let mut total = 0.0;
+        for phase in 0..2u64 {
+            let seq = 2 * round as u64 + 1 + phase;
+            let mut phase_stall = 0.0f64;
+            for to in 0..n_hosts {
+                if !live.is_alive(to) {
+                    continue;
+                }
+                let blocked = (0..n_hosts)
+                    .filter(|&from| from != to && live.is_alive(from))
+                    .map(|from| plan.partition_block_attempts(from, to, round))
+                    .max()
+                    .unwrap_or(0);
+                let wait: f64 = (0..blocked)
+                    .map(|nr| nak_backoff_secs(plan, Self::NAK_BASE_SECS, to, seq, nr))
+                    .sum();
+                phase_stall = phase_stall.max(wait);
+            }
+            total += phase_stall;
+        }
+        total
     }
 }
 
@@ -126,5 +196,36 @@ mod tests {
         assert!(
             CostModel::ethernet_10g().round_time(&v) > CostModel::infiniband_56g().round_time(&v)
         );
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_to_the_cap() {
+        let plan = FaultPlan::parse("seed=5").unwrap();
+        let base = 0.01;
+        for nr in 0..10u32 {
+            let w = nak_backoff_secs(&plan, base, 1, 3, nr);
+            let mult = (1u64 << nr.min(NAK_BACKOFF_EXP_CAP)) as f64;
+            // Jitter adds at most 50% on top of the exponential step.
+            assert!(w >= base * mult && w < base * mult * 1.5, "round {nr}: {w}");
+            assert_eq!(w, nak_backoff_secs(&plan, base, 1, 3, nr), "deterministic");
+        }
+    }
+
+    #[test]
+    fn partition_stall_charged_only_in_covered_rounds() {
+        let plan = FaultPlan::parse("seed=5,partition=0|1@2..4").unwrap();
+        let m = CostModel::infiniband_56g();
+        let live = Liveness::all(2);
+        assert_eq!(m.partition_stall_time(&plan, &live, 1), 0.0);
+        assert_eq!(m.partition_stall_time(&plan, &live, 4), 0.0);
+        let stall = m.partition_stall_time(&plan, &live, 2);
+        // Two phases, each waiting out NAK rounds 0 and 1: at least
+        // 2 · (1 + 2) · base even before jitter.
+        assert!(stall >= 6.0 * CostModel::NAK_BASE_SECS, "stall = {stall}");
+        assert_eq!(stall, m.partition_stall_time(&plan, &live, 2));
+        // A dead side stalls nobody.
+        let mut half = Liveness::all(2);
+        half.mark_dead(1);
+        assert_eq!(m.partition_stall_time(&plan, &half, 2), 0.0);
     }
 }

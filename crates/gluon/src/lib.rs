@@ -55,7 +55,7 @@ pub mod threaded;
 pub mod volume;
 pub mod wire;
 
-pub use cost::CostModel;
+pub use cost::{nak_backoff_secs, CostModel, NAK_BACKOFF_EXP_CAP};
 pub use liveness::{Liveness, SharedLiveness};
 pub use plan::{AccessSets, SyncConfig, SyncPlan};
 pub use replica::{DeltaTracker, ModelReplica};

@@ -20,12 +20,24 @@
 //! * senders buffer each phase's payloads until the phase's closing
 //!   barrier, so any receiver still missing data can NAK the
 //!   `(sender, layer)` slot and get a retransmission;
-//! * receivers NAK on CRC failure immediately and on silence after a
-//!   configurable delay, with bounded retries
+//! * receivers NAK on CRC failure immediately and on silence; the
+//!   silence window grows per NAK round by deterministic exponential
+//!   backoff with seeded jitter ([`crate::cost::nak_backoff_secs`],
+//!   base [`ClusterConfig::nak_delay`]), with bounded retries
 //!   ([`ClusterConfig::max_retries`]);
-//! * duplicate deliveries (a resend racing the original) are deduped by
-//!   `(sender, layer)`; resent bytes are identical, so either copy folds
-//!   bit-identically;
+//! * duplicate deliveries (a resend racing the original, or the `dup`
+//!   injector sending a clean frame twice) are deduped by
+//!   `(sender, layer)` and counted under `faults.recovered.dedup`;
+//!   resent bytes are identical, so either copy folds bit-identically;
+//! * `reorder` injection defers chosen sends to the end of their
+//!   phase's send sequence, shuffling per-channel delivery order; model
+//!   bits are unaffected because receivers fold in host-id order;
+//! * a stall-mode `partition` withholds cross-group data frames of
+//!   covered rounds ([`HostCtx::begin_round`] supplies the round index)
+//!   for the first [`gw2v_faults::PARTITION_STALL_ATTEMPTS`] delivery
+//!   attempts; the NAK loop heals the channel deterministically.
+//!   Control frames (NAKs, state transfer) bypass the injector, so the
+//!   protocol cannot deadlock;
 //! * the phase barrier is crash-aware ([`HostCtx::barrier_wait`]): it
 //!   releases when all *registered-alive* hosts arrive, serves NAKs while
 //!   waiting, and counts long waits under `gluon.barrier_timeout`.
@@ -155,6 +167,36 @@ impl Default for ClusterConfig {
     }
 }
 
+impl ClusterConfig {
+    /// Defaults overridden by the `GW2V_NAK_DELAY_MS`,
+    /// `GW2V_MAX_RETRIES` and `GW2V_BARRIER_TIMEOUT_MS` environment
+    /// variables (the env-var twins of the `--nak-delay`,
+    /// `--max-retries` and `--barrier-timeout` CLI knobs). A set but
+    /// unparseable value is an error, never silently ignored.
+    pub fn from_env() -> Result<Self, String> {
+        fn env_parse<T: std::str::FromStr>(name: &str) -> Result<Option<T>, String> {
+            match std::env::var(name) {
+                Err(_) => Ok(None),
+                Ok(raw) => raw
+                    .parse()
+                    .map(Some)
+                    .map_err(|_| format!("{name}: cannot parse {raw:?}")),
+            }
+        }
+        let mut cfg = Self::default();
+        if let Some(ms) = env_parse::<f64>("GW2V_NAK_DELAY_MS")? {
+            cfg.nak_delay = Duration::from_secs_f64(ms / 1e3);
+        }
+        if let Some(n) = env_parse::<u32>("GW2V_MAX_RETRIES")? {
+            cfg.max_retries = n;
+        }
+        if let Some(ms) = env_parse::<f64>("GW2V_BARRIER_TIMEOUT_MS")? {
+            cfg.barrier_timeout = Duration::from_secs_f64(ms / 1e3);
+        }
+        Ok(cfg)
+    }
+}
+
 /// What a [`Message`] carries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MsgKind {
@@ -170,7 +212,9 @@ pub enum MsgKind {
 }
 
 /// A message between host threads: one layer's payload for one phase.
-#[derive(Debug)]
+/// Cloning is cheap (`Bytes` is reference-counted); the dup injector
+/// clones a sealed frame to deliver it twice.
+#[derive(Debug, Clone)]
 pub struct Message {
     /// Sending host.
     pub from: usize,
@@ -341,9 +385,16 @@ pub struct HostCtx {
     state: Arc<ClusterState>,
     /// Lockstep phase counter; all hosts advance it identically.
     seq: Cell<u64>,
+    /// Current global sync round, set by the driver
+    /// ([`HostCtx::begin_round`]); partition blocking is round-indexed.
+    round: Cell<usize>,
     /// Current phase's sent payloads, kept until the closing barrier so
     /// NAKs can be served.
     resend: RefCell<HashMap<(usize, usize), ResendSlot>>,
+    /// Sends deferred by the reorder injector, flushed (in deferral
+    /// order, i.e. shuffled relative to the canonical send sequence) at
+    /// the start of this host's next collect.
+    deferred: RefCell<Vec<(usize, usize, Bytes, bool)>>,
     /// Stash for frames from a future phase (drained at next collect).
     pending: RefCell<VecDeque<Message>>,
     /// Dead hosts this ctx has already counted under `faults.detected.crash`.
@@ -392,6 +443,15 @@ impl HostCtx {
         }
     }
 
+    /// Tells the fabric which global sync round the next phases belong
+    /// to. Drivers call this once per round before syncing; partition
+    /// blocking ([`FaultPlan::partition_blocked`]) is round-indexed, so
+    /// the fabric cannot derive it from the phase counter alone (plans
+    /// differ in phases per round).
+    pub fn begin_round(&self, global_round: usize) {
+        self.round.set(global_round);
+    }
+
     /// Opens a new phase: advances the lockstep sequence number and
     /// forgets the previous phase's resend buffer (its closing barrier
     /// proved every receiver got the data).
@@ -429,6 +489,20 @@ impl HostCtx {
                 attempts: 0,
             },
         );
+        // Reorder injection: defer this send to the end of the phase's
+        // send sequence (flushed at the next collect). The ResendSlot is
+        // already registered, so NAK recovery covers the deferred frame.
+        if self
+            .state
+            .plan
+            .should_reorder(self.host, to, layer, self.seq.get())
+        {
+            counters::bump(counters::INJECTED_REORDER);
+            self.deferred
+                .borrow_mut()
+                .push((to, layer, payload, value_only));
+            return Ok(());
+        }
         self.send_data(to, layer, &payload, value_only, 0)
     }
 
@@ -444,28 +518,46 @@ impl HostCtx {
     ) -> Result<(), ClusterError> {
         let seq = self.seq.get();
         let plan = &self.state.plan;
+        let round = self.round.get();
+        // Stall-mode partition: withhold the first
+        // PARTITION_STALL_ATTEMPTS cross-group delivery attempts of a
+        // covered round; the receiver's NAK loop heals the channel.
+        if plan.partition_blocked(self.host, to, round, attempt) {
+            counters::bump(counters::INJECTED_PARTITION);
+            return Ok(());
+        }
+        if attempt > 0 && plan.partition_blocked(self.host, to, round, attempt - 1) {
+            // First unblocked attempt on a partitioned channel.
+            counters::bump(counters::RECOVERED_HEAL);
+        }
         if plan.should_drop(self.host, to, layer, seq, attempt) {
             counters::bump(counters::INJECTED_DROP);
             return Ok(());
         }
         let mut frame = seal_frame(payload);
+        let mut clean = true;
         if let Some(bit) = plan.flip_bit(self.host, to, layer, seq, attempt, frame.len()) {
             let mut raw = frame.as_slice().to_vec();
             raw[bit / 8] ^= 1 << (bit % 8);
             frame = Bytes::from(raw);
+            clean = false;
             counters::bump(counters::INJECTED_FLIP);
         }
-        self.post(
-            to,
-            Message {
-                from: self.host,
-                layer,
-                seq,
-                kind: MsgKind::Data { attempt },
-                value_only,
-                payload: frame,
-            },
-        )
+        let msg = Message {
+            from: self.host,
+            layer,
+            seq,
+            kind: MsgKind::Data { attempt },
+            value_only,
+            payload: frame,
+        };
+        // Dup injection: a *clean* delivery goes on the wire twice; the
+        // receiver's (sender, layer) dedup discards the second copy.
+        if clean && plan.should_dup(self.host, to, layer, seq, attempt) {
+            counters::bump(counters::INJECTED_DUP);
+            self.post(to, msg.clone())?;
+        }
+        self.post(to, msg)
     }
 
     /// Asks `peer` to retransmit its current-phase payload for `layer`.
@@ -537,6 +629,17 @@ impl HostCtx {
     ) -> Result<PhasePayloads, ClusterError> {
         let seq = self.seq.get();
         let cfg = self.state.config;
+        // Flush reorder-deferred sends now, after every in-order send of
+        // the phase has gone out: per-channel delivery order is shuffled
+        // relative to the canonical send sequence, but every frame still
+        // belongs to this phase (each phase is ship-loop then collect on
+        // the same host), so model bits — folded in host-id order at the
+        // receiver — are unaffected.
+        let deferred: Vec<(usize, usize, Bytes, bool)> =
+            self.deferred.borrow_mut().drain(..).collect();
+        for (to, layer, payload, value_only) in deferred {
+            self.send_data(to, layer, &payload, value_only, 0)?;
+        }
         let expected: Vec<(usize, usize)> = (0..self.n_hosts)
             .filter(|&h| h != self.host && live.is_alive(h))
             .flat_map(|h| (0..n_layers).map(move |l| (h, l)))
@@ -554,8 +657,14 @@ impl HostCtx {
                 }
                 MsgKind::Data { .. } => {
                     let key = (msg.from, msg.layer);
-                    if got.contains_key(&key) || !live.is_alive(msg.from) {
-                        return Ok(false); // duplicate resend, or routed-around host
+                    if got.contains_key(&key) {
+                        // Duplicate delivery (dup injection or a resend
+                        // racing its NAK) — the slot is filled, discard.
+                        counters::bump(counters::RECOVERED_DEDUP);
+                        return Ok(false);
+                    }
+                    if !live.is_alive(msg.from) {
+                        return Ok(false); // routed-around host
                     }
                     match open_frame(&msg.payload) {
                         Ok(payload) => {
@@ -603,7 +712,18 @@ impl HostCtx {
                     return Err(ClusterError::RecvFailed { host: self.host })
                 }
                 Err(RecvTimeoutError::Timeout) => {
-                    if last_progress.elapsed() < cfg.nak_delay {
+                    // Adaptive cadence: NAK round k fires only after a
+                    // deterministic exponential-with-jitter silence
+                    // window ([`crate::cost::nak_backoff_secs`]), so
+                    // retry load spreads instead of synchronizing.
+                    let wait = crate::cost::nak_backoff_secs(
+                        &self.state.plan,
+                        cfg.nak_delay.as_secs_f64(),
+                        self.host,
+                        seq,
+                        nak_rounds,
+                    );
+                    if last_progress.elapsed() < Duration::from_secs_f64(wait) {
                         continue;
                     }
                     let missing: Vec<(usize, usize)> = expected
@@ -621,6 +741,7 @@ impl HostCtx {
                         });
                     }
                     counters::bump(counters::DETECTED_TIMEOUT);
+                    gw2v_obs::observe("gluon.nak_backoff_ms", (wait * 1e3) as u64);
                     for (peer, layer) in missing {
                         self.nak(peer, layer)?;
                     }
@@ -845,7 +966,9 @@ where
                 receiver,
                 state: Arc::clone(&state),
                 seq: Cell::new(0),
+                round: Cell::new(0),
                 resend: RefCell::new(HashMap::new()),
+                deferred: RefCell::new(Vec::new()),
                 pending: RefCell::new(VecDeque::new()),
                 crash_noted: RefCell::new(vec![false; n_hosts]),
             };

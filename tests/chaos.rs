@@ -61,6 +61,8 @@ fn dist_cfg(n_hosts: usize, rounds: usize) -> DistConfig {
         cost: CostModel::infiniband_56g(),
         wire: graph_word2vec::gluon::WireMode::IdValue,
         sgns: graph_word2vec::core::trainer_hogbatch::SgnsMode::PerPair,
+        on_partition: graph_word2vec::faults::OnPartition::Stall,
+        max_stale_rounds: 8,
     }
 }
 
@@ -188,6 +190,88 @@ fn checkpoint_kill_resume_is_bit_identical() {
         .train(&corpus, &vocab);
     assert_eq!(again.model, uninterrupted.model);
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The partition families end-to-end. Stall mode: the threaded cluster
+/// withholds, NAKs, dedups and heals — every new counter family fires —
+/// while the model stays bit-identical to the simulator. Degrade mode:
+/// the reachable side keeps training with the dormant host's shard
+/// adopted, the heal runs the rejoin/state-transfer path, and the final
+/// model's loss stays inside the chaos envelope of the stall baseline.
+#[test]
+fn partition_stall_and_degrade_recover_and_converge() {
+    graph_word2vec::obs::set_enabled(true);
+    let (vocab, corpus, params) = prepare();
+    let cfg = dist_cfg(3, 2);
+    let plan = FaultPlan::parse("seed=7,partition=0.1|2@2..4,dup=0.05,reorder=0.2").unwrap();
+    let delta = |a: &std::collections::BTreeMap<String, u64>,
+                 b: &std::collections::BTreeMap<String, u64>,
+                 name: &str| {
+        b.get(name).copied().unwrap_or(0) - a.get(name).copied().unwrap_or(0)
+    };
+
+    // --- Stall mode ---
+    let before = graph_word2vec::obs::snapshot().counters;
+    let stall_sim = DistributedTrainer::new(params.clone(), cfg)
+        .with_faults(plan.clone())
+        .train(&corpus, &vocab);
+    let stall_thr = ThreadedTrainer::new(params.clone(), cfg)
+        .with_faults(plan.clone())
+        .with_cluster_config(fast_cluster())
+        .train(&corpus, &vocab)
+        .expect("stalled partition run must complete");
+    let after = graph_word2vec::obs::snapshot().counters;
+    assert_eq!(stall_sim.model, stall_thr.model, "stall mode bit-identity");
+    for name in [
+        "faults.injected.partition",
+        "faults.injected.dup",
+        "faults.injected.reorder",
+        "faults.recovered.dedup",
+        "faults.recovered.heal",
+        "faults.recovered.resend",
+        "faults.detected.timeout",
+    ] {
+        assert!(delta(&before, &after, name) > 0, "{name} never counted");
+    }
+
+    // --- Degrade mode ---
+    let degrade_cfg = DistConfig {
+        on_partition: graph_word2vec::faults::OnPartition::Degrade,
+        ..cfg
+    };
+    let before = graph_word2vec::obs::snapshot().counters;
+    let deg_sim = DistributedTrainer::new(params.clone(), degrade_cfg)
+        .with_faults(plan.clone())
+        .train(&corpus, &vocab);
+    let deg_thr = ThreadedTrainer::new(params.clone(), degrade_cfg)
+        .with_faults(plan)
+        .with_cluster_config(fast_cluster())
+        .train(&corpus, &vocab)
+        .expect("degraded partition run must complete");
+    let after = graph_word2vec::obs::snapshot().counters;
+    assert_eq!(deg_sim.model, deg_thr.model, "degrade mode bit-identity");
+    for name in [
+        "faults.injected.partition",
+        "faults.detected.partition",
+        "faults.recovered.heal",
+        "faults.recovered.adopt",
+        "faults.recovered.rejoin",
+    ] {
+        assert!(delta(&before, &after, name) > 0, "{name} never counted");
+    }
+
+    // Degrade trades some accuracy for availability, bounded by the
+    // staleness limit: its loss stays inside the chaos envelope of the
+    // stall baseline.
+    let setup = TrainSetup::new(&vocab, &params);
+    let probe = |m| estimate_loss(m, &corpus, &setup, params.window, params.negative, 512, 17);
+    let stall_loss = probe(&stall_thr.model);
+    let degrade_loss = probe(&deg_thr.model);
+    assert!(degrade_loss.is_finite(), "degrade loss {degrade_loss}");
+    assert!(
+        degrade_loss <= stall_loss * 1.25 + 0.1,
+        "degrade loss {degrade_loss} vs stall {stall_loss}"
+    );
 }
 
 /// Zero-cost-when-off: the inert plan and checkpoint writes must leave

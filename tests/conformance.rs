@@ -73,6 +73,8 @@ fn dist_cfg(plan: SyncPlan) -> DistConfig {
         cost: CostModel::infiniband_56g(),
         wire: WireMode::IdValue,
         sgns: graph_word2vec::core::trainer_hogbatch::SgnsMode::PerPair,
+        on_partition: graph_word2vec::faults::OnPartition::Stall,
+        max_stale_rounds: 8,
     }
 }
 
@@ -352,4 +354,144 @@ fn conformance_memo_rejoin_all_plans() {
         let (sim, thr) = run_pair_wire(sync, WireMode::Memo, "seed=7,crash=1@1,rejoin=1@2");
         assert_eq!(sim.stats, thr.stats);
     }
+}
+
+/// A combined partition + dup + reorder + drop + crash plan. Everything
+/// a partition withholds in stall mode is healed by the NAK loop, so a
+/// stall run must be bit-identical across engines AND bit-identical to
+/// the same plan with the partition erased (delivery-order and retry
+/// noise never reach the fold).
+const COMBINED_PARTITION_PLAN: &str =
+    "seed=9,partition=0.1|2@2..4,dup=0.05,reorder=0.2,drop=0.01,crash=1@5";
+
+#[test]
+fn conformance_partition_combined_stall_all_plans() {
+    for sync in PLANS {
+        let (sim, _thr) = run_pair(sync, COMBINED_PARTITION_PLAN);
+        let (unpartitioned, _) = run_pair(sync, "seed=9,dup=0.05,reorder=0.2,drop=0.01,crash=1@5");
+        assert_eq!(
+            sim.model, unpartitioned.model,
+            "[{sync:?}] a stalled partition heals without touching bits"
+        );
+        // The simulator charges the stall as virtual time.
+        assert!(
+            sim.comm_time > unpartitioned.comm_time,
+            "[{sync:?}] stalling must cost virtual communication time"
+        );
+    }
+}
+
+/// Degrade mode under the same combined plan: the dormant side (host 2,
+/// the smaller group) is converted to a deterministic crash at the
+/// partition's start and a rejoin at its healing epoch. Both engines
+/// must agree bit-for-bit, and the result must *differ* from the stall
+/// run (the reachable side really trains without host 2 for a while).
+#[test]
+fn conformance_partition_combined_degrade_all_plans() {
+    let (vocab, corpus, params) = prepare();
+    let plan = FaultPlan::parse(COMBINED_PARTITION_PLAN).expect("fault plan");
+    for sync in PLANS {
+        let cfg = DistConfig {
+            on_partition: graph_word2vec::faults::OnPartition::Degrade,
+            ..dist_cfg(sync)
+        };
+        let sim = DistributedTrainer::new(params.clone(), cfg)
+            .with_faults(plan.clone())
+            .train(&corpus, &vocab);
+        let thr = ThreadedTrainer::new(params.clone(), cfg)
+            .with_faults(plan.clone())
+            .with_cluster_config(fast_cluster())
+            .train(&corpus, &vocab)
+            .expect("degraded threaded run");
+        assert_eq!(
+            sim.model, thr.model,
+            "[{sync:?}] degrade mode must stay bit-identical across engines"
+        );
+        assert_eq!(sim.pairs_trained, thr.pairs_trained);
+
+        let (stall, _) = run_pair(sync, COMBINED_PARTITION_PLAN);
+        assert_ne!(
+            sim.model, stall.model,
+            "[{sync:?}] degrade really changes arithmetic: the dormant \
+             side's work moves to an adopter on the recovery RNG stream"
+        );
+    }
+}
+
+/// A partition longer than the staleness bound must fall back to stall
+/// even under `--on-partition degrade`: the whole run is then
+/// bit-identical to the stall run of the same plan.
+#[test]
+fn conformance_degrade_staleness_fallback() {
+    let (vocab, corpus, params) = prepare();
+    let plan = FaultPlan::parse(COMBINED_PARTITION_PLAN).expect("fault plan");
+    let tight = DistConfig {
+        on_partition: graph_word2vec::faults::OnPartition::Degrade,
+        max_stale_rounds: 1, // the spec spans 2 rounds: beyond the bound
+        ..dist_cfg(SyncPlan::RepModelOpt)
+    };
+    let degraded = DistributedTrainer::new(params.clone(), tight)
+        .with_faults(plan.clone())
+        .train(&corpus, &vocab);
+    let (stall_sim, _) = run_pair(SyncPlan::RepModelOpt, COMBINED_PARTITION_PLAN);
+    assert_eq!(
+        degraded.model, stall_sim.model,
+        "a partition past the staleness bound must stall, not degrade"
+    );
+    let thr = ThreadedTrainer::new(params, tight)
+        .with_faults(plan)
+        .with_cluster_config(fast_cluster())
+        .train(&corpus, &vocab)
+        .expect("threaded fallback run");
+    assert_eq!(degraded.model, thr.model);
+}
+
+/// Checkpoint → kill at an epoch boundary *inside* an active partition →
+/// resume: the resumed cluster re-enters the still-covered rounds, heals
+/// through the NAK loop exactly like the uninterrupted run, and must be
+/// bit-identical to it.
+#[test]
+fn threaded_resume_mid_partition_is_bit_identical() {
+    let (vocab, corpus, params) = prepare();
+    let cfg = dist_cfg(SyncPlan::RepModelOpt);
+    // Rounds 1..4 are partitioned; kill=1 cuts after epoch 1 (round 3),
+    // so the resume at epoch 2 re-enters round 4 mid-partition.
+    let full_plan = FaultPlan::parse("seed=9,partition=0.1|2@1..5,dup=0.05,reorder=0.2").unwrap();
+    let cut_plan =
+        FaultPlan::parse("seed=9,partition=0.1|2@1..5,dup=0.05,reorder=0.2,kill=1").unwrap();
+
+    let thr_full = ThreadedTrainer::new(params.clone(), cfg)
+        .with_faults(full_plan.clone())
+        .with_cluster_config(fast_cluster())
+        .train(&corpus, &vocab)
+        .expect("uninterrupted partitioned run");
+
+    let dir = tmpdir("thr-mid-partition");
+    let thr_cut = ThreadedTrainer::new(params.clone(), cfg)
+        .with_faults(cut_plan.clone())
+        .with_cluster_config(fast_cluster())
+        .with_checkpointing(&dir, 1)
+        .train(&corpus, &vocab)
+        .expect("killed mid-partition run");
+    assert!(thr_cut.killed, "kill=1 must stop the cluster early");
+    let thr_resumed = ThreadedTrainer::new(params.clone(), cfg)
+        .with_faults(cut_plan.clone())
+        .with_cluster_config(fast_cluster())
+        .with_checkpointing(&dir, 1)
+        .with_resume(true)
+        .train(&corpus, &vocab)
+        .expect("resumed mid-partition run");
+    assert_eq!(thr_resumed.resumed_from, Some(2), "must resume at epoch 2");
+    assert_eq!(
+        thr_resumed.model, thr_full.model,
+        "resume inside an active partition must match the uninterrupted run"
+    );
+    assert_eq!(thr_resumed.pairs_trained, thr_full.pairs_trained);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // The simulator agrees with the whole story.
+    let sim_full = DistributedTrainer::new(params, cfg)
+        .with_faults(full_plan)
+        .train(&corpus, &vocab);
+    assert_eq!(sim_full.model, thr_full.model);
 }
