@@ -12,13 +12,18 @@ use gw2v_core::trainer_seq::SequentialTrainer;
 use gw2v_core::trainer_threaded::ThreadedTrainer;
 use gw2v_corpus::datasets::{DatasetPreset, Scale};
 use gw2v_corpus::file::{build_vocab_from_path, write_corpus};
+use gw2v_corpus::graphs::{
+    self, even_blocks, holdout_split, load_edge_list, sample_negative_edges, save_edge_list,
+};
 use gw2v_corpus::phrases::{detect_phrases, PhraseConfig};
 use gw2v_corpus::questions::{read_questions, write_questions};
 use gw2v_corpus::shard::Corpus;
 use gw2v_corpus::tokenizer::TokenizerConfig;
 use gw2v_corpus::vocab::Vocabulary;
+use gw2v_corpus::walks::{generate_walks, WalkParams};
 use gw2v_eval::analogy::{evaluate_with, AnalogyMethod};
 use gw2v_eval::knn::EmbeddingIndex;
+use gw2v_eval::linkpred::{evaluate_link_prediction, LinkScore};
 use gw2v_faults::{FaultPlan, OnPartition};
 use gw2v_gluon::plan::SyncPlan;
 use gw2v_gluon::wire::WireMode;
@@ -51,8 +56,17 @@ USAGE:
                  [--on-partition stall|degrade] [--max-stale-rounds 8]
                  [--nak-delay MS] [--max-retries N] [--barrier-timeout MS]
                  [--checkpoint-dir DIR] [--checkpoint-every 1] [--resume]
+  gw2v corpus graph --out graph.edges [--kind sbm|scale-free]
+                 [--nodes 240] [--blocks 8] [--p-in 0.2] [--p-out 0.005]
+                 [--attach 3] [--seed 42]
+  gw2v corpus walks --edges graph.edges --out walks.txt
+                 [--walks 10] [--length 40] [--p 1.0] [--q 1.0] [--seed 1]
+                 [--holdout 0.0] [--holdout-seed 7]
   gw2v eval      --model model.txt --questions questions.txt
                  [--method cosadd|cosmul]
+  gw2v eval linkpred --model model.txt --edges graph.edges --holdout 0.2
+                 [--holdout-seed 7] [--negatives-per-edge 1]
+                 [--score dot|cosine] [--seed 13] [--out report.json]
   gw2v neighbors --model model.txt --word WORD [--k 10]
   gw2v serve     (--model model.txt | --checkpoint DIR|FILE --vocab corpus.txt)
                  [--min-count 1] [--queries FILE] [--out FILE]
@@ -66,6 +80,12 @@ result line per query to --out or stdout.
 The threaded trainer's timing knobs fall back to the GW2V_NAK_DELAY_MS,
 GW2V_MAX_RETRIES and GW2V_BARRIER_TIMEOUT_MS environment variables when
 the corresponding flag is absent (flags win).
+
+Graph workloads: `corpus walks --holdout F --holdout-seed S` removes a
+seeded edge split before walk generation, and `eval linkpred` with the
+same --edges/--holdout/--holdout-seed recomputes the identical split as
+its positive test set. Walk corpora have near-uniform node frequencies,
+so train them with --subsample 0.
 ";
 
 type CmdResult = Result<(), Box<dyn Error>>;
@@ -141,6 +161,141 @@ pub fn phrases(raw: &[String]) -> CmdResult {
     }
     write_corpus(out, &out_text)?;
     println!("wrote {out} ({n_phrases} joined phrase tokens)");
+    Ok(())
+}
+
+/// `gw2v corpus` — graph and walk-corpus utilities.
+pub fn corpus(raw: &[String]) -> CmdResult {
+    match raw.first().map(String::as_str) {
+        Some("graph") => corpus_graph(&raw[1..]),
+        Some("walks") => corpus_walks(&raw[1..]),
+        _ => Err(ArgError("usage: gw2v corpus graph|walks … (run `gw2v help`)".into()).into()),
+    }
+}
+
+/// `gw2v corpus graph` — write a synthetic graph as an edge list.
+fn corpus_graph(raw: &[String]) -> CmdResult {
+    let args = Args::parse(raw.iter().cloned(), &[])?;
+    args.check_known(&[
+        "out", "kind", "nodes", "blocks", "p-in", "p-out", "attach", "seed",
+    ])?;
+    let out = args.require("out")?;
+    let nodes: usize = args.get_or("nodes", 240)?;
+    let seed: u64 = args.get_or("seed", 42)?;
+    let graph = match args.get("kind").unwrap_or("sbm") {
+        "sbm" => {
+            let blocks: usize = args.get_or("blocks", 8)?;
+            let p_in: f64 = args.get_or("p-in", 0.2)?;
+            let p_out: f64 = args.get_or("p-out", 0.005)?;
+            let (graph, _) = graphs::sbm(&even_blocks(nodes, blocks), p_in, p_out, seed);
+            println!("sbm: {nodes} nodes in {blocks} blocks, p_in {p_in}, p_out {p_out}");
+            graph
+        }
+        "scale-free" => {
+            let attach: usize = args.get_or("attach", 3)?;
+            let graph = graphs::scale_free(nodes, attach, seed);
+            println!("scale-free: {nodes} nodes, {attach} edges per arrival");
+            graph
+        }
+        other => return Err(ArgError(format!("unknown graph kind {other:?}")).into()),
+    };
+    save_edge_list(&graph, out)?;
+    println!("wrote {} edges to {out}", graph.n_edges());
+    Ok(())
+}
+
+/// `gw2v corpus walks` — generate a node2vec walk corpus from an edge
+/// list, optionally holding out a seeded edge split first (the same
+/// split `eval linkpred` recomputes as its positive test set).
+fn corpus_walks(raw: &[String]) -> CmdResult {
+    let args = Args::parse(raw.iter().cloned(), &[])?;
+    args.check_known(&[
+        "edges",
+        "out",
+        "walks",
+        "length",
+        "p",
+        "q",
+        "seed",
+        "holdout",
+        "holdout-seed",
+    ])?;
+    let out = args.require("out")?;
+    let graph = load_edge_list(args.require("edges")?)?;
+    let holdout: f64 = args.get_or("holdout", 0.0)?;
+    let (train_graph, held) = if holdout > 0.0 {
+        let holdout_seed: u64 = args.get_or("holdout-seed", 7)?;
+        holdout_split(&graph, holdout, holdout_seed)
+    } else {
+        (graph.clone(), Vec::new())
+    };
+    let params = WalkParams {
+        walks_per_node: args.get_or("walks", 10)?,
+        walk_length: args.get_or("length", 40)?,
+        p: args.get_or("p", 1.0)?,
+        q: args.get_or("q", 1.0)?,
+        seed: args.get_or("seed", 1)?,
+    };
+    let walk_corpus = generate_walks(&train_graph, &params);
+    write_corpus(out, &walk_corpus.text)?;
+    println!(
+        "wrote {} walks ({} tokens) over {} nodes / {} edges to {out}{}",
+        walk_corpus.n_walks,
+        walk_corpus.n_tokens,
+        train_graph.n_nodes(),
+        train_graph.n_edges(),
+        if held.is_empty() {
+            String::new()
+        } else {
+            format!(" ({} edges held out)", held.len())
+        }
+    );
+    Ok(())
+}
+
+/// `gw2v eval linkpred` — link-prediction AUC of a saved model against
+/// a held-out edge split of an edge-list graph.
+fn eval_linkpred(raw: &[String]) -> CmdResult {
+    let args = Args::parse(raw.iter().cloned(), &[])?;
+    args.check_known(&[
+        "model",
+        "edges",
+        "holdout",
+        "holdout-seed",
+        "negatives-per-edge",
+        "score",
+        "seed",
+        "out",
+    ])?;
+    let (vocab, model) = load_model(args.require("model")?)?;
+    let graph = load_edge_list(args.require("edges")?)?;
+    let holdout: f64 = args
+        .require("holdout")?
+        .parse()
+        .map_err(|_| ArgError("--holdout: cannot parse fraction".into()))?;
+    let holdout_seed: u64 = args.get_or("holdout-seed", 7)?;
+    let (_train, positives) = holdout_split(&graph, holdout, holdout_seed);
+    let ratio: usize = args.get_or("negatives-per-edge", 1)?;
+    let neg_seed: u64 = args.get_or("seed", 13)?;
+    // Negatives are non-edges of the *full* graph, so a held-out true
+    // edge can never be sampled as a negative.
+    let negatives = sample_negative_edges(&graph, positives.len().max(1) * ratio, neg_seed);
+    let score_name = args.get("score").unwrap_or("dot");
+    let score = LinkScore::parse(score_name)
+        .ok_or_else(|| ArgError(format!("unknown score {score_name:?}")))?;
+    let report = evaluate_link_prediction(&model, &vocab, &positives, &negatives, score);
+    println!(
+        "link prediction: AUC {:.4}  ({} positives, {} negatives, {} skipped)",
+        report.auc, report.n_pos, report.n_neg, report.skipped
+    );
+    println!(
+        "mean score: positives {:.4}, negatives {:.4}",
+        report.mean_pos, report.mean_neg
+    );
+    if let Some(dest) = args.get("out") {
+        std::fs::write(dest, serde_json::to_string_pretty(&report)?)?;
+        println!("[report written to {dest}]");
+    }
     Ok(())
 }
 
@@ -395,8 +550,12 @@ fn load_model(path: &str) -> Result<(Vocabulary, Word2VecModel), Box<dyn Error>>
     Ok((vocab, model))
 }
 
-/// `gw2v eval` — analogy accuracy of a saved model.
+/// `gw2v eval` — analogy accuracy of a saved model, or link-prediction
+/// AUC via the `linkpred` subcommand.
 pub fn eval(raw: &[String]) -> CmdResult {
+    if raw.first().map(String::as_str) == Some("linkpred") {
+        return eval_linkpred(&raw[1..]);
+    }
     let args = Args::parse(raw.iter().cloned(), &[])?;
     args.check_known(&["model", "questions", "method"])?;
     let (vocab, model) = load_model(args.require("model")?)?;
@@ -710,6 +869,150 @@ mod tests {
         assert!(generate(&s(&["--out", "x", "--bogus", "1"])).is_err());
         assert!(train(&s(&["--input", "x", "--out", "y", "--nope", "1"])).is_err());
         assert!(serve(&s(&["--model", "x", "--nope", "1"])).is_err());
+        assert!(corpus(&s(&["graph", "--out", "x", "--nope", "1"])).is_err());
+        assert!(corpus(&s(&["walks", "--edges", "x", "--out", "y", "--nope", "1"])).is_err());
+        assert!(eval(&s(&["linkpred", "--model", "x", "--nope", "1"])).is_err());
+    }
+
+    #[test]
+    fn graph_walks_train_linkpred_pipeline() {
+        let edges = tmp("graph.edges");
+        let walks = tmp("walks.txt");
+        let model = tmp("graph_model.txt");
+        let report = tmp("linkpred.json");
+        corpus(&s(&[
+            "graph", "--out", &edges, "--kind", "sbm", "--nodes", "120", "--blocks", "4", "--p-in",
+            "0.25", "--p-out", "0.01", "--seed", "42",
+        ]))
+        .expect("corpus graph");
+        corpus(&s(&[
+            "walks",
+            "--edges",
+            &edges,
+            "--out",
+            &walks,
+            "--walks",
+            "6",
+            "--length",
+            "20",
+            "--seed",
+            "1",
+            "--holdout",
+            "0.2",
+            "--holdout-seed",
+            "7",
+        ]))
+        .expect("corpus walks");
+        // Walk generation is a pure function of (seed, graph, params).
+        let first = std::fs::read_to_string(&walks).unwrap();
+        corpus(&s(&[
+            "walks",
+            "--edges",
+            &edges,
+            "--out",
+            &walks,
+            "--walks",
+            "6",
+            "--length",
+            "20",
+            "--seed",
+            "1",
+            "--holdout",
+            "0.2",
+            "--holdout-seed",
+            "7",
+        ]))
+        .expect("corpus walks again");
+        assert_eq!(
+            first,
+            std::fs::read_to_string(&walks).unwrap(),
+            "walk corpus must be byte-identical across runs"
+        );
+        train(&s(&[
+            "--input",
+            &walks,
+            "--out",
+            &model,
+            "--trainer",
+            "hogbatch",
+            "--threads",
+            "2",
+            "--dim",
+            "24",
+            "--epochs",
+            "3",
+            "--negative",
+            "4",
+            "--window",
+            "4",
+            "--subsample",
+            "0",
+        ]))
+        .expect("train on walks");
+        eval(&s(&[
+            "linkpred",
+            "--model",
+            &model,
+            "--edges",
+            &edges,
+            "--holdout",
+            "0.2",
+            "--holdout-seed",
+            "7",
+            "--negatives-per-edge",
+            "2",
+            "--out",
+            &report,
+        ]))
+        .expect("eval linkpred");
+        let parsed: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&report).unwrap()).unwrap();
+        let auc = parsed.field("auc").unwrap().as_f64().unwrap();
+        assert!(
+            auc > 0.7,
+            "planted communities must be recoverable even at test scale: AUC {auc}"
+        );
+        assert_eq!(parsed.field("skipped").unwrap().as_u64().unwrap(), 0);
+        // scale-free generation also round-trips through the loader.
+        corpus(&s(&[
+            "graph",
+            "--out",
+            &edges,
+            "--kind",
+            "scale-free",
+            "--nodes",
+            "80",
+            "--attach",
+            "2",
+        ]))
+        .expect("scale-free graph");
+        corpus(&s(&[
+            "walks", "--edges", &edges, "--out", &walks, "--walks", "2", "--length", "10",
+        ]))
+        .expect("walks over scale-free");
+        for f in [&edges, &walks, &model, &report] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+
+    #[test]
+    fn graph_command_misuse_rejected() {
+        let edges = tmp("misuse.edges");
+        // Missing/unknown subcommands.
+        assert!(corpus(&s(&[])).is_err());
+        assert!(corpus(&s(&["prune"])).is_err());
+        // Unknown graph kind.
+        assert!(corpus(&s(&["graph", "--out", &edges, "--kind", "torus"])).is_err());
+        // Malformed edge list surfaces the typed loader error.
+        std::fs::write(&edges, "nodes 3\n0 x\n").unwrap();
+        let err = corpus(&s(&["walks", "--edges", &edges, "--out", "/dev/null"]))
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("line 2"), "loader error names the line: {err}");
+        // linkpred requires --holdout.
+        assert!(eval(&s(&["linkpred", "--model", "x", "--edges", &edges])).is_err());
+        // Unknown score function.
+        std::fs::remove_file(&edges).ok();
     }
 
     #[test]
@@ -794,9 +1097,8 @@ mod tests {
         assert_eq!(cfg.max_retries, 77);
         assert_eq!(cfg.barrier_timeout, std::time::Duration::from_millis(400));
         // A CLI flag overrides its env twin.
-        let over =
-            cluster_config_from(&Args::parse(s(&["--nak-delay", "20"]), &[]).unwrap())
-                .expect("flag overrides env");
+        let over = cluster_config_from(&Args::parse(s(&["--nak-delay", "20"]), &[]).unwrap())
+            .expect("flag overrides env");
         assert_eq!(over.nak_delay, std::time::Duration::from_millis(20));
         assert_eq!(over.max_retries, 77, "untouched knobs keep env values");
         // A set-but-garbage value is an error, not a silent default.

@@ -9,7 +9,12 @@
 //!                [--dim 200] [--epochs 16] [--negative 15] [--window 5]
 //!                [--alpha 0.025] [--combiner mc|avg|sum] [--plan opt|naive|pull]
 //!                [--wire id-value|memo] [--threads 4] [--seed 1] [--min-count 1]
+//! gw2v corpus    graph --out graph.edges [--kind sbm|scale-free] [--nodes 240] [--seed 42]
+//!                walks --edges graph.edges --out walks.txt [--walks 10] [--length 40]
+//!                [--p 1.0] [--q 1.0] [--seed 1] [--holdout 0.2] [--holdout-seed 7]
 //! gw2v eval      --model model.txt --questions questions.txt [--method cosadd|cosmul]
+//! gw2v eval      linkpred --model model.txt --edges graph.edges --holdout 0.2
+//!                [--negatives-per-edge 1] [--score dot|cosine] [--out report.json]
 //! gw2v neighbors --model model.txt --word WORD [--k 10]
 //! gw2v serve     (--model model.txt | --checkpoint DIR --vocab corpus.txt)
 //!                [--queries FILE] [--out FILE] [--k 10] [--shards 8] [--batch 32]
@@ -27,6 +32,7 @@ fn main() {
     let result = match command.as_str() {
         "generate" => commands::generate(&rest),
         "phrases" => commands::phrases(&rest),
+        "corpus" => commands::corpus(&rest),
         "train" => commands::train(&rest),
         "eval" => commands::eval(&rest),
         "neighbors" => commands::neighbors(&rest),

@@ -31,11 +31,17 @@
 //!   of the original Word2Vec toolchain.
 //! * [`questions`] — reader/writer for the `question-words.txt` analogy
 //!   file format.
+//! * [`graphs`] — undirected simple graphs for walk corpora: edge-list
+//!   I/O with typed errors, SBM and scale-free generators, holdout
+//!   splits and negative-edge sampling for link prediction.
+//! * [`walks`] — seeded DeepWalk/node2vec random-walk corpora over a
+//!   [`graphs::WalkGraph`], emitted as text for this same pipeline.
 
 #![warn(missing_docs)]
 
 pub mod datasets;
 pub mod file;
+pub mod graphs;
 pub mod phrases;
 pub mod questions;
 pub mod shard;
@@ -44,8 +50,11 @@ pub mod synth;
 pub mod tokenizer;
 pub mod unigram;
 pub mod vocab;
+pub mod walks;
 pub mod zipf;
 
+pub use graphs::{EdgeListError, WalkGraph};
 pub use shard::{Corpus, CorpusShard};
 pub use synth::{AnalogyQuestion, AnalogySet, CategoryKind, SynthCorpus, SynthSpec};
 pub use vocab::{VocabBuilder, Vocabulary};
+pub use walks::{WalkCorpus, WalkParams};

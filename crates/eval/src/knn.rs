@@ -141,6 +141,53 @@ mod tests {
     }
 
     #[test]
+    fn ties_break_by_ascending_id() {
+        // Rows 0, 1 and 3 are the same direction: identical cosine.
+        // The stable sort must keep them in ascending-id order, so the
+        // result is deterministic and backend-independent.
+        let m = model_with_rows(&[&[1.0, 0.0], &[2.0, 0.0], &[0.0, 1.0], &[3.0, 0.0]]);
+        let idx = EmbeddingIndex::new(&m);
+        let hits = idx.nearest(&[1.0, 0.0], 4, &[]);
+        let ids: Vec<u32> = hits.iter().map(|h| h.0).collect();
+        assert_eq!(ids, vec![0, 1, 3, 2]);
+    }
+
+    #[test]
+    fn empty_index_returns_nothing() {
+        let m = Word2VecModel::from_layers(FlatMatrix::zeros(0, 3), FlatMatrix::zeros(0, 3));
+        let idx = EmbeddingIndex::new(&m);
+        assert!(idx.is_empty());
+        assert_eq!(idx.len(), 0);
+        assert!(idx.nearest(&[1.0, 0.0, 0.0], 5, &[]).is_empty());
+        assert!(idx.best(&[1.0, 0.0, 0.0], &[]).is_none());
+    }
+
+    #[test]
+    fn k_zero_returns_nothing() {
+        let m = model_with_rows(&[&[1.0, 0.0], &[0.0, 1.0]]);
+        let idx = EmbeddingIndex::new(&m);
+        assert!(idx.nearest(&[1.0, 0.0], 0, &[]).is_empty());
+    }
+
+    #[test]
+    fn excluding_everything_returns_nothing() {
+        let m = model_with_rows(&[&[1.0, 0.0], &[0.0, 1.0]]);
+        let idx = EmbeddingIndex::new(&m);
+        assert!(idx.nearest(&[1.0, 0.0], 2, &[0, 1]).is_empty());
+        assert!(idx.best(&[1.0, 0.0], &[0, 1]).is_none());
+    }
+
+    #[test]
+    fn zero_query_scores_everything_zero() {
+        let m = model_with_rows(&[&[1.0, 0.0], &[0.0, 1.0]]);
+        let idx = EmbeddingIndex::new(&m);
+        let hits = idx.nearest(&[0.0, 0.0], 2, &[]);
+        assert_eq!(hits.len(), 2);
+        assert!(hits.iter().all(|h| h.1 == 0.0));
+        assert_eq!(hits[0].0, 0, "all-tied scores keep ascending-id order");
+    }
+
+    #[test]
     fn ordering_is_descending() {
         let m = model_with_rows(&[&[1.0, 0.0], &[0.8, 0.6], &[0.0, 1.0], &[-0.5, -0.5]]);
         let idx = EmbeddingIndex::new(&m);

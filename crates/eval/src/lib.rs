@@ -14,13 +14,17 @@
 //!   semantic, syntactic and total accuracies; question words missing
 //!   from the vocabulary are skipped, as the original evaluation script
 //!   does.
+//! * [`linkpred`] — link-prediction AUC for graph embeddings: held-out
+//!   edges vs sampled non-edges, scored by dot or cosine.
 
 #![warn(missing_docs)]
 
 pub mod analogy;
 pub mod knn;
+pub mod linkpred;
 pub mod similarity;
 
 pub use analogy::{evaluate, evaluate_with, AccuracyReport, AnalogyMethod, CategoryOutcome};
 pub use knn::EmbeddingIndex;
+pub use linkpred::{auc_from_scores, evaluate_link_prediction, LinkPredReport, LinkScore};
 pub use similarity::{evaluate_similarity, spearman, SimilarityReport};

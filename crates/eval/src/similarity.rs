@@ -115,7 +115,9 @@ pub fn spearman(x: &[f64], y: &[f64]) -> f64 {
     pearson(&rx, &ry)
 }
 
-fn ranks(v: &[f64]) -> Vec<f64> {
+/// Average ranks (1-based) with ties sharing their mean rank. Also the
+/// backbone of the link-prediction AUC ([`crate::linkpred`]).
+pub(crate) fn ranks(v: &[f64]) -> Vec<f64> {
     let mut idx: Vec<usize> = (0..v.len()).collect();
     idx.sort_by(|&a, &b| v[a].partial_cmp(&v[b]).expect("NaN in rank input"));
     let mut ranks = vec![0.0; v.len()];
@@ -194,5 +196,34 @@ mod tests {
     fn ranks_average_ties() {
         let r = ranks(&[10.0, 20.0, 20.0, 30.0]);
         assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn ranks_degenerate_inputs() {
+        assert!(ranks(&[]).is_empty());
+        assert_eq!(ranks(&[7.0]), vec![1.0]);
+        assert_eq!(ranks(&[3.0, 3.0, 3.0]), vec![2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn empty_analogy_set_yields_empty_report() {
+        use gw2v_core::model::Word2VecModel;
+        use gw2v_corpus::synth::AnalogySet;
+        use gw2v_corpus::vocab::VocabBuilder;
+        use gw2v_util::fvec::FlatMatrix;
+
+        let mut b = VocabBuilder::new();
+        b.add_sentence(&["a", "b"]);
+        let vocab = b.build(1);
+        let model = Word2VecModel::from_layers(
+            FlatMatrix::zeros(vocab.len(), 4),
+            FlatMatrix::zeros(vocab.len(), 4),
+        );
+        let set = AnalogySet { categories: vec![] };
+        let report = evaluate_similarity(&model, &vocab, &set, 3);
+        assert_eq!(report.n_pairs, 0);
+        assert_eq!(report.spearman, 0.0);
+        assert_eq!(report.mean_related, 0.0);
+        assert_eq!(report.mean_random, 0.0);
     }
 }

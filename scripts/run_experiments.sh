@@ -28,5 +28,6 @@ GW2V_EPOCHS="$ACC_EPOCHS" run fig7   cargo run --release -q -p gw2v-bench --bin 
 GW2V_EPOCHS=1 run fig8 cargo run --release -q -p gw2v-bench --bin fig8
 GW2V_EPOCHS=1 run fig9 cargo run --release -q -p gw2v-bench --bin fig9
 GW2V_EPOCHS=8 run ablation cargo run --release -q -p gw2v-bench --bin ablation
+GW2V_EPOCHS=6 run graphs cargo run --release -q -p gw2v-bench --bin graphs
 
 echo "All experiments complete; outputs in results/."

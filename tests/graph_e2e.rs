@@ -1,0 +1,222 @@
+//! Graph-workload differential suite: walk corpora on the distributed
+//! substrate.
+//!
+//! The walk-corpus subsystem emits plain text, so graph embedding rides
+//! the existing pipeline unchanged — and must inherit *all* of its
+//! invariants. Three are pinned here:
+//!
+//! 1. **Engine bit-parity.** For every sync plan, the BSP simulator and
+//!    the threaded cluster produce bit-identical models when trained on
+//!    an SBM walk corpus, and graph workloads inherit the fault
+//!    machinery: a crash + re-admission plan stays bit-identical too.
+//! 2. **Corpus purity.** Walk generation is a pure function of
+//!    `(seed, graph, params)` — regenerating yields byte-identical
+//!    text, so every engine trains on the same corpus by construction.
+//! 3. **End-to-end quality.** SBM → held-out split → biased walks →
+//!    distributed training → link prediction reaches AUC ≥ 0.85 on the
+//!    planted communities (the CI graph-smoke job enforces the same
+//!    bar through the CLI).
+//!
+//! Note the one graph-specific hyperparameter: walk corpora have
+//! near-uniform node frequencies (≈ `1/n` each, far above the 1e-4
+//! subsampling threshold), so `subsample` must be 0 — otherwise the
+//! frequent-word downsampler silently drops most walk tokens.
+
+use graph_word2vec::combiner::CombinerKind;
+use graph_word2vec::core::distributed::{DistConfig, DistributedTrainer, TrainResult};
+use graph_word2vec::core::params::Hyperparams;
+use graph_word2vec::core::trainer_threaded::ThreadedTrainer;
+use graph_word2vec::corpus::graphs::{even_blocks, holdout_split, sample_negative_edges, sbm};
+use graph_word2vec::corpus::shard::Corpus;
+use graph_word2vec::corpus::tokenizer::{sentences_from_text, TokenizerConfig};
+use graph_word2vec::corpus::vocab::{VocabBuilder, Vocabulary};
+use graph_word2vec::corpus::walks::{generate_walks, WalkParams};
+use graph_word2vec::eval::linkpred::{evaluate_link_prediction, LinkScore};
+use graph_word2vec::faults::FaultPlan;
+use graph_word2vec::gluon::cost::CostModel;
+use graph_word2vec::gluon::plan::SyncPlan;
+use graph_word2vec::gluon::{ClusterConfig, WireMode};
+use std::time::Duration;
+
+const PLANS: [SyncPlan; 3] = [
+    SyncPlan::RepModelNaive,
+    SyncPlan::RepModelOpt,
+    SyncPlan::PullModel,
+];
+
+/// A small SBM walk corpus for the differential cells: big enough that
+/// every sync round moves real data, small enough for threaded runs.
+fn prepare() -> (Vocabulary, Corpus, Hyperparams) {
+    let (graph, _) = sbm(&even_blocks(60, 3), 0.25, 0.02, 42);
+    let walks = generate_walks(
+        &graph,
+        &WalkParams {
+            walks_per_node: 4,
+            walk_length: 12,
+            p: 1.0,
+            q: 1.0,
+            seed: 9,
+        },
+    );
+    let cfg = TokenizerConfig::default();
+    let mut b = VocabBuilder::new();
+    for s in sentences_from_text(&walks.text, cfg.clone()) {
+        b.add_sentence(&s);
+    }
+    let vocab = b.build(1);
+    let corpus = Corpus::from_text(&walks.text, &vocab, cfg);
+    let params = Hyperparams {
+        dim: 16,
+        window: 3,
+        negative: 3,
+        epochs: 3,
+        subsample: 0.0,
+        seed: 11,
+        ..Hyperparams::default()
+    };
+    (vocab, corpus, params)
+}
+
+fn dist_cfg(plan: SyncPlan) -> DistConfig {
+    DistConfig {
+        n_hosts: 3,
+        sync_rounds: 2,
+        plan,
+        combiner: CombinerKind::ModelCombiner,
+        cost: CostModel::infiniband_56g(),
+        wire: WireMode::IdValue,
+        sgns: graph_word2vec::core::trainer_hogbatch::SgnsMode::PerPair,
+        on_partition: graph_word2vec::faults::OnPartition::Stall,
+        max_stale_rounds: 8,
+    }
+}
+
+fn fast_cluster() -> ClusterConfig {
+    ClusterConfig {
+        tick: Duration::from_millis(1),
+        nak_delay: Duration::from_millis(10),
+        ..ClusterConfig::default()
+    }
+}
+
+/// Trains the same walk corpus on both engines and asserts bit-parity.
+fn run_pair(sync: SyncPlan, plan_str: &str) -> (TrainResult, TrainResult) {
+    let (vocab, corpus, params) = prepare();
+    let cfg = dist_cfg(sync);
+    let plan = FaultPlan::parse(plan_str).expect("fault plan");
+    let sim = DistributedTrainer::new(params.clone(), cfg)
+        .with_faults(plan.clone())
+        .train(&corpus, &vocab);
+    let thr = ThreadedTrainer::new(params, cfg)
+        .with_faults(plan)
+        .with_cluster_config(fast_cluster())
+        .train(&corpus, &vocab)
+        .expect("threaded run must complete");
+    assert_eq!(
+        sim.model, thr.model,
+        "[{sync:?} / {plan_str:?}] engines must agree bit-for-bit on walk corpora"
+    );
+    assert_eq!(
+        sim.pairs_trained, thr.pairs_trained,
+        "[{sync:?} / {plan_str:?}] same schedule, same pair count"
+    );
+    (sim, thr)
+}
+
+#[test]
+fn walk_corpus_is_pure() {
+    let (graph, _) = sbm(&even_blocks(60, 3), 0.25, 0.02, 42);
+    let params = WalkParams {
+        walks_per_node: 4,
+        walk_length: 12,
+        p: 1.0,
+        q: 1.0,
+        seed: 9,
+    };
+    assert_eq!(
+        generate_walks(&graph, &params).text,
+        generate_walks(&graph, &params).text,
+        "walk text must be byte-identical run to run"
+    );
+}
+
+#[test]
+fn engines_agree_on_walk_corpus_all_plans() {
+    for plan in PLANS {
+        let (sim, _) = run_pair(plan, "");
+        assert!(sim.pairs_trained > 0, "[{plan:?}] corpus trained nothing");
+    }
+}
+
+#[test]
+fn engines_agree_on_walk_corpus_under_crash_rejoin() {
+    // Graph workloads inherit the fault machinery wholesale: a host
+    // crashes in epoch 1, its partition is adopted, and it is
+    // re-admitted in epoch 2 — still bit-identical across engines.
+    let (sim, _) = run_pair(SyncPlan::RepModelOpt, "seed=7,crash=1@1,rejoin=1@2");
+    assert!(sim.pairs_trained > 0);
+}
+
+#[test]
+fn sbm_to_linkpred_end_to_end_auc() {
+    // The acceptance pipeline at test scale: 8 planted communities of
+    // 30 nodes. The AUC ceiling is set by the graph, not the trainer:
+    // cross-block holdout edges carry no community signal and
+    // same-block non-edges score like positives, so p_out must stay
+    // low (at 0.005 the ceiling drops to ~0.79; at 0.001 measured AUC
+    // is 0.93-0.96 across graph seeds — comfortably above the gate).
+    let (graph, _) = sbm(&even_blocks(240, 8), 0.3, 0.001, 42);
+    let (train_graph, positives) = holdout_split(&graph, 0.2, 7);
+    let negatives = sample_negative_edges(&graph, positives.len() * 2, 13);
+    let walks = generate_walks(
+        &train_graph,
+        &WalkParams {
+            walks_per_node: 10,
+            walk_length: 40,
+            p: 1.0,
+            q: 2.0,
+            seed: 1,
+        },
+    );
+    let cfg = TokenizerConfig::default();
+    let mut b = VocabBuilder::new();
+    for s in sentences_from_text(&walks.text, cfg.clone()) {
+        b.add_sentence(&s);
+    }
+    let vocab = b.build(1);
+    assert_eq!(
+        vocab.len(),
+        240,
+        "no node may be lost between graph and vocabulary"
+    );
+    let corpus = Corpus::from_text(&walks.text, &vocab, cfg);
+    let params = Hyperparams {
+        dim: 32,
+        window: 4,
+        negative: 5,
+        epochs: 6,
+        subsample: 0.0,
+        seed: 3,
+        ..Hyperparams::default()
+    };
+    let result =
+        DistributedTrainer::new(params, dist_cfg(SyncPlan::RepModelOpt)).train(&corpus, &vocab);
+    let report = evaluate_link_prediction(
+        &result.model,
+        &vocab,
+        &positives,
+        &negatives,
+        LinkScore::Cosine,
+    );
+    assert_eq!(report.skipped, 0, "every holdout node must be embedded");
+    assert!(
+        report.auc >= 0.85,
+        "distributed training must recover the planted communities: AUC {:.4} \
+         ({} positives vs {} negatives, mean scores {:.3} / {:.3})",
+        report.auc,
+        report.n_pos,
+        report.n_neg,
+        report.mean_pos,
+        report.mean_neg
+    );
+}
