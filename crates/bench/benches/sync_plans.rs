@@ -6,7 +6,9 @@ use gw2v_combiner::CombinerKind;
 use gw2v_gluon::plan::{AccessSets, SyncConfig, SyncPlan};
 use gw2v_gluon::sync::sync_round;
 use gw2v_gluon::volume::CommStats;
-use gw2v_gluon::wire::{RowDecoder, RowEncoder, ValueDecoder};
+use gw2v_gluon::wire::{
+    mask_bytes, Channel, DeltaShadow, QuantDecoder, RowDecoder, RowEncoder, ValueDecoder,
+};
 use gw2v_gluon::ModelReplica;
 use gw2v_util::fvec::FlatMatrix;
 use gw2v_util::rng::{Rng64, Xoshiro256};
@@ -118,6 +120,48 @@ fn bench_wire_codec(c: &mut Criterion) {
     group.bench_function("decode_values_500x64", |b| {
         b.iter(|| {
             let mut dec = ValueDecoder::new(vbuf.clone(), DIM, &ids).expect("cache matches");
+            let mut sum = 0.0f32;
+            while let Some((_, row)) = dec.next_entry() {
+                sum += row[0];
+            }
+            black_box(sum)
+        });
+    });
+    // Delta format: steady-state payload with ~1-in-8 rows changed
+    // (mask + changed rows only), and its shadow-side reconstruction.
+    let mut mask = vec![0u8; mask_bytes(rows.len())];
+    for r in (0..rows.len()).step_by(8) {
+        mask[r / 8] |= 1 << (r % 8);
+    }
+    group.bench_function("delta_encode_500x64", |b| {
+        b.iter(|| black_box(enc.finish_delta(&mask)));
+    });
+    let dbuf = enc.finish_delta(&mask);
+    let mut shadow = DeltaShadow::new();
+    shadow.store(
+        0,
+        1,
+        0,
+        Channel::Reduce,
+        ids.clone(),
+        rows.iter().flat_map(|(_, r)| r.iter().copied()).collect(),
+    );
+    group.bench_function("delta_decode_500x64", |b| {
+        b.iter(|| {
+            let (_, vals) = shadow
+                .apply_delta(0, 1, 0, Channel::Reduce, &dbuf, DIM)
+                .expect("payload matches shadow");
+            black_box(vals[0])
+        });
+    });
+    // Quantized format: u8 codes with per-row scale/offset, SoA layout.
+    group.bench_function("quant_encode_500x64", |b| {
+        b.iter(|| black_box(enc.finish_quant()));
+    });
+    let qbuf = enc.finish_quant();
+    group.bench_function("quant_decode_500x64", |b| {
+        b.iter(|| {
+            let mut dec = QuantDecoder::new(qbuf.clone(), DIM).expect("well-formed payload");
             let mut sum = 0.0f32;
             while let Some((_, row)) = dec.next_entry() {
                 sum += row[0];

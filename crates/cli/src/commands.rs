@@ -49,7 +49,7 @@ USAGE:
                  [--hosts 8] [--sync-rounds N] [--dim 200] [--epochs 16]
                  [--negative 15] [--window 5] [--alpha 0.025]
                  [--combiner mc|avg|sum|mc-pairwise]
-                 [--plan opt|naive|pull] [--wire id-value|memo]
+                 [--plan opt|naive|pull] [--wire id-value|memo|delta|quant]
                  [--sgns per-pair|hogbatch] [--threads 4] [--seed 1]
                  [--min-count 1] [--subsample 1e-4]
                  [--fault-plan 'seed=7,drop=0.02,crash=1@3']

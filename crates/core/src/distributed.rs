@@ -57,7 +57,7 @@ use gw2v_gluon::plan::{AccessSets, SyncConfig, SyncPlan};
 use gw2v_gluon::sync::{assemble_canonical_live, sync_round_degraded, SyncScratch};
 use gw2v_gluon::threaded::REJOIN_CONTROL_BYTES;
 use gw2v_gluon::volume::{CommStats, RoundVolume};
-use gw2v_gluon::wire::{entry_bytes, WireMemo, WireMode, FRAME_HEADER_BYTES};
+use gw2v_gluon::wire::{entry_bytes, WireMode, WireState, FRAME_HEADER_BYTES};
 use gw2v_gluon::ModelReplica;
 use gw2v_util::rng::{SplitMix64, Xoshiro256};
 use std::path::PathBuf;
@@ -84,8 +84,9 @@ pub struct DistConfig {
     pub combiner: CombinerKind,
     /// Network model for virtual communication time.
     pub cost: CostModel,
-    /// Wire payload mode (§4.4 / Table 3): classic id+value entries or
-    /// the id-memoized value-only format.
+    /// Wire payload mode (§4.4 / Table 3): classic id+value entries,
+    /// the id-memoized value-only format, shadow-diffed delta payloads,
+    /// or u8-quantized rows. See docs/WIRE.md.
     pub wire: WireMode,
     /// SGNS inner loop: classic per-pair or shared-negative minibatch
     /// (HogBatch). Part of the checkpoint fingerprint — the RNG streams
@@ -374,16 +375,15 @@ impl DistributedTrainer {
         // reduce/broadcast path recycles its slab and buffers instead of
         // reallocating per round.
         let mut sync_scratch = SyncScratch::new();
-        // Id-list memoization cache (wire = memo): epoch-scoped, cleared
-        // below at every epoch start so checkpoint-resumed runs (which cut
-        // at epoch boundaries) make identical hit/miss decisions.
-        let mut wire_memo = (cfg.wire == WireMode::Memo).then(WireMemo::new);
+        // Per-run wire-protocol state (memo caches / delta shadows /
+        // quant scratch): epoch-scoped, cleared below at every epoch start
+        // so checkpoint-resumed runs (which cut at epoch boundaries) make
+        // identical payload-form decisions.
+        let mut wire = WireState::for_mode(cfg.wire);
         let mut killed = false;
 
         for epoch in start_epoch..p.epochs {
-            if let Some(m) = wire_memo.as_mut() {
-                m.begin_epoch();
-            }
+            wire.begin_epoch();
             // ---- Epoch-boundary re-admission (rejoin=H@E). ----
             if faults_on && !plan.rejoins.is_empty() {
                 let mut someone_rejoined = false;
@@ -597,7 +597,7 @@ impl DistributedTrainer {
                     &mut stats,
                     &mut sync_scratch,
                     &live,
-                    wire_memo.as_mut(),
+                    &mut wire,
                 );
                 let round_comp = round_compute.iter().cloned().fold(0.0, f64::max);
                 let mut round_comm = cfg.cost.round_time(&volume);

@@ -54,7 +54,7 @@ use gw2v_gluon::threaded::{
     HostCtx, ThreadedSyncScratch,
 };
 use gw2v_gluon::volume::CommStats;
-use gw2v_gluon::wire::{WireMemo, WireMode};
+use gw2v_gluon::wire::WireState;
 use gw2v_gluon::ModelReplica;
 use gw2v_util::fvec::FlatMatrix;
 use gw2v_util::rng::{SplitMix64, Xoshiro256};
@@ -374,12 +374,13 @@ impl ThreadedTrainer {
                 let mut pairs = 0u64;
                 let mut scratch = MinibatchScratch::new();
                 let mut sync_scratch = ThreadedSyncScratch::new();
-                // Per-host id-list memoization cache (wire = memo). Holds
-                // this host's sender keys (self→*) and receiver keys
-                // (*→self); epoch-scoped via `begin_epoch` at the loop top,
-                // which also covers rejoin re-entry, so hit/miss decisions
-                // match the simulator's exactly.
-                let mut wire_memo = (cfg.wire == WireMode::Memo).then(WireMemo::new);
+                // Per-host wire-protocol state (memo caches / delta
+                // shadows / quant scratch). Holds this host's sender keys
+                // (self→*) and receiver keys (*→self); epoch-scoped via
+                // `begin_epoch` at the loop top, which also covers rejoin
+                // re-entry, so payload-form decisions match the
+                // simulator's exactly.
+                let mut wire = WireState::for_mode(cfg.wire);
                 let mut live = Liveness::all(h_count);
                 let mut wards: Vec<Ward> = Vec::new();
                 let mut epoch = start_epoch;
@@ -444,9 +445,7 @@ impl ThreadedTrainer {
                 }
 
                 'epochs: while epoch < p.epochs {
-                    if let Some(m) = wire_memo.as_mut() {
-                        m.begin_epoch();
-                    }
+                    wire.begin_epoch();
                     // ---- Epoch-boundary re-admission (rejoin=H@E). ----
                     if faults_on {
                         let mut someone_rejoined = false;
@@ -688,7 +687,7 @@ impl ThreadedTrainer {
                             &mut stats,
                             &mut sync_scratch,
                             &live,
-                            wire_memo.as_mut(),
+                            &mut wire,
                         )?;
                     }
 
@@ -912,7 +911,7 @@ mod tests {
             plan: SyncPlan::RepModelOpt,
             combiner: CombinerKind::ModelCombiner,
             cost: CostModel::infiniband_56g(),
-            wire: WireMode::IdValue,
+            wire: gw2v_gluon::wire::WireMode::IdValue,
             sgns: crate::trainer_hogbatch::SgnsMode::PerPair,
             on_partition: gw2v_faults::OnPartition::Stall,
             max_stale_rounds: 8,

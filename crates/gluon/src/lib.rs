@@ -62,4 +62,7 @@ pub use replica::{DeltaTracker, ModelReplica};
 pub use sync::{sync_round, sync_round_degraded, sync_round_with_scratch, SyncScratch};
 pub use threaded::{ClusterConfig, ClusterError};
 pub use volume::{CommStats, RoundVolume};
-pub use wire::{open_frame, seal_frame, WireError, WireMemo, WireMode};
+pub use wire::{
+    open_frame, seal_frame, DeltaForm, DeltaShadow, QuantScratch, WireError, WireMemo, WireMode,
+    WireState,
+};

@@ -25,7 +25,7 @@ use crate::liveness::Liveness;
 use crate::plan::{AccessSets, SyncConfig, SyncPlan};
 use crate::replica::ModelReplica;
 use crate::volume::{CommStats, RoundVolume};
-use crate::wire::{entry_bytes, value_bytes, Channel, WireMemo};
+use crate::wire::{entry_bytes, quant_entry_bytes, value_bytes, Channel, WireState};
 use gw2v_combiner::{CombineAccumulator, CombinerKind};
 use gw2v_graph::partition::{master_block, master_host};
 use gw2v_util::bitvec::BitVec;
@@ -155,23 +155,6 @@ pub fn sync_round(
     sync_round_with_scratch(replicas, cfg, access, stats, &mut scratch)
 }
 
-/// [`sync_round_with_scratch`] in id-memoized wire mode
-/// ([`crate::wire::WireMode::Memo`]): `memo` carries the id-list caches
-/// across rounds and the round's byte accounting reflects value-only
-/// payloads on cache hits. Model results are bit-identical to the
-/// id+value mode — only the accounted bytes change.
-pub fn sync_round_memoized(
-    replicas: &mut [ModelReplica],
-    cfg: &SyncConfig,
-    access: Option<&AccessSets>,
-    stats: &mut CommStats,
-    scratch: &mut SyncScratch,
-    memo: &mut WireMemo,
-) -> RoundVolume {
-    let live = Liveness::all(replicas.len());
-    sync_round_degraded(replicas, cfg, access, stats, scratch, &live, Some(memo))
-}
-
 /// Runs one synchronization round over all replicas, reusing `scratch`.
 ///
 /// `access` must be `Some` when `cfg.plan == PullModel`: for each host
@@ -191,7 +174,15 @@ pub fn sync_round_with_scratch(
     scratch: &mut SyncScratch,
 ) -> RoundVolume {
     let live = Liveness::all(replicas.len());
-    sync_round_degraded(replicas, cfg, access, stats, scratch, &live, None)
+    sync_round_degraded(
+        replicas,
+        cfg,
+        access,
+        stats,
+        scratch,
+        &live,
+        &mut WireState::Classic,
+    )
 }
 
 /// [`sync_round_with_scratch`] under an explicit liveness view.
@@ -204,14 +195,25 @@ pub fn sync_round_with_scratch(
 /// simulator's modeled fault rounds and the faultless path share this
 /// one implementation.
 ///
-/// `memo` is `Some` in id-memoized wire mode
-/// ([`crate::wire::WireMode::Memo`]): payload id lists are derived per
-/// (sender, receiver, layer, channel) exactly as the threaded engine
-/// ships them — including empty lists for every alive ordered pair, so
-/// the two engines' caches make identical hit/miss decisions — and hits
-/// are accounted at [`value_bytes`] per entry instead of
-/// [`entry_bytes`]. With `None` this is the classic id+value
-/// accounting, untouched.
+/// `wire` selects the run's payload mode and carries its cross-round
+/// state ([`crate::wire::WireState`]):
+///
+/// * `Classic` — the classic id+value accounting, untouched.
+/// * `Memo` — payload id lists are derived per
+///   (sender, receiver, layer, channel) exactly as the threaded engine
+///   ships them — including empty lists for every alive ordered pair,
+///   so the two engines' caches make identical hit/miss decisions — and
+///   hits are accounted at [`value_bytes`] per entry instead of
+///   [`entry_bytes`].
+/// * `Delta` — id lists *and* row values are staged the same way and
+///   fed through the shadow ([`crate::wire::DeltaShadow::submit`]), so
+///   byte accounting reflects full payloads on shadow misses and
+///   mask+changed-rows payloads on hits. Lossless: the model is
+///   bit-identical to classic.
+/// * `Quant` — stateless; every wire-crossing row is replaced by its
+///   quantize→dequantize image ([`crate::wire::QuantScratch::qdq_row`])
+///   exactly where the threaded engine's payloads would decode lossily,
+///   and entries are accounted at [`quant_entry_bytes`] each.
 #[allow(clippy::too_many_arguments)]
 pub fn sync_round_degraded(
     replicas: &mut [ModelReplica],
@@ -220,7 +222,7 @@ pub fn sync_round_degraded(
     stats: &mut CommStats,
     scratch: &mut SyncScratch,
     live: &Liveness,
-    mut memo: Option<&mut WireMemo>,
+    wire: &mut WireState,
 ) -> RoundVolume {
     let n_hosts = replicas.len();
     assert!(n_hosts > 0);
@@ -231,11 +233,10 @@ pub fn sync_round_degraded(
             "PullModel requires inspection access sets"
         );
     }
-    if let Some(m) = memo.as_deref_mut() {
-        // Any liveness change invalidates every cached id list (routing
-        // changed); must happen before the first submit of the round.
-        m.observe_liveness(live);
-    }
+    // Any liveness change invalidates every cached id list / shadow row
+    // (routing changed); must happen before the first submit of the
+    // round. No-op for the stateless modes.
+    wire.observe_liveness(live);
     // Observability: an inert guard when metrics are disabled; otherwise it
     // times the whole round and records the byte/message deltas below.
     let mut obs_span = gw2v_obs::span("gluon.sync");
@@ -260,60 +261,108 @@ pub fn sync_round_degraded(
         let dim = replicas[0].layers[layer].dim();
         let ebytes = entry_bytes(dim) as u64;
         let vbytes = value_bytes(dim) as u64;
+        let qbytes = quant_entry_bytes(dim) as u64;
         fit_row_buf(delta, dim);
         fit_row_buf(canonical, dim);
         fit_row_buf(combined, dim);
 
         // ---- Reduce phase: fold per-node deltas in host-id order. ----
-        let memo_mode = memo.is_some();
+        let sparse = cfg.plan != SyncPlan::RepModelNaive;
         for (h, replica) in replicas.iter().enumerate() {
             if !live.is_alive(h) {
                 continue;
             }
-            // Memo mode stages the per-destination id list (the exact
-            // payload order the threaded engine ships) instead of
+            // Memo/delta modes stage the per-destination payload (the
+            // exact entry order the threaded engine ships) instead of
             // accounting inline per entry.
-            let mut stage = match memo.as_deref_mut() {
-                Some(m) if cfg.plan != SyncPlan::RepModelNaive => m.take_stage(n_hosts),
+            let mut stage = match wire {
+                WireState::Memo(m) if sparse => m.take_stage(n_hosts),
                 _ => Vec::new(),
+            };
+            let (mut stage_ids, mut stage_vals) = match wire {
+                WireState::Delta(d) if sparse => d.take_stage(n_hosts),
+                _ => (Vec::new(), Vec::new()),
             };
             let tracker = replica.tracker(layer);
             for &node in tracker.touched_nodes() {
                 tracker.delta_into(node, replica.row(layer, node), delta);
+                let owner = live.effective_master(master_host(n_nodes, n_hosts, node));
+                if owner != h {
+                    if let WireState::Quant(q) = &mut *wire {
+                        // This contribution crosses the wire (every
+                        // plan): the master folds its dequantized image.
+                        q.qdq_row(delta);
+                    }
+                }
                 slab.acc_mut(node, cfg.combiner, dim).push(delta);
                 updated.set(node as usize);
-                let owner = live.effective_master(master_host(n_nodes, n_hosts, node));
-                if owner != h && cfg.plan != SyncPlan::RepModelNaive {
-                    if memo_mode {
-                        stage[owner].push(node);
-                    } else {
-                        // Sparse plans: only touched mirrors cross the wire.
-                        volume.record(h, owner, ebytes);
-                        stats.reduce_bytes += ebytes;
-                        stats.reduce_msgs += 1;
+                if owner != h && sparse {
+                    match wire {
+                        WireState::Classic => {
+                            // Sparse plans: only touched mirrors cross the wire.
+                            volume.record(h, owner, ebytes);
+                            stats.reduce_bytes += ebytes;
+                            stats.reduce_msgs += 1;
+                        }
+                        WireState::Memo(_) => stage[owner].push(node),
+                        WireState::Delta(_) => {
+                            stage_ids[owner].push(node);
+                            stage_vals[owner].extend_from_slice(delta);
+                        }
+                        WireState::Quant(_) => {
+                            volume.record(h, owner, qbytes);
+                            stats.reduce_bytes += qbytes;
+                            stats.reduce_msgs += 1;
+                        }
                     }
                 }
             }
-            if let Some(m) = memo.as_deref_mut() {
-                if cfg.plan != SyncPlan::RepModelNaive {
-                    // Submit for *every* alive ordered pair — the
-                    // threaded engine ships a payload (possibly empty)
-                    // to each peer every phase, so its caches advance
-                    // even on empty lists.
-                    for peer in 0..n_hosts {
-                        if peer == h || !live.is_alive(peer) {
-                            continue;
+            if sparse {
+                // Submit for *every* alive ordered pair — the threaded
+                // engine ships a payload (possibly empty) to each peer
+                // every phase, so its caches/shadows advance even on
+                // empty lists.
+                match wire {
+                    WireState::Memo(m) => {
+                        for peer in 0..n_hosts {
+                            if peer == h || !live.is_alive(peer) {
+                                continue;
+                            }
+                            let hit = m.submit(h, peer, layer, Channel::Reduce, &stage[peer]);
+                            let per = if hit { vbytes } else { ebytes };
+                            let bytes = stage[peer].len() as u64 * per;
+                            if bytes > 0 {
+                                volume.record(h, peer, bytes);
+                            }
+                            stats.reduce_bytes += bytes;
+                            stats.reduce_msgs += stage[peer].len() as u64;
                         }
-                        let hit = m.submit(h, peer, layer, Channel::Reduce, &stage[peer]);
-                        let per = if hit { vbytes } else { ebytes };
-                        let bytes = stage[peer].len() as u64 * per;
-                        if bytes > 0 {
-                            volume.record(h, peer, bytes);
-                        }
-                        stats.reduce_bytes += bytes;
-                        stats.reduce_msgs += stage[peer].len() as u64;
+                        m.put_stage(stage);
                     }
-                    m.put_stage(stage);
+                    WireState::Delta(d) => {
+                        for peer in 0..n_hosts {
+                            if peer == h || !live.is_alive(peer) {
+                                continue;
+                            }
+                            let form = d.submit(
+                                h,
+                                peer,
+                                layer,
+                                Channel::Reduce,
+                                &stage_ids[peer],
+                                &stage_vals[peer],
+                                dim,
+                            );
+                            let bytes = form.wire_bytes(stage_ids[peer].len(), dim) as u64;
+                            if bytes > 0 {
+                                volume.record(h, peer, bytes);
+                            }
+                            stats.reduce_bytes += bytes;
+                            stats.reduce_msgs += stage_ids[peer].len() as u64;
+                        }
+                        d.put_stage(stage_ids, stage_vals);
+                    }
+                    WireState::Classic | WireState::Quant(_) => {}
                 }
             }
         }
@@ -321,59 +370,131 @@ pub fn sync_round_degraded(
             // Dense reduce: every host ships *all* its mirror rows (even
             // untouched): block_size(m) rows to every master host m ≠ h,
             // where m's rows cover every block m effectively masters.
-            if let Some(m_) = memo.as_deref_mut() {
-                // Memo mode: the dense id list per destination master is
-                // identical for every sender, and repeats round after
-                // round while liveness holds — hits from round two on.
-                let mut stage = m_.take_stage(n_hosts);
-                for m in 0..n_hosts {
-                    if !live.is_alive(m) {
-                        continue;
-                    }
-                    for owner in 0..n_hosts {
-                        if live.effective_master(owner) == m {
-                            for node in master_block(n_nodes, n_hosts, owner) {
-                                stage[m].push(node);
+            let dense_per = match wire {
+                WireState::Quant(_) => qbytes,
+                _ => ebytes,
+            };
+            match wire {
+                WireState::Memo(m_) => {
+                    // Memo mode: the dense id list per destination master is
+                    // identical for every sender, and repeats round after
+                    // round while liveness holds — hits from round two on.
+                    let mut stage = m_.take_stage(n_hosts);
+                    for m in 0..n_hosts {
+                        if !live.is_alive(m) {
+                            continue;
+                        }
+                        for owner in 0..n_hosts {
+                            if live.effective_master(owner) == m {
+                                for node in master_block(n_nodes, n_hosts, owner) {
+                                    stage[m].push(node);
+                                }
                             }
                         }
                     }
-                }
-                for h in 0..n_hosts {
-                    if !live.is_alive(h) {
-                        continue;
-                    }
-                    for m in 0..n_hosts {
-                        if m == h || !live.is_alive(m) {
+                    for h in 0..n_hosts {
+                        if !live.is_alive(h) {
                             continue;
                         }
-                        let hit = m_.submit(h, m, layer, Channel::Reduce, &stage[m]);
-                        let per = if hit { vbytes } else { ebytes };
-                        let bytes = stage[m].len() as u64 * per;
-                        if bytes > 0 {
-                            volume.record(h, m, bytes);
+                        for m in 0..n_hosts {
+                            if m == h || !live.is_alive(m) {
+                                continue;
+                            }
+                            let hit = m_.submit(h, m, layer, Channel::Reduce, &stage[m]);
+                            let per = if hit { vbytes } else { ebytes };
+                            let bytes = stage[m].len() as u64 * per;
+                            if bytes > 0 {
+                                volume.record(h, m, bytes);
+                            }
+                            stats.reduce_bytes += bytes;
+                            stats.reduce_msgs += stage[m].len() as u64;
                         }
-                        stats.reduce_bytes += bytes;
-                        stats.reduce_msgs += stage[m].len() as u64;
                     }
+                    m_.put_stage(stage);
                 }
-                m_.put_stage(stage);
-            } else {
-                for h in 0..n_hosts {
-                    if !live.is_alive(h) {
-                        continue;
-                    }
+                WireState::Delta(d) => {
+                    // Delta mode: the dense id list per destination master
+                    // (as memo), plus per-owner block offsets so each
+                    // sender scatters its touched deltas into the dense
+                    // value image by position. Untouched rows are zero
+                    // deltas, unchanged round over round — exactly what
+                    // the shadow's changed-row mask skips.
+                    let (mut stage_ids, mut stage_vals) = d.take_stage(n_hosts);
+                    let mut block_off = vec![0usize; n_hosts];
                     for m in 0..n_hosts {
-                        if m == h || !live.is_alive(m) {
+                        if !live.is_alive(m) {
                             continue;
                         }
-                        let rows: u64 = (0..n_hosts)
-                            .filter(|&owner| live.effective_master(owner) == m)
-                            .map(|owner| master_block(n_nodes, n_hosts, owner).len() as u64)
-                            .sum();
-                        if rows > 0 {
-                            volume.record(h, m, rows * ebytes);
-                            stats.reduce_bytes += rows * ebytes;
-                            stats.reduce_msgs += rows;
+                        for owner in 0..n_hosts {
+                            if live.effective_master(owner) == m {
+                                block_off[owner] = stage_ids[m].len();
+                                for node in master_block(n_nodes, n_hosts, owner) {
+                                    stage_ids[m].push(node);
+                                }
+                            }
+                        }
+                    }
+                    for h in 0..n_hosts {
+                        if !live.is_alive(h) {
+                            continue;
+                        }
+                        for m in 0..n_hosts {
+                            stage_vals[m].clear();
+                            stage_vals[m].resize(stage_ids[m].len() * dim, 0.0);
+                        }
+                        let tracker = replicas[h].tracker(layer);
+                        for &node in tracker.touched_nodes() {
+                            let owner = master_host(n_nodes, n_hosts, node);
+                            let m = live.effective_master(owner);
+                            if m == h {
+                                continue;
+                            }
+                            tracker.delta_into(node, replicas[h].row(layer, node), delta);
+                            let start = master_block(n_nodes, n_hosts, owner).start;
+                            let pos = block_off[owner] + (node - start) as usize;
+                            stage_vals[m][pos * dim..(pos + 1) * dim].copy_from_slice(delta);
+                        }
+                        for m in 0..n_hosts {
+                            if m == h || !live.is_alive(m) {
+                                continue;
+                            }
+                            let form = d.submit(
+                                h,
+                                m,
+                                layer,
+                                Channel::Reduce,
+                                &stage_ids[m],
+                                &stage_vals[m],
+                                dim,
+                            );
+                            let bytes = form.wire_bytes(stage_ids[m].len(), dim) as u64;
+                            if bytes > 0 {
+                                volume.record(h, m, bytes);
+                            }
+                            stats.reduce_bytes += bytes;
+                            stats.reduce_msgs += stage_ids[m].len() as u64;
+                        }
+                    }
+                    d.put_stage(stage_ids, stage_vals);
+                }
+                WireState::Classic | WireState::Quant(_) => {
+                    for h in 0..n_hosts {
+                        if !live.is_alive(h) {
+                            continue;
+                        }
+                        for m in 0..n_hosts {
+                            if m == h || !live.is_alive(m) {
+                                continue;
+                            }
+                            let rows: u64 = (0..n_hosts)
+                                .filter(|&owner| live.effective_master(owner) == m)
+                                .map(|owner| master_block(n_nodes, n_hosts, owner).len() as u64)
+                                .sum();
+                            if rows > 0 {
+                                volume.record(h, m, rows * dense_per);
+                                stats.reduce_bytes += rows * dense_per;
+                                stats.reduce_msgs += rows;
+                            }
                         }
                     }
                 }
@@ -381,13 +502,17 @@ pub fn sync_round_degraded(
         }
 
         // ---- Apply combined deltas at masters; broadcast canonical. ----
-        // Memo mode stages the Opt broadcast id list per master: the
-        // threaded engine builds ONE payload per master per layer
+        // Memo/delta modes stage the Opt broadcast payload per master:
+        // the threaded engine builds ONE payload per master per layer
         // (updated ∩ effectively-owned, node-id order) and ships it to
-        // every peer, so the memo key list is per-sender, not per-pair.
-        let mut bcast_stage = match memo.as_deref_mut() {
-            Some(m) if cfg.plan == SyncPlan::RepModelOpt => m.take_stage(n_hosts),
+        // every peer, so the cache key list is per-sender, not per-pair.
+        let mut bcast_stage = match wire {
+            WireState::Memo(m) if cfg.plan == SyncPlan::RepModelOpt => m.take_stage(n_hosts),
             _ => Vec::new(),
+        };
+        let (mut bcast_ids, mut bcast_vals) = match wire {
+            WireState::Delta(d) if cfg.plan == SyncPlan::RepModelOpt => d.take_stage(n_hosts),
+            _ => (Vec::new(), Vec::new()),
         };
         for node in updated.iter_ones() {
             let node_u = node as u32;
@@ -403,111 +528,250 @@ pub fn sync_round_degraded(
                 (gw2v_util::simd::kernels().add_assign)(row, combined);
                 canonical.copy_from_slice(row);
             }
-            if memo_mode && cfg.plan == SyncPlan::RepModelOpt {
-                bcast_stage[owner].push(node_u);
+            if cfg.plan == SyncPlan::RepModelOpt {
+                match wire {
+                    WireState::Memo(_) => bcast_stage[owner].push(node_u),
+                    WireState::Delta(_) => {
+                        bcast_ids[owner].push(node_u);
+                        bcast_vals[owner].extend_from_slice(canonical);
+                    }
+                    WireState::Quant(q) => {
+                        // Mirrors receive the dequantized image of the
+                        // canonical row; the master keeps the exact value.
+                        // (Naive's dense broadcast handles this below.)
+                        q.qdq_row(canonical);
+                    }
+                    WireState::Classic => {}
+                }
             }
             // RepModel plans overwrite every mirror with the canonical
             // value (PullModel applies values in its pull pass below).
             if cfg.plan != SyncPlan::PullModel {
+                let inline_per = match wire {
+                    WireState::Classic => Some(ebytes),
+                    WireState::Quant(_) => Some(qbytes),
+                    _ => None,
+                };
                 for (h, rep) in replicas.iter_mut().enumerate() {
                     if h == owner || !live.is_alive(h) {
                         continue;
                     }
                     rep.row_mut_untracked(layer, node_u)
                         .copy_from_slice(canonical);
-                    if cfg.plan == SyncPlan::RepModelOpt && !memo_mode {
-                        volume.record(owner, h, ebytes);
-                        stats.broadcast_bytes += ebytes;
-                        stats.broadcast_msgs += 1;
+                    if cfg.plan == SyncPlan::RepModelOpt {
+                        if let Some(per) = inline_per {
+                            volume.record(owner, h, per);
+                            stats.broadcast_bytes += per;
+                            stats.broadcast_msgs += 1;
+                        }
                     }
                 }
             }
         }
-        if let Some(m_) = memo.as_deref_mut() {
-            if cfg.plan == SyncPlan::RepModelOpt {
-                for sender in 0..n_hosts {
-                    if !live.is_alive(sender) {
-                        continue;
-                    }
-                    for peer in 0..n_hosts {
-                        if peer == sender || !live.is_alive(peer) {
+        if cfg.plan == SyncPlan::RepModelOpt {
+            match wire {
+                WireState::Memo(m_) => {
+                    for sender in 0..n_hosts {
+                        if !live.is_alive(sender) {
                             continue;
                         }
-                        let hit = m_.submit(
-                            sender,
-                            peer,
-                            layer,
-                            Channel::Broadcast,
-                            &bcast_stage[sender],
-                        );
-                        let per = if hit { vbytes } else { ebytes };
-                        let bytes = bcast_stage[sender].len() as u64 * per;
-                        if bytes > 0 {
-                            volume.record(sender, peer, bytes);
+                        for peer in 0..n_hosts {
+                            if peer == sender || !live.is_alive(peer) {
+                                continue;
+                            }
+                            let hit = m_.submit(
+                                sender,
+                                peer,
+                                layer,
+                                Channel::Broadcast,
+                                &bcast_stage[sender],
+                            );
+                            let per = if hit { vbytes } else { ebytes };
+                            let bytes = bcast_stage[sender].len() as u64 * per;
+                            if bytes > 0 {
+                                volume.record(sender, peer, bytes);
+                            }
+                            stats.broadcast_bytes += bytes;
+                            stats.broadcast_msgs += bcast_stage[sender].len() as u64;
                         }
-                        stats.broadcast_bytes += bytes;
-                        stats.broadcast_msgs += bcast_stage[sender].len() as u64;
                     }
+                    m_.put_stage(bcast_stage);
                 }
-                m_.put_stage(bcast_stage);
+                WireState::Delta(d) => {
+                    for sender in 0..n_hosts {
+                        if !live.is_alive(sender) {
+                            continue;
+                        }
+                        for peer in 0..n_hosts {
+                            if peer == sender || !live.is_alive(peer) {
+                                continue;
+                            }
+                            let form = d.submit(
+                                sender,
+                                peer,
+                                layer,
+                                Channel::Broadcast,
+                                &bcast_ids[sender],
+                                &bcast_vals[sender],
+                                dim,
+                            );
+                            let bytes = form.wire_bytes(bcast_ids[sender].len(), dim) as u64;
+                            if bytes > 0 {
+                                volume.record(sender, peer, bytes);
+                            }
+                            stats.broadcast_bytes += bytes;
+                            stats.broadcast_msgs += bcast_ids[sender].len() as u64;
+                        }
+                    }
+                    d.put_stage(bcast_ids, bcast_vals);
+                }
+                WireState::Classic | WireState::Quant(_) => {}
             }
         }
 
         match cfg.plan {
             SyncPlan::RepModelNaive => {
                 // Dense broadcast: every master row to every other host.
-                if let Some(m_) = memo.as_deref_mut() {
-                    // Memo mode: same dense id-list derivation as the
-                    // dense reduce above (the threaded engine ships one
-                    // dense payload per master per layer).
-                    let mut stage = m_.take_stage(n_hosts);
-                    for m in 0..n_hosts {
-                        if !live.is_alive(m) {
-                            continue;
-                        }
-                        for owner in 0..n_hosts {
-                            if live.effective_master(owner) == m {
-                                for node in master_block(n_nodes, n_hosts, owner) {
-                                    stage[m].push(node);
+                match wire {
+                    WireState::Memo(m_) => {
+                        // Memo mode: same dense id-list derivation as the
+                        // dense reduce above (the threaded engine ships one
+                        // dense payload per master per layer).
+                        let mut stage = m_.take_stage(n_hosts);
+                        for m in 0..n_hosts {
+                            if !live.is_alive(m) {
+                                continue;
+                            }
+                            for owner in 0..n_hosts {
+                                if live.effective_master(owner) == m {
+                                    for node in master_block(n_nodes, n_hosts, owner) {
+                                        stage[m].push(node);
+                                    }
                                 }
                             }
                         }
-                    }
-                    for m in 0..n_hosts {
-                        if !live.is_alive(m) {
-                            continue;
-                        }
-                        for h in 0..n_hosts {
-                            if h == m || !live.is_alive(h) {
+                        for m in 0..n_hosts {
+                            if !live.is_alive(m) {
                                 continue;
                             }
-                            let hit = m_.submit(m, h, layer, Channel::Broadcast, &stage[m]);
-                            let per = if hit { vbytes } else { ebytes };
-                            let bytes = stage[m].len() as u64 * per;
-                            if bytes > 0 {
-                                volume.record(m, h, bytes);
+                            for h in 0..n_hosts {
+                                if h == m || !live.is_alive(h) {
+                                    continue;
+                                }
+                                let hit = m_.submit(m, h, layer, Channel::Broadcast, &stage[m]);
+                                let per = if hit { vbytes } else { ebytes };
+                                let bytes = stage[m].len() as u64 * per;
+                                if bytes > 0 {
+                                    volume.record(m, h, bytes);
+                                }
+                                stats.broadcast_bytes += bytes;
+                                stats.broadcast_msgs += stage[m].len() as u64;
                             }
-                            stats.broadcast_bytes += bytes;
-                            stats.broadcast_msgs += stage[m].len() as u64;
                         }
+                        m_.put_stage(stage);
                     }
-                    m_.put_stage(stage);
-                } else {
-                    for m in 0..n_hosts {
-                        if !live.is_alive(m) {
-                            continue;
-                        }
-                        let rows: u64 = (0..n_hosts)
-                            .filter(|&owner| live.effective_master(owner) == m)
-                            .map(|owner| master_block(n_nodes, n_hosts, owner).len() as u64)
-                            .sum();
-                        for h in 0..n_hosts {
-                            if h == m || rows == 0 || !live.is_alive(h) {
+                    WireState::Delta(d) => {
+                        // Same dense id-list derivation as the dense
+                        // reduce; values are the masters' post-apply rows,
+                        // so rows not updated this round are unchanged and
+                        // cost only their mask bit.
+                        let (mut stage_ids, mut stage_vals) = d.take_stage(n_hosts);
+                        for m in 0..n_hosts {
+                            if !live.is_alive(m) {
                                 continue;
                             }
-                            volume.record(m, h, rows * ebytes);
-                            stats.broadcast_bytes += rows * ebytes;
-                            stats.broadcast_msgs += rows;
+                            for owner in 0..n_hosts {
+                                if live.effective_master(owner) == m {
+                                    for node in master_block(n_nodes, n_hosts, owner) {
+                                        stage_ids[m].push(node);
+                                        stage_vals[m]
+                                            .extend_from_slice(replicas[m].row(layer, node));
+                                    }
+                                }
+                            }
+                        }
+                        for m in 0..n_hosts {
+                            if !live.is_alive(m) {
+                                continue;
+                            }
+                            for h in 0..n_hosts {
+                                if h == m || !live.is_alive(h) {
+                                    continue;
+                                }
+                                let form = d.submit(
+                                    m,
+                                    h,
+                                    layer,
+                                    Channel::Broadcast,
+                                    &stage_ids[m],
+                                    &stage_vals[m],
+                                    dim,
+                                );
+                                let bytes = form.wire_bytes(stage_ids[m].len(), dim) as u64;
+                                if bytes > 0 {
+                                    volume.record(m, h, bytes);
+                                }
+                                stats.broadcast_bytes += bytes;
+                                stats.broadcast_msgs += stage_ids[m].len() as u64;
+                            }
+                        }
+                        d.put_stage(stage_ids, stage_vals);
+                    }
+                    WireState::Classic => {
+                        for m in 0..n_hosts {
+                            if !live.is_alive(m) {
+                                continue;
+                            }
+                            let rows: u64 = (0..n_hosts)
+                                .filter(|&owner| live.effective_master(owner) == m)
+                                .map(|owner| master_block(n_nodes, n_hosts, owner).len() as u64)
+                                .sum();
+                            for h in 0..n_hosts {
+                                if h == m || rows == 0 || !live.is_alive(h) {
+                                    continue;
+                                }
+                                volume.record(m, h, rows * ebytes);
+                                stats.broadcast_bytes += rows * ebytes;
+                                stats.broadcast_msgs += rows;
+                            }
+                        }
+                    }
+                    WireState::Quant(q) => {
+                        // The threaded dense broadcast physically
+                        // overwrites *every* mirror row with the decoded
+                        // (lossy) image each round — replicate that here;
+                        // master rows stay exact.
+                        for m in 0..n_hosts {
+                            if !live.is_alive(m) {
+                                continue;
+                            }
+                            let mut rows: u64 = 0;
+                            for owner in 0..n_hosts {
+                                if live.effective_master(owner) != m {
+                                    continue;
+                                }
+                                for node in master_block(n_nodes, n_hosts, owner) {
+                                    rows += 1;
+                                    canonical.copy_from_slice(replicas[m].row(layer, node));
+                                    q.qdq_row(canonical);
+                                    for h in 0..n_hosts {
+                                        if h == m || !live.is_alive(h) {
+                                            continue;
+                                        }
+                                        replicas[h]
+                                            .row_mut_untracked(layer, node)
+                                            .copy_from_slice(canonical);
+                                    }
+                                }
+                            }
+                            for h in 0..n_hosts {
+                                if h == m || rows == 0 || !live.is_alive(h) {
+                                    continue;
+                                }
+                                volume.record(m, h, rows * qbytes);
+                                stats.broadcast_bytes += rows * qbytes;
+                                stats.broadcast_msgs += rows;
+                            }
                         }
                     }
                 }
@@ -522,13 +786,17 @@ pub fn sync_round_degraded(
                     if !live.is_alive(h) {
                         continue;
                     }
-                    // Memo mode stages the per-owner request list (the
-                    // exact response payload order: the owner answers in
-                    // request order, which is the access set's node-id
-                    // order).
-                    let mut stage = match memo.as_deref_mut() {
-                        Some(m) => m.take_stage(n_hosts),
-                        None => Vec::new(),
+                    // Memo/delta modes stage the per-owner request list
+                    // (the exact response payload order: the owner
+                    // answers in request order, which is the access
+                    // set's node-id order).
+                    let mut stage = match wire {
+                        WireState::Memo(m) => m.take_stage(n_hosts),
+                        _ => Vec::new(),
+                    };
+                    let (mut stage_ids, mut stage_vals) = match wire {
+                        WireState::Delta(d) => d.take_stage(n_hosts),
+                        _ => (Vec::new(), Vec::new()),
                     };
                     let set = access.get(h, layer);
                     for node in set.iter_ones() {
@@ -538,32 +806,71 @@ pub fn sync_round_degraded(
                             continue; // local master, no wire
                         }
                         canonical.copy_from_slice(replicas[owner].row(layer, node_u));
+                        match wire {
+                            WireState::Classic => {
+                                volume.record(owner, h, ebytes);
+                                stats.broadcast_bytes += ebytes;
+                                stats.broadcast_msgs += 1;
+                            }
+                            WireState::Memo(_) => stage[owner].push(node_u),
+                            WireState::Delta(_) => {
+                                stage_ids[owner].push(node_u);
+                                stage_vals[owner].extend_from_slice(canonical);
+                            }
+                            WireState::Quant(q) => {
+                                // The requester decodes the lossy image.
+                                q.qdq_row(canonical);
+                                volume.record(owner, h, qbytes);
+                                stats.broadcast_bytes += qbytes;
+                                stats.broadcast_msgs += 1;
+                            }
+                        }
                         replicas[h]
                             .row_mut_untracked(layer, node_u)
                             .copy_from_slice(canonical);
-                        if memo_mode {
-                            stage[owner].push(node_u);
-                        } else {
-                            volume.record(owner, h, ebytes);
-                            stats.broadcast_bytes += ebytes;
-                            stats.broadcast_msgs += 1;
-                        }
                     }
-                    if let Some(m_) = memo.as_deref_mut() {
-                        for owner in 0..n_hosts {
-                            if owner == h || !live.is_alive(owner) {
-                                continue;
+                    match wire {
+                        WireState::Memo(m_) => {
+                            for owner in 0..n_hosts {
+                                if owner == h || !live.is_alive(owner) {
+                                    continue;
+                                }
+                                let hit =
+                                    m_.submit(owner, h, layer, Channel::Broadcast, &stage[owner]);
+                                let per = if hit { vbytes } else { ebytes };
+                                let bytes = stage[owner].len() as u64 * per;
+                                if bytes > 0 {
+                                    volume.record(owner, h, bytes);
+                                }
+                                stats.broadcast_bytes += bytes;
+                                stats.broadcast_msgs += stage[owner].len() as u64;
                             }
-                            let hit = m_.submit(owner, h, layer, Channel::Broadcast, &stage[owner]);
-                            let per = if hit { vbytes } else { ebytes };
-                            let bytes = stage[owner].len() as u64 * per;
-                            if bytes > 0 {
-                                volume.record(owner, h, bytes);
-                            }
-                            stats.broadcast_bytes += bytes;
-                            stats.broadcast_msgs += stage[owner].len() as u64;
+                            m_.put_stage(stage);
                         }
-                        m_.put_stage(stage);
+                        WireState::Delta(d) => {
+                            for owner in 0..n_hosts {
+                                if owner == h || !live.is_alive(owner) {
+                                    continue;
+                                }
+                                let form = d.submit(
+                                    owner,
+                                    h,
+                                    layer,
+                                    Channel::Broadcast,
+                                    &stage_ids[owner],
+                                    &stage_vals[owner],
+                                    dim,
+                                );
+                                let bytes = form.wire_bytes(stage_ids[owner].len(), dim) as u64;
+                                if bytes > 0 {
+                                    volume.record(owner, h, bytes);
+                                }
+                                stats.broadcast_bytes += bytes;
+                                stats.broadcast_msgs += stage_ids[owner].len() as u64;
+                            }
+                            d.put_stage(stage_ids, stage_vals);
+                        }
+                        WireState::Classic | WireState::Quant(_) => {}
                     }
                 }
             }
@@ -987,7 +1294,7 @@ mod tests {
             &mut stats,
             &mut scratch,
             &live,
-            None,
+            &mut WireState::Classic,
         );
         assert_eq!(reps[2].row(0, 5)[0], base + 3.0, "adopter holds canonical");
         assert_eq!(reps[0].row(0, 5)[0], base + 3.0, "survivor mirrors it");

@@ -72,7 +72,8 @@ use crate::replica::ModelReplica;
 use crate::sync::NodeAccSlab;
 use crate::volume::CommStats;
 use crate::wire::{
-    entry_bytes, open_frame, seal_frame, Channel, RowDecoder, RowEncoder, ValueDecoder, WireMemo,
+    entry_bytes, open_frame, quant_entry_bytes, seal_frame, Channel, DeltaForm, QuantDecoder,
+    RowDecoder, RowEncoder, ValueDecoder, WireState,
 };
 use bytes::{BufMut, Bytes, BytesMut};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
@@ -224,15 +225,18 @@ pub struct Message {
     pub seq: u64,
     /// Data or NAK.
     pub kind: MsgKind,
-    /// True when the payload is a memoized value-only buffer
-    /// ([`crate::wire::WireMode::Memo`] cache hit) to be decoded against
-    /// the receiver's cached id list. Metadata, not payload: it rides
-    /// outside the CRC-sealed frame (like `from`/`layer`/`seq`) so byte
+    /// True when the payload is a compact form only the receiver's wire
+    /// state can expand: a memoized value-only buffer
+    /// ([`crate::wire::WireMode::Memo`] cache hit, decoded against the
+    /// receiver's cached id list) or a delta mask + changed-rows buffer
+    /// ([`crate::wire::WireMode::Delta`], replayed against the
+    /// receiver's shadow copy). Metadata, not payload: it rides outside
+    /// the CRC-sealed frame (like `from`/`layer`/`seq`) so byte
     /// accounting stays exact and the fault injector's bit flips cannot
     /// silently change a payload's layout.
     pub value_only: bool,
-    /// Sealed frame for data (`(node, row)` entries, or bare rows when
-    /// `value_only`); empty for NAKs.
+    /// Sealed frame for data (`(node, row)` entries, or a compact form
+    /// when `value_only`); empty for NAKs.
     pub payload: Bytes,
 }
 
@@ -1040,7 +1044,16 @@ pub fn sync_round_threaded_with_scratch(
     scratch: &mut ThreadedSyncScratch,
 ) -> Result<(), ClusterError> {
     let live = Liveness::all(ctx.n_hosts);
-    sync_round_threaded_degraded(ctx, replica, cfg, None, stats, scratch, &live, None)
+    sync_round_threaded_degraded(
+        ctx,
+        replica,
+        cfg,
+        None,
+        stats,
+        scratch,
+        &live,
+        &mut WireState::Classic,
+    )
 }
 
 /// [`sync_round_threaded_with_scratch`] under an explicit liveness view:
@@ -1057,15 +1070,21 @@ pub fn sync_round_threaded_with_scratch(
 /// inspection-derived sets (see [`PullAccess`]); the replication plans
 /// ignore it.
 ///
-/// `memo` is `Some` in id-memoized wire mode
-/// ([`crate::wire::WireMode::Memo`]): this host's [`WireMemo`] decides
-/// per payload whether the peer already caches the id list (ship
-/// value-only) and resolves incoming value-only payloads against its
-/// own cache. Every host must run the same mode; caches must be cleared
-/// at epoch starts by the caller ([`WireMemo::begin_epoch`]) — liveness
-/// changes clear them here. Model results are bit-identical either way;
-/// only bytes moved change, mirroring
-/// [`crate::sync::sync_round_degraded`]'s analytic accounting exactly.
+/// `wire` selects the payload mode ([`crate::wire::WireMode`]) and
+/// holds this host's per-mode state: [`WireState::Classic`] ships
+/// id+value rows; [`WireState::Memo`] memoizes id lists and ships
+/// value-only payloads on repeats; [`WireState::Delta`] shadows the
+/// last payload per (host pair, layer, channel) and ships a change mask
+/// plus only the rows whose bits differ; [`WireState::Quant`] ships
+/// rows quantized to one byte per dimension with per-row scale/offset.
+/// Every host must run the same mode; caches and shadows must be
+/// cleared at epoch starts by the caller ([`WireState::begin_epoch`]) —
+/// liveness changes clear them here. Memo and delta are lossless (model
+/// results bit-identical to classic; only bytes moved change, mirroring
+/// [`crate::sync::sync_round_degraded`]'s analytic accounting exactly);
+/// quant is deterministically lossy — the sequential engine replays the
+/// identical quantize→dequantize image, so the two engines stay
+/// bit-identical to *each other*.
 #[allow(clippy::too_many_arguments)]
 pub fn sync_round_threaded_degraded(
     ctx: &HostCtx,
@@ -1075,20 +1094,18 @@ pub fn sync_round_threaded_degraded(
     stats: &mut CommStats,
     scratch: &mut ThreadedSyncScratch,
     live: &Liveness,
-    mut memo: Option<&mut WireMemo>,
+    wire: &mut WireState,
 ) -> Result<(), ClusterError> {
     assert!(
         cfg.plan != SyncPlan::PullModel || access.is_some(),
         "PullModel requires inspection-derived access sets"
     );
     assert!(live.is_alive(ctx.host), "dead hosts do not sync");
-    if let Some(m) = memo.as_deref_mut() {
-        // Any liveness change invalidates every cached id list; all hosts
-        // derive the same view from the shared fault plan, so every memo
-        // in the cluster (and the simulator's) clears on the same round.
-        m.observe_liveness(live);
-    }
-    let memo_mode = memo.is_some();
+    // Any liveness change invalidates every cached id list and shadow
+    // payload; all hosts derive the same view from the shared fault
+    // plan, so every cache in the cluster (and the simulator's) clears
+    // on the same round.
+    wire.observe_liveness(live);
     // Inert when metrics are disabled; otherwise times this host's whole
     // round and records its send-side byte deltas below.
     let mut obs_span = gw2v_obs::span("gluon.threaded.sync").host(ctx.host);
@@ -1136,57 +1153,133 @@ pub fn sync_round_threaded_degraded(
                 .push(node, delta);
         }
         if cfg.plan == SyncPlan::RepModelNaive {
-            if let Some(m_) = memo.as_deref_mut() {
-                // Memo-mode dense accounting: the *analytic* dense id
-                // list per destination master (same derivation as the
-                // sequential engine) is memoized; physical payloads stay
-                // touched-only id+value below (their bytes are NOT
-                // separately accounted — the dense figure covers them).
-                let mut stage = m_.take_stage(n_hosts);
-                for m in 0..n_hosts {
-                    if m == ctx.host || !live.is_alive(m) {
-                        continue;
-                    }
-                    for owner in 0..n_hosts {
-                        if live.effective_master(owner) == m {
-                            for node in master_block(n_nodes, n_hosts, owner) {
-                                stage[m].push(node);
+            match &mut *wire {
+                WireState::Memo(m_) => {
+                    // Memo-mode dense accounting: the *analytic* dense id
+                    // list per destination master (same derivation as the
+                    // sequential engine) is memoized; physical payloads stay
+                    // touched-only id+value below (their bytes are NOT
+                    // separately accounted — the dense figure covers them).
+                    let mut stage = m_.take_stage(n_hosts);
+                    for m in 0..n_hosts {
+                        if m == ctx.host || !live.is_alive(m) {
+                            continue;
+                        }
+                        for owner in 0..n_hosts {
+                            if live.effective_master(owner) == m {
+                                for node in master_block(n_nodes, n_hosts, owner) {
+                                    stage[m].push(node);
+                                }
                             }
                         }
                     }
-                }
-                for m in 0..n_hosts {
-                    if m == ctx.host || !live.is_alive(m) {
-                        continue;
+                    for m in 0..n_hosts {
+                        if m == ctx.host || !live.is_alive(m) {
+                            continue;
+                        }
+                        let hit = m_.submit(ctx.host, m, layer, Channel::Reduce, &stage[m]);
+                        let per = if hit {
+                            crate::wire::value_bytes(dim)
+                        } else {
+                            entry_bytes(dim)
+                        } as u64;
+                        stats.reduce_bytes += stage[m].len() as u64 * per;
+                        stats.reduce_msgs += stage[m].len() as u64;
                     }
-                    let hit = m_.submit(ctx.host, m, layer, Channel::Reduce, &stage[m]);
-                    let per = if hit {
-                        crate::wire::value_bytes(dim)
-                    } else {
-                        entry_bytes(dim)
-                    } as u64;
-                    stats.reduce_bytes += stage[m].len() as u64 * per;
-                    stats.reduce_msgs += stage[m].len() as u64;
+                    m_.put_stage(stage);
                 }
-                m_.put_stage(stage);
-            } else {
-                // Dense plan also ships a zero delta for every untouched
-                // mirror row (redundant traffic, counted but semantically
-                // inert — the master skips zero-contribution entries is NOT
-                // the semantics here; instead we simply account the bytes, as
-                // the sequential engine does analytically).
-                for m in 0..n_hosts {
-                    if m == ctx.host || !live.is_alive(m) {
-                        continue;
+                WireState::Delta(d) => {
+                    // Delta-mode dense accounting: same dense id list per
+                    // destination as memo, with this host's touched deltas
+                    // scattered by block position into a zero value image
+                    // (untouched rows are zero deltas, unchanged round over
+                    // round — exactly what the changed-row mask skips).
+                    // Physical payloads stay touched-only id+value below;
+                    // the dense figure covers their bytes. The stage is
+                    // built for every alive destination (self included) so
+                    // block offsets match the sequential engine's.
+                    let (mut stage_ids, mut stage_vals) = d.take_stage(n_hosts);
+                    let mut block_off = vec![0usize; n_hosts];
+                    for m in 0..n_hosts {
+                        if !live.is_alive(m) {
+                            continue;
+                        }
+                        for owner in 0..n_hosts {
+                            if live.effective_master(owner) == m {
+                                block_off[owner] = stage_ids[m].len();
+                                for node in master_block(n_nodes, n_hosts, owner) {
+                                    stage_ids[m].push(node);
+                                }
+                            }
+                        }
                     }
-                    let all_rows: u64 = (0..n_hosts)
-                        .filter(|&owner| live.effective_master(owner) == m)
-                        .map(|owner| master_block(n_nodes, n_hosts, owner).len() as u64)
-                        .sum();
-                    let sent_rows = encoders.get(&m).map_or(0, |e| e.count() as u64);
-                    let pad_rows = all_rows - sent_rows;
-                    stats.reduce_bytes += pad_rows * entry_bytes(dim) as u64;
-                    stats.reduce_msgs += pad_rows;
+                    for m in 0..n_hosts {
+                        stage_vals[m].clear();
+                        stage_vals[m].resize(stage_ids[m].len() * dim, 0.0);
+                    }
+                    for (m, enc) in &encoders {
+                        for (i, &node) in enc.ids().iter().enumerate() {
+                            let owner = master_host(n_nodes, n_hosts, node);
+                            let start = master_block(n_nodes, n_hosts, owner).start;
+                            let pos = block_off[owner] + (node - start) as usize;
+                            stage_vals[*m][pos * dim..(pos + 1) * dim]
+                                .copy_from_slice(&enc.values()[i * dim..(i + 1) * dim]);
+                        }
+                    }
+                    for m in 0..n_hosts {
+                        if m == ctx.host || !live.is_alive(m) {
+                            continue;
+                        }
+                        let form = d.submit(
+                            ctx.host,
+                            m,
+                            layer,
+                            Channel::Reduce,
+                            &stage_ids[m],
+                            &stage_vals[m],
+                            dim,
+                        );
+                        stats.reduce_bytes += form.wire_bytes(stage_ids[m].len(), dim) as u64;
+                        stats.reduce_msgs += stage_ids[m].len() as u64;
+                    }
+                    d.put_stage(stage_ids, stage_vals);
+                }
+                WireState::Classic => {
+                    // Dense plan also ships a zero delta for every untouched
+                    // mirror row (redundant traffic, counted but semantically
+                    // inert — the master skips zero-contribution entries is NOT
+                    // the semantics here; instead we simply account the bytes, as
+                    // the sequential engine does analytically).
+                    for m in 0..n_hosts {
+                        if m == ctx.host || !live.is_alive(m) {
+                            continue;
+                        }
+                        let all_rows: u64 = (0..n_hosts)
+                            .filter(|&owner| live.effective_master(owner) == m)
+                            .map(|owner| master_block(n_nodes, n_hosts, owner).len() as u64)
+                            .sum();
+                        let sent_rows = encoders.get(&m).map_or(0, |e| e.count() as u64);
+                        let pad_rows = all_rows - sent_rows;
+                        stats.reduce_bytes += pad_rows * entry_bytes(dim) as u64;
+                        stats.reduce_msgs += pad_rows;
+                    }
+                }
+                WireState::Quant(_) => {
+                    // Quantized dense accounting: every dense row ships at
+                    // the quantized width; physical payloads below are the
+                    // touched rows in quantized form (the dense figure
+                    // covers their bytes, like memo's).
+                    for m in 0..n_hosts {
+                        if m == ctx.host || !live.is_alive(m) {
+                            continue;
+                        }
+                        let all_rows: u64 = (0..n_hosts)
+                            .filter(|&owner| live.effective_master(owner) == m)
+                            .map(|owner| master_block(n_nodes, n_hosts, owner).len() as u64)
+                            .sum();
+                        stats.reduce_bytes += all_rows * quant_entry_bytes(dim) as u64;
+                        stats.reduce_msgs += all_rows;
+                    }
                 }
             }
         }
@@ -1199,25 +1292,65 @@ pub fn sync_round_threaded_degraded(
                 .unwrap_or_else(|| RowEncoder::new(dim));
             if cfg.plan == SyncPlan::RepModelNaive {
                 // Classic mode accounts the touched payload here (the pad
-                // block above tops it up to the dense figure); memo mode
-                // already accounted the full dense figure above.
-                if !memo_mode {
-                    stats.reduce_bytes += enc.byte_len() as u64;
-                    stats.reduce_msgs += enc.count() as u64;
+                // block above tops it up to the dense figure); the other
+                // modes already accounted the full dense figure above.
+                match &mut *wire {
+                    WireState::Classic => {
+                        stats.reduce_bytes += enc.byte_len() as u64;
+                        stats.reduce_msgs += enc.count() as u64;
+                        ctx.ship(peer, layer, enc.finish(), false)?;
+                    }
+                    WireState::Memo(_) | WireState::Delta(_) => {
+                        ctx.ship(peer, layer, enc.finish(), false)?;
+                    }
+                    WireState::Quant(_) => {
+                        ctx.ship(peer, layer, enc.finish_quant(), false)?;
+                    }
                 }
-                ctx.ship(peer, layer, enc.finish(), false)?;
             } else {
-                let hit = match memo.as_deref_mut() {
-                    Some(m_) => m_.submit(ctx.host, peer, layer, Channel::Reduce, enc.ids()),
-                    None => false,
-                };
                 stats.reduce_msgs += enc.count() as u64;
-                if hit {
-                    stats.reduce_bytes += enc.value_byte_len() as u64;
-                    ctx.ship(peer, layer, enc.finish_values(), true)?;
-                } else {
-                    stats.reduce_bytes += enc.byte_len() as u64;
-                    ctx.ship(peer, layer, enc.finish(), false)?;
+                match &mut *wire {
+                    WireState::Classic => {
+                        stats.reduce_bytes += enc.byte_len() as u64;
+                        ctx.ship(peer, layer, enc.finish(), false)?;
+                    }
+                    WireState::Memo(m_) => {
+                        let hit = m_.submit(ctx.host, peer, layer, Channel::Reduce, enc.ids());
+                        if hit {
+                            stats.reduce_bytes += enc.value_byte_len() as u64;
+                            ctx.ship(peer, layer, enc.finish_values(), true)?;
+                        } else {
+                            stats.reduce_bytes += enc.byte_len() as u64;
+                            ctx.ship(peer, layer, enc.finish(), false)?;
+                        }
+                    }
+                    WireState::Delta(d) => {
+                        let form = d.submit(
+                            ctx.host,
+                            peer,
+                            layer,
+                            Channel::Reduce,
+                            enc.ids(),
+                            enc.values(),
+                            dim,
+                        );
+                        match form {
+                            DeltaForm::Full => {
+                                stats.reduce_bytes += enc.byte_len() as u64;
+                                ctx.ship(peer, layer, enc.finish(), false)?;
+                            }
+                            DeltaForm::Delta { ref mask, .. } => {
+                                let payload = enc.finish_delta(mask);
+                                stats.reduce_bytes += payload.len() as u64;
+                                ctx.ship(peer, layer, payload, true)?;
+                            }
+                        }
+                    }
+                    WireState::Quant(_) => {
+                        let payload = enc.finish_quant();
+                        stats.reduce_bytes += payload.len() as u64;
+                        ctx.ship(peer, layer, payload, false)?;
+                    }
                 }
             }
         }
@@ -1247,40 +1380,75 @@ pub fn sync_round_threaded_degraded(
                 }
             } else if let Some((payload, value_only)) = incoming.get(&(h, layer)) {
                 if *value_only {
-                    let m_ = memo
-                        .as_deref_mut()
-                        .expect("value-only payload outside memo mode");
-                    let ids = m_
-                        .cached(h, ctx.host, layer, Channel::Reduce)
-                        .expect("value-only payload with no cached id list");
-                    let mut dec = ValueDecoder::new(payload.clone(), dim, ids)
-                        .expect("value-only payload length matches cached id list");
-                    while let Some((node, row)) = dec.next_entry() {
-                        slab.acc_mut(node, cfg.combiner, dim).push(row);
-                        updated_per_layer[layer].set(node as usize);
+                    match &mut *wire {
+                        WireState::Memo(m_) => {
+                            let ids = m_
+                                .cached(h, ctx.host, layer, Channel::Reduce)
+                                .expect("value-only payload with no cached id list");
+                            let mut dec = ValueDecoder::new(payload.clone(), dim, ids)
+                                .expect("value-only payload length matches cached id list");
+                            while let Some((node, row)) = dec.next_entry() {
+                                slab.acc_mut(node, cfg.combiner, dim).push(row);
+                                updated_per_layer[layer].set(node as usize);
+                            }
+                        }
+                        WireState::Delta(d) => {
+                            let (ids, vals) = d
+                                .apply_delta(h, ctx.host, layer, Channel::Reduce, payload, dim)
+                                .expect("delta payload length matches shadow entry");
+                            for (i, &node) in ids.iter().enumerate() {
+                                slab.acc_mut(node, cfg.combiner, dim)
+                                    .push(&vals[i * dim..(i + 1) * dim]);
+                                updated_per_layer[layer].set(node as usize);
+                            }
+                        }
+                        _ => panic!("compact payload outside memo/delta mode"),
                     }
                 } else {
-                    let mut dec = RowDecoder::new(payload.clone(), dim);
-                    if memo_mode {
-                        // Record the decoded id list so a later
-                        // value-only payload on this key can be resolved.
-                        let mut ids = Vec::with_capacity(dec.remaining());
-                        while let Some((node, row)) = dec.next_entry() {
-                            ids.push(node);
-                            slab.acc_mut(node, cfg.combiner, dim).push(row);
-                            updated_per_layer[layer].set(node as usize);
+                    match &mut *wire {
+                        WireState::Memo(m_) => {
+                            // Record the decoded id list so a later
+                            // value-only payload on this key can be resolved.
+                            let mut dec = RowDecoder::new(payload.clone(), dim);
+                            let mut ids = Vec::with_capacity(dec.remaining());
+                            while let Some((node, row)) = dec.next_entry() {
+                                ids.push(node);
+                                slab.acc_mut(node, cfg.combiner, dim).push(row);
+                                updated_per_layer[layer].set(node as usize);
+                            }
+                            m_.store(h, ctx.host, layer, Channel::Reduce, ids);
                         }
-                        memo.as_deref_mut().expect("memo mode").store(
-                            h,
-                            ctx.host,
-                            layer,
-                            Channel::Reduce,
-                            ids,
-                        );
-                    } else {
-                        while let Some((node, row)) = dec.next_entry() {
-                            slab.acc_mut(node, cfg.combiner, dim).push(row);
-                            updated_per_layer[layer].set(node as usize);
+                        WireState::Delta(d) if cfg.plan != SyncPlan::RepModelNaive => {
+                            // Record ids *and* rows so a later delta payload
+                            // on this key can be reconstructed. (The dense
+                            // plan's physical reduce payloads stay classic —
+                            // its shadows track the analytic dense image on
+                            // the sender side only.)
+                            let mut dec = RowDecoder::new(payload.clone(), dim);
+                            let mut ids = Vec::with_capacity(dec.remaining());
+                            let mut vals = Vec::with_capacity(dec.remaining() * dim);
+                            while let Some((node, row)) = dec.next_entry() {
+                                ids.push(node);
+                                vals.extend_from_slice(row);
+                                slab.acc_mut(node, cfg.combiner, dim).push(row);
+                                updated_per_layer[layer].set(node as usize);
+                            }
+                            d.store(h, ctx.host, layer, Channel::Reduce, ids, vals);
+                        }
+                        WireState::Quant(_) => {
+                            let mut dec = QuantDecoder::new(payload.clone(), dim)
+                                .expect("well-formed quantized payload");
+                            while let Some((node, row)) = dec.next_entry() {
+                                slab.acc_mut(node, cfg.combiner, dim).push(row);
+                                updated_per_layer[layer].set(node as usize);
+                            }
+                        }
+                        _ => {
+                            let mut dec = RowDecoder::new(payload.clone(), dim);
+                            while let Some((node, row)) = dec.next_entry() {
+                                slab.acc_mut(node, cfg.combiner, dim).push(row);
+                                updated_per_layer[layer].set(node as usize);
+                            }
                         }
                     }
                 }
@@ -1329,10 +1497,12 @@ pub fn sync_round_threaded_degraded(
                     continue;
                 }
                 let enc = encoders.remove(&peer).unwrap_or_else(|| RowEncoder::new(0));
-                if let Some(m_) = memo.as_deref_mut() {
+                if let WireState::Memo(m_) = &mut *wire {
                     // The response from `peer` will carry exactly this
                     // list in this order; cache it now so a value-only
-                    // response resolves without a round trip.
+                    // response resolves without a round trip. (Delta mode
+                    // cannot pre-store: its shadow needs row values, which
+                    // only the first full response carries.)
                     m_.store(
                         peer,
                         ctx.host,
@@ -1367,18 +1537,50 @@ pub fn sync_round_threaded_degraded(
                 }
                 // Accounted exactly like the sequential pull pass: the
                 // owner charges one broadcast entry per served row
-                // (value-sized on a memo hit).
-                let hit = match memo.as_deref_mut() {
-                    Some(m_) => m_.submit(ctx.host, peer, layer, Channel::Broadcast, enc.ids()),
-                    None => false,
-                };
+                // (compact-sized when the wire mode allows it).
                 stats.broadcast_msgs += enc.count() as u64;
-                if hit {
-                    stats.broadcast_bytes += enc.value_byte_len() as u64;
-                    ctx.ship(peer, layer, enc.finish_values(), true)?;
-                } else {
-                    stats.broadcast_bytes += enc.byte_len() as u64;
-                    ctx.ship(peer, layer, enc.finish(), false)?;
+                match &mut *wire {
+                    WireState::Classic => {
+                        stats.broadcast_bytes += enc.byte_len() as u64;
+                        ctx.ship(peer, layer, enc.finish(), false)?;
+                    }
+                    WireState::Memo(m_) => {
+                        let hit = m_.submit(ctx.host, peer, layer, Channel::Broadcast, enc.ids());
+                        if hit {
+                            stats.broadcast_bytes += enc.value_byte_len() as u64;
+                            ctx.ship(peer, layer, enc.finish_values(), true)?;
+                        } else {
+                            stats.broadcast_bytes += enc.byte_len() as u64;
+                            ctx.ship(peer, layer, enc.finish(), false)?;
+                        }
+                    }
+                    WireState::Delta(d) => {
+                        let form = d.submit(
+                            ctx.host,
+                            peer,
+                            layer,
+                            Channel::Broadcast,
+                            enc.ids(),
+                            enc.values(),
+                            dim,
+                        );
+                        match form {
+                            DeltaForm::Full => {
+                                stats.broadcast_bytes += enc.byte_len() as u64;
+                                ctx.ship(peer, layer, enc.finish(), false)?;
+                            }
+                            DeltaForm::Delta { ref mask, .. } => {
+                                let payload = enc.finish_delta(mask);
+                                stats.broadcast_bytes += payload.len() as u64;
+                                ctx.ship(peer, layer, payload, true)?;
+                            }
+                        }
+                    }
+                    WireState::Quant(_) => {
+                        let payload = enc.finish_quant();
+                        stats.broadcast_bytes += payload.len() as u64;
+                        ctx.ship(peer, layer, payload, false)?;
+                    }
                 }
             }
         }
@@ -1386,19 +1588,55 @@ pub fn sync_round_threaded_degraded(
         for ((h, layer), (payload, value_only)) in incoming {
             let dim = replica.layers[layer].dim();
             if value_only {
-                let m_ = memo
-                    .as_deref_mut()
-                    .expect("value-only payload outside memo mode");
-                let ids = m_
-                    .cached(h, ctx.host, layer, Channel::Broadcast)
-                    .expect("value-only response with no cached request list");
-                let mut sink = |node: u32| -> *mut [f32] { replica.row_mut_untracked(layer, node) };
-                ValueDecoder::new(payload, dim, ids)
-                    .expect("value-only response length matches request list")
-                    .decode_into(&mut sink);
+                match &mut *wire {
+                    WireState::Memo(m_) => {
+                        let ids = m_
+                            .cached(h, ctx.host, layer, Channel::Broadcast)
+                            .expect("value-only response with no cached request list");
+                        let mut sink =
+                            |node: u32| -> *mut [f32] { replica.row_mut_untracked(layer, node) };
+                        ValueDecoder::new(payload, dim, ids)
+                            .expect("value-only response length matches request list")
+                            .decode_into(&mut sink);
+                    }
+                    WireState::Delta(d) => {
+                        let (ids, vals) = d
+                            .apply_delta(h, ctx.host, layer, Channel::Broadcast, &payload, dim)
+                            .expect("delta response length matches shadow entry");
+                        for (i, &node) in ids.iter().enumerate() {
+                            replica
+                                .row_mut_untracked(layer, node)
+                                .copy_from_slice(&vals[i * dim..(i + 1) * dim]);
+                        }
+                    }
+                    _ => panic!("compact payload outside memo/delta mode"),
+                }
             } else {
-                let mut sink = |node: u32| -> *mut [f32] { replica.row_mut_untracked(layer, node) };
-                RowDecoder::new(payload, dim).decode_into(&mut sink);
+                match &mut *wire {
+                    WireState::Delta(d) => {
+                        let mut dec = RowDecoder::new(payload, dim);
+                        let mut ids = Vec::with_capacity(dec.remaining());
+                        let mut vals = Vec::with_capacity(dec.remaining() * dim);
+                        while let Some((node, row)) = dec.next_entry() {
+                            ids.push(node);
+                            vals.extend_from_slice(row);
+                            replica.row_mut_untracked(layer, node).copy_from_slice(row);
+                        }
+                        d.store(h, ctx.host, layer, Channel::Broadcast, ids, vals);
+                    }
+                    WireState::Quant(_) => {
+                        let mut sink =
+                            |node: u32| -> *mut [f32] { replica.row_mut_untracked(layer, node) };
+                        QuantDecoder::new(payload, dim)
+                            .expect("well-formed quantized payload")
+                            .decode_into(&mut sink);
+                    }
+                    _ => {
+                        let mut sink =
+                            |node: u32| -> *mut [f32] { replica.row_mut_untracked(layer, node) };
+                        RowDecoder::new(payload, dim).decode_into(&mut sink);
+                    }
+                }
             }
         }
     } else {
@@ -1425,30 +1663,72 @@ pub fn sync_round_threaded_degraded(
                 }
                 SyncPlan::PullModel => unreachable!("handled above"),
             }
-            // One shared id+value payload per layer; in memo mode each
-            // peer may instead take the (also shared) value-only form,
-            // decided per peer — all peers see the same id list, so after
-            // the first miss-round they all hit together.
+            // One shared payload per layer wherever the form allows it
+            // (classic id+value, memo value-only, quantized); delta masks
+            // are built per peer — shadows advance in lockstep across
+            // peers, so the masks coincide in practice, but each pair
+            // owns its shadow. In memo mode each peer may instead take
+            // the (also shared) value-only form, decided per peer — all
+            // peers see the same id list, so after the first miss-round
+            // they all hit together.
             let mut full: Option<Bytes> = None;
             let mut vo: Option<Bytes> = None;
+            let mut quant: Option<Bytes> = None;
             for peer in 0..n_hosts {
                 if peer == ctx.host || !live.is_alive(peer) {
                     continue;
                 }
-                let hit = match memo.as_deref_mut() {
-                    Some(m_) => m_.submit(ctx.host, peer, layer, Channel::Broadcast, enc.ids()),
-                    None => false,
-                };
-                if hit {
-                    let payload = vo.get_or_insert_with(|| enc.finish_values()).clone();
-                    stats.broadcast_bytes += payload.len() as u64;
-                    stats.broadcast_msgs += enc.count() as u64;
-                    ctx.ship(peer, layer, payload, true)?;
-                } else {
-                    let payload = full.get_or_insert_with(|| enc.finish()).clone();
-                    stats.broadcast_bytes += payload.len() as u64;
-                    stats.broadcast_msgs += (payload.len() / entry_bytes(dim)) as u64;
-                    ctx.ship(peer, layer, payload, false)?;
+                match &mut *wire {
+                    WireState::Classic => {
+                        let payload = full.get_or_insert_with(|| enc.finish()).clone();
+                        stats.broadcast_bytes += payload.len() as u64;
+                        stats.broadcast_msgs += (payload.len() / entry_bytes(dim)) as u64;
+                        ctx.ship(peer, layer, payload, false)?;
+                    }
+                    WireState::Memo(m_) => {
+                        let hit = m_.submit(ctx.host, peer, layer, Channel::Broadcast, enc.ids());
+                        if hit {
+                            let payload = vo.get_or_insert_with(|| enc.finish_values()).clone();
+                            stats.broadcast_bytes += payload.len() as u64;
+                            stats.broadcast_msgs += enc.count() as u64;
+                            ctx.ship(peer, layer, payload, true)?;
+                        } else {
+                            let payload = full.get_or_insert_with(|| enc.finish()).clone();
+                            stats.broadcast_bytes += payload.len() as u64;
+                            stats.broadcast_msgs += (payload.len() / entry_bytes(dim)) as u64;
+                            ctx.ship(peer, layer, payload, false)?;
+                        }
+                    }
+                    WireState::Delta(d) => {
+                        let form = d.submit(
+                            ctx.host,
+                            peer,
+                            layer,
+                            Channel::Broadcast,
+                            enc.ids(),
+                            enc.values(),
+                            dim,
+                        );
+                        stats.broadcast_msgs += enc.count() as u64;
+                        match form {
+                            DeltaForm::Full => {
+                                let payload = full.get_or_insert_with(|| enc.finish()).clone();
+                                stats.broadcast_bytes += payload.len() as u64;
+                                ctx.ship(peer, layer, payload, false)?;
+                            }
+                            DeltaForm::Delta { ref mask, .. } => {
+                                let payload = enc.finish_delta(mask);
+                                stats.broadcast_bytes += payload.len() as u64;
+                                ctx.ship(peer, layer, payload, true)?;
+                            }
+                        }
+                    }
+                    WireState::Quant(_) => {
+                        let payload = quant.get_or_insert_with(|| enc.finish_quant()).clone();
+                        stats.broadcast_bytes += payload.len() as u64;
+                        stats.broadcast_msgs += enc.count() as u64;
+                        ctx.ship(peer, layer, payload, false)?;
+                    }
                 }
             }
         }
@@ -1456,33 +1736,64 @@ pub fn sync_round_threaded_degraded(
         for ((h, layer), (payload, value_only)) in incoming {
             let dim = replica.layers[layer].dim();
             if value_only {
-                let m_ = memo
-                    .as_deref_mut()
-                    .expect("value-only payload outside memo mode");
-                let ids = m_
-                    .cached(h, ctx.host, layer, Channel::Broadcast)
-                    .expect("value-only broadcast with no cached id list");
-                let mut sink = |node: u32| -> *mut [f32] { replica.row_mut_untracked(layer, node) };
-                ValueDecoder::new(payload, dim, ids)
-                    .expect("value-only broadcast length matches cached id list")
-                    .decode_into(&mut sink);
-            } else if memo_mode {
-                let mut dec = RowDecoder::new(payload, dim);
-                let mut ids = Vec::with_capacity(dec.remaining());
-                while let Some((node, row)) = dec.next_entry() {
-                    ids.push(node);
-                    replica.row_mut_untracked(layer, node).copy_from_slice(row);
+                match &mut *wire {
+                    WireState::Memo(m_) => {
+                        let ids = m_
+                            .cached(h, ctx.host, layer, Channel::Broadcast)
+                            .expect("value-only broadcast with no cached id list");
+                        let mut sink =
+                            |node: u32| -> *mut [f32] { replica.row_mut_untracked(layer, node) };
+                        ValueDecoder::new(payload, dim, ids)
+                            .expect("value-only broadcast length matches cached id list")
+                            .decode_into(&mut sink);
+                    }
+                    WireState::Delta(d) => {
+                        let (ids, vals) = d
+                            .apply_delta(h, ctx.host, layer, Channel::Broadcast, &payload, dim)
+                            .expect("delta broadcast length matches shadow entry");
+                        for (i, &node) in ids.iter().enumerate() {
+                            replica
+                                .row_mut_untracked(layer, node)
+                                .copy_from_slice(&vals[i * dim..(i + 1) * dim]);
+                        }
+                    }
+                    _ => panic!("compact payload outside memo/delta mode"),
                 }
-                memo.as_deref_mut().expect("memo mode").store(
-                    h,
-                    ctx.host,
-                    layer,
-                    Channel::Broadcast,
-                    ids,
-                );
             } else {
-                let mut sink = |node: u32| -> *mut [f32] { replica.row_mut_untracked(layer, node) };
-                RowDecoder::new(payload, dim).decode_into(&mut sink);
+                match &mut *wire {
+                    WireState::Memo(m_) => {
+                        let mut dec = RowDecoder::new(payload, dim);
+                        let mut ids = Vec::with_capacity(dec.remaining());
+                        while let Some((node, row)) = dec.next_entry() {
+                            ids.push(node);
+                            replica.row_mut_untracked(layer, node).copy_from_slice(row);
+                        }
+                        m_.store(h, ctx.host, layer, Channel::Broadcast, ids);
+                    }
+                    WireState::Delta(d) => {
+                        let mut dec = RowDecoder::new(payload, dim);
+                        let mut ids = Vec::with_capacity(dec.remaining());
+                        let mut vals = Vec::with_capacity(dec.remaining() * dim);
+                        while let Some((node, row)) = dec.next_entry() {
+                            ids.push(node);
+                            vals.extend_from_slice(row);
+                            replica.row_mut_untracked(layer, node).copy_from_slice(row);
+                        }
+                        d.store(h, ctx.host, layer, Channel::Broadcast, ids, vals);
+                    }
+                    WireState::Quant(_) => {
+                        let mut sink =
+                            |node: u32| -> *mut [f32] { replica.row_mut_untracked(layer, node) };
+                        QuantDecoder::new(payload, dim)
+                            .expect("well-formed quantized payload")
+                            .decode_into(&mut sink);
+                    }
+                    WireState::Classic => {
+                        let mut sink =
+                            |node: u32| -> *mut [f32] { replica.row_mut_untracked(layer, node) };
+                        RowDecoder::new(payload, dim).decode_into(&mut sink);
+                    }
+                }
             }
         }
     }
@@ -1739,7 +2050,7 @@ mod tests {
                     &mut stats,
                     &mut scratch,
                     &live,
-                    None,
+                    &mut WireState::Classic,
                 )
                 .unwrap();
             }
@@ -1883,7 +2194,7 @@ mod tests {
                     &mut stats,
                     &mut scratch,
                     &live,
-                    None,
+                    &mut WireState::Classic,
                 )
                 .unwrap();
             }
@@ -1900,6 +2211,219 @@ mod tests {
         assert_eq!(seq_stats.reduce_bytes, total.reduce_bytes);
         assert_eq!(seq_stats.broadcast_bytes, total.broadcast_bytes);
         assert_eq!(seq_stats.broadcast_msgs, total.broadcast_msgs);
+    }
+
+    fn run_sequential_wire(
+        n_hosts: usize,
+        n_nodes: usize,
+        dim: usize,
+        rounds: usize,
+        plan: SyncPlan,
+        mode: crate::wire::WireMode,
+    ) -> (Vec<FlatMatrix>, CommStats) {
+        let cfg = SyncConfig {
+            plan,
+            combiner: CombinerKind::ModelCombiner,
+        };
+        let live = Liveness::all(n_hosts);
+        let mut wire = WireState::for_mode(mode);
+        let mut scratch = crate::sync::SyncScratch::new();
+        let mut replicas: Vec<ModelReplica> = (0..n_hosts)
+            .map(|_| fresh_replica(n_nodes, dim, 7))
+            .collect();
+        let mut stats = CommStats::default();
+        for round in 0..rounds {
+            for (host, replica) in replicas.iter_mut().enumerate() {
+                apply_workload(replica, host, round, n_nodes);
+            }
+            crate::sync::sync_round_degraded(
+                &mut replicas,
+                &cfg,
+                None,
+                &mut stats,
+                &mut scratch,
+                &live,
+                &mut wire,
+            );
+        }
+        (assemble_canonical(&replicas), stats)
+    }
+
+    fn run_threaded_wire(
+        n_hosts: usize,
+        n_nodes: usize,
+        dim: usize,
+        rounds: usize,
+        plan: SyncPlan,
+        mode: crate::wire::WireMode,
+    ) -> (Vec<FlatMatrix>, CommStats) {
+        let cfg = SyncConfig {
+            plan,
+            combiner: CombinerKind::ModelCombiner,
+        };
+        let results = run_cluster(n_hosts, |ctx| {
+            let mut replica = fresh_replica(n_nodes, dim, 7);
+            let mut stats = CommStats::default();
+            let mut scratch = ThreadedSyncScratch::new();
+            let mut wire = WireState::for_mode(mode);
+            let live = Liveness::all(n_hosts);
+            for round in 0..rounds {
+                apply_workload(&mut replica, ctx.host, round, n_nodes);
+                sync_round_threaded_degraded(
+                    &ctx,
+                    &mut replica,
+                    &cfg,
+                    None,
+                    &mut stats,
+                    &mut scratch,
+                    &live,
+                    &mut wire,
+                )
+                .unwrap();
+            }
+            (replica, stats)
+        });
+        let (replicas, host_stats): (Vec<_>, Vec<_>) = results.into_iter().unzip();
+        let mut total = CommStats::default();
+        for s in &host_stats {
+            total.merge(s);
+        }
+        total.rounds = host_stats[0].rounds;
+        (assemble_canonical(&replicas), total)
+    }
+
+    #[test]
+    fn delta_and_quant_wire_match_sequential_bitwise() {
+        use crate::wire::WireMode;
+        for mode in [WireMode::Delta, WireMode::Quant] {
+            for plan in [SyncPlan::RepModelNaive, SyncPlan::RepModelOpt] {
+                let (seq_model, seq_stats) = run_sequential_wire(3, 12, 4, 3, plan, mode);
+                let (thr_model, thr_stats) = run_threaded_wire(3, 12, 4, 3, plan, mode);
+                assert_eq!(seq_model, thr_model, "{mode:?} {plan:?} models");
+                assert_eq!(
+                    seq_stats.reduce_bytes, thr_stats.reduce_bytes,
+                    "{mode:?} {plan:?} reduce bytes"
+                );
+                assert_eq!(
+                    seq_stats.broadcast_bytes, thr_stats.broadcast_bytes,
+                    "{mode:?} {plan:?} broadcast bytes"
+                );
+                assert_eq!(
+                    seq_stats.reduce_msgs, thr_stats.reduce_msgs,
+                    "{mode:?} {plan:?} reduce msgs"
+                );
+                assert_eq!(
+                    seq_stats.broadcast_msgs, thr_stats.broadcast_msgs,
+                    "{mode:?} {plan:?} broadcast msgs"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn delta_wire_is_lossless_and_cheaper_on_dense_plan() {
+        use crate::wire::WireMode;
+        for plan in [SyncPlan::RepModelNaive, SyncPlan::RepModelOpt] {
+            let (classic_model, classic_stats) =
+                run_sequential_wire(3, 12, 4, 3, plan, WireMode::IdValue);
+            let (delta_model, delta_stats) = run_sequential_wire(3, 12, 4, 3, plan, WireMode::Delta);
+            assert_eq!(classic_model, delta_model, "{plan:?} delta must be lossless");
+            assert!(
+                delta_stats.total_bytes() <= classic_stats.total_bytes(),
+                "{plan:?} delta must not cost more than classic"
+            );
+        }
+        // On the dense plan most rows repeat round over round, so the
+        // change mask must beat re-shipping them.
+        let (_, classic_stats) =
+            run_sequential_wire(3, 12, 4, 3, SyncPlan::RepModelNaive, WireMode::IdValue);
+        let (_, delta_stats) =
+            run_sequential_wire(3, 12, 4, 3, SyncPlan::RepModelNaive, WireMode::Delta);
+        assert!(delta_stats.total_bytes() < classic_stats.total_bytes());
+    }
+
+    #[test]
+    fn delta_and_quant_pull_match_sequential() {
+        use crate::wire::WireMode;
+        let n_hosts = 3;
+        let n_nodes = 12;
+        let dim = 4;
+        let rounds = 3;
+        let cfg = SyncConfig {
+            plan: SyncPlan::PullModel,
+            combiner: CombinerKind::ModelCombiner,
+        };
+        let access_for = |round: usize| {
+            let mut sets = AccessSets::new(n_hosts, 2, n_nodes);
+            for host in 0..n_hosts {
+                for layer in 0..2 {
+                    for node in 0..n_nodes {
+                        if (node + host + round + layer).is_multiple_of(3) {
+                            sets.get_mut(host, layer).set(node);
+                        }
+                    }
+                }
+            }
+            sets
+        };
+        for mode in [WireMode::Delta, WireMode::Quant] {
+            let mut seq_replicas: Vec<ModelReplica> = (0..n_hosts)
+                .map(|_| fresh_replica(n_nodes, dim, 7))
+                .collect();
+            let mut seq_stats = CommStats::default();
+            let mut seq_scratch = crate::sync::SyncScratch::new();
+            let mut seq_wire = WireState::for_mode(mode);
+            let live = Liveness::all(n_hosts);
+            for round in 0..rounds {
+                for (host, replica) in seq_replicas.iter_mut().enumerate() {
+                    apply_workload(replica, host, round, n_nodes);
+                }
+                crate::sync::sync_round_degraded(
+                    &mut seq_replicas,
+                    &cfg,
+                    Some(&access_for(round)),
+                    &mut seq_stats,
+                    &mut seq_scratch,
+                    &live,
+                    &mut seq_wire,
+                );
+            }
+
+            let results = run_cluster(n_hosts, |ctx| {
+                let mut replica = fresh_replica(n_nodes, dim, 7);
+                let mut stats = CommStats::default();
+                let mut scratch = ThreadedSyncScratch::new();
+                let mut wire = WireState::for_mode(mode);
+                let live = Liveness::all(n_hosts);
+                for round in 0..rounds {
+                    apply_workload(&mut replica, ctx.host, round, n_nodes);
+                    let access = access_for(round);
+                    sync_round_threaded_degraded(
+                        &ctx,
+                        &mut replica,
+                        &cfg,
+                        Some(&access),
+                        &mut stats,
+                        &mut scratch,
+                        &live,
+                        &mut wire,
+                    )
+                    .unwrap();
+                }
+                (replica, stats)
+            });
+            let mut total = CommStats::default();
+            for (host, (replica, stats)) in results.iter().enumerate() {
+                assert_eq!(
+                    seq_replicas[host].layers, replica.layers,
+                    "{mode:?} host {host} replica must be bit-identical across engines"
+                );
+                total.merge(stats);
+            }
+            assert_eq!(seq_stats.reduce_bytes, total.reduce_bytes, "{mode:?}");
+            assert_eq!(seq_stats.broadcast_bytes, total.broadcast_bytes, "{mode:?}");
+            assert_eq!(seq_stats.broadcast_msgs, total.broadcast_msgs, "{mode:?}");
+        }
     }
 
     #[test]

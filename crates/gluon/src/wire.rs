@@ -7,7 +7,8 @@
 //!
 //! # Payload modes
 //!
-//! Two payload layouts exist, selected per run by [`WireMode`]:
+//! Four payload layouts exist, selected per run by [`WireMode`] (the
+//! full byte-layout reference lives in `docs/WIRE.md`):
 //!
 //! * **Id+value** ([`WireMode::IdValue`], the default) — every entry
 //!   contributes a `u32` node id and `dim` `f32`s ([`entry_bytes`]
@@ -28,10 +29,29 @@
 //!   id+value and both ends update their cache. Caches clear at every
 //!   epoch start and on any liveness change (crash, adoption, rejoin),
 //!   so fault recovery never decodes against a stale list.
+//! * **Delta** ([`WireMode::Delta`]) — row-change shipping: both ends
+//!   keep a shadow of the last exchanged payload per key
+//!   ([`DeltaShadow`], ids *and* values, invalidated exactly like the
+//!   memo). When the id list repeats, the sender ships only a changed-
+//!   row bitmask plus the rows whose bits actually changed
+//!   ([`delta_bytes`]); the receiver reconstructs the untouched rows
+//!   bit-exactly from its shadow. Lossless — like memo, delta changes
+//!   bytes moved, never training results.
+//! * **Quantized** ([`WireMode::Quant`]) — each row crosses the wire as
+//!   `dim` `u8` codes plus one `f32` scale/offset pair
+//!   ([`quant_entry_bytes`] = `12 + dim` per entry vs `4 + 4·dim`
+//!   classic), laid out struct-of-arrays: ids, scales, offsets, codes.
+//!   Encoded by [`RowEncoder::finish_quant`] through the
+//!   backend-bit-identical `quantize_rows` kernel, decoded by
+//!   [`QuantDecoder`]. **Lossy** (values snap to a per-row 256-point
+//!   grid) but stateless: nothing to invalidate, and the simulator
+//!   replays the exact same quantize→dequantize transform on every
+//!   wire-crossing row so both engines still agree bit-for-bit.
 //!
-//! Both modes carry bit-identical `f32` row values — the mode changes
-//! bytes moved, never training results; the conformance suite pins this
-//! across both engines and all fault families.
+//! Id+value, memo, and delta carry bit-identical `f32` row values — the
+//! mode changes bytes moved, never training results; quant trades a
+//! bounded accuracy delta for the biggest byte cut. The conformance
+//! suite pins engine parity for all four across every fault family.
 //!
 //! # Format invariants
 //!
@@ -103,6 +123,30 @@ pub const fn value_bytes(dim: usize) -> usize {
     4 * dim
 }
 
+/// Serialized bytes of the changed-row bitmask heading a delta payload
+/// covering `n` rows (one bit per row, LSB-first within each byte).
+#[inline]
+pub const fn mask_bytes(n: usize) -> usize {
+    n.div_ceil(8)
+}
+
+/// Serialized bytes of a delta payload on a shadow hit: the `n`-row
+/// bitmask plus full `f32` rows for the `changed` rows only. Always
+/// ≤ `n · entry_bytes(dim)` (the mask costs ⅛ byte per row where the
+/// classic id costs 4).
+#[inline]
+pub const fn delta_bytes(dim: usize, n: usize, changed: usize) -> usize {
+    mask_bytes(n) + changed * value_bytes(dim)
+}
+
+/// Serialized bytes for one quantized entry at dimension `dim`: a `u32`
+/// node id, an `f32` scale, an `f32` offset, and `dim` `u8` codes.
+/// Beats [`entry_bytes`] for every `dim ≥ 3`.
+#[inline]
+pub const fn quant_entry_bytes(dim: usize) -> usize {
+    12 + dim
+}
+
 /// Which payload layout a run ships (see the module docs).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum WireMode {
@@ -112,14 +156,24 @@ pub enum WireMode {
     /// Gluon-style id-list memoization: id+value on the first exchange
     /// (and after any cache invalidation), bare values afterwards.
     Memo,
+    /// Row-change shipping against a per-key shadow: id+value on the
+    /// first exchange (and after any invalidation), bitmask + changed
+    /// rows afterwards. Lossless.
+    Delta,
+    /// Per-row u8 quantization with an `f32` scale/offset pair. Lossy,
+    /// stateless, and the biggest byte cut.
+    Quant,
 }
 
 impl WireMode {
-    /// Parses a CLI spelling (`"id-value"` / `"memo"`).
+    /// Parses a CLI spelling (`"id-value"` / `"memo"` / `"delta"` /
+    /// `"quant"`).
     pub fn parse(s: &str) -> Option<WireMode> {
         match s {
             "id-value" | "idvalue" => Some(WireMode::IdValue),
             "memo" | "memoized" => Some(WireMode::Memo),
+            "delta" => Some(WireMode::Delta),
+            "quant" | "quantized" => Some(WireMode::Quant),
             _ => None,
         }
     }
@@ -129,6 +183,8 @@ impl WireMode {
         match self {
             WireMode::IdValue => "id-value",
             WireMode::Memo => "memo",
+            WireMode::Delta => "delta",
+            WireMode::Quant => "quant",
         }
     }
 }
@@ -208,6 +264,60 @@ impl RowEncoder {
         let mut buf = BytesMut::new();
         buf.resize(self.value_byte_len(), 0);
         (kernels().encode_rows)(&self.values, buf.as_mut_slice());
+        buf.freeze()
+    }
+
+    /// The staged row values, in push order (`count() · dim` floats).
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// Serializes the staged batch as a delta payload against `mask`
+    /// (one bit per staged entry, LSB-first within each byte, as
+    /// produced by [`DeltaShadow::submit`]): the mask bytes first, then
+    /// the full `f32` rows of the *set-bit* entries only, in push
+    /// order, bulk-encoded in one kernel call. Non-consuming.
+    pub fn finish_delta(&self, mask: &[u8]) -> Bytes {
+        let n = self.ids.len();
+        assert_eq!(mask.len(), mask_bytes(n), "mask length mismatch");
+        let mut changed_vals = Vec::new();
+        for r in 0..n {
+            if mask[r / 8] & (1 << (r % 8)) != 0 {
+                changed_vals.extend_from_slice(&self.values[r * self.dim..(r + 1) * self.dim]);
+            }
+        }
+        let mut buf = BytesMut::new();
+        buf.resize(mask.len() + changed_vals.len() * 4, 0);
+        let out = buf.as_mut_slice();
+        out[..mask.len()].copy_from_slice(mask);
+        (kernels().encode_rows)(&changed_vals, &mut out[mask.len()..]);
+        buf.freeze()
+    }
+
+    /// Serializes the staged batch as a quantized payload, SoA: the id
+    /// region, then per-row `f32` scales, then per-row `f32` offsets,
+    /// then all `u8` codes ([`quant_entry_bytes`] per entry). One bulk
+    /// call through the backend-bit-identical `quantize_rows` kernel.
+    /// Non-consuming.
+    pub fn finish_quant(&self) -> Bytes {
+        let n = self.ids.len();
+        let mut scales = vec![0.0f32; n];
+        let mut offsets = vec![0.0f32; n];
+        let mut buf = BytesMut::new();
+        buf.resize(n * quant_entry_bytes(self.dim), 0);
+        let out = buf.as_mut_slice();
+        for (i, &node) in self.ids.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&node.to_le_bytes());
+        }
+        (kernels().quantize_rows)(
+            &self.values,
+            self.dim,
+            &mut scales,
+            &mut offsets,
+            &mut out[n * 12..],
+        );
+        (kernels().encode_rows)(&scales, &mut out[n * 4..n * 8]);
+        (kernels().encode_rows)(&offsets, &mut out[n * 8..n * 12]);
         buf.freeze()
     }
 }
@@ -354,6 +464,84 @@ impl<'a> ValueDecoder<'a> {
     }
 }
 
+/// Iterator decoding a quantized buffer produced by
+/// [`RowEncoder::finish_quant`].
+///
+/// Construction dequantizes the *entire* payload with one bulk
+/// `dequantize_rows` kernel call; iteration and
+/// [`decode_into`](QuantDecoder::decode_into) then behave exactly like
+/// [`RowDecoder`] over the reconstructed rows.
+#[derive(Debug)]
+pub struct QuantDecoder {
+    dim: usize,
+    buf: Bytes,
+    count: usize,
+    next: usize,
+    values: Vec<f32>,
+}
+
+impl QuantDecoder {
+    /// Creates a decoder for rows of length `dim`; fails with
+    /// [`WireError::BadLength`] when `buf` is not a whole number of
+    /// [`quant_entry_bytes`] entries.
+    pub fn new(buf: Bytes, dim: usize) -> Result<Self, WireError> {
+        let per = quant_entry_bytes(dim);
+        if buf.len() % per != 0 {
+            return Err(WireError::BadLength {
+                claimed: buf.len() / per * per,
+                actual: buf.len(),
+            });
+        }
+        let count = buf.len() / per;
+        let src = buf.as_slice();
+        let mut scales = vec![0.0f32; count];
+        let mut offsets = vec![0.0f32; count];
+        (kernels().decode_rows)(&src[count * 4..count * 8], &mut scales);
+        (kernels().decode_rows)(&src[count * 8..count * 12], &mut offsets);
+        let mut values = vec![0.0f32; count * dim];
+        (kernels().dequantize_rows)(&src[count * 12..], dim, &scales, &offsets, &mut values);
+        Ok(Self {
+            dim,
+            buf,
+            count,
+            next: 0,
+            values,
+        })
+    }
+
+    /// Decodes the next entry, exposing the reconstructed row as a
+    /// borrowed slice (valid until the next call).
+    pub fn next_entry(&mut self) -> Option<(u32, &[f32])> {
+        if self.next >= self.count {
+            return None;
+        }
+        let src = self.buf.as_slice();
+        let off = self.next * 4;
+        let node = u32::from_le_bytes([src[off], src[off + 1], src[off + 2], src[off + 3]]);
+        let row = &self.values[self.next * self.dim..(self.next + 1) * self.dim];
+        self.next += 1;
+        Some((node, row))
+    }
+
+    /// Number of entries remaining.
+    pub fn remaining(&self) -> usize {
+        self.count - self.next
+    }
+
+    /// Copies every remaining reconstructed row directly into `sink`'s
+    /// row storage.
+    pub fn decode_into<S: RowSink>(&mut self, sink: &mut S) {
+        let src = self.buf.as_slice();
+        while self.next < self.count {
+            let off = self.next * 4;
+            let node = u32::from_le_bytes([src[off], src[off + 1], src[off + 2], src[off + 3]]);
+            sink.row_mut(node)
+                .copy_from_slice(&self.values[self.next * self.dim..(self.next + 1) * self.dim]);
+            self.next += 1;
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Id-list memoization
 // ---------------------------------------------------------------------------
@@ -479,6 +667,348 @@ impl WireMemo {
     /// so steady-state rounds reuse their allocations.
     pub fn put_stage(&mut self, stage: Vec<Vec<u32>>) {
         self.stage = stage;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Row-change shadows (delta mode)
+// ---------------------------------------------------------------------------
+
+/// The sender-side outcome of a [`DeltaShadow::submit`]: which layout a
+/// payload must use and what it costs on the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeltaForm {
+    /// Shadow miss (first exchange on this key, or the id list
+    /// changed): ship a full id+value payload.
+    Full,
+    /// Shadow hit: ship the changed-row bitmask plus the `changed`
+    /// rows whose `f32` bits differ from the shadow
+    /// ([`RowEncoder::finish_delta`]).
+    Delta {
+        /// One bit per staged row, LSB-first within each byte; set
+        /// bits mark rows that changed since the last send.
+        mask: Vec<u8>,
+        /// Number of set bits in `mask`.
+        changed: usize,
+    },
+}
+
+impl DeltaForm {
+    /// Payload bytes this form puts on the wire for `n` rows of
+    /// dimension `dim`.
+    pub fn wire_bytes(&self, n: usize, dim: usize) -> usize {
+        match self {
+            DeltaForm::Full => n * entry_bytes(dim),
+            DeltaForm::Delta { changed, .. } => delta_bytes(dim, n, *changed),
+        }
+    }
+}
+
+/// Per-(sender, receiver, layer, channel) shadow of the last exchanged
+/// payload (ids *and* row values) driving [`WireMode::Delta`].
+///
+/// Both ends of a link hold one: the **sender** calls
+/// [`submit`](DeltaShadow::submit) with the ids and values it is about
+/// to ship — when the id list matches the shadow, only the rows whose
+/// `f32` bits changed need to travel ([`DeltaForm::Delta`]); otherwise
+/// the payload ships in full id+value form and replaces the shadow
+/// ([`DeltaForm::Full`]). The **receiver** calls
+/// [`store`](DeltaShadow::store) on every full payload and
+/// [`apply_delta`](DeltaShadow::apply_delta) on every delta payload,
+/// reconstructing the unchanged rows bit-exactly from its shadow.
+/// Because both sides derive their updates from the same payload
+/// sequence, the shadows stay in lockstep without extra coordination
+/// traffic.
+///
+/// Invalidation is identical to [`WireMemo`]:
+/// [`begin_epoch`](DeltaShadow::begin_epoch) clears everything at each
+/// epoch start and [`observe_liveness`](DeltaShadow::observe_liveness)
+/// clears on any alive-set change, so the first post-fault (and
+/// post-checkpoint-resume) exchange on every key is always a full
+/// payload.
+#[derive(Debug, Default)]
+pub struct DeltaShadow {
+    cache: HashMap<(usize, usize, usize, Channel), (Vec<u32>, Vec<f32>)>,
+    live: Option<Liveness>,
+    stage_ids: Vec<Vec<u32>>,
+    stage_vals: Vec<Vec<f32>>,
+}
+
+impl DeltaShadow {
+    /// An empty shadow.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clears every shadow entry (call at each epoch start, both
+    /// engines).
+    pub fn begin_epoch(&mut self) {
+        self.cache.clear();
+        self.live = None;
+    }
+
+    /// Clears every shadow entry if the alive set changed since the
+    /// last observation. Call once per sync round before any
+    /// submit/store.
+    pub fn observe_liveness(&mut self, live: &Liveness) {
+        if self.live.as_ref() != Some(live) {
+            self.cache.clear();
+            self.live = Some(live.clone());
+        }
+    }
+
+    /// Sender side: decides the layout for the payload `from` is about
+    /// to ship `to` on `(layer, channel)` and advances the shadow.
+    /// When `ids` matches the shadowed list, returns
+    /// [`DeltaForm::Delta`] with a bit set for every row whose `f32`
+    /// bits differ from the shadow (updating those shadow rows);
+    /// otherwise replaces the whole shadow entry and returns
+    /// [`DeltaForm::Full`].
+    pub fn submit(
+        &mut self,
+        from: usize,
+        to: usize,
+        layer: usize,
+        channel: Channel,
+        ids: &[u32],
+        values: &[f32],
+        dim: usize,
+    ) -> DeltaForm {
+        debug_assert_eq!(values.len(), ids.len() * dim, "values/ids length mismatch");
+        let key = (from, to, layer, channel);
+        match self.cache.get_mut(&key) {
+            Some((cids, cvals)) if cids.as_slice() == ids => {
+                let n = ids.len();
+                let mut mask = vec![0u8; mask_bytes(n)];
+                let mut changed = 0;
+                for r in 0..n {
+                    let old = &cvals[r * dim..(r + 1) * dim];
+                    let new = &values[r * dim..(r + 1) * dim];
+                    if old.iter().zip(new).any(|(a, b)| a.to_bits() != b.to_bits()) {
+                        mask[r / 8] |= 1 << (r % 8);
+                        changed += 1;
+                        cvals[r * dim..(r + 1) * dim].copy_from_slice(new);
+                    }
+                }
+                DeltaForm::Delta { mask, changed }
+            }
+            Some((cids, cvals)) => {
+                cids.clear();
+                cids.extend_from_slice(ids);
+                cvals.clear();
+                cvals.extend_from_slice(values);
+                DeltaForm::Full
+            }
+            None => {
+                self.cache.insert(key, (ids.to_vec(), values.to_vec()));
+                DeltaForm::Full
+            }
+        }
+    }
+
+    /// Receiver side: records the ids and rows decoded from a full
+    /// id+value payload so later delta payloads on the same key can be
+    /// reconstructed.
+    pub fn store(
+        &mut self,
+        from: usize,
+        to: usize,
+        layer: usize,
+        channel: Channel,
+        ids: Vec<u32>,
+        values: Vec<f32>,
+    ) {
+        self.cache.insert((from, to, layer, channel), (ids, values));
+    }
+
+    /// Receiver side: reconstructs the full `(ids, rows)` batch from a
+    /// delta payload (mask + changed rows) against the shadow,
+    /// advancing the shadow to the reconstructed state. Fails with
+    /// [`WireError::BadLength`] when the payload does not carry exactly
+    /// `mask_bytes(n) + popcount · value_bytes(dim)` bytes.
+    ///
+    /// A delta payload with no shadow entry is a protocol bug (the
+    /// sender only ships deltas after a full exchange on the key), so
+    /// that case panics rather than degrading silently.
+    pub fn apply_delta(
+        &mut self,
+        from: usize,
+        to: usize,
+        layer: usize,
+        channel: Channel,
+        payload: &Bytes,
+        dim: usize,
+    ) -> Result<(&[u32], &[f32]), WireError> {
+        let key = (from, to, layer, channel);
+        let (ids, vals) = self
+            .cache
+            .get_mut(&key)
+            .expect("delta payload with no shadow entry: protocol bug");
+        let n = ids.len();
+        let mb = mask_bytes(n);
+        if payload.len() < mb {
+            return Err(WireError::BadLength {
+                claimed: mb,
+                actual: payload.len(),
+            });
+        }
+        let src = payload.as_slice();
+        let mask = &src[..mb];
+        let changed: usize = mask.iter().map(|b| b.count_ones() as usize).sum();
+        let claimed = delta_bytes(dim, n, changed);
+        if payload.len() != claimed {
+            return Err(WireError::BadLength {
+                claimed,
+                actual: payload.len(),
+            });
+        }
+        let mut changed_vals = vec![0.0f32; changed * dim];
+        (kernels().decode_rows)(&src[mb..], &mut changed_vals);
+        let mut ci = 0;
+        for r in 0..n {
+            if mask[r / 8] & (1 << (r % 8)) != 0 {
+                vals[r * dim..(r + 1) * dim]
+                    .copy_from_slice(&changed_vals[ci * dim..(ci + 1) * dim]);
+                ci += 1;
+            }
+        }
+        Ok((ids.as_slice(), vals.as_slice()))
+    }
+
+    /// Borrow-friendly staging: takes `n` cleared `(ids, values)`
+    /// scratch pairs out of the shadow's pool (the sequential engine
+    /// stages per-destination batches while iterating structures that
+    /// also borrow the shadow's owner, then
+    /// [`submit`](DeltaShadow::submit)s and
+    /// [`put_stage`](DeltaShadow::put_stage)s them back).
+    pub fn take_stage(&mut self, n: usize) -> (Vec<Vec<u32>>, Vec<Vec<f32>>) {
+        let mut ids = std::mem::take(&mut self.stage_ids);
+        let mut vals = std::mem::take(&mut self.stage_vals);
+        ids.resize_with(n, Vec::new);
+        ids.truncate(n);
+        vals.resize_with(n, Vec::new);
+        vals.truncate(n);
+        for v in &mut ids {
+            v.clear();
+        }
+        for v in &mut vals {
+            v.clear();
+        }
+        (ids, vals)
+    }
+
+    /// Returns staging pairs taken with
+    /// [`take_stage`](DeltaShadow::take_stage) so steady-state rounds
+    /// reuse their allocations.
+    pub fn put_stage(&mut self, ids: Vec<Vec<u32>>, vals: Vec<Vec<f32>>) {
+        self.stage_ids = ids;
+        self.stage_vals = vals;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Quantization scratch (quant mode)
+// ---------------------------------------------------------------------------
+
+/// Reusable buffers for the simulator's quantize→dequantize replay.
+///
+/// [`WireMode::Quant`] is stateless on the wire — nothing to
+/// invalidate — but the sequential engine must apply the exact lossy
+/// transform the threaded engine's payloads apply, on every
+/// wire-crossing row. This scratch recycles the code buffer across
+/// calls.
+#[derive(Debug, Default)]
+pub struct QuantScratch {
+    scale: [f32; 1],
+    offset: [f32; 1],
+    codes: Vec<u8>,
+}
+
+impl QuantScratch {
+    /// Fresh scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Applies the wire transform to one row in place: quantize to u8
+    /// codes, dequantize back. A row that went through this is
+    /// bit-identical to the same row decoded from a
+    /// [`RowEncoder::finish_quant`] payload.
+    pub fn qdq_row(&mut self, row: &mut [f32]) {
+        if row.is_empty() {
+            return;
+        }
+        self.codes.resize(row.len(), 0);
+        (kernels().quantize_rows)(
+            row,
+            row.len(),
+            &mut self.scale,
+            &mut self.offset,
+            &mut self.codes,
+        );
+        (kernels().dequantize_rows)(&self.codes, row.len(), &self.scale, &self.offset, row);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-run wire state
+// ---------------------------------------------------------------------------
+
+/// Per-trainer wire-protocol state for the run's [`WireMode`]; both
+/// engines thread one of these through every sync round.
+#[derive(Debug)]
+pub enum WireState {
+    /// [`WireMode::IdValue`]: stateless.
+    Classic,
+    /// [`WireMode::Memo`]: id-list caches.
+    Memo(WireMemo),
+    /// [`WireMode::Delta`]: last-sent row shadows.
+    Delta(DeltaShadow),
+    /// [`WireMode::Quant`]: stateless on the wire; scratch for the
+    /// simulator's quantize→dequantize replay.
+    Quant(QuantScratch),
+}
+
+impl WireState {
+    /// Fresh state for `mode`.
+    pub fn for_mode(mode: WireMode) -> Self {
+        match mode {
+            WireMode::IdValue => WireState::Classic,
+            WireMode::Memo => WireState::Memo(WireMemo::new()),
+            WireMode::Delta => WireState::Delta(DeltaShadow::new()),
+            WireMode::Quant => WireState::Quant(QuantScratch::new()),
+        }
+    }
+
+    /// The mode this state drives.
+    pub fn mode(&self) -> WireMode {
+        match self {
+            WireState::Classic => WireMode::IdValue,
+            WireState::Memo(_) => WireMode::Memo,
+            WireState::Delta(_) => WireMode::Delta,
+            WireState::Quant(_) => WireMode::Quant,
+        }
+    }
+
+    /// Clears stateful caches at an epoch start (no-op for the
+    /// stateless modes).
+    pub fn begin_epoch(&mut self) {
+        match self {
+            WireState::Memo(m) => m.begin_epoch(),
+            WireState::Delta(d) => d.begin_epoch(),
+            WireState::Classic | WireState::Quant(_) => {}
+        }
+    }
+
+    /// Invalidates stateful caches on any alive-set change (no-op for
+    /// the stateless modes). Call once per sync round before any
+    /// submit/store.
+    pub fn observe_liveness(&mut self, live: &Liveness) {
+        match self {
+            WireState::Memo(m) => m.observe_liveness(live),
+            WireState::Delta(d) => d.observe_liveness(live),
+            WireState::Classic | WireState::Quant(_) => {}
+        }
     }
 }
 
@@ -797,10 +1327,361 @@ mod tests {
         assert_eq!(WireMode::parse("id-value"), Some(WireMode::IdValue));
         assert_eq!(WireMode::parse("memo"), Some(WireMode::Memo));
         assert_eq!(WireMode::parse("memoized"), Some(WireMode::Memo));
+        assert_eq!(WireMode::parse("delta"), Some(WireMode::Delta));
+        assert_eq!(WireMode::parse("quant"), Some(WireMode::Quant));
+        assert_eq!(WireMode::parse("quantized"), Some(WireMode::Quant));
         assert_eq!(WireMode::parse("zip"), None);
         assert_eq!(WireMode::default(), WireMode::IdValue);
         assert_eq!(WireMode::IdValue.label(), "id-value");
         assert_eq!(WireMode::Memo.label(), "memo");
+        assert_eq!(WireMode::Delta.label(), "delta");
+        assert_eq!(WireMode::Quant.label(), "quant");
+    }
+
+    #[test]
+    fn wire_state_for_mode_roundtrips_and_dispatches() {
+        for mode in [
+            WireMode::IdValue,
+            WireMode::Memo,
+            WireMode::Delta,
+            WireMode::Quant,
+        ] {
+            let mut st = WireState::for_mode(mode);
+            assert_eq!(st.mode(), mode);
+            // The stateless arms are no-ops; the stateful arms clear.
+            st.begin_epoch();
+            st.observe_liveness(&Liveness::all(2));
+            assert_eq!(st.mode(), mode);
+        }
+    }
+
+    #[test]
+    fn delta_byte_formulas() {
+        assert_eq!(mask_bytes(0), 0);
+        assert_eq!(mask_bytes(1), 1);
+        assert_eq!(mask_bytes(8), 1);
+        assert_eq!(mask_bytes(9), 2);
+        // A zero-change delta over n rows costs just the mask …
+        assert_eq!(delta_bytes(16, 9, 0), 2);
+        // … and even an all-change delta beats classic (mask ≤ ids).
+        assert!(delta_bytes(16, 9, 9) < 9 * entry_bytes(16));
+        assert_eq!(quant_entry_bytes(16), 28);
+        assert!(quant_entry_bytes(3) < entry_bytes(3));
+    }
+
+    #[test]
+    fn delta_shadow_lifecycle_and_roundtrip() {
+        let mut sender = DeltaShadow::new();
+        let mut receiver = DeltaShadow::new();
+        let dim = 2;
+        let ids = [3u32, 7, 9];
+        let v1 = [1.0f32, 2.0, 3.0, 4.0, 5.0, 6.0];
+
+        // First exchange: full payload, both ends store.
+        let form = sender.submit(0, 1, 0, Channel::Reduce, &ids, &v1, dim);
+        assert_eq!(form, DeltaForm::Full);
+        assert_eq!(form.wire_bytes(3, dim), 3 * entry_bytes(dim));
+        receiver.store(0, 1, 0, Channel::Reduce, ids.to_vec(), v1.to_vec());
+
+        // Second round: only the middle row changes.
+        let v2 = [1.0f32, 2.0, 3.5, 4.0, 5.0, 6.0];
+        let form = sender.submit(0, 1, 0, Channel::Reduce, &ids, &v2, dim);
+        let DeltaForm::Delta { ref mask, changed } = form else {
+            panic!("expected delta form on id-list repeat");
+        };
+        assert_eq!((mask.as_slice(), changed), (&[0b010u8][..], 1));
+        assert_eq!(form.wire_bytes(3, dim), delta_bytes(dim, 3, 1));
+
+        // Ship mask + changed rows; receiver reconstructs all rows.
+        let mut enc = RowEncoder::new(dim);
+        for (i, &node) in ids.iter().enumerate() {
+            enc.push(node, &v2[i * dim..(i + 1) * dim]);
+        }
+        let payload = enc.finish_delta(mask);
+        assert_eq!(payload.len(), delta_bytes(dim, 3, 1));
+        let (rids, rvals) = receiver
+            .apply_delta(0, 1, 0, Channel::Reduce, &payload, dim)
+            .unwrap();
+        assert_eq!(rids, &ids);
+        assert_eq!(rvals, &v2);
+
+        // Third round: nothing changed → mask-only payload, receiver
+        // reproduces the same rows from its shadow alone.
+        let form = sender.submit(0, 1, 0, Channel::Reduce, &ids, &v2, dim);
+        assert_eq!(
+            form,
+            DeltaForm::Delta {
+                mask: vec![0],
+                changed: 0
+            }
+        );
+        let DeltaForm::Delta { ref mask, .. } = form else {
+            unreachable!()
+        };
+        let payload = enc.finish_delta(mask);
+        assert_eq!(payload.len(), mask_bytes(3));
+        let (_, rvals) = receiver
+            .apply_delta(0, 1, 0, Channel::Reduce, &payload, dim)
+            .unwrap();
+        assert_eq!(rvals, &v2);
+
+        // A different id list falls back to full and re-shadows.
+        let form = sender.submit(0, 1, 0, Channel::Reduce, &[3, 7], &v2[..4], dim);
+        assert_eq!(form, DeltaForm::Full);
+    }
+
+    #[test]
+    fn delta_shadow_invalidation_matches_memo_rules() {
+        let mut shadow = DeltaShadow::new();
+        let live3 = Liveness::all(3);
+        shadow.observe_liveness(&live3);
+        let v = [1.0f32, 2.0];
+        assert_eq!(
+            shadow.submit(0, 1, 0, Channel::Reduce, &[5], &v, 2),
+            DeltaForm::Full
+        );
+        assert!(matches!(
+            shadow.submit(0, 1, 0, Channel::Reduce, &[5], &v, 2),
+            DeltaForm::Delta { changed: 0, .. }
+        ));
+        // Keys are independent per (from, to, layer, channel).
+        assert_eq!(
+            shadow.submit(0, 1, 1, Channel::Reduce, &[5], &v, 2),
+            DeltaForm::Full
+        );
+        assert_eq!(
+            shadow.submit(0, 1, 0, Channel::Broadcast, &[5], &v, 2),
+            DeltaForm::Full
+        );
+        // Liveness change (crash) clears; unchanged observation keeps.
+        let mut live2 = live3.clone();
+        live2.mark_dead(2);
+        shadow.observe_liveness(&live2);
+        assert_eq!(
+            shadow.submit(0, 1, 0, Channel::Reduce, &[5], &v, 2),
+            DeltaForm::Full
+        );
+        shadow.observe_liveness(&live2);
+        assert!(matches!(
+            shadow.submit(0, 1, 0, Channel::Reduce, &[5], &v, 2),
+            DeltaForm::Delta { .. }
+        ));
+        // Epoch boundary clears too.
+        shadow.begin_epoch();
+        assert_eq!(
+            shadow.submit(0, 1, 0, Channel::Reduce, &[5], &v, 2),
+            DeltaForm::Full
+        );
+    }
+
+    #[test]
+    fn shadow_and_memo_invalidate_when_alive_set_grows_midepoch() {
+        // The rejoin=H@E case PR 5 left unpinned: a host coming *back*
+        // changes the alive set just like a crash does, and every
+        // cached id list / shadow row is stale the moment routing
+        // changes. Both caches must flush on the grow transition.
+        let mut live = Liveness::all(3);
+        live.mark_dead(1);
+
+        let mut memo = WireMemo::new();
+        let mut shadow = DeltaShadow::new();
+        memo.observe_liveness(&live);
+        shadow.observe_liveness(&live);
+        assert!(!memo.submit(0, 2, 0, Channel::Reduce, &[4, 5]));
+        assert!(memo.submit(0, 2, 0, Channel::Reduce, &[4, 5]));
+        let v = [1.0f32, 2.0, 3.0, 4.0];
+        assert_eq!(
+            shadow.submit(0, 2, 0, Channel::Reduce, &[4, 5], &v, 2),
+            DeltaForm::Full
+        );
+        assert!(matches!(
+            shadow.submit(0, 2, 0, Channel::Reduce, &[4, 5], &v, 2),
+            DeltaForm::Delta { changed: 0, .. }
+        ));
+
+        // Host 1 rejoins mid-epoch: alive set grows 2 → 3.
+        let mut rejoined = live.clone();
+        rejoined.mark_alive(1);
+        memo.observe_liveness(&rejoined);
+        shadow.observe_liveness(&rejoined);
+        assert!(
+            !memo.submit(0, 2, 0, Channel::Reduce, &[4, 5]),
+            "memo must miss after a rejoin grows the alive set"
+        );
+        assert_eq!(
+            shadow.submit(0, 2, 0, Channel::Reduce, &[4, 5], &v, 2),
+            DeltaForm::Full,
+            "shadow must go full after a rejoin grows the alive set"
+        );
+    }
+
+    #[test]
+    fn corrupted_value_only_frame_rejected_by_crc() {
+        // A value-only payload has no ids of its own — corruption can
+        // only be caught by the frame CRC (the length still matches the
+        // cached list). Pin that the typed Corrupt error fires before
+        // any decode against the cache could run.
+        let mut enc = RowEncoder::new(2);
+        enc.push(5, &[1.5, -2.0]);
+        enc.push(9, &[0.25, 4.0]);
+        let vo = enc.finish_values();
+        let frame = seal_frame(&vo);
+        // Flip one payload bit; the frame length stays valid.
+        let mut bytes = frame.as_slice().to_vec();
+        bytes[FRAME_HEADER_BYTES + 3] ^= 0x10;
+        let err = open_frame(&Bytes::from(bytes)).unwrap_err();
+        assert!(
+            matches!(err, WireError::Corrupt { expected, computed } if expected != computed),
+            "payload corruption must surface as WireError::Corrupt, got {err:?}"
+        );
+        // The pristine frame still decodes against the cached ids.
+        let payload = open_frame(&frame).unwrap();
+        let mut dec = ValueDecoder::new(payload, 2, enc.ids()).unwrap();
+        assert_eq!(dec.next_entry().unwrap().0, 5);
+    }
+
+    #[test]
+    fn delta_apply_rejects_bad_lengths() {
+        let mut shadow = DeltaShadow::new();
+        shadow.store(0, 1, 0, Channel::Reduce, vec![1, 2, 3], vec![0.0; 6]);
+        // Too short to hold the 3-row mask (mask_bytes(3) == 1).
+        let err = shadow
+            .apply_delta(0, 1, 0, Channel::Reduce, &Bytes::from(vec![]), 2)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            WireError::BadLength {
+                claimed: 1,
+                actual: 0
+            }
+        );
+        // Mask claims one changed row but carries no row bytes.
+        let err = shadow
+            .apply_delta(
+                0,
+                1,
+                0,
+                Channel::Reduce,
+                &Bytes::from(vec![0b001u8]),
+                2,
+            )
+            .unwrap_err();
+        assert_eq!(
+            err,
+            WireError::BadLength {
+                claimed: delta_bytes(2, 3, 1),
+                actual: 1
+            }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "protocol bug")]
+    fn delta_without_shadow_entry_panics() {
+        let mut shadow = DeltaShadow::new();
+        let _ = shadow.apply_delta(0, 1, 0, Channel::Reduce, &Bytes::from(vec![0u8]), 2);
+    }
+
+    #[test]
+    fn delta_stage_pool_recycles() {
+        let mut shadow = DeltaShadow::new();
+        let (mut ids, mut vals) = shadow.take_stage(3);
+        assert_eq!((ids.len(), vals.len()), (3, 3));
+        ids[1].push(7);
+        vals[1].extend_from_slice(&[1.0, 2.0]);
+        shadow.put_stage(ids, vals);
+        let (ids, vals) = shadow.take_stage(2);
+        assert!(ids.iter().all(Vec::is_empty) && vals.iter().all(Vec::is_empty));
+        shadow.put_stage(ids, vals);
+    }
+
+    #[test]
+    fn quant_payload_layout_and_roundtrip() {
+        let dim = 5;
+        let mut enc = RowEncoder::new(dim);
+        enc.push(7, &[0.0, 1.0, 2.0, 3.0, 4.0]);
+        enc.push(42, &[-1.0, -1.0, -1.0, -1.0, -1.0]); // flat row
+        let buf = enc.finish_quant();
+        assert_eq!(buf.len(), 2 * quant_entry_bytes(dim));
+        let b = buf.as_slice();
+        // SoA: ids, then scales, then offsets, then codes.
+        assert_eq!(&b[0..4], &7u32.to_le_bytes());
+        assert_eq!(&b[4..8], &42u32.to_le_bytes());
+        let scale0 = f32::from_le_bytes(b[8..12].try_into().unwrap());
+        let scale1 = f32::from_le_bytes(b[12..16].try_into().unwrap());
+        let offset0 = f32::from_le_bytes(b[16..20].try_into().unwrap());
+        let offset1 = f32::from_le_bytes(b[20..24].try_into().unwrap());
+        assert_eq!(scale0, 4.0 / 255.0);
+        assert_eq!(offset0, 0.0);
+        // Flat rows pin scale 0 with the value in the offset.
+        assert_eq!((scale1, offset1), (0.0, -1.0));
+        // Codes: row 0 spans the grid, row 1 is all zeros.
+        assert_eq!(&b[24 + 5..24 + 10], &[0, 0, 0, 0, 0]);
+        assert_eq!(b[24], 0);
+        assert_eq!(b[24 + 4], 255);
+
+        let mut dec = QuantDecoder::new(buf, dim).unwrap();
+        assert_eq!(dec.remaining(), 2);
+        let (n, row) = dec.next_entry().unwrap();
+        assert_eq!(n, 7);
+        // Reconstruction error is bounded by half a grid step per value.
+        for (got, want) in row.iter().zip([0.0, 1.0, 2.0, 3.0, 4.0]) {
+            assert!((got - want).abs() <= scale0 * 0.5 + 1e-6);
+        }
+        let (n, row) = dec.next_entry().unwrap();
+        assert_eq!(n, 42);
+        assert_eq!(row, &[-1.0; 5]);
+        assert!(dec.next_entry().is_none());
+    }
+
+    #[test]
+    fn quant_decoder_matches_qdq_row_bitwise() {
+        // The simulator replays the transform with QuantScratch; the
+        // threaded engine decodes real payloads. Both must agree
+        // bit-for-bit or engine parity breaks.
+        let dim = 7;
+        let rows = [
+            [0.013f32, -4.2, 3.3, 0.0, -0.0, 17.25, -9.5],
+            [1e-8f32, 2e-8, 3e-8, -1e-8, 0.0, 5e-8, 4e-8],
+        ];
+        let mut enc = RowEncoder::new(dim);
+        for (i, row) in rows.iter().enumerate() {
+            enc.push(i as u32, row);
+        }
+        let mut dec = QuantDecoder::new(enc.finish_quant(), dim).unwrap();
+        let mut scratch = QuantScratch::new();
+        for row in &rows {
+            let mut replay = *row;
+            scratch.qdq_row(&mut replay);
+            let (_, decoded) = dec.next_entry().unwrap();
+            for (a, b) in decoded.iter().zip(replay) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn quant_decoder_rejects_ragged_buffer() {
+        let mut enc = RowEncoder::new(3);
+        enc.push(0, &[1.0, 2.0, 3.0]);
+        let buf = enc.finish_quant();
+        let err = QuantDecoder::new(buf.slice(0..buf.len() - 1), 3).unwrap_err();
+        assert!(matches!(err, WireError::BadLength { .. }));
+    }
+
+    #[test]
+    fn quant_decode_into_fills_sink_rows() {
+        let mut enc = RowEncoder::new(2);
+        enc.push(1, &[1.0, 3.0]);
+        enc.push(3, &[-2.0, 2.0]);
+        let mut store = vec![vec![0.0f32; 2]; 4];
+        let mut sink = |node: u32| -> *mut [f32] { store[node as usize].as_mut_slice() };
+        QuantDecoder::new(enc.finish_quant(), 2)
+            .unwrap()
+            .decode_into(&mut sink);
+        let mut expect = [1.0f32, 3.0];
+        QuantScratch::new().qdq_row(&mut expect);
+        assert_eq!(store[1], &expect);
     }
 
     fn sample_payload() -> Bytes {

@@ -36,6 +36,18 @@ pub type DotNormsFn = fn(x: &[f32], y: &[f32]) -> (f32, f32, f32);
 /// `C[m×n] += op(A) · op(B)` with `k` the contraction length.
 pub type GemmFn = fn(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]);
 
+/// Signature of the bulk row-quantization kernel: `values` holds
+/// `n = scales.len()` rows of `dim` `f32`s back to back; each row is
+/// mapped to `dim` `u8` codes in `out` plus one `f32` scale/offset pair.
+pub type QuantizeFn =
+    fn(values: &[f32], dim: usize, scales: &mut [f32], offsets: &mut [f32], out: &mut [u8]);
+
+/// Signature of the bulk row-dequantization kernel; the approximate
+/// inverse of [`QuantizeFn`]: `values[r·dim + i] = offsets[r] +
+/// scales[r] · packed[r·dim + i]`.
+pub type DequantizeFn =
+    fn(packed: &[u8], dim: usize, scales: &[f32], offsets: &[f32], values: &mut [f32]);
+
 /// The per-backend kernel function table.
 ///
 /// # Dispatch contract
@@ -93,6 +105,21 @@ pub struct Kernels {
     /// kernel: `A` = the (tiny) gradient matrix, `B` = gathered rows,
     /// `n` = embedding dim.
     pub gemm_tn: GemmFn,
+    /// Bulk per-row u8 quantization for the `--wire quant` payload mode:
+    /// each row's values map affinely onto the 0..=255 grid
+    /// (`offset = min(row)`, `scale = (max − min)/255`, codes rounded
+    /// nearest-ties-even). **Backend-bit-identical by contract**: both
+    /// implementations use plain sub/mul (never FMA) plus one
+    /// correctly-rounded round-to-nearest-even per element, so scalar
+    /// and AVX2 produce identical codes, scales, and offsets for any
+    /// finite input — quantized payloads must not depend on the
+    /// sender's backend. Inputs are finite by contract (wire rows never
+    /// carry NaN/∞).
+    pub quantize_rows: QuantizeFn,
+    /// Bulk dequantization: `offset + scale · code`, plain mul+add (no
+    /// FMA) on both backends, so reconstruction is backend-bit-identical
+    /// too.
+    pub dequantize_rows: DequantizeFn,
 }
 
 static SCALAR_KERNELS: Kernels = Kernels {
@@ -107,6 +134,8 @@ static SCALAR_KERNELS: Kernels = Kernels {
     decode_rows: scalar::decode_rows,
     gemm_nt: scalar::gemm_nt,
     gemm_tn: scalar::gemm_tn,
+    quantize_rows: scalar::quantize_rows,
+    dequantize_rows: scalar::dequantize_rows,
 };
 
 #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
@@ -122,6 +151,12 @@ static AVX2_KERNELS: Kernels = Kernels {
     decode_rows: |src, values| unsafe { avx2::decode_rows(src, values) },
     gemm_nt: |m, n, k, a, b, c| unsafe { avx2::gemm_nt(m, n, k, a, b, c) },
     gemm_tn: |m, n, k, a, b, c| unsafe { avx2::gemm_tn(m, n, k, a, b, c) },
+    quantize_rows: |values, dim, scales, offsets, out| unsafe {
+        avx2::quantize_rows(values, dim, scales, offsets, out)
+    },
+    dequantize_rows: |packed, dim, scales, offsets, values| unsafe {
+        avx2::dequantize_rows(packed, dim, scales, offsets, values)
+    },
 };
 
 struct Selected {
@@ -308,6 +343,90 @@ pub mod scalar {
         debug_assert_eq!(src.len(), values.len() * 4);
         for (v, b) in values.iter_mut().zip(src.chunks_exact(4)) {
             *v = f32::from_bits(u32::from_le_bytes([b[0], b[1], b[2], b[3]]));
+        }
+    }
+
+    /// Per-row affine u8 quantization (see [`crate::simd::Kernels`] for
+    /// the cross-backend bit-identity contract).
+    ///
+    /// Every arithmetic step is a single correctly-rounded IEEE
+    /// operation — `min + 0.0` (canonicalizes a `-0.0` minimum to
+    /// `+0.0` so offsets have one wire representation), `max − min`,
+    /// the two divisions by/into 255, `(v − offset) · inv`, and one
+    /// `round_ties_even` — so any backend repeating the same steps
+    /// reproduces the exact same codes. The clamp mirrors the vector
+    /// `max_ps(t, 0)` / `min_ps(t, 255)` operand semantics (a NaN `t`
+    /// clamps to 0), and a flat row (`max == min`, which also covers
+    /// `±0.0` ties) short-circuits to `scale = 0`, all-zero codes.
+    #[inline]
+    pub fn quantize_rows(
+        values: &[f32],
+        dim: usize,
+        scales: &mut [f32],
+        offsets: &mut [f32],
+        out: &mut [u8],
+    ) {
+        let n = scales.len();
+        debug_assert_eq!(values.len(), n * dim);
+        debug_assert_eq!(offsets.len(), n);
+        debug_assert_eq!(out.len(), n * dim);
+        if dim == 0 {
+            scales.fill(0.0);
+            offsets.fill(0.0);
+            return;
+        }
+        for r in 0..n {
+            let row = &values[r * dim..(r + 1) * dim];
+            let codes = &mut out[r * dim..(r + 1) * dim];
+            let mut min = row[0];
+            let mut max = row[0];
+            for &v in &row[1..] {
+                if v < min {
+                    min = v;
+                }
+                if v > max {
+                    max = v;
+                }
+            }
+            let offset = min + 0.0;
+            let range = max - min;
+            offsets[r] = offset;
+            if range == 0.0 {
+                scales[r] = 0.0;
+                codes.fill(0);
+                continue;
+            }
+            scales[r] = range / 255.0;
+            let inv = 255.0 / range;
+            for (code, &v) in codes.iter_mut().zip(row) {
+                let t = (v - offset) * inv;
+                let t = if t > 0.0 { t } else { 0.0 };
+                let t = if t < 255.0 { t } else { 255.0 };
+                *code = t.round_ties_even() as u8;
+            }
+        }
+    }
+
+    /// Dequantization: `offset + scale · code`, one multiply and one add
+    /// per element (never fused), matching the vector backend bitwise.
+    #[inline]
+    pub fn dequantize_rows(
+        packed: &[u8],
+        dim: usize,
+        scales: &[f32],
+        offsets: &[f32],
+        values: &mut [f32],
+    ) {
+        let n = scales.len();
+        debug_assert_eq!(packed.len(), n * dim);
+        debug_assert_eq!(offsets.len(), n);
+        debug_assert_eq!(values.len(), n * dim);
+        for r in 0..n {
+            let (scale, offset) = (scales[r], offsets[r]);
+            let codes = &packed[r * dim..(r + 1) * dim];
+            for (v, &code) in values[r * dim..(r + 1) * dim].iter_mut().zip(codes) {
+                *v = offset + scale * (code as f32);
+            }
         }
     }
 
@@ -586,6 +705,155 @@ mod avx2 {
         }
     }
 
+    /// Per-row affine u8 quantization; must match `scalar::quantize_rows`
+    /// bit-for-bit (see the `Kernels` contract). Min/max reduce 8-wide
+    /// (exact operations, so association doesn't matter; sign-of-zero
+    /// ties wash out through the scalar `min + 0.0` canonicalization),
+    /// then the code loop runs 8 floats → 8 `u8`s per iteration:
+    /// sub/mul (no FMA, deliberately — FMA would round differently from
+    /// the scalar backend), clamp via `max_ps`/`min_ps`, and
+    /// `cvtps_epi32`, which rounds nearest-ties-even under the default
+    /// MXCSR exactly like the scalar `round_ties_even`.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn quantize_rows(
+        values: &[f32],
+        dim: usize,
+        scales: &mut [f32],
+        offsets: &mut [f32],
+        out: &mut [u8],
+    ) {
+        let n = scales.len();
+        debug_assert_eq!(values.len(), n * dim);
+        debug_assert_eq!(offsets.len(), n);
+        debug_assert_eq!(out.len(), n * dim);
+        if dim == 0 {
+            scales.fill(0.0);
+            offsets.fill(0.0);
+            return;
+        }
+        // SAFETY: all loads/stores stay within one `dim`-element row of
+        // `values`/`out`, bounded by the length equalities above.
+        unsafe {
+            for r in 0..n {
+                let row = &values[r * dim..(r + 1) * dim];
+                let rp = row.as_ptr();
+                let mut min = row[0];
+                let mut max = row[0];
+                let mut i = 0usize;
+                if dim >= 8 {
+                    let mut vmin = _mm256_loadu_ps(rp);
+                    let mut vmax = vmin;
+                    i = 8;
+                    while i + 8 <= dim {
+                        let v = _mm256_loadu_ps(rp.add(i));
+                        vmin = _mm256_min_ps(vmin, v);
+                        vmax = _mm256_max_ps(vmax, v);
+                        i += 8;
+                    }
+                    let mut lanes = [0.0f32; 8];
+                    _mm256_storeu_ps(lanes.as_mut_ptr(), vmin);
+                    for &l in &lanes {
+                        if l < min {
+                            min = l;
+                        }
+                    }
+                    _mm256_storeu_ps(lanes.as_mut_ptr(), vmax);
+                    for &l in &lanes {
+                        if l > max {
+                            max = l;
+                        }
+                    }
+                }
+                while i < dim {
+                    let v = row[i];
+                    if v < min {
+                        min = v;
+                    }
+                    if v > max {
+                        max = v;
+                    }
+                    i += 1;
+                }
+                let offset = min + 0.0;
+                let range = max - min;
+                offsets[r] = offset;
+                let codes = &mut out[r * dim..(r + 1) * dim];
+                if range == 0.0 {
+                    scales[r] = 0.0;
+                    codes.fill(0);
+                    continue;
+                }
+                scales[r] = range / 255.0;
+                let inv = 255.0 / range;
+                let qp = codes.as_mut_ptr();
+                let voff = _mm256_set1_ps(offset);
+                let vinv = _mm256_set1_ps(inv);
+                let zero = _mm256_setzero_ps();
+                let v255 = _mm256_set1_ps(255.0);
+                let mut i = 0usize;
+                while i + 8 <= dim {
+                    let t = _mm256_mul_ps(_mm256_sub_ps(_mm256_loadu_ps(rp.add(i)), voff), vinv);
+                    let t = _mm256_min_ps(_mm256_max_ps(t, zero), v255);
+                    let q = _mm256_cvtps_epi32(t);
+                    let w = _mm_packs_epi32(
+                        _mm256_castsi256_si128(q),
+                        _mm256_extracti128_si256(q, 1),
+                    );
+                    let b = _mm_packus_epi16(w, w);
+                    _mm_storel_epi64(qp.add(i) as *mut __m128i, b);
+                    i += 8;
+                }
+                while i < dim {
+                    let t = (row[i] - offset) * inv;
+                    let t = if t > 0.0 { t } else { 0.0 };
+                    let t = if t < 255.0 { t } else { 255.0 };
+                    *qp.add(i) = t.round_ties_even() as u8;
+                    i += 1;
+                }
+            }
+        }
+    }
+
+    /// Dequantization, `offset + scale · code` with separate mul and add
+    /// (no FMA — same single-rounding-per-op sequence as the scalar
+    /// backend, so reconstruction is bit-identical across backends).
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn dequantize_rows(
+        packed: &[u8],
+        dim: usize,
+        scales: &[f32],
+        offsets: &[f32],
+        values: &mut [f32],
+    ) {
+        let n = scales.len();
+        debug_assert_eq!(packed.len(), n * dim);
+        debug_assert_eq!(offsets.len(), n);
+        debug_assert_eq!(values.len(), n * dim);
+        // SAFETY: all loads/stores stay within one `dim`-element row,
+        // bounded by the length equalities above; `_mm_loadl_epi64` reads
+        // exactly 8 bytes, guarded by `i + 8 <= dim`.
+        unsafe {
+            for r in 0..n {
+                let (scale, offset) = (scales[r], offsets[r]);
+                let qp = packed[r * dim..(r + 1) * dim].as_ptr();
+                let vp = values[r * dim..(r + 1) * dim].as_mut_ptr();
+                let vscale = _mm256_set1_ps(scale);
+                let voff = _mm256_set1_ps(offset);
+                let mut i = 0usize;
+                while i + 8 <= dim {
+                    let b = _mm_loadl_epi64(qp.add(i) as *const __m128i);
+                    let q = _mm256_cvtepi32_ps(_mm256_cvtepu8_epi32(b));
+                    _mm256_storeu_ps(vp.add(i), _mm256_add_ps(voff, _mm256_mul_ps(vscale, q)));
+                    i += 8;
+                }
+                while i < dim {
+                    *vp.add(i) = offset + scale * (*qp.add(i) as f32);
+                    i += 1;
+                }
+            }
+        }
+    }
+
     /// `C[m×n] += A[m×k] · B[n×k]ᵀ`, row-major. Blocked one `A` row
     /// against four `B` rows: each 8-lane `A` load is reused by four FMA
     /// accumulators, quartering the load traffic of four independent dot
@@ -843,6 +1111,101 @@ mod tests {
             for (a, b) in simd_vals.iter().zip(&ref_vals) {
                 assert_eq!(a.to_bits(), b.to_bits(), "decode diverged at dim {d}");
             }
+        }
+    }
+
+    #[test]
+    fn scalar_quantize_reconstructs_within_half_step() {
+        for dim in [1usize, 2, 7, 8, 9, 16, 64, 200] {
+            let n = 5;
+            let values: Vec<f32> = (0..n * dim)
+                .map(|i| ((i as f32) * 0.61).sin() * 3.0 - 0.5)
+                .collect();
+            let mut scales = vec![0.0f32; n];
+            let mut offsets = vec![0.0f32; n];
+            let mut codes = vec![0u8; n * dim];
+            scalar::quantize_rows(&values, dim, &mut scales, &mut offsets, &mut codes);
+            let mut back = vec![0.0f32; n * dim];
+            scalar::dequantize_rows(&codes, dim, &scales, &offsets, &mut back);
+            for r in 0..n {
+                // Nearest-grid-point rounding: each element lands within
+                // half a quantization step of its original (plus fp fuzz).
+                let tol = scales[r] * 0.5 + 1e-6;
+                for i in 0..dim {
+                    let (v, b) = (values[r * dim + i], back[r * dim + i]);
+                    assert!(
+                        (v - b).abs() <= tol,
+                        "dim {dim} row {r} lane {i}: {v} vs {b} (tol {tol})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scalar_quantize_flat_and_negative_zero_rows() {
+        // A flat row takes the degenerate branch: scale 0, codes 0, and
+        // the row reconstructs exactly (offset alone).
+        let values = vec![2.5f32; 6];
+        let mut scales = vec![9.0f32; 2];
+        let mut offsets = vec![9.0f32; 2];
+        let mut codes = vec![1u8; 6];
+        scalar::quantize_rows(&values, 3, &mut scales, &mut offsets, &mut codes);
+        assert_eq!(scales, vec![0.0, 0.0]);
+        assert_eq!(offsets, vec![2.5, 2.5]);
+        assert_eq!(codes, vec![0; 6]);
+        // -0.0 minima canonicalize to +0.0 offsets, so the wire form of a
+        // row never depends on which zero the reduction happened to keep.
+        let values = vec![-0.0f32, 0.0, 1.0];
+        let mut scales = vec![0.0f32; 1];
+        let mut offsets = vec![0.0f32; 1];
+        let mut codes = vec![0u8; 3];
+        scalar::quantize_rows(&values, 3, &mut scales, &mut offsets, &mut codes);
+        assert_eq!(offsets[0].to_bits(), 0.0f32.to_bits(), "-0 min canonicalized");
+        assert_eq!(codes, vec![0, 0, 255]);
+    }
+
+    #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+    #[test]
+    fn avx2_quantize_bit_identical_to_scalar_when_supported() {
+        if !(std::arch::is_x86_feature_detected!("avx2")
+            && std::arch::is_x86_feature_detected!("fma"))
+        {
+            return;
+        }
+        let k = &AVX2_KERNELS;
+        // Dims straddle the 8-lane boundary; rows mix magnitudes, signs,
+        // flat rows, and ±0 ties.
+        for dim in [1usize, 3, 7, 8, 9, 15, 16, 17, 64, 200] {
+            let n = 7;
+            let mut values: Vec<f32> = (0..n * dim)
+                .map(|i| ((i as f32) * 0.37 + 0.1).sin() * 10.0f32.powi((i % 5) as i32 - 2))
+                .collect();
+            for i in 0..dim {
+                values[i] = 1.25; // row 0 flat
+            }
+            if dim >= 2 {
+                values[dim] = -0.0; // row 1 leads with -0
+                values[dim + 1] = 0.0;
+            }
+            let mut s = vec![0.0f32; n];
+            let mut o = vec![0.0f32; n];
+            let mut c = vec![0u8; n * dim];
+            let mut s_ref = s.clone();
+            let mut o_ref = o.clone();
+            let mut c_ref = c.clone();
+            (k.quantize_rows)(&values, dim, &mut s, &mut o, &mut c);
+            scalar::quantize_rows(&values, dim, &mut s_ref, &mut o_ref, &mut c_ref);
+            let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&s), bits(&s_ref), "scales diverged at dim {dim}");
+            assert_eq!(bits(&o), bits(&o_ref), "offsets diverged at dim {dim}");
+            assert_eq!(c, c_ref, "codes diverged at dim {dim}");
+
+            let mut v = vec![0.0f32; n * dim];
+            let mut v_ref = vec![0.0f32; n * dim];
+            (k.dequantize_rows)(&c, dim, &s, &o, &mut v);
+            scalar::dequantize_rows(&c_ref, dim, &s_ref, &o_ref, &mut v_ref);
+            assert_eq!(bits(&v), bits(&v_ref), "dequant diverged at dim {dim}");
         }
     }
 

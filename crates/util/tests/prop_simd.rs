@@ -388,6 +388,48 @@ proptest! {
     }
 
     #[test]
+    fn prop_quantize_matches_scalar_bitwise_and_bounds_error(
+        dim in 1usize..48,
+        rows in proptest::collection::vec(-100.0f32..100.0, 1..480),
+    ) {
+        // Truncate to whole rows; quantize through the dispatched table
+        // and the scalar reference — codes, scales, and offsets must be
+        // bit-identical (the kernels are FMA-free and round ties-to-even
+        // on both backends by contract), and reconstruction must land
+        // within half a quantization step per element.
+        let n = rows.len() / dim;
+        prop_assume!(n > 0);
+        let values = &rows[..n * dim];
+        let k = gw2v_util::simd::kernels();
+        let mut s = vec![0.0f32; n];
+        let mut o = vec![0.0f32; n];
+        let mut c = vec![0u8; n * dim];
+        let (mut s_ref, mut o_ref, mut c_ref) = (s.clone(), o.clone(), c.clone());
+        (k.quantize_rows)(values, dim, &mut s, &mut o, &mut c);
+        scalar::quantize_rows(values, dim, &mut s_ref, &mut o_ref, &mut c_ref);
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        prop_assert_eq!(bits(&s), bits(&s_ref), "scales");
+        prop_assert_eq!(bits(&o), bits(&o_ref), "offsets");
+        prop_assert_eq!(&c, &c_ref, "codes");
+
+        let mut back = vec![0.0f32; n * dim];
+        let mut back_ref = vec![0.0f32; n * dim];
+        (k.dequantize_rows)(&c, dim, &s, &o, &mut back);
+        scalar::dequantize_rows(&c_ref, dim, &s_ref, &o_ref, &mut back_ref);
+        prop_assert_eq!(bits(&back), bits(&back_ref), "dequant");
+        for r in 0..n {
+            let tol = s[r] * 0.5 + 1e-4 * (1.0 + o[r].abs());
+            for i in 0..dim {
+                let (v, b) = (values[r * dim + i], back[r * dim + i]);
+                prop_assert!(
+                    (v - b).abs() <= tol,
+                    "row {} lane {}: {} vs {} (tol {})", r, i, v, b, tol
+                );
+            }
+        }
+    }
+
+    #[test]
     fn prop_single_rounding_kernels_bitwise(
         a in -4.0f32..4.0,
         pairs in proptest::collection::vec((-50.0f32..50.0, -50.0f32..50.0), 0..512)

@@ -11,6 +11,15 @@
 #      jitter; the default floor of 0.9 tolerates that jitter while
 #      still catching a real kernel regression (the interleaved-layout
 #      bug this guards against measured 0.64x).
+#   3. The compressed codecs must actually pay for themselves: every
+#      `wire/delta_*` and `wire/quant_*` bench must hit
+#      GW2V_QUANT_MIN_SPEEDUP (default 1.0) vs forced-scalar — these
+#      kernels do real arithmetic (bit-compare scatter, u8 quantize),
+#      so SIMD losing to scalar means the dispatch table regressed.
+#      Healthy runs: delta ~1.1x, quant encode ~8x.
+#   4. Compressed payloads must stay ordered on a repeat-heavy Naive
+#      workload: delta <= memo <= classic total bytes, pinned by the
+#      `conformance_naive_wire_bytes_ordering` test.
 #
 # Parses the vendored criterion stub's output:
 #   BENCH_RESULT\t<group>/<id>\t<ns_per_iter>\t<iters>
@@ -19,6 +28,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 MIN_SPEEDUP="${GW2V_WIRE_MIN_SPEEDUP:-0.9}"
+QUANT_MIN_SPEEDUP="${GW2V_QUANT_MIN_SPEEDUP:-1.0}"
 
 echo "building benches (release)..." >&2
 cargo build --release --benches -q
@@ -52,26 +62,38 @@ trap 'rm -f "$SIMD_TSV" "$SCALAR_TSV"' EXIT
 bench sync_plans 0 | awk -F'\t' '$2 ~ /^wire\// { print $2 "\t" $3 }' >"$SIMD_TSV"
 bench sync_plans 1 | awk -F'\t' '$2 ~ /^wire\// { print $2 "\t" $3 }' >"$SCALAR_TSV"
 
-awk -F'\t' -v min="$MIN_SPEEDUP" '
+awk -F'\t' -v min="$MIN_SPEEDUP" -v qmin="$QUANT_MIN_SPEEDUP" '
     FNR == 1 { file++ }
     file == 1 { simd[$1] = $2; order[++n] = $1 }
     file == 2 { scalar[$1] = $2 }
     END {
         if (n == 0) { print "FAIL: no wire/* benches found"; exit 1 }
+        seen_compressed = 0
         bad = 0
         for (i = 1; i <= n; i++) {
             id = order[i]
+            floor = min
+            if (id ~ /^wire\/(delta|quant)_/) { floor = qmin; seen_compressed++ }
             sp = (simd[id] > 0) ? scalar[id] / simd[id] : 0
-            verdict = (sp >= min) ? "ok" : "FAIL"
-            if (sp < min) bad++
-            printf "%-28s scalar %10.1f ns  simd %10.1f ns  speedup %.3f  %s\n", \
-                id, scalar[id], simd[id], sp, verdict
+            verdict = (sp >= floor) ? "ok" : "FAIL"
+            if (sp < floor) bad++
+            printf "%-28s scalar %10.1f ns  simd %10.1f ns  speedup %.3f  floor %.2f  %s\n", \
+                id, scalar[id], simd[id], sp, floor, verdict
+        }
+        if (seen_compressed < 4) {
+            printf "FAIL: expected 4 wire/delta_* + wire/quant_* benches, found %d\n", \
+                seen_compressed
+            exit 1
         }
         if (bad > 0) {
-            printf "FAIL: %d wire bench(es) below the %.2fx speedup floor\n", bad, min
+            print "FAIL: " bad " wire bench(es) below their speedup floor"
             exit 1
         }
     }
 ' "$SIMD_TSV" "$SCALAR_TSV"
+
+echo "running wire byte-ordering assertion (delta <= memo <= classic, Naive plan)..." >&2
+cargo test --release -q -p graph-word2vec --test conformance \
+    conformance_naive_wire_bytes_ordering
 
 echo "perf smoke passed" >&2

@@ -356,6 +356,182 @@ fn conformance_memo_rejoin_all_plans() {
     }
 }
 
+/// Delta wire mode, faultless: shadow copies on both ends must make
+/// identical full/delta decisions in the analytic simulator and the
+/// threaded engine (analytic == measured bytes), training must stay
+/// bit-identical to the classic id+value mode (delta is lossless), and
+/// the mode must never cost more bytes than classic. The dense plan
+/// re-ships mostly-unchanged rows every round, so the change mask must
+/// save bytes there.
+#[test]
+fn conformance_delta_faultless_all_plans() {
+    for sync in PLANS {
+        let (sim, thr) = run_pair_wire(sync, WireMode::Delta, "seed=7");
+        assert_eq!(
+            sim.stats, thr.stats,
+            "[{sync:?}] delta counters must agree across engines"
+        );
+
+        let (vocab, corpus, params) = prepare();
+        let classic = DistributedTrainer::new(params, dist_cfg(sync)).train(&corpus, &vocab);
+        assert_eq!(
+            sim.model, classic.model,
+            "[{sync:?}] delta payloads must not change training arithmetic"
+        );
+        assert!(
+            sim.stats.total_bytes() <= classic.stats.total_bytes(),
+            "[{sync:?}] delta mode must never ship more than classic"
+        );
+        if sync == SyncPlan::RepModelNaive {
+            assert!(
+                sim.stats.total_bytes() < classic.stats.total_bytes(),
+                "[{sync:?}] dense rows repeat — the change mask must save bytes"
+            );
+        }
+    }
+}
+
+/// Delta mode across every fault family: drops and flips are healed
+/// under the CRC frames without touching the shadows; crash, rejoin and
+/// the combined partition plan flip liveness, which must invalidate
+/// every shadow in both engines at the same round boundary.
+#[test]
+fn conformance_delta_chaos_all_plans() {
+    for sync in PLANS {
+        let (sim, thr) = run_pair_wire(sync, WireMode::Delta, "seed=7,drop=0.03,flip=0.02");
+        assert_eq!(sim.stats.total_bytes(), thr.stats.total_bytes());
+        let (sim, thr) = run_pair_wire(sync, WireMode::Delta, "seed=7,crash=1@2");
+        assert_eq!(sim.stats, thr.stats);
+        let (sim, thr) = run_pair_wire(sync, WireMode::Delta, "seed=7,crash=1@1,rejoin=1@2");
+        assert_eq!(sim.stats, thr.stats);
+        let (sim, thr) = run_pair_wire(sync, WireMode::Delta, COMBINED_PARTITION_PLAN);
+        assert_eq!(sim.stats.total_bytes(), thr.stats.total_bytes());
+    }
+}
+
+/// Quantized wire mode, faultless: the transform is deterministically
+/// lossy, so the engines must agree bit-for-bit with *each other* (the
+/// simulator replays the exact quantize→dequantize image the threaded
+/// payloads apply), counters must match analytically, and one byte per
+/// dimension plus the 12-byte row header must undercut classic's four
+/// bytes per dimension on every plan.
+#[test]
+fn conformance_quant_faultless_all_plans() {
+    for sync in PLANS {
+        let (sim, thr) = run_pair_wire(sync, WireMode::Quant, "seed=7");
+        assert_eq!(
+            sim.stats, thr.stats,
+            "[{sync:?}] quant counters must agree across engines"
+        );
+
+        let (vocab, corpus, params) = prepare();
+        let classic = DistributedTrainer::new(params, dist_cfg(sync)).train(&corpus, &vocab);
+        assert_ne!(
+            sim.model, classic.model,
+            "[{sync:?}] quantization is lossy — bit-equality with classic \
+             would mean the transform never ran"
+        );
+        assert!(
+            sim.stats.total_bytes() < classic.stats.total_bytes(),
+            "[{sync:?}] quantized rows must beat classic on total bytes"
+        );
+    }
+}
+
+/// Quantized mode across every fault family: payload repair and liveness
+/// churn must leave the deterministic transform untouched — the engines
+/// stay bit-identical to each other under chaos.
+#[test]
+fn conformance_quant_chaos_all_plans() {
+    for sync in PLANS {
+        let (sim, thr) = run_pair_wire(sync, WireMode::Quant, "seed=7,drop=0.03,flip=0.02");
+        assert_eq!(sim.stats.total_bytes(), thr.stats.total_bytes());
+        let (sim, thr) = run_pair_wire(sync, WireMode::Quant, "seed=7,crash=1@2");
+        assert_eq!(sim.stats, thr.stats);
+        let (sim, thr) = run_pair_wire(sync, WireMode::Quant, "seed=7,crash=1@1,rejoin=1@2");
+        assert_eq!(sim.stats, thr.stats);
+        let (sim, thr) = run_pair_wire(sync, WireMode::Quant, COMBINED_PARTITION_PLAN);
+        assert_eq!(sim.stats.total_bytes(), thr.stats.total_bytes());
+    }
+}
+
+/// The dense plan's byte totals must order delta ≤ memo ≤ classic:
+/// memo strips repeated id lists, delta additionally strips repeated
+/// row values. Invoked from scripts/perf_smoke.sh as the CI bytes
+/// assertion for the compressed wire modes.
+#[test]
+fn conformance_naive_wire_bytes_ordering() {
+    // Delta's edge over memo needs rows that repeat *unchanged*: a large
+    // vocabulary touched only sparsely per round. The shared `prepare`
+    // corpus is built on a ~200-word synthetic vocabulary that negative
+    // sampling covers almost entirely every round (changed ≈ n, where a
+    // change mask costs more than it saves), so this cell builds its
+    // own: 1500 words in the vocabulary, training sentences drawing on a
+    // 40-word pool.
+    let mut text = String::new();
+    for i in 0..24 {
+        for j in 0..12 {
+            text.push_str(&format!("w{:04} ", (i * 5 + j * 7) % 40));
+        }
+        text.push('\n');
+    }
+    let corpus_lines = text.lines().count();
+    for w in 0..1500 {
+        text.push_str(&format!("w{w:04} "));
+        if w % 20 == 19 {
+            text.push('\n');
+        }
+    }
+    let cfg = TokenizerConfig::default();
+    let mut b = VocabBuilder::new();
+    for s in sentences_from_text(&text, cfg.clone()) {
+        b.add_sentence(&s);
+    }
+    let vocab = b.build(1);
+    let corpus = Corpus::from_sentences(
+        Corpus::from_text(&text, &vocab, cfg)
+            .sentences()
+            .iter()
+            .take(corpus_lines)
+            .cloned()
+            .collect(),
+    );
+    let params = Hyperparams {
+        dim: 16,
+        window: 3,
+        negative: 3,
+        epochs: 2,
+        seed: 11,
+        ..Hyperparams::default()
+    };
+    let total = |wire: WireMode| {
+        let cfg = DistConfig {
+            wire,
+            ..dist_cfg(SyncPlan::RepModelNaive)
+        };
+        DistributedTrainer::new(params.clone(), cfg)
+            .train(&corpus, &vocab)
+            .stats
+            .total_bytes()
+    };
+    let classic = total(WireMode::IdValue);
+    let memo = total(WireMode::Memo);
+    let delta = total(WireMode::Delta);
+    assert!(
+        memo <= classic,
+        "memo ({memo}) must not exceed classic ({classic})"
+    );
+    assert!(
+        delta <= memo,
+        "delta ({delta}) must not exceed memo ({memo}): unchanged dense \
+         rows cost a mask bit, not a full value row"
+    );
+    assert!(
+        delta < classic,
+        "delta ({delta}) must strictly beat classic ({classic}) on the dense plan"
+    );
+}
+
 /// A combined partition + dup + reorder + drop + crash plan. Everything
 /// a partition withholds in stall mode is healed by the NAK loop, so a
 /// stall run must be bit-identical across engines AND bit-identical to
